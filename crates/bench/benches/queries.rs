@@ -1,0 +1,43 @@
+//! Criterion benchmarks for representative Table-2 queries on all
+//! three designs — the statistically-disciplined companion to the
+//! `table2` binary (which reproduces the paper's exact 5-run
+//! protocol and full query set).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mct_bench::Fixtures;
+use mct_workloads::{run_read, SchemaKind};
+
+fn queries(c: &mut Criterion) {
+    let mut fx = Fixtures::build(0.2);
+    let p = fx.params.clone();
+
+    // Representative picks: a point query (equal everywhere), a
+    // value-join-heavy query (shallow suffers), and a duplicate-heavy
+    // query (deep suffers).
+    for id in ["TQ1", "TQ9", "TQ13", "TQ7", "SQ3", "SQ5"] {
+        let dataset = if id.starts_with('S') {
+            mct_workloads::Dataset::Sigmod
+        } else {
+            mct_workloads::Dataset::Tpcw
+        };
+        let mut group = c.benchmark_group(id);
+        for schema in SchemaKind::ALL {
+            let db = fx.db(dataset, schema);
+            // Priming run (warm cache, as the paper reports).
+            let _ = run_read(db, id, schema, &p, true).unwrap();
+            group.bench_with_input(
+                BenchmarkId::from_parameter(schema.label()),
+                &schema,
+                |b, &schema| b.iter(|| run_read(db, id, schema, &p, true).unwrap().results),
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = queries
+}
+criterion_main!(benches);

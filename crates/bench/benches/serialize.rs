@@ -1,0 +1,46 @@
+//! Criterion benchmarks for the §5 serialization machinery: the
+//! `optSerialize` dynamic program, exchange emission, reconstruction,
+//! and the naive per-color baseline (ablation A2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mct_serialize::{
+    emit_exchange, emit_naive, opt_serialize, reconstruct, reconstruct_naive, MctSchema,
+};
+use mct_workloads::{SigmodConfig, SigmodData};
+
+fn serialization(c: &mut Criterion) {
+    let (schema, stats) = MctSchema::figure8();
+    c.bench_function("opt_serialize/figure8-dp", |b| {
+        b.iter(|| opt_serialize(&schema, &stats))
+    });
+
+    let data = SigmodData::generate(&SigmodConfig {
+        scale: 0.3,
+        seed: 42,
+    });
+    let db = data.build_mct();
+    let scheme = opt_serialize(&schema, &stats);
+
+    c.bench_function("emit_exchange/sigmod-mct", |b| {
+        b.iter(|| emit_exchange(&db, &scheme).len())
+    });
+    c.bench_function("emit_naive/sigmod-mct", |b| {
+        b.iter(|| emit_naive(&db).len())
+    });
+
+    let doc = emit_exchange(&db, &scheme);
+    c.bench_function("reconstruct/sigmod-mct", |b| {
+        b.iter(|| reconstruct(&doc).unwrap().len())
+    });
+    let naive_doc = emit_naive(&db);
+    c.bench_function("reconstruct_naive/sigmod-mct", |b| {
+        b.iter(|| reconstruct_naive(&naive_doc).unwrap().len())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = serialization
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Regenerates **Figure 12: Query Specification Complexity — Number of
+//! Variable Bindings**.
+//!
+//! Measured from the parsed ASTs: the count of `for`/`let` clauses in
+//! each query text. The shallow design's value joins force one extra
+//! binding (plus a WHERE predicate) per joined tree — the effect the
+//! paper's §7.3 describes.
+//!
+//! ```text
+//! cargo run -p mct-bench --bin fig12
+//! ```
+
+use mct_workloads::{all_queries, Params, QueryKind, SigmodConfig, SigmodData, TpcwConfig, TpcwData};
+
+fn measure(kind: QueryKind, text: &str) -> mct_query::Complexity {
+    match kind {
+        QueryKind::Read => mct_query::complexity(&mct_query::parse_query(text).expect("parse")),
+        QueryKind::Update => {
+            mct_query::update_complexity(&mct_query::parse_update(text).expect("parse"))
+        }
+    }
+}
+
+fn bar(n: usize) -> String {
+    "#".repeat(n)
+}
+
+fn main() {
+    let tpcw = TpcwData::generate(&TpcwConfig::default());
+    let sigmod = SigmodData::generate(&SigmodConfig::default());
+    let p = Params::derive(&tpcw, &sigmod);
+
+    println!("\nFigure 12: Query Specification Complexity — Number of Variable Bindings");
+    println!("{}", "=".repeat(78));
+    println!("{:<7} {:>5} {:>8} {:>5}   (bars: MCT / shallow / deep)", "Query", "MCT", "Shallow", "Deep");
+    for wq in all_queries(&p) {
+        let m = measure(wq.kind, &wq.mct_text).var_bindings;
+        let s = measure(wq.kind, &wq.shallow_text).var_bindings;
+        let d = measure(wq.kind, &wq.deep_text).var_bindings;
+        if m == s && s == d {
+            continue;
+        }
+        println!("{:<7} {:>5} {:>8} {:>5}", wq.id, m, s, d);
+        println!("        M {}", bar(m));
+        println!("        S {}", bar(s));
+        println!("        D {}", bar(d));
+    }
+    println!("\nPaper shape: \"MCT and deep are comparable, with the equivalent shallow");
+    println!("tree query being quite a bit more complex\" (§7.3).");
+}

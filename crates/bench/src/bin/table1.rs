@@ -1,0 +1,49 @@
+//! Regenerates **Table 1: Storage Requirement**.
+//!
+//! For each data set (TPC-W, SIGMOD-Record) and each design (MCT,
+//! shallow, deep): number of elements, attributes, content nodes,
+//! structural records, and data/index sizes in MiB.
+//!
+//! ```text
+//! cargo run --release -p mct-bench --bin table1 [-- --scale 0.3]
+//! ```
+
+use mct_bench::Fixtures;
+use mct_workloads::SchemaKind;
+
+fn main() {
+    let (scale, _, _) = mct_bench::parse_args();
+    eprintln!("building fixtures at scale {scale}...");
+    let mut fx = Fixtures::build(scale);
+
+    println!("\nTable 1: Storage Requirement (scale {scale})");
+    println!("{}", "=".repeat(88));
+    for (ds_name, dataset) in [
+        ("TPC-W", mct_workloads::Dataset::Tpcw),
+        ("SIGMOD Record", mct_workloads::Dataset::Sigmod),
+    ] {
+        println!("\n{ds_name}");
+        println!(
+            "  {:<16} {:>12} {:>12} {:>12} {:>12} {:>10} {:>10}",
+            "", "Elements", "Attrs", "Content", "Structural", "Data MiB", "Index MiB"
+        );
+        for schema in SchemaKind::ALL {
+            let st = fx.db(dataset, schema).stats();
+            println!(
+                "  {:<16} {:>12} {:>12} {:>12} {:>12} {:>10.2} {:>10.2}",
+                schema.label(),
+                st.num_elements,
+                st.num_attrs,
+                st.num_content,
+                st.num_structural,
+                st.data_mib(),
+                st.index_mib()
+            );
+        }
+    }
+    println!();
+    println!("Paper shape to verify:");
+    println!("  * deep has many more elements and more data than MCT/shallow (replication);");
+    println!("  * MCT has the same element count as shallow but MORE structural records");
+    println!("    (one per color) and hence data/index sizes between shallow and deep.");
+}

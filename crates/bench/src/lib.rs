@@ -1,0 +1,183 @@
+//! # mct-bench — the §7 experiment harness
+//!
+//! Shared machinery for the binaries that regenerate the paper's
+//! tables and figures:
+//!
+//! * `table1` — storage requirements (Table 1);
+//! * `table2` — query/update processing times (Table 2), with
+//!   `--sweep` for the §7.2 scaling note and `--cold` for cold-cache;
+//! * `fig11` / `fig12` — query-specification complexity (Figures
+//!   11–12);
+//! * `report` — everything, plus the serialization ablation (A2).
+//!
+//! Timing follows the paper's protocol: "Each experiment was run five
+//! times. The lowest and highest readings were ignored and the other
+//! three were averaged." Queries are timed warm (one untimed priming
+//! run), as the paper reports.
+
+use mct_core::StoredDb;
+use mct_workloads::{Params, SchemaKind, SigmodConfig, SigmodData, TpcwConfig, TpcwData};
+use std::time::{Duration, Instant};
+
+/// Default buffer pool for experiments (the paper's 256 MiB).
+pub const POOL_BYTES: usize = 256 * 1024 * 1024;
+
+/// The six stored databases (2 data sets × 3 designs) plus parameters.
+pub struct Fixtures {
+    /// Query parameters derived from the data.
+    pub params: Params,
+    /// TPC-W in [MCT, shallow, deep] order.
+    pub tpcw: [StoredDb; 3],
+    /// SIGMOD-Record in [MCT, shallow, deep] order.
+    pub sigmod: [StoredDb; 3],
+    /// The raw entity graphs (kept for rebuilds).
+    pub tpcw_data: TpcwData,
+    /// SIGMOD entity graph.
+    pub sigmod_data: SigmodData,
+}
+
+impl Fixtures {
+    /// Generate and store all six databases at `scale`.
+    pub fn build(scale: f64) -> Fixtures {
+        let tpcw_cfg = TpcwConfig {
+            scale,
+            ..Default::default()
+        };
+        let sig_cfg = SigmodConfig {
+            scale,
+            ..Default::default()
+        };
+        let tpcw_data = TpcwData::generate(&tpcw_cfg);
+        let sigmod_data = SigmodData::generate(&sig_cfg);
+        let params = Params::derive(&tpcw_data, &sigmod_data);
+        let build = |db| StoredDb::build(db, POOL_BYTES).expect("store build");
+        Fixtures {
+            params,
+            tpcw: [
+                build(tpcw_data.build_mct()),
+                build(tpcw_data.build_shallow()),
+                build(tpcw_data.build_deep()),
+            ],
+            sigmod: [
+                build(sigmod_data.build_mct()),
+                build(sigmod_data.build_shallow()),
+                build(sigmod_data.build_deep()),
+            ],
+            tpcw_data,
+            sigmod_data,
+        }
+    }
+
+    /// The stored database for (dataset, design).
+    pub fn db(&mut self, dataset: mct_workloads::Dataset, schema: SchemaKind) -> &mut StoredDb {
+        let idx = SchemaKind::ALL.iter().position(|s| *s == schema).unwrap();
+        match dataset {
+            mct_workloads::Dataset::Tpcw => &mut self.tpcw[idx],
+            mct_workloads::Dataset::Sigmod => &mut self.sigmod[idx],
+        }
+    }
+
+    /// Rebuild one database from the entity graph (fresh state for
+    /// update measurements).
+    pub fn rebuild(&self, dataset: mct_workloads::Dataset, schema: SchemaKind) -> StoredDb {
+        let db = match (dataset, schema) {
+            (mct_workloads::Dataset::Tpcw, SchemaKind::Mct) => self.tpcw_data.build_mct(),
+            (mct_workloads::Dataset::Tpcw, SchemaKind::Shallow) => self.tpcw_data.build_shallow(),
+            (mct_workloads::Dataset::Tpcw, SchemaKind::Deep) => self.tpcw_data.build_deep(),
+            (mct_workloads::Dataset::Sigmod, SchemaKind::Mct) => self.sigmod_data.build_mct(),
+            (mct_workloads::Dataset::Sigmod, SchemaKind::Shallow) => {
+                self.sigmod_data.build_shallow()
+            }
+            (mct_workloads::Dataset::Sigmod, SchemaKind::Deep) => self.sigmod_data.build_deep(),
+        };
+        StoredDb::build(db, POOL_BYTES).expect("store rebuild")
+    }
+}
+
+/// The paper's protocol: five runs, drop min and max, average the
+/// middle three. Returns `(mean_of_middle_three, last_result)`.
+pub fn time_paper_protocol<T>(mut f: impl FnMut() -> T) -> (Duration, T) {
+    let mut times = Vec::with_capacity(5);
+    let mut last = None;
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        let r = f();
+        times.push(t0.elapsed());
+        last = Some(r);
+    }
+    times.sort();
+    let mid: Duration = times[1..4].iter().sum::<Duration>() / 3;
+    (mid, last.expect("ran at least once"))
+}
+
+/// One timed run (for expensive setups like updates on fresh stores).
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (Duration, T) {
+    let t0 = Instant::now();
+    let r = f();
+    (t0.elapsed(), r)
+}
+
+/// Format a duration in seconds with 4 decimals (modern hardware is
+/// far faster than the paper's Pentium IIIM).
+pub fn secs(d: Duration) -> String {
+    format!("{:.4}", d.as_secs_f64())
+}
+
+/// Parse `--scale X` style flags from argv; returns (scale, sweep, cold).
+pub fn parse_args() -> (f64, bool, bool) {
+    let (scale, sweep, cold, _) = parse_args_stats();
+    (scale, sweep, cold)
+}
+
+/// [`parse_args`] plus the `--stats` flag (page-access reporting).
+pub fn parse_args_stats() -> (f64, bool, bool, bool) {
+    let args: Vec<String> = std::env::args().collect();
+    let mut scale = 0.3;
+    let mut sweep = false;
+    let mut cold = false;
+    let mut stats = false;
+    let mut it = args.iter().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale needs a number");
+            }
+            "--sweep" => sweep = true,
+            "--cold" => cold = true,
+            "--stats" => stats = true,
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other}");
+            }
+            _ => {}
+        }
+    }
+    (scale, sweep, cold, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build_at_tiny_scale() {
+        let mut f = Fixtures::build(0.02);
+        let mct = f.db(mct_workloads::Dataset::Tpcw, SchemaKind::Mct);
+        assert!(mct.stats().num_elements > 100);
+        let deep = f.db(mct_workloads::Dataset::Tpcw, SchemaKind::Deep);
+        assert!(deep.stats().num_elements > 100);
+    }
+
+    #[test]
+    fn timing_protocol_runs_five_times() {
+        let mut n = 0;
+        let (_d, last) = time_paper_protocol(|| {
+            n += 1;
+            n
+        });
+        assert_eq!(n, 5);
+        assert_eq!(last, 5);
+    }
+}

@@ -1,0 +1,601 @@
+//! The physical MCT database (§6.2, Figure 10).
+//!
+//! [`StoredDb`] maps a logical [`MctDatabase`] onto the storage engine
+//! exactly the way the paper modified Timber:
+//!
+//! * one **content record** per element with content, in a heap file;
+//! * one **attribute record** per element with attributes;
+//! * one **structural record per (element, color)** — the interval
+//!   code + tag + node id — in a per-color heap file;
+//! * per-color **tag indexes** over the structural records (posting
+//!   lists in local document order — the inputs to structural joins);
+//! * a **content index** and an **attribute index** (value → node) for
+//!   selection predicates and ID/IDREF value joins;
+//! * per-color **link indexes** (node → interval code): these are the
+//!   paper's "additional attributes providing links back to each of the
+//!   corresponding single-colored structural nodes", and the access
+//!   path used by the cross-tree join.
+//!
+//! All query-time access goes through the shared buffer pool, so page
+//! hits/misses and the warm/cold cache distinction behave as in §7.
+
+use crate::color::ColorId;
+use crate::database::{McNodeId, McNodeKind, MctDatabase};
+use mct_storage::{
+    BTree, BufferPool, ContentIndex, HeapFile, IntervalCode, KeyEncoder, MemDisk, RecordId,
+    StorageStats, TagIndex, PAGE_SIZE,
+};
+use mct_xml::Sym;
+
+/// One entry of a posting list: a structural node reference.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StructRef {
+    /// Logical node.
+    pub node: McNodeId,
+    /// Interval code in the posting's colored tree.
+    pub code: IntervalCode,
+}
+
+/// A stored (physical) MCT database.
+pub struct StoredDb {
+    /// The logical database (kept for construction & exact navigation).
+    pub db: MctDatabase,
+    /// Shared buffer pool over the in-memory disk.
+    pub pool: BufferPool<MemDisk>,
+    content_heap: HeapFile,
+    attr_heap: HeapFile,
+    struct_heaps: Vec<HeapFile>,
+    tag_indexes: Vec<TagIndex>,
+    link_indexes: Vec<BTree>,
+    content_index: ContentIndex,
+    attr_index: ContentIndex,
+    content_rid: Vec<Option<RecordId>>,
+    attr_rid: Vec<Option<RecordId>>,
+}
+
+impl StoredDb {
+    /// Persist a logical database. Annotates every color, then bulk
+    /// loads heaps and indexes. `pool_bytes` bounds the buffer pool
+    /// (the paper used 256 MiB).
+    pub fn build(mut db: MctDatabase, pool_bytes: usize) -> mct_storage::Result<StoredDb> {
+        let mut pool = BufferPool::new(MemDisk::new(), pool_bytes);
+        let ncolors = db.palette.len();
+        for i in 0..ncolors {
+            db.ensure_annotated(ColorId(i as u8));
+        }
+        let mut content_heap = HeapFile::new();
+        let mut attr_heap = HeapFile::new();
+        let mut struct_heaps: Vec<HeapFile> = (0..ncolors).map(|_| HeapFile::new()).collect();
+        let mut tag_indexes = Vec::with_capacity(ncolors);
+        let mut link_indexes = Vec::with_capacity(ncolors);
+        for _ in 0..ncolors {
+            tag_indexes.push(TagIndex::create(&mut pool)?);
+            link_indexes.push(BTree::create(&mut pool)?);
+        }
+        let mut content_index = ContentIndex::create(&mut pool)?;
+        let mut attr_index = ContentIndex::create(&mut pool)?;
+        let mut content_rid = vec![None; db.len()];
+        let mut attr_rid = vec![None; db.len()];
+
+        for i in 0..db.len() {
+            let n = McNodeId(i as u32);
+            let node = db.node(n);
+            if node.kind != McNodeKind::Element || node.colors.is_empty() {
+                continue;
+            }
+            let name = node.name.expect("element named");
+            // Content record + index.
+            if let Some(content) = node.content.clone() {
+                let rec = encode_content(n, &content);
+                content_rid[i] = Some(content_heap.insert(&mut pool, &rec)?);
+                content_index.insert(&mut pool, &content, u64::from(n.0))?;
+            }
+            // Attribute record + index.
+            if !node.attrs.is_empty() {
+                let pairs: Vec<(Sym, Box<str>)> = node.attrs.clone();
+                let rec = encode_attrs(n, &pairs);
+                attr_rid[i] = Some(attr_heap.insert(&mut pool, &rec)?);
+                for (s, v) in &pairs {
+                    let key = format!("{}={}", db.names.resolve(*s), v);
+                    attr_index.insert(&mut pool, &key, u64::from(n.0))?;
+                }
+            }
+            // One structural record per color; the link index points at
+            // the structural record (Figure 10's back-links).
+            for c in node.colors.iter() {
+                let code = db.code(n, c).expect("annotated");
+                let rid =
+                    struct_heaps[c.index()].insert(&mut pool, &encode_struct(n, name, code))?;
+                tag_indexes[c.index()].insert(&mut pool, name.0, code, u64::from(n.0))?;
+                link_indexes[c.index()].insert(&mut pool, &KeyEncoder::u32(n.0), pack_rid(rid))?;
+            }
+        }
+        Ok(StoredDb {
+            db,
+            pool,
+            content_heap,
+            attr_heap,
+            struct_heaps,
+            tag_indexes,
+            link_indexes,
+            content_index,
+            attr_index,
+            content_rid,
+            attr_rid,
+        })
+    }
+
+    // ----- access paths -------------------------------------------------------
+
+    /// Posting list for `tag` in colored tree `c`, in local document
+    /// order (via the tag B+-tree: page-cost-bearing).
+    pub fn postings(&mut self, c: ColorId, tag: Sym) -> mct_storage::Result<Vec<StructRef>> {
+        let posts = self.tag_indexes[c.index()].postings(&mut self.pool, tag.0)?;
+        Ok(posts
+            .into_iter()
+            .map(|p| StructRef {
+                node: McNodeId(p.node as u32),
+                code: p.code,
+            })
+            .collect())
+    }
+
+    /// Posting list by tag name (resolving through the interner).
+    pub fn postings_named(&mut self, c: ColorId, tag: &str) -> mct_storage::Result<Vec<StructRef>> {
+        match self.db.names.get(tag) {
+            Some(sym) => self.postings(c, sym),
+            None => Ok(Vec::new()),
+        }
+    }
+
+    /// Nodes whose content equals `value` exactly.
+    pub fn content_lookup(&mut self, value: &str) -> mct_storage::Result<Vec<McNodeId>> {
+        Ok(self
+            .content_index
+            .lookup(&mut self.pool, value)?
+            .into_iter()
+            .map(|v| McNodeId(v as u32))
+            .collect())
+    }
+
+    /// Nodes with attribute `name` equal to `value`.
+    pub fn attr_lookup(&mut self, name: &str, value: &str) -> mct_storage::Result<Vec<McNodeId>> {
+        let key = format!("{name}={value}");
+        Ok(self
+            .attr_index
+            .lookup(&mut self.pool, &key)?
+            .into_iter()
+            .map(|v| McNodeId(v as u32))
+            .collect())
+    }
+
+    /// Fetch an element's content through the heap (page-cost-bearing).
+    pub fn fetch_content(&mut self, n: McNodeId) -> mct_storage::Result<Option<String>> {
+        match self.content_rid.get(n.index()).copied().flatten() {
+            Some(rid) => {
+                let rec = self.content_heap.get(&mut self.pool, rid)?;
+                Ok(Some(decode_content(&rec).1))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Fetch an element's attributes through the heap.
+    pub fn fetch_attrs(&mut self, n: McNodeId) -> mct_storage::Result<Vec<(String, String)>> {
+        match self.attr_rid.get(n.index()).copied().flatten() {
+            Some(rid) => {
+                let rec = self.attr_heap.get(&mut self.pool, rid)?;
+                Ok(decode_attrs(&rec, &self.db))
+            }
+            None => Ok(Vec::new()),
+        }
+    }
+
+    /// The color-link probe (§6.2): interval code of `n` in tree `to`,
+    /// through the per-color link index — one B+-tree descent plus one
+    /// structural-record fetch per call, which is what makes a color
+    /// transition cost like a value join.
+    pub fn link_probe(
+        &mut self,
+        n: McNodeId,
+        to: ColorId,
+    ) -> mct_storage::Result<Option<IntervalCode>> {
+        let Some(packed) = self.link_indexes[to.index()].get(&mut self.pool, &KeyEncoder::u32(n.0))?
+        else {
+            return Ok(None);
+        };
+        let rec = self.struct_heaps[to.index()].get(&mut self.pool, unpack_rid(packed))?;
+        Ok(Some(IntervalCode::from_bytes(&rec[..10])))
+    }
+
+    /// Direct in-memory color link (the "more sophisticated
+    /// implementation" the paper speculates about) — ablation A1.
+    pub fn link_direct(&self, n: McNodeId, to: ColorId) -> Option<IntervalCode> {
+        if !self.db.colors(n).contains(to) {
+            return None;
+        }
+        self.db.code(n, to)
+    }
+
+    // ----- write-through updates -----------------------------------------------
+
+    /// Insert a fresh element (already created and appended in the
+    /// logical database, with codes assigned) into the physical store.
+    pub fn persist_new_element(&mut self, n: McNodeId) -> mct_storage::Result<()> {
+        if self.content_rid.len() < self.db.len() {
+            self.content_rid.resize(self.db.len(), None);
+            self.attr_rid.resize(self.db.len(), None);
+        }
+        let node = self.db.node(n).clone();
+        let name = node.name.expect("element named");
+        if let Some(content) = &node.content {
+            let rec = encode_content(n, content);
+            self.content_rid[n.index()] = Some(self.content_heap.insert(&mut self.pool, &rec)?);
+            self.content_index
+                .insert(&mut self.pool, content, u64::from(n.0))?;
+        }
+        if !node.attrs.is_empty() {
+            let rec = encode_attrs(n, &node.attrs);
+            self.attr_rid[n.index()] = Some(self.attr_heap.insert(&mut self.pool, &rec)?);
+            for (s, v) in &node.attrs {
+                let key = format!("{}={}", self.db.names.resolve(*s), v);
+                self.attr_index.insert(&mut self.pool, &key, u64::from(n.0))?;
+            }
+        }
+        for c in node.colors.iter() {
+            let code = self.db.code(n, c).expect("code assigned before persist");
+            let rid = self.struct_heaps[c.index()]
+                .insert(&mut self.pool, &encode_struct(n, name, code))?;
+            self.tag_indexes[c.index()].insert(&mut self.pool, name.0, code, u64::from(n.0))?;
+            self.link_indexes[c.index()].insert(&mut self.pool, &KeyEncoder::u32(n.0), pack_rid(rid))?;
+        }
+        Ok(())
+    }
+
+    /// Replace an element's content, updating heap and content index.
+    pub fn update_content(&mut self, n: McNodeId, new: &str) -> mct_storage::Result<()> {
+        let old = self.db.content(n).map(str::to_string);
+        self.db.set_content(n, new);
+        if let Some(old) = &old {
+            self.content_index.remove(&mut self.pool, old, u64::from(n.0))?;
+        }
+        let rec = encode_content(n, new);
+        match self.content_rid.get(n.index()).copied().flatten() {
+            Some(rid) => {
+                // The record may relocate when it grows past its page.
+                let new_rid = self.content_heap.update(&mut self.pool, rid, &rec)?;
+                self.content_rid[n.index()] = Some(new_rid);
+            }
+            None => {
+                if self.content_rid.len() < self.db.len() {
+                    self.content_rid.resize(self.db.len(), None);
+                }
+                self.content_rid[n.index()] =
+                    Some(self.content_heap.insert(&mut self.pool, &rec)?);
+            }
+        }
+        self.content_index.insert(&mut self.pool, new, u64::from(n.0))?;
+        Ok(())
+    }
+
+    /// Remove node `n` from colored tree `to` (physical side of a
+    /// color-scoped delete): drops its structural index entries. The
+    /// logical detach/`remove_color` is the caller's responsibility.
+    pub fn unindex_node(&mut self, n: McNodeId, c: ColorId) -> mct_storage::Result<()> {
+        let name = self.db.node(n).name.expect("element named");
+        if let Some(code) = self.db.code(n, c) {
+            self.tag_indexes[c.index()].remove(&mut self.pool, name.0, code)?;
+            if let Some(packed) =
+                self.link_indexes[c.index()].get(&mut self.pool, &KeyEncoder::u32(n.0))?
+            {
+                self.struct_heaps[c.index()].delete(&mut self.pool, unpack_rid(packed))?;
+            }
+            self.link_indexes[c.index()].delete(&mut self.pool, &KeyEncoder::u32(n.0))?;
+        }
+        Ok(())
+    }
+
+    /// Rebuild the structural indexes of one color after a renumbering
+    /// (`annotate`) invalidated its codes.
+    pub fn reindex_color(&mut self, c: ColorId) -> mct_storage::Result<()> {
+        self.db.ensure_annotated(c);
+        let mut tag = TagIndex::create(&mut self.pool)?;
+        let mut link = BTree::create(&mut self.pool)?;
+        let mut heap = HeapFile::new();
+        let nodes: Vec<(McNodeId, Sym)> = self
+            .db
+            .descendants_or_self(McNodeId::DOCUMENT, c)
+            .skip(1)
+            .map(|n| (n, self.db.node(n).name.expect("element named")))
+            .collect();
+        for (n, name) in nodes {
+            let code = self.db.code(n, c).expect("annotated");
+            let rid = heap.insert(&mut self.pool, &encode_struct(n, name, code))?;
+            tag.insert(&mut self.pool, name.0, code, u64::from(n.0))?;
+            link.insert(&mut self.pool, &KeyEncoder::u32(n.0), pack_rid(rid))?;
+        }
+        self.tag_indexes[c.index()] = tag;
+        self.link_indexes[c.index()] = link;
+        self.struct_heaps[c.index()] = heap;
+        Ok(())
+    }
+
+    // ----- statistics (Table 1) -------------------------------------------------
+
+    /// Storage statistics in the shape of the paper's Table 1.
+    pub fn stats(&self) -> StorageStats {
+        let (num_elements, num_attrs, num_content) = self.db.counts();
+        let data_pages = self.content_heap.page_count()
+            + self.attr_heap.page_count()
+            + self
+                .struct_heaps
+                .iter()
+                .map(HeapFile::page_count)
+                .sum::<usize>();
+        let index_pages: u64 = self
+            .tag_indexes
+            .iter()
+            .map(|t| u64::from(t.page_count()))
+            .chain(self.link_indexes.iter().map(|t| u64::from(t.page_count())))
+            .sum::<u64>()
+            + u64::from(self.content_index.page_count())
+            + u64::from(self.attr_index.page_count());
+        StorageStats {
+            num_elements,
+            num_attrs,
+            num_content,
+            num_structural: self.db.structural_count(),
+            data_bytes: data_pages as u64 * PAGE_SIZE as u64,
+            index_bytes: index_pages * PAGE_SIZE as u64,
+        }
+    }
+
+    /// Cold-cache mode: drop every cached page (§7: "flushing all
+    /// buffers completely before each query evaluation").
+    pub fn flush_cache(&mut self) -> mct_storage::Result<()> {
+        self.pool.evict_all()
+    }
+}
+
+fn encode_content(n: McNodeId, content: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + content.len());
+    out.extend_from_slice(&n.0.to_le_bytes());
+    out.extend_from_slice(content.as_bytes());
+    out
+}
+
+fn decode_content(rec: &[u8]) -> (McNodeId, String) {
+    let n = McNodeId(u32::from_le_bytes([rec[0], rec[1], rec[2], rec[3]]));
+    (n, String::from_utf8_lossy(&rec[4..]).into_owned())
+}
+
+fn encode_attrs(n: McNodeId, attrs: &[(Sym, Box<str>)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + attrs.len() * 12);
+    out.extend_from_slice(&n.0.to_le_bytes());
+    out.extend_from_slice(&(attrs.len() as u16).to_le_bytes());
+    for (s, v) in attrs {
+        out.extend_from_slice(&s.0.to_le_bytes());
+        out.extend_from_slice(&(v.len() as u16).to_le_bytes());
+        out.extend_from_slice(v.as_bytes());
+    }
+    out
+}
+
+fn decode_attrs(rec: &[u8], db: &MctDatabase) -> Vec<(String, String)> {
+    let count = u16::from_le_bytes([rec[4], rec[5]]) as usize;
+    let mut out = Vec::with_capacity(count);
+    let mut at = 6;
+    for _ in 0..count {
+        let sym = Sym(u32::from_le_bytes([
+            rec[at],
+            rec[at + 1],
+            rec[at + 2],
+            rec[at + 3],
+        ]));
+        let len = u16::from_le_bytes([rec[at + 4], rec[at + 5]]) as usize;
+        at += 6;
+        let v = String::from_utf8_lossy(&rec[at..at + len]).into_owned();
+        at += len;
+        out.push((db.names.resolve(sym).to_string(), v));
+    }
+    out
+}
+
+fn encode_struct(n: McNodeId, name: Sym, code: IntervalCode) -> Vec<u8> {
+    let mut out = Vec::with_capacity(18);
+    out.extend_from_slice(&code.to_bytes());
+    out.extend_from_slice(&name.0.to_le_bytes());
+    out.extend_from_slice(&n.0.to_le_bytes());
+    out
+}
+
+fn pack_rid(rid: RecordId) -> u64 {
+    (u64::from(rid.page.0) << 16) | u64::from(rid.slot)
+}
+
+fn unpack_rid(v: u64) -> RecordId {
+    RecordId {
+        page: mct_storage::PageId((v >> 16) as u32),
+        slot: (v & 0xFFFF) as u16,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::MctDatabase;
+
+    fn small_db() -> MctDatabase {
+        let mut db = MctDatabase::new();
+        let red = db.add_color("red");
+        let green = db.add_color("green");
+        let genre = db.new_element("movie-genre", red);
+        db.set_content(genre, "Comedy");
+        db.append_child(McNodeId::DOCUMENT, genre, red);
+        let award = db.new_element("movie-award", green);
+        db.set_content(award, "Oscar");
+        db.append_child(McNodeId::DOCUMENT, award, green);
+        for i in 0..10 {
+            let m = db.new_element("movie", red);
+            db.set_attr(m, "id", &format!("m{i}"));
+            db.append_child(genre, m, red);
+            let name = db.new_element("name", red);
+            db.set_content(name, &format!("Movie {i}"));
+            db.append_child(m, name, red);
+            if i % 2 == 0 {
+                db.add_node_color(m, green);
+                db.append_child(award, m, green);
+            }
+        }
+        db
+    }
+
+    #[test]
+    fn build_and_postings() {
+        let mut s = StoredDb::build(small_db(), 4 * 1024 * 1024).unwrap();
+        let red = s.db.color("red").unwrap();
+        let green = s.db.color("green").unwrap();
+        let red_movies = s.postings_named(red, "movie").unwrap();
+        let green_movies = s.postings_named(green, "movie").unwrap();
+        assert_eq!(red_movies.len(), 10);
+        assert_eq!(green_movies.len(), 5);
+        // Posting lists are sorted by start (document order).
+        assert!(red_movies.windows(2).all(|w| w[0].code.start < w[1].code.start));
+        // Unknown tag -> empty.
+        assert!(s.postings_named(red, "nope").unwrap().is_empty());
+    }
+
+    #[test]
+    fn content_and_attr_lookup() {
+        let mut s = StoredDb::build(small_db(), 4 * 1024 * 1024).unwrap();
+        let hits = s.content_lookup("Movie 3").unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(s.db.name_str(hits[0]), Some("name"));
+        let byattr = s.attr_lookup("id", "m7").unwrap();
+        assert_eq!(byattr.len(), 1);
+        assert_eq!(s.db.name_str(byattr[0]), Some("movie"));
+        assert!(s.content_lookup("Movie 99").unwrap().is_empty());
+    }
+
+    #[test]
+    fn fetch_content_via_heap() {
+        let mut s = StoredDb::build(small_db(), 4 * 1024 * 1024).unwrap();
+        let hits = s.content_lookup("Movie 3").unwrap();
+        assert_eq!(s.fetch_content(hits[0]).unwrap().as_deref(), Some("Movie 3"));
+        let red = s.db.color("red").unwrap();
+        let movies = s.postings_named(red, "movie").unwrap();
+        assert_eq!(s.fetch_content(movies[0].node).unwrap(), None);
+        let attrs = s.fetch_attrs(movies[0].node).unwrap();
+        assert_eq!(attrs, vec![("id".to_string(), "m0".to_string())]);
+    }
+
+    #[test]
+    fn link_probe_matches_direct() {
+        let mut s = StoredDb::build(small_db(), 4 * 1024 * 1024).unwrap();
+        let red = s.db.color("red").unwrap();
+        let green = s.db.color("green").unwrap();
+        let red_movies = s.postings_named(red, "movie").unwrap();
+        for r in &red_movies {
+            let via_probe = s.link_probe(r.node, green).unwrap();
+            let via_direct = s.link_direct(r.node, green);
+            match (via_probe, via_direct) {
+                (Some(p), Some(d)) => {
+                    assert_eq!(p.start, d.start);
+                    assert_eq!(p.end, d.end);
+                }
+                (None, None) => {}
+                other => panic!("probe/direct disagree: {other:?}"),
+            }
+        }
+        // Exactly the even movies are green.
+        let crossings = red_movies
+            .iter()
+            .filter(|r| s.link_direct(r.node, green).is_some())
+            .count();
+        assert_eq!(crossings, 5);
+    }
+
+    #[test]
+    fn stats_count_structural_replication() {
+        let s = StoredDb::build(small_db(), 4 * 1024 * 1024).unwrap();
+        let st = s.stats();
+        // 2 hierarchy roots + 10 movies + 10 names = 22 elements.
+        assert_eq!(st.num_elements, 22);
+        // movies with 2 colors: 5 extra structural records.
+        assert_eq!(st.num_structural, 27);
+        assert_eq!(st.num_attrs, 10);
+        assert_eq!(st.num_content, 12);
+        assert!(st.data_bytes > 0);
+        assert!(st.index_bytes > 0);
+    }
+
+    #[test]
+    fn update_content_is_visible_everywhere() {
+        let mut s = StoredDb::build(small_db(), 4 * 1024 * 1024).unwrap();
+        let hits = s.content_lookup("Movie 3").unwrap();
+        let n = hits[0];
+        s.update_content(n, "Renamed").unwrap();
+        assert!(s.content_lookup("Movie 3").unwrap().is_empty());
+        assert_eq!(s.content_lookup("Renamed").unwrap(), vec![n]);
+        assert_eq!(s.fetch_content(n).unwrap().as_deref(), Some("Renamed"));
+        assert_eq!(s.db.content(n), Some("Renamed"));
+    }
+
+    #[test]
+    fn insert_element_write_through() {
+        let mut s = StoredDb::build(small_db(), 4 * 1024 * 1024).unwrap();
+        let red = s.db.color("red").unwrap();
+        let genre = s.postings_named(red, "movie-genre").unwrap()[0].node;
+        let m = s.db.new_element("movie", red);
+        s.db.set_content(m, "Fresh Movie");
+        s.db.append_child(genre, m, red);
+        if !s.db.try_assign_gap_codes(m, red) {
+            s.db.annotate(red);
+            s.reindex_color(red).unwrap();
+        }
+        s.persist_new_element(m).unwrap();
+        let movies = s.postings_named(red, "movie").unwrap();
+        assert_eq!(movies.len(), 11);
+        assert_eq!(s.content_lookup("Fresh Movie").unwrap(), vec![m]);
+    }
+
+    #[test]
+    fn unindex_node_removes_from_postings() {
+        let mut s = StoredDb::build(small_db(), 4 * 1024 * 1024).unwrap();
+        let green = s.db.color("green").unwrap();
+        let gm = s.postings_named(green, "movie").unwrap();
+        let victim = gm[0].node;
+        s.unindex_node(victim, green).unwrap();
+        s.db.remove_color(victim, green);
+        let after = s.postings_named(green, "movie").unwrap();
+        assert_eq!(after.len(), gm.len() - 1);
+        assert!(after.iter().all(|r| r.node != victim));
+        // Red side unaffected.
+        let red = s.db.color("red").unwrap();
+        assert_eq!(s.postings_named(red, "movie").unwrap().len(), 10);
+    }
+
+    #[test]
+    fn reindex_color_after_renumber() {
+        let mut s = StoredDb::build(small_db(), 4 * 1024 * 1024).unwrap();
+        let red = s.db.color("red").unwrap();
+        s.db.annotate(red); // force renumber
+        s.reindex_color(red).unwrap();
+        let movies = s.postings_named(red, "movie").unwrap();
+        assert_eq!(movies.len(), 10);
+        for r in &movies {
+            assert_eq!(s.db.code(r.node, red).unwrap().start, r.code.start);
+        }
+    }
+
+    #[test]
+    fn cold_cache_flush() {
+        let mut s = StoredDb::build(small_db(), 4 * 1024 * 1024).unwrap();
+        let red = s.db.color("red").unwrap();
+        s.postings_named(red, "movie").unwrap();
+        s.flush_cache().unwrap();
+        s.pool.reset_stats();
+        s.postings_named(red, "movie").unwrap();
+        assert!(s.pool.stats().misses > 0, "cold read after flush");
+    }
+}

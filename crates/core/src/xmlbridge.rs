@@ -1,0 +1,172 @@
+//! Conversion between plain XML documents and MCT databases.
+//!
+//! A plain XML document is exactly a single-colored MCT (§3.1: "a
+//! single colored tree is just like an XML tree"). Importing brings a
+//! parsed [`mct_xml::Document`] in under one color; exporting renders
+//! one colored tree back to a document (e.g. for serialization of a
+//! query result, or for the shallow/deep baseline databases).
+
+use crate::color::ColorId;
+use crate::database::{McNodeId, MctDatabase};
+use mct_xml::{Document, NodeId, NodeKind};
+
+/// Import `doc` into `db` under color `c`. Element text is gathered
+/// into the element's content record (data-centric: mixed content is
+/// concatenated). Returns the imported root elements (children of the
+/// document node).
+pub fn import_document(db: &mut MctDatabase, doc: &Document, c: ColorId) -> Vec<McNodeId> {
+    let mut roots = Vec::new();
+    for child in doc.children(NodeId::DOCUMENT) {
+        if doc.kind(child) == NodeKind::Element {
+            let e = import_element(db, doc, child, c);
+            db.append_child(McNodeId::DOCUMENT, e, c);
+            roots.push(e);
+        }
+    }
+    roots
+}
+
+fn import_element(db: &mut MctDatabase, doc: &Document, el: NodeId, c: ColorId) -> McNodeId {
+    let name = doc.name_str(el).expect("element has a name");
+    let node = db.new_element(name, c);
+    let mut text = String::new();
+    for attr in doc.attributes(el) {
+        let aname = doc.name_str(attr).unwrap_or("");
+        let value = doc.node(attr).value.clone().unwrap_or_default();
+        db.set_attr(node, aname, &value);
+    }
+    for child in doc.children(el) {
+        match doc.kind(child) {
+            NodeKind::Element => {
+                let ce = import_element(db, doc, child, c);
+                db.append_child(node, ce, c);
+            }
+            NodeKind::Text => {
+                if let Some(v) = &doc.node(child).value {
+                    text.push_str(v);
+                }
+            }
+            _ => {}
+        }
+    }
+    if !text.is_empty() {
+        db.set_content(node, &text);
+    }
+    node
+}
+
+/// Export the color-`c` tree rooted at `root` (an element) into a new
+/// XML document.
+pub fn export_subtree(db: &MctDatabase, root: McNodeId, c: ColorId) -> Document {
+    let mut doc = Document::new();
+    let e = export_element(db, root, c, &mut doc);
+    doc.append_child(NodeId::DOCUMENT, e);
+    doc
+}
+
+/// Export the entire color-`c` tree (all element children of the
+/// document node) into a new XML document wrapped as siblings.
+pub fn export_color(db: &MctDatabase, c: ColorId) -> Document {
+    let mut doc = Document::new();
+    for child in db.children(McNodeId::DOCUMENT, c) {
+        let e = export_element(db, child, c, &mut doc);
+        doc.append_child(NodeId::DOCUMENT, e);
+    }
+    doc
+}
+
+fn export_element(db: &MctDatabase, n: McNodeId, c: ColorId, doc: &mut Document) -> NodeId {
+    let name = db.name_str(n).expect("element has a name").to_string();
+    let e = doc.create_element(&name);
+    let attrs: Vec<(String, String)> = db
+        .node(n)
+        .attrs
+        .iter()
+        .map(|(s, v)| (db.names.resolve(*s).to_string(), v.to_string()))
+        .collect();
+    for (an, av) in attrs {
+        doc.set_attribute(e, &an, &av);
+    }
+    if let Some(content) = db.content(n) {
+        let t = doc.create_text(content);
+        doc.append_child(e, t);
+    }
+    let children: Vec<McNodeId> = db.children(n, c).collect();
+    for child in children {
+        let ce = export_element(db, child, c, doc);
+        doc.append_child(e, ce);
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mct_xml::{parse, write_document, WriteOptions};
+
+    #[test]
+    fn import_builds_single_color_tree() {
+        let doc = parse(
+            r#"<movies><movie year="1950"><name>All About Eve</name></movie><movie><name>Up</name></movie></movies>"#,
+        )
+        .unwrap();
+        let mut db = MctDatabase::new();
+        let black = db.add_color("black");
+        let roots = import_document(&mut db, &doc, black);
+        assert_eq!(roots.len(), 1);
+        db.check_invariants();
+        let movies = roots[0];
+        assert_eq!(db.name_str(movies), Some("movies"));
+        let kids: Vec<_> = db.children(movies, black).collect();
+        assert_eq!(kids.len(), 2);
+        assert_eq!(db.attr(kids[0], "year"), Some("1950"));
+        let name = db.child_named(kids[0], "name", black).unwrap();
+        assert_eq!(db.content(name), Some("All About Eve"));
+        assert_eq!(db.string_value(movies, black).unwrap(), "All About EveUp");
+    }
+
+    #[test]
+    fn roundtrip_import_export() {
+        let src = r#"<a x="1"><b>text</b><c><d>deep</d></c></a>"#;
+        let doc = parse(src).unwrap();
+        let mut db = MctDatabase::new();
+        let c = db.add_color("black");
+        import_document(&mut db, &doc, c);
+        let out = export_color(&db, c);
+        assert_eq!(write_document(&out, &WriteOptions::default()), src);
+    }
+
+    #[test]
+    fn export_one_color_of_multicolored_db() {
+        let mut db = MctDatabase::new();
+        let red = db.add_color("red");
+        let green = db.add_color("green");
+        let r = db.new_element("red-root", red);
+        db.append_child(McNodeId::DOCUMENT, r, red);
+        let g = db.new_element("green-root", green);
+        db.append_child(McNodeId::DOCUMENT, g, green);
+        let shared = db.new_element("shared", red);
+        db.set_content(shared, "x");
+        db.append_child(r, shared, red);
+        db.add_node_color(shared, green);
+        db.append_child(g, shared, green);
+
+        let red_doc = export_color(&db, red);
+        let green_doc = export_color(&db, green);
+        let red_xml = write_document(&red_doc, &WriteOptions::default());
+        let green_xml = write_document(&green_doc, &WriteOptions::default());
+        assert_eq!(red_xml, "<red-root><shared>x</shared></red-root>");
+        assert_eq!(green_xml, "<green-root><shared>x</shared></green-root>");
+    }
+
+    #[test]
+    fn mixed_content_is_concatenated() {
+        let doc = parse("<m>hello <b>brave</b> world</m>").unwrap();
+        let mut db = MctDatabase::new();
+        let c = db.add_color("black");
+        let roots = import_document(&mut db, &doc, c);
+        assert_eq!(db.content(roots[0]), Some("hello  world"));
+        let b = db.child_named(roots[0], "b", c).unwrap();
+        assert_eq!(db.content(b), Some("brave"));
+    }
+}

@@ -1,0 +1,1219 @@
+//! The MCXQuery interpreter.
+//!
+//! Navigational evaluation of parsed expressions against a
+//! [`StoredDb`]. This is the *specification-level* evaluator used by
+//! examples and tests; the benchmark queries run hand-picked physical
+//! plans from [`crate::ops`] instead, exactly as the paper did ("we
+//! manually specified the query plan").
+//!
+//! Semantics implemented from §4:
+//!
+//! * colored location steps — every step resolves its `{color}` (or
+//!   inherits the context's default color) and navigates that tree;
+//!   step results come back in the step color's local order;
+//! * enclosed expressions **retain node identity** (§4.2);
+//! * `createCopy` makes fresh copies; `createColor` adds a color to a
+//!   constructed (or existing) sequence, materializing the constructed
+//!   edges in that colored tree;
+//! * attaching one node twice into the same colored tree raises the
+//!   paper's *dynamic error* (the `dupl-problem` example).
+
+use crate::ast::*;
+use mct_core::{ColorId, McNodeId, StoredDb};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An item in the XQuery data model sense. Nodes remember the color
+/// of the step that located them (used by updates and ordering).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Item {
+    /// A node plus its provenance color.
+    Node(McNodeId, Option<ColorId>),
+    /// A string value.
+    Str(String),
+    /// A number.
+    Num(f64),
+    /// A boolean.
+    Bool(bool),
+}
+
+/// A sequence of items — every MCXQuery value.
+pub type Sequence = Vec<Item>;
+
+/// Evaluation errors, including the paper's dynamic error for
+/// duplicate nodes in a constructed colored tree.
+#[derive(Debug)]
+pub enum EvalError {
+    /// Storage-layer failure.
+    Storage(mct_storage::StorageError),
+    /// Unknown variable reference.
+    UnknownVar(String),
+    /// Unknown color literal.
+    UnknownColor(String),
+    /// A step had no color and no default color exists.
+    NoColor,
+    /// The §4.2 dynamic error: a node would occur twice in one colored
+    /// tree of a constructed result.
+    DuplicateNode(McNodeId, String),
+    /// Anything else (type errors, unsupported forms).
+    Dynamic(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Storage(e) => write!(f, "storage error: {e}"),
+            EvalError::UnknownVar(v) => write!(f, "unknown variable ${v}"),
+            EvalError::UnknownColor(c) => write!(f, "unknown color {{{c}}}"),
+            EvalError::NoColor => write!(f, "location step without a color specification"),
+            EvalError::DuplicateNode(n, color) => write!(
+                f,
+                "dynamic error: node {n:?} occurs more than once in colored tree {{{color}}}"
+            ),
+            EvalError::Dynamic(m) => write!(f, "dynamic error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<mct_storage::StorageError> for EvalError {
+    fn from(e: mct_storage::StorageError) -> Self {
+        EvalError::Storage(e)
+    }
+}
+
+/// Result alias.
+pub type EvalResult<T> = Result<T, EvalError>;
+
+/// Evaluation context: the stored database, variable bindings, the
+/// context item, and the pending construction edges.
+pub struct EvalContext<'a> {
+    /// The database queried and (for constructors/updates) mutated.
+    pub stored: &'a mut StoredDb,
+    /// Default color for steps without a `{color}` (plain XQuery over
+    /// a single-colored database).
+    pub default_color: Option<ColorId>,
+    vars: HashMap<String, Sequence>,
+    context_item: Option<Item>,
+    /// Children attached by element constructors, not yet materialized
+    /// in any colored tree (until `createColor`).
+    pending: HashMap<McNodeId, Vec<McNodeId>>,
+}
+
+impl<'a> EvalContext<'a> {
+    /// Fresh context over a stored database.
+    pub fn new(stored: &'a mut StoredDb) -> Self {
+        EvalContext {
+            stored,
+            default_color: None,
+            vars: HashMap::new(),
+            context_item: None,
+            pending: HashMap::new(),
+        }
+    }
+
+    /// Set the default color by name (for single-color XQuery).
+    pub fn with_default_color(mut self, name: &str) -> EvalResult<Self> {
+        let c = self
+            .stored
+            .db
+            .color(name)
+            .ok_or_else(|| EvalError::UnknownColor(name.to_string()))?;
+        self.default_color = Some(c);
+        Ok(self)
+    }
+
+    /// Bind a variable.
+    pub fn bind(&mut self, name: &str, value: Sequence) {
+        self.vars.insert(name.to_string(), value);
+    }
+
+    /// Read a variable binding.
+    pub fn var(&self, name: &str) -> Option<&Sequence> {
+        self.vars.get(name)
+    }
+
+    /// Set a variable, returning the previous binding.
+    pub fn set_var(&mut self, name: &str, value: Sequence) -> Option<Sequence> {
+        self.vars.insert(name.to_string(), value)
+    }
+
+    /// Restore a previous binding from [`Self::set_var`].
+    pub fn restore_var(&mut self, name: &str, old: Option<Sequence>) {
+        match old {
+            Some(v) => {
+                self.vars.insert(name.to_string(), v);
+            }
+            None => {
+                self.vars.remove(name);
+            }
+        }
+    }
+
+    /// Take (and clear) the pending construction edges — used by
+    /// update execution to capture a constructed fragment's structure.
+    pub fn take_pending(&mut self) -> HashMap<McNodeId, Vec<McNodeId>> {
+        std::mem::take(&mut self.pending)
+    }
+
+    fn resolve_color(&self, spec: &Option<String>) -> EvalResult<ColorId> {
+        match spec {
+            Some(name) => self
+                .stored
+                .db
+                .color(name)
+                .ok_or_else(|| EvalError::UnknownColor(name.clone())),
+            None => self.default_color.ok_or(EvalError::NoColor),
+        }
+    }
+}
+
+/// Evaluate a parsed expression.
+pub fn eval(ctx: &mut EvalContext<'_>, e: &Expr) -> EvalResult<Sequence> {
+    match e {
+        Expr::Lit(Literal::Str(s)) => Ok(vec![Item::Str(s.clone())]),
+        Expr::Lit(Literal::Num(n)) => Ok(vec![Item::Num(*n)]),
+        Expr::Path(p) => eval_path(ctx, p),
+        Expr::Cmp(l, op, r) => {
+            let lv = eval(ctx, l)?;
+            let rv = eval(ctx, r)?;
+            Ok(vec![Item::Bool(general_compare(ctx, &lv, *op, &rv))])
+        }
+        Expr::And(l, r) => {
+            let lv = eval(ctx, l)?;
+            if !effective_boolean(&lv) {
+                return Ok(vec![Item::Bool(false)]);
+            }
+            let rv = eval(ctx, r)?;
+            Ok(vec![Item::Bool(effective_boolean(&rv))])
+        }
+        Expr::Or(l, r) => {
+            let lv = eval(ctx, l)?;
+            if effective_boolean(&lv) {
+                return Ok(vec![Item::Bool(true)]);
+            }
+            let rv = eval(ctx, r)?;
+            Ok(vec![Item::Bool(effective_boolean(&rv))])
+        }
+        Expr::Call(name, args) => eval_call(ctx, name, args),
+        Expr::Flwor(f) => eval_flwor(ctx, f),
+        Expr::Ctor(c) => {
+            let n = eval_ctor(ctx, c)?;
+            Ok(vec![Item::Node(n, None)])
+        }
+        Expr::Sequence(items) => {
+            let mut out = Vec::new();
+            for i in items {
+                out.extend(eval(ctx, i)?);
+            }
+            Ok(out)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Paths
+// ---------------------------------------------------------------------------
+
+fn eval_path(ctx: &mut EvalContext<'_>, p: &PathExpr) -> EvalResult<Sequence> {
+    let mut current: Sequence = match &p.start {
+        PathStart::Document(_) => vec![Item::Node(McNodeId::DOCUMENT, None)],
+        PathStart::Var(v) => ctx
+            .vars
+            .get(v)
+            .cloned()
+            .ok_or_else(|| EvalError::UnknownVar(v.clone()))?,
+        PathStart::Context => ctx
+            .context_item
+            .clone()
+            .map(|i| vec![i])
+            .unwrap_or_default(),
+    };
+    for step in &p.steps {
+        current = eval_step(ctx, &current, step)?;
+    }
+    Ok(current)
+}
+
+fn eval_step(ctx: &mut EvalContext<'_>, input: &Sequence, step: &Step) -> EvalResult<Sequence> {
+    // Attribute steps produce strings and need no tree.
+    if step.axis == Axis::Attribute {
+        let NodeTest::Name(aname) = &step.test else {
+            return Err(EvalError::Dynamic("attribute step needs a name".into()));
+        };
+        let mut out = Vec::new();
+        for item in input {
+            if let Item::Node(n, _) = item {
+                if let Some(v) = ctx.stored.db.attr(*n, aname) {
+                    out.push(Item::Str(v.to_string()));
+                }
+            }
+        }
+        return Ok(out);
+    }
+    let c = ctx.resolve_color(&step.color)?;
+    ctx.stored.db.ensure_annotated(c);
+    let mut nodes: Vec<McNodeId> = Vec::new();
+    for item in input {
+        let Item::Node(n, _) = item else { continue };
+        let n = *n;
+        match step.axis {
+            Axis::Child => nodes.extend(ctx.stored.db.children(n, c)),
+            Axis::Descendant => nodes.extend(ctx.stored.db.descendants(n, c)),
+            Axis::DescendantOrSelf => nodes.extend(ctx.stored.db.descendants_or_self(n, c)),
+            Axis::Parent => nodes.extend(ctx.stored.db.parent(n, c)),
+            Axis::Ancestor => nodes.extend(ctx.stored.db.ancestors(n, c)),
+            Axis::AncestorOrSelf => {
+                if ctx.stored.db.colors(n).contains(c) || n == McNodeId::DOCUMENT {
+                    nodes.push(n);
+                }
+                nodes.extend(ctx.stored.db.ancestors(n, c));
+            }
+            Axis::SelfAxis => {
+                if ctx.stored.db.colors(n).contains(c) || n == McNodeId::DOCUMENT {
+                    nodes.push(n);
+                }
+            }
+            Axis::Attribute => unreachable!(),
+        }
+    }
+    // Node test.
+    nodes.retain(|&n| match &step.test {
+        NodeTest::AnyNode => true,
+        NodeTest::AnyElement => ctx.stored.db.name_str(n).is_some(),
+        NodeTest::Name(want) => ctx.stored.db.name_str(n) == Some(want.as_str()),
+    });
+    // Local order of the step color + dedup (path semantics).
+    nodes.sort_by_key(|&n| ctx.stored.db.code(n, c).map(|cd| cd.start).unwrap_or(0));
+    nodes.dedup();
+    // Predicates. A predicate evaluating to a single number is a
+    // POSITION test (XPath: `movie[2]` = the second movie), applied
+    // against the sequence surviving the previous predicates.
+    let mut survivors = nodes;
+    for pred in &step.predicates {
+        let mut next = Vec::with_capacity(survivors.len());
+        for (pos, &n) in survivors.iter().enumerate() {
+            let saved = ctx.context_item.replace(Item::Node(n, Some(c)));
+            let v = eval(ctx, pred);
+            ctx.context_item = saved;
+            let v = v?;
+            let keep = match v.as_slice() {
+                [Item::Num(want)] => (pos + 1) as f64 == *want,
+                _ => effective_boolean(&v),
+            };
+            if keep {
+                next.push(n);
+            }
+        }
+        survivors = next;
+    }
+    Ok(survivors
+        .into_iter()
+        .map(|n| Item::Node(n, Some(c)))
+        .collect())
+}
+
+// ---------------------------------------------------------------------------
+// Atomization & comparison
+// ---------------------------------------------------------------------------
+
+/// Atomize an item to a string (nodes use their string value in their
+/// provenance color, falling back to direct content).
+pub fn atomize(ctx: &EvalContext<'_>, item: &Item) -> String {
+    match item {
+        Item::Str(s) => s.clone(),
+        Item::Num(n) => format_num(*n),
+        Item::Bool(b) => b.to_string(),
+        Item::Node(n, c) => {
+            let db = &ctx.stored.db;
+            // In this data model an element's text is a single content
+            // record (see mct-core's physical modeling note), so a node
+            // with direct content atomizes to exactly that — its
+            // children are separate elements, not text fragments.
+            if let Some(content) = db.content(*n) {
+                return content.to_string();
+            }
+            // Content-less elements atomize to their subtree text in
+            // the provenance color (classic string-value), falling
+            // back to any clean color.
+            if let Some(c) = c {
+                if !db.is_dirty(*c) {
+                    if let Some(v) = db.string_value(*n, *c) {
+                        return v;
+                    }
+                }
+            }
+            for c in db.colors(*n).iter() {
+                if !db.is_dirty(c) {
+                    if let Some(v) = db.string_value(*n, c) {
+                        return v;
+                    }
+                }
+            }
+            String::new()
+        }
+    }
+}
+
+fn format_num(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+/// XPath general comparison: existential over both sequences.
+pub fn general_compare(ctx: &EvalContext<'_>, l: &Sequence, op: CmpOp, r: &Sequence) -> bool {
+    for a in l {
+        for b in r {
+            // Two nodes compare by identity — the comparison the
+            // paper's Q3 `{red}descendant::movie[. = $m]` relies on
+            // (a multi-colored node is the *same* node in every tree).
+            if let (Item::Node(na, _), Item::Node(nb, _)) = (a, b) {
+                let hit = match op {
+                    CmpOp::Eq => na == nb,
+                    CmpOp::Ne => na != nb,
+                    _ => false,
+                };
+                if hit {
+                    return true;
+                }
+                continue;
+            }
+            let sa = atomize(ctx, a);
+            let sb = atomize(ctx, b);
+            let hit = match (sa.trim().parse::<f64>(), sb.trim().parse::<f64>()) {
+                (Ok(na), Ok(nb)) => match op {
+                    CmpOp::Eq => na == nb,
+                    CmpOp::Ne => na != nb,
+                    CmpOp::Lt => na < nb,
+                    CmpOp::Le => na <= nb,
+                    CmpOp::Gt => na > nb,
+                    CmpOp::Ge => na >= nb,
+                },
+                _ => match op {
+                    CmpOp::Eq => sa == sb,
+                    CmpOp::Ne => sa != sb,
+                    CmpOp::Lt => sa < sb,
+                    CmpOp::Le => sa <= sb,
+                    CmpOp::Gt => sa > sb,
+                    CmpOp::Ge => sa >= sb,
+                },
+            };
+            if hit {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// XPath effective boolean value.
+pub fn effective_boolean(seq: &Sequence) -> bool {
+    match seq.first() {
+        None => false,
+        Some(Item::Bool(b)) if seq.len() == 1 => *b,
+        Some(Item::Num(n)) if seq.len() == 1 => *n != 0.0,
+        Some(Item::Str(s)) if seq.len() == 1 => !s.is_empty(),
+        Some(_) => true,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Functions
+// ---------------------------------------------------------------------------
+
+fn eval_call(ctx: &mut EvalContext<'_>, name: &str, args: &[Expr]) -> EvalResult<Sequence> {
+    match name {
+        "contains" => {
+            expect_args(name, args, 2)?;
+            let hay = eval(ctx, &args[0])?;
+            let needle = eval(ctx, &args[1])?;
+            let needle = needle.first().map(|i| atomize(ctx, i)).unwrap_or_default();
+            let hit = hay.iter().any(|h| atomize(ctx, h).contains(&needle));
+            Ok(vec![Item::Bool(hit)])
+        }
+        "count" => {
+            expect_args(name, args, 1)?;
+            let v = eval(ctx, &args[0])?;
+            Ok(vec![Item::Num(v.len() as f64)])
+        }
+        "empty" => {
+            expect_args(name, args, 1)?;
+            let v = eval(ctx, &args[0])?;
+            Ok(vec![Item::Bool(v.is_empty())])
+        }
+        "not" => {
+            expect_args(name, args, 1)?;
+            let v = eval(ctx, &args[0])?;
+            Ok(vec![Item::Bool(!effective_boolean(&v))])
+        }
+        "string" => {
+            expect_args(name, args, 1)?;
+            let v = eval(ctx, &args[0])?;
+            Ok(vec![Item::Str(
+                v.first().map(|i| atomize(ctx, i)).unwrap_or_default(),
+            )])
+        }
+        "number" => {
+            expect_args(name, args, 1)?;
+            let v = eval(ctx, &args[0])?;
+            let n = v
+                .first()
+                .map(|i| atomize(ctx, i))
+                .and_then(|s| s.trim().parse().ok())
+                .unwrap_or(f64::NAN);
+            Ok(vec![Item::Num(n)])
+        }
+        "starts-with" => {
+            expect_args(name, args, 2)?;
+            let hay = eval(ctx, &args[0])?;
+            let prefix = eval(ctx, &args[1])?;
+            let prefix = prefix.first().map(|i| atomize(ctx, i)).unwrap_or_default();
+            let hit = hay.iter().any(|h| atomize(ctx, h).starts_with(&prefix));
+            Ok(vec![Item::Bool(hit)])
+        }
+        "string-length" => {
+            expect_args(name, args, 1)?;
+            let v = eval(ctx, &args[0])?;
+            let len = v
+                .first()
+                .map(|i| atomize(ctx, i).chars().count())
+                .unwrap_or(0);
+            Ok(vec![Item::Num(len as f64)])
+        }
+        "concat" => {
+            let mut out = String::new();
+            for a in args {
+                let v = eval(ctx, a)?;
+                for i in &v {
+                    out.push_str(&atomize(ctx, i));
+                }
+            }
+            Ok(vec![Item::Str(out)])
+        }
+        "sum" | "avg" | "min" | "max" => {
+            expect_args(name, args, 1)?;
+            let v = eval(ctx, &args[0])?;
+            let nums: Vec<f64> = v
+                .iter()
+                .filter_map(|i| atomize(ctx, i).trim().parse().ok())
+                .collect();
+            if nums.is_empty() {
+                return Ok(if name == "sum" {
+                    vec![Item::Num(0.0)]
+                } else {
+                    vec![] // empty sequence for avg/min/max of nothing
+                });
+            }
+            let r = match name {
+                "sum" => nums.iter().sum(),
+                "avg" => nums.iter().sum::<f64>() / nums.len() as f64,
+                "min" => nums.iter().copied().fold(f64::INFINITY, f64::min),
+                _ => nums.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            };
+            Ok(vec![Item::Num(r)])
+        }
+        "distinct-values" => {
+            expect_args(name, args, 1)?;
+            let v = eval(ctx, &args[0])?;
+            let mut seen = std::collections::HashSet::new();
+            let mut out = Vec::new();
+            for i in &v {
+                let s = atomize(ctx, i);
+                if seen.insert(s.clone()) {
+                    out.push(Item::Str(s));
+                }
+            }
+            Ok(out)
+        }
+        "createCopy" => {
+            expect_args(name, args, 1)?;
+            let v = eval(ctx, &args[0])?;
+            let mut out = Vec::new();
+            for item in v {
+                match item {
+                    Item::Node(n, c) => {
+                        let copy = deep_copy(ctx, n, c)?;
+                        out.push(Item::Node(copy, None));
+                    }
+                    other => out.push(other),
+                }
+            }
+            Ok(out)
+        }
+        "createColor" => {
+            expect_args(name, args, 2)?;
+            let color_name = color_literal(ctx, &args[0])?;
+            let v = eval(ctx, &args[1])?;
+            let c = ctx.stored.db.add_color(&color_name);
+            for item in &v {
+                if let Item::Node(n, _) = item {
+                    materialize_color(ctx, *n, c, &color_name)?;
+                }
+            }
+            Ok(v)
+        }
+        other => Err(EvalError::Dynamic(format!("unknown function {other}()"))),
+    }
+}
+
+fn expect_args(name: &str, args: &[Expr], n: usize) -> EvalResult<()> {
+    if args.len() == n {
+        Ok(())
+    } else {
+        Err(EvalError::Dynamic(format!(
+            "{name}() expects {n} argument(s), got {}",
+            args.len()
+        )))
+    }
+}
+
+/// `createColor`'s first argument: a quoted string, or a bare name the
+/// parser read as a relative one-step path (the paper writes
+/// `createColor(black, ...)`).
+fn color_literal(ctx: &mut EvalContext<'_>, e: &Expr) -> EvalResult<String> {
+    match e {
+        Expr::Lit(Literal::Str(s)) => Ok(s.clone()),
+        Expr::Path(p)
+            if p.start == PathStart::Context
+                && p.steps.len() == 1
+                && p.steps[0].axis == Axis::Child
+                && p.steps[0].predicates.is_empty() =>
+        {
+            if let NodeTest::Name(n) = &p.steps[0].test {
+                Ok(n.clone())
+            } else {
+                Err(EvalError::Dynamic("bad color literal".into()))
+            }
+        }
+        _ => {
+            let v = eval(ctx, e)?;
+            v.first()
+                .map(|i| atomize(ctx, i))
+                .ok_or_else(|| EvalError::Dynamic("empty color literal".into()))
+        }
+    }
+}
+
+/// Add `c` to node `n` and materialize its *pending* construction
+/// edges in tree `c`, recursively. Existing nodes keep their identity
+/// (and their structure in other colors). Raises the §4.2 dynamic
+/// error if a node would be attached twice in `c`.
+fn materialize_color(
+    ctx: &mut EvalContext<'_>,
+    n: McNodeId,
+    c: ColorId,
+    color_name: &str,
+) -> EvalResult<()> {
+    if !ctx.stored.db.colors(n).contains(c) {
+        ctx.stored.db.add_node_color(n, c);
+    }
+    let children = ctx.pending.get(&n).cloned().unwrap_or_default();
+    for child in children {
+        // Duplicate-occurrence dynamic error check.
+        if ctx.stored.db.parent(child, c).is_some() {
+            return Err(EvalError::DuplicateNode(child, color_name.to_string()));
+        }
+        materialize_color(ctx, child, c, color_name)?;
+        ctx.stored.db.append_child(n, child, c);
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Constructors
+// ---------------------------------------------------------------------------
+
+fn eval_ctor(ctx: &mut EvalContext<'_>, ctor: &Constructor) -> EvalResult<McNodeId> {
+    let el = ctx.stored.db.new_element_uncolored(&ctor.name);
+    for (n, v) in &ctor.attrs {
+        ctx.stored.db.set_attr(el, n, v);
+    }
+    let mut text = String::new();
+    let mut children: Vec<McNodeId> = Vec::new();
+    for item in &ctor.children {
+        match item {
+            ConstructorItem::Text(t) => text.push_str(t),
+            ConstructorItem::Element(inner) => {
+                children.push(eval_ctor(ctx, inner)?);
+            }
+            ConstructorItem::Enclosed(e) => {
+                // Identity-preserving: node items become children with
+                // their existing identity (§4.2); atomic items become
+                // text content.
+                let v = eval(ctx, e)?;
+                for it in v {
+                    match it {
+                        Item::Node(n, _) => children.push(n),
+                        other => {
+                            let ctx_ref = &*ctx;
+                            text.push_str(&atomize(ctx_ref, &other));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if !text.is_empty() {
+        ctx.stored.db.set_content(el, &text);
+    }
+    if !children.is_empty() {
+        ctx.pending.insert(el, children);
+    }
+    Ok(el)
+}
+
+fn deep_copy(
+    ctx: &mut EvalContext<'_>,
+    n: McNodeId,
+    color: Option<ColorId>,
+) -> EvalResult<McNodeId> {
+    let name = ctx
+        .stored
+        .db
+        .name_str(n)
+        .ok_or_else(|| EvalError::Dynamic("createCopy of a non-element".into()))?
+        .to_string();
+    let copy = ctx.stored.db.new_element_uncolored(&name);
+    let attrs: Vec<(String, String)> = ctx
+        .stored
+        .db
+        .node(n)
+        .attrs
+        .iter()
+        .map(|(s, v)| (ctx.stored.db.names.resolve(*s).to_string(), v.to_string()))
+        .collect();
+    for (an, av) in attrs {
+        ctx.stored.db.set_attr(copy, &an, &av);
+    }
+    if let Some(content) = ctx.stored.db.content(n).map(str::to_string) {
+        ctx.stored.db.set_content(copy, &content);
+    }
+    // Copy the subtree structure in the provenance color, if any.
+    if let Some(c) = color {
+        let children: Vec<McNodeId> = ctx.stored.db.children(n, c).collect();
+        let mut copies = Vec::with_capacity(children.len());
+        for child in children {
+            copies.push(deep_copy(ctx, child, Some(c))?);
+        }
+        if !copies.is_empty() {
+            ctx.pending.insert(copy, copies);
+        }
+    }
+    Ok(copy)
+}
+
+// ---------------------------------------------------------------------------
+// FLWOR
+// ---------------------------------------------------------------------------
+
+fn eval_flwor(ctx: &mut EvalContext<'_>, f: &Flwor) -> EvalResult<Sequence> {
+    let mut out: Vec<(Vec<String>, Sequence)> = Vec::new();
+    bind_clauses(ctx, f, 0, &mut out)?;
+    if !f.order_by.is_empty() {
+        out.sort_by(|(ka, _), (kb, _)| {
+            for (a, b) in ka.iter().zip(kb) {
+                let ord = match (a.trim().parse::<f64>(), b.trim().parse::<f64>()) {
+                    (Ok(na), Ok(nb)) => na.partial_cmp(&nb).unwrap_or(std::cmp::Ordering::Equal),
+                    _ => a.cmp(b),
+                };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+    Ok(out.into_iter().flat_map(|(_, seq)| seq).collect())
+}
+
+fn bind_clauses(
+    ctx: &mut EvalContext<'_>,
+    f: &Flwor,
+    depth: usize,
+    out: &mut Vec<(Vec<String>, Sequence)>,
+) -> EvalResult<()> {
+    if depth == f.clauses.len() {
+        // where / order-by / return.
+        if let Some(w) = &f.where_ {
+            let v = eval(ctx, w)?;
+            if !effective_boolean(&v) {
+                return Ok(());
+            }
+        }
+        let mut keys = Vec::with_capacity(f.order_by.len());
+        for (k, asc) in &f.order_by {
+            let v = eval(ctx, k)?;
+            let mut key = v.first().map(|i| atomize(ctx, i)).unwrap_or_default();
+            if !*asc {
+                // Descending: invert by prefixing an ordering flip
+                // marker is fragile; simplest is to negate numbers and
+                // reverse-compare strings via a transformed key.
+                key = invert_key(&key);
+            }
+            keys.push(key);
+        }
+        let r = eval(ctx, &f.ret)?;
+        out.push((keys, r));
+        return Ok(());
+    }
+    match &f.clauses[depth] {
+        FlworClause::For(var, src) => {
+            let items = eval(ctx, src)?;
+            for item in items {
+                let old = ctx.vars.insert(var.clone(), vec![item]);
+                bind_clauses(ctx, f, depth + 1, out)?;
+                restore(ctx, var, old);
+            }
+            Ok(())
+        }
+        FlworClause::Let(var, src) => {
+            let v = eval(ctx, src)?;
+            let old = ctx.vars.insert(var.clone(), v);
+            bind_clauses(ctx, f, depth + 1, out)?;
+            restore(ctx, var, old);
+            Ok(())
+        }
+    }
+}
+
+fn restore(ctx: &mut EvalContext<'_>, var: &str, old: Option<Sequence>) {
+    match old {
+        Some(v) => {
+            ctx.vars.insert(var.to_string(), v);
+        }
+        None => {
+            ctx.vars.remove(var);
+        }
+    }
+}
+
+fn invert_key(key: &str) -> String {
+    if let Ok(n) = key.trim().parse::<f64>() {
+        return format!("{:020.6}", 1e15 - n);
+    }
+    // Invert bytes for descending string order.
+    key.bytes().map(|b| (255 - b) as char).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_query, parse_update};
+    use mct_core::{McNodeId, MctDatabase, StoredDb};
+
+    /// The Figure 2 movie database (genre/award/actor hierarchies).
+    fn movie_db() -> StoredDb {
+        let mut db = MctDatabase::new();
+        let red = db.add_color("red");
+        let green = db.add_color("green");
+        let blue = db.add_color("blue");
+
+        // Red: movie-genre hierarchy (Comedy with sub-genre Slapstick).
+        let comedy = db.new_element("movie-genre", red);
+        db.append_child(McNodeId::DOCUMENT, comedy, red);
+        let cname = db.new_element("name", red);
+        db.set_content(cname, "Comedy");
+        db.append_child(comedy, cname, red);
+
+        // Green: award hierarchy.
+        let award = db.new_element("movie-award", green);
+        db.append_child(McNodeId::DOCUMENT, award, green);
+        let aname = db.new_element("name", green);
+        db.set_content(aname, "Oscar-1950");
+        db.append_child(award, aname, green);
+
+        // Blue: actors.
+        let actor = db.new_element("actor", blue);
+        db.append_child(McNodeId::DOCUMENT, actor, blue);
+        let actname = db.new_element("name", blue);
+        db.set_content(actname, "Bette Davis");
+        db.append_child(actor, actname, blue);
+
+        // Movies: "All About Eve" (red+green, role by Bette), "Evil Fun"
+        // (red only), "Other" (red+green).
+        let m1 = db.new_element("movie", red);
+        db.append_child(comedy, m1, red);
+        db.add_node_color(m1, green);
+        db.append_child(award, m1, green);
+        let m1n = db.new_element("name", red);
+        db.set_content(m1n, "All About Eve");
+        db.append_child(m1, m1n, red);
+        db.add_node_color(m1n, green);
+        db.append_child(m1, m1n, green);
+        let votes = db.new_element("votes", green);
+        db.set_content(votes, "11");
+        db.append_child(m1, votes, green);
+        let role = db.new_element("movie-role", red);
+        db.append_child(m1, role, red);
+        db.add_node_color(role, blue);
+        db.append_child(actor, role, blue);
+        let rname = db.new_element("name", red);
+        db.set_content(rname, "Margo");
+        db.append_child(role, rname, red);
+
+        let m2 = db.new_element("movie", red);
+        db.append_child(comedy, m2, red);
+        let m2n = db.new_element("name", red);
+        db.set_content(m2n, "Evil Fun");
+        db.append_child(m2, m2n, red);
+
+        let m3 = db.new_element("movie", red);
+        db.append_child(comedy, m3, red);
+        db.add_node_color(m3, green);
+        db.append_child(award, m3, green);
+        let m3n = db.new_element("name", red);
+        db.set_content(m3n, "Other Story");
+        db.append_child(m3, m3n, red);
+        db.add_node_color(m3n, green);
+        db.append_child(m3, m3n, green);
+        let votes3 = db.new_element("votes", green);
+        db.set_content(votes3, "7");
+        db.append_child(m3, votes3, green);
+
+        StoredDb::build(db, 8 * 1024 * 1024).unwrap()
+    }
+
+    fn run(s: &mut StoredDb, q: &str) -> Sequence {
+        let e = parse_query(q).unwrap();
+        let mut ctx = EvalContext::new(s);
+        eval(&mut ctx, &e).unwrap()
+    }
+
+    fn strings(s: &mut StoredDb, q: &str) -> Vec<String> {
+        let e = parse_query(q).unwrap();
+        let mut ctx = EvalContext::new(s);
+        let v = eval(&mut ctx, &e).unwrap();
+        let ctx2 = EvalContext::new(s);
+        v.iter().map(|i| atomize(&ctx2, i)).collect()
+    }
+
+    #[test]
+    fn q1_comedy_movies_named_eve() {
+        let mut s = movie_db();
+        let out = strings(
+            &mut s,
+            r#"for $m in document("mdb.xml")/{red}descendant::movie-genre[{red}child::name = "Comedy"]/
+                    {red}descendant::movie[contains({red}child::name, "Eve")]
+               return $m/{red}child::name"#,
+        );
+        assert_eq!(out, vec!["All About Eve"]);
+    }
+
+    #[test]
+    fn q2_adds_green_membership_condition() {
+        let mut s = movie_db();
+        // Paper Q2: comedy + Oscar-nominated + name contains Eve.
+        let out = strings(
+            &mut s,
+            r#"for $m in document("mdb.xml")/{red}descendant::movie-genre[{red}child::name = "Comedy"]/
+                    {red}descendant::movie[contains({red}child::name, "Eve")],
+                $m2 in document("mdb.xml")/{green}descendant::movie-award
+                    [contains({green}child::name, "Oscar")]/{green}descendant::movie
+               where $m = $m2
+               return $m/{red}child::name"#,
+        );
+        // `$m = $m2` compares node identity: the movie is the SAME
+        // node in the red and green trees.
+        assert_eq!(out, vec!["All About Eve"]);
+    }
+
+    #[test]
+    fn q4_multicolor_single_path() {
+        let mut s = movie_db();
+        // Movies with votes > 10 → their roles (red) → actors (blue).
+        let out = strings(
+            &mut s,
+            r#"for $a in document("mdb.xml")/{green}descendant::movie-award
+                    [contains({green}child::name, "Oscar")]/{green}descendant::movie
+                    [{green}child::votes > 10]/{red}child::movie-role/{blue}parent::actor
+               return $a/{blue}child::name"#,
+        );
+        assert_eq!(out, vec!["Bette Davis"]);
+    }
+
+    #[test]
+    fn parent_axis_with_color() {
+        let mut s = movie_db();
+        let out = strings(
+            &mut s,
+            r#"document("m")/{blue}descendant::movie-role/{red}parent::movie/{red}child::name"#,
+        );
+        assert_eq!(out, vec!["All About Eve"]);
+    }
+
+    #[test]
+    fn color_incompatibility_empties_step() {
+        let mut s = movie_db();
+        let out = run(
+            &mut s,
+            r#"document("m")/{blue}descendant::movie-genre"#,
+        );
+        assert!(out.is_empty(), "genre nodes are not blue");
+    }
+
+    #[test]
+    fn votes_comparison_numeric() {
+        let mut s = movie_db();
+        let out = strings(
+            &mut s,
+            r#"for $m in document("m")/{green}descendant::movie[{green}child::votes > 10]
+               return $m/{green}child::name"#,
+        );
+        assert_eq!(out, vec!["All About Eve"]);
+    }
+
+    #[test]
+    fn constructor_retains_identity() {
+        let mut s = movie_db();
+        let e = parse_query(
+            r#"for $m in document("m")/{green}descendant::movie
+               return createColor("black", <m-name> { $m/{green}child::name } </m-name>)"#,
+        )
+        .unwrap();
+        let mut ctx = EvalContext::new(&mut s);
+        let out = eval(&mut ctx, &e).unwrap();
+        assert_eq!(out.len(), 2);
+        let black = s.db.color("black").unwrap();
+        for item in &out {
+            let Item::Node(n, _) = item else { panic!() };
+            assert_eq!(s.db.name_str(*n), Some("m-name"));
+            // Its black child is the ORIGINAL name node (identity kept).
+            let kids: Vec<_> = s.db.children(*n, black).collect();
+            assert_eq!(kids.len(), 1);
+            let red = s.db.color("red").unwrap();
+            assert!(
+                s.db.colors(kids[0]).contains(red),
+                "child is the original (red) node, not a copy"
+            );
+        }
+    }
+
+    #[test]
+    fn create_copy_breaks_identity() {
+        let mut s = movie_db();
+        let e = parse_query(
+            r#"for $m in document("m")/{green}descendant::movie
+               return createColor("black", <m-name> { createCopy($m/{green}child::name) } </m-name>)"#,
+        )
+        .unwrap();
+        let mut ctx = EvalContext::new(&mut s);
+        let out = eval(&mut ctx, &e).unwrap();
+        let black = s.db.color("black").unwrap();
+        let red = s.db.color("red").unwrap();
+        for item in &out {
+            let Item::Node(n, _) = item else { panic!() };
+            let kids: Vec<_> = s.db.children(*n, black).collect();
+            assert_eq!(kids.len(), 1);
+            assert!(
+                !s.db.colors(kids[0]).contains(red),
+                "copy must be a fresh node"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_node_raises_dynamic_error() {
+        let mut s = movie_db();
+        // The paper's dupl-problem constructor.
+        let e = parse_query(
+            r#"for $m in document("m")/{green}descendant::movie[{green}child::votes > 10]
+               return createColor("black", <dupl-problem>
+                   <m1> { $m/{green}child::name } </m1>
+                   <m2> { $m/{green}child::name } </m2>
+               </dupl-problem>)"#,
+        )
+        .unwrap();
+        let mut ctx = EvalContext::new(&mut s);
+        let err = eval(&mut ctx, &e).unwrap_err();
+        assert!(matches!(err, EvalError::DuplicateNode(..)), "{err}");
+    }
+
+    #[test]
+    fn q5_restructuring_group_by_votes() {
+        let mut s = movie_db();
+        // Figure 3 Q5 (votes ascending; result per Figure 7).
+        let e = parse_query(
+            r#"createColor("black", <byvotes> {
+                 for $v in distinct-values(document("m")/{green}descendant::votes)
+                 order by $v
+                 return
+                   <award-byvotes> {
+                     for $m in document("m")/{green}descendant::movie[{green}child::votes = $v]
+                     return $m
+                   } <votes> { $v } </votes>
+                   </award-byvotes>
+               } </byvotes>)"#,
+        )
+        .unwrap();
+        let mut ctx = EvalContext::new(&mut s);
+        let out = eval(&mut ctx, &e).unwrap();
+        assert_eq!(out.len(), 1);
+        let Item::Node(byvotes, _) = out[0] else { panic!() };
+        let black = s.db.color("black").unwrap();
+        let groups: Vec<_> = s.db.children(byvotes, black).collect();
+        assert_eq!(groups.len(), 2, "votes 7 and 11");
+        // Each group: movie (reused identity!) + new votes node.
+        let g0: Vec<_> = s.db.children(groups[0], black).collect();
+        assert_eq!(g0.len(), 2);
+        let green = s.db.color("green").unwrap();
+        assert!(s.db.colors(g0[0]).contains(green), "movie identity reused");
+        // Movies now have three colors (red, green, black) per §4.3.
+        assert_eq!(s.db.colors(g0[0]).len(), 3);
+        let votes_el = g0[1];
+        assert_eq!(s.db.name_str(votes_el), Some("votes"));
+        assert_eq!(s.db.content(votes_el), Some("7"), "ascending order");
+    }
+
+    #[test]
+    fn order_by_descending() {
+        let mut s = movie_db();
+        let out = strings(
+            &mut s,
+            r#"for $v in distinct-values(document("m")/{green}descendant::votes)
+               order by $v descending
+               return $v"#,
+        );
+        assert_eq!(out, vec!["11", "7"]);
+    }
+
+    #[test]
+    fn let_and_count() {
+        let mut s = movie_db();
+        let out = strings(
+            &mut s,
+            r#"let $m := document("m")/{red}descendant::movie
+               return count($m)"#,
+        );
+        assert_eq!(out, vec!["3"]);
+    }
+
+    #[test]
+    fn attribute_step() {
+        let mut s = movie_db();
+        // Add an attribute then query it.
+        let red = s.db.color("red").unwrap();
+        let movies = s.postings_named(red, "movie").unwrap();
+        s.db.set_attr(movies[0].node, "rating", "PG");
+        let out = strings(
+            &mut s,
+            r#"document("m")/{red}descendant::movie/@rating"#,
+        );
+        assert_eq!(out, vec!["PG"]);
+    }
+
+    #[test]
+    fn unknown_color_is_an_error() {
+        let mut s = movie_db();
+        let e = parse_query(r#"document("m")/{chartreuse}descendant::movie"#).unwrap();
+        let mut ctx = EvalContext::new(&mut s);
+        assert!(matches!(
+            eval(&mut ctx, &e),
+            Err(EvalError::UnknownColor(_))
+        ));
+    }
+
+    #[test]
+    fn default_color_inherited_when_unspecified() {
+        let mut s = movie_db();
+        let e = parse_query(r#"document("m")/descendant::movie"#).unwrap();
+        let mut ctx = EvalContext::new(&mut s).with_default_color("red").unwrap();
+        let out = eval(&mut ctx, &e).unwrap();
+        assert_eq!(out.len(), 3);
+        // Without a default color, the same query errors.
+        let mut ctx2 = EvalContext::new(&mut s);
+        assert!(matches!(eval(&mut ctx2, &e), Err(EvalError::NoColor)));
+    }
+
+    #[test]
+    fn positional_predicates() {
+        let mut s = movie_db();
+        // The second red movie.
+        let out = strings(
+            &mut s,
+            r#"document("m")/{red}descendant::movie[2]/{red}child::name"#,
+        );
+        assert_eq!(out, vec!["Evil Fun"]);
+        // Position after a filtering predicate.
+        let out = strings(
+            &mut s,
+            r#"document("m")/{green}descendant::movie[{green}child::votes > 0][1]/{green}child::name"#,
+        );
+        assert_eq!(out, vec!["All About Eve"]);
+    }
+
+    #[test]
+    fn ancestor_or_self_axis() {
+        let mut s = movie_db();
+        let out = run(
+            &mut s,
+            r#"document("m")/{red}descendant::movie-role/{red}ancestor-or-self::movie-role"#,
+        );
+        assert_eq!(out.len(), 1);
+        let out2 = run(
+            &mut s,
+            r#"document("m")/{red}descendant::movie-role/{red}ancestor-or-self::node()"#,
+        );
+        // role + movie + genre + document.
+        assert_eq!(out2.len(), 4);
+    }
+
+    #[test]
+    fn aggregate_functions() {
+        let mut s = movie_db();
+        let out = strings(
+            &mut s,
+            r#"sum(document("m")/{green}descendant::votes)"#,
+        );
+        assert_eq!(out, vec!["18"]); // 11 + 7
+        let out = strings(
+            &mut s,
+            r#"max(document("m")/{green}descendant::votes)"#,
+        );
+        assert_eq!(out, vec!["11"]);
+        let out = strings(
+            &mut s,
+            r#"avg(document("m")/{green}descendant::votes)"#,
+        );
+        assert_eq!(out, vec!["9"]);
+        let out = strings(&mut s, r#"min(document("m")/{green}descendant::votes)"#);
+        assert_eq!(out, vec!["7"]);
+    }
+
+    #[test]
+    fn string_functions() {
+        let mut s = movie_db();
+        let out = strings(
+            &mut s,
+            r#"for $m in document("m")/{red}descendant::movie[starts-with({red}child::name, "All")]
+               return string-length($m/{red}child::name)"#,
+        );
+        assert_eq!(out, vec!["13"]); // "All About Eve"
+        let out = strings(&mut s, r#"concat("a", "b", 3)"#);
+        assert_eq!(out, vec!["ab3"]);
+    }
+
+    #[test]
+    fn update_replace_value() {
+        let mut s = movie_db();
+        let u = parse_update(
+            r#"for $m in document("m")/{green}descendant::movie
+               where $m/{green}child::votes = 7
+               update $m {
+                   replace value of $m/{green}child::votes with "8"
+               }"#,
+        )
+        .unwrap();
+        let n = crate::update::execute_update(&mut s, &u).unwrap();
+        assert_eq!(n, 1);
+        let out = strings(
+            &mut s,
+            r#"document("m")/{green}descendant::movie/{green}child::votes"#,
+        );
+        assert!(out.contains(&"8".to_string()));
+        assert!(!out.contains(&"7".to_string()));
+    }
+}

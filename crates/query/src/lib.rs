@@ -1,0 +1,41 @@
+//! # mct-query — the MCXQuery language and engine
+//!
+//! The query side of the MCT system (§4 of the paper):
+//!
+//! * [`ast`] — MCXQuery abstract syntax (color-decorated steps, FLWOR,
+//!   constructors, updates) and the Figure 11/12 complexity metrics.
+//! * [`parser`] — recursive-descent parser for the MCXQuery subset.
+//! * [`ops`] — the physical operator algebra: stack-tree structural
+//!   join, PathStack holistic chain join, hash value join, nested-loop
+//!   inequality join, cross-tree (color transition) operator,
+//!   selections, duplicate elimination.
+//! * [`mod@eval`] — the navigational interpreter (FLWOR, identity-
+//!   preserving construction, `createColor` / `createCopy`, the
+//!   duplicate-occurrence dynamic error).
+//! * [`plan`] — a heuristic physical planner for colored path
+//!   expressions (the paper's "future work" optimizer): single-color
+//!   chains run holistically, color changes become cross-tree joins.
+//! * [`twig`] — branching holistic twig joins (TwigStack) for tree
+//!   patterns, complementing the chain join in [`ops`].
+//! * [`update`] — two-phase color-aware update execution.
+//!
+//! Benchmark queries use hand-written plans over [`ops`] — the paper
+//! "manually specified the query plan, always choosing the one
+//! expected to be the best" — while examples and tests exercise the
+//! interpreter.
+
+pub mod ast;
+pub mod eval;
+pub mod ops;
+pub mod parser;
+pub mod plan;
+pub mod twig;
+pub mod update;
+
+pub use ast::{complexity, update_complexity, Complexity, Expr, UpdateStmt};
+pub use eval::{eval, EvalContext, EvalError, Item, Sequence};
+pub use ops::{Rel, Tuple};
+pub use parser::{parse_query, parse_update, QueryParseError};
+pub use plan::{plan_path, PathPlan, PlanError};
+pub use twig::{holistic_twig_join, naive_twig_join, TwigNode};
+pub use update::{execute_update, execute_update_with, UpdateOutcome};

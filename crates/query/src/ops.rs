@@ -1,0 +1,751 @@
+//! The physical operator algebra.
+//!
+//! Bulk (operator-at-a-time) operators over posting lists, in the
+//! style of Timber's algebra that the paper's implementation used:
+//!
+//! * [`index_scan`] — tag-index posting list for one color.
+//! * [`structural_join`] — the **stack-tree** binary structural join of
+//!   Al-Khalifa et al. \[2\]: merges two lists sorted by start using a
+//!   stack of open ancestors; `O(|A| + |D| + |out|)`.
+//! * [`holistic_path_join`] — the **PathStack** holistic chain join of
+//!   Bruno et al. \[8\]: linked stacks, one per query node, no
+//!   intermediate results for the chain. (Branching twigs decompose
+//!   into chains joined on the branch element, as Timber did.)
+//! * [`value_join_eq`] — hash join on content/attribute values (the
+//!   shallow schema's ID/IDREF joins).
+//! * [`nl_join_cmp`] — block nested-loop join for inequality
+//!   predicates; quadratic, exactly the behaviour the paper observed.
+//! * [`cross_tree_op`] — the color-transition operator (§6.2) over
+//!   tuple streams, built on [`mct_core::cross_tree_join`]'s probe.
+//! * selections ([`select_contains`], [`select_content_eq`],
+//!   [`select_number_cmp`], [`select_attr_eq`]), [`dup_elim`],
+//!   [`project`], [`sort_by_col`].
+//!
+//! Tuples are just `Vec<StructRef>` with positional columns; joins
+//! concatenate the outer and inner tuples.
+
+use mct_core::{ColorId, StoredDb, StructRef};
+use std::collections::HashMap;
+
+/// A tuple of structural references (positional columns).
+pub type Tuple = Vec<StructRef>;
+
+/// Structural relationship tested by a join.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Rel {
+    /// Parent-child (level difference exactly 1).
+    Child,
+    /// Ancestor-descendant (strict containment).
+    Descendant,
+}
+
+/// How to extract a join key from a node.
+#[derive(Clone, Debug)]
+pub enum KeySpec {
+    /// The element's content string.
+    Content,
+    /// The value of a named attribute.
+    Attr(String),
+    /// Whitespace-separated tokens of a named attribute (IDREFS).
+    AttrTokens(String),
+}
+
+/// Comparison for numeric joins/selections.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NumCmp {
+    /// `=`
+    Eq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `!=`
+    Ne,
+}
+
+impl NumCmp {
+    /// Apply the comparison.
+    pub fn test(self, a: f64, b: f64) -> bool {
+        match self {
+            NumCmp::Eq => a == b,
+            NumCmp::Lt => a < b,
+            NumCmp::Le => a <= b,
+            NumCmp::Gt => a > b,
+            NumCmp::Ge => a >= b,
+            NumCmp::Ne => a != b,
+        }
+    }
+}
+
+/// Scan a tag's posting list in color `c`, producing 1-column tuples
+/// in local document order.
+pub fn index_scan(
+    s: &mut StoredDb,
+    c: ColorId,
+    tag: &str,
+) -> mct_storage::Result<Vec<Tuple>> {
+    Ok(s.postings_named(c, tag)?.into_iter().map(|r| vec![r]).collect())
+}
+
+/// Stack-tree structural join. Inputs must be sorted by `code.start`
+/// of the join columns (posting lists already are). Produces
+/// `outer ++ inner` tuples sorted by the inner (descendant) column.
+pub fn structural_join(
+    outer: &[Tuple],
+    ocol: usize,
+    inner: &[Tuple],
+    icol: usize,
+    rel: Rel,
+) -> Vec<Tuple> {
+    debug_assert!(is_sorted_by(outer, ocol));
+    debug_assert!(is_sorted_by(inner, icol));
+    let mut out = Vec::new();
+    // Stack holds indexes into `outer` of currently open ancestors.
+    let mut stack: Vec<usize> = Vec::new();
+    let mut oi = 0usize;
+    for it in inner {
+        let d = it[icol].code;
+        // Open every ancestor candidate starting before d.
+        while oi < outer.len() && outer[oi][ocol].code.start < d.start {
+            let a = outer[oi][ocol].code;
+            // Close stack entries that end before this ancestor starts.
+            while let Some(&top) = stack.last() {
+                if outer[top][ocol].code.end < a.start {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            stack.push(oi);
+            oi += 1;
+        }
+        // Close entries that end before d starts.
+        while let Some(&top) = stack.last() {
+            if outer[top][ocol].code.end < d.start {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        // Every remaining open entry containing d matches (they are
+        // nested, so all of them contain d if they are still open and
+        // d.end fits).
+        for &ai in &stack {
+            let a = outer[ai][ocol].code;
+            if !a.is_ancestor_of(&d) {
+                continue;
+            }
+            if rel == Rel::Child && a.level + 1 != d.level {
+                continue;
+            }
+            let mut t = outer[ai].clone();
+            t.extend_from_slice(it);
+            out.push(t);
+        }
+    }
+    out
+}
+
+/// Naive nested-loop structural join — the test oracle.
+pub fn naive_structural_join(
+    outer: &[Tuple],
+    ocol: usize,
+    inner: &[Tuple],
+    icol: usize,
+    rel: Rel,
+) -> Vec<Tuple> {
+    let mut out = Vec::new();
+    for it in inner {
+        for ot in outer {
+            let a = ot[ocol].code;
+            let d = it[icol].code;
+            let hit = match rel {
+                Rel::Child => a.is_parent_of(&d),
+                Rel::Descendant => a.is_ancestor_of(&d),
+            };
+            if hit {
+                let mut t = ot.clone();
+                t.extend_from_slice(it);
+                out.push(t);
+            }
+        }
+    }
+    out
+}
+
+/// PathStack holistic join over a chain `q0 rel0 q1 rel1 ... qk`.
+/// `lists[i]` is the (start-sorted) posting list for chain node `i`;
+/// `rels[i]` relates `q_i` (ancestor side) to `q_{i+1}`. Produces one
+/// tuple per root-to-leaf match, columns in chain order.
+pub fn holistic_path_join(lists: &[Vec<StructRef>], rels: &[Rel]) -> Vec<Tuple> {
+    assert_eq!(lists.len(), rels.len() + 1, "k+1 lists need k relations");
+    let k = lists.len();
+    if k == 1 {
+        return lists[0].iter().map(|&r| vec![r]).collect();
+    }
+    // Per-node stacks of (ref, parent_stack_top_index_at_push).
+    let mut stacks: Vec<Vec<(StructRef, usize)>> = vec![Vec::new(); k];
+    let mut cursors = vec![0usize; k];
+    let mut out = Vec::new();
+    loop {
+        // qmin: the list whose next element has the smallest start.
+        let mut qmin = usize::MAX;
+        let mut min_start = u32::MAX;
+        for (i, list) in lists.iter().enumerate() {
+            if cursors[i] < list.len() && list[cursors[i]].code.start < min_start {
+                min_start = list[cursors[i]].code.start;
+                qmin = i;
+            }
+        }
+        if qmin == usize::MAX {
+            break;
+        }
+        let next = lists[qmin][cursors[qmin]];
+        cursors[qmin] += 1;
+        // Clean every stack: pop entries whose interval ended.
+        for st in stacks.iter_mut() {
+            while let Some(&(top, _)) = st.last() {
+                if top.code.end < next.code.start {
+                    st.pop();
+                } else {
+                    break;
+                }
+            }
+        }
+        // Push only when the parent stack is non-empty (or root).
+        if qmin == 0 || !stacks[qmin - 1].is_empty() {
+            let parent_top = if qmin == 0 {
+                0
+            } else {
+                stacks[qmin - 1].len() - 1
+            };
+            stacks[qmin].push((next, parent_top));
+            if qmin == k - 1 {
+                // Leaf push: emit all root-to-leaf combinations ending
+                // at this leaf.
+                expand(&stacks, rels, k - 1, stacks[k - 1].len() - 1, &mut out);
+            }
+        }
+    }
+    // Output in leaf (document) order already; each tuple is
+    // [q0, q1, ..., qk].
+    out
+}
+
+/// Emit every root-to-leaf tuple whose level-`level` column is
+/// `stacks[level][idx]` (called exactly when a leaf is pushed).
+fn expand(
+    stacks: &[Vec<(StructRef, usize)>],
+    rels: &[Rel],
+    level: usize,
+    idx: usize,
+    out: &mut Vec<Tuple>,
+) {
+    for mut t in paths_to(stacks, rels, level, idx) {
+        t.reverse(); // built leaf→root; emit root→leaf
+        out.push(t);
+    }
+}
+
+/// All partial tuples `[entry, parent, ..., root]` (leaf first) ending
+/// at `stacks[level][idx]`, honouring the per-edge relations and the
+/// parent-stack bound captured at push time.
+fn paths_to(
+    stacks: &[Vec<(StructRef, usize)>],
+    rels: &[Rel],
+    level: usize,
+    idx: usize,
+) -> Vec<Vec<StructRef>> {
+    let (r, parent_top) = stacks[level][idx];
+    if level == 0 {
+        return vec![vec![r]];
+    }
+    let mut result = Vec::new();
+    let bound = parent_top.min(stacks[level - 1].len().saturating_sub(1));
+    for i in 0..=bound {
+        let (a, _) = stacks[level - 1][i];
+        if !a.code.is_ancestor_of(&r.code) {
+            continue;
+        }
+        if rels[level - 1] == Rel::Child && a.code.level + 1 != r.code.level {
+            continue;
+        }
+        for mut p in paths_to(stacks, rels, level - 1, i) {
+            p.insert(0, r);
+            result.push(p);
+        }
+    }
+    result
+}
+
+/// Hash equality join on extracted string keys. Builds on the right,
+/// probes with the left; output order follows the left input.
+pub fn value_join_eq(
+    s: &mut StoredDb,
+    left: &[Tuple],
+    lcol: usize,
+    lkey: &KeySpec,
+    right: &[Tuple],
+    rcol: usize,
+    rkey: &KeySpec,
+) -> mct_storage::Result<Vec<Tuple>> {
+    let mut table: HashMap<String, Vec<usize>> = HashMap::with_capacity(right.len());
+    for (i, t) in right.iter().enumerate() {
+        for key in extract_keys(s, t[rcol], rkey)? {
+            table.entry(key).or_default().push(i);
+        }
+    }
+    let mut out = Vec::new();
+    for lt in left {
+        for key in extract_keys(s, lt[lcol], lkey)? {
+            if let Some(matches) = table.get(&key) {
+                for &ri in matches {
+                    let mut t = lt.clone();
+                    t.extend_from_slice(&right[ri]);
+                    out.push(t);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Nested-loop join on a numeric comparison — quadratic by design
+/// (this is the inequality value join whose scaling the paper calls
+/// out in §7.2).
+pub fn nl_join_cmp(
+    s: &mut StoredDb,
+    left: &[Tuple],
+    lcol: usize,
+    right: &[Tuple],
+    rcol: usize,
+    cmp: NumCmp,
+) -> mct_storage::Result<Vec<Tuple>> {
+    // Pre-fetch the numeric values once per side (still O(n*m) pairs).
+    let lvals = fetch_numbers(s, left, lcol)?;
+    let rvals = fetch_numbers(s, right, rcol)?;
+    let mut out = Vec::new();
+    for (lt, lv) in left.iter().zip(&lvals) {
+        let Some(lv) = lv else { continue };
+        for (rt, rv) in right.iter().zip(&rvals) {
+            let Some(rv) = rv else { continue };
+            if cmp.test(*lv, *rv) {
+                let mut t = lt.clone();
+                t.extend_from_slice(rt);
+                out.push(t);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The color-transition operator: replace column `col`'s structural
+/// reference with its counterpart in color `to` (dropping tuples whose
+/// node lacks the color), then re-sort by that column. Uses the
+/// paper's link-probe join.
+pub fn cross_tree_op(
+    s: &mut StoredDb,
+    input: Vec<Tuple>,
+    col: usize,
+    to: ColorId,
+) -> mct_storage::Result<Vec<Tuple>> {
+    let mut out = Vec::with_capacity(input.len());
+    for mut t in input {
+        if let Some(code) = s.link_probe(t[col].node, to)? {
+            t[col] = StructRef {
+                node: t[col].node,
+                code,
+            };
+            out.push(t);
+        }
+    }
+    out.sort_by_key(|t| t[col].code.start);
+    Ok(out)
+}
+
+/// Keep tuples whose `col` content contains `needle`.
+pub fn select_contains(
+    s: &mut StoredDb,
+    input: Vec<Tuple>,
+    col: usize,
+    needle: &str,
+) -> mct_storage::Result<Vec<Tuple>> {
+    let mut out = Vec::new();
+    for t in input {
+        if let Some(content) = s.fetch_content(t[col].node)? {
+            if content.contains(needle) {
+                out.push(t);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Keep tuples whose `col` content equals `value` exactly.
+pub fn select_content_eq(
+    s: &mut StoredDb,
+    input: Vec<Tuple>,
+    col: usize,
+    value: &str,
+) -> mct_storage::Result<Vec<Tuple>> {
+    let mut out = Vec::new();
+    for t in input {
+        if s.fetch_content(t[col].node)?.as_deref() == Some(value) {
+            out.push(t);
+        }
+    }
+    Ok(out)
+}
+
+/// Keep tuples whose `col` content compares `cmp` against `k`.
+pub fn select_number_cmp(
+    s: &mut StoredDb,
+    input: Vec<Tuple>,
+    col: usize,
+    cmp: NumCmp,
+    k: f64,
+) -> mct_storage::Result<Vec<Tuple>> {
+    let mut out = Vec::new();
+    for t in input {
+        if let Some(content) = s.fetch_content(t[col].node)? {
+            if let Ok(v) = content.trim().parse::<f64>() {
+                if cmp.test(v, k) {
+                    out.push(t);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Keep tuples whose `col` attribute `name` equals `value`.
+pub fn select_attr_eq(
+    s: &mut StoredDb,
+    input: Vec<Tuple>,
+    col: usize,
+    name: &str,
+    value: &str,
+) -> mct_storage::Result<Vec<Tuple>> {
+    let mut out = Vec::new();
+    for t in input {
+        let attrs = s.fetch_attrs(t[col].node)?;
+        if attrs.iter().any(|(n, v)| n == name && v == value) {
+            out.push(t);
+        }
+    }
+    Ok(out)
+}
+
+/// Remove duplicate tuples, comparing the node ids of `cols`.
+/// Preserves first-occurrence order.
+pub fn dup_elim(input: Vec<Tuple>, cols: &[usize]) -> Vec<Tuple> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::with_capacity(input.len());
+    for t in input {
+        let key: Vec<u32> = cols.iter().map(|&c| t[c].node.0).collect();
+        if seen.insert(key) {
+            out.push(t);
+        }
+    }
+    out
+}
+
+/// Project tuples onto `cols` (in the given order).
+pub fn project(input: Vec<Tuple>, cols: &[usize]) -> Vec<Tuple> {
+    input
+        .into_iter()
+        .map(|t| cols.iter().map(|&c| t[c]).collect())
+        .collect()
+}
+
+/// Sort tuples by the start code of `col`.
+pub fn sort_by_col(mut input: Vec<Tuple>, col: usize) -> Vec<Tuple> {
+    input.sort_by_key(|t| t[col].code.start);
+    input
+}
+
+fn is_sorted_by(tuples: &[Tuple], col: usize) -> bool {
+    tuples
+        .windows(2)
+        .all(|w| w[0][col].code.start <= w[1][col].code.start)
+}
+
+fn extract_keys(
+    s: &mut StoredDb,
+    r: StructRef,
+    spec: &KeySpec,
+) -> mct_storage::Result<Vec<String>> {
+    Ok(match spec {
+        KeySpec::Content => s.fetch_content(r.node)?.map(|c| vec![c]).unwrap_or_default(),
+        KeySpec::Attr(name) => {
+            let attrs = s.fetch_attrs(r.node)?;
+            attrs
+                .into_iter()
+                .filter(|(n, _)| n == name)
+                .map(|(_, v)| v)
+                .collect()
+        }
+        KeySpec::AttrTokens(name) => {
+            let attrs = s.fetch_attrs(r.node)?;
+            attrs
+                .into_iter()
+                .filter(|(n, _)| n == name)
+                .flat_map(|(_, v)| v.split_whitespace().map(str::to_string).collect::<Vec<_>>())
+                .collect()
+        }
+    })
+}
+
+fn fetch_numbers(
+    s: &mut StoredDb,
+    tuples: &[Tuple],
+    col: usize,
+) -> mct_storage::Result<Vec<Option<f64>>> {
+    let mut out = Vec::with_capacity(tuples.len());
+    for t in tuples {
+        let v = s
+            .fetch_content(t[col].node)?
+            .and_then(|c| c.trim().parse::<f64>().ok());
+        out.push(v);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mct_core::{McNodeId, MctDatabase, StoredDb};
+
+    /// genre > movie > (name, role*) in red; award > movie in green for
+    /// even movies; actor > role in blue.
+    fn stored() -> StoredDb {
+        let mut db = MctDatabase::new();
+        let red = db.add_color("red");
+        let green = db.add_color("green");
+        let blue = db.add_color("blue");
+        let genre = db.new_element("genre", red);
+        db.set_content(genre, "Comedy");
+        db.append_child(McNodeId::DOCUMENT, genre, red);
+        let award = db.new_element("award", green);
+        db.set_content(award, "Oscar");
+        db.append_child(McNodeId::DOCUMENT, award, green);
+        let actor = db.new_element("actor", blue);
+        db.set_content(actor, "Bette Davis");
+        db.append_child(McNodeId::DOCUMENT, actor, blue);
+        for i in 0..8 {
+            let m = db.new_element("movie", red);
+            db.set_attr(m, "id", &format!("m{i}"));
+            db.append_child(genre, m, red);
+            let name = db.new_element("name", red);
+            db.set_content(name, &format!("Movie {i}"));
+            db.append_child(m, name, red);
+            let votes = db.new_element("votes", red);
+            db.set_content(votes, &format!("{}", i * 10));
+            db.append_child(m, votes, red);
+            if i % 2 == 0 {
+                db.add_node_color(m, green);
+                db.append_child(award, m, green);
+            }
+            if i % 4 == 0 {
+                let role = db.new_element("role", red);
+                db.set_attr(role, "movieIdRef", &format!("m{i}"));
+                db.append_child(m, role, red);
+                db.add_node_color(role, blue);
+                db.append_child(actor, role, blue);
+            }
+        }
+        StoredDb::build(db, 8 * 1024 * 1024).unwrap()
+    }
+
+    #[test]
+    fn structural_join_matches_naive() {
+        let mut s = stored();
+        let red = s.db.color("red").unwrap();
+        let genres = index_scan(&mut s, red, "genre").unwrap();
+        let movies = index_scan(&mut s, red, "movie").unwrap();
+        let names = index_scan(&mut s, red, "name").unwrap();
+        for rel in [Rel::Child, Rel::Descendant] {
+            let fast = structural_join(&genres, 0, &movies, 0, rel);
+            let slow = naive_structural_join(&genres, 0, &movies, 0, rel);
+            assert_eq!(fast.len(), slow.len(), "{rel:?}");
+            assert_eq!(fast.len(), 8);
+        }
+        // genre//name is descendant but not child.
+        let desc = structural_join(&genres, 0, &names, 0, Rel::Descendant);
+        let child = structural_join(&genres, 0, &names, 0, Rel::Child);
+        assert_eq!(desc.len(), 8);
+        assert_eq!(child.len(), 0);
+    }
+
+    #[test]
+    fn structural_join_tuple_concatenation() {
+        let mut s = stored();
+        let red = s.db.color("red").unwrap();
+        let movies = index_scan(&mut s, red, "movie").unwrap();
+        let names = index_scan(&mut s, red, "name").unwrap();
+        let joined = structural_join(&movies, 0, &names, 0, Rel::Child);
+        assert!(joined.iter().all(|t| t.len() == 2));
+        for t in &joined {
+            assert!(t[0].code.is_parent_of(&t[1].code));
+        }
+    }
+
+    #[test]
+    fn holistic_chain_equals_binary_composition() {
+        let mut s = stored();
+        let red = s.db.color("red").unwrap();
+        let genres: Vec<_> = s.postings_named(red, "genre").unwrap();
+        let movies: Vec<_> = s.postings_named(red, "movie").unwrap();
+        let names: Vec<_> = s.postings_named(red, "name").unwrap();
+        let holistic = holistic_path_join(
+            &[genres.clone(), movies.clone(), names.clone()],
+            &[Rel::Descendant, Rel::Child],
+        );
+        // Binary composition oracle.
+        let g: Vec<Tuple> = genres.iter().map(|&r| vec![r]).collect();
+        let m: Vec<Tuple> = movies.iter().map(|&r| vec![r]).collect();
+        let n: Vec<Tuple> = names.iter().map(|&r| vec![r]).collect();
+        let gm = structural_join(&g, 0, &m, 0, Rel::Descendant);
+        let gm = sort_by_col(gm, 1);
+        let gmn = structural_join(&gm, 1, &n, 0, Rel::Child);
+        assert_eq!(holistic.len(), gmn.len());
+        assert_eq!(holistic.len(), 8);
+        let mut a: Vec<Vec<u32>> = holistic
+            .iter()
+            .map(|t| t.iter().map(|r| r.node.0).collect())
+            .collect();
+        let mut b: Vec<Vec<u32>> = gmn
+            .iter()
+            .map(|t| t.iter().map(|r| r.node.0).collect())
+            .collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn holistic_single_list_passthrough() {
+        let mut s = stored();
+        let red = s.db.color("red").unwrap();
+        let movies: Vec<_> = s.postings_named(red, "movie").unwrap();
+        let out = holistic_path_join(std::slice::from_ref(&movies), &[]);
+        assert_eq!(out.len(), movies.len());
+    }
+
+    #[test]
+    fn value_join_on_attribute() {
+        let mut s = stored();
+        let red = s.db.color("red").unwrap();
+        let movies = index_scan(&mut s, red, "movie").unwrap();
+        let roles = index_scan(&mut s, red, "role").unwrap();
+        let joined = value_join_eq(
+            &mut s,
+            &roles,
+            0,
+            &KeySpec::Attr("movieIdRef".into()),
+            &movies,
+            0,
+            &KeySpec::Attr("id".into()),
+        )
+        .unwrap();
+        assert_eq!(joined.len(), 2, "roles exist for movies 0 and 4");
+        for t in &joined {
+            let role_ref = s.fetch_attrs(t[0].node).unwrap();
+            let movie_id = s.fetch_attrs(t[1].node).unwrap();
+            assert_eq!(role_ref[0].1, movie_id[0].1);
+        }
+    }
+
+    #[test]
+    fn value_join_idrefs_tokens() {
+        // Build a tiny db with an IDREFS attribute.
+        let mut db = MctDatabase::new();
+        let c = db.add_color("black");
+        let root = db.new_element("root", c);
+        db.append_child(McNodeId::DOCUMENT, root, c);
+        let a = db.new_element("a", c);
+        db.set_attr(a, "refs", "x y z");
+        db.append_child(root, a, c);
+        for id in ["x", "y", "w"] {
+            let b = db.new_element("b", c);
+            db.set_attr(b, "id", id);
+            db.append_child(root, b, c);
+        }
+        let mut s = StoredDb::build(db, 1024 * 1024).unwrap();
+        let as_ = index_scan(&mut s, c, "a").unwrap();
+        let bs = index_scan(&mut s, c, "b").unwrap();
+        let joined = value_join_eq(
+            &mut s,
+            &as_,
+            0,
+            &KeySpec::AttrTokens("refs".into()),
+            &bs,
+            0,
+            &KeySpec::Attr("id".into()),
+        )
+        .unwrap();
+        assert_eq!(joined.len(), 2, "x and y match, z has no target, w unreferenced");
+    }
+
+    #[test]
+    fn nested_loop_inequality_join() {
+        let mut s = stored();
+        let red = s.db.color("red").unwrap();
+        let votes = index_scan(&mut s, red, "votes").unwrap();
+        // votes > votes: strict pairs among 0,10,...,70 → 28 pairs.
+        let joined = nl_join_cmp(&mut s, &votes, 0, &votes, 0, NumCmp::Gt).unwrap();
+        assert_eq!(joined.len(), 28);
+    }
+
+    #[test]
+    fn cross_tree_op_changes_codes_and_order() {
+        let mut s = stored();
+        let red = s.db.color("red").unwrap();
+        let green = s.db.color("green").unwrap();
+        let movies = index_scan(&mut s, red, "movie").unwrap();
+        let crossed = cross_tree_op(&mut s, movies, 0, green).unwrap();
+        assert_eq!(crossed.len(), 4, "even movies are green");
+        for t in &crossed {
+            assert_eq!(
+                t[0].code.start,
+                s.db.code(t[0].node, green).unwrap().start
+            );
+        }
+        assert!(crossed.windows(2).all(|w| w[0][0].code.start <= w[1][0].code.start));
+    }
+
+    #[test]
+    fn selections() {
+        let mut s = stored();
+        let red = s.db.color("red").unwrap();
+        let names = index_scan(&mut s, red, "name").unwrap();
+        let eq = select_content_eq(&mut s, names.clone(), 0, "Movie 3").unwrap();
+        assert_eq!(eq.len(), 1);
+        let has = select_contains(&mut s, names.clone(), 0, "Movie").unwrap();
+        assert_eq!(has.len(), 8);
+        let votes = index_scan(&mut s, red, "votes").unwrap();
+        let big = select_number_cmp(&mut s, votes, 0, NumCmp::Gt, 45.0).unwrap();
+        assert_eq!(big.len(), 3); // 50, 60, 70
+        let movies = index_scan(&mut s, red, "movie").unwrap();
+        let m3 = select_attr_eq(&mut s, movies, 0, "id", "m3").unwrap();
+        assert_eq!(m3.len(), 1);
+    }
+
+    #[test]
+    fn dup_elim_and_project() {
+        let mut s = stored();
+        let red = s.db.color("red").unwrap();
+        let movies = index_scan(&mut s, red, "movie").unwrap();
+        let names = index_scan(&mut s, red, "name").unwrap();
+        let joined = structural_join(&movies, 0, &names, 0, Rel::Child);
+        let only_movies = project(joined.clone(), &[0]);
+        assert!(only_movies.iter().all(|t| t.len() == 1));
+        let doubled: Vec<Tuple> = joined.iter().chain(joined.iter()).cloned().collect();
+        let unique = dup_elim(doubled, &[0, 1]);
+        assert_eq!(unique.len(), joined.len());
+    }
+}

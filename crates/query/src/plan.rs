@@ -1,0 +1,691 @@
+//! A heuristic physical planner for MCXQuery path expressions.
+//!
+//! The paper evaluated with hand-picked plans and left the optimizer
+//! as future work: "the query optimizer design is beyond the scope of
+//! this paper" (§6.2). This module implements the natural first
+//! optimizer for the MCT algebra:
+//!
+//! 1. **Segment** a colored path expression into maximal single-color
+//!    runs of downward steps (`child` / `descendant`).
+//! 2. Compile each run into index scans feeding a **holistic chain
+//!    join** (PathStack), with content/attribute predicates applied as
+//!    early as possible — on the scan output, before any join.
+//! 3. Join consecutive runs with the **cross-tree operator** when the
+//!    color changes (the paper's "evaluate a single-color query, then
+//!    a cross-tree join, before evaluating the next single-color
+//!    query" strategy), or with parent navigation for reverse steps.
+//! 4. Equality predicates against string literals prefer the
+//!    **content index** over a scan+filter when they bind the first
+//!    step (index-driven entry point).
+//!
+//! The planner handles the (large) fragment used by the paper's
+//! queries: absolute paths of forward steps with `parent` reverse
+//! steps, predicates comparing a child/attribute path to a literal,
+//! `contains`, and numeric comparisons. Anything outside the fragment
+//! is reported as [`PlanError::Unsupported`] so callers can fall back
+//! to the interpreter ([`crate::eval()`]).
+
+use crate::ast::{Axis, CmpOp, Expr, Literal, NodeTest, PathExpr, PathStart, Step};
+use crate::ops::{
+    self, cross_tree_op, dup_elim, holistic_path_join, select_attr_eq, select_contains,
+    select_content_eq, select_number_cmp, NumCmp, Rel, Tuple,
+};
+use mct_core::{ColorId, McNodeId, StoredDb, StructRef};
+use std::fmt;
+
+/// Chain under construction: `(color, tags, edge relations, per-tag
+/// predicates)`.
+type ChainAcc = (ColorId, Vec<String>, Vec<Rel>, Vec<Vec<CompiledPred>>);
+
+/// Planner failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// The expression is outside the planner's fragment; use the
+    /// interpreter instead.
+    Unsupported(String),
+    /// A color literal did not resolve.
+    UnknownColor(String),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Unsupported(what) => write!(f, "planner: unsupported construct: {what}"),
+            PlanError::UnknownColor(c) => write!(f, "planner: unknown color {{{c}}}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// A compiled plan: a sequence of physical operations.
+#[derive(Debug)]
+pub struct PathPlan {
+    stages: Vec<Stage>,
+}
+
+/// One pipeline stage (kept explainable for `EXPLAIN`-style output).
+#[derive(Debug)]
+enum Stage {
+    /// Index-driven entry: content-index lookup for `tag[pred = lit]`.
+    ContentEntry {
+        color: ColorId,
+        tag: String,
+        child_tag: String,
+        value: String,
+    },
+    /// A single-color chain of downward steps, run holistically.
+    Chain {
+        color: ColorId,
+        tags: Vec<String>,
+        rels: Vec<Rel>,
+        /// Predicates to apply per chain position, after the join.
+        preds: Vec<Vec<CompiledPred>>,
+    },
+    /// Color transition on the current head column.
+    CrossTree { to: ColorId },
+    /// Parent navigation in a color.
+    Parent { color: ColorId, tag: Option<String> },
+    /// Final duplicate elimination on the head column.
+    DupElim,
+}
+
+/// A predicate compiled to a physical selection.
+#[derive(Debug, Clone)]
+enum CompiledPred {
+    ContentEq { child: Option<String>, value: String },
+    ContentContains { child: Option<String>, value: String },
+    ContentCmp { child: Option<String>, cmp: NumCmp, value: f64 },
+    AttrEq { name: String, value: String },
+}
+
+impl PathPlan {
+    /// Human-readable plan description (EXPLAIN).
+    pub fn explain(&self, s: &StoredDb) -> String {
+        let mut out = String::new();
+        for (i, st) in self.stages.iter().enumerate() {
+            let line = match st {
+                Stage::ContentEntry { color, tag, child_tag, value } => format!(
+                    "content-index entry: {tag}[{child_tag} = {value:?}] in {{{}}}",
+                    s.db.palette.name(*color)
+                ),
+                Stage::Chain { color, tags, .. } => format!(
+                    "holistic chain join over {:?} in {{{}}}",
+                    tags,
+                    s.db.palette.name(*color)
+                ),
+                Stage::CrossTree { to } => {
+                    format!("cross-tree join -> {{{}}}", s.db.palette.name(*to))
+                }
+                Stage::Parent { color, tag } => format!(
+                    "parent step in {{{}}}{}",
+                    s.db.palette.name(*color),
+                    tag.as_deref()
+                        .map(|t| format!(" [{t}]"))
+                        .unwrap_or_default()
+                ),
+                Stage::DupElim => "duplicate elimination".to_string(),
+            };
+            out.push_str(&format!("{i}: {line}\n"));
+        }
+        out
+    }
+
+    /// Execute the plan, returning the final single-column tuples.
+    pub fn execute(&self, s: &mut StoredDb) -> mct_storage::Result<Vec<Tuple>> {
+        let mut current: Option<Vec<Tuple>> = None;
+        for st in &self.stages {
+            current = Some(match st {
+                Stage::ContentEntry { color, tag, child_tag, value } => {
+                    let hits = s.content_lookup(value)?;
+                    s.db.ensure_annotated(*color);
+                    let mut out = Vec::new();
+                    for n in hits {
+                        if s.db.name_str(n) != Some(child_tag.as_str()) {
+                            continue;
+                        }
+                        if let Some(p) = s.db.parent(n, *color) {
+                            if s.db.name_str(p) == Some(tag.as_str()) {
+                                if let Some(code) = s.db.code(p, *color) {
+                                    out.push(vec![StructRef { node: p, code }]);
+                                }
+                            }
+                        }
+                    }
+                    out.sort_by_key(|t| t[0].code.start);
+                    out.dedup_by_key(|t| t[0].node);
+                    out
+                }
+                Stage::Chain { color, tags, rels, preds } => {
+                    // Gather the posting lists; a leading `«pipeline»`
+                    // placeholder consumes the incoming tuples.
+                    let mut lists: Vec<Vec<StructRef>> = Vec::with_capacity(tags.len());
+                    let start = if tags.first().map(String::as_str) == Some("«pipeline»") {
+                        let cur = current.take().unwrap_or_default();
+                        lists.push(cur.into_iter().map(|t| t[0]).collect());
+                        1
+                    } else {
+                        0
+                    };
+                    for tag in &tags[start..] {
+                        lists.push(s.postings_named(*color, tag)?);
+                    }
+                    let joined = holistic_path_join(&lists, rels);
+                    // Apply per-position predicates, then project to the
+                    // last column.
+                    let mut tuples = joined;
+                    for (pos, ps) in preds.iter().enumerate() {
+                        for p in ps {
+                            tuples = apply_pred(s, tuples, pos, *color, p)?;
+                        }
+                    }
+                    ops::sort_by_col(ops::project(tuples, &[tags.len() - 1]), 0)
+                }
+                Stage::CrossTree { to } => {
+                    let cur = current.take().unwrap_or_default();
+                    cross_tree_op(s, cur, 0, *to)?
+                }
+                Stage::Parent { color, tag } => {
+                    let cur = current.take().unwrap_or_default();
+                    s.db.ensure_annotated(*color);
+                    let mut out = Vec::new();
+                    for t in cur {
+                        if let Some(p) = s.db.parent(t[0].node, *color) {
+                            if p == McNodeId::DOCUMENT {
+                                continue;
+                            }
+                            if let Some(want) = tag {
+                                if s.db.name_str(p) != Some(want.as_str()) {
+                                    continue;
+                                }
+                            }
+                            if let Some(code) = s.db.code(p, *color) {
+                                out.push(vec![StructRef { node: p, code }]);
+                            }
+                        }
+                    }
+                    out.sort_by_key(|t| t[0].code.start);
+                    out
+                }
+                Stage::DupElim => dup_elim(current.take().unwrap_or_default(), &[0]),
+            });
+        }
+        Ok(current.unwrap_or_default())
+    }
+}
+
+fn apply_pred(
+    s: &mut StoredDb,
+    tuples: Vec<Tuple>,
+    col: usize,
+    color: ColorId,
+    p: &CompiledPred,
+) -> mct_storage::Result<Vec<Tuple>> {
+    // Predicates on a named child evaluate against that child's content.
+    let resolve_child = |s: &mut StoredDb, tuples: Vec<Tuple>, child: &Option<String>| {
+        match child {
+            None => tuples,
+            Some(name) => {
+                s.db.ensure_annotated(color);
+                tuples
+                    .into_iter()
+                    .filter(|t| {
+                        s.db.children(t[col].node, color)
+                            .any(|ch| s.db.name_str(ch) == Some(name.as_str()))
+                    })
+                    .collect()
+            }
+        }
+    };
+    match p {
+        CompiledPred::AttrEq { name, value } => select_attr_eq(s, tuples, col, name, value),
+        CompiledPred::ContentEq { child: None, value } => {
+            select_content_eq(s, tuples, col, value)
+        }
+        CompiledPred::ContentContains { child: None, value } => {
+            select_contains(s, tuples, col, value)
+        }
+        CompiledPred::ContentCmp { child: None, cmp, value } => {
+            select_number_cmp(s, tuples, col, *cmp, *value)
+        }
+        // Child-targeted predicates: test every same-named child.
+        CompiledPred::ContentEq { child: Some(name), value } => {
+            let candidates = resolve_child(s, tuples, &Some(name.clone()));
+            filter_by_child(s, candidates, col, color, name, |c| c == value.as_str())
+        }
+        CompiledPred::ContentContains { child: Some(name), value } => {
+            let candidates = resolve_child(s, tuples, &Some(name.clone()));
+            filter_by_child(s, candidates, col, color, name, |c| c.contains(value.as_str()))
+        }
+        CompiledPred::ContentCmp { child: Some(name), cmp, value } => {
+            let candidates = resolve_child(s, tuples, &Some(name.clone()));
+            let cmp = *cmp;
+            let value = *value;
+            filter_by_child(s, candidates, col, color, name, move |c| {
+                c.trim().parse::<f64>().map(|v| cmp.test(v, value)).unwrap_or(false)
+            })
+        }
+    }
+}
+
+fn filter_by_child(
+    s: &mut StoredDb,
+    tuples: Vec<Tuple>,
+    col: usize,
+    color: ColorId,
+    child: &str,
+    test: impl Fn(&str) -> bool,
+) -> mct_storage::Result<Vec<Tuple>> {
+    s.db.ensure_annotated(color);
+    let mut out = Vec::new();
+    for t in tuples {
+        let kids: Vec<McNodeId> = s
+            .db
+            .children(t[col].node, color)
+            .filter(|&ch| s.db.name_str(ch) == Some(child))
+            .collect();
+        let mut hit = false;
+        for ch in kids {
+            if let Some(content) = s.fetch_content(ch)? {
+                if test(&content) {
+                    hit = true;
+                    break;
+                }
+            }
+        }
+        if hit {
+            out.push(t);
+        }
+    }
+    Ok(out)
+}
+
+/// Compile an absolute colored path expression into a physical plan.
+pub fn plan_path(s: &StoredDb, path: &PathExpr, dedup: bool) -> Result<PathPlan, PlanError> {
+    if path.start == PathStart::Context {
+        return Err(PlanError::Unsupported("relative path".into()));
+    }
+    if let PathStart::Var(v) = &path.start {
+        return Err(PlanError::Unsupported(format!("variable start ${v}")));
+    }
+    let mut stages: Vec<Stage> = Vec::new();
+    let mut current_color: Option<ColorId> = None;
+    let mut chain: Option<ChainAcc> = None;
+    // Whether a prior stage's output feeds the next chain.
+    let mut has_pipeline = false;
+
+    let flush = |stages: &mut Vec<Stage>,
+                 chain: &mut Option<ChainAcc>,
+                 has_pipeline: &mut bool| {
+        if let Some((color, tags, rels, preds)) = chain.take() {
+            stages.push(Stage::Chain { color, tags, rels, preds });
+            *has_pipeline = true;
+        }
+    };
+
+    for step in &path.steps {
+        let color = resolve_color(s, step)?;
+        let tag = match &step.test {
+            NodeTest::Name(n) => n.clone(),
+            other => {
+                return Err(PlanError::Unsupported(format!("node test {other:?}")));
+            }
+        };
+        let preds = compile_preds(step)?;
+        match step.axis {
+            Axis::Child | Axis::Descendant => {
+                let rel = if step.axis == Axis::Child {
+                    Rel::Child
+                } else {
+                    Rel::Descendant
+                };
+                let color_changed = current_color != Some(color);
+                if color_changed {
+                    flush(&mut stages, &mut chain, &mut has_pipeline);
+                    if current_color.is_some() {
+                        stages.push(Stage::CrossTree { to: color });
+                        has_pipeline = true;
+                    }
+                    current_color = Some(color);
+                }
+                match &mut chain {
+                    Some((_, tags, rels, all_preds)) => {
+                        tags.push(tag);
+                        rels.push(rel);
+                        all_preds.push(preds);
+                    }
+                    None => {
+                        if has_pipeline {
+                            // Continue from the previous stage's output.
+                            chain = Some((
+                                color,
+                                vec!["«pipeline»".into(), tag],
+                                vec![rel],
+                                vec![Vec::new(), preds],
+                            ));
+                            has_pipeline = false;
+                        } else {
+                            chain = Some((color, vec![tag], Vec::new(), vec![preds]));
+                        }
+                    }
+                }
+            }
+            Axis::Parent => {
+                flush(&mut stages, &mut chain, &mut has_pipeline);
+                if current_color != Some(color) && current_color.is_some() {
+                    stages.push(Stage::CrossTree { to: color });
+                }
+                current_color = Some(color);
+                stages.push(Stage::Parent {
+                    color,
+                    tag: Some(tag),
+                });
+                has_pipeline = true;
+                if !preds.is_empty() {
+                    return Err(PlanError::Unsupported("predicate on parent step".into()));
+                }
+            }
+            other => {
+                return Err(PlanError::Unsupported(format!("axis {other:?}")));
+            }
+        }
+    }
+    flush(&mut stages, &mut chain, &mut has_pipeline);
+    if dedup {
+        stages.push(Stage::DupElim);
+    }
+    // Index-entry rewrite: a leading chain whose first tag has an
+    // equality predicate on a child becomes a content-index entry.
+    if let Some(Stage::Chain { color, tags, preds, .. }) = stages.first() {
+        if !tags.is_empty() && tags[0] != "«pipeline»" {
+            if let Some(CompiledPred::ContentEq { child: Some(cname), value }) =
+                preds.first().and_then(|ps| ps.first())
+            {
+                let entry = Stage::ContentEntry {
+                    color: *color,
+                    tag: tags[0].clone(),
+                    child_tag: cname.clone(),
+                    value: value.clone(),
+                };
+                // Rebuild the chain with the pipeline placeholder and
+                // the remaining predicates of position 0.
+                if let Some(Stage::Chain { tags, preds, .. }) = stages.first_mut() {
+                    tags[0] = "«pipeline»".into();
+                    preds[0].remove(0);
+                }
+                stages.insert(0, entry);
+            }
+        }
+    }
+    Ok(PathPlan { stages })
+}
+
+fn resolve_color(s: &StoredDb, step: &Step) -> Result<ColorId, PlanError> {
+    match &step.color {
+        Some(name) => s
+            .db
+            .color(name)
+            .ok_or_else(|| PlanError::UnknownColor(name.clone())),
+        None => {
+            // Single-color databases default to their only color.
+            if s.db.palette.len() == 1 {
+                Ok(ColorId(0))
+            } else {
+                Err(PlanError::Unsupported(
+                    "step without color on a multi-colored database".into(),
+                ))
+            }
+        }
+    }
+}
+
+/// Compile `[...]` predicates into physical selections.
+fn compile_preds(step: &Step) -> Result<Vec<CompiledPred>, PlanError> {
+    let mut out = Vec::new();
+    for pred in &step.predicates {
+        out.push(compile_pred(pred)?);
+    }
+    Ok(out)
+}
+
+fn compile_pred(e: &Expr) -> Result<CompiledPred, PlanError> {
+    match e {
+        Expr::Cmp(l, op, r) => {
+            let (child, attr) = pred_target(l)?;
+            match (&**r, attr) {
+                (Expr::Lit(Literal::Str(v)), Some(attr)) if *op == CmpOp::Eq => {
+                    Ok(CompiledPred::AttrEq { name: attr, value: v.clone() })
+                }
+                (Expr::Lit(Literal::Str(v)), None) if *op == CmpOp::Eq => {
+                    Ok(CompiledPred::ContentEq { child, value: v.clone() })
+                }
+                (Expr::Lit(Literal::Num(n)), None) => Ok(CompiledPred::ContentCmp {
+                    child,
+                    cmp: num_cmp(*op),
+                    value: *n,
+                }),
+                (Expr::Lit(Literal::Str(v)), None) => {
+                    // Non-equality string comparison: only = supported.
+                    Err(PlanError::Unsupported(format!(
+                        "string comparison {op:?} {v:?}"
+                    )))
+                }
+                other => Err(PlanError::Unsupported(format!("predicate rhs {other:?}"))),
+            }
+        }
+        Expr::Call(name, args) if name == "contains" && args.len() == 2 => {
+            let (child, attr) = pred_target(&args[0])?;
+            if attr.is_some() {
+                return Err(PlanError::Unsupported("contains on attribute".into()));
+            }
+            match &args[1] {
+                Expr::Lit(Literal::Str(v)) => Ok(CompiledPred::ContentContains {
+                    child,
+                    value: v.clone(),
+                }),
+                other => Err(PlanError::Unsupported(format!("contains arg {other:?}"))),
+            }
+        }
+        other => Err(PlanError::Unsupported(format!("predicate {other:?}"))),
+    }
+}
+
+/// What a predicate's left side targets: `(child element, attribute)`.
+/// `.` → (None, None); `child::name` → (Some(name), None);
+/// `@attr` → (None, Some(attr)).
+fn pred_target(e: &Expr) -> Result<(Option<String>, Option<String>), PlanError> {
+    let Expr::Path(p) = e else {
+        return Err(PlanError::Unsupported(format!("predicate lhs {e:?}")));
+    };
+    if p.start != PathStart::Context {
+        return Err(PlanError::Unsupported("non-relative predicate path".into()));
+    }
+    match p.steps.as_slice() {
+        [] => Ok((None, None)),
+        [one] => match (&one.axis, &one.test) {
+            (Axis::SelfAxis, _) => Ok((None, None)),
+            (Axis::Child, NodeTest::Name(n)) => Ok((Some(n.clone()), None)),
+            (Axis::Attribute, NodeTest::Name(n)) => Ok((None, Some(n.clone()))),
+            other => Err(PlanError::Unsupported(format!("predicate step {other:?}"))),
+        },
+        more => Err(PlanError::Unsupported(format!(
+            "deep predicate path ({} steps)",
+            more.len()
+        ))),
+    }
+}
+
+fn num_cmp(op: CmpOp) -> NumCmp {
+    match op {
+        CmpOp::Eq => NumCmp::Eq,
+        CmpOp::Ne => NumCmp::Ne,
+        CmpOp::Lt => NumCmp::Lt,
+        CmpOp::Le => NumCmp::Le,
+        CmpOp::Gt => NumCmp::Gt,
+        CmpOp::Ge => NumCmp::Ge,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval, EvalContext, Item};
+    use crate::parser::parse_query;
+    use mct_core::MctDatabase;
+
+    /// Figure-2-like database for planner vs interpreter comparison.
+    fn stored() -> StoredDb {
+        let mut db = MctDatabase::new();
+        let red = db.add_color("red");
+        let green = db.add_color("green");
+        let genre = db.new_element("movie-genre", red);
+        db.append_child(McNodeId::DOCUMENT, genre, red);
+        let gname = db.new_element("name", red);
+        db.set_content(gname, "Comedy");
+        db.append_child(genre, gname, red);
+        let award = db.new_element("movie-award", green);
+        db.append_child(McNodeId::DOCUMENT, award, green);
+        let aname = db.new_element("name", green);
+        db.set_content(aname, "Oscar");
+        db.append_child(award, aname, green);
+        for i in 0..12 {
+            let m = db.new_element("movie", red);
+            db.set_attr(m, "id", &format!("m{i}"));
+            db.append_child(genre, m, red);
+            let name = db.new_element("name", red);
+            db.set_content(name, &format!("Movie {i} {}", if i % 3 == 0 { "Eve" } else { "Day" }));
+            db.append_child(m, name, red);
+            if i % 2 == 0 {
+                db.add_node_color(m, green);
+                db.append_child(award, m, green);
+                let votes = db.new_element("votes", green);
+                db.set_content(votes, &(i * 2).to_string());
+                db.append_child(m, votes, green);
+            }
+        }
+        StoredDb::build(db, 16 * 1024 * 1024).unwrap()
+    }
+
+    fn plan_nodes(s: &mut StoredDb, text: &str) -> Vec<u32> {
+        let Expr::Path(p) = parse_query(text).unwrap() else {
+            panic!("not a bare path")
+        };
+        let plan = plan_path(s, &p, true).unwrap();
+        let out = plan.execute(s).unwrap();
+        let mut v: Vec<u32> = out.iter().map(|t| t[0].node.0).collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn interp_nodes(s: &mut StoredDb, text: &str) -> Vec<u32> {
+        let e = parse_query(text).unwrap();
+        let mut ctx = EvalContext::new(s);
+        let out = eval(&mut ctx, &e).unwrap();
+        let mut v: Vec<u32> = out
+            .iter()
+            .filter_map(|i| match i {
+                Item::Node(n, _) => Some(n.0),
+                _ => None,
+            })
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn planner_matches_interpreter_single_color() {
+        let mut s = stored();
+        for q in [
+            r#"document("m")/{red}descendant::movie"#,
+            r#"document("m")/{red}descendant::movie-genre/{red}child::movie"#,
+            r#"document("m")/{red}descendant::movie/{red}child::name"#,
+            r#"document("m")/{red}descendant::movie[contains({red}child::name, "Eve")]"#,
+            r#"document("m")/{green}descendant::movie[{green}child::votes > 8]"#,
+            r#"document("m")/{red}descendant::movie[@id = "m7"]"#,
+        ] {
+            assert_eq!(plan_nodes(&mut s, q), interp_nodes(&mut s, q), "{q}");
+        }
+    }
+
+    #[test]
+    fn planner_matches_interpreter_with_crossing() {
+        let mut s = stored();
+        let q = r#"document("m")/{red}descendant::movie-genre/{red}descendant::movie/{green}parent::movie-award"#;
+        assert_eq!(plan_nodes(&mut s, q), interp_nodes(&mut s, q));
+    }
+
+    #[test]
+    fn cross_tree_stage_filters_to_target_color() {
+        let mut s = stored();
+        // Red movies -> green subtree scan (only even movies survive).
+        let q = r#"document("m")/{red}descendant::movie/{green}child::votes"#;
+        let via_plan = plan_nodes(&mut s, q);
+        let via_interp = interp_nodes(&mut s, q);
+        assert_eq!(via_plan, via_interp);
+        assert_eq!(via_plan.len(), 6);
+    }
+
+    #[test]
+    fn content_entry_rewrite_fires() {
+        let mut s = stored();
+        let Expr::Path(p) = parse_query(
+            r#"document("m")/{red}descendant::movie[{red}child::name = "Movie 3 Eve"]"#,
+        )
+        .unwrap() else {
+            panic!()
+        };
+        let plan = plan_path(&s, &p, true).unwrap();
+        let text = plan.explain(&s);
+        assert!(text.contains("content-index entry"), "{text}");
+        let out = plan.execute(&mut s).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn explain_is_readable() {
+        let s = stored();
+        let Expr::Path(p) = parse_query(
+            r#"document("m")/{green}descendant::movie[{green}child::votes > 8]/{red}child::name"#,
+        )
+        .unwrap() else {
+            panic!()
+        };
+        let plan = plan_path(&s, &p, false).unwrap();
+        let text = plan.explain(&s);
+        assert!(text.contains("holistic chain join"), "{text}");
+        assert!(text.contains("cross-tree join"), "{text}");
+    }
+
+    #[test]
+    fn unsupported_constructs_are_reported() {
+        let s = stored();
+        let Expr::Path(p) = parse_query(r#"$v/{red}child::movie"#).unwrap() else {
+            panic!()
+        };
+        assert!(matches!(
+            plan_path(&s, &p, true),
+            Err(PlanError::Unsupported(_))
+        ));
+        let Expr::Path(p2) =
+            parse_query(r#"document("m")/{red}descendant::movie/{red}ancestor::movie-genre"#)
+                .unwrap()
+        else {
+            panic!()
+        };
+        assert!(plan_path(&s, &p2, true).is_err(), "ancestor not planned");
+    }
+
+    #[test]
+    fn unknown_color_is_reported() {
+        let s = stored();
+        let Expr::Path(p) = parse_query(r#"document("m")/{mauve}descendant::movie"#).unwrap()
+        else {
+            panic!()
+        };
+        assert!(matches!(
+            plan_path(&s, &p, true),
+            Err(PlanError::UnknownColor(_))
+        ));
+    }
+}

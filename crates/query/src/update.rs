@@ -1,0 +1,380 @@
+//! Color-aware update execution (§4.3).
+//!
+//! MCXQuery updates follow Tatarinov et al. (reference 25 of the
+//! paper): `for`/`let`
+//! bindings, a `where` filter, and an `update $target { ... }` body
+//! with `delete` / `insert` / `replace value of` actions. As in that
+//! proposal (and XQuery Update later), evaluation is two-phase: all
+//! binding tuples are evaluated against the *original* database into a
+//! pending update list, which is then applied — so updates never
+//! observe their own effects.
+//!
+//! Color semantics per the paper: each action operates on *existing*
+//! colored trees; the color is the one the target path located its
+//! node in. A `delete` removes the node's whole subtree from that
+//! colored tree only (other colors keep the node — no update anomaly);
+//! an `insert` appends under the target in its colored tree,
+//! implicitly giving new nodes that existing color.
+
+use crate::ast::{FlworClause, UpdateAction, UpdateStmt};
+use crate::eval::{atomize, effective_boolean, eval, EvalContext, EvalError, EvalResult, Item};
+use mct_core::{ColorId, McNodeId, StoredDb};
+use std::collections::HashMap;
+
+/// One concrete pending update.
+#[derive(Debug)]
+enum Pending {
+    Delete(McNodeId, ColorId),
+    Insert {
+        target: McNodeId,
+        color: ColorId,
+        root: McNodeId,
+        edges: HashMap<McNodeId, Vec<McNodeId>>,
+    },
+    Replace(McNodeId, String),
+}
+
+/// What an update did: how many binding tuples produced updates, and
+/// how many elements were touched (the paper's Table-2 "results"
+/// column for updates — deep's replication shows up here).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UpdateOutcome {
+    /// Binding tuples that emitted at least one action.
+    pub tuples: usize,
+    /// Individual pending updates applied (elements touched).
+    pub elements: usize,
+}
+
+/// Execute an update statement. Returns the number of binding tuples
+/// that produced updates (the paper's "number of elements updated" is
+/// available via [`execute_update_with`]).
+pub fn execute_update(stored: &mut StoredDb, u: &UpdateStmt) -> EvalResult<usize> {
+    execute_update_with(stored, u, None).map(|o| o.tuples)
+}
+
+/// [`execute_update`] with a default color for color-less steps
+/// (plain-XQuery updates over single-colored databases) and the full
+/// outcome.
+pub fn execute_update_with(
+    stored: &mut StoredDb,
+    u: &UpdateStmt,
+    default_color: Option<&str>,
+) -> EvalResult<UpdateOutcome> {
+    // Phase 1: evaluate into a pending list.
+    let mut pending: Vec<Pending> = Vec::new();
+    let mut tuples = 0usize;
+    {
+        let mut ctx = EvalContext::new(stored);
+        if let Some(c) = default_color {
+            ctx = ctx.with_default_color(c)?;
+        }
+        collect(&mut ctx, u, 0, &mut tuples, &mut pending)?;
+    }
+    let elements = pending.len();
+    // Phase 2: apply.
+    let mut dirty_colors: Vec<ColorId> = Vec::new();
+    for p in pending {
+        match p {
+            Pending::Replace(n, v) => {
+                stored.update_content(n, &v)?;
+            }
+            Pending::Delete(n, c) => {
+                let subtree: Vec<McNodeId> = stored.db.descendants_or_self(n, c).collect();
+                for &d in &subtree {
+                    stored.unindex_node(d, c)?;
+                }
+                stored.db.remove_color(n, c);
+                // Deletion never invalidates other nodes' codes.
+                if !dirty_colors.contains(&c) && stored.db.is_dirty(c) {
+                    // Structure changed but codes of remaining nodes
+                    // are still valid; clear by re-annotating lazily at
+                    // next insert. Mark for safety.
+                    dirty_colors.push(c);
+                }
+            }
+            Pending::Insert {
+                target,
+                color,
+                root,
+                edges,
+            } => {
+                // Materialize the constructed fragment in `color`.
+                let mut new_nodes = Vec::new();
+                attach_fragment(stored, root, &edges, color, &mut new_nodes)?;
+                stored.db.append_child(target, root, color);
+                // Codes: single leaf goes in the gap; bigger fragments
+                // renumber the color.
+                let single = new_nodes.len() == 1;
+                if single && stored.db.try_assign_gap_codes(root, color) {
+                    // fast path
+                } else {
+                    stored.db.annotate(color);
+                    stored.reindex_color(color)?;
+                    dirty_colors.retain(|&c| c != color);
+                }
+                for n in new_nodes {
+                    stored.persist_new_element(n)?;
+                }
+            }
+        }
+    }
+    // Re-annotate anything still marked dirty so subsequent queries
+    // see clean codes.
+    for c in dirty_colors {
+        if stored.db.is_dirty(c) {
+            stored.db.annotate(c);
+            stored.reindex_color(c)?;
+        }
+    }
+    Ok(UpdateOutcome { tuples, elements })
+}
+
+fn attach_fragment(
+    stored: &mut StoredDb,
+    n: McNodeId,
+    edges: &HashMap<McNodeId, Vec<McNodeId>>,
+    c: ColorId,
+    new_nodes: &mut Vec<McNodeId>,
+) -> EvalResult<()> {
+    if !stored.db.colors(n).contains(c) {
+        stored.db.add_node_color(n, c);
+    }
+    new_nodes.push(n);
+    if let Some(children) = edges.get(&n) {
+        for &child in children {
+            if stored.db.parent(child, c).is_some() {
+                return Err(EvalError::DuplicateNode(
+                    child,
+                    stored.db.palette.name(c).to_string(),
+                ));
+            }
+            attach_fragment(stored, child, edges, c, new_nodes)?;
+            stored.db.append_child(n, child, c);
+        }
+    }
+    Ok(())
+}
+
+fn collect(
+    ctx: &mut EvalContext<'_>,
+    u: &UpdateStmt,
+    depth: usize,
+    tuples: &mut usize,
+    out: &mut Vec<Pending>,
+) -> EvalResult<()> {
+    if depth == u.clauses.len() {
+        if let Some(w) = &u.where_ {
+            let v = eval(ctx, w)?;
+            if !effective_boolean(&v) {
+                return Ok(());
+            }
+        }
+        // Resolve the target binding.
+        let target_seq = ctx
+            .var(&u.target)
+            .cloned()
+            .ok_or_else(|| EvalError::UnknownVar(u.target.clone()))?;
+        let Some(Item::Node(target, target_color)) = target_seq.first().cloned() else {
+            return Err(EvalError::Dynamic("update target is not a node".into()));
+        };
+        let mut emitted = false;
+        for action in &u.actions {
+            match action {
+                UpdateAction::ReplaceValue(what, with) => {
+                    let nodes = eval(ctx, what)?;
+                    let vseq = eval(ctx, with)?;
+                    let value = vseq.first().map(|i| atomize(ctx, i)).unwrap_or_default();
+                    for item in nodes {
+                        if let Item::Node(n, _) = item {
+                            out.push(Pending::Replace(n, value.clone()));
+                            emitted = true;
+                        }
+                    }
+                }
+                UpdateAction::Delete(what) => {
+                    let nodes = eval(ctx, what)?;
+                    for item in nodes {
+                        if let Item::Node(n, c) = item {
+                            let c = c
+                                .or(target_color)
+                                .ok_or(EvalError::NoColor)?;
+                            out.push(Pending::Delete(n, c));
+                            emitted = true;
+                        }
+                    }
+                }
+                UpdateAction::Insert(what) => {
+                    let c = target_color.ok_or(EvalError::NoColor)?;
+                    let nodes = eval(ctx, what)?;
+                    for item in nodes {
+                        if let Item::Node(n, _) = item {
+                            out.push(Pending::Insert {
+                                target,
+                                color: c,
+                                root: n,
+                                edges: ctx.take_pending(),
+                            });
+                            emitted = true;
+                        }
+                    }
+                }
+            }
+        }
+        if emitted {
+            *tuples += 1;
+        }
+        return Ok(());
+    }
+    match &u.clauses[depth] {
+        FlworClause::For(var, src) => {
+            let items = eval(ctx, src)?;
+            for item in items {
+                let old = ctx.set_var(var, vec![item]);
+                collect(ctx, u, depth + 1, tuples, out)?;
+                ctx.restore_var(var, old);
+            }
+            Ok(())
+        }
+        FlworClause::Let(var, src) => {
+            let v = eval(ctx, src)?;
+            let old = ctx.set_var(var, v);
+            collect(ctx, u, depth + 1, tuples, out)?;
+            ctx.restore_var(var, old);
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_update;
+    use mct_core::{McNodeId, MctDatabase};
+
+    /// genre(red) with 5 movies; award(green) holds movies 0..3.
+    fn stored() -> StoredDb {
+        let mut db = MctDatabase::new();
+        let red = db.add_color("red");
+        let green = db.add_color("green");
+        let genre = db.new_element("genre", red);
+        db.set_content(genre, "Comedy");
+        db.append_child(McNodeId::DOCUMENT, genre, red);
+        let award = db.new_element("award", green);
+        db.set_content(award, "Oscar");
+        db.append_child(McNodeId::DOCUMENT, award, green);
+        for i in 0..5 {
+            let m = db.new_element("movie", red);
+            db.append_child(genre, m, red);
+            let name = db.new_element("name", red);
+            db.set_content(name, &format!("Movie {i}"));
+            db.append_child(m, name, red);
+            if i < 3 {
+                db.add_node_color(m, green);
+                db.append_child(award, m, green);
+            }
+        }
+        StoredDb::build(db, 8 * 1024 * 1024).unwrap()
+    }
+
+    #[test]
+    fn replace_value_updates_store_and_index() {
+        let mut s = stored();
+        let u = parse_update(
+            r#"for $m in document("d")/{red}descendant::movie
+               where $m/{red}child::name = "Movie 2"
+               update $m { replace value of $m/{red}child::name with "Renamed" }"#,
+        )
+        .unwrap();
+        assert_eq!(execute_update(&mut s, &u).unwrap(), 1);
+        assert_eq!(s.content_lookup("Renamed").unwrap().len(), 1);
+        assert!(s.content_lookup("Movie 2").unwrap().is_empty());
+    }
+
+    #[test]
+    fn delete_removes_from_one_color_only() {
+        let mut s = stored();
+        let u = parse_update(
+            r#"for $m in document("d")/{green}descendant::movie
+               where $m/{red}child::name = "Movie 1"
+               update $m { delete $m }"#,
+        )
+        .unwrap();
+        assert_eq!(execute_update(&mut s, &u).unwrap(), 1);
+        let green = s.db.color("green").unwrap();
+        let red = s.db.color("red").unwrap();
+        assert_eq!(s.postings_named(green, "movie").unwrap().len(), 2);
+        assert_eq!(
+            s.postings_named(red, "movie").unwrap().len(),
+            5,
+            "red hierarchy untouched — the MCT anomaly-free update"
+        );
+    }
+
+    #[test]
+    fn insert_constructs_under_target() {
+        let mut s = stored();
+        let u = parse_update(
+            r#"for $m in document("d")/{red}descendant::movie
+               where $m/{red}child::name = "Movie 0"
+               update $m { insert <remark>classic</remark> }"#,
+        )
+        .unwrap();
+        assert_eq!(execute_update(&mut s, &u).unwrap(), 1);
+        let red = s.db.color("red").unwrap();
+        let remarks = s.postings_named(red, "remark").unwrap();
+        assert_eq!(remarks.len(), 1);
+        let parent = s.db.parent(remarks[0].node, red).unwrap();
+        assert_eq!(s.db.name_str(parent), Some("movie"));
+        assert_eq!(s.content_lookup("classic").unwrap().len(), 1);
+        s.db.check_invariants();
+    }
+
+    #[test]
+    fn insert_multinode_fragment_renumbers() {
+        let mut s = stored();
+        let u = parse_update(
+            r#"for $m in document("d")/{red}descendant::movie
+               where $m/{red}child::name = "Movie 4"
+               update $m { insert <cast><star>X</star><star>Y</star></cast> }"#,
+        )
+        .unwrap();
+        assert_eq!(execute_update(&mut s, &u).unwrap(), 1);
+        let red = s.db.color("red").unwrap();
+        assert_eq!(s.postings_named(red, "cast").unwrap().len(), 1);
+        assert_eq!(s.postings_named(red, "star").unwrap().len(), 2);
+        // Codes stay consistent after the renumber.
+        s.db.check_invariants();
+        let stars = s.postings_named(red, "star").unwrap();
+        for st in stars {
+            assert_eq!(s.db.code(st.node, red).unwrap().start, st.code.start);
+        }
+    }
+
+    #[test]
+    fn update_touching_many_bindings() {
+        let mut s = stored();
+        let u = parse_update(
+            r#"for $m in document("d")/{green}descendant::movie
+               update $m { insert <tag>seen</tag> }"#,
+        )
+        .unwrap();
+        assert_eq!(execute_update(&mut s, &u).unwrap(), 3);
+        let green = s.db.color("green").unwrap();
+        assert_eq!(s.postings_named(green, "tag").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn two_phase_semantics_no_self_observation() {
+        let mut s = stored();
+        // Inserting <movie> elements must not create bindings for the
+        // same run (phase-1 snapshot).
+        let u = parse_update(
+            r#"for $m in document("d")/{red}descendant::movie
+               update $m { insert <movie>nested</movie> }"#,
+        )
+        .unwrap();
+        assert_eq!(execute_update(&mut s, &u).unwrap(), 5, "exactly the original 5");
+        let red = s.db.color("red").unwrap();
+        assert_eq!(s.postings_named(red, "movie").unwrap().len(), 10);
+    }
+}

@@ -1,0 +1,377 @@
+//! Serializing an MCT database as exchange XML (§5).
+//!
+//! Every element is emitted **exactly once**, nested inside its
+//! *primary-color* parent (the instance-level choice from the
+//! [`crate::cost::SerializationScheme`], with ranked fallback for
+//! instances missing the type's best color, per §5.3). The remaining
+//! hierarchies are encoded with:
+//!
+//! * `mctId` attributes on referenced elements;
+//! * `mct-parent-<color>="id#pos"` parent pointers (the `#pos`
+//!   preserves sibling order in the non-primary hierarchy);
+//! * `color` attributes with the paper's token language — `c` (this
+//!   element only), `c+` (whole subtree), `c-` (subtree removal,
+//!   overridable below) — emitted as a minimal diff against the
+//!   enclosing subtree scope.
+//!
+//! The inverse transformation is [`crate::reconstruct()`].
+
+use crate::cost::SerializationScheme;
+use mct_core::{ColorId, McNodeId, MctDatabase};
+use mct_xml::{Document, NodeId};
+use std::collections::{BTreeSet, HashMap};
+
+/// Serialize `db` as an exchange document under `scheme`.
+pub fn emit_exchange(db: &MctDatabase, scheme: &SerializationScheme) -> Document {
+    let mut out = Document::new();
+    let root = out.create_element("mct-database");
+    out.append_child(NodeId::DOCUMENT, root);
+    let palette: Vec<(ColorId, String)> = db
+        .palette
+        .iter()
+        .map(|(c, n)| (c, n.to_string()))
+        .collect();
+    let color_names: Vec<&str> = palette.iter().map(|(_, n)| n.as_str()).collect();
+    out.set_attribute(root, "colors", &color_names.join(" "));
+
+    let e = Emitter {
+        db,
+        scheme,
+        palette: &palette,
+        primary: compute_primaries(db, scheme, &palette),
+    };
+    let referenced = e.referenced_set();
+    let mut ids: HashMap<McNodeId, String> = HashMap::new();
+    for (i, n) in referenced.iter().enumerate() {
+        ids.insert(*n, format!("e{i}"));
+    }
+
+    for (c, cname) in &palette {
+        let hier = out.create_element("hierarchy");
+        out.set_attribute(hier, "color", cname);
+        out.append_child(root, hier);
+        let roots: Vec<McNodeId> = db.children(McNodeId::DOCUMENT, *c).collect();
+        for r in roots {
+            if e.primary[&r] == *c {
+                e.emit(r, &mut out, hier, &BTreeSet::new(), &ids);
+            }
+        }
+    }
+    out
+}
+
+/// Size metrics for comparing serializations.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExchangeSize {
+    /// Serialized byte length.
+    pub bytes: usize,
+    /// Number of elements emitted (duplicates count).
+    pub elements: usize,
+    /// Pointer attributes (`mctId` + `mct-parent-*`).
+    pub pointer_attrs: usize,
+    /// Color annotation tokens.
+    pub color_tokens: usize,
+}
+
+/// Measure an exchange document.
+pub fn exchange_size(doc: &Document) -> ExchangeSize {
+    let xml = mct_xml::write_document(doc, &mct_xml::WriteOptions::default());
+    let mut elements = 0;
+    let mut pointer_attrs = 0;
+    let mut color_tokens = 0;
+    for n in doc.descendants_or_self(NodeId::DOCUMENT) {
+        if doc.kind(n) == mct_xml::NodeKind::Element {
+            elements += 1;
+            // The <hierarchy color="..."> wrapper attribute is protocol
+            // framing, not per-element color annotation.
+            if doc.name_str(n) == Some("hierarchy") {
+                continue;
+            }
+            for a in doc.attributes(n) {
+                let name = doc.name_str(a).unwrap_or("");
+                if name == "mctId" || name.starts_with("mct-parent-") {
+                    pointer_attrs += 1;
+                } else if name == "color" {
+                    color_tokens += doc
+                        .node(a)
+                        .value
+                        .as_deref()
+                        .unwrap_or("")
+                        .split_whitespace()
+                        .count();
+                }
+            }
+        }
+    }
+    ExchangeSize {
+        bytes: xml.len(),
+        elements,
+        pointer_attrs,
+        color_tokens,
+    }
+}
+
+struct Emitter<'a> {
+    db: &'a MctDatabase,
+    #[allow(dead_code)]
+    scheme: &'a SerializationScheme,
+    palette: &'a [(ColorId, String)],
+    primary: HashMap<McNodeId, ColorId>,
+}
+
+/// Instance-level primary color per element (ranked fallback, §5.3).
+fn compute_primaries(
+    db: &MctDatabase,
+    scheme: &SerializationScheme,
+    palette: &[(ColorId, String)],
+) -> HashMap<McNodeId, ColorId> {
+    let mut out = HashMap::new();
+    for i in 1..db.len() {
+        let n = McNodeId(i as u32);
+        let colors = db.colors(n);
+        if colors.is_empty() {
+            continue;
+        }
+        let Some(tname) = db.name_str(n) else { continue };
+        let instance: Vec<&str> = palette
+            .iter()
+            .filter(|(c, _)| colors.contains(*c))
+            .map(|(_, name)| name.as_str())
+            .collect();
+        let chosen = scheme
+            .primary_for_instance(tname, &instance)
+            .unwrap_or(instance[0]);
+        let cid = palette
+            .iter()
+            .find(|(_, name)| name == chosen)
+            .map(|(c, _)| *c)
+            .expect("scheme colors subset of palette");
+        out.insert(n, cid);
+    }
+    out
+}
+
+impl Emitter<'_> {
+    /// Elements needing an `mctId`: non-primary parents.
+    fn referenced_set(&self) -> Vec<McNodeId> {
+        let mut set = BTreeSet::new();
+        for (&n, &pc) in &self.primary {
+            for (c, _) in self.palette {
+                if *c == pc || !self.db.colors(n).contains(*c) {
+                    continue;
+                }
+                if let Some(p) = self.db.parent(n, *c) {
+                    if p != McNodeId::DOCUMENT {
+                        set.insert(p);
+                    }
+                }
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    fn color_name(&self, c: ColorId) -> &str {
+        &self.palette[c.index()].1
+    }
+
+    /// Colors held by every element of `n`'s emitted subtree.
+    fn subtree_all_colors(&self, n: McNodeId) -> BTreeSet<ColorId> {
+        let mut all: BTreeSet<ColorId> = self
+            .db
+            .colors(n)
+            .iter()
+            .collect();
+        for ch in self.emitted_children(n) {
+            let sub = self.subtree_all_colors(ch.0);
+            all = all.intersection(&sub).copied().collect();
+        }
+        all
+    }
+
+    /// Children emitted nested inside `n`: those whose primary color
+    /// matches the hierarchy they hang under `n` in.
+    fn emitted_children(&self, n: McNodeId) -> Vec<(McNodeId, ColorId)> {
+        let mut out = Vec::new();
+        for (c, _) in self.palette {
+            if !self.db.colors(n).contains(*c) {
+                continue;
+            }
+            for ch in self.db.children(n, *c) {
+                if self.primary.get(&ch) == Some(c) {
+                    out.push((ch, *c));
+                }
+            }
+        }
+        out
+    }
+
+    fn emit(
+        &self,
+        n: McNodeId,
+        out: &mut Document,
+        parent: NodeId,
+        scope: &BTreeSet<ColorId>,
+        ids: &HashMap<McNodeId, String>,
+    ) {
+        let name = self.db.name_str(n).expect("element named").to_string();
+        let el = out.create_element(&name);
+        out.append_child(parent, el);
+        // Original attributes.
+        for (s, v) in &self.db.node(n).attrs {
+            let aname = self.db.names.resolve(*s).to_string();
+            out.set_attribute(el, &aname, v);
+        }
+        // Identity.
+        if let Some(id) = ids.get(&n) {
+            out.set_attribute(el, "mctId", id);
+        }
+        // Parent pointers for non-primary colors.
+        let pc = self.primary[&n];
+        for (c, cname) in self.palette {
+            if *c == pc || !self.db.colors(n).contains(*c) {
+                continue;
+            }
+            if let Some(p) = self.db.parent(n, *c) {
+                let pos = self
+                    .db
+                    .children(p, *c)
+                    .position(|ch| ch == n)
+                    .unwrap_or(0);
+                let pid = if p == McNodeId::DOCUMENT {
+                    "@doc".to_string()
+                } else {
+                    ids.get(&p).cloned().unwrap_or_else(|| "@doc".to_string())
+                };
+                out.set_attribute(el, &format!("mct-parent-{cname}"), &format!("{pid}#{pos}"));
+            }
+        }
+        // Color tokens relative to the enclosing scope.
+        let mine: BTreeSet<ColorId> = self.db.colors(n).iter().collect();
+        let sub_all = self.subtree_all_colors(n);
+        let mut tokens: Vec<String> = Vec::new();
+        let mut child_scope = scope.clone();
+        for c in mine.difference(scope) {
+            if sub_all.contains(c) {
+                tokens.push(format!("{}+", self.color_name(*c)));
+                child_scope.insert(*c);
+            } else {
+                tokens.push(self.color_name(*c).to_string());
+            }
+        }
+        for c in scope.difference(&mine) {
+            tokens.push(format!("{}-", self.color_name(*c)));
+            child_scope.remove(c);
+        }
+        if !tokens.is_empty() {
+            out.set_attribute(el, "color", &tokens.join(" "));
+        }
+        // Content then nested children.
+        if let Some(content) = self.db.content(n) {
+            let t = out.create_text(content);
+            out.append_child(el, t);
+        }
+        for (ch, _) in self.emitted_children(n) {
+            self.emit(ch, out, el, &child_scope, ids);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::opt_serialize;
+    use crate::schema::MctSchema;
+    use mct_core::MctDatabase;
+
+    fn movie_db() -> MctDatabase {
+        let mut db = MctDatabase::new();
+        let red = db.add_color("red");
+        let green = db.add_color("green");
+        let genre = db.new_element("movie-genre", red);
+        db.set_content(genre, "Comedy");
+        db.append_child(McNodeId::DOCUMENT, genre, red);
+        let award = db.new_element("movie-award", green);
+        db.set_content(award, "Oscar");
+        db.append_child(McNodeId::DOCUMENT, award, green);
+        for i in 0..4 {
+            let m = db.new_element("movie", red);
+            db.set_attr(m, "num", &format!("{i}"));
+            db.append_child(genre, m, red);
+            let name = db.new_element("name", red);
+            db.set_content(name, &format!("Movie {i}"));
+            db.append_child(m, name, red);
+            if i % 2 == 0 {
+                db.add_node_color(m, green);
+                db.append_child(award, m, green);
+                db.add_node_color(name, green);
+                db.append_child(m, name, green);
+                let votes = db.new_element("votes", green);
+                db.set_content(votes, &format!("{}", 10 + i));
+                db.append_child(m, votes, green);
+            }
+        }
+        db
+    }
+
+    fn movie_scheme() -> SerializationScheme {
+        let (schema, stats) = MctSchema::figure8();
+        opt_serialize(&schema, &stats)
+    }
+
+    #[test]
+    fn each_element_emitted_once() {
+        let db = movie_db();
+        let doc = emit_exchange(&db, &movie_scheme());
+        let size = exchange_size(&doc);
+        let (elements, ..) = db.counts();
+        // +1 mct-database +2 hierarchy wrappers.
+        assert_eq!(size.elements as u64, elements + 3);
+    }
+
+    #[test]
+    fn pointers_exist_for_secondary_hierarchy() {
+        let db = movie_db();
+        let doc = emit_exchange(&db, &movie_scheme());
+        let xml = mct_xml::write_document(&doc, &mct_xml::WriteOptions::default());
+        // Multi-colored movies carry a pointer for whichever hierarchy
+        // is not their primary.
+        assert!(
+            xml.contains("mct-parent-green") || xml.contains("mct-parent-red"),
+            "{xml}"
+        );
+        assert!(xml.contains("mctId"));
+        let size = exchange_size(&doc);
+        assert!(size.pointer_attrs > 0);
+        assert!(size.color_tokens > 0);
+    }
+
+    #[test]
+    fn single_colored_db_has_no_pointer_overhead() {
+        let mut db = MctDatabase::new();
+        let c = db.add_color("black");
+        let r = db.new_element("root", c);
+        db.append_child(McNodeId::DOCUMENT, r, c);
+        for i in 0..3 {
+            let e = db.new_element("item", c);
+            db.set_content(e, &format!("{i}"));
+            db.append_child(r, e, c);
+        }
+        let scheme = SerializationScheme::default();
+        let doc = emit_exchange(&db, &scheme);
+        let size = exchange_size(&doc);
+        assert_eq!(size.pointer_attrs, 0);
+        // Only the root carries a `black+` subtree token.
+        assert_eq!(size.color_tokens, 1);
+    }
+
+    #[test]
+    fn color_tokens_use_subtree_plus_when_uniform() {
+        let db = movie_db();
+        let doc = emit_exchange(&db, &movie_scheme());
+        let xml = mct_xml::write_document(&doc, &mct_xml::WriteOptions::default());
+        assert!(
+            xml.contains("red+") || xml.contains("green+"),
+            "uniform subtrees use the + form: {xml}"
+        );
+    }
+}

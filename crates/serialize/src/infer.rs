@@ -1,0 +1,190 @@
+//! Schema and statistics inference from an MCT database instance.
+//!
+//! §5.2 assumes "statistical summary information of this kind is
+//! available" (the `quant(e, c)` averages) and §5 assumes an MCT
+//! schema. For real databases neither falls from the sky, so this
+//! module derives both from an instance:
+//!
+//! * per color, per element tag: the set of child tags with inferred
+//!   quantifiers (`1`, `?`, `+`, `*`) from the observed min/max child
+//!   counts;
+//! * `quant(e, c)` — the observed average number of `e` children per
+//!   parent element in hierarchy `c`;
+//! * per color, the root tags (children of the document node).
+//!
+//! The output feeds [`crate::cost::opt_serialize`] directly, so any
+//! database can be optimally serialized without hand-written schema.
+
+use crate::schema::{MctSchema, Quant, SchemaStats};
+use mct_core::{McNodeId, MctDatabase};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Infer `(schema, stats)` from a database instance.
+pub fn infer_schema(db: &MctDatabase) -> (MctSchema, SchemaStats) {
+    let mut schema = MctSchema::new();
+    let mut stats = SchemaStats::new();
+
+    for (c, cname) in db.palette.iter() {
+        // Roots of this color.
+        let mut root_tags = BTreeSet::new();
+        for r in db.children(McNodeId::DOCUMENT, c) {
+            if let Some(t) = db.name_str(r) {
+                root_tags.insert(t.to_string());
+            }
+        }
+        for t in &root_tags {
+            schema = schema.root(cname, t);
+        }
+        // Child profiles: (parent_tag, child_tag) -> per-parent counts.
+        let mut profile: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+        // Parents observed per tag (to fill zero-count observations).
+        let mut parents_of_tag: BTreeMap<String, usize> = BTreeMap::new();
+        for n in db.descendants(McNodeId::DOCUMENT, c) {
+            let Some(ptag) = db.name_str(n).map(str::to_string) else {
+                continue;
+            };
+            *parents_of_tag.entry(ptag.clone()).or_default() += 1;
+            let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+            for ch in db.children(n, c) {
+                if let Some(t) = db.name_str(ch) {
+                    *counts.entry(t.to_string()).or_default() += 1;
+                }
+            }
+            for (ctag, k) in counts {
+                profile.entry((ptag.clone(), ctag)).or_default().push(k);
+            }
+        }
+        // Build productions per parent tag.
+        let mut per_parent: BTreeMap<String, Vec<(String, Quant, f64)>> = BTreeMap::new();
+        for ((ptag, ctag), observed) in &profile {
+            let total_parents = parents_of_tag.get(ptag).copied().unwrap_or(0);
+            let occurrences: usize = observed.iter().sum();
+            let min = if observed.len() < total_parents {
+                0 // some parents had no such child
+            } else {
+                observed.iter().copied().min().unwrap_or(0)
+            };
+            let max = observed.iter().copied().max().unwrap_or(0);
+            let quant = match (min, max) {
+                (0, 1) => Quant::Optional,
+                (0, _) => Quant::Star,
+                (_, 1) => Quant::One,
+                _ => Quant::Plus,
+            };
+            let avg = if total_parents == 0 {
+                0.0
+            } else {
+                occurrences as f64 / total_parents as f64
+            };
+            per_parent
+                .entry(ptag.clone())
+                .or_default()
+                .push((ctag.clone(), quant, avg));
+        }
+        for (ptag, children) in per_parent {
+            let spec: Vec<(&str, Quant)> = children
+                .iter()
+                .map(|(n, q, _)| (n.as_str(), *q))
+                .collect();
+            schema = schema.production(&ptag, cname, &spec);
+            for (ctag, _, avg) in &children {
+                stats.set(ctag, cname, *avg);
+            }
+        }
+    }
+    (schema, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::opt_serialize;
+    use crate::emit::emit_exchange;
+    use crate::reconstruct::reconstruct;
+    use mct_core::{McNodeId, MctDatabase};
+
+    fn movie_like() -> MctDatabase {
+        let mut db = MctDatabase::new();
+        let red = db.add_color("red");
+        let green = db.add_color("green");
+        let genre = db.new_element("movie-genre", red);
+        db.append_child(McNodeId::DOCUMENT, genre, red);
+        let award = db.new_element("movie-award", green);
+        db.append_child(McNodeId::DOCUMENT, award, green);
+        for i in 0..10 {
+            let m = db.new_element("movie", red);
+            db.append_child(genre, m, red);
+            let name = db.new_element("name", red);
+            db.set_content(name, &format!("M{i}"));
+            db.append_child(m, name, red);
+            // 0..3 scenes per movie.
+            for s in 0..(i % 4) {
+                let sc = db.new_element("scene", red);
+                db.set_content(sc, &format!("s{s}"));
+                db.append_child(m, sc, red);
+            }
+            if i % 2 == 0 {
+                db.add_node_color(m, green);
+                db.append_child(award, m, green);
+                let votes = db.new_element("votes", green);
+                db.set_content(votes, &i.to_string());
+                db.append_child(m, votes, green);
+            }
+        }
+        db
+    }
+
+    #[test]
+    fn infers_colors_productions_and_quantifiers() {
+        let db = movie_like();
+        let (schema, stats) = infer_schema(&db);
+        let movie = schema.get("movie").unwrap();
+        assert!(movie.is_multicolored());
+        assert!(movie.colors.contains("red") && movie.colors.contains("green"));
+        let red_prod = movie.productions.get("red").unwrap();
+        let name = red_prod.iter().find(|c| c.name == "name").unwrap();
+        assert_eq!(name.quant, Quant::One, "every movie has exactly one name");
+        let scene = red_prod.iter().find(|c| c.name == "scene").unwrap();
+        assert_eq!(scene.quant, Quant::Star, "0..3 scenes observed");
+        let green_prod = movie.productions.get("green").unwrap();
+        let votes = green_prod.iter().find(|c| c.name == "votes").unwrap();
+        assert_eq!(votes.quant, Quant::One, "every GREEN movie has votes");
+        // quant(movie, red) = 10 movies under 1 genre.
+        assert!((stats.quant("movie", "red") - 10.0).abs() < 1e-9);
+        // avg scenes per movie = (0+1+2+3)*2/10+... = 1.4? (i%4 over 0..10)
+        let expected = (((1 + 2 + 3) + 1 + 2 + 3) + 1) as f64 / 10.0;
+        assert!((stats.quant("scene", "red") - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inferred_roots_match() {
+        let db = movie_like();
+        let (schema, _) = infer_schema(&db);
+        assert_eq!(schema.roots.get("red").unwrap(), &vec!["movie-genre".to_string()]);
+        assert_eq!(schema.roots.get("green").unwrap(), &vec!["movie-award".to_string()]);
+    }
+
+    #[test]
+    fn inferred_schema_drives_opt_serialize_roundtrip() {
+        let db = movie_like();
+        let (schema, stats) = infer_schema(&db);
+        schema.check_acyclic().unwrap();
+        let scheme = opt_serialize(&schema, &stats);
+        // movie gets a ranked choice over its two real colors.
+        assert_eq!(scheme.ranked.get("movie").unwrap().len(), 2);
+        let doc = emit_exchange(&db, &scheme);
+        let back = reconstruct(&doc).unwrap();
+        assert_eq!(db.counts(), back.counts());
+        assert_eq!(db.structural_count(), back.structural_count());
+    }
+
+    #[test]
+    fn inference_is_deterministic() {
+        let db = movie_like();
+        let (s1, _) = infer_schema(&db);
+        let (s2, _) = infer_schema(&db);
+        let names1: Vec<&str> = s1.types().map(|t| t.name.as_str()).collect();
+        let names2: Vec<&str> = s2.types().map(|t| t.name.as_str()).collect();
+        assert_eq!(names1, names2);
+    }
+}

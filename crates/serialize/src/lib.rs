@@ -1,0 +1,34 @@
+//! # mct-serialize — MCT exchange serialization (§5)
+//!
+//! XML is the de facto exchange format, so an MCT database must travel
+//! as plain XML and be reconstructible at the receiver. This crate
+//! implements the paper's §5 in full:
+//!
+//! * [`schema`] — MCT schemas (per-color productions, Figure 8) and
+//!   the `quant(e, c)` summary statistics the cost model assumes.
+//! * [`cost`] — the `cost(m, shade)` dynamic program and Algorithm
+//!   `optSerialize` (Figure 9), producing ranked primary-color choices
+//!   per element type (Theorem 5.1; ranked fallback per §5.3).
+//! * [`emit`] — exchange emission: one copy per element, nested under
+//!   its primary-color parent, `mct-parent-<color>` ID/IDREF pointers
+//!   for the other hierarchies, and the `c` / `c+` / `c-` color-token
+//!   attribute language.
+//! * [`mod@reconstruct`] — the inverse: rebuild the full MCT database,
+//!   every colored tree and its sibling order intact.
+//! * [`infer`] — schema + `quant` statistics inference from a database
+//!   instance, so any MCT database can be optimally serialized.
+//! * [`naive`] — the duplicate-per-color baseline (ablation A2).
+
+pub mod cost;
+pub mod emit;
+pub mod infer;
+pub mod naive;
+pub mod reconstruct;
+pub mod schema;
+
+pub use cost::{opt_serialize, CostModel, SerializationScheme};
+pub use emit::{emit_exchange, exchange_size, ExchangeSize};
+pub use infer::infer_schema;
+pub use naive::{compare_sizes, emit_naive, reconstruct_naive};
+pub use reconstruct::{reconstruct, ReconstructError};
+pub use schema::{ChildSpec, ElemType, MctSchema, Quant, SchemaStats};

@@ -1,0 +1,227 @@
+//! The naive serialization baseline (ablation A2).
+//!
+//! Serializes *each colored tree in full*, duplicating shared elements
+//! per color, with `mctId` attributes so sharing can be recovered.
+//! This is the obvious alternative to the cost-based single-copy
+//! scheme of §5 and quantifies how much the optimal serialization
+//! saves.
+
+use crate::emit::{exchange_size, ExchangeSize};
+use mct_core::{ColorId, McNodeId, MctDatabase};
+use mct_xml::{Document, NodeId};
+
+/// Serialize every colored tree fully (duplicating multi-colored
+/// elements once per color).
+pub fn emit_naive(db: &MctDatabase) -> Document {
+    let mut out = Document::new();
+    let root = out.create_element("mct-database-naive");
+    out.append_child(NodeId::DOCUMENT, root);
+    let color_names: Vec<&str> = db.palette.iter().map(|(_, n)| n).collect();
+    out.set_attribute(root, "colors", &color_names.join(" "));
+    for (c, cname) in db.palette.iter() {
+        let hier = out.create_element("hierarchy");
+        out.set_attribute(hier, "color", cname);
+        out.append_child(root, hier);
+        let roots: Vec<McNodeId> = db.children(McNodeId::DOCUMENT, c).collect();
+        for r in roots {
+            emit_copy(db, r, c, &mut out, hier);
+        }
+    }
+    out
+}
+
+fn emit_copy(db: &MctDatabase, n: McNodeId, c: ColorId, out: &mut Document, parent: NodeId) {
+    let name = db.name_str(n).expect("element named").to_string();
+    let el = out.create_element(&name);
+    out.append_child(parent, el);
+    for (s, v) in &db.node(n).attrs {
+        let aname = db.names.resolve(*s).to_string();
+        out.set_attribute(el, &aname, v);
+    }
+    // Shared elements are identified for merging at reconstruction.
+    if db.colors(n).len() > 1 {
+        out.set_attribute(el, "mctId", &format!("e{}", n.0));
+    }
+    if let Some(content) = db.content(n) {
+        let t = out.create_text(content);
+        out.append_child(el, t);
+    }
+    let children: Vec<McNodeId> = db.children(n, c).collect();
+    for ch in children {
+        emit_copy(db, ch, c, out, el);
+    }
+}
+
+/// Reconstruct from the naive form, merging duplicates by `mctId`.
+pub fn reconstruct_naive(doc: &Document) -> Result<MctDatabase, crate::ReconstructError> {
+    use std::collections::HashMap;
+    let err = |m: &str| crate::ReconstructError {
+        message: m.to_string(),
+    };
+    let root = doc.root_element().ok_or_else(|| err("no root"))?;
+    if doc.name_str(root) != Some("mct-database-naive") {
+        return Err(err("not a naive exchange document"));
+    }
+    let mut db = MctDatabase::new();
+    for name in doc
+        .attribute(root, "colors")
+        .ok_or_else(|| err("missing colors"))?
+        .split_whitespace()
+    {
+        db.add_color(name);
+    }
+    let mut ids: HashMap<String, McNodeId> = HashMap::new();
+    for hier in doc.element_children(root) {
+        let cname = doc
+            .attribute(hier, "color")
+            .ok_or_else(|| err("hierarchy missing color"))?
+            .to_string();
+        let c = db.color(&cname).ok_or_else(|| err("unknown color"))?;
+        for child in doc.element_children(hier) {
+            let n = rebuild(doc, child, c, &mut db, &mut ids);
+            db.append_child(McNodeId::DOCUMENT, n, c);
+        }
+    }
+    Ok(db)
+}
+
+fn rebuild(
+    doc: &Document,
+    el: NodeId,
+    c: ColorId,
+    db: &mut MctDatabase,
+    ids: &mut std::collections::HashMap<String, McNodeId>,
+) -> McNodeId {
+    let name = doc.name_str(el).unwrap_or("?").to_string();
+    // Merge by mctId across hierarchies.
+    let node = match doc.attribute(el, "mctId") {
+        Some(id) => match ids.get(id) {
+            Some(&n) => {
+                db.add_node_color(n, c);
+                n
+            }
+            None => {
+                let n = db.new_element(&name, c);
+                ids.insert(id.to_string(), n);
+                n
+            }
+        },
+        None => db.new_element(&name, c),
+    };
+    for attr in doc.attributes(el) {
+        let aname = doc.name_str(attr).unwrap_or("").to_string();
+        if aname == "mctId" {
+            continue;
+        }
+        let v = doc.node(attr).value.clone().unwrap_or_default();
+        db.set_attr(node, &aname, &v);
+    }
+    let mut text = String::new();
+    for ch in doc.children(el) {
+        match doc.kind(ch) {
+            mct_xml::NodeKind::Text => {
+                if let Some(v) = &doc.node(ch).value {
+                    text.push_str(v);
+                }
+            }
+            mct_xml::NodeKind::Element => {
+                let cn = rebuild(doc, ch, c, db, ids);
+                db.append_child(node, cn, c);
+            }
+            _ => {}
+        }
+    }
+    if !text.is_empty() {
+        db.set_content(node, &text);
+    }
+    node
+}
+
+/// Compare the optimal and naive serializations of one database.
+pub fn compare_sizes(
+    db: &MctDatabase,
+    scheme: &crate::SerializationScheme,
+) -> (ExchangeSize, ExchangeSize) {
+    let opt = exchange_size(&crate::emit_exchange(db, scheme));
+    let naive = exchange_size(&emit_naive(db));
+    (opt, naive)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::opt_serialize;
+    use crate::schema::MctSchema;
+    use mct_core::export_color;
+
+    fn shared_heavy_db() -> MctDatabase {
+        // Many multi-colored items: naive duplication should cost more.
+        let mut db = MctDatabase::new();
+        let red = db.add_color("red");
+        let green = db.add_color("green");
+        let r = db.new_element("movie-genre", red);
+        db.append_child(McNodeId::DOCUMENT, r, red);
+        let g = db.new_element("movie-award", green);
+        db.append_child(McNodeId::DOCUMENT, g, green);
+        for i in 0..50 {
+            let m = db.new_element("movie", red);
+            db.append_child(r, m, red);
+            db.add_node_color(m, green);
+            db.append_child(g, m, green);
+            let name = db.new_element("name", red);
+            db.set_content(name, &format!("A fairly long movie title number {i}"));
+            db.append_child(m, name, red);
+            db.add_node_color(name, green);
+            db.append_child(m, name, green);
+        }
+        db
+    }
+
+    #[test]
+    fn naive_duplicates_multicolored_elements() {
+        let db = shared_heavy_db();
+        let doc = emit_naive(&db);
+        let size = exchange_size(&doc);
+        let (elements, ..) = db.counts();
+        // 100 shared elements appear twice: 102 + 100 + wrappers(3).
+        assert!(size.elements as u64 > elements);
+    }
+
+    #[test]
+    fn optimal_is_smaller_than_naive_on_shared_data() {
+        let db = shared_heavy_db();
+        let (schema, stats) = MctSchema::figure8();
+        let scheme = opt_serialize(&schema, &stats);
+        let (opt, naive) = compare_sizes(&db, &scheme);
+        assert!(
+            opt.bytes < naive.bytes,
+            "opt {} vs naive {}",
+            opt.bytes,
+            naive.bytes
+        );
+        assert!(opt.elements < naive.elements);
+    }
+
+    #[test]
+    fn naive_roundtrip_preserves_trees() {
+        let db = shared_heavy_db();
+        let doc = emit_naive(&db);
+        let back = reconstruct_naive(&doc).unwrap();
+        back.check_invariants();
+        let fp = |d: &MctDatabase| -> Vec<String> {
+            d.palette
+                .iter()
+                .map(|(c, _)| {
+                    mct_xml::write_document(
+                        &export_color(d, c),
+                        &mct_xml::WriteOptions::default(),
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(fp(&db), fp(&back));
+        // Identity is also preserved: same element/structural counts.
+        assert_eq!(db.counts(), back.counts());
+        assert_eq!(db.structural_count(), back.structural_count());
+    }
+}

@@ -1,0 +1,404 @@
+//! Reconstructing an MCT database from its exchange XML (§5).
+//!
+//! The inverse of [`crate::emit`]: reads the `colors` palette, the
+//! per-element `color` token language (`c` / `c+` / `c-` with subtree
+//! scope and overriding), the nesting (primary hierarchy), and the
+//! `mct-parent-<color>="id#pos"` pointers (secondary hierarchies,
+//! reattached in `#pos` order).
+
+use mct_core::{ColorId, McNodeId, MctDatabase};
+use mct_xml::{Document, NodeId, NodeKind};
+use std::collections::{BTreeSet, HashMap};
+
+/// Per (parent, color) attachment buckets: nested children in emission
+/// order, and pointer children with their absolute positions.
+type EdgeBuckets = (Vec<McNodeId>, Vec<(usize, McNodeId)>);
+
+/// Errors during reconstruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReconstructError {
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ReconstructError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "reconstruct error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ReconstructError {}
+
+fn err(m: impl Into<String>) -> ReconstructError {
+    ReconstructError { message: m.into() }
+}
+
+/// Rebuild the MCT database serialized in `doc`.
+pub fn reconstruct(doc: &Document) -> Result<MctDatabase, ReconstructError> {
+    let root = doc
+        .root_element()
+        .ok_or_else(|| err("no root element"))?;
+    if doc.name_str(root) != Some("mct-database") {
+        return Err(err("root element is not <mct-database>"));
+    }
+    let mut db = MctDatabase::new();
+    let palette_attr = doc
+        .attribute(root, "colors")
+        .ok_or_else(|| err("missing colors attribute"))?
+        .to_string();
+    for name in palette_attr.split_whitespace() {
+        db.add_color(name);
+    }
+
+    let mut ids: HashMap<String, McNodeId> = HashMap::new();
+    let mut pendings: Vec<(McNodeId, ColorId, String, usize)> = Vec::new();
+    // Nested (primary) attachments in emission order: (parent, color, child).
+    let mut nested: Vec<(McNodeId, ColorId, McNodeId)> = Vec::new();
+
+    for hier in doc.element_children(root) {
+        if doc.name_str(hier) != Some("hierarchy") {
+            return Err(err("expected <hierarchy> under <mct-database>"));
+        }
+        let cname = doc
+            .attribute(hier, "color")
+            .ok_or_else(|| err("hierarchy missing color"))?
+            .to_string();
+        let c = db
+            .color(&cname)
+            .ok_or_else(|| err(format!("hierarchy color {cname} not in palette")))?;
+        for child in doc.element_children(hier) {
+            let node = walk(
+                doc,
+                child,
+                &mut db,
+                &BTreeSet::new(),
+                &mut ids,
+                &mut pendings,
+                &mut nested,
+            )?;
+            // The hierarchy root's primary color is the hierarchy color.
+            nested.push((McNodeId::DOCUMENT, c, node));
+        }
+    }
+
+    // Merge nested (relative order) and pointer (absolute positions)
+    // attachments per (parent, color): the pointer's `#pos` is the
+    // child's index in the ORIGINAL sibling list, so placing pointer
+    // children at their positions and filling the gaps with nested
+    // children in order reproduces the original order exactly.
+    let mut per_edge: HashMap<(McNodeId, ColorId), EdgeBuckets> = HashMap::new();
+    for (parent, c, child) in nested {
+        per_edge.entry((parent, c)).or_default().0.push(child);
+    }
+    for (child, c, pid, pos) in pendings {
+        let parent = if pid == "@doc" {
+            McNodeId::DOCUMENT
+        } else {
+            *ids
+                .get(&pid)
+                .ok_or_else(|| err(format!("dangling mct-parent reference {pid}")))?
+        };
+        per_edge.entry((parent, c)).or_default().1.push((pos, child));
+    }
+    let mut edges: Vec<((McNodeId, ColorId), EdgeBuckets)> = per_edge.into_iter().collect();
+    edges.sort_by_key(|((p, c), _)| (*p, *c));
+    for ((parent, c), (nested_kids, mut pointered)) in edges {
+        pointered.sort_by_key(|(pos, _)| *pos);
+        let total = nested_kids.len() + pointered.len();
+        let mut order: Vec<Option<McNodeId>> = vec![None; total];
+        for (pos, child) in &pointered {
+            if *pos >= total {
+                return Err(err(format!("pointer position {pos} out of range")));
+            }
+            if order[*pos].is_some() {
+                return Err(err(format!("duplicate pointer position {pos}")));
+            }
+            order[*pos] = Some(*child);
+        }
+        let mut it = nested_kids.into_iter();
+        for slot in order.iter_mut() {
+            if slot.is_none() {
+                *slot = it.next();
+            }
+        }
+        for child in order.into_iter().flatten() {
+            db.append_child(parent, child, c);
+        }
+    }
+    Ok(db)
+}
+
+/// Recursively create the element for `el` (and its nested subtree),
+/// attaching nested children in their primary colors. Returns the
+/// created node (not yet attached to ITS primary parent).
+fn walk(
+    doc: &Document,
+    el: NodeId,
+    db: &mut MctDatabase,
+    scope: &BTreeSet<String>,
+    ids: &mut HashMap<String, McNodeId>,
+    pendings: &mut Vec<(McNodeId, ColorId, String, usize)>,
+    nested: &mut Vec<(McNodeId, ColorId, McNodeId)>,
+) -> Result<McNodeId, ReconstructError> {
+    let name = doc
+        .name_str(el)
+        .ok_or_else(|| err("unnamed element"))?
+        .to_string();
+    // Decode color tokens.
+    let mut child_scope = scope.clone();
+    let mut own_extra: BTreeSet<String> = BTreeSet::new();
+    if let Some(tokens) = doc.attribute(el, "color") {
+        for tok in tokens.split_whitespace() {
+            if let Some(c) = tok.strip_suffix('+') {
+                child_scope.insert(c.to_string());
+            } else if let Some(c) = tok.strip_suffix('-') {
+                child_scope.remove(c);
+                own_extra.remove(c);
+            } else {
+                own_extra.insert(tok.to_string());
+            }
+        }
+    }
+    // Effective colors: subtree scope (after +/-) plus bare tokens.
+    let mut eff: BTreeSet<String> = child_scope.clone();
+    eff.extend(own_extra.iter().cloned());
+    if eff.is_empty() {
+        return Err(err(format!("element <{name}> has no effective colors")));
+    }
+
+    // Pointers identify the non-primary colors.
+    let mut pointer_colors: BTreeSet<String> = BTreeSet::new();
+    let mut my_pendings: Vec<(ColorId, String, usize)> = Vec::new();
+    for attr in doc.attributes(el) {
+        let aname = doc.name_str(attr).unwrap_or("");
+        if let Some(cname) = aname.strip_prefix("mct-parent-") {
+            let v = doc.node(attr).value.as_deref().unwrap_or("");
+            let (pid, pos) = v
+                .split_once('#')
+                .ok_or_else(|| err(format!("bad pointer value {v}")))?;
+            let pos: usize = pos.parse().map_err(|_| err("bad pointer position"))?;
+            let c = db
+                .color(cname)
+                .ok_or_else(|| err(format!("pointer color {cname} unknown")))?;
+            pointer_colors.insert(cname.to_string());
+            my_pendings.push((c, pid.to_string(), pos));
+        }
+    }
+    // Primary color: the unique effective color without a pointer.
+    let primaries: Vec<&String> = eff.difference(&pointer_colors).collect();
+    if primaries.len() != 1 {
+        return Err(err(format!(
+            "element <{name}> has {} primary-color candidates (colors {eff:?}, pointers {pointer_colors:?})",
+            primaries.len()
+        )));
+    }
+    let primary_name = primaries[0].clone();
+    let primary = db
+        .color(&primary_name)
+        .ok_or_else(|| err(format!("unknown color {primary_name}")))?;
+
+    // Create the node with all its colors.
+    let node = db.new_element(&name, primary);
+    for cname in &eff {
+        if cname != &primary_name {
+            let c = db.color(cname).ok_or_else(|| err("unknown color"))?;
+            db.add_node_color(node, c);
+        }
+    }
+    // Attributes (minus the exchange-protocol ones).
+    for attr in doc.attributes(el) {
+        let aname = doc.name_str(attr).unwrap_or("").to_string();
+        if aname == "color" || aname == "mctId" || aname.starts_with("mct-parent-") {
+            continue;
+        }
+        let v = doc.node(attr).value.clone().unwrap_or_default();
+        db.set_attr(node, &aname, &v);
+    }
+    if let Some(id) = doc.attribute(el, "mctId") {
+        ids.insert(id.to_string(), node);
+    }
+    for (c, pid, pos) in my_pendings {
+        pendings.push((node, c, pid, pos));
+    }
+    // Content + nested children.
+    let mut text = String::new();
+    for ch in doc.children(el) {
+        match doc.kind(ch) {
+            NodeKind::Text => {
+                if let Some(v) = &doc.node(ch).value {
+                    text.push_str(v);
+                }
+            }
+            NodeKind::Element => {
+                let child = walk(doc, ch, db, &child_scope, ids, pendings, nested)?;
+                // The nested child's primary attachment is under us, in
+                // ITS primary color (its colors minus its pointer
+                // colors); recorded for the position-merging phase.
+                let child_primary = primary_color_of(db, child, doc, ch)?;
+                nested.push((node, child_primary, child));
+            }
+            _ => {}
+        }
+    }
+    if !text.is_empty() {
+        db.set_content(node, &text);
+    }
+    Ok(node)
+}
+
+/// Recompute a just-created child's primary color (its colors minus
+/// the pointer colors on its XML element).
+fn primary_color_of(
+    db: &MctDatabase,
+    node: McNodeId,
+    doc: &Document,
+    el: NodeId,
+) -> Result<ColorId, ReconstructError> {
+    let mut pointer_colors = BTreeSet::new();
+    for attr in doc.attributes(el) {
+        if let Some(cname) = doc.name_str(attr).unwrap_or("").strip_prefix("mct-parent-") {
+            pointer_colors.insert(cname.to_string());
+        }
+    }
+    let candidates: Vec<ColorId> = db
+        .colors(node)
+        .iter()
+        .filter(|c| !pointer_colors.contains(db.palette.name(*c)))
+        .collect();
+    if candidates.len() != 1 {
+        return Err(err("ambiguous nested primary color"));
+    }
+    Ok(candidates[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::opt_serialize;
+    use crate::emit::emit_exchange;
+    use crate::schema::MctSchema;
+    use mct_core::export_color;
+
+    fn movie_db() -> MctDatabase {
+        let mut db = MctDatabase::new();
+        let red = db.add_color("red");
+        let green = db.add_color("green");
+        let blue = db.add_color("blue");
+        let genre = db.new_element("movie-genre", red);
+        db.set_content(genre, "Comedy");
+        db.append_child(McNodeId::DOCUMENT, genre, red);
+        let award = db.new_element("movie-award", green);
+        db.set_content(award, "Oscar");
+        db.append_child(McNodeId::DOCUMENT, award, green);
+        let actor = db.new_element("actor", blue);
+        db.set_content(actor, "Bette Davis");
+        db.append_child(McNodeId::DOCUMENT, actor, blue);
+        for i in 0..5 {
+            let m = db.new_element("movie", red);
+            db.set_attr(m, "num", &format!("{i}"));
+            db.append_child(genre, m, red);
+            let name = db.new_element("name", red);
+            db.set_content(name, &format!("Movie {i}"));
+            db.append_child(m, name, red);
+            if i % 2 == 0 {
+                db.add_node_color(m, green);
+                db.append_child(award, m, green);
+                db.add_node_color(name, green);
+                db.append_child(m, name, green);
+            }
+            if i == 1 || i == 3 {
+                let role = db.new_element("movie-role", red);
+                db.set_content(role, &format!("Role {i}"));
+                db.append_child(m, role, red);
+                db.add_node_color(role, blue);
+                db.append_child(actor, role, blue);
+            }
+        }
+        db
+    }
+
+    /// Per-color XML export — the isomorphism witness.
+    fn fingerprint(db: &MctDatabase) -> Vec<String> {
+        db.palette
+            .iter()
+            .map(|(c, _)| {
+                mct_xml::write_document(
+                    &export_color(db, c),
+                    &mct_xml::WriteOptions::default(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_colored_tree() {
+        let db = movie_db();
+        let (schema, stats) = MctSchema::figure8();
+        let scheme = opt_serialize(&schema, &stats);
+        let doc = emit_exchange(&db, &scheme);
+        let back = reconstruct(&doc).unwrap();
+        back.check_invariants();
+        assert_eq!(fingerprint(&db), fingerprint(&back));
+    }
+
+    #[test]
+    fn roundtrip_preserves_sibling_order_in_secondary_hierarchy() {
+        let db = movie_db();
+        let (schema, stats) = MctSchema::figure8();
+        let scheme = opt_serialize(&schema, &stats);
+        let doc = emit_exchange(&db, &scheme);
+        let back = reconstruct(&doc).unwrap();
+        // Actor's roles came in movie order 1, 3; order must survive.
+        let blue = back.color("blue").unwrap();
+        let actor = back
+            .children(McNodeId::DOCUMENT, blue)
+            .find(|&n| back.name_str(n) == Some("actor"))
+            .unwrap();
+        let roles: Vec<String> = back
+            .children(actor, blue)
+            .filter(|&n| back.name_str(n) == Some("movie-role"))
+            .map(|n| back.content(n).unwrap_or("").to_string())
+            .collect();
+        assert_eq!(roles, vec!["Role 1", "Role 3"]);
+    }
+
+    #[test]
+    fn roundtrip_counts_match() {
+        let db = movie_db();
+        let (schema, stats) = MctSchema::figure8();
+        let doc = emit_exchange(&db, &opt_serialize(&schema, &stats));
+        let back = reconstruct(&doc).unwrap();
+        assert_eq!(db.counts(), back.counts());
+        assert_eq!(db.structural_count(), back.structural_count());
+    }
+
+    #[test]
+    fn reconstruct_rejects_garbage() {
+        let doc = mct_xml::parse("<not-mct/>").unwrap();
+        assert!(reconstruct(&doc).is_err());
+        let doc2 = mct_xml::parse("<mct-database/>").unwrap();
+        assert!(reconstruct(&doc2).is_err(), "missing colors attribute");
+        let doc3 = mct_xml::parse(
+            r#"<mct-database colors="red"><hierarchy color="red"><x color="red" mct-parent-blue="e0#0"/></hierarchy></mct-database>"#,
+        )
+        .unwrap();
+        assert!(reconstruct(&doc3).is_err(), "pointer color not in palette");
+    }
+
+    #[test]
+    fn single_color_roundtrip() {
+        let mut db = MctDatabase::new();
+        let c = db.add_color("black");
+        let r = db.new_element("lib", c);
+        db.append_child(McNodeId::DOCUMENT, r, c);
+        for i in 0..3 {
+            let b = db.new_element("book", c);
+            db.set_content(b, &format!("B{i}"));
+            db.set_attr(b, "isbn", &format!("isbn-{i}"));
+            db.append_child(r, b, c);
+        }
+        let doc = emit_exchange(&db, &crate::cost::SerializationScheme::default());
+        let back = reconstruct(&doc).unwrap();
+        assert_eq!(fingerprint(&db), fingerprint(&back));
+    }
+}

@@ -1,0 +1,316 @@
+//! MCT schemas and summary statistics (§5.1, Figure 8).
+//!
+//! An [`MctSchema`] records, per element type, its *real colors* (the
+//! hierarchies it appears in) and, per color, its production — the
+//! child element types with quantifiers. The accompanying [`SchemaStats`]
+//! carry the `quant(e, c)` summary the paper's cost model assumes:
+//! the average number of `e`-children an element has under its parent
+//! type in hierarchy `c`.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Occurrence quantifier in a production.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Quant {
+    /// Exactly one.
+    One,
+    /// `?`
+    Optional,
+    /// `+`
+    Plus,
+    /// `*`
+    Star,
+}
+
+/// One child slot in a per-color production.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ChildSpec {
+    /// Child element type name.
+    pub name: String,
+    /// Quantifier.
+    pub quant: Quant,
+}
+
+/// An element type: its real colors and per-color productions.
+#[derive(Clone, Debug, Default)]
+pub struct ElemType {
+    /// Type name.
+    pub name: String,
+    /// Real colors: hierarchies this type appears in.
+    pub colors: BTreeSet<String>,
+    /// Per color, the production `m → e1 ... ek`.
+    pub productions: BTreeMap<String, Vec<ChildSpec>>,
+}
+
+impl ElemType {
+    /// True when the type has more than one real color.
+    pub fn is_multicolored(&self) -> bool {
+        self.colors.len() > 1
+    }
+
+    /// True when the type has no children in any color.
+    pub fn is_leaf(&self) -> bool {
+        self.productions.values().all(|p| p.is_empty())
+    }
+
+    /// Distinct child types over all colors, with the color they hang
+    /// under. A child reachable in several colors appears once, with
+    /// every color listed.
+    pub fn children_union(&self) -> Vec<(String, Vec<String>)> {
+        let mut seen: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        for (color, prod) in &self.productions {
+            for ch in prod {
+                seen.entry(ch.name.clone()).or_default().push(color.clone());
+            }
+        }
+        seen.into_iter().collect()
+    }
+}
+
+/// An MCT schema: element types, colors, root types per color.
+#[derive(Clone, Debug, Default)]
+pub struct MctSchema {
+    types: Vec<ElemType>,
+    index: HashMap<String, usize>,
+    /// All colors used by the schema.
+    pub colors: BTreeSet<String>,
+    /// Per color, the top-level (document-child) element types.
+    pub roots: BTreeMap<String, Vec<String>>,
+}
+
+impl MctSchema {
+    /// Empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn type_mut(&mut self, name: &str) -> &mut ElemType {
+        if let Some(&i) = self.index.get(name) {
+            return &mut self.types[i];
+        }
+        self.index.insert(name.to_string(), self.types.len());
+        self.types.push(ElemType {
+            name: name.to_string(),
+            ..Default::default()
+        });
+        self.types.last_mut().unwrap()
+    }
+
+    /// Declare `name`'s production in hierarchy `color`.
+    pub fn production(mut self, name: &str, color: &str, children: &[(&str, Quant)]) -> Self {
+        self.colors.insert(color.to_string());
+        {
+            let t = self.type_mut(name);
+            t.colors.insert(color.to_string());
+            t.productions.insert(
+                color.to_string(),
+                children
+                    .iter()
+                    .map(|(n, q)| ChildSpec {
+                        name: n.to_string(),
+                        quant: *q,
+                    })
+                    .collect(),
+            );
+        }
+        for (child, _) in children {
+            let t = self.type_mut(child);
+            t.colors.insert(color.to_string());
+        }
+        self
+    }
+
+    /// Declare a top-level type for a color.
+    pub fn root(mut self, color: &str, name: &str) -> Self {
+        self.colors.insert(color.to_string());
+        self.type_mut(name).colors.insert(color.to_string());
+        self.roots
+            .entry(color.to_string())
+            .or_default()
+            .push(name.to_string());
+        self
+    }
+
+    /// Look up a type.
+    pub fn get(&self, name: &str) -> Option<&ElemType> {
+        self.index.get(name).map(|&i| &self.types[i])
+    }
+
+    /// All element types.
+    pub fn types(&self) -> impl Iterator<Item = &ElemType> {
+        self.types.iter()
+    }
+
+    /// The multi-colored element types, in declaration order (the
+    /// paper's algorithm walks these top-down).
+    pub fn multicolored(&self) -> impl Iterator<Item = &ElemType> {
+        self.types.iter().filter(|t| t.is_multicolored())
+    }
+
+    /// Verify the §5.3 assumptions: multi-colored types are acyclic
+    /// through productions. Returns the offending type on violation.
+    pub fn check_acyclic(&self) -> Result<(), String> {
+        // DFS over the "child of" relation across all colors.
+        fn dfs<'a>(
+            schema: &'a MctSchema,
+            name: &'a str,
+            path: &mut Vec<&'a str>,
+            done: &mut BTreeSet<&'a str>,
+        ) -> Result<(), String> {
+            if done.contains(name) {
+                return Ok(());
+            }
+            if path.contains(&name) {
+                return Err(name.to_string());
+            }
+            path.push(name);
+            if let Some(t) = schema.get(name) {
+                for prod in t.productions.values() {
+                    for ch in prod {
+                        dfs(schema, &ch.name, path, done)?;
+                    }
+                }
+            }
+            path.pop();
+            done.insert(name);
+            Ok(())
+        }
+        let mut done = BTreeSet::new();
+        for t in &self.types {
+            dfs(self, &t.name, &mut Vec::new(), &mut done)?;
+        }
+        Ok(())
+    }
+
+    /// The paper's running example schema (Figure 8): movie in red and
+    /// green; movie-role in red and blue; color-specific subelements.
+    pub fn figure8() -> (MctSchema, SchemaStats) {
+        let schema = MctSchema::new()
+            .root("red", "movie-genre")
+            .root("green", "movie-award")
+            .root("blue", "actor")
+            .production("movie-genre", "red", &[("movie", Quant::Star)])
+            .production("movie-award", "green", &[("movie", Quant::Star)])
+            .production("actor", "blue", &[("movie-role", Quant::Star)])
+            .production(
+                "movie",
+                "red",
+                &[("name", Quant::One), ("movie-role", Quant::Star)],
+            )
+            .production(
+                "movie",
+                "green",
+                &[
+                    ("name", Quant::One),
+                    ("votes", Quant::One),
+                    ("category", Quant::One),
+                ],
+            )
+            .production(
+                "movie-role",
+                "red",
+                &[
+                    ("name", Quant::One),
+                    ("description", Quant::One),
+                    ("scene", Quant::Star),
+                ],
+            )
+            .production("movie-role", "blue", &[("name", Quant::One), ("payment", Quant::One)]);
+        let mut stats = SchemaStats::new();
+        stats.set("movie", "red", 20.0);
+        stats.set("movie", "green", 5.0);
+        stats.set("movie-role", "red", 10.0);
+        stats.set("movie-role", "blue", 6.0);
+        stats.set("name", "red", 1.0);
+        stats.set("name", "green", 1.0);
+        stats.set("name", "blue", 1.0);
+        stats.set("votes", "green", 1.0);
+        stats.set("category", "green", 1.0);
+        stats.set("description", "red", 1.0);
+        stats.set("scene", "red", 3.0);
+        stats.set("payment", "blue", 1.0);
+        (schema, stats)
+    }
+}
+
+/// `quant(e, c)` summary statistics: average number of `e`-children
+/// under the parent type in hierarchy `c`.
+#[derive(Clone, Debug, Default)]
+pub struct SchemaStats {
+    quants: HashMap<(String, String), f64>,
+}
+
+impl SchemaStats {
+    /// Empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `quant(elem, color)`.
+    pub fn set(&mut self, elem: &str, color: &str, q: f64) {
+        self.quants.insert((elem.to_string(), color.to_string()), q);
+    }
+
+    /// `quant(elem, color)`, defaulting to 1.0 when unrecorded.
+    pub fn quant(&self, elem: &str, color: &str) -> f64 {
+        self.quants
+            .get(&(elem.to_string(), color.to_string()))
+            .copied()
+            .unwrap_or(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure8_shape() {
+        let (schema, stats) = MctSchema::figure8();
+        let movie = schema.get("movie").unwrap();
+        assert!(movie.is_multicolored());
+        assert_eq!(
+            movie.colors.iter().collect::<Vec<_>>(),
+            ["green", "red"],
+            "movie is red+green"
+        );
+        let role = schema.get("movie-role").unwrap();
+        assert_eq!(role.colors.iter().collect::<Vec<_>>(), ["blue", "red"]);
+        let votes = schema.get("votes").unwrap();
+        assert!(!votes.is_multicolored());
+        assert!(votes.is_leaf());
+        assert_eq!(stats.quant("movie-role", "red"), 10.0);
+        assert_eq!(stats.quant("unknown", "red"), 1.0, "default quant is 1");
+    }
+
+    #[test]
+    fn children_union_merges_colors() {
+        let (schema, _) = MctSchema::figure8();
+        let movie = schema.get("movie").unwrap();
+        let kids = movie.children_union();
+        let name_entry = kids.iter().find(|(n, _)| n == "name").unwrap();
+        assert_eq!(name_entry.1.len(), 2, "name hangs under movie in red and green");
+        assert!(kids.iter().any(|(n, _)| n == "votes"));
+        assert!(kids.iter().any(|(n, _)| n == "movie-role"));
+    }
+
+    #[test]
+    fn multicolored_enumeration() {
+        let (schema, _) = MctSchema::figure8();
+        let mc: Vec<&str> = schema.multicolored().map(|t| t.name.as_str()).collect();
+        assert!(mc.contains(&"movie"));
+        assert!(mc.contains(&"movie-role"));
+        assert!(mc.contains(&"name"), "name is red+green+blue");
+        assert!(!mc.contains(&"votes"));
+    }
+
+    #[test]
+    fn acyclic_check_passes_and_fails() {
+        let (schema, _) = MctSchema::figure8();
+        assert!(schema.check_acyclic().is_ok());
+        let cyclic = MctSchema::new()
+            .production("a", "red", &[("b", Quant::One)])
+            .production("b", "red", &[("a", Quant::One)]);
+        assert!(cyclic.check_acyclic().is_err());
+    }
+}

@@ -1,0 +1,625 @@
+//! A B+-tree over the buffer pool.
+//!
+//! Keys are arbitrary byte strings (unique at this layer — callers
+//! needing duplicates compose `key || value` composite keys, see
+//! [`crate::index`]); values are `u64`. One tree node per page,
+//! serialized as a whole; leaves are chained for range scans.
+//!
+//! Deletion is *lazy* (remove from leaf, no rebalancing) — the standard
+//! practical simplification; the paper's workloads are insert- and
+//! read-heavy, and under-full pages are reabsorbed by later inserts.
+//!
+//! Node wire format (little-endian):
+//!
+//! ```text
+//! leaf:     0x01  count:u16  next:u32(+1, 0=none)  { klen:u16 key val:u64 }*
+//! internal: 0x00  count:u16  child0:u32            { klen:u16 key child:u32 }*
+//! ```
+//!
+//! In an internal node, `child0` covers keys `< key[0]`, and `child[i]`
+//! covers `key[i] <= k < key[i+1]`.
+
+use crate::buffer::BufferPool;
+use crate::disk::DiskManager;
+use crate::error::StorageError;
+use crate::page::{PageId, PAGE_SIZE};
+use crate::Result;
+
+/// Soft byte budget per node; exceeding it triggers a split.
+const NODE_BUDGET: usize = PAGE_SIZE - 64;
+
+/// Result of a recursive insert: the replaced value (if any) and a
+/// `(separator, new right page)` pair when the child split.
+type InsertOutcome = (Option<u64>, Option<(Vec<u8>, PageId)>);
+
+#[derive(Clone, Debug)]
+enum Node {
+    Leaf {
+        entries: Vec<(Vec<u8>, u64)>,
+        next: Option<PageId>,
+    },
+    Internal {
+        child0: PageId,
+        entries: Vec<(Vec<u8>, PageId)>,
+    },
+}
+
+impl Node {
+    fn serialized_size(&self) -> usize {
+        match self {
+            Node::Leaf { entries, .. } => {
+                7 + entries.iter().map(|(k, _)| 2 + k.len() + 8).sum::<usize>()
+            }
+            Node::Internal { entries, .. } => {
+                7 + entries.iter().map(|(k, _)| 2 + k.len() + 4).sum::<usize>()
+            }
+        }
+    }
+
+    fn encode(&self, buf: &mut [u8]) {
+        let mut w = Writer { buf, at: 0 };
+        match self {
+            Node::Leaf { entries, next } => {
+                w.u8(1);
+                w.u16(entries.len() as u16);
+                w.u32(next.map(|p| p.0 + 1).unwrap_or(0));
+                for (k, v) in entries {
+                    w.u16(k.len() as u16);
+                    w.bytes(k);
+                    w.u64(*v);
+                }
+            }
+            Node::Internal { child0, entries } => {
+                w.u8(0);
+                w.u16(entries.len() as u16);
+                w.u32(child0.0);
+                for (k, c) in entries {
+                    w.u16(k.len() as u16);
+                    w.bytes(k);
+                    w.u32(c.0);
+                }
+            }
+        }
+    }
+
+    fn decode(buf: &[u8]) -> Result<Node> {
+        let mut r = Reader { buf, at: 0 };
+        let leaf = r.u8()? == 1;
+        let count = r.u16()? as usize;
+        if leaf {
+            let next_raw = r.u32()?;
+            let next = if next_raw == 0 {
+                None
+            } else {
+                Some(PageId(next_raw - 1))
+            };
+            let mut entries = Vec::with_capacity(count);
+            for _ in 0..count {
+                let klen = r.u16()? as usize;
+                let key = r.bytes(klen)?.to_vec();
+                let val = r.u64()?;
+                entries.push((key, val));
+            }
+            Ok(Node::Leaf { entries, next })
+        } else {
+            let child0 = PageId(r.u32()?);
+            let mut entries = Vec::with_capacity(count);
+            for _ in 0..count {
+                let klen = r.u16()? as usize;
+                let key = r.bytes(klen)?.to_vec();
+                let child = PageId(r.u32()?);
+                entries.push((key, child));
+            }
+            Ok(Node::Internal { child0, entries })
+        }
+    }
+}
+
+struct Writer<'a> {
+    buf: &'a mut [u8],
+    at: usize,
+}
+
+impl Writer<'_> {
+    fn u8(&mut self, v: u8) {
+        self.buf[self.at] = v;
+        self.at += 1;
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf[self.at..self.at + 2].copy_from_slice(&v.to_le_bytes());
+        self.at += 2;
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf[self.at..self.at + 4].copy_from_slice(&v.to_le_bytes());
+        self.at += 4;
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf[self.at..self.at + 8].copy_from_slice(&v.to_le_bytes());
+        self.at += 8;
+    }
+    fn bytes(&mut self, b: &[u8]) {
+        self.buf[self.at..self.at + b.len()].copy_from_slice(b);
+        self.at += b.len();
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.at + n > self.buf.len() {
+            return Err(StorageError::Corrupt("btree node truncated"));
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+    fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+    fn u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.take(n)
+    }
+}
+
+/// A B+-tree rooted at a page, parameterized by the shared buffer pool.
+pub struct BTree {
+    root: PageId,
+    entries: u64,
+    pages: u32,
+}
+
+impl BTree {
+    /// Create an empty tree (allocates the root leaf).
+    pub fn create<D: DiskManager>(pool: &mut BufferPool<D>) -> Result<BTree> {
+        let root = pool.allocate()?;
+        let node = Node::Leaf {
+            entries: Vec::new(),
+            next: None,
+        };
+        write_node(pool, root, &node)?;
+        Ok(BTree {
+            root,
+            entries: 0,
+            pages: 1,
+        })
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> u64 {
+        self.entries
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Number of pages this tree has allocated.
+    pub fn page_count(&self) -> u32 {
+        self.pages
+    }
+
+    /// Exact-match lookup.
+    pub fn get<D: DiskManager>(
+        &self,
+        pool: &mut BufferPool<D>,
+        key: &[u8],
+    ) -> Result<Option<u64>> {
+        let mut page = self.root;
+        loop {
+            let node = read_node(pool, page)?;
+            match node {
+                Node::Leaf { entries, .. } => {
+                    return Ok(entries
+                        .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+                        .ok()
+                        .map(|i| entries[i].1));
+                }
+                Node::Internal { child0, entries } => {
+                    page = descend(&entries, child0, key);
+                }
+            }
+        }
+    }
+
+    /// Insert or overwrite. Returns the previous value if the key existed.
+    pub fn insert<D: DiskManager>(
+        &mut self,
+        pool: &mut BufferPool<D>,
+        key: &[u8],
+        value: u64,
+    ) -> Result<Option<u64>> {
+        let (old, split) = self.insert_rec(pool, self.root, key, value)?;
+        if let Some((sep, right)) = split {
+            // Root split: create a new root.
+            let old_root = self.root;
+            let new_root = pool.allocate()?;
+            self.pages += 1;
+            let node = Node::Internal {
+                child0: old_root,
+                entries: vec![(sep, right)],
+            };
+            write_node(pool, new_root, &node)?;
+            self.root = new_root;
+        }
+        if old.is_none() {
+            self.entries += 1;
+        }
+        Ok(old)
+    }
+
+    fn insert_rec<D: DiskManager>(
+        &mut self,
+        pool: &mut BufferPool<D>,
+        page: PageId,
+        key: &[u8],
+        value: u64,
+    ) -> Result<InsertOutcome> {
+        let mut node = read_node(pool, page)?;
+        match &mut node {
+            Node::Leaf { entries, next: _ } => {
+                let old = match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                    Ok(i) => {
+                        let old = entries[i].1;
+                        entries[i].1 = value;
+                        Some(old)
+                    }
+                    Err(i) => {
+                        entries.insert(i, (key.to_vec(), value));
+                        None
+                    }
+                };
+                if node.serialized_size() <= NODE_BUDGET {
+                    write_node(pool, page, &node)?;
+                    return Ok((old, None));
+                }
+                // Split the leaf.
+                let (entries, next) = match node {
+                    Node::Leaf { entries, next } => (entries, next),
+                    _ => unreachable!(),
+                };
+                let mid = entries.len() / 2;
+                let right_entries = entries[mid..].to_vec();
+                let left_entries = entries[..mid].to_vec();
+                let sep = right_entries[0].0.clone();
+                let right_page = pool.allocate()?;
+                self.pages += 1;
+                write_node(
+                    pool,
+                    right_page,
+                    &Node::Leaf {
+                        entries: right_entries,
+                        next,
+                    },
+                )?;
+                write_node(
+                    pool,
+                    page,
+                    &Node::Leaf {
+                        entries: left_entries,
+                        next: Some(right_page),
+                    },
+                )?;
+                Ok((old, Some((sep, right_page))))
+            }
+            Node::Internal { child0, entries } => {
+                let child = descend(entries, *child0, key);
+                let (old, split) = self.insert_rec(pool, child, key, value)?;
+                if let Some((sep, right)) = split {
+                    let pos = entries
+                        .binary_search_by(|(k, _)| k.as_slice().cmp(&sep))
+                        .unwrap_or_else(|i| i);
+                    entries.insert(pos, (sep, right));
+                    if node.serialized_size() <= NODE_BUDGET {
+                        write_node(pool, page, &node)?;
+                        return Ok((old, None));
+                    }
+                    // Split the internal node.
+                    let (child0, entries) = match node {
+                        Node::Internal { child0, entries } => (child0, entries),
+                        _ => unreachable!(),
+                    };
+                    let mid = entries.len() / 2;
+                    let (up_key, up_child) = entries[mid].clone();
+                    let right_entries = entries[mid + 1..].to_vec();
+                    let left_entries = entries[..mid].to_vec();
+                    let right_page = pool.allocate()?;
+                    self.pages += 1;
+                    write_node(
+                        pool,
+                        right_page,
+                        &Node::Internal {
+                            child0: up_child,
+                            entries: right_entries,
+                        },
+                    )?;
+                    write_node(
+                        pool,
+                        page,
+                        &Node::Internal {
+                            child0,
+                            entries: left_entries,
+                        },
+                    )?;
+                    return Ok((old, Some((up_key, right_page))));
+                }
+                Ok((old, None))
+            }
+        }
+    }
+
+    /// Delete a key (lazy: no rebalancing). Returns the removed value.
+    pub fn delete<D: DiskManager>(
+        &mut self,
+        pool: &mut BufferPool<D>,
+        key: &[u8],
+    ) -> Result<Option<u64>> {
+        let mut page = self.root;
+        loop {
+            let mut node = read_node(pool, page)?;
+            match &mut node {
+                Node::Leaf { entries, .. } => {
+                    match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                        Ok(i) => {
+                            let (_, v) = entries.remove(i);
+                            write_node(pool, page, &node)?;
+                            self.entries -= 1;
+                            return Ok(Some(v));
+                        }
+                        Err(_) => return Ok(None),
+                    }
+                }
+                Node::Internal { child0, entries } => {
+                    page = descend(entries, *child0, key);
+                }
+            }
+        }
+    }
+
+    /// Visit every `(key, value)` with `lo <= key < hi` in key order.
+    /// `hi = None` means unbounded above.
+    pub fn scan_range<D: DiskManager>(
+        &self,
+        pool: &mut BufferPool<D>,
+        lo: &[u8],
+        hi: Option<&[u8]>,
+        mut f: impl FnMut(&[u8], u64),
+    ) -> Result<()> {
+        // Find the leaf containing lo.
+        let mut page = self.root;
+        loop {
+            let node = read_node(pool, page)?;
+            match node {
+                Node::Internal { child0, entries } => {
+                    page = descend(&entries, child0, lo);
+                }
+                Node::Leaf { .. } => break,
+            }
+        }
+        // Walk the leaf chain.
+        loop {
+            let node = read_node(pool, page)?;
+            let (entries, next) = match node {
+                Node::Leaf { entries, next } => (entries, next),
+                _ => return Err(StorageError::Corrupt("leaf chain hit internal node")),
+            };
+            for (k, v) in &entries {
+                if k.as_slice() < lo {
+                    continue;
+                }
+                if let Some(hi) = hi {
+                    if k.as_slice() >= hi {
+                        return Ok(());
+                    }
+                }
+                f(k, *v);
+            }
+            match next {
+                Some(n) => page = n,
+                None => return Ok(()),
+            }
+        }
+    }
+
+    /// Collect a range into a vector (convenience over [`Self::scan_range`]).
+    pub fn range_vec<D: DiskManager>(
+        &self,
+        pool: &mut BufferPool<D>,
+        lo: &[u8],
+        hi: Option<&[u8]>,
+    ) -> Result<Vec<(Vec<u8>, u64)>> {
+        let mut out = Vec::new();
+        self.scan_range(pool, lo, hi, |k, v| out.push((k.to_vec(), v)))?;
+        Ok(out)
+    }
+}
+
+fn descend(entries: &[(Vec<u8>, PageId)], child0: PageId, key: &[u8]) -> PageId {
+    // Last entry with key <= target, else child0.
+    match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+        Ok(i) => entries[i].1,
+        Err(0) => child0,
+        Err(i) => entries[i - 1].1,
+    }
+}
+
+fn read_node<D: DiskManager>(pool: &mut BufferPool<D>, page: PageId) -> Result<Node> {
+    pool.with_page(page, Node::decode)?
+}
+
+fn write_node<D: DiskManager>(pool: &mut BufferPool<D>, page: PageId, node: &Node) -> Result<()> {
+    debug_assert!(
+        node.serialized_size() <= PAGE_SIZE,
+        "node overflows page: {}",
+        node.serialized_size()
+    );
+    pool.with_page_mut(page, |buf| node.encode(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::MemDisk;
+
+    fn pool() -> BufferPool<MemDisk> {
+        BufferPool::new(MemDisk::new(), 64 * PAGE_SIZE)
+    }
+
+    #[test]
+    fn insert_get_small() {
+        let mut p = pool();
+        let mut t = BTree::create(&mut p).unwrap();
+        assert_eq!(t.insert(&mut p, b"b", 2).unwrap(), None);
+        assert_eq!(t.insert(&mut p, b"a", 1).unwrap(), None);
+        assert_eq!(t.insert(&mut p, b"c", 3).unwrap(), None);
+        assert_eq!(t.get(&mut p, b"a").unwrap(), Some(1));
+        assert_eq!(t.get(&mut p, b"b").unwrap(), Some(2));
+        assert_eq!(t.get(&mut p, b"c").unwrap(), Some(3));
+        assert_eq!(t.get(&mut p, b"d").unwrap(), None);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn overwrite_returns_old() {
+        let mut p = pool();
+        let mut t = BTree::create(&mut p).unwrap();
+        t.insert(&mut p, b"k", 1).unwrap();
+        assert_eq!(t.insert(&mut p, b"k", 2).unwrap(), Some(1));
+        assert_eq!(t.get(&mut p, b"k").unwrap(), Some(2));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn many_inserts_force_splits() {
+        let mut p = BufferPool::new(MemDisk::new(), 256 * PAGE_SIZE);
+        let mut t = BTree::create(&mut p).unwrap();
+        let n = 20_000u32;
+        for i in 0..n {
+            // Interleaved order to exercise both split directions.
+            let k = i.wrapping_mul(2654435761) ^ i;
+            t.insert(&mut p, &k.to_be_bytes(), u64::from(i)).unwrap();
+        }
+        assert!(t.page_count() > 10, "splits happened: {}", t.page_count());
+        for i in 0..n {
+            let k = i.wrapping_mul(2654435761) ^ i;
+            assert_eq!(t.get(&mut p, &k.to_be_bytes()).unwrap(), Some(u64::from(i)));
+        }
+    }
+
+    #[test]
+    fn range_scan_in_order() {
+        let mut p = pool();
+        let mut t = BTree::create(&mut p).unwrap();
+        for i in (0..100u32).rev() {
+            t.insert(&mut p, &i.to_be_bytes(), u64::from(i)).unwrap();
+        }
+        let got = t
+            .range_vec(&mut p, &10u32.to_be_bytes(), Some(&20u32.to_be_bytes()))
+            .unwrap();
+        let vals: Vec<u64> = got.iter().map(|(_, v)| *v).collect();
+        assert_eq!(vals, (10..20).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn full_scan_is_sorted_after_splits() {
+        let mut p = BufferPool::new(MemDisk::new(), 256 * PAGE_SIZE);
+        let mut t = BTree::create(&mut p).unwrap();
+        let mut keys: Vec<u32> = (0..5000).map(|i| i * 7 % 5000).collect();
+        keys.dedup();
+        for &k in &keys {
+            t.insert(&mut p, &k.to_be_bytes(), u64::from(k)).unwrap();
+        }
+        let got = t.range_vec(&mut p, &[], None).unwrap();
+        let mut prev: Option<Vec<u8>> = None;
+        for (k, _) in &got {
+            if let Some(pk) = &prev {
+                assert!(pk < k, "scan out of order");
+            }
+            prev = Some(k.clone());
+        }
+        assert_eq!(got.len() as u64, t.len());
+    }
+
+    #[test]
+    fn delete_removes_key() {
+        let mut p = pool();
+        let mut t = BTree::create(&mut p).unwrap();
+        for i in 0..100u32 {
+            t.insert(&mut p, &i.to_be_bytes(), u64::from(i)).unwrap();
+        }
+        assert_eq!(t.delete(&mut p, &50u32.to_be_bytes()).unwrap(), Some(50));
+        assert_eq!(t.delete(&mut p, &50u32.to_be_bytes()).unwrap(), None);
+        assert_eq!(t.get(&mut p, &50u32.to_be_bytes()).unwrap(), None);
+        assert_eq!(t.len(), 99);
+        // Neighbours untouched.
+        assert_eq!(t.get(&mut p, &49u32.to_be_bytes()).unwrap(), Some(49));
+        assert_eq!(t.get(&mut p, &51u32.to_be_bytes()).unwrap(), Some(51));
+    }
+
+    #[test]
+    fn variable_length_keys() {
+        let mut p = pool();
+        let mut t = BTree::create(&mut p).unwrap();
+        let keys = ["a", "ab", "abc", "b", "ba", "z", ""];
+        for (i, k) in keys.iter().enumerate() {
+            t.insert(&mut p, k.as_bytes(), i as u64).unwrap();
+        }
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(t.get(&mut p, k.as_bytes()).unwrap(), Some(i as u64));
+        }
+        // Lexicographic scan order.
+        let got = t.range_vec(&mut p, &[], None).unwrap();
+        let strs: Vec<String> = got
+            .iter()
+            .map(|(k, _)| String::from_utf8(k.clone()).unwrap())
+            .collect();
+        assert_eq!(strs, ["", "a", "ab", "abc", "b", "ba", "z"]);
+    }
+
+    #[test]
+    fn long_keys_split_correctly() {
+        let mut p = BufferPool::new(MemDisk::new(), 128 * PAGE_SIZE);
+        let mut t = BTree::create(&mut p).unwrap();
+        for i in 0..500u32 {
+            let key = format!("{:0>200}", i); // 200-byte keys
+            t.insert(&mut p, key.as_bytes(), u64::from(i)).unwrap();
+        }
+        for i in 0..500u32 {
+            let key = format!("{:0>200}", i);
+            assert_eq!(t.get(&mut p, key.as_bytes()).unwrap(), Some(u64::from(i)));
+        }
+    }
+
+    #[test]
+    fn scan_after_deletes_skips_them() {
+        let mut p = pool();
+        let mut t = BTree::create(&mut p).unwrap();
+        for i in 0..50u32 {
+            t.insert(&mut p, &i.to_be_bytes(), u64::from(i)).unwrap();
+        }
+        for i in (0..50u32).step_by(2) {
+            t.delete(&mut p, &i.to_be_bytes()).unwrap();
+        }
+        let got = t.range_vec(&mut p, &[], None).unwrap();
+        assert_eq!(got.len(), 25);
+        assert!(got.iter().all(|(_, v)| v % 2 == 1));
+    }
+}

@@ -1,0 +1,154 @@
+//! Order-preserving key encodings and the structural interval code.
+//!
+//! The paper's physical model identifies structural nodes by a
+//! `(start, end, level)` interval encoding (§6.1): node `a` is an
+//! ancestor of node `d` iff `a.start < d.start && d.end <= a.end`, and
+//! the parent relationship additionally requires `a.level + 1 ==
+//! d.level`. Intervals are assigned by pre-order traversal with gaps
+//! (stride) so that small insertions rarely force renumbering.
+
+/// `(start, end, level)` interval code of a structural node.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct IntervalCode {
+    /// Pre-order start position.
+    pub start: u32,
+    /// End position; the subtree spans `(start, end]`.
+    pub end: u32,
+    /// Depth below the document node (document = 0).
+    pub level: u16,
+}
+
+impl IntervalCode {
+    /// Encoded size in bytes.
+    pub const BYTES: usize = 10;
+
+    /// True iff `self` strictly contains `other` (ancestor test).
+    #[inline]
+    pub fn is_ancestor_of(&self, other: &IntervalCode) -> bool {
+        self.start < other.start && other.end <= self.end
+    }
+
+    /// True iff `self` is the parent of `other`.
+    #[inline]
+    pub fn is_parent_of(&self, other: &IntervalCode) -> bool {
+        self.is_ancestor_of(other) && self.level + 1 == other.level
+    }
+
+    /// Big-endian, order-preserving byte encoding (sorts by `start`).
+    pub fn to_bytes(&self) -> [u8; Self::BYTES] {
+        let mut out = [0u8; Self::BYTES];
+        out[0..4].copy_from_slice(&self.start.to_be_bytes());
+        out[4..8].copy_from_slice(&self.end.to_be_bytes());
+        out[8..10].copy_from_slice(&self.level.to_be_bytes());
+        out
+    }
+
+    /// Decode from [`Self::to_bytes`] output.
+    pub fn from_bytes(b: &[u8]) -> IntervalCode {
+        IntervalCode {
+            start: u32::from_be_bytes([b[0], b[1], b[2], b[3]]),
+            end: u32::from_be_bytes([b[4], b[5], b[6], b[7]]),
+            level: u16::from_be_bytes([b[8], b[9]]),
+        }
+    }
+}
+
+/// Helpers for building composite, order-preserving byte keys.
+pub struct KeyEncoder;
+
+impl KeyEncoder {
+    /// Big-endian `u32` (orders numerically).
+    #[inline]
+    pub fn u32(v: u32) -> [u8; 4] {
+        v.to_be_bytes()
+    }
+
+    /// Big-endian `u64` (orders numerically).
+    #[inline]
+    pub fn u64(v: u64) -> [u8; 8] {
+        v.to_be_bytes()
+    }
+
+    /// Composite key: fixed-width prefix then suffix.
+    pub fn pair(prefix: &[u8], suffix: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(prefix.len() + suffix.len());
+        out.extend_from_slice(prefix);
+        out.extend_from_slice(suffix);
+        out
+    }
+
+    /// Smallest byte string strictly greater than every string with
+    /// prefix `p` — i.e. the exclusive upper bound of the prefix range.
+    /// Returns `None` when `p` is empty or all-`0xFF` (range is
+    /// unbounded above).
+    pub fn prefix_upper_bound(p: &[u8]) -> Option<Vec<u8>> {
+        let mut out = p.to_vec();
+        while let Some(last) = out.last_mut() {
+            if *last < 0xFF {
+                *last += 1;
+                return Some(out);
+            }
+            out.pop();
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_ancestor_and_parent() {
+        let root = IntervalCode { start: 1, end: 100, level: 1 };
+        let child = IntervalCode { start: 2, end: 50, level: 2 };
+        let grand = IntervalCode { start: 3, end: 10, level: 3 };
+        let sibling = IntervalCode { start: 51, end: 99, level: 2 };
+        assert!(root.is_ancestor_of(&child));
+        assert!(root.is_ancestor_of(&grand));
+        assert!(root.is_parent_of(&child));
+        assert!(!root.is_parent_of(&grand), "grandchild is not a child");
+        assert!(!child.is_ancestor_of(&sibling));
+        assert!(!child.is_ancestor_of(&root));
+        assert!(!root.is_ancestor_of(&root), "strict containment");
+    }
+
+    #[test]
+    fn interval_bytes_roundtrip_and_order() {
+        let a = IntervalCode { start: 5, end: 10, level: 2 };
+        let b = IntervalCode { start: 6, end: 9, level: 3 };
+        assert_eq!(IntervalCode::from_bytes(&a.to_bytes()), a);
+        assert!(a.to_bytes() < b.to_bytes(), "byte order follows start order");
+    }
+
+    #[test]
+    fn u32_keys_order_numerically() {
+        assert!(KeyEncoder::u32(1) < KeyEncoder::u32(2));
+        assert!(KeyEncoder::u32(255) < KeyEncoder::u32(256));
+        assert!(KeyEncoder::u32(65535) < KeyEncoder::u32(65536));
+    }
+
+    #[test]
+    fn prefix_upper_bound_basic() {
+        assert_eq!(
+            KeyEncoder::prefix_upper_bound(b"abc"),
+            Some(b"abd".to_vec())
+        );
+        assert_eq!(
+            KeyEncoder::prefix_upper_bound(&[1, 0xFF]),
+            Some(vec![2])
+        );
+        assert_eq!(KeyEncoder::prefix_upper_bound(&[0xFF, 0xFF]), None);
+        assert_eq!(KeyEncoder::prefix_upper_bound(&[]), None);
+    }
+
+    #[test]
+    fn prefix_upper_bound_is_tight() {
+        let p = b"tag\x01";
+        let ub = KeyEncoder::prefix_upper_bound(p).unwrap();
+        // Everything with the prefix is < ub; ub itself lacks the prefix.
+        let with_prefix = KeyEncoder::pair(p, b"\xFF\xFF\xFF");
+        assert!(with_prefix.as_slice() < ub.as_slice());
+        assert!(!ub.starts_with(p));
+    }
+}

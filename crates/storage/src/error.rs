@@ -1,0 +1,70 @@
+//! Storage-layer errors.
+
+use std::fmt;
+use std::io;
+
+/// Errors surfaced by the storage engine.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying I/O failure (file-backed disk manager).
+    Io(io::Error),
+    /// A page id beyond the allocated range was requested.
+    PageOutOfRange {
+        /// Requested page.
+        page: u32,
+        /// Number of allocated pages.
+        allocated: u32,
+    },
+    /// A record id pointed at a missing or deleted slot.
+    RecordNotFound {
+        /// Page of the record.
+        page: u32,
+        /// Slot within the page.
+        slot: u16,
+    },
+    /// The record (or key) is too large to ever fit a page.
+    RecordTooLarge {
+        /// Size requested.
+        size: usize,
+        /// Maximum size a page can hold.
+        max: usize,
+    },
+    /// Every buffer frame is pinned; nothing can be evicted.
+    PoolExhausted,
+    /// On-page bytes failed structural validation.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "I/O error: {e}"),
+            StorageError::PageOutOfRange { page, allocated } => {
+                write!(f, "page {page} out of range (allocated {allocated})")
+            }
+            StorageError::RecordNotFound { page, slot } => {
+                write!(f, "record ({page}, {slot}) not found")
+            }
+            StorageError::RecordTooLarge { size, max } => {
+                write!(f, "record of {size} bytes exceeds page capacity {max}")
+            }
+            StorageError::PoolExhausted => write!(f, "buffer pool exhausted (all frames pinned)"),
+            StorageError::Corrupt(what) => write!(f, "corrupt page: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}

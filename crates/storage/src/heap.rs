@@ -1,0 +1,277 @@
+//! Heap files: unordered variable-length records over slotted pages.
+
+use crate::buffer::BufferPool;
+use crate::disk::DiskManager;
+use crate::error::StorageError;
+use crate::page::{PageId, SlottedPage, SlottedRead, MAX_RECORD};
+use crate::Result;
+use std::fmt;
+
+/// Stable address of a record: page + slot.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RecordId {
+    /// Page holding the record.
+    pub page: PageId,
+    /// Slot within the page.
+    pub slot: u16,
+}
+
+impl fmt::Debug for RecordId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}:{}", self.page.0, self.slot)
+    }
+}
+
+/// A heap file: a growable set of pages owned by this file, with a
+/// simple free-space hint (fill the last page, else allocate). Pages
+/// are tracked by id; several heap files can share one buffer pool.
+pub struct HeapFile {
+    pages: Vec<PageId>,
+    records: u64,
+    bytes: u64,
+}
+
+impl Default for HeapFile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HeapFile {
+    /// Create an empty heap file (no pages yet).
+    pub fn new() -> Self {
+        HeapFile {
+            pages: Vec::new(),
+            records: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Number of live records.
+    pub fn record_count(&self) -> u64 {
+        self.records
+    }
+
+    /// Total payload bytes of live records.
+    pub fn payload_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Number of pages owned by this file.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Insert a record; returns its stable id.
+    pub fn insert<D: DiskManager>(
+        &mut self,
+        pool: &mut BufferPool<D>,
+        data: &[u8],
+    ) -> Result<RecordId> {
+        if data.len() > MAX_RECORD {
+            return Err(StorageError::RecordTooLarge {
+                size: data.len(),
+                max: MAX_RECORD,
+            });
+        }
+        // Try the last page first.
+        if let Some(&last) = self.pages.last() {
+            let slot = pool.with_page_mut(last, |buf| {
+                let mut p = SlottedPage::new(buf);
+                if p.fits(data.len()) {
+                    Some(p.insert(data))
+                } else {
+                    None
+                }
+            })?;
+            if let Some(slot) = slot {
+                self.records += 1;
+                self.bytes += data.len() as u64;
+                return Ok(RecordId { page: last, slot: slot? });
+            }
+        }
+        let page = pool.allocate()?;
+        self.pages.push(page);
+        let slot = pool.with_page_mut(page, |buf| {
+            let mut p = SlottedPage::format(buf);
+            p.insert(data)
+        })??;
+        self.records += 1;
+        self.bytes += data.len() as u64;
+        Ok(RecordId { page, slot })
+    }
+
+    /// Read a record into an owned buffer.
+    pub fn get<D: DiskManager>(
+        &self,
+        pool: &mut BufferPool<D>,
+        id: RecordId,
+    ) -> Result<Vec<u8>> {
+        let data = pool.with_page(id.page, |buf| {
+            SlottedRead::new(buf).get(id.slot).map(|d| d.to_vec())
+        })?;
+        data.ok_or(StorageError::RecordNotFound {
+            page: id.page.0,
+            slot: id.slot,
+        })
+    }
+
+    /// Overwrite a record. Prefers in-place update; if the page cannot
+    /// hold the larger record, the record moves to another page and
+    /// the **new id** is returned (callers keeping record ids must
+    /// store it).
+    pub fn update<D: DiskManager>(
+        &mut self,
+        pool: &mut BufferPool<D>,
+        id: RecordId,
+        data: &[u8],
+    ) -> Result<RecordId> {
+        let in_place = pool.with_page_mut(id.page, |buf| {
+            let mut p = SlottedPage::new(buf);
+            let old = p.get(id.slot).map(|d| d.len());
+            match old {
+                Some(len) => match p.update(id.slot, data) {
+                    Ok(()) => Ok(Some(len)),
+                    Err(StorageError::RecordTooLarge { .. }) => Ok(None),
+                    Err(e) => Err(e),
+                },
+                None => Err(StorageError::RecordNotFound {
+                    page: id.page.0,
+                    slot: id.slot,
+                }),
+            }
+        })??;
+        if let Some(old_len) = in_place {
+            self.bytes = self.bytes - old_len as u64 + data.len() as u64;
+            return Ok(id);
+        }
+        // Relocate: delete the old record, insert the new one elsewhere.
+        self.delete(pool, id)?;
+        self.insert(pool, data)
+    }
+
+    /// Delete a record. Returns whether it was live.
+    pub fn delete<D: DiskManager>(
+        &mut self,
+        pool: &mut BufferPool<D>,
+        id: RecordId,
+    ) -> Result<bool> {
+        let freed = pool.with_page_mut(id.page, |buf| {
+            let mut p = SlottedPage::new(buf);
+            let len = p.get(id.slot).map(|d| d.len());
+            if p.delete(id.slot) {
+                len
+            } else {
+                None
+            }
+        })?;
+        if let Some(len) = freed {
+            self.records -= 1;
+            self.bytes -= len as u64;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Scan all live records in (page, slot) order, invoking `f`.
+    pub fn scan<D: DiskManager>(
+        &self,
+        pool: &mut BufferPool<D>,
+        mut f: impl FnMut(RecordId, &[u8]),
+    ) -> Result<()> {
+        for &page in &self.pages {
+            pool.with_page(page, |buf| {
+                for (slot, data) in SlottedRead::new(buf).iter() {
+                    f(RecordId { page, slot }, data);
+                }
+            })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::MemDisk;
+    use crate::page::PAGE_SIZE;
+
+    fn pool() -> BufferPool<MemDisk> {
+        BufferPool::new(MemDisk::new(), 64 * PAGE_SIZE)
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut p = pool();
+        let mut h = HeapFile::new();
+        let id = h.insert(&mut p, b"record one").unwrap();
+        assert_eq!(h.get(&mut p, id).unwrap(), b"record one");
+        assert_eq!(h.record_count(), 1);
+    }
+
+    #[test]
+    fn records_spill_to_new_pages() {
+        let mut p = pool();
+        let mut h = HeapFile::new();
+        let big = vec![1u8; 3000];
+        let ids: Vec<RecordId> = (0..10).map(|_| h.insert(&mut p, &big).unwrap()).collect();
+        assert!(h.page_count() > 1, "3000-byte records overflow one page");
+        for id in ids {
+            assert_eq!(h.get(&mut p, id).unwrap().len(), 3000);
+        }
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let mut p = pool();
+        let mut h = HeapFile::new();
+        let id = h.insert(&mut p, b"before").unwrap();
+        h.update(&mut p, id, b"after-longer-value").unwrap();
+        assert_eq!(h.get(&mut p, id).unwrap(), b"after-longer-value");
+        assert!(h.delete(&mut p, id).unwrap());
+        assert!(!h.delete(&mut p, id).unwrap());
+        assert!(h.get(&mut p, id).is_err());
+        assert_eq!(h.record_count(), 0);
+    }
+
+    #[test]
+    fn scan_visits_all_live_records() {
+        let mut p = pool();
+        let mut h = HeapFile::new();
+        let a = h.insert(&mut p, b"a").unwrap();
+        let _b = h.insert(&mut p, b"b").unwrap();
+        let _c = h.insert(&mut p, b"c").unwrap();
+        h.delete(&mut p, a).unwrap();
+        let mut seen = Vec::new();
+        h.scan(&mut p, |_, d| seen.push(d.to_vec())).unwrap();
+        assert_eq!(seen, vec![b"b".to_vec(), b"c".to_vec()]);
+    }
+
+    #[test]
+    fn payload_accounting() {
+        let mut p = pool();
+        let mut h = HeapFile::new();
+        let id = h.insert(&mut p, &[0u8; 100]).unwrap();
+        h.insert(&mut p, &[0u8; 50]).unwrap();
+        assert_eq!(h.payload_bytes(), 150);
+        h.update(&mut p, id, &[0u8; 20]).unwrap();
+        assert_eq!(h.payload_bytes(), 70);
+        h.delete(&mut p, id).unwrap();
+        assert_eq!(h.payload_bytes(), 50);
+    }
+
+    #[test]
+    fn survives_eviction_pressure() {
+        // Pool smaller than data forces evictions mid-stream.
+        let mut p = BufferPool::new(MemDisk::new(), 8 * PAGE_SIZE);
+        let mut h = HeapFile::new();
+        let ids: Vec<RecordId> = (0..2000u32)
+            .map(|i| h.insert(&mut p, &i.to_le_bytes()).unwrap())
+            .collect();
+        for (i, id) in ids.iter().enumerate() {
+            let d = h.get(&mut p, *id).unwrap();
+            assert_eq!(u32::from_le_bytes(d.try_into().unwrap()), i as u32);
+        }
+    }
+}

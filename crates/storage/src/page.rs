@@ -1,0 +1,456 @@
+//! Slotted 8 KiB pages.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! 0..2   slot_count     u16
+//! 2..4   free_end       u16   start of the cell area (cells grow down)
+//! 4..8   reserved       u32   (per-consumer header word, e.g. next-leaf)
+//! 8..    slot directory: per slot { offset u16, len u16 }
+//! ...    free space
+//! ...    cells (variable length), packed at the page tail
+//! ```
+//!
+//! Slots are stable: deleting a record tombstones its slot (offset =
+//! `DEAD`), so `(page, slot)` record ids stay valid forever. Freed cell
+//! space is reclaimed by [`SlottedPage::compact`], which never renumbers
+//! slots.
+
+use crate::error::StorageError;
+use crate::Result;
+use std::fmt;
+
+/// Page size in bytes — 8 KiB, matching the paper's configuration.
+pub const PAGE_SIZE: usize = 8192;
+
+const HEADER: usize = 8;
+const SLOT_BYTES: usize = 4;
+const DEAD: u16 = u16::MAX;
+
+/// Largest record a fresh page can hold.
+pub const MAX_RECORD: usize = PAGE_SIZE - HEADER - SLOT_BYTES;
+
+/// Identifier of a page within a disk file.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageId(pub u32);
+
+impl PageId {
+    /// Index form.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A typed view over a raw page buffer providing the slotted layout.
+pub struct SlottedPage<'a> {
+    buf: &'a mut [u8],
+}
+
+impl<'a> SlottedPage<'a> {
+    /// Wrap an existing (already formatted) page buffer.
+    pub fn new(buf: &'a mut [u8]) -> Self {
+        debug_assert_eq!(buf.len(), PAGE_SIZE);
+        SlottedPage { buf }
+    }
+
+    /// Format a fresh page: zero slots, the whole tail free.
+    pub fn format(buf: &'a mut [u8]) -> Self {
+        debug_assert_eq!(buf.len(), PAGE_SIZE);
+        buf[..HEADER].fill(0);
+        let mut p = SlottedPage { buf };
+        p.set_slot_count(0);
+        p.set_free_end(PAGE_SIZE as u16);
+        p
+    }
+
+    #[inline]
+    fn read_u16(&self, at: usize) -> u16 {
+        u16::from_le_bytes([self.buf[at], self.buf[at + 1]])
+    }
+
+    #[inline]
+    fn write_u16(&mut self, at: usize, v: u16) {
+        self.buf[at..at + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Number of slots (including tombstones).
+    #[inline]
+    pub fn slot_count(&self) -> u16 {
+        self.read_u16(0)
+    }
+
+    fn set_slot_count(&mut self, v: u16) {
+        self.write_u16(0, v);
+    }
+
+    #[inline]
+    fn free_end(&self) -> u16 {
+        self.read_u16(2)
+    }
+
+    fn set_free_end(&mut self, v: u16) {
+        self.write_u16(2, v);
+    }
+
+    /// The per-consumer reserved header word.
+    pub fn reserved(&self) -> u32 {
+        u32::from_le_bytes([self.buf[4], self.buf[5], self.buf[6], self.buf[7]])
+    }
+
+    /// Set the reserved header word.
+    pub fn set_reserved(&mut self, v: u32) {
+        self.buf[4..8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    fn slot_at(&self, slot: u16) -> (u16, u16) {
+        let base = HEADER + slot as usize * SLOT_BYTES;
+        (self.read_u16(base), self.read_u16(base + 2))
+    }
+
+    fn set_slot(&mut self, slot: u16, offset: u16, len: u16) {
+        let base = HEADER + slot as usize * SLOT_BYTES;
+        self.write_u16(base, offset);
+        self.write_u16(base + 2, len);
+    }
+
+    /// Contiguous free bytes between the slot directory and cell area.
+    pub fn free_space(&self) -> usize {
+        let dir_end = HEADER + self.slot_count() as usize * SLOT_BYTES;
+        self.free_end() as usize - dir_end
+    }
+
+    /// Bytes that would be freed by [`Self::compact`].
+    pub fn dead_space(&self) -> usize {
+        let mut live = 0usize;
+        for s in 0..self.slot_count() {
+            let (off, len) = self.slot_at(s);
+            if off != DEAD {
+                live += len as usize;
+            }
+        }
+        (PAGE_SIZE - self.free_end() as usize).saturating_sub(live)
+    }
+
+    /// Whether a record of `len` bytes fits (accounting for a possible
+    /// new slot entry, and assuming compaction).
+    pub fn fits(&self, len: usize) -> bool {
+        self.free_space() + self.dead_space() >= len + SLOT_BYTES
+    }
+
+    /// Insert a record, returning its slot. Compacts if fragmented.
+    pub fn insert(&mut self, data: &[u8]) -> Result<u16> {
+        if data.len() > MAX_RECORD {
+            return Err(StorageError::RecordTooLarge {
+                size: data.len(),
+                max: MAX_RECORD,
+            });
+        }
+        if self.free_space() < data.len() + SLOT_BYTES {
+            if self.free_space() + self.dead_space() >= data.len() + SLOT_BYTES {
+                self.compact();
+            } else {
+                return Err(StorageError::RecordTooLarge {
+                    size: data.len(),
+                    max: self.free_space().saturating_sub(SLOT_BYTES),
+                });
+            }
+        }
+        let slot = self.slot_count();
+        let new_end = self.free_end() as usize - data.len();
+        self.buf[new_end..new_end + data.len()].copy_from_slice(data);
+        self.set_free_end(new_end as u16);
+        self.set_slot_count(slot + 1);
+        self.set_slot(slot, new_end as u16, data.len() as u16);
+        Ok(slot)
+    }
+
+    /// Read a record by slot. `None` for tombstoned/out-of-range slots.
+    pub fn get(&self, slot: u16) -> Option<&[u8]> {
+        if slot >= self.slot_count() {
+            return None;
+        }
+        let (off, len) = self.slot_at(slot);
+        if off == DEAD {
+            return None;
+        }
+        Some(&self.buf[off as usize..off as usize + len as usize])
+    }
+
+    /// Tombstone a slot. Idempotent; space is reclaimed on compaction.
+    pub fn delete(&mut self, slot: u16) -> bool {
+        if slot >= self.slot_count() {
+            return false;
+        }
+        let (off, _) = self.slot_at(slot);
+        if off == DEAD {
+            return false;
+        }
+        self.set_slot(slot, DEAD, 0);
+        true
+    }
+
+    /// Overwrite a record in place when the new data fits the old cell,
+    /// else delete + reinsert under the same slot id (requires space).
+    pub fn update(&mut self, slot: u16, data: &[u8]) -> Result<()> {
+        if slot >= self.slot_count() {
+            return Err(StorageError::RecordNotFound { page: 0, slot });
+        }
+        let (off, len) = self.slot_at(slot);
+        if off == DEAD {
+            return Err(StorageError::RecordNotFound { page: 0, slot });
+        }
+        if data.len() <= len as usize {
+            let off = off as usize;
+            self.buf[off..off + data.len()].copy_from_slice(data);
+            self.set_slot(slot, off as u16, data.len() as u16);
+            return Ok(());
+        }
+        // Relocate: tombstone the old cell, place the new one.
+        self.set_slot(slot, DEAD, 0);
+        if self.free_space() < data.len() {
+            if self.free_space() + self.dead_space() >= data.len() {
+                self.compact();
+            } else {
+                return Err(StorageError::RecordTooLarge {
+                    size: data.len(),
+                    max: self.free_space() + self.dead_space(),
+                });
+            }
+        }
+        let new_end = self.free_end() as usize - data.len();
+        self.buf[new_end..new_end + data.len()].copy_from_slice(data);
+        self.set_free_end(new_end as u16);
+        self.set_slot(slot, new_end as u16, data.len() as u16);
+        Ok(())
+    }
+
+    /// Iterate live `(slot, data)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u16, &[u8])> {
+        (0..self.slot_count()).filter_map(move |s| self.get(s).map(|d| (s, d)))
+    }
+
+    /// Repack live cells at the page tail, preserving slot numbers.
+    pub fn compact(&mut self) {
+        let mut cells: Vec<(u16, Vec<u8>)> = Vec::with_capacity(self.slot_count() as usize);
+        for s in 0..self.slot_count() {
+            if let Some(d) = self.get(s) {
+                cells.push((s, d.to_vec()));
+            }
+        }
+        let mut end = PAGE_SIZE;
+        for (s, d) in &cells {
+            end -= d.len();
+            self.buf[end..end + d.len()].copy_from_slice(d);
+            self.set_slot(*s, end as u16, d.len() as u16);
+        }
+        self.set_free_end(end as u16);
+    }
+}
+
+/// Read-only view over a slotted page buffer.
+pub struct SlottedRead<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> SlottedRead<'a> {
+    /// Wrap an existing formatted page buffer.
+    pub fn new(buf: &'a [u8]) -> Self {
+        debug_assert_eq!(buf.len(), PAGE_SIZE);
+        SlottedRead { buf }
+    }
+
+    #[inline]
+    fn read_u16(&self, at: usize) -> u16 {
+        u16::from_le_bytes([self.buf[at], self.buf[at + 1]])
+    }
+
+    /// Number of slots (including tombstones).
+    #[inline]
+    pub fn slot_count(&self) -> u16 {
+        self.read_u16(0)
+    }
+
+    /// The per-consumer reserved header word.
+    pub fn reserved(&self) -> u32 {
+        u32::from_le_bytes([self.buf[4], self.buf[5], self.buf[6], self.buf[7]])
+    }
+
+    /// Read a record by slot. `None` for tombstoned/out-of-range slots.
+    pub fn get(&self, slot: u16) -> Option<&'a [u8]> {
+        if slot >= self.slot_count() {
+            return None;
+        }
+        let base = HEADER + slot as usize * SLOT_BYTES;
+        let off = self.read_u16(base);
+        let len = self.read_u16(base + 2);
+        if off == DEAD {
+            return None;
+        }
+        Some(&self.buf[off as usize..off as usize + len as usize])
+    }
+
+    /// Iterate live `(slot, data)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u16, &'a [u8])> + '_ {
+        (0..self.slot_count()).filter_map(move |s| self.get(s).map(|d| (s, d)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh() -> Vec<u8> {
+        vec![0u8; PAGE_SIZE]
+    }
+
+    #[test]
+    fn read_view_matches_write_view() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::format(&mut buf);
+        let s0 = p.insert(b"alpha").unwrap();
+        let s1 = p.insert(b"beta").unwrap();
+        p.delete(s0);
+        p.set_reserved(5);
+        let r = SlottedRead::new(&buf);
+        assert_eq!(r.slot_count(), 2);
+        assert_eq!(r.get(s0), None);
+        assert_eq!(r.get(s1), Some(&b"beta"[..]));
+        assert_eq!(r.reserved(), 5);
+        assert_eq!(r.iter().count(), 1);
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::format(&mut buf);
+        let s0 = p.insert(b"hello").unwrap();
+        let s1 = p.insert(b"world!").unwrap();
+        assert_eq!(p.get(s0), Some(&b"hello"[..]));
+        assert_eq!(p.get(s1), Some(&b"world!"[..]));
+        assert_eq!(p.slot_count(), 2);
+    }
+
+    #[test]
+    fn delete_tombstones_slot() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::format(&mut buf);
+        let s0 = p.insert(b"a").unwrap();
+        let s1 = p.insert(b"b").unwrap();
+        assert!(p.delete(s0));
+        assert!(!p.delete(s0), "second delete is a no-op");
+        assert_eq!(p.get(s0), None);
+        assert_eq!(p.get(s1), Some(&b"b"[..]), "other slots unaffected");
+    }
+
+    #[test]
+    fn compact_reclaims_space_and_keeps_slots() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::format(&mut buf);
+        let s0 = p.insert(&[0u8; 3000]).unwrap();
+        let s1 = p.insert(&[1u8; 3000]).unwrap();
+        p.delete(s0);
+        assert!(p.dead_space() >= 3000);
+        p.compact();
+        assert_eq!(p.dead_space(), 0);
+        assert_eq!(p.get(s1), Some(&[1u8; 3000][..]));
+        // Space freed is usable again.
+        let s2 = p.insert(&[2u8; 3000]).unwrap();
+        assert_eq!(p.get(s2), Some(&[2u8; 3000][..]));
+    }
+
+    #[test]
+    fn insert_compacts_automatically() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::format(&mut buf);
+        let s0 = p.insert(&[0u8; 4000]).unwrap();
+        let _s1 = p.insert(&[1u8; 4000]).unwrap();
+        p.delete(s0);
+        // Free contiguous space is tiny, but dead space suffices.
+        let s2 = p.insert(&[2u8; 3500]).unwrap();
+        assert_eq!(p.get(s2).unwrap().len(), 3500);
+    }
+
+    #[test]
+    fn page_full_is_an_error() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::format(&mut buf);
+        p.insert(&[0u8; 4000]).unwrap();
+        p.insert(&[0u8; 4000]).unwrap();
+        assert!(matches!(
+            p.insert(&[0u8; 1000]),
+            Err(StorageError::RecordTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn record_too_large_for_any_page() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::format(&mut buf);
+        assert!(p.insert(&[0u8; PAGE_SIZE]).is_err());
+    }
+
+    #[test]
+    fn update_in_place_and_relocating() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::format(&mut buf);
+        let s = p.insert(b"small").unwrap();
+        p.update(s, b"tiny").unwrap();
+        assert_eq!(p.get(s), Some(&b"tiny"[..]));
+        p.update(s, b"much larger value than before").unwrap();
+        assert_eq!(p.get(s), Some(&b"much larger value than before"[..]));
+    }
+
+    #[test]
+    fn update_missing_slot_errors() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::format(&mut buf);
+        assert!(matches!(
+            p.update(3, b"x"),
+            Err(StorageError::RecordNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn iter_skips_tombstones() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::format(&mut buf);
+        let _a = p.insert(b"a").unwrap();
+        let b = p.insert(b"b").unwrap();
+        let _c = p.insert(b"c").unwrap();
+        p.delete(b);
+        let live: Vec<u16> = p.iter().map(|(s, _)| s).collect();
+        assert_eq!(live, vec![0, 2]);
+    }
+
+    #[test]
+    fn reserved_word_roundtrips() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::format(&mut buf);
+        p.set_reserved(0xDEADBEEF);
+        assert_eq!(p.reserved(), 0xDEADBEEF);
+        p.insert(b"payload").unwrap();
+        assert_eq!(p.reserved(), 0xDEADBEEF, "inserts keep the header word");
+    }
+
+    #[test]
+    fn many_small_records_fill_page() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::format(&mut buf);
+        let mut n = 0;
+        while p.fits(16) {
+            p.insert(&[n as u8; 16]).unwrap();
+            n += 1;
+        }
+        assert!(n > 300, "expected hundreds of 16-byte records, got {n}");
+        for s in 0..p.slot_count() {
+            assert_eq!(p.get(s).unwrap(), &[s as u8; 16]);
+        }
+    }
+}

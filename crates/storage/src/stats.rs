@@ -1,0 +1,97 @@
+//! Storage accounting, feeding the paper's Table 1.
+
+use std::fmt;
+
+/// Aggregate storage statistics for one stored database.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StorageStats {
+    /// Number of element (structural) records — multi-colored elements
+    /// count once here; structural replicas are counted separately.
+    pub num_elements: u64,
+    /// Number of attribute records.
+    pub num_attrs: u64,
+    /// Number of content (text value) records.
+    pub num_content: u64,
+    /// Number of structural node records (≥ `num_elements` for MCT:
+    /// one per color an element participates in).
+    pub num_structural: u64,
+    /// Bytes of data pages (heap files).
+    pub data_bytes: u64,
+    /// Bytes of index pages (B+-trees).
+    pub index_bytes: u64,
+}
+
+impl StorageStats {
+    /// Data size in MiB.
+    pub fn data_mib(&self) -> f64 {
+        self.data_bytes as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Index size in MiB.
+    pub fn index_mib(&self) -> f64 {
+        self.index_bytes as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Merge another stats block into this one.
+    pub fn merge(&mut self, other: &StorageStats) {
+        self.num_elements += other.num_elements;
+        self.num_attrs += other.num_attrs;
+        self.num_content += other.num_content;
+        self.num_structural += other.num_structural;
+        self.data_bytes += other.data_bytes;
+        self.index_bytes += other.index_bytes;
+    }
+}
+
+impl fmt::Display for StorageStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "elements={} attrs={} content={} structural={} data={:.2}MiB index={:.2}MiB",
+            self.num_elements,
+            self.num_attrs,
+            self.num_content,
+            self.num_structural,
+            self.data_mib(),
+            self.index_mib()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mib_conversion() {
+        let s = StorageStats {
+            data_bytes: 3 * 1024 * 1024,
+            index_bytes: 512 * 1024,
+            ..Default::default()
+        };
+        assert!((s.data_mib() - 3.0).abs() < 1e-9);
+        assert!((s.index_mib() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = StorageStats {
+            num_elements: 1,
+            num_attrs: 2,
+            num_content: 3,
+            num_structural: 4,
+            data_bytes: 10,
+            index_bytes: 20,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.num_elements, 2);
+        assert_eq!(a.index_bytes, 40);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = StorageStats::default();
+        let text = s.to_string();
+        assert!(text.contains("elements=0"));
+    }
+}

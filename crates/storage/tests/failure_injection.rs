@@ -1,0 +1,114 @@
+//! Failure-injection tests: corrupt or hostile on-disk state must
+//! surface as typed errors, never panics or silent corruption.
+
+use mct_storage::{
+    BTree, BufferPool, HeapFile, MemDisk, PageId, RecordId, StorageError, PAGE_SIZE,
+};
+
+fn pool() -> BufferPool<MemDisk> {
+    BufferPool::new(MemDisk::new(), 32 * PAGE_SIZE)
+}
+
+#[test]
+fn corrupt_btree_node_is_reported_not_panicked() {
+    let mut p = pool();
+    let mut t = BTree::create(&mut p).unwrap();
+    for i in 0..100u32 {
+        t.insert(&mut p, &i.to_be_bytes(), u64::from(i)).unwrap();
+    }
+    // Scribble over the root page: claim a huge entry count with no
+    // backing bytes.
+    p.with_page_mut(PageId(0), |buf| {
+        buf[0] = 1; // leaf
+        buf[1] = 0xFF; // count lo
+        buf[2] = 0xFF; // count hi
+        buf[7] = 0xEE; // garbage key length territory
+    })
+    .unwrap();
+    let r = t.get(&mut p, &5u32.to_be_bytes());
+    assert!(
+        matches!(r, Err(StorageError::Corrupt(_))),
+        "expected Corrupt, got {r:?}"
+    );
+}
+
+#[test]
+fn heap_get_on_foreign_page_is_an_error() {
+    let mut p = pool();
+    let mut h = HeapFile::new();
+    let id = h.insert(&mut p, b"hello").unwrap();
+    // A record id pointing at a slot that never existed.
+    let bogus = RecordId {
+        page: id.page,
+        slot: 999,
+    };
+    assert!(matches!(
+        h.get(&mut p, bogus),
+        Err(StorageError::RecordNotFound { .. })
+    ));
+}
+
+#[test]
+fn reading_unallocated_page_is_an_error() {
+    let mut p = pool();
+    let _ = p.allocate().unwrap();
+    let r = p.with_page(PageId(1000), |_| ());
+    assert!(matches!(r, Err(StorageError::PageOutOfRange { .. })));
+}
+
+#[test]
+fn heap_survives_record_boundary_sizes() {
+    // Records exactly at, just below, and above page capacity.
+    let mut p = pool();
+    let mut h = HeapFile::new();
+    let max = mct_storage::page::MAX_RECORD;
+    assert!(h.insert(&mut p, &vec![7u8; max]).is_ok());
+    assert!(h.insert(&mut p, &vec![7u8; max - 1]).is_ok());
+    assert!(matches!(
+        h.insert(&mut p, &vec![7u8; max + 1]),
+        Err(StorageError::RecordTooLarge { .. })
+    ));
+    // After the failure the heap still works.
+    let id = h.insert(&mut p, b"still fine").unwrap();
+    assert_eq!(h.get(&mut p, id).unwrap(), b"still fine");
+}
+
+#[test]
+fn btree_handles_empty_and_duplicate_heavy_keys() {
+    let mut p = pool();
+    let mut t = BTree::create(&mut p).unwrap();
+    // Empty key is legal.
+    t.insert(&mut p, b"", 1).unwrap();
+    assert_eq!(t.get(&mut p, b"").unwrap(), Some(1));
+    // Massive overwrite churn on one key must not grow the tree.
+    for i in 0..10_000u64 {
+        t.insert(&mut p, b"hot", i).unwrap();
+    }
+    assert_eq!(t.get(&mut p, b"hot").unwrap(), Some(9_999));
+    assert_eq!(t.len(), 2);
+    assert!(t.page_count() <= 2, "overwrites must not leak pages");
+}
+
+#[test]
+fn delete_insert_churn_reuses_space() {
+    let mut p = pool();
+    let mut h = HeapFile::new();
+    // Fill one page, then churn delete/insert; page count must stay
+    // bounded (compaction reclaims tombstones).
+    let mut ids = Vec::new();
+    for i in 0..50 {
+        ids.push(h.insert(&mut p, &[i as u8; 120]).unwrap());
+    }
+    let pages_before = h.page_count();
+    for round in 0..100 {
+        let id = ids.remove(0);
+        h.delete(&mut p, id).unwrap();
+        ids.push(h.insert(&mut p, &[round as u8; 120]).unwrap());
+    }
+    assert!(
+        h.page_count() <= pages_before + 1,
+        "churn leaked pages: {} -> {}",
+        pages_before,
+        h.page_count()
+    );
+}

@@ -1,0 +1,29 @@
+//! # mct-workloads — the paper's evaluation workloads (§7)
+//!
+//! Deterministic, seeded substitutes for the data sets the paper used
+//! (ToXgene-generated TPC-W XML and SIGMOD-Record ×100), rendered into
+//! the three competing designs, plus the benchmark queries:
+//!
+//! * [`tpcw`] — the TPC-W-style entity graph and its MCT (five colored
+//!   hierarchies), shallow (IDREF), and deep (replicated) renderings.
+//! * [`sigmod`] — the SIGMOD-Record-style graph (two hierarchies).
+//! * [`movies`] — the Figure 2 running-example movie database.
+//! * [`queries`] — TQ1–TQ16, TU1–TU4, SQ1–SQ5, SU1–SU2 with their
+//!   MCXQuery / shallow / deep texts and Table-2 annotations.
+//! * [`schemas`] — DTDs + functional dependencies for the generated
+//!   designs, classified shallow/deep by Definition 3.3.
+//! * [`plans`] — the hand-picked physical plans per (query, design),
+//!   exactly as the paper evaluated ("we manually specified the query
+//!   plan").
+
+pub mod movies;
+pub mod plans;
+pub mod queries;
+pub mod schemas;
+pub mod sigmod;
+pub mod tpcw;
+
+pub use plans::{run_read, run_update, PlanOutcome};
+pub use queries::{all_queries, Dataset, Params, QueryKind, SchemaKind, WorkloadQuery};
+pub use sigmod::{SigmodConfig, SigmodData};
+pub use tpcw::{TpcwConfig, TpcwData};

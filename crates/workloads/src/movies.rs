@@ -1,0 +1,165 @@
+//! The paper's running example: the Figure 2 movie database.
+//!
+//! Three colored hierarchies — red (movie-genre), green (Oscar
+//! movie-award, temporal), blue (actors) — over shared movie,
+//! movie-role, and name nodes, sized so the Figure 3 queries Q1–Q5 all
+//! have non-trivial answers. Used by the examples and integration
+//! tests.
+
+use mct_core::{McNodeId, MctDatabase};
+
+/// Handles to interesting nodes of the Figure 2 database.
+#[derive(Debug)]
+pub struct MovieDb {
+    /// The database.
+    pub db: MctDatabase,
+    /// The comedy genre node.
+    pub comedy: McNodeId,
+    /// The sub-genre (slapstick) node.
+    pub slapstick: McNodeId,
+    /// The best-movie award year nodes.
+    pub award_years: Vec<McNodeId>,
+    /// All movie nodes.
+    pub movies: Vec<McNodeId>,
+    /// All actor nodes.
+    pub actors: Vec<McNodeId>,
+}
+
+/// Build the Figure 2 movie database.
+pub fn build() -> MovieDb {
+    let mut db = MctDatabase::new();
+    let red = db.add_color("red");
+    let green = db.add_color("green");
+    let blue = db.add_color("blue");
+
+    // Red: topic-like genre hierarchy (comedy > slapstick, action).
+    let comedy = db.new_element("movie-genre", red);
+    db.append_child(McNodeId::DOCUMENT, comedy, red);
+    let cname = db.new_element("name", red);
+    db.set_content(cname, "Comedy");
+    db.append_child(comedy, cname, red);
+    let slapstick = db.new_element("movie-genre", red);
+    db.append_child(comedy, slapstick, red);
+    let sname = db.new_element("name", red);
+    db.set_content(sname, "Slapstick");
+    db.append_child(slapstick, sname, red);
+    let action = db.new_element("movie-genre", red);
+    db.append_child(McNodeId::DOCUMENT, action, red);
+    let aname = db.new_element("name", red);
+    db.set_content(aname, "Action");
+    db.append_child(action, aname, red);
+
+    // Green: temporal hierarchy of best-movie awards.
+    let oscars = db.new_element("movie-award", green);
+    db.append_child(McNodeId::DOCUMENT, oscars, green);
+    let oname = db.new_element("name", green);
+    db.set_content(oname, "Oscar Best Movie");
+    db.append_child(oscars, oname, green);
+    let mut award_years = Vec::new();
+    for year in ["1950", "1951", "1952"] {
+        let y = db.new_element("movie-award", green);
+        db.append_child(oscars, y, green);
+        let yname = db.new_element("name", green);
+        db.set_content(yname, &format!("Oscar {year}"));
+        db.append_child(y, yname, green);
+        award_years.push(y);
+    }
+
+    // Blue: shallow actor hierarchy.
+    let mut actors = Vec::new();
+    for actor_name in ["Bette Davis", "Buster Keaton", "Anne Baxter"] {
+        let a = db.new_element("actor", blue);
+        db.append_child(McNodeId::DOCUMENT, a, blue);
+        let an = db.new_element("name", blue);
+        db.set_content(an, actor_name);
+        db.append_child(a, an, blue);
+        actors.push(a);
+    }
+
+    // Movies: (title, genre node, award-year index or None, votes,
+    // acting roles as (actor index, role name)).
+    type MovieSpec<'a> = (&'a str, McNodeId, Option<usize>, Option<u32>, Vec<(usize, &'a str)>);
+    let spec: Vec<MovieSpec> = vec![
+        ("All About Eve", comedy, Some(0), Some(11), vec![(0, "Margo Channing"), (2, "Eve Harrington")]),
+        ("An Evening of Errors", slapstick, Some(1), Some(14), vec![(1, "The Butler")]),
+        ("Eve of Adventure", action, None, None, vec![(2, "The Pilot")]),
+        ("Quiet Harbors", comedy, Some(2), Some(7), vec![(0, "The Keeper")]),
+        ("Plain Comedy", comedy, None, None, vec![(1, "Everyman")]),
+    ];
+    let mut movies = Vec::new();
+    for (title, genre, award, votes, roles) in spec {
+        let m = db.new_element("movie", red);
+        db.append_child(genre, m, red);
+        let mn = db.new_element("name", red);
+        db.set_content(mn, title);
+        db.append_child(m, mn, red);
+        if let Some(ai) = award {
+            db.add_node_color(m, green);
+            db.append_child(award_years[ai], m, green);
+            db.add_node_color(mn, green);
+            db.append_child(m, mn, green);
+            if let Some(v) = votes {
+                let vn = db.new_element("votes", green);
+                db.set_content(vn, &v.to_string());
+                db.append_child(m, vn, green);
+            }
+        }
+        for (actor_i, role_name) in roles {
+            // movie-role: red (under movie) + blue (under actor) — and
+            // deliberately NOT green, per §2.2.
+            let r = db.new_element("movie-role", red);
+            db.append_child(m, r, red);
+            db.add_node_color(r, blue);
+            db.append_child(actors[actor_i], r, blue);
+            let rn = db.new_element("name", red);
+            db.set_content(rn, role_name);
+            db.append_child(r, rn, red);
+            db.add_node_color(rn, blue);
+            db.append_child(r, rn, blue);
+        }
+        movies.push(m);
+    }
+    MovieDb {
+        db,
+        comedy,
+        slapstick,
+        award_years,
+        movies,
+        actors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_shape() {
+        let m = build();
+        m.db.check_invariants();
+        let red = m.db.color("red").unwrap();
+        let green = m.db.color("green").unwrap();
+        let blue = m.db.color("blue").unwrap();
+        assert_eq!(m.movies.len(), 5);
+        // Nominated movies are red+green.
+        let nominated = m
+            .movies
+            .iter()
+            .filter(|&&mv| m.db.colors(mv).contains(green))
+            .count();
+        assert_eq!(nominated, 3);
+        // Every movie is red.
+        assert!(m.movies.iter().all(|&mv| m.db.colors(mv).contains(red)));
+        // Roles are red+blue, never green.
+        for i in 0..m.db.len() {
+            let n = McNodeId(i as u32);
+            if m.db.name_str(n) == Some("movie-role") {
+                assert!(m.db.colors(n).contains(red));
+                assert!(m.db.colors(n).contains(blue));
+                assert!(!m.db.colors(n).contains(green), "§2.2: roles are not green");
+            }
+        }
+        // Sub-genre nesting.
+        assert_eq!(m.db.parent(m.slapstick, red), Some(m.comedy));
+    }
+}

@@ -1,0 +1,458 @@
+//! The benchmark query workloads (§7, Table 2).
+//!
+//! The paper never published its XBench-derived query texts (footnote
+//! 5 promised a website), so we author queries that reproduce every
+//! *annotation* Table 2 gives: the number of colors an MCT plan
+//! touches, the number of trees (= value joins) a shallow plan needs,
+//! which queries make deep produce duplicates (the `*D` no-dup-elim
+//! variants), and the relative result cardinalities.
+//!
+//! Every query carries its MCXQuery / shallow-XQuery / deep-XQuery
+//! text; the texts are parsed by `mct-query` and measured for the
+//! Figure 11/12 complexity metrics. Execution uses the hand-written
+//! physical plans in [`crate::plans`], as the paper did.
+
+use crate::sigmod::SigmodData;
+use crate::tpcw::TpcwData;
+
+/// Which generated data set a query runs against.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Dataset {
+    /// TPC-W-style data.
+    Tpcw,
+    /// SIGMOD-Record-style data.
+    Sigmod,
+}
+
+/// Which of the three database designs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum SchemaKind {
+    /// Multi-colored trees.
+    Mct,
+    /// Flat trees + IDREF attributes.
+    Shallow,
+    /// Fully nested with replication.
+    Deep,
+}
+
+impl SchemaKind {
+    /// All three designs in the paper's column order.
+    pub const ALL: [SchemaKind; 3] = [SchemaKind::Mct, SchemaKind::Shallow, SchemaKind::Deep];
+
+    /// Column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchemaKind::Mct => "MCT",
+            SchemaKind::Shallow => "Shallow",
+            SchemaKind::Deep => "Deep",
+        }
+    }
+}
+
+/// Parameters extracted (deterministically) from the generated data so
+/// every query has sensible selectivity.
+#[derive(Clone, Debug)]
+pub struct Params {
+    /// A customer login (point lookups).
+    pub uname: String,
+    /// A customer display name.
+    pub cust_name: String,
+    /// Order-total threshold (medium selectivity).
+    pub total_hi: u32,
+    /// An order-line quantity (medium).
+    pub qty: u32,
+    /// An order status value (large scan).
+    pub status: String,
+    /// Item-cost threshold (for TQ9; ~half the items).
+    pub cost_hi: u32,
+    /// Item-cost threshold (for TQ16; few items).
+    pub cost_very_hi: u32,
+    /// An author name (small driver).
+    pub author: String,
+    /// A second author name (used by TU4, independent of TU1's rename).
+    pub author2: String,
+    /// A city (medium driver).
+    pub city: String,
+    /// A country name.
+    pub country: String,
+    /// A date value.
+    pub date: String,
+    /// An item title (point updates).
+    pub item_title: String,
+    // SIGMOD-Record parameters.
+    /// An article title.
+    pub article_title: String,
+    /// An issue volume.
+    pub volume: u32,
+    /// An issue number.
+    pub number: u32,
+    /// A year prefix, e.g. "1978".
+    pub year: String,
+    /// A topic name.
+    pub topic: String,
+    /// An editor name.
+    pub editor: String,
+}
+
+impl Params {
+    /// Derive parameters from both data sets.
+    pub fn derive(tpcw: &TpcwData, sigmod: &SigmodData) -> Params {
+        let mid_issue = &sigmod.issues[sigmod.issues.len() / 2];
+        Params {
+            // A customer guaranteed to have at least one order.
+            uname: tpcw.customers[tpcw.orders[0].customer].uname.clone(),
+            cust_name: tpcw.customers[tpcw.orders[0].customer].name.clone(),
+            total_hi: 70_000,
+            qty: 3,
+            status: "SHIPPED".to_string(),
+            cost_hi: 10_000,
+            cost_very_hi: 19_000,
+            author: tpcw.authors[0].name.clone(),
+            author2: tpcw.authors[1].name.clone(),
+            city: tpcw.addresses[0].city.clone(),
+            country: tpcw.countries
+                [tpcw.addresses[tpcw.orders[0].bill_addr].country]
+                .name
+                .clone(),
+            date: tpcw.dates[tpcw.orders[0].date].clone(),
+            item_title: tpcw.items[1].title.clone(),
+            article_title: sigmod.articles[2].title.clone(),
+            volume: mid_issue.volume,
+            number: mid_issue.number,
+            year: sigmod.dates[sigmod.dates.len() / 2][..4].to_string(),
+            topic: sigmod.topics[2].name.clone(),
+            editor: sigmod.editors[1].clone(),
+        }
+    }
+}
+
+/// Whether a workload entry is a read query or an update.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum QueryKind {
+    /// Read-only query.
+    Read,
+    /// Update statement.
+    Update,
+}
+
+/// One benchmark query with its three texts and Table-2 annotations.
+#[derive(Clone, Debug)]
+pub struct WorkloadQuery {
+    /// Identifier (TQ1..TQ16, TU1..TU4, SQ1..SQ5, SU1..SU2).
+    pub id: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// Data set.
+    pub dataset: Dataset,
+    /// Read or update.
+    pub kind: QueryKind,
+    /// Colors the MCT plan touches (Table 2 "Colors").
+    pub colors: u32,
+    /// Trees involved for shallow (Table 2 "Trees"; value joins = trees−1).
+    pub trees: u32,
+    /// Deep produces duplicates, so a `*D` no-dup-elim variant exists.
+    pub deep_dups: bool,
+    /// MCXQuery text.
+    pub mct_text: String,
+    /// Shallow XQuery text (single color `black`).
+    pub shallow_text: String,
+    /// Deep XQuery text (single color `black`).
+    pub deep_text: String,
+}
+
+/// Build the full workload (TPC-W + SIGMOD-Record, reads + updates).
+pub fn all_queries(p: &Params) -> Vec<WorkloadQuery> {
+    let mut v = tpcw_reads(p);
+    v.extend(tpcw_updates(p));
+    v.extend(sigmod_reads(p));
+    v.extend(sigmod_updates(p));
+    v
+}
+
+#[allow(clippy::too_many_arguments)] // a row constructor for the table below
+fn q(
+    id: &'static str,
+    description: &'static str,
+    dataset: Dataset,
+    kind: QueryKind,
+    colors: u32,
+    trees: u32,
+    deep_dups: bool,
+    mct: String,
+    shallow: String,
+    deep: String,
+) -> WorkloadQuery {
+    WorkloadQuery {
+        id,
+        description,
+        dataset,
+        kind,
+        colors,
+        trees,
+        deep_dups,
+        mct_text: mct,
+        shallow_text: shallow,
+        deep_text: deep,
+    }
+}
+
+fn tpcw_reads(p: &Params) -> Vec<WorkloadQuery> {
+    use Dataset::Tpcw;
+    use QueryKind::Read;
+    vec![
+        q("TQ1", "name of the customer with a given login", Tpcw, Read, 1, 1, false,
+            format!(r#"for $c in document("tpcw")/{{cust}}descendant::customer[{{cust}}child::uname = "{u}"] return $c/{{cust}}child::name"#, u = p.uname),
+            format!(r#"for $c in document("tpcw")//customers/customer[uname = "{u}"] return $c/name"#, u = p.uname),
+            format!(r#"for $c in document("tpcw")//customer[uname = "{u}"] return $c/name"#, u = p.uname)),
+        q("TQ2", "orders with total above a threshold", Tpcw, Read, 1, 1, false,
+            format!(r#"for $o in document("tpcw")/{{cust}}descendant::order[{{cust}}child::total > {t}] return $o"#, t = p.total_hi),
+            format!(r#"for $o in document("tpcw")//orders/order[total > {t}] return $o"#, t = p.total_hi),
+            format!(r#"for $o in document("tpcw")//order[total > {t}] return $o"#, t = p.total_hi)),
+        q("TQ3", "titles of items ordered by a given customer", Tpcw, Read, 2, 4, false,
+            format!(r#"for $i in document("tpcw")/{{cust}}descendant::customer[{{cust}}child::uname = "{u}"]/{{cust}}descendant::orderline/{{auth}}parent::item return $i/{{auth}}child::title"#, u = p.uname),
+            format!(r#"for $c in document("tpcw")//customers/customer[uname = "{u}"], $o in document("tpcw")//orders/order, $l in document("tpcw")//orderlines/orderline, $i in document("tpcw")//items/item where $o/@customerIdRef = $c/@id and $l/@orderIdRef = $o/@id and $l/@itemIdRef = $i/@id return $i/title"#, u = p.uname),
+            format!(r#"for $i in document("tpcw")//customer[uname = "{u}"]//orderline/item return $i/title"#, u = p.uname)),
+        q("TQ4", "order lines with a given quantity", Tpcw, Read, 1, 1, false,
+            format!(r#"for $l in document("tpcw")/{{cust}}descendant::orderline[{{cust}}child::qty = {n}] return $l"#, n = p.qty),
+            format!(r#"for $l in document("tpcw")//orderlines/orderline[qty = {n}] return $l"#, n = p.qty),
+            format!(r#"for $l in document("tpcw")//orderline[qty = {n}] return $l"#, n = p.qty)),
+        q("TQ5", "customer with a given display name", Tpcw, Read, 1, 1, false,
+            format!(r#"for $c in document("tpcw")/{{cust}}descendant::customer[{{cust}}child::name = "{n}"] return $c"#, n = p.cust_name),
+            format!(r#"for $c in document("tpcw")//customers/customer[name = "{n}"] return $c"#, n = p.cust_name),
+            format!(r#"for $c in document("tpcw")//customer[name = "{n}"] return $c"#, n = p.cust_name)),
+        q("TQ6", "all orders with a given status", Tpcw, Read, 1, 1, false,
+            format!(r#"for $o in document("tpcw")/{{cust}}descendant::order[{{cust}}child::status = "{s}"] return $o"#, s = p.status),
+            format!(r#"for $o in document("tpcw")//orders/order[status = "{s}"] return $o"#, s = p.status),
+            format!(r#"for $o in document("tpcw")//order[status = "{s}"] return $o"#, s = p.status)),
+        q("TQ7", "distinct author names", Tpcw, Read, 1, 1, true,
+            r#"for $n in distinct-values(document("tpcw")/{auth}descendant::author/{auth}child::name) return $n"#.to_string(),
+            r#"for $n in distinct-values(document("tpcw")//authors/author/name) return $n"#.to_string(),
+            r#"for $n in distinct-values(document("tpcw")//author/name) return $n"#.to_string()),
+        q("TQ8", "number of orders", Tpcw, Read, 1, 1, false,
+            r#"count(document("tpcw")/{cust}descendant::order)"#.to_string(),
+            r#"count(document("tpcw")//orders/order)"#.to_string(),
+            r#"count(document("tpcw")//order)"#.to_string()),
+        q("TQ9", "order lines of items above a cost threshold", Tpcw, Read, 1, 2, false,
+            format!(r#"for $l in document("tpcw")/{{auth}}descendant::item[{{auth}}child::cost > {c}]/{{auth}}child::orderline return $l"#, c = p.cost_hi),
+            format!(r#"for $i in document("tpcw")//items/item[cost > {c}], $l in document("tpcw")//orderlines/orderline where $l/@itemIdRef = $i/@id return $l"#, c = p.cost_hi),
+            format!(r#"for $l in document("tpcw")//orderline[item/cost > {c}] return $l"#, c = p.cost_hi)),
+        q("TQ10", "authors of items ordered by customers shipping to a city", Tpcw, Read, 2, 5, false,
+            format!(r#"for $a in document("tpcw")/{{ship}}descendant::address[{{ship}}child::city = "{c}"]/{{ship}}descendant::orderline/{{auth}}parent::item/{{auth}}parent::author return $a"#, c = p.city),
+            format!(r#"for $ad in document("tpcw")//addresses/address[city = "{c}"], $o in document("tpcw")//orders/order, $l in document("tpcw")//orderlines/orderline, $i in document("tpcw")//items/item, $au in document("tpcw")//authors/author where $o/@shipAddrIdRef = $ad/@id and $l/@orderIdRef = $o/@id and $l/@itemIdRef = $i/@id and $i/@authorIdRef = $au/@id return $au"#, c = p.city),
+            format!(r#"for $a in document("tpcw")//order[address[city = "{c}"]]//orderline/item/author return $a"#, c = p.city)),
+        q("TQ11", "order lines of a given author's items", Tpcw, Read, 1, 3, false,
+            format!(r#"for $l in document("tpcw")/{{auth}}descendant::author[{{auth}}child::name = "{a}"]/{{auth}}descendant::orderline return $l"#, a = p.author),
+            format!(r#"for $au in document("tpcw")//authors/author[name = "{a}"], $i in document("tpcw")//items/item, $l in document("tpcw")//orderlines/orderline where $i/@authorIdRef = $au/@id and $l/@itemIdRef = $i/@id return $l"#, a = p.author),
+            format!(r#"for $l in document("tpcw")//orderline[item/author/name = "{a}"] return $l"#, a = p.author)),
+        q("TQ12", "shipping countries of a customer's orders", Tpcw, Read, 2, 3, true,
+            format!(r#"for $co in document("tpcw")/{{cust}}descendant::customer[{{cust}}child::uname = "{u}"]/{{cust}}child::order/{{ship}}parent::address/{{ship}}child::country return distinct-values($co)"#, u = p.uname),
+            format!(r#"for $c in document("tpcw")//customers/customer[uname = "{u}"], $o in document("tpcw")//orders/order, $ad in document("tpcw")//addresses/address where $o/@customerIdRef = $c/@id and $o/@shipAddrIdRef = $ad/@id return distinct-values($ad/country)"#, u = p.uname),
+            format!(r#"for $co in distinct-values(document("tpcw")//customer[uname = "{u}"]/order/address[@role = "shipping"]/country/name) return $co"#, u = p.uname)),
+        q("TQ13", "order lines of orders shipped to a city", Tpcw, Read, 1, 3, false,
+            format!(r#"for $l in document("tpcw")/{{ship}}descendant::address[{{ship}}child::city = "{c}"]/{{ship}}child::order/{{ship}}child::orderline return $l"#, c = p.city),
+            format!(r#"for $ad in document("tpcw")//addresses/address[city = "{c}"], $o in document("tpcw")//orders/order, $l in document("tpcw")//orderlines/orderline where $o/@shipAddrIdRef = $ad/@id and $l/@orderIdRef = $o/@id return $l"#, c = p.city),
+            format!(r#"for $l in document("tpcw")//order[address[@role = "shipping"]/city = "{c}"]/orderline return $l"#, c = p.city)),
+        q("TQ14", "order lines of orders placed on a date", Tpcw, Read, 1, 3, false,
+            format!(r#"for $l in document("tpcw")/{{date}}descendant::date[. = "{d}"]/{{date}}child::order/{{date}}child::orderline return $l"#, d = p.date),
+            format!(r#"for $dt in document("tpcw")//dates/date[. = "{d}"], $o in document("tpcw")//orders/order, $l in document("tpcw")//orderlines/orderline where $o/@dateIdRef = $dt/@id and $l/@orderIdRef = $o/@id return $l"#, d = p.date),
+            format!(r#"for $l in document("tpcw")//order[date = "{d}"]/orderline return $l"#, d = p.date)),
+        q("TQ15", "order lines of orders billed in a country", Tpcw, Read, 1, 3, false,
+            format!(r#"for $l in document("tpcw")/{{bill}}descendant::address[{{bill}}child::country = "{c}"]/{{bill}}child::order/{{bill}}child::orderline return $l"#, c = p.country),
+            format!(r#"for $ad in document("tpcw")//addresses/address[country = "{c}"], $o in document("tpcw")//orders/order, $l in document("tpcw")//orderlines/orderline where $o/@billAddrIdRef = $ad/@id and $l/@orderIdRef = $o/@id return $l"#, c = p.country),
+            format!(r#"for $l in document("tpcw")//order[address[@role = "billing"]/country/name = "{c}"]/orderline return $l"#, c = p.country)),
+        q("TQ16", "expensive items grouped with their ordered quantities", Tpcw, Read, 1, 2, false,
+            format!(r#"for $i in document("tpcw")/{{auth}}descendant::item[{{auth}}child::cost > {c}] return <group> {{ $i/{{auth}}child::title }} {{ count($i/{{auth}}child::orderline) }} </group>"#, c = p.cost_very_hi),
+            format!(r#"for $i in document("tpcw")//items/item[cost > {c}] let $ls := document("tpcw")//orderlines/orderline[@itemIdRef = $i/@id] return <group> {{ $i/title }} {{ count($ls) }} </group>"#, c = p.cost_very_hi),
+            format!(r#"for $t in distinct-values(document("tpcw")//orderline/item[cost > {c}]/title) return <group> {{ $t }} {{ count(document("tpcw")//orderline/item[title = $t]) }} </group>"#, c = p.cost_very_hi)),
+    ]
+}
+
+fn tpcw_updates(p: &Params) -> Vec<WorkloadQuery> {
+    use Dataset::Tpcw;
+    use QueryKind::Update;
+    vec![
+        q("TU1", "rename an author", Tpcw, Update, 1, 1, true,
+            format!(r#"for $a in document("tpcw")/{{auth}}descendant::author where $a/{{auth}}child::name = "{a}" update $a {{ replace value of $a/{{auth}}child::name with "Renamed Author" }}"#, a = p.author),
+            format!(r#"for $a in document("tpcw")//authors/author where $a/name = "{a}" update $a {{ replace value of $a/name with "Renamed Author" }}"#, a = p.author),
+            format!(r#"for $a in document("tpcw")//author where $a/name = "{a}" update $a {{ replace value of $a/name with "Renamed Author" }}"#, a = p.author)),
+        q("TU2", "change an item's cost", Tpcw, Update, 1, 1, true,
+            format!(r#"for $i in document("tpcw")/{{auth}}descendant::item where $i/{{auth}}child::title = "{t}" update $i {{ replace value of $i/{{auth}}child::cost with "9999" }}"#, t = p.item_title),
+            format!(r#"for $i in document("tpcw")//items/item where $i/title = "{t}" update $i {{ replace value of $i/cost with "9999" }}"#, t = p.item_title),
+            format!(r#"for $i in document("tpcw")//item where $i/title = "{t}" update $i {{ replace value of $i/cost with "9999" }}"#, t = p.item_title)),
+        q("TU3", "mark orders shipped to a city as delivered", Tpcw, Update, 1, 3, false,
+            format!(r#"for $o in document("tpcw")/{{ship}}descendant::address[{{ship}}child::city = "{c}"]/{{ship}}child::order update $o {{ replace value of $o/{{ship}}child::status with "DELIVERED" }}"#, c = p.city),
+            format!(r#"for $ad in document("tpcw")//addresses/address[city = "{c}"], $o in document("tpcw")//orders/order where $o/@shipAddrIdRef = $ad/@id update $o {{ replace value of $o/status with "DELIVERED" }}"#, c = p.city),
+            format!(r#"for $o in document("tpcw")//order[address[@role = "shipping"]/city = "{c}"] update $o {{ replace value of $o/status with "DELIVERED" }}"#, c = p.city)),
+        q("TU4", "retitle a given author's items", Tpcw, Update, 1, 2, true,
+            format!(r#"for $i in document("tpcw")/{{auth}}descendant::author[{{auth}}child::name = "{a}"]/{{auth}}child::item update $i {{ replace value of $i/{{auth}}child::title with "Retitled" }}"#, a = p.author2),
+            format!(r#"for $au in document("tpcw")//authors/author[name = "{a}"], $i in document("tpcw")//items/item where $i/@authorIdRef = $au/@id update $i {{ replace value of $i/title with "Retitled" }}"#, a = p.author2),
+            format!(r#"for $i in document("tpcw")//orderline/item[author/name = "{a}"] update $i {{ replace value of $i/title with "Retitled" }}"#, a = p.author2)),
+    ]
+}
+
+fn sigmod_reads(p: &Params) -> Vec<WorkloadQuery> {
+    use Dataset::Sigmod;
+    use QueryKind::Read;
+    vec![
+        q("SQ1", "article with a given title", Sigmod, Read, 1, 1, false,
+            format!(r#"for $a in document("sr")/{{date}}descendant::article[{{date}}child::title = "{t}"] return $a"#, t = p.article_title),
+            format!(r#"for $a in document("sr")//articles/article[title = "{t}"] return $a"#, t = p.article_title),
+            format!(r#"for $a in document("sr")//article[title = "{t}"] return $a"#, t = p.article_title)),
+        q("SQ2", "articles in a given issue", Sigmod, Read, 1, 2, false,
+            format!(r#"for $a in document("sr")/{{date}}descendant::issue[@volume = "{v}"][@number = "{n}"]/{{date}}child::article return $a"#, v = p.volume, n = p.number),
+            format!(r#"for $i in document("sr")//calendar/date/issue[@volume = "{v}"][@number = "{n}"], $a in document("sr")//articles/article where $a/@issueIdRef = $i/@id return $a"#, v = p.volume, n = p.number),
+            format!(r#"for $a in document("sr")//issue[@volume = "{v}"][@number = "{n}"]/article return $a"#, v = p.volume, n = p.number)),
+        q("SQ3", "articles published in a given year", Sigmod, Read, 1, 2, false,
+            format!(r#"for $a in document("sr")/{{date}}descendant::date[contains(., "{y}")]/{{date}}descendant::article return $a"#, y = p.year),
+            format!(r#"for $i in document("sr")//calendar/date[contains(., "{y}")]/issue, $a in document("sr")//articles/article where $a/@issueIdRef = $i/@id return $a"#, y = p.year),
+            format!(r#"for $a in document("sr")//date[contains(., "{y}")]//article return $a"#, y = p.year)),
+        q("SQ4", "distinct topics", Sigmod, Read, 1, 1, true,
+            r#"for $t in distinct-values(document("sr")/{editor}descendant::topic) return $t"#.to_string(),
+            r#"for $t in distinct-values(document("sr")//editorial/editor/topic) return $t"#.to_string(),
+            r#"for $t in distinct-values(document("sr")//article/topic) return $t"#.to_string()),
+        q("SQ5", "articles on a given topic", Sigmod, Read, 1, 2, false,
+            format!(r#"for $a in document("sr")/{{editor}}descendant::topic[. = "{t}"]/{{editor}}child::article return $a"#, t = p.topic),
+            format!(r#"for $tp in document("sr")//editorial/editor/topic[. = "{t}"], $a in document("sr")//articles/article where $a/@topicIdRef = $tp/@id return $a"#, t = p.topic),
+            format!(r#"for $a in document("sr")//article[topic = "{t}"] return $a"#, t = p.topic)),
+    ]
+}
+
+fn sigmod_updates(p: &Params) -> Vec<WorkloadQuery> {
+    use Dataset::Sigmod;
+    use QueryKind::Update;
+    vec![
+        q("SU1", "rename a topic", Sigmod, Update, 1, 1, true,
+            format!(r#"for $t in document("sr")/{{editor}}descendant::topic where $t = "{t}" update $t {{ replace value of $t with "Renamed Topic" }}"#, t = p.topic),
+            format!(r#"for $t in document("sr")//editorial/editor/topic where $t = "{t}" update $t {{ replace value of $t with "Renamed Topic" }}"#, t = p.topic),
+            format!(r#"for $t in document("sr")//article/topic where $t = "{t}" update $t {{ replace value of $t with "Renamed Topic" }}"#, t = p.topic)),
+        q("SU2", "rename an editor", Sigmod, Update, 1, 1, true,
+            format!(r#"for $e in document("sr")/{{editor}}descendant::editor where $e = "{e}" update $e {{ replace value of $e with "Renamed Editor" }}"#, e = p.editor),
+            format!(r#"for $e in document("sr")//editorial/editor where $e = "{e}" update $e {{ replace value of $e with "Renamed Editor" }}"#, e = p.editor),
+            format!(r#"for $e in document("sr")//article/topic/editor where $e = "{e}" update $e {{ replace value of $e with "Renamed Editor" }}"#, e = p.editor)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sigmod::SigmodConfig;
+    use crate::tpcw::TpcwConfig;
+    use mct_query::{complexity, parse_query, parse_update, update_complexity, Complexity};
+
+    fn params() -> Params {
+        let t = TpcwData::generate(&TpcwConfig { scale: 0.02, seed: 1 });
+        let s = SigmodData::generate(&SigmodConfig { scale: 0.05, seed: 1 });
+        Params::derive(&t, &s)
+    }
+
+    #[test]
+    fn workload_is_complete() {
+        let qs = all_queries(&params());
+        assert_eq!(qs.len(), 27, "16 TQ + 4 TU + 5 SQ + 2 SU");
+        assert_eq!(qs.iter().filter(|q| q.kind == QueryKind::Update).count(), 6);
+        assert_eq!(qs.iter().filter(|q| q.deep_dups).count(), 8);
+    }
+
+    #[test]
+    fn every_text_parses() {
+        for wq in all_queries(&params()) {
+            for (kind, text) in [
+                ("mct", &wq.mct_text),
+                ("shallow", &wq.shallow_text),
+                ("deep", &wq.deep_text),
+            ] {
+                let ok = match wq.kind {
+                    QueryKind::Read => parse_query(text).map(|_| ()).map_err(|e| e.to_string()),
+                    QueryKind::Update => parse_update(text).map(|_| ()).map_err(|e| e.to_string()),
+                };
+                ok.unwrap_or_else(|e| panic!("{} {kind} failed to parse: {e}\n{text}", wq.id));
+            }
+        }
+    }
+
+    fn measure(wq: &WorkloadQuery, text: &str) -> Complexity {
+        match wq.kind {
+            QueryKind::Read => complexity(&parse_query(text).unwrap()),
+            QueryKind::Update => update_complexity(&parse_update(text).unwrap()),
+        }
+    }
+
+    #[test]
+    fn shallow_queries_are_more_complex_where_joins_exist() {
+        // The Figure 11/12 claim: shallow needs more variable bindings
+        // (and usually more path expressions) than MCT exactly on the
+        // multi-tree queries.
+        for wq in all_queries(&params()) {
+            let m = measure(&wq, &wq.mct_text);
+            let s = measure(&wq, &wq.shallow_text);
+            if wq.trees > 1 {
+                assert!(
+                    s.var_bindings > m.var_bindings,
+                    "{}: shallow bindings {} !> mct {}",
+                    wq.id,
+                    s.var_bindings,
+                    m.var_bindings
+                );
+                assert!(
+                    s.path_exprs >= m.path_exprs,
+                    "{}: shallow paths {} < mct {}",
+                    wq.id,
+                    s.path_exprs,
+                    m.path_exprs
+                );
+            } else {
+                assert_eq!(s.var_bindings, m.var_bindings, "{}", wq.id);
+            }
+        }
+    }
+
+    #[test]
+    fn mct_and_deep_have_comparable_complexity() {
+        // Paper §7.3: "MCT and deep are comparable".
+        for wq in all_queries(&params()) {
+            let m = measure(&wq, &wq.mct_text);
+            let d = measure(&wq, &wq.deep_text);
+            assert!(
+                (m.var_bindings as i64 - d.var_bindings as i64).abs() <= 1,
+                "{}: mct {:?} vs deep {:?}",
+                wq.id,
+                m,
+                d
+            );
+        }
+    }
+
+    /// parse(display(parse(text))) == parse(text) for EVERY workload
+    /// query in every dialect — the unparser round trip.
+    #[test]
+    fn unparse_roundtrips_every_query() {
+        for wq in all_queries(&params()) {
+            for text in [&wq.mct_text, &wq.shallow_text, &wq.deep_text] {
+                match wq.kind {
+                    QueryKind::Read => {
+                        let e1 = parse_query(text).unwrap();
+                        let printed = e1.to_string();
+                        let e2 = parse_query(&printed)
+                            .unwrap_or_else(|err| panic!("{}: reparse failed: {err}\n{printed}", wq.id));
+                        assert_eq!(e1, e2, "{}: {printed}", wq.id);
+                    }
+                    QueryKind::Update => {
+                        let u1 = parse_update(text).unwrap();
+                        let printed = u1.to_string();
+                        let u2 = parse_update(&printed)
+                            .unwrap_or_else(|err| panic!("{}: reparse failed: {err}\n{printed}", wq.id));
+                        assert_eq!(u1, u2, "{}: {printed}", wq.id);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn params_are_deterministic() {
+        let a = params();
+        let b = params();
+        assert_eq!(a.uname, b.uname);
+        assert_eq!(a.article_title, b.article_title);
+    }
+}

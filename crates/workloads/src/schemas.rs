@@ -1,0 +1,279 @@
+//! Formal schemas for the generated designs, with Definition 3.3
+//! classification.
+//!
+//! For the shallow and deep TPC-W designs this module provides DTDs
+//! (content models) plus the functional dependencies that drive the
+//! paper's shallow/deep test: `(D, F)` is *shallow* iff every implied
+//! `S → p.@attr` / `S → p.content` also implies `S → p` — the
+//! XNF-style condition of Arenas & Libkin. The shallow design
+//! satisfies it (ids determine nodes), the deep design violates it
+//! (an item key determines the replicated title content but not the
+//! replicated node).
+//!
+//! The DTDs also validate the XML exports of the generated databases,
+//! closing the loop between generator, schema, and data.
+
+use mct_xml::{Dtd, FdTarget, Quantifier};
+
+fn path(s: &str) -> Vec<String> {
+    s.split('/').map(str::to_string).collect()
+}
+
+/// DTD + FDs for the shallow TPC-W design.
+pub fn tpcw_shallow_dtd() -> Dtd {
+    use Quantifier::*;
+    Dtd::new("tpcw")
+        .element(
+            "tpcw",
+            &[
+                ("customers", One),
+                ("addresses", One),
+                ("dates", One),
+                ("authors", One),
+                ("items", One),
+                ("orders", One),
+                ("orderlines", One),
+            ],
+            &[],
+            false,
+        )
+        .element("customers", &[("customer", Star)], &[], false)
+        .element("addresses", &[("address", Star)], &[], false)
+        .element("dates", &[("date", Star)], &[], false)
+        .element("authors", &[("author", Star)], &[], false)
+        .element("items", &[("item", Star)], &[], false)
+        .element("orders", &[("order", Star)], &[], false)
+        .element("orderlines", &[("orderline", Star)], &[], false)
+        .element("customer", &[("uname", One), ("name", One)], &["id"], false)
+        .element(
+            "address",
+            &[("street", One), ("city", One), ("zip", One), ("country", One)],
+            &["id"],
+            false,
+        )
+        .element("date", &[], &["id"], true)
+        .element("author", &[("name", One), ("bio", One)], &["id"], false)
+        .element(
+            "item",
+            &[
+                ("title", One),
+                ("cost", One),
+                ("desc", One),
+                ("publisher", One),
+                ("subject", One),
+            ],
+            &["id", "authorIdRef"],
+            false,
+        )
+        .element(
+            "order",
+            &[("total", One), ("status", One)],
+            &["id", "customerIdRef", "billAddrIdRef", "shipAddrIdRef", "dateIdRef"],
+            false,
+        )
+        .element(
+            "orderline",
+            &[("qty", One)],
+            &["id", "orderIdRef", "itemIdRef"],
+            false,
+        )
+        .element("uname", &[], &[], true)
+        .element("name", &[], &[], true)
+        .element("bio", &[], &[], true)
+        .element("street", &[], &[], true)
+        .element("city", &[], &[], true)
+        .element("zip", &[], &[], true)
+        .element("country", &[], &[], true)
+        .element("title", &[], &[], true)
+        .element("cost", &[], &[], true)
+        .element("desc", &[], &[], true)
+        .element("publisher", &[], &[], true)
+        .element("subject", &[], &[], true)
+        .element("total", &[], &[], true)
+        .element("status", &[], &[], true)
+        .element("qty", &[], &[], true)
+        // Keys: each entity id determines its node — the FDs that make
+        // the design shallow per Definition 3.3.
+        .fd(
+            vec![FdTarget::Attr(path("tpcw/items/item"), "id".into())],
+            FdTarget::Path(path("tpcw/items/item")),
+        )
+        .fd(
+            vec![FdTarget::Attr(path("tpcw/authors/author"), "id".into())],
+            FdTarget::Path(path("tpcw/authors/author")),
+        )
+        .fd(
+            vec![FdTarget::Attr(path("tpcw/customers/customer"), "id".into())],
+            FdTarget::Path(path("tpcw/customers/customer")),
+        )
+        .fd(
+            vec![FdTarget::Attr(path("tpcw/addresses/address"), "id".into())],
+            FdTarget::Path(path("tpcw/addresses/address")),
+        )
+}
+
+/// DTD + FDs for the deep TPC-W design.
+pub fn tpcw_deep_dtd() -> Dtd {
+    use Quantifier::*;
+    Dtd::new("customers")
+        .element("customers", &[("customer", Star)], &[], false)
+        .element(
+            "customer",
+            &[("uname", One), ("name", One), ("order", Star)],
+            &["id"],
+            false,
+        )
+        .element(
+            "order",
+            &[
+                ("total", One),
+                ("status", One),
+                ("date", One),
+                ("address", Plus),
+                ("orderline", Star),
+            ],
+            &["id"],
+            false,
+        )
+        .element(
+            "address",
+            &[("street", One), ("city", One), ("zip", One), ("country", One)],
+            &["role"],
+            false,
+        )
+        .element("country", &[("name", One)], &[], false)
+        .element("orderline", &[("qty", One), ("item", One)], &["id"], false)
+        .element(
+            "item",
+            &[
+                ("title", One),
+                ("cost", One),
+                ("desc", One),
+                ("publisher", One),
+                ("subject", One),
+                ("author", One),
+            ],
+            &["itemkey"],
+            false,
+        )
+        .element("author", &[("name", One), ("bio", One)], &["authorkey"], false)
+        .element("uname", &[], &[], true)
+        .element("name", &[], &[], true)
+        .element("bio", &[], &[], true)
+        .element("street", &[], &[], true)
+        .element("city", &[], &[], true)
+        .element("zip", &[], &[], true)
+        .element("title", &[], &[], true)
+        .element("cost", &[], &[], true)
+        .element("desc", &[], &[], true)
+        .element("publisher", &[], &[], true)
+        .element("subject", &[], &[], true)
+        .element("total", &[], &[], true)
+        .element("status", &[], &[], true)
+        .element("date", &[], &[], true)
+        .element("qty", &[], &[], true)
+        // The replication dependency: an item key determines the
+        // replicated item's title CONTENT, but the key cannot determine
+        // the replicated NODE — the Definition 3.3 violation.
+        .fd(
+            vec![FdTarget::Attr(
+                path("customers/customer/order/orderline/item"),
+                "itemkey".into(),
+            )],
+            FdTarget::Content(path("customers/customer/order/orderline/item/title")),
+        )
+        .fd(
+            vec![FdTarget::Attr(
+                path("customers/customer/order/orderline/item/author"),
+                "authorkey".into(),
+            )],
+            FdTarget::Content(path(
+                "customers/customer/order/orderline/item/author/name",
+            )),
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpcw::{TpcwConfig, TpcwData};
+    use mct_core::export_color;
+
+    fn tiny() -> TpcwData {
+        TpcwData::generate(&TpcwConfig {
+            scale: 0.02,
+            seed: 21,
+        })
+    }
+
+    #[test]
+    fn shallow_design_is_shallow_per_definition_3_3() {
+        assert!(tpcw_shallow_dtd().is_shallow());
+    }
+
+    #[test]
+    fn deep_design_is_deep_per_definition_3_3() {
+        let dtd = tpcw_deep_dtd();
+        assert!(dtd.is_deep());
+        let v = dtd.shallow_violation().unwrap();
+        // The violation is exactly the replicated-title dependency.
+        assert!(matches!(v.rhs, FdTarget::Content(_)));
+    }
+
+    #[test]
+    fn deep_with_node_key_would_be_shallow() {
+        // Counterfactual: if the item key determined the node (no
+        // replication), the same schema would be shallow.
+        let fixed = tpcw_deep_dtd()
+            .fd(
+                vec![FdTarget::Attr(
+                    path("customers/customer/order/orderline/item"),
+                    "itemkey".into(),
+                )],
+                FdTarget::Path(path("customers/customer/order/orderline/item")),
+            )
+            .fd(
+                vec![FdTarget::Attr(
+                    path("customers/customer/order/orderline/item/author"),
+                    "authorkey".into(),
+                )],
+                FdTarget::Path(path("customers/customer/order/orderline/item/author")),
+            );
+        assert!(fixed.is_shallow());
+    }
+
+    #[test]
+    fn generated_shallow_data_validates() {
+        let data = tiny();
+        let db = data.build_shallow();
+        let c = db.color("black").unwrap();
+        // Wrap the forest in a root element for validation.
+        let doc = export_color(&db, c);
+        // export_color produces the section elements as siblings; build
+        // a wrapping document.
+        let mut wrapped = mct_xml::Document::new();
+        let root = wrapped.create_element("tpcw");
+        wrapped.append_child(mct_xml::NodeId::DOCUMENT, root);
+        for top in doc
+            .children(mct_xml::NodeId::DOCUMENT)
+            .collect::<Vec<_>>()
+        {
+            let copy = doc.deep_copy_into(top, &mut wrapped);
+            wrapped.append_child(root, copy);
+        }
+        tpcw_shallow_dtd()
+            .validate(&wrapped)
+            .expect("generated shallow data conforms to its DTD");
+    }
+
+    #[test]
+    fn generated_deep_data_validates() {
+        let data = tiny();
+        let db = data.build_deep();
+        let c = db.color("black").unwrap();
+        let doc = export_color(&db, c);
+        tpcw_deep_dtd()
+            .validate(&doc)
+            .expect("generated deep data conforms to its DTD");
+    }
+}

@@ -1,0 +1,454 @@
+//! SIGMOD-Record-style workload data (§7, second data set).
+//!
+//! The paper scales the public SIGMOD Record XML by ×100 and rebuilds
+//! it in three designs. We generate an equivalent entity graph —
+//! issues (volume/number/date), articles (title, pages, authors),
+//! editors, and topics — and render:
+//!
+//! * **MCT** ([`SigmodData::build_mct`]): the two colored hierarchies
+//!   of §7 — `date`: date–issue–articles and `editor`:
+//!   editor–topic–articles. Articles appearing in both carry two
+//!   colors.
+//! * **Shallow** ([`SigmodData::build_shallow`]): the paper's three
+//!   single-color trees — `articles`, `date--issue`, `editor--topic` —
+//!   with IDREF attributes on articles.
+//! * **Deep** ([`SigmodData::build_deep`]): nested
+//!   date–issue–articles with the editor/topic information replicated
+//!   inside every article.
+
+use mct_core::{ColorId, McNodeId, MctDatabase};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SigmodConfig {
+    /// Scale factor; 1.0 ≈ 2000 articles (≈ 18 K elements).
+    pub scale: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SigmodConfig {
+    fn default() -> Self {
+        SigmodConfig {
+            scale: 1.0,
+            seed: 0x51600D_u64,
+        }
+    }
+}
+
+/// One issue of the Record.
+#[derive(Clone, Debug)]
+pub struct Issue {
+    /// Volume number.
+    pub volume: u32,
+    /// Issue number within the volume.
+    pub number: u32,
+    /// Index into dates.
+    pub date: usize,
+}
+
+/// One article.
+#[derive(Clone, Debug)]
+pub struct Article {
+    /// Title.
+    pub title: String,
+    /// First page.
+    pub init_page: u32,
+    /// Last page.
+    pub end_page: u32,
+    /// Author names.
+    pub authors: Vec<String>,
+    /// Index into issues.
+    pub issue: usize,
+    /// Index into topics.
+    pub topic: usize,
+}
+
+/// One topic area with its editor.
+#[derive(Clone, Debug)]
+pub struct Topic {
+    /// Topic name.
+    pub name: String,
+    /// Scope note (replicated per article in the deep design).
+    pub scope: String,
+    /// Index into editors.
+    pub editor: usize,
+}
+
+/// The generated entity graph.
+#[derive(Clone, Debug)]
+pub struct SigmodData {
+    /// Publication dates (one per issue-quarter).
+    pub dates: Vec<String>,
+    /// Issues.
+    pub issues: Vec<Issue>,
+    /// Articles.
+    pub articles: Vec<Article>,
+    /// Editors (names).
+    pub editors: Vec<String>,
+    /// Topics.
+    pub topics: Vec<Topic>,
+}
+
+const TOPICS: &[&str] = &[
+    "Query Processing", "Data Models", "Transactions", "Information Retrieval",
+    "Distributed Systems", "Storage", "Benchmarks", "Data Mining",
+];
+const WORDS: &[&str] = &[
+    "Efficient", "Scalable", "Adaptive", "Holistic", "Incremental", "Robust", "Parallel",
+    "Declarative", "Streaming", "Approximate",
+];
+const AREAS: &[&str] = &[
+    "Join Processing", "XML Storage", "Index Structures", "View Maintenance", "Query Optimization",
+    "Schema Design", "Data Integration", "Concurrency Control",
+];
+
+impl SigmodData {
+    /// Generate the entity graph.
+    pub fn generate(cfg: &SigmodConfig) -> SigmodData {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let n_articles = ((2000.0 * cfg.scale) as usize).max(40);
+        let n_issues = (n_articles / 25).max(4);
+        let n_editors = 10usize.min(n_issues);
+        let dates: Vec<String> = (0..n_issues)
+            .map(|i| format!("{}-{:02}", 1975 + i / 4, 3 * (i % 4) + 1))
+            .collect();
+        let issues: Vec<Issue> = (0..n_issues)
+            .map(|i| Issue {
+                volume: (i / 4 + 1) as u32,
+                number: (i % 4 + 1) as u32,
+                date: i,
+            })
+            .collect();
+        let editors: Vec<String> = (0..n_editors).map(|i| format!("Editor {i}")).collect();
+        let topics: Vec<Topic> = TOPICS
+            .iter()
+            .enumerate()
+            .map(|(i, t)| Topic {
+                name: t.to_string(),
+                scope: format!(
+                    "Covers {} across systems and theory, including survey and \
+                     experience papers; coordinated by the area editor ({}).",
+                    t.to_lowercase(),
+                    i
+                ),
+                editor: i % n_editors,
+            })
+            .collect();
+        let articles: Vec<Article> = (0..n_articles)
+            .map(|i| {
+                let init = rng.gen_range(1..200);
+                let n_auth = rng.gen_range(1..=3);
+                Article {
+                    title: format!(
+                        "{} {} for {}",
+                        WORDS[rng.gen_range(0..WORDS.len())],
+                        AREAS[rng.gen_range(0..AREAS.len())],
+                        format_args!("Workload {i}"),
+                    ),
+                    init_page: init,
+                    end_page: init + rng.gen_range(5..25),
+                    authors: (0..n_auth).map(|a| format!("Author {}-{a}", i % 97)).collect(),
+                    issue: rng.gen_range(0..n_issues),
+                    topic: rng.gen_range(0..topics.len()),
+                }
+            })
+            .collect();
+        SigmodData {
+            dates,
+            issues,
+            articles,
+            editors,
+            topics,
+        }
+    }
+
+    fn add_article_leaves(
+        db: &mut MctDatabase,
+        article: McNodeId,
+        a: &Article,
+        colors: &[ColorId],
+    ) {
+        for (name, content) in [
+            ("title", a.title.clone()),
+            ("initPage", a.init_page.to_string()),
+            ("endPage", a.end_page.to_string()),
+        ] {
+            let n = db.new_element(name, colors[0]);
+            db.set_content(n, &content);
+            db.append_child(article, n, colors[0]);
+            for &c in &colors[1..] {
+                db.add_node_color(n, c);
+                db.append_child(article, n, c);
+            }
+        }
+        for author in &a.authors {
+            let n = db.new_element("author", colors[0]);
+            db.set_content(n, author);
+            db.append_child(article, n, colors[0]);
+            for &c in &colors[1..] {
+                db.add_node_color(n, c);
+                db.append_child(article, n, c);
+            }
+        }
+    }
+
+    /// Render as a two-hierarchy MCT database.
+    pub fn build_mct(&self) -> MctDatabase {
+        let mut db = MctDatabase::new();
+        let date = db.add_color("date");
+        let editor = db.add_color("editor");
+        let date_nodes: Vec<McNodeId> = self
+            .dates
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                let n = db.new_element("date", date);
+                db.set_attr(n, "id", &format!("d{i}"));
+                db.set_content(n, d);
+                db.append_child(McNodeId::DOCUMENT, n, date);
+                n
+            })
+            .collect();
+        let issue_nodes: Vec<McNodeId> = self
+            .issues
+            .iter()
+            .enumerate()
+            .map(|(i, is)| {
+                let n = db.new_element("issue", date);
+                db.set_attr(n, "id", &format!("is{i}"));
+                db.set_attr(n, "volume", &is.volume.to_string());
+                db.set_attr(n, "number", &is.number.to_string());
+                db.append_child(date_nodes[is.date], n, date);
+                n
+            })
+            .collect();
+        let editor_nodes: Vec<McNodeId> = self
+            .editors
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                let n = db.new_element("editor", editor);
+                db.set_attr(n, "id", &format!("e{i}"));
+                db.set_content(n, e);
+                db.append_child(McNodeId::DOCUMENT, n, editor);
+                n
+            })
+            .collect();
+        let topic_nodes: Vec<McNodeId> = self
+            .topics
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let n = db.new_element("topic", editor);
+                db.set_attr(n, "id", &format!("t{i}"));
+                db.set_content(n, &t.name);
+                db.append_child(editor_nodes[t.editor], n, editor);
+                let sc = db.new_element("scope", editor);
+                db.set_content(sc, &t.scope);
+                db.append_child(n, sc, editor);
+                n
+            })
+            .collect();
+        for (i, a) in self.articles.iter().enumerate() {
+            let n = db.new_element("article", date);
+            db.set_attr(n, "id", &format!("ar{i}"));
+            db.append_child(issue_nodes[a.issue], n, date);
+            db.add_node_color(n, editor);
+            db.append_child(topic_nodes[a.topic], n, editor);
+            Self::add_article_leaves(&mut db, n, a, &[date, editor]);
+        }
+        db
+    }
+
+    /// Render as the paper's three shallow trees with IDREFs.
+    pub fn build_shallow(&self) -> MctDatabase {
+        let mut db = MctDatabase::new();
+        let c = db.add_color("black");
+        // Tree 1: articles.
+        let sec_articles = db.new_element("articles", c);
+        db.append_child(McNodeId::DOCUMENT, sec_articles, c);
+        // Tree 2: date--issue.
+        let sec_dates = db.new_element("calendar", c);
+        db.append_child(McNodeId::DOCUMENT, sec_dates, c);
+        // Tree 3: editor--topic.
+        let sec_editors = db.new_element("editorial", c);
+        db.append_child(McNodeId::DOCUMENT, sec_editors, c);
+
+        let date_nodes: Vec<McNodeId> = self
+            .dates
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                let n = db.new_element("date", c);
+                db.set_attr(n, "id", &format!("d{i}"));
+                db.set_content(n, d);
+                db.append_child(sec_dates, n, c);
+                n
+            })
+            .collect();
+        for (i, is) in self.issues.iter().enumerate() {
+            let n = db.new_element("issue", c);
+            db.set_attr(n, "id", &format!("is{i}"));
+            db.set_attr(n, "volume", &is.volume.to_string());
+            db.set_attr(n, "number", &is.number.to_string());
+            db.append_child(date_nodes[is.date], n, c);
+        }
+        let editor_nodes: Vec<McNodeId> = self
+            .editors
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                let n = db.new_element("editor", c);
+                db.set_attr(n, "id", &format!("e{i}"));
+                db.set_content(n, e);
+                db.append_child(sec_editors, n, c);
+                n
+            })
+            .collect();
+        for (i, t) in self.topics.iter().enumerate() {
+            let n = db.new_element("topic", c);
+            db.set_attr(n, "id", &format!("t{i}"));
+            db.set_content(n, &t.name);
+            db.append_child(editor_nodes[t.editor], n, c);
+            let sc = db.new_element("scope", c);
+            db.set_content(sc, &t.scope);
+            db.append_child(n, sc, c);
+        }
+        for (i, a) in self.articles.iter().enumerate() {
+            let n = db.new_element("article", c);
+            db.set_attr(n, "id", &format!("ar{i}"));
+            db.set_attr(n, "issueIdRef", &format!("is{}", a.issue));
+            db.set_attr(n, "topicIdRef", &format!("t{}", a.topic));
+            db.append_child(sec_articles, n, c);
+            Self::add_article_leaves(&mut db, n, a, &[c]);
+        }
+        db
+    }
+
+    /// Render as the deep nested design with replicated topic/editor.
+    pub fn build_deep(&self) -> MctDatabase {
+        let mut db = MctDatabase::new();
+        let c = db.add_color("black");
+        let mut articles_by_issue: Vec<Vec<usize>> = vec![Vec::new(); self.issues.len()];
+        for (ai, a) in self.articles.iter().enumerate() {
+            articles_by_issue[a.issue].push(ai);
+        }
+        for (i, d) in self.dates.iter().enumerate() {
+            let dn = db.new_element("date", c);
+            db.set_content(dn, d);
+            db.append_child(McNodeId::DOCUMENT, dn, c);
+            for (ii, is) in self.issues.iter().enumerate() {
+                if is.date != i {
+                    continue;
+                }
+                let isn = db.new_element("issue", c);
+                db.set_attr(isn, "volume", &is.volume.to_string());
+                db.set_attr(isn, "number", &is.number.to_string());
+                db.append_child(dn, isn, c);
+                for &ai in &articles_by_issue[ii] {
+                    let a = &self.articles[ai];
+                    let an = db.new_element("article", c);
+                    db.set_attr(an, "id", &format!("ar{ai}"));
+                    db.append_child(isn, an, c);
+                    Self::add_article_leaves(&mut db, an, a, &[c]);
+                    // Replicated topic with nested editor.
+                    let t = &self.topics[a.topic];
+                    let tn = db.new_element("topic", c);
+                    db.set_content(tn, &t.name);
+                    db.append_child(an, tn, c);
+                    let sc = db.new_element("scope", c);
+                    db.set_content(sc, &t.scope);
+                    db.append_child(tn, sc, c);
+                    let en = db.new_element("editor", c);
+                    db.set_content(en, &self.editors[t.editor]);
+                    db.append_child(tn, en, c);
+                }
+            }
+        }
+        db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SigmodData {
+        SigmodData::generate(&SigmodConfig {
+            scale: 0.05,
+            seed: 5,
+        })
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = SigmodData::generate(&SigmodConfig { scale: 0.1, seed: 9 });
+        let b = SigmodData::generate(&SigmodConfig { scale: 0.1, seed: 9 });
+        assert_eq!(a.articles.len(), b.articles.len());
+        assert_eq!(a.articles[3].title, b.articles[3].title);
+    }
+
+    #[test]
+    fn mct_articles_have_two_colors() {
+        let data = tiny();
+        let db = data.build_mct();
+        db.check_invariants();
+        let date = db.color("date").unwrap();
+        let editor = db.color("editor").unwrap();
+        let mut count = 0;
+        for i in 0..db.len() {
+            let n = McNodeId(i as u32);
+            if db.name_str(n) == Some("article") {
+                count += 1;
+                assert!(db.colors(n).contains(date));
+                assert!(db.colors(n).contains(editor));
+                assert_eq!(db.name_str(db.parent(n, date).unwrap()), Some("issue"));
+                assert_eq!(db.name_str(db.parent(n, editor).unwrap()), Some("topic"));
+            }
+        }
+        assert_eq!(count as usize, data.articles.len());
+    }
+
+    #[test]
+    fn shallow_has_three_trees() {
+        let data = tiny();
+        let db = data.build_shallow();
+        let c = db.color("black").unwrap();
+        let roots: Vec<&str> = db
+            .children(McNodeId::DOCUMENT, c)
+            .map(|n| db.name_str(n).unwrap())
+            .collect();
+        assert_eq!(roots, ["articles", "calendar", "editorial"]);
+    }
+
+    #[test]
+    fn deep_replicates_topics_per_article() {
+        let data = tiny();
+        let db = data.build_deep();
+        let mut topic_elems = 0;
+        for i in 0..db.len() {
+            if db.name_str(McNodeId(i as u32)) == Some("topic") {
+                topic_elems += 1;
+            }
+        }
+        assert_eq!(
+            topic_elems as usize,
+            data.articles.len(),
+            "one replicated topic per article"
+        );
+    }
+
+    #[test]
+    fn element_counts_track_paper_shape() {
+        let data = tiny();
+        let (me, ..) = data.build_mct().counts();
+        let (se, ..) = data.build_shallow().counts();
+        let (de, ..) = data.build_deep().counts();
+        // Paper Table 1: MCT ≈ shallow (±wrappers), deep ≈ 1.1–1.3×.
+        assert!(se >= me && se <= me + 3);
+        assert!(de > me);
+    }
+}

@@ -1,0 +1,781 @@
+//! Arena-allocated ordered XML trees.
+//!
+//! A [`Document`] owns all of its nodes in a single `Vec` arena and
+//! links them with `Option<NodeId>` sibling/child pointers — no `Rc`,
+//! no interior mutability. Attribute nodes are chained off their owner
+//! element separately from children, matching the data model (attributes
+//! have a parent but are not children).
+
+use crate::node::{NodeId, NodeKind};
+use crate::qname::{Interner, Sym};
+
+/// Per-node record in the arena.
+#[derive(Clone, Debug)]
+pub struct NodeData {
+    /// Kind of node.
+    pub kind: NodeKind,
+    /// Name for elements / attributes / PIs.
+    pub name: Option<Sym>,
+    /// String value for text / attribute / comment / PI nodes.
+    pub value: Option<Box<str>>,
+    /// Parent node (attributes point at their owner element).
+    pub parent: Option<NodeId>,
+    /// First child (element/text/comment/PI children only).
+    pub first_child: Option<NodeId>,
+    /// Last child, for O(1) append.
+    pub last_child: Option<NodeId>,
+    /// Previous sibling in the child list.
+    pub prev_sibling: Option<NodeId>,
+    /// Next sibling in the child list (also chains attribute nodes).
+    pub next_sibling: Option<NodeId>,
+    /// Head of this element's attribute chain.
+    pub first_attr: Option<NodeId>,
+    /// True once the node has been detached from the tree.
+    pub detached: bool,
+}
+
+impl NodeData {
+    fn new(kind: NodeKind) -> Self {
+        NodeData {
+            kind,
+            name: None,
+            value: None,
+            parent: None,
+            first_child: None,
+            last_child: None,
+            prev_sibling: None,
+            next_sibling: None,
+            first_attr: None,
+            detached: false,
+        }
+    }
+}
+
+/// An ordered tree of XML nodes plus the name interner.
+///
+/// The document node is created eagerly at id 0. All structural
+/// mutation goes through methods that maintain the doubly linked child
+/// lists; invariants are checked in debug builds by
+/// [`Document::check_invariants`].
+#[derive(Clone, Debug)]
+pub struct Document {
+    nodes: Vec<NodeData>,
+    /// Interner for element/attribute/PI names.
+    pub names: Interner,
+}
+
+impl Default for Document {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Document {
+    /// Create a document containing only the document node.
+    pub fn new() -> Self {
+        Document {
+            nodes: vec![NodeData::new(NodeKind::Document)],
+            names: Interner::new(),
+        }
+    }
+
+    /// Create a document with arena capacity pre-reserved for `n` nodes.
+    pub fn with_capacity(n: usize) -> Self {
+        let mut nodes = Vec::with_capacity(n.max(1));
+        nodes.push(NodeData::new(NodeKind::Document));
+        Document {
+            nodes,
+            names: Interner::new(),
+        }
+    }
+
+    /// Total number of arena slots (including detached nodes).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when only the document node exists.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1 && self.nodes[0].first_child.is_none()
+    }
+
+    /// Borrow a node record.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &NodeData {
+        &self.nodes[id.index()]
+    }
+
+    #[inline]
+    fn node_mut(&mut self, id: NodeId) -> &mut NodeData {
+        &mut self.nodes[id.index()]
+    }
+
+    fn alloc(&mut self, data: NodeData) -> NodeId {
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("document arena overflow"));
+        self.nodes.push(data);
+        id
+    }
+
+    // ----- constructors ---------------------------------------------------
+
+    /// Create a detached element node named `name`.
+    pub fn create_element(&mut self, name: &str) -> NodeId {
+        let sym = self.names.intern(name);
+        self.create_element_sym(sym)
+    }
+
+    /// Create a detached element node with an already-interned name.
+    pub fn create_element_sym(&mut self, name: Sym) -> NodeId {
+        let mut d = NodeData::new(NodeKind::Element);
+        d.name = Some(name);
+        self.alloc(d)
+    }
+
+    /// Create a detached text node.
+    pub fn create_text(&mut self, value: &str) -> NodeId {
+        let mut d = NodeData::new(NodeKind::Text);
+        d.value = Some(value.into());
+        self.alloc(d)
+    }
+
+    /// Create a detached comment node.
+    pub fn create_comment(&mut self, value: &str) -> NodeId {
+        let mut d = NodeData::new(NodeKind::Comment);
+        d.value = Some(value.into());
+        self.alloc(d)
+    }
+
+    /// Create a detached processing-instruction node.
+    pub fn create_pi(&mut self, target: &str, data: &str) -> NodeId {
+        let sym = self.names.intern(target);
+        let mut d = NodeData::new(NodeKind::ProcessingInstruction);
+        d.name = Some(sym);
+        d.value = Some(data.into());
+        self.alloc(d)
+    }
+
+    // ----- structure mutation ----------------------------------------------
+
+    /// Append `child` as the last child of `parent`.
+    ///
+    /// # Panics
+    /// Panics if `parent` cannot have children, or `child` is attached
+    /// elsewhere, or `child` is an attribute.
+    pub fn append_child(&mut self, parent: NodeId, child: NodeId) {
+        assert!(
+            self.node(parent).kind.can_have_children(),
+            "append_child: parent kind {:?} cannot have children",
+            self.node(parent).kind
+        );
+        assert!(
+            self.node(child).kind != NodeKind::Attribute,
+            "append_child: attributes are attached with set_attribute"
+        );
+        assert!(
+            self.node(child).parent.is_none(),
+            "append_child: child already attached"
+        );
+        let old_last = self.node(parent).last_child;
+        {
+            let c = self.node_mut(child);
+            c.parent = Some(parent);
+            c.prev_sibling = old_last;
+            c.next_sibling = None;
+            c.detached = false;
+        }
+        match old_last {
+            Some(last) => self.node_mut(last).next_sibling = Some(child),
+            None => self.node_mut(parent).first_child = Some(child),
+        }
+        self.node_mut(parent).last_child = Some(child);
+    }
+
+    /// Insert `child` immediately before `anchor` (which must be attached).
+    pub fn insert_before(&mut self, anchor: NodeId, child: NodeId) {
+        let parent = self
+            .node(anchor)
+            .parent
+            .expect("insert_before: anchor is detached");
+        assert!(
+            self.node(child).parent.is_none(),
+            "insert_before: child already attached"
+        );
+        let prev = self.node(anchor).prev_sibling;
+        {
+            let c = self.node_mut(child);
+            c.parent = Some(parent);
+            c.prev_sibling = prev;
+            c.next_sibling = Some(anchor);
+            c.detached = false;
+        }
+        self.node_mut(anchor).prev_sibling = Some(child);
+        match prev {
+            Some(p) => self.node_mut(p).next_sibling = Some(child),
+            None => self.node_mut(parent).first_child = Some(child),
+        }
+    }
+
+    /// Detach `node` (and implicitly its subtree) from its parent.
+    /// The arena slot survives; the node can be re-attached.
+    pub fn detach(&mut self, node: NodeId) {
+        let (parent, prev, next) = {
+            let n = self.node(node);
+            (n.parent, n.prev_sibling, n.next_sibling)
+        };
+        let Some(parent) = parent else { return };
+        if self.node(node).kind == NodeKind::Attribute {
+            // Unlink from the attribute chain.
+            let first = self.node(parent).first_attr;
+            if first == Some(node) {
+                self.node_mut(parent).first_attr = next;
+            } else if let Some(p) = prev {
+                self.node_mut(p).next_sibling = next;
+            }
+            if let Some(nx) = next {
+                self.node_mut(nx).prev_sibling = prev;
+            }
+        } else {
+            match prev {
+                Some(p) => self.node_mut(p).next_sibling = next,
+                None => self.node_mut(parent).first_child = next,
+            }
+            match next {
+                Some(nx) => self.node_mut(nx).prev_sibling = prev,
+                None => self.node_mut(parent).last_child = prev,
+            }
+        }
+        let n = self.node_mut(node);
+        n.parent = None;
+        n.prev_sibling = None;
+        n.next_sibling = None;
+        n.detached = true;
+    }
+
+    /// Set (or replace) attribute `name` on `element`. Returns the
+    /// attribute node id.
+    pub fn set_attribute(&mut self, element: NodeId, name: &str, value: &str) -> NodeId {
+        assert_eq!(
+            self.node(element).kind,
+            NodeKind::Element,
+            "set_attribute: target must be an element"
+        );
+        let sym = self.names.intern(name);
+        // Replace in place if present.
+        let mut cur = self.node(element).first_attr;
+        while let Some(a) = cur {
+            if self.node(a).name == Some(sym) {
+                self.node_mut(a).value = Some(value.into());
+                return a;
+            }
+            cur = self.node(a).next_sibling;
+        }
+        let mut d = NodeData::new(NodeKind::Attribute);
+        d.name = Some(sym);
+        d.value = Some(value.into());
+        d.parent = Some(element);
+        let attr = self.alloc(d);
+        // Append to the end of the chain to keep deterministic order.
+        let mut tail = self.node(element).first_attr;
+        match tail {
+            None => self.node_mut(element).first_attr = Some(attr),
+            Some(mut t) => {
+                while let Some(nx) = self.node(t).next_sibling {
+                    t = nx;
+                }
+                tail = Some(t);
+                self.node_mut(t).next_sibling = Some(attr);
+                self.node_mut(attr).prev_sibling = tail;
+            }
+        }
+        attr
+    }
+
+    /// Overwrite the string value of a text/attribute/comment/PI node.
+    pub fn set_value(&mut self, node: NodeId, value: &str) {
+        assert!(
+            !self.node(node).kind.can_have_children(),
+            "set_value: node kind {:?} has no direct value",
+            self.node(node).kind
+        );
+        self.node_mut(node).value = Some(value.into());
+    }
+
+    // ----- accessors -------------------------------------------------------
+
+    /// `dm:parent`.
+    #[inline]
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.node(node).parent
+    }
+
+    /// Kind of `node`.
+    #[inline]
+    pub fn kind(&self, node: NodeId) -> NodeKind {
+        self.node(node).kind
+    }
+
+    /// Name symbol of `node`, if it has one.
+    #[inline]
+    pub fn name(&self, node: NodeId) -> Option<Sym> {
+        self.node(node).name
+    }
+
+    /// Resolved name string of `node`, if it has one.
+    pub fn name_str(&self, node: NodeId) -> Option<&str> {
+        self.node(node).name.map(|s| self.names.resolve(s))
+    }
+
+    /// Iterate over the children of `node` in order.
+    pub fn children(&self, node: NodeId) -> Children<'_> {
+        Children {
+            doc: self,
+            next: self.node(node).first_child,
+        }
+    }
+
+    /// Iterate over element children only.
+    pub fn element_children(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.children(node)
+            .filter(move |&c| self.node(c).kind == NodeKind::Element)
+    }
+
+    /// First element child named `name`, if any.
+    pub fn child_named(&self, node: NodeId, name: &str) -> Option<NodeId> {
+        let sym = self.names.get(name)?;
+        self.children(node)
+            .find(|&c| self.node(c).kind == NodeKind::Element && self.node(c).name == Some(sym))
+    }
+
+    /// Iterate over the attributes of `node` in order.
+    pub fn attributes(&self, node: NodeId) -> Attributes<'_> {
+        Attributes {
+            doc: self,
+            next: self.node(node).first_attr,
+        }
+    }
+
+    /// Attribute value of `name` on `node`, if present.
+    pub fn attribute(&self, node: NodeId, name: &str) -> Option<&str> {
+        let sym = self.names.get(name)?;
+        let mut cur = self.node(node).first_attr;
+        while let Some(a) = cur {
+            if self.node(a).name == Some(sym) {
+                return self.node(a).value.as_deref();
+            }
+            cur = self.node(a).next_sibling;
+        }
+        None
+    }
+
+    /// Pre-order (document order) traversal of the subtree rooted at
+    /// `node`, including `node` itself. Attributes are not visited.
+    pub fn descendants_or_self(&self, node: NodeId) -> Descendants<'_> {
+        Descendants {
+            doc: self,
+            root: node,
+            next: Some(node),
+        }
+    }
+
+    /// Pre-order traversal excluding `node` itself.
+    pub fn descendants(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.descendants_or_self(node).skip(1)
+    }
+
+    /// Ancestors from parent to the document node.
+    pub fn ancestors(&self, node: NodeId) -> Ancestors<'_> {
+        Ancestors {
+            doc: self,
+            next: self.node(node).parent,
+        }
+    }
+
+    /// The single element child of the document node, if well-formed.
+    pub fn root_element(&self) -> Option<NodeId> {
+        self.element_children(NodeId::DOCUMENT).next()
+    }
+
+    /// `dm:string-value`: concatenation of all descendant text, or the
+    /// node's own value for valued kinds.
+    pub fn string_value(&self, node: NodeId) -> String {
+        match self.node(node).kind {
+            NodeKind::Document | NodeKind::Element => {
+                let mut out = String::new();
+                for d in self.descendants_or_self(node) {
+                    if self.node(d).kind == NodeKind::Text {
+                        if let Some(v) = &self.node(d).value {
+                            out.push_str(v);
+                        }
+                    }
+                }
+                out
+            }
+            _ => self.node(node).value.as_deref().unwrap_or("").to_string(),
+        }
+    }
+
+    /// `dm:typed-value` as a double, when the string value parses as one.
+    pub fn typed_number(&self, node: NodeId) -> Option<f64> {
+        self.string_value(node).trim().parse().ok()
+    }
+
+    /// Assign document-order positions (`0..`) by pre-order traversal
+    /// from the document node. Detached subtrees get no position.
+    pub fn document_order(&self) -> Vec<Option<u32>> {
+        let mut order = vec![None; self.nodes.len()];
+        for (pos, n) in self.descendants_or_self(NodeId::DOCUMENT).enumerate() {
+            order[n.index()] = Some(pos as u32);
+        }
+        order
+    }
+
+    /// Count attached nodes of each interesting kind:
+    /// `(elements, attributes, text_nodes)`.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut elements = 0;
+        let mut attrs = 0;
+        let mut texts = 0;
+        for n in self.descendants_or_self(NodeId::DOCUMENT) {
+            match self.node(n).kind {
+                NodeKind::Element => {
+                    elements += 1;
+                    attrs += self.attributes(n).count();
+                }
+                NodeKind::Text => texts += 1,
+                _ => {}
+            }
+        }
+        (elements, attrs, texts)
+    }
+
+    /// Deep-copy the subtree rooted at `node` into (possibly) another
+    /// document, returning the new root. Names are re-interned.
+    pub fn deep_copy_into(&self, node: NodeId, dst: &mut Document) -> NodeId {
+        let new = match self.node(node).kind {
+            NodeKind::Element => {
+                let name = self.name_str(node).expect("element has a name");
+                let e = dst.create_element(name);
+                let attrs: Vec<(String, String)> = self
+                    .attributes(node)
+                    .map(|a| {
+                        (
+                            self.name_str(a).unwrap_or("").to_string(),
+                            self.node(a).value.as_deref().unwrap_or("").to_string(),
+                        )
+                    })
+                    .collect();
+                for (n, v) in attrs {
+                    dst.set_attribute(e, &n, &v);
+                }
+                e
+            }
+            NodeKind::Text => dst.create_text(self.node(node).value.as_deref().unwrap_or("")),
+            NodeKind::Comment => dst.create_comment(self.node(node).value.as_deref().unwrap_or("")),
+            NodeKind::ProcessingInstruction => dst.create_pi(
+                self.name_str(node).unwrap_or(""),
+                self.node(node).value.as_deref().unwrap_or(""),
+            ),
+            NodeKind::Document | NodeKind::Attribute => {
+                panic!("deep_copy_into: cannot copy {:?}", self.node(node).kind)
+            }
+        };
+        let children: Vec<NodeId> = self.children(node).collect();
+        for c in children {
+            let cc = self.deep_copy_into(c, dst);
+            dst.append_child(new, cc);
+        }
+        new
+    }
+
+    /// Verify the doubly linked list invariants of the whole arena.
+    /// Used by tests; cheap enough to run on moderate documents.
+    pub fn check_invariants(&self) {
+        for (i, n) in self.nodes.iter().enumerate() {
+            let id = NodeId(i as u32);
+            if let Some(fc) = n.first_child {
+                assert_eq!(self.node(fc).parent, Some(id), "first_child parent link");
+                assert_eq!(self.node(fc).prev_sibling, None);
+            }
+            if let Some(lc) = n.last_child {
+                assert_eq!(self.node(lc).parent, Some(id), "last_child parent link");
+                assert_eq!(self.node(lc).next_sibling, None);
+            }
+            let mut prev = None;
+            let mut cur = n.first_child;
+            while let Some(c) = cur {
+                assert_eq!(self.node(c).prev_sibling, prev, "prev_sibling chain");
+                assert_eq!(self.node(c).parent, Some(id), "child parent");
+                prev = cur;
+                cur = self.node(c).next_sibling;
+            }
+            assert_eq!(n.last_child, prev, "last_child agrees with chain tail");
+        }
+    }
+}
+
+/// Iterator over a node's children.
+pub struct Children<'a> {
+    doc: &'a Document,
+    next: Option<NodeId>,
+}
+
+impl Iterator for Children<'_> {
+    type Item = NodeId;
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.next?;
+        self.next = self.doc.node(cur).next_sibling;
+        Some(cur)
+    }
+}
+
+/// Iterator over a node's attributes.
+pub struct Attributes<'a> {
+    doc: &'a Document,
+    next: Option<NodeId>,
+}
+
+impl Iterator for Attributes<'_> {
+    type Item = NodeId;
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.next?;
+        self.next = self.doc.node(cur).next_sibling;
+        Some(cur)
+    }
+}
+
+/// Pre-order iterator over a subtree.
+pub struct Descendants<'a> {
+    doc: &'a Document,
+    root: NodeId,
+    next: Option<NodeId>,
+}
+
+impl Iterator for Descendants<'_> {
+    type Item = NodeId;
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.next?;
+        // Compute successor: first child, else next sibling walking up,
+        // stopping at the subtree root.
+        let n = self.doc.node(cur);
+        self.next = if let Some(fc) = n.first_child {
+            Some(fc)
+        } else {
+            let mut up = cur;
+            loop {
+                if up == self.root {
+                    break None;
+                }
+                if let Some(ns) = self.doc.node(up).next_sibling {
+                    break Some(ns);
+                }
+                match self.doc.node(up).parent {
+                    Some(p) => up = p,
+                    None => break None,
+                }
+            }
+        };
+        Some(cur)
+    }
+}
+
+/// Iterator over ancestors, nearest first.
+pub struct Ancestors<'a> {
+    doc: &'a Document,
+    next: Option<NodeId>,
+}
+
+impl Iterator for Ancestors<'_> {
+    type Item = NodeId;
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.next?;
+        self.next = self.doc.node(cur).parent;
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn movie_doc() -> (Document, NodeId, NodeId, NodeId) {
+        let mut d = Document::new();
+        let root = d.create_element("movies");
+        d.append_child(NodeId::DOCUMENT, root);
+        let m1 = d.create_element("movie");
+        d.append_child(root, m1);
+        let name = d.create_element("name");
+        d.append_child(m1, name);
+        let t = d.create_text("All About Eve");
+        d.append_child(name, t);
+        d.set_attribute(m1, "year", "1950");
+        (d, root, m1, name)
+    }
+
+    #[test]
+    fn build_and_navigate() {
+        let (d, root, m1, name) = movie_doc();
+        d.check_invariants();
+        assert_eq!(d.root_element(), Some(root));
+        assert_eq!(d.parent(m1), Some(root));
+        assert_eq!(d.children(root).collect::<Vec<_>>(), vec![m1]);
+        assert_eq!(d.child_named(m1, "name"), Some(name));
+        assert_eq!(d.attribute(m1, "year"), Some("1950"));
+        assert_eq!(d.attribute(m1, "missing"), None);
+    }
+
+    #[test]
+    fn string_value_concatenates_descendant_text() {
+        let (mut d, _root, m1, name) = movie_doc();
+        let extra = d.create_element("aka");
+        d.append_child(m1, extra);
+        let t2 = d.create_text(" (1950)");
+        d.append_child(extra, t2);
+        assert_eq!(d.string_value(m1), "All About Eve (1950)");
+        assert_eq!(d.string_value(name), "All About Eve");
+    }
+
+    #[test]
+    fn typed_number_parses() {
+        let mut d = Document::new();
+        let v = d.create_element("votes");
+        d.append_child(NodeId::DOCUMENT, v);
+        let t = d.create_text("  42 ");
+        d.append_child(v, t);
+        assert_eq!(d.typed_number(v), Some(42.0));
+    }
+
+    #[test]
+    fn preorder_traversal_order() {
+        let (d, root, m1, name) = movie_doc();
+        let order: Vec<NodeId> = d.descendants_or_self(root).collect();
+        assert_eq!(order[0], root);
+        assert_eq!(order[1], m1);
+        assert_eq!(order[2], name);
+        assert_eq!(order.len(), 4); // + text node
+    }
+
+    #[test]
+    fn document_order_positions() {
+        let (d, root, m1, _) = movie_doc();
+        let ord = d.document_order();
+        assert_eq!(ord[NodeId::DOCUMENT.index()], Some(0));
+        assert!(ord[root.index()] < ord[m1.index()]);
+    }
+
+    #[test]
+    fn detach_and_reattach() {
+        let (mut d, root, m1, _name) = movie_doc();
+        let m2 = d.create_element("movie");
+        d.append_child(root, m2);
+        d.detach(m1);
+        d.check_invariants();
+        assert_eq!(d.children(root).collect::<Vec<_>>(), vec![m2]);
+        assert!(d.node(m1).detached);
+        d.append_child(root, m1);
+        d.check_invariants();
+        assert_eq!(d.children(root).collect::<Vec<_>>(), vec![m2, m1]);
+        assert!(!d.node(m1).detached);
+    }
+
+    #[test]
+    fn detach_middle_child_repairs_links() {
+        let mut d = Document::new();
+        let r = d.create_element("r");
+        d.append_child(NodeId::DOCUMENT, r);
+        let a = d.create_element("a");
+        let b = d.create_element("b");
+        let c = d.create_element("c");
+        d.append_child(r, a);
+        d.append_child(r, b);
+        d.append_child(r, c);
+        d.detach(b);
+        d.check_invariants();
+        assert_eq!(d.children(r).collect::<Vec<_>>(), vec![a, c]);
+    }
+
+    #[test]
+    fn insert_before_head_and_middle() {
+        let mut d = Document::new();
+        let r = d.create_element("r");
+        d.append_child(NodeId::DOCUMENT, r);
+        let b = d.create_element("b");
+        d.append_child(r, b);
+        let a = d.create_element("a");
+        d.insert_before(b, a);
+        let ab = d.create_element("ab");
+        d.insert_before(b, ab);
+        d.check_invariants();
+        let names: Vec<&str> = d.children(r).filter_map(|c| d.name_str(c)).collect();
+        assert_eq!(names, ["a", "ab", "b"]);
+    }
+
+    #[test]
+    fn set_attribute_replaces_in_place() {
+        let (mut d, _, m1, _) = movie_doc();
+        let a1 = d.set_attribute(m1, "year", "1951");
+        assert_eq!(d.attribute(m1, "year"), Some("1951"));
+        let a2 = d.set_attribute(m1, "year", "1952");
+        assert_eq!(a1, a2, "replacement keeps node identity");
+        assert_eq!(d.attributes(m1).count(), 1);
+    }
+
+    #[test]
+    fn multiple_attributes_keep_order() {
+        let (mut d, _, m1, _) = movie_doc();
+        d.set_attribute(m1, "id", "m1");
+        d.set_attribute(m1, "genre", "drama");
+        let names: Vec<&str> = d.attributes(m1).filter_map(|a| d.name_str(a)).collect();
+        assert_eq!(names, ["year", "id", "genre"]);
+    }
+
+    #[test]
+    fn detach_attribute() {
+        let (mut d, _, m1, _) = movie_doc();
+        let id = d.set_attribute(m1, "id", "m1");
+        d.detach(id);
+        assert_eq!(d.attribute(m1, "id"), None);
+        assert_eq!(d.attribute(m1, "year"), Some("1950"));
+    }
+
+    #[test]
+    fn counts_nodes() {
+        let (d, ..) = movie_doc();
+        let (e, a, t) = d.counts();
+        assert_eq!((e, a, t), (3, 1, 1));
+    }
+
+    #[test]
+    fn deep_copy_into_other_document() {
+        let (d, _, m1, _) = movie_doc();
+        let mut dst = Document::new();
+        let copy = d.deep_copy_into(m1, &mut dst);
+        dst.append_child(NodeId::DOCUMENT, copy);
+        dst.check_invariants();
+        assert_eq!(dst.name_str(copy), Some("movie"));
+        assert_eq!(dst.attribute(copy, "year"), Some("1950"));
+        assert_eq!(dst.string_value(copy), "All About Eve");
+    }
+
+    #[test]
+    fn ancestors_walk_to_document() {
+        let (d, root, m1, name) = movie_doc();
+        let anc: Vec<NodeId> = d.ancestors(name).collect();
+        assert_eq!(anc, vec![m1, root, NodeId::DOCUMENT]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already attached")]
+    fn double_attach_panics() {
+        let (mut d, root, m1, _) = movie_doc();
+        d.append_child(root, m1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot have children")]
+    fn text_cannot_have_children() {
+        let mut d = Document::new();
+        let t = d.create_text("x");
+        let e = d.create_element("e");
+        d.append_child(t, e);
+    }
+}

@@ -1,0 +1,110 @@
+//! Node kinds and arena identifiers.
+//!
+//! The XML data model defines seven node kinds; namespace nodes are
+//! folded into attributes here (they play no role in the paper), leaving
+//! six concrete kinds. Nodes live in a [`crate::Document`] arena and are
+//! addressed by [`NodeId`].
+
+use std::fmt;
+
+/// Arena index of a node inside a [`crate::Document`].
+///
+/// `NodeId(0)` is always the document node. Ids are stable: nodes are
+/// never moved or reused, deletion is a detach (tombstone).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The document (root) node of every document.
+    pub const DOCUMENT: NodeId = NodeId(0);
+
+    /// Arena index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The kind of a node, per the XML data model (namespace nodes are
+/// treated as attributes; they do not occur in the paper's workloads).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum NodeKind {
+    /// The unique root of a document.
+    Document,
+    /// An element; has a name, attributes, and children.
+    Element,
+    /// An attribute; has a name and a string value, parented by an element.
+    Attribute,
+    /// Character data.
+    Text,
+    /// `<!-- ... -->`.
+    Comment,
+    /// `<?target data?>`.
+    ProcessingInstruction,
+}
+
+impl NodeKind {
+    /// True for kinds that may have element/text children.
+    #[inline]
+    pub fn can_have_children(self) -> bool {
+        matches!(self, NodeKind::Document | NodeKind::Element)
+    }
+
+    /// True for kinds that carry a name (`dm:node-name` is non-empty).
+    #[inline]
+    pub fn has_name(self) -> bool {
+        matches!(
+            self,
+            NodeKind::Element | NodeKind::Attribute | NodeKind::ProcessingInstruction
+        )
+    }
+
+    /// Short lowercase label, matching XPath's `node-kind` strings.
+    pub fn label(self) -> &'static str {
+        match self {
+            NodeKind::Document => "document",
+            NodeKind::Element => "element",
+            NodeKind::Attribute => "attribute",
+            NodeKind::Text => "text",
+            NodeKind::Comment => "comment",
+            NodeKind::ProcessingInstruction => "processing-instruction",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_id_is_zero() {
+        assert_eq!(NodeId::DOCUMENT.index(), 0);
+    }
+
+    #[test]
+    fn kind_capabilities() {
+        assert!(NodeKind::Document.can_have_children());
+        assert!(NodeKind::Element.can_have_children());
+        assert!(!NodeKind::Text.can_have_children());
+        assert!(!NodeKind::Attribute.can_have_children());
+        assert!(NodeKind::Element.has_name());
+        assert!(NodeKind::Attribute.has_name());
+        assert!(!NodeKind::Text.has_name());
+        assert!(!NodeKind::Document.has_name());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(NodeKind::Element.label(), "element");
+        assert_eq!(
+            NodeKind::ProcessingInstruction.label(),
+            "processing-instruction"
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! Serialization of documents back to XML text.
+
+use crate::document::Document;
+use crate::node::{NodeId, NodeKind};
+use std::fmt::Write;
+
+/// Options controlling XML output.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WriteOptions {
+    /// Pretty-print with this many spaces per depth level; `None` emits
+    /// a single line with no inter-element whitespace.
+    pub indent: Option<usize>,
+    /// Emit the `<?xml version="1.0"?>` declaration.
+    pub declaration: bool,
+}
+
+impl WriteOptions {
+    /// Pretty-printing with 2-space indent and an XML declaration.
+    pub fn pretty() -> Self {
+        WriteOptions {
+            indent: Some(2),
+            declaration: true,
+        }
+    }
+}
+
+/// Serialize the whole document.
+pub fn write_document(doc: &Document, opts: &WriteOptions) -> String {
+    let mut out = String::new();
+    if opts.declaration {
+        out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+        if opts.indent.is_some() {
+            out.push('\n');
+        }
+    }
+    for child in doc.children(NodeId::DOCUMENT) {
+        emit(doc, child, opts, 0, &mut out);
+    }
+    out
+}
+
+/// Serialize the subtree rooted at `node`.
+pub fn write_node(doc: &Document, node: NodeId, opts: &WriteOptions) -> String {
+    let mut out = String::new();
+    emit(doc, node, opts, 0, &mut out);
+    out
+}
+
+fn emit(doc: &Document, node: NodeId, opts: &WriteOptions, depth: usize, out: &mut String) {
+    let pad = |out: &mut String, depth: usize| {
+        if let Some(w) = opts.indent {
+            if !out.is_empty() && !out.ends_with('\n') {
+                out.push('\n');
+            }
+            for _ in 0..depth * w {
+                out.push(' ');
+            }
+        }
+    };
+    match doc.kind(node) {
+        NodeKind::Element => {
+            pad(out, depth);
+            let name = doc.name_str(node).expect("element has a name");
+            out.push('<');
+            out.push_str(name);
+            for attr in doc.attributes(node) {
+                let aname = doc.name_str(attr).expect("attribute has a name");
+                let _ = write!(
+                    out,
+                    " {}=\"{}\"",
+                    aname,
+                    escape_attr(doc.node(attr).value.as_deref().unwrap_or(""))
+                );
+            }
+            let mut children = doc.children(node).peekable();
+            if children.peek().is_none() {
+                out.push_str("/>");
+            } else {
+                out.push('>');
+                // Text-only content stays inline even when pretty-printing.
+                let text_only = doc
+                    .children(node)
+                    .all(|c| doc.kind(c) == NodeKind::Text);
+                for c in doc.children(node) {
+                    if text_only {
+                        emit_inline(doc, c, out);
+                    } else {
+                        emit(doc, c, opts, depth + 1, out);
+                    }
+                }
+                if !text_only {
+                    pad(out, depth);
+                }
+                out.push_str("</");
+                out.push_str(name);
+                out.push('>');
+            }
+        }
+        NodeKind::Text => {
+            pad(out, depth);
+            out.push_str(&escape_text(doc.node(node).value.as_deref().unwrap_or("")));
+        }
+        NodeKind::Comment => {
+            pad(out, depth);
+            let _ = write!(
+                out,
+                "<!--{}-->",
+                doc.node(node).value.as_deref().unwrap_or("")
+            );
+        }
+        NodeKind::ProcessingInstruction => {
+            pad(out, depth);
+            let _ = write!(
+                out,
+                "<?{} {}?>",
+                doc.name_str(node).unwrap_or(""),
+                doc.node(node).value.as_deref().unwrap_or("")
+            );
+        }
+        NodeKind::Document => {
+            for c in doc.children(node) {
+                emit(doc, c, opts, depth, out);
+            }
+        }
+        NodeKind::Attribute => panic!("write_node: attributes are emitted with their element"),
+    }
+}
+
+fn emit_inline(doc: &Document, node: NodeId, out: &mut String) {
+    if doc.kind(node) == NodeKind::Text {
+        out.push_str(&escape_text(doc.node(node).value.as_deref().unwrap_or("")));
+    }
+}
+
+/// Escape character data.
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Escape an attribute value (double-quote context).
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn roundtrip_simple() {
+        let src = r#"<movies><movie year="1950"><name>All About Eve</name></movie></movies>"#;
+        let d = parse(src).unwrap();
+        let out = write_document(&d, &WriteOptions::default());
+        assert_eq!(out, src);
+    }
+
+    #[test]
+    fn escaping_roundtrips() {
+        let d = {
+            let mut d = Document::new();
+            let e = d.create_element("m");
+            d.append_child(NodeId::DOCUMENT, e);
+            d.set_attribute(e, "t", "a&b\"c<d");
+            let t = d.create_text("x<y & z>w");
+            d.append_child(e, t);
+            d
+        };
+        let out = write_document(&d, &WriteOptions::default());
+        let d2 = parse(&out).unwrap();
+        let r = d2.root_element().unwrap();
+        assert_eq!(d2.attribute(r, "t"), Some("a&b\"c<d"));
+        assert_eq!(d2.string_value(r), "x<y & z>w");
+    }
+
+    #[test]
+    fn empty_element_self_closes() {
+        let d = parse("<a><b></b></a>").unwrap();
+        let out = write_document(&d, &WriteOptions::default());
+        assert_eq!(out, "<a><b/></a>");
+    }
+
+    #[test]
+    fn pretty_print_indents() {
+        let d = parse("<a><b><c>t</c></b></a>").unwrap();
+        let out = write_document(&d, &WriteOptions::pretty());
+        assert!(out.contains("\n  <b>"));
+        assert!(out.contains("\n    <c>t</c>"));
+        // Pretty output must re-parse to the same logical tree.
+        let d2 = parse(&out).unwrap();
+        assert_eq!(d2.string_value(d2.root_element().unwrap()), "t");
+    }
+
+    #[test]
+    fn write_subtree_only() {
+        let d = parse("<a><b>x</b><c/></a>").unwrap();
+        let root = d.root_element().unwrap();
+        let b = d.child_named(root, "b").unwrap();
+        assert_eq!(write_node(&d, b, &WriteOptions::default()), "<b>x</b>");
+    }
+
+    #[test]
+    fn comments_and_pis_roundtrip() {
+        let src = "<a><!--note--><?t data?></a>";
+        let d = parse(src).unwrap();
+        assert_eq!(write_document(&d, &WriteOptions::default()), src);
+    }
+}

@@ -1,0 +1,105 @@
+//! TPC-W analytics across the three database designs (§7): the same
+//! entity data as MCT, shallow, and deep; the same queries; very
+//! different costs. A miniature of the `table2` benchmark binary.
+//!
+//! ```text
+//! cargo run --release --example tpcw_analytics
+//! ```
+
+use colorful_xml::core::StoredDb;
+use colorful_xml::workloads::{
+    all_queries, run_read, run_update, Params, QueryKind, SchemaKind, TpcwConfig, TpcwData,
+};
+use colorful_xml::workloads::{SigmodConfig, SigmodData};
+use std::time::Instant;
+
+fn main() {
+    let scale = 0.15;
+    println!("generating TPC-W data at scale {scale}...");
+    let data = TpcwData::generate(&TpcwConfig {
+        scale,
+        ..Default::default()
+    });
+    let sig = SigmodData::generate(&SigmodConfig::default());
+    let params = Params::derive(&data, &sig);
+
+    println!(
+        "  {} customers, {} orders, {} order lines, {} items, {} authors\n",
+        data.customers.len(),
+        data.orders.len(),
+        data.orderlines.len(),
+        data.items.len(),
+        data.authors.len()
+    );
+
+    let mut dbs = [
+        StoredDb::build(data.build_mct(), 64 * 1024 * 1024).unwrap(),
+        StoredDb::build(data.build_shallow(), 64 * 1024 * 1024).unwrap(),
+        StoredDb::build(data.build_deep(), 64 * 1024 * 1024).unwrap(),
+    ];
+    for (i, schema) in SchemaKind::ALL.iter().enumerate() {
+        let st = dbs[i].stats();
+        println!(
+            "{:<8} {:>7} elements  {:>7} structural records  {:>7.2} MiB data",
+            schema.label(),
+            st.num_elements,
+            st.num_structural,
+            st.data_mib()
+        );
+    }
+
+    println!("\nquery                                            MCT        shallow    deep");
+    for wq in all_queries(&params) {
+        if wq.dataset != colorful_xml::workloads::Dataset::Tpcw || wq.kind != QueryKind::Read {
+            continue;
+        }
+        let mut cells = Vec::new();
+        let mut results = 0;
+        for (i, schema) in SchemaKind::ALL.iter().enumerate() {
+            // Warm once, then time.
+            let _ = run_read(&mut dbs[i], wq.id, *schema, &params, true).unwrap();
+            let t0 = Instant::now();
+            let out = run_read(&mut dbs[i], wq.id, *schema, &params, true).unwrap();
+            cells.push(format!("{:>9.4}", t0.elapsed().as_secs_f64()));
+            results = out.results;
+        }
+        println!(
+            "{:<6} ({:>5} rows) {:<24} {}  {}  {}",
+            wq.id,
+            results,
+            &wq.description[..24.min(wq.description.len())],
+            cells[0],
+            cells[1],
+            cells[2]
+        );
+    }
+
+    // The update anomaly, in one line per design.
+    println!("\nupdate anomaly (TU2: change one item's cost):");
+    let wq = all_queries(&params)
+        .into_iter()
+        .find(|q| q.id == "TU2")
+        .unwrap();
+    for schema in SchemaKind::ALL {
+        let mut fresh = StoredDb::build(
+            match schema {
+                SchemaKind::Mct => data.build_mct(),
+                SchemaKind::Shallow => data.build_shallow(),
+                SchemaKind::Deep => data.build_deep(),
+            },
+            64 * 1024 * 1024,
+        )
+        .unwrap();
+        let out = run_update(&mut fresh, &wq, schema).unwrap();
+        println!(
+            "  {:<8} touches {} element(s){}",
+            schema.label(),
+            out.updated,
+            if out.updated > 1 {
+                "  <-- replication means multiple copies to fix"
+            } else {
+                ""
+            }
+        );
+    }
+}

@@ -1,0 +1,211 @@
+//! `mctq` — a command-line MCXQuery shell over the built-in databases.
+//!
+//! ```text
+//! mctq --db movies "document(\"m\")/{red}descendant::movie/{red}child::name"
+//! mctq --db tpcw --scale 0.1 --explain "document(\"t\")/{auth}descendant::item[{auth}child::cost > 15000]"
+//! mctq --db movies --update "for $m in ... update $m { ... }"
+//! echo 'QUERY' | mctq --db sigmod        # read the query from stdin
+//! ```
+//!
+//! Flags:
+//! * `--db movies|tpcw|sigmod` — which built-in database to load
+//!   (default `movies`, the paper's Figure 2).
+//! * `--scale X` — generator scale for tpcw/sigmod (default 0.05).
+//! * `--explain` — show the physical plan when the heuristic planner
+//!   covers the query (bare colored paths); the interpreter is used
+//!   for execution either way unless `--plan-exec` is given.
+//! * `--plan-exec` — execute through the planner's pipeline instead of
+//!   the interpreter (bare paths only).
+//! * `--update` — treat the input as an update statement.
+
+use colorful_xml::core::StoredDb;
+use colorful_xml::query::plan::plan_path;
+use colorful_xml::query::{
+    eval, execute_update_with, parse_query, parse_update, EvalContext, Expr, Item,
+};
+use colorful_xml::workloads::{movies, SigmodConfig, SigmodData, TpcwConfig, TpcwData};
+use std::io::Read;
+
+struct Opts {
+    db: String,
+    scale: f64,
+    explain: bool,
+    plan_exec: bool,
+    update: bool,
+    query: Option<String>,
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        db: "movies".into(),
+        scale: 0.05,
+        explain: false,
+        plan_exec: false,
+        update: false,
+        query: None,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--db" => opts.db = it.next().expect("--db needs a value"),
+            "--scale" => {
+                opts.scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale needs a number")
+            }
+            "--explain" => opts.explain = true,
+            "--plan-exec" => opts.plan_exec = true,
+            "--update" => opts.update = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: mctq [--db movies|tpcw|sigmod] [--scale X] [--explain] \
+                     [--plan-exec] [--update] [QUERY]"
+                );
+                std::process::exit(0);
+            }
+            q => opts.query = Some(q.to_string()),
+        }
+    }
+    opts
+}
+
+fn load(db: &str, scale: f64) -> StoredDb {
+    const POOL: usize = 128 * 1024 * 1024;
+    match db {
+        "movies" => StoredDb::build(movies::build().db, POOL).expect("build"),
+        "tpcw" => {
+            let data = TpcwData::generate(&TpcwConfig {
+                scale,
+                ..Default::default()
+            });
+            StoredDb::build(data.build_mct(), POOL).expect("build")
+        }
+        "sigmod" => {
+            let data = SigmodData::generate(&SigmodConfig {
+                scale,
+                ..Default::default()
+            });
+            StoredDb::build(data.build_mct(), POOL).expect("build")
+        }
+        other => {
+            eprintln!("unknown --db {other} (movies | tpcw | sigmod)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let opts = parse_opts();
+    let text = match &opts.query {
+        Some(q) => q.clone(),
+        None => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .expect("read stdin");
+            buf
+        }
+    };
+    let text = text.trim();
+    if text.is_empty() {
+        eprintln!("no query given (argument or stdin)");
+        std::process::exit(2);
+    }
+
+    eprintln!("loading {} database...", opts.db);
+    let mut stored = load(&opts.db, opts.scale);
+    eprintln!(
+        "  colors: {:?}",
+        stored
+            .db
+            .palette
+            .iter()
+            .map(|(_, n)| n.to_string())
+            .collect::<Vec<_>>()
+    );
+
+    if opts.update {
+        let stmt = parse_update(text).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(1);
+        });
+        let out = execute_update_with(&mut stored, &stmt, None).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(1);
+        });
+        println!(
+            "updated: {} binding tuple(s), {} element(s)",
+            out.tuples, out.elements
+        );
+        return;
+    }
+
+    let expr = parse_query(text).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+
+    if opts.explain || opts.plan_exec {
+        if let Expr::Path(p) = &expr {
+            match plan_path(&stored, p, true) {
+                Ok(plan) => {
+                    if opts.explain {
+                        eprintln!("-- physical plan --");
+                        eprint!("{}", plan.explain(&stored));
+                        eprintln!("-------------------");
+                    }
+                    if opts.plan_exec {
+                        let out = plan.execute(&mut stored).expect("plan execution");
+                        println!("{} result(s) via planner:", out.len());
+                        for t in out.iter().take(50) {
+                            print_node(&stored, t[0].node);
+                        }
+                        if out.len() > 50 {
+                            println!("... ({} more)", out.len() - 50);
+                        }
+                        return;
+                    }
+                }
+                Err(e) => eprintln!("(planner fallback to interpreter: {e})"),
+            }
+        } else if opts.plan_exec {
+            eprintln!("--plan-exec requires a bare path expression; using interpreter");
+        }
+    }
+
+    let mut ctx = EvalContext::new(&mut stored);
+    let out = eval(&mut ctx, &expr).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+    println!("{} item(s):", out.len());
+    for item in out.iter().take(50) {
+        match item {
+            Item::Node(n, _) => print_node(ctx.stored, *n),
+            Item::Str(s) => println!("  \"{s}\""),
+            Item::Num(n) => println!("  {n}"),
+            Item::Bool(b) => println!("  {b}"),
+        }
+    }
+    if out.len() > 50 {
+        println!("... ({} more)", out.len() - 50);
+    }
+}
+
+fn print_node(s: &StoredDb, n: colorful_xml::core::McNodeId) {
+    let name = s.db.name_str(n).unwrap_or("?");
+    let content = s.db.content(n).unwrap_or("");
+    let colors: Vec<&str> = s
+        .db
+        .colors(n)
+        .iter()
+        .map(|c| s.db.palette.name(c))
+        .collect();
+    if content.is_empty() {
+        println!("  <{name}> {colors:?}");
+    } else {
+        println!("  <{name}> {content:?} {colors:?}");
+    }
+}

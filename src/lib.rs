@@ -1,0 +1,55 @@
+//! # colorful-xml — Multi-Colored Trees (MCT)
+//!
+//! A complete Rust implementation of *"Colorful XML: One Hierarchy
+//! Isn't Enough"* (Jagadish, Lakshmanan, Scannapieco, Srivastava,
+//! Wiwatwattana — SIGMOD 2004): the multi-colored tree data model, the
+//! MCXQuery language and engine, a Timber-style native storage layer,
+//! the optimal exchange serialization, and the paper's full
+//! experimental evaluation.
+//!
+//! ## Crate map
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`xml`] | `mct-xml` | XML substrate: arena documents, parser, writer, DTD + XNF shallow/deep test |
+//! | [`storage`] | `mct-storage` | pages, buffer pool, heap files, B+-tree, indexes, interval codes |
+//! | [`core`] | `mct-core` | the MCT data model (§3), physical mapping (§6), cross-tree join |
+//! | [`query`] | `mct-query` | MCXQuery parser + FLWOR interpreter (§4), join operators |
+//! | [`serialize`] | `mct-serialize` | optSerialize + exchange round-trip (§5) |
+//! | [`workloads`] | `mct-workloads` | TPC-W / SIGMOD-Record generators + Table-2 queries (§7) |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use colorful_xml::core::{MctDatabase, McNodeId};
+//!
+//! let mut db = MctDatabase::new();
+//! let red = db.add_color("red");
+//! let green = db.add_color("green");
+//!
+//! // One movie node, two hierarchies.
+//! let genre = db.new_element("movie-genre", red);
+//! db.append_child(McNodeId::DOCUMENT, genre, red);
+//! let award = db.new_element("movie-award", green);
+//! db.append_child(McNodeId::DOCUMENT, award, green);
+//!
+//! let movie = db.new_element("movie", red);
+//! db.append_child(genre, movie, red);
+//! db.add_node_color(movie, green);          // same identity, next color
+//! db.append_child(award, movie, green);
+//!
+//! assert_eq!(db.parent(movie, red), Some(genre));
+//! assert_eq!(db.parent(movie, green), Some(award));
+//! let (elements, _, _) = db.counts();
+//! assert_eq!(elements, 3, "the movie is stored once");
+//! ```
+//!
+//! See `examples/` for the Figure 2/3 walk-through, the TPC-W
+//! comparison, and the exchange-serialization round trip.
+
+pub use mct_core as core;
+pub use mct_query as query;
+pub use mct_serialize as serialize;
+pub use mct_storage as storage;
+pub use mct_workloads as workloads;
+pub use mct_xml as xml;

@@ -1,0 +1,273 @@
+//! Cross-crate integration tests: the paper's pipeline end to end.
+
+use colorful_xml::core::{import_document, McNodeId, MctDatabase, StoredDb};
+use colorful_xml::query::{eval, parse_query, EvalContext, Item};
+use colorful_xml::serialize::{emit_exchange, opt_serialize, reconstruct, MctSchema};
+use colorful_xml::workloads::{
+    all_queries, movies, run_read, run_update, Params, QueryKind, SchemaKind, SigmodConfig,
+    SigmodData, TpcwConfig, TpcwData,
+};
+use colorful_xml::xml::{parse, Dtd, FdTarget, Quantifier};
+
+const POOL: usize = 64 * 1024 * 1024;
+
+/// Parse XML → import as a single-colored MCT → store → query with
+/// plain (color-defaulted) XQuery.
+#[test]
+fn xml_to_mct_to_query_pipeline() {
+    let doc = parse(
+        r#"<library>
+             <book genre="novel"><title>Middlemarch</title><year>1871</year></book>
+             <book genre="essay"><title>On Liberty</title><year>1859</year></book>
+             <book genre="novel"><title>Bleak House</title><year>1853</year></book>
+           </library>"#,
+    )
+    .unwrap();
+    let mut db = MctDatabase::new();
+    let black = db.add_color("black");
+    import_document(&mut db, &doc, black);
+    let mut stored = StoredDb::build(db, POOL).unwrap();
+    let q = parse_query(r#"for $b in document("lib")//book[year < 1860] return $b/title"#).unwrap();
+    let mut ctx = EvalContext::new(&mut stored)
+        .with_default_color("black")
+        .unwrap();
+    let out = eval(&mut ctx, &q).unwrap();
+    let titles: Vec<&str> = out
+        .iter()
+        .filter_map(|i| match i {
+            Item::Node(n, _) => ctx.stored.db.content(*n),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(titles, ["On Liberty", "Bleak House"]);
+}
+
+/// The Figure 2 database answers the Figure 3 queries through the
+/// full stored-database stack.
+#[test]
+fn figure2_queries_end_to_end() {
+    let m = movies::build();
+    let mut stored = StoredDb::build(m.db, POOL).unwrap();
+    let q3 = parse_query(
+        r#"for $m in document("mdb.xml")/{green}descendant::movie-award
+                [contains({green}child::name, "Oscar")]/{green}descendant::movie,
+            $r in document("mdb.xml")/{red}descendant::movie-genre[{red}child::name = "Comedy"]/
+                {red}descendant::movie[. = $m]/{red}child::movie-role,
+            $r2 in document("mdb.xml")/{blue}descendant::actor
+                [{blue}child::name = "Bette Davis"]/{blue}child::movie-role
+           where $r = $r2
+           return $m/{red}child::name"#,
+    )
+    .unwrap();
+    let mut ctx = EvalContext::new(&mut stored);
+    let out = eval(&mut ctx, &q3).unwrap();
+    let names: Vec<&str> = out
+        .iter()
+        .filter_map(|i| match i {
+            Item::Node(n, _) => ctx.stored.db.content(*n),
+            _ => None,
+        })
+        .collect();
+    // Bette Davis acted (as Margo and as The Keeper) in two nominated
+    // comedy movies.
+    assert!(names.contains(&"All About Eve"), "{names:?}");
+    assert!(names.contains(&"Quiet Harbors"), "{names:?}");
+}
+
+/// All 21 read queries return identical cardinalities across the
+/// three designs (a different scale/seed than the unit tests use).
+#[test]
+fn workload_reads_agree_across_designs() {
+    let t = TpcwData::generate(&TpcwConfig { scale: 0.05, seed: 99 });
+    let g = SigmodData::generate(&SigmodConfig { scale: 0.08, seed: 99 });
+    let p = Params::derive(&t, &g);
+    let mut tp = [
+        StoredDb::build(t.build_mct(), POOL).unwrap(),
+        StoredDb::build(t.build_shallow(), POOL).unwrap(),
+        StoredDb::build(t.build_deep(), POOL).unwrap(),
+    ];
+    let mut sg = [
+        StoredDb::build(g.build_mct(), POOL).unwrap(),
+        StoredDb::build(g.build_shallow(), POOL).unwrap(),
+        StoredDb::build(g.build_deep(), POOL).unwrap(),
+    ];
+    for wq in all_queries(&p) {
+        if wq.kind != QueryKind::Read {
+            continue;
+        }
+        let dbs = match wq.dataset {
+            colorful_xml::workloads::Dataset::Tpcw => &mut tp,
+            colorful_xml::workloads::Dataset::Sigmod => &mut sg,
+        };
+        let counts: Vec<usize> = SchemaKind::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, s)| run_read(&mut dbs[i], wq.id, *s, &p, true).unwrap().results)
+            .collect();
+        assert!(
+            counts.windows(2).all(|w| w[0] == w[1]),
+            "{} disagrees: {counts:?}",
+            wq.id
+        );
+    }
+}
+
+/// The update anomaly, end to end: the same logical update touches one
+/// element in MCT and many replicas in deep — and after the update the
+/// MCT database stays consistent from every hierarchy.
+#[test]
+fn update_anomaly_and_consistency() {
+    let t = TpcwData::generate(&TpcwConfig { scale: 0.05, seed: 7 });
+    let g = SigmodData::generate(&SigmodConfig { scale: 0.08, seed: 7 });
+    let p = Params::derive(&t, &g);
+    let wq = all_queries(&p).into_iter().find(|q| q.id == "TU2").unwrap();
+
+    let mut mct = StoredDb::build(t.build_mct(), POOL).unwrap();
+    let mct_out = run_update(&mut mct, &wq, SchemaKind::Mct).unwrap();
+    assert_eq!(mct_out.updated, 1, "one stored copy in MCT");
+
+    let mut deep = StoredDb::build(t.build_deep(), POOL).unwrap();
+    let deep_out = run_update(&mut deep, &wq, SchemaKind::Deep).unwrap();
+    assert!(
+        deep_out.updated > 1,
+        "deep must fix every replica ({})",
+        deep_out.updated
+    );
+
+    // Consistency after the MCT update: the new cost is visible through
+    // the auth hierarchy's index.
+    assert!(!mct.content_lookup("9999").unwrap().is_empty());
+    mct.db.check_invariants();
+}
+
+/// TPC-W MCT database → exchange XML → reconstruct → identical trees.
+#[test]
+fn tpcw_exchange_roundtrip() {
+    let t = TpcwData::generate(&TpcwConfig { scale: 0.03, seed: 3 });
+    let db = t.build_mct();
+    // A trivial scheme (no type info): instances fall back to their
+    // first real color, which still round-trips.
+    let scheme = colorful_xml::serialize::SerializationScheme::default();
+    let doc = emit_exchange(&db, &scheme);
+    let back = reconstruct(&doc).unwrap();
+    back.check_invariants();
+    assert_eq!(db.counts(), back.counts());
+    assert_eq!(db.structural_count(), back.structural_count());
+    for (c, name) in db.palette.iter() {
+        let c2 = back.color(name).unwrap();
+        assert_eq!(
+            db.tree_size(c),
+            back.tree_size(c2),
+            "tree {name} size differs"
+        );
+    }
+}
+
+/// The movie exchange round trip with the real Figure 8 scheme.
+#[test]
+fn movie_exchange_roundtrip_with_figure8_scheme() {
+    let m = movies::build();
+    let (schema, stats) = MctSchema::figure8();
+    let scheme = opt_serialize(&schema, &stats);
+    let doc = emit_exchange(&m.db, &scheme);
+    let back = reconstruct(&doc).unwrap();
+    assert_eq!(m.db.counts(), back.counts());
+    // Every colored tree is isomorphic (same XML export).
+    for (c, name) in m.db.palette.iter() {
+        let a = colorful_xml::xml::write_document(
+            &colorful_xml::core::export_color(&m.db, c),
+            &colorful_xml::xml::WriteOptions::default(),
+        );
+        let b = colorful_xml::xml::write_document(
+            &colorful_xml::core::export_color(&back, back.color(name).unwrap()),
+            &colorful_xml::xml::WriteOptions::default(),
+        );
+        assert_eq!(a, b, "color {name}");
+    }
+}
+
+/// Definition 3.3 classifies our own designs as the paper names them:
+/// the IDREF design is shallow, the replicated design is deep.
+#[test]
+fn definition_3_3_classifies_the_designs() {
+    // Shallow-style schema: items referenced by id; id determines node.
+    let shallow = Dtd::new("db")
+        .element("db", &[("items", Quantifier::One), ("orderlines", Quantifier::One)], &[], false)
+        .element("items", &[("item", Quantifier::Star)], &[], false)
+        .element("orderlines", &[("orderline", Quantifier::Star)], &[], false)
+        .element("item", &[("title", Quantifier::One)], &["id"], false)
+        .element("orderline", &[], &["itemIdRef"], true)
+        .element("title", &[], &[], true)
+        .fd(
+            vec![FdTarget::Attr(p("db/items/item"), "id".into())],
+            FdTarget::Path(p("db/items/item")),
+        );
+    assert!(shallow.is_shallow());
+
+    // Deep-style schema: item replicated under orderline; the item key
+    // determines the title *content* but not the (replicated) node.
+    let deep = Dtd::new("db")
+        .element("db", &[("orderline", Quantifier::Star)], &[], false)
+        .element("orderline", &[("item", Quantifier::One)], &[], false)
+        .element("item", &[("title", Quantifier::One)], &["itemkey"], false)
+        .element("title", &[], &[], true)
+        .fd(
+            vec![FdTarget::Attr(p("db/orderline/item"), "itemkey".into())],
+            FdTarget::Content(p("db/orderline/item/title")),
+        );
+    assert!(deep.is_deep());
+
+    fn p(s: &str) -> Vec<String> {
+        s.split('/').map(str::to_string).collect()
+    }
+}
+
+/// MCXQuery construction + identity reuse works straight through the
+/// public facade.
+#[test]
+fn q5_restructuring_via_facade() {
+    let m = movies::build();
+    let mut stored = StoredDb::build(m.db, POOL).unwrap();
+    let q5 = parse_query(
+        r#"createColor("black", <byvotes> {
+             for $v in distinct-values(document("mdb.xml")/{green}descendant::votes)
+             order by $v
+             return
+               <award-byvotes> {
+                 for $m in document("mdb.xml")/{green}descendant::movie[{green}child::votes = $v]
+                 return $m
+               } <votes> { $v } </votes>
+               </award-byvotes>
+           } </byvotes>)"#,
+    )
+    .unwrap();
+    let mut ctx = EvalContext::new(&mut stored);
+    let out = eval(&mut ctx, &q5).unwrap();
+    assert_eq!(out.len(), 1);
+    let black = stored.db.color("black").unwrap();
+    let Item::Node(root, _) = out[0] else { panic!() };
+    // Three vote groups (7, 11, 14), ascending.
+    let groups: Vec<_> = stored.db.children(root, black).collect();
+    assert_eq!(groups.len(), 3);
+    let votes: Vec<String> = groups
+        .iter()
+        .map(|&grp| {
+            stored
+                .db
+                .children(grp, black)
+                .filter(|&n| stored.db.name_str(n) == Some("votes"))
+                .filter_map(|n| stored.db.content(n).map(str::to_string))
+                .collect::<String>()
+        })
+        .collect();
+    assert_eq!(votes, ["7", "11", "14"]);
+    // Movies kept their identity: still red+green (+black).
+    for &grp in &groups {
+        for n in stored.db.children(grp, black).collect::<Vec<_>>() {
+            if stored.db.name_str(n) == Some("movie") {
+                assert_eq!(stored.db.colors(n).len(), 3);
+            }
+        }
+    }
+    let _ = McNodeId::DOCUMENT;
+}

@@ -1,0 +1,324 @@
+//! Property-based tests over the core invariants, with `proptest`.
+
+use colorful_xml::core::{ColorId, McNodeId, MctDatabase, StoredDb};
+use colorful_xml::query::plan::plan_path;
+use colorful_xml::query::{eval, parse_query, EvalContext, Expr, Item};
+use colorful_xml::query::ops::{naive_structural_join, structural_join, Rel, Tuple};
+use colorful_xml::serialize::{emit_exchange, reconstruct, SerializationScheme};
+use colorful_xml::storage::{BTree, BufferPool, IntervalCode, MemDisk, PAGE_SIZE};
+use colorful_xml::xml::{parse, write_document, Document, NodeId, WriteOptions};
+use mct_core::StructRef;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// XML parse/write round trip
+// ---------------------------------------------------------------------------
+
+/// A small recursive generator of data-centric XML documents.
+fn arb_tree() -> impl Strategy<Value = Document> {
+    // Encode a tree shape as nested vectors of (name index, text, children).
+    #[derive(Clone, Debug)]
+    struct N(usize, String, Vec<N>);
+    fn arb_n(depth: u32) -> BoxedStrategy<N> {
+        let name = 0usize..6;
+        let text = "[a-zA-Z0-9 .&<>'\"-]{0,12}";
+        if depth == 0 {
+            (name, text).prop_map(|(n, t)| N(n, t, vec![])).boxed()
+        } else {
+            (name, text, prop::collection::vec(arb_n(depth - 1), 0..4))
+                .prop_map(|(n, t, c)| N(n, t, c))
+                .boxed()
+        }
+    }
+    arb_n(3).prop_map(|root| {
+        const NAMES: [&str; 6] = ["a", "b", "movie", "name", "item", "order"];
+        fn build(doc: &mut Document, parent: NodeId, n: &N) {
+            let e = doc.create_element(NAMES[n.0]);
+            doc.append_child(parent, e);
+            if !n.1.trim().is_empty() {
+                let t = doc.create_text(&n.1);
+                doc.append_child(e, t);
+            }
+            for c in &n.2 {
+                build(doc, e, c);
+            }
+        }
+        let mut doc = Document::new();
+        build(&mut doc, NodeId::DOCUMENT, &root);
+        doc
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// write(parse(write(d))) == write(d): serialization is a fixpoint
+    /// after one round.
+    #[test]
+    fn xml_write_parse_roundtrip(doc in arb_tree()) {
+        let once = write_document(&doc, &WriteOptions::default());
+        let re = parse(&once).unwrap();
+        let twice = write_document(&re, &WriteOptions::default());
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Pretty-printed output parses back to the same canonical form
+    /// (modulo the whitespace the pretty printer adds between elements).
+    #[test]
+    fn xml_pretty_print_reparses(doc in arb_tree()) {
+        let pretty = write_document(&doc, &WriteOptions::pretty());
+        let re = parse(&pretty).unwrap();
+        re.check_invariants();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// B+-tree vs std::BTreeMap model
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn btree_matches_model(
+        ops in prop::collection::vec(
+            (0u8..3, prop::collection::vec(any::<u8>(), 1..12), any::<u64>()),
+            1..200,
+        )
+    ) {
+        let mut pool = BufferPool::new(MemDisk::new(), 64 * PAGE_SIZE);
+        let mut tree = BTree::create(&mut pool).unwrap();
+        let mut model = std::collections::BTreeMap::new();
+        for (op, key, val) in &ops {
+            match op % 3 {
+                0 => {
+                    let a = tree.insert(&mut pool, key, *val).unwrap();
+                    let b = model.insert(key.clone(), *val);
+                    prop_assert_eq!(a, b);
+                }
+                1 => {
+                    let a = tree.delete(&mut pool, key).unwrap();
+                    let b = model.remove(key);
+                    prop_assert_eq!(a, b);
+                }
+                _ => {
+                    let a = tree.get(&mut pool, key).unwrap();
+                    let b = model.get(key).copied();
+                    prop_assert_eq!(a, b);
+                }
+            }
+        }
+        // Full scans agree, in order.
+        let scanned = tree.range_vec(&mut pool, &[], None).unwrap();
+        let expected: Vec<(Vec<u8>, u64)> =
+            model.into_iter().collect();
+        prop_assert_eq!(scanned, expected);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Structural join vs naive oracle over random forests
+// ---------------------------------------------------------------------------
+
+/// Random forest encoded as a parent vector; node i's parent is in
+/// 0..i (or none). Produces consistent interval codes.
+fn arb_forest() -> impl Strategy<Value = Vec<IntervalCode>> {
+    prop::collection::vec(any::<u32>(), 1..60).prop_map(|seeds| {
+        let n = seeds.len();
+        let mut parent = vec![usize::MAX; n];
+        for i in 1..n {
+            // ~30% roots, otherwise parent among earlier nodes.
+            if seeds[i] % 10 < 3 {
+                parent[i] = usize::MAX;
+            } else {
+                parent[i] = (seeds[i] as usize) % i;
+            }
+        }
+        // Assign pre-order codes: children grouped under parents.
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut roots = Vec::new();
+        for i in 0..n {
+            if parent[i] == usize::MAX {
+                roots.push(i);
+            } else {
+                children[parent[i]].push(i);
+            }
+        }
+        let mut codes = vec![
+            IntervalCode {
+                start: 0,
+                end: 0,
+                level: 0
+            };
+            n
+        ];
+        let mut counter = 0u32;
+        fn assign(
+            node: usize,
+            level: u16,
+            children: &[Vec<usize>],
+            codes: &mut [IntervalCode],
+            counter: &mut u32,
+        ) {
+            *counter += 1;
+            let start = *counter;
+            for &c in &children[node] {
+                assign(c, level + 1, children, codes, counter);
+            }
+            *counter += 1;
+            codes[node] = IntervalCode {
+                start,
+                end: *counter,
+                level,
+            };
+        }
+        for &r in &roots {
+            assign(r, 1, &children, &mut codes, &mut counter);
+        }
+        codes
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn structural_join_equals_oracle(codes in arb_forest(), split in any::<u32>()) {
+        // Partition nodes into "ancestor side" and "descendant side".
+        let mut anc: Vec<Tuple> = Vec::new();
+        let mut desc: Vec<Tuple> = Vec::new();
+        for (i, &code) in codes.iter().enumerate() {
+            let r = StructRef { node: McNodeId(i as u32), code };
+            if (split.wrapping_add(i as u32)) % 2 == 0 {
+                anc.push(vec![r]);
+            } else {
+                desc.push(vec![r]);
+            }
+        }
+        anc.sort_by_key(|t| t[0].code.start);
+        desc.sort_by_key(|t| t[0].code.start);
+        for rel in [Rel::Child, Rel::Descendant] {
+            let fast = structural_join(&anc, 0, &desc, 0, rel);
+            let slow = naive_structural_join(&anc, 0, &desc, 0, rel);
+            let norm = |v: Vec<Tuple>| {
+                let mut pairs: Vec<(u32, u32)> =
+                    v.iter().map(|t| (t[0].node.0, t[1].node.0)).collect();
+                pairs.sort_unstable();
+                pairs
+            };
+            prop_assert_eq!(norm(fast), norm(slow));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MCT exchange round trip over random multi-colored databases
+// ---------------------------------------------------------------------------
+
+/// A random 2-color MCT database: red items under a red root, a green
+/// root adopting a random subset of them (plus green-only extras).
+fn arb_mct() -> impl Strategy<Value = MctDatabase> {
+    (
+        prop::collection::vec((any::<bool>(), "[a-z]{0,8}"), 1..25),
+        prop::collection::vec(any::<bool>(), 1..25),
+    )
+        .prop_map(|(items, adopt)| {
+            let mut db = MctDatabase::new();
+            let red = db.add_color("red");
+            let green = db.add_color("green");
+            let rroot = db.new_element("red-root", red);
+            db.append_child(McNodeId::DOCUMENT, rroot, red);
+            let groot = db.new_element("green-root", green);
+            db.append_child(McNodeId::DOCUMENT, groot, green);
+            for (i, (has_content, content)) in items.iter().enumerate() {
+                let e = db.new_element("item", red);
+                if *has_content && !content.is_empty() {
+                    db.set_content(e, content);
+                }
+                db.set_attr(e, "k", &i.to_string());
+                db.append_child(rroot, e, red);
+                if adopt.get(i).copied().unwrap_or(false) {
+                    db.add_node_color(e, green);
+                    db.append_child(groot, e, green);
+                }
+            }
+            db
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn exchange_roundtrip_preserves_all_trees(db in arb_mct()) {
+        let scheme = SerializationScheme::default();
+        let doc = emit_exchange(&db, &scheme);
+        let back = reconstruct(&doc).unwrap();
+        back.check_invariants();
+        prop_assert_eq!(db.counts(), back.counts());
+        prop_assert_eq!(db.structural_count(), back.structural_count());
+        for (c, name) in db.palette.iter() {
+            let c2 = back.color(name).unwrap();
+            let a = write_document(
+                &colorful_xml::core::export_color(&db, c),
+                &WriteOptions::default(),
+            );
+            let b = write_document(
+                &colorful_xml::core::export_color(&back, c2),
+                &WriteOptions::default(),
+            );
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Annotation invariants hold for every generated database.
+    #[test]
+    fn interval_codes_consistent(mut db in arb_mct()) {
+        for i in 0..db.palette.len() {
+            db.annotate(ColorId(i as u8));
+        }
+        db.check_invariants();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Planner vs interpreter over random multi-colored databases
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For every generated database and a panel of colored path shapes,
+    /// the heuristic planner's pipeline and the interpreter agree.
+    #[test]
+    fn planner_equals_interpreter(db in arb_mct()) {
+        let mut stored = StoredDb::build(db, 8 * 1024 * 1024).unwrap();
+        let queries = [
+            r#"document("d")/{red}descendant::item"#,
+            r#"document("d")/{red}descendant::red-root/{red}child::item"#,
+            r#"document("d")/{green}descendant::item"#,
+            r#"document("d")/{red}descendant::item/{green}parent::green-root"#,
+        ];
+        for q in queries {
+            let Expr::Path(p) = parse_query(q).unwrap() else { unreachable!() };
+            let plan = plan_path(&stored, &p, true).unwrap();
+            let via_plan: std::collections::BTreeSet<u32> = plan
+                .execute(&mut stored)
+                .unwrap()
+                .iter()
+                .map(|t| t[0].node.0)
+                .collect();
+            let mut ctx = EvalContext::new(&mut stored);
+            let e = parse_query(q).unwrap();
+            let via_interp: std::collections::BTreeSet<u32> = eval(&mut ctx, &e)
+                .unwrap()
+                .iter()
+                .filter_map(|i| match i {
+                    Item::Node(n, _) => Some(n.0),
+                    _ => None,
+                })
+                .collect();
+            prop_assert_eq!(&via_plan, &via_interp, "query {}", q);
+        }
+    }
+}
