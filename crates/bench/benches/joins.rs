@@ -5,7 +5,8 @@
 //! (link-probe) ≈ value join, and the quadratic nested-loop
 //! inequality join far behind.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mct_bench::microbench::Criterion;
+use mct_bench::{criterion_group, criterion_main};
 use mct_bench::Fixtures;
 use mct_core::{cross_tree_join, cross_tree_join_direct};
 use mct_query::ops::{

@@ -3,7 +3,8 @@
 //! `table2` binary (which reproduces the paper's exact 5-run
 //! protocol and full query set).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mct_bench::microbench::{BenchmarkId, Criterion};
+use mct_bench::{criterion_group, criterion_main};
 use mct_bench::Fixtures;
 use mct_workloads::{run_read, SchemaKind};
 

@@ -2,7 +2,8 @@
 //! `optSerialize` dynamic program, exchange emission, reconstruction,
 //! and the naive per-color baseline (ablation A2).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mct_bench::microbench::Criterion;
+use mct_bench::{criterion_group, criterion_main};
 use mct_serialize::{
     emit_exchange, emit_naive, opt_serialize, reconstruct, reconstruct_naive, MctSchema,
 };

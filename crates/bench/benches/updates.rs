@@ -3,7 +3,8 @@
 //! numbering gap updates indexes incrementally, while a forced
 //! renumber pays a full re-annotation + per-color reindex.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mct_bench::microbench::Criterion;
+use mct_bench::{criterion_group, criterion_main};
 use mct_core::{McNodeId, MctDatabase, StoredDb};
 
 fn build_store(n: usize) -> (StoredDb, Vec<McNodeId>) {
@@ -36,7 +37,7 @@ fn updates(c: &mut Criterion) {
                 assert!(fit, "first insert under a leaf must fit the gap");
                 s.persist_new_element(e).unwrap();
             },
-            criterion::BatchSize::LargeInput,
+            mct_bench::microbench::BatchSize::LargeInput,
         )
     });
 
@@ -54,7 +55,7 @@ fn updates(c: &mut Criterion) {
                 s.reindex_color(red).unwrap();
                 s.persist_new_element(e).unwrap();
             },
-            criterion::BatchSize::LargeInput,
+            mct_bench::microbench::BatchSize::LargeInput,
         )
     });
 
@@ -65,7 +66,7 @@ fn updates(c: &mut Criterion) {
             |(mut s, items)| {
                 s.update_content(items[17], "replacement content").unwrap();
             },
-            criterion::BatchSize::LargeInput,
+            mct_bench::microbench::BatchSize::LargeInput,
         )
     });
 }

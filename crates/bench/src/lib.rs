@@ -15,6 +15,8 @@
 //! three were averaged." Queries are timed warm (one untimed priming
 //! run), as the paper reports.
 
+pub mod microbench;
+
 use mct_core::StoredDb;
 use mct_workloads::{Params, SchemaKind, SigmodConfig, SigmodData, TpcwConfig, TpcwData};
 use std::time::{Duration, Instant};

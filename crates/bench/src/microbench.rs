@@ -1,0 +1,199 @@
+//! Minimal, dependency-free micro-benchmark harness.
+//!
+//! Exposes the slice of the `criterion` API that our benches use
+//! (`Criterion`, `Bencher::iter`/`iter_batched`, benchmark groups,
+//! and the `criterion_group!`/`criterion_main!` macros) so the bench
+//! sources compile offline with only an import change. Timing follows
+//! the same discipline as the paper-harness binaries: per-sample wall
+//! clock, report min / median / mean over the sample set.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Harness entry point, analogous to `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time a single routine under `name`.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        report(name, &b.samples);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a common prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Time `f` against a borrowed input, labelled by `id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        self.criterion.bench_function(&label, |b| f(b, input));
+        self
+    }
+
+    /// Time a routine within the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        self.criterion.bench_function(&label, |b| f(b));
+        self
+    }
+
+    /// End the group (kept for criterion API parity).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a displayable parameter value.
+    pub fn from_parameter(p: impl Display) -> Self {
+        BenchmarkId { id: p.to_string() }
+    }
+
+    /// Build an id from a function name and parameter.
+    pub fn new(name: impl Display, p: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{p}"),
+        }
+    }
+}
+
+/// How batched inputs are sized; only a hint here.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// One setup per timed invocation (large per-iteration state).
+    LargeInput,
+    /// Small per-iteration state.
+    SmallInput,
+    /// Explicit batch length.
+    NumBatches(u64),
+}
+
+/// Passed to the closure given to `bench_function`; runs the routine.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine` for the configured number of samples, after one
+    /// untimed warm-up call.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    /// Time `routine` on fresh input from `setup`; setup is untimed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort();
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    println!(
+        "{name:<40} min {:>12?}  median {:>12?}  mean {:>12?}  ({} samples)",
+        min,
+        median,
+        mean,
+        sorted.len()
+    );
+}
+
+/// Define a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::microbench::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::microbench::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define the bench `main` running each group, mirroring
+/// `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -21,11 +21,12 @@
 
 use crate::color::ColorId;
 use crate::persist::{StoredDb, StructRef};
+use mct_storage::DiskManager;
 
 /// Bulk color transition via the link-index (attribute-value) join —
 /// the paper's implementation. Output is sorted by target-tree start.
-pub fn cross_tree_join(
-    stored: &mut StoredDb,
+pub fn cross_tree_join<D: DiskManager>(
+    stored: &mut StoredDb<D>,
     input: &[StructRef],
     to: ColorId,
 ) -> mct_storage::Result<Vec<StructRef>> {
@@ -40,8 +41,8 @@ pub fn cross_tree_join(
 }
 
 /// Bulk color transition via direct in-memory links (ablation A1).
-pub fn cross_tree_join_direct(
-    stored: &StoredDb,
+pub fn cross_tree_join_direct<D: DiskManager>(
+    stored: &StoredDb<D>,
     input: &[StructRef],
     to: ColorId,
 ) -> Vec<StructRef> {

@@ -25,6 +25,7 @@ pub mod color;
 pub mod crosstree;
 pub mod database;
 pub mod persist;
+mod snapshot;
 pub mod xmlbridge;
 
 pub use color::{ColorId, ColorSet, Palette};

@@ -21,11 +21,13 @@
 
 use crate::color::ColorId;
 use crate::database::{McNodeId, McNodeKind, MctDatabase};
+use crate::snapshot::{self, PhysCatalog};
 use mct_storage::{
-    BTree, BufferPool, ContentIndex, HeapFile, IntervalCode, KeyEncoder, MemDisk, RecordId,
-    StorageStats, TagIndex, PAGE_SIZE,
+    BTree, BufferPool, ContentIndex, DiskManager, FileDisk, HeapFile, IntervalCode, KeyEncoder,
+    MemDisk, RecordId, StorageStats, TagIndex, Wal, PAGE_SIZE,
 };
 use mct_xml::Sym;
+use std::path::Path;
 
 /// One entry of a posting list: a structural node reference.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -36,12 +38,15 @@ pub struct StructRef {
     pub code: IntervalCode,
 }
 
-/// A stored (physical) MCT database.
-pub struct StoredDb {
+/// A stored (physical) MCT database over any disk manager. The
+/// default `MemDisk` is the paper's experimental configuration; a
+/// `FileDisk` plus an attached WAL gives a crash-consistent on-disk
+/// database (see [`StoredDb::create`] / [`StoredDb::open`]).
+pub struct StoredDb<D: DiskManager = MemDisk> {
     /// The logical database (kept for construction & exact navigation).
     pub db: MctDatabase,
-    /// Shared buffer pool over the in-memory disk.
-    pub pool: BufferPool<MemDisk>,
+    /// Shared buffer pool over the disk.
+    pub pool: BufferPool<D>,
     content_heap: HeapFile,
     attr_heap: HeapFile,
     struct_heaps: Vec<HeapFile>,
@@ -53,12 +58,58 @@ pub struct StoredDb {
     attr_rid: Vec<Option<RecordId>>,
 }
 
-impl StoredDb {
-    /// Persist a logical database. Annotates every color, then bulk
-    /// loads heaps and indexes. `pool_bytes` bounds the buffer pool
-    /// (the paper used 256 MiB).
-    pub fn build(mut db: MctDatabase, pool_bytes: usize) -> mct_storage::Result<StoredDb> {
-        let mut pool = BufferPool::new(MemDisk::new(), pool_bytes);
+impl StoredDb<MemDisk> {
+    /// Persist a logical database in memory. Annotates every color,
+    /// then bulk loads heaps and indexes. `pool_bytes` bounds the
+    /// buffer pool (the paper used 256 MiB).
+    pub fn build(db: MctDatabase, pool_bytes: usize) -> mct_storage::Result<StoredDb> {
+        StoredDb::build_on(BufferPool::new(MemDisk::new(), pool_bytes), db)
+    }
+}
+
+impl StoredDb<FileDisk> {
+    /// Build a durable database under `dir` (`pages.db` + `wal.log`),
+    /// replacing any previous contents. The result is not durable
+    /// until the first [`StoredDb::sync`].
+    pub fn create(
+        dir: impl AsRef<Path>,
+        db: MctDatabase,
+        pool_bytes: usize,
+    ) -> mct_storage::Result<StoredDb<FileDisk>> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let mut data = FileDisk::open(&dir.join("pages.db"))?;
+        data.truncate(0)?;
+        let wal = Wal::create(Box::new(FileDisk::open(&dir.join("wal.log"))?))?;
+        let mut pool = BufferPool::new(data, pool_bytes);
+        pool.attach_wal(wal);
+        StoredDb::build_on(pool, db)
+    }
+
+    /// Open a durable database under `dir`, recovering from the WAL.
+    /// Returns `Ok(None)` when no commit ever became durable (fresh
+    /// directory, or a crash before the first sync) — the caller
+    /// should rebuild with [`StoredDb::create`].
+    pub fn open(
+        dir: impl AsRef<Path>,
+        pool_bytes: usize,
+    ) -> mct_storage::Result<Option<StoredDb<FileDisk>>> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let data = FileDisk::open(&dir.join("pages.db"))?;
+        let wal_disk = Box::new(FileDisk::open(&dir.join("wal.log"))?);
+        StoredDb::open_with(data, wal_disk, pool_bytes)
+    }
+}
+
+impl<D: DiskManager> StoredDb<D> {
+    /// Persist a logical database onto a caller-supplied buffer pool
+    /// (its disk must be empty). If a WAL is attached it is reset —
+    /// a rebuild invalidates any previously committed state.
+    pub fn build_on(mut pool: BufferPool<D>, mut db: MctDatabase) -> mct_storage::Result<StoredDb<D>> {
+        if let Some(wal) = pool.wal_mut() {
+            wal.reset()?;
+        }
         let ncolors = db.palette.len();
         for i in 0..ncolors {
             db.ensure_annotated(ColorId(i as u8));
@@ -123,6 +174,86 @@ impl StoredDb {
             content_rid,
             attr_rid,
         })
+    }
+
+    // ----- durability ---------------------------------------------------------
+
+    /// Make the current state durable: snapshot the catalog (logical
+    /// database + physical directory) and commit it with every page
+    /// written since the last sync through the attached WAL. Returns
+    /// the commit LSN. Errors if the pool has no WAL.
+    pub fn sync(&mut self) -> mct_storage::Result<u64> {
+        let catalog = snapshot::encode(&self.db, &self.phys_catalog());
+        self.pool.commit(&catalog)
+    }
+
+    /// Recover a database from its data disk and WAL: replay every
+    /// page image up to the last durable commit, truncate any torn
+    /// tail, and rebuild the `StoredDb` from the committed catalog.
+    /// Returns `Ok(None)` when the WAL holds no commit.
+    pub fn open_with(
+        mut data: D,
+        wal_disk: Box<dyn DiskManager>,
+        pool_bytes: usize,
+    ) -> mct_storage::Result<Option<StoredDb<D>>> {
+        let mut wal = Wal::open(wal_disk)?;
+        let Some(state) = wal.replay_into(&mut data)? else {
+            return Ok(None);
+        };
+        let (db, phys) = snapshot::decode(&state.catalog)?;
+        let mut pool = BufferPool::new(data, pool_bytes);
+        pool.attach_wal(wal);
+        Ok(Some(StoredDb {
+            db,
+            pool,
+            content_heap: HeapFile::from_parts(
+                phys.content_heap.0,
+                phys.content_heap.1,
+                phys.content_heap.2,
+            ),
+            attr_heap: HeapFile::from_parts(phys.attr_heap.0, phys.attr_heap.1, phys.attr_heap.2),
+            struct_heaps: phys
+                .struct_heaps
+                .into_iter()
+                .map(|(p, r, b)| HeapFile::from_parts(p, r, b))
+                .collect(),
+            tag_indexes: phys
+                .tag_indexes
+                .into_iter()
+                .map(|(r, e, p)| TagIndex::from_btree(BTree::from_parts(r, e, p)))
+                .collect(),
+            link_indexes: phys
+                .link_indexes
+                .into_iter()
+                .map(|(r, e, p)| BTree::from_parts(r, e, p))
+                .collect(),
+            content_index: ContentIndex::from_btree(BTree::from_parts(
+                phys.content_index.0,
+                phys.content_index.1,
+                phys.content_index.2,
+            )),
+            attr_index: ContentIndex::from_btree(BTree::from_parts(
+                phys.attr_index.0,
+                phys.attr_index.1,
+                phys.attr_index.2,
+            )),
+            content_rid: phys.content_rid,
+            attr_rid: phys.attr_rid,
+        }))
+    }
+
+    fn phys_catalog(&self) -> PhysCatalog {
+        PhysCatalog {
+            content_heap: self.content_heap.parts(),
+            attr_heap: self.attr_heap.parts(),
+            struct_heaps: self.struct_heaps.iter().map(HeapFile::parts).collect(),
+            tag_indexes: self.tag_indexes.iter().map(|t| t.btree().parts()).collect(),
+            link_indexes: self.link_indexes.iter().map(BTree::parts).collect(),
+            content_index: self.content_index.btree().parts(),
+            attr_index: self.attr_index.btree().parts(),
+            content_rid: self.content_rid.clone(),
+            attr_rid: self.attr_rid.clone(),
+        }
     }
 
     // ----- access paths -------------------------------------------------------
@@ -586,6 +717,114 @@ mod tests {
         for r in &movies {
             assert_eq!(s.db.code(r.node, red).unwrap().start, r.code.start);
         }
+    }
+
+    fn walled_pool(pool_bytes: usize) -> BufferPool<MemDisk> {
+        let mut pool = BufferPool::new(MemDisk::new(), pool_bytes);
+        pool.attach_wal(Wal::create(Box::new(MemDisk::new())).unwrap());
+        pool
+    }
+
+    /// Everything a query can observe, as one comparable value.
+    fn fingerprint<D: DiskManager>(s: &mut StoredDb<D>) -> Vec<String> {
+        let mut out = Vec::new();
+        for (c, name) in s.db.palette.iter().map(|(c, n)| (c, n.to_string())).collect::<Vec<_>>() {
+            for tag in ["movie-genre", "movie-award", "movie", "name"] {
+                for r in s.postings_named(c, tag).unwrap() {
+                    out.push(format!(
+                        "{name}/{tag}: n{} [{},{}]@{}",
+                        r.node.0, r.code.start, r.code.end, r.code.level
+                    ));
+                    out.push(format!("content: {:?}", s.fetch_content(r.node).unwrap()));
+                    out.push(format!("attrs: {:?}", s.fetch_attrs(r.node).unwrap()));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn sync_open_roundtrip_in_memory() {
+        let mut s = StoredDb::build_on(walled_pool(4 * 1024 * 1024), small_db()).unwrap();
+        let before = fingerprint(&mut s);
+        s.sync().unwrap();
+        let (data, wal) = s.pool.into_parts();
+        let mut r = StoredDb::open_with(data, wal.unwrap().into_disk(), 4 * 1024 * 1024)
+            .unwrap()
+            .expect("committed state recovered");
+        assert_eq!(fingerprint(&mut r), before);
+        // Recovered database still answers value lookups and probes.
+        let green = r.db.color("green").unwrap();
+        let hits = r.content_lookup("Movie 3").unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(r.attr_lookup("id", "m2").unwrap().len(), 1);
+        let red_movies = {
+            let red = r.db.color("red").unwrap();
+            r.postings_named(red, "movie").unwrap()
+        };
+        let crossings = red_movies
+            .iter()
+            .filter(|m| r.link_probe(m.node, green).unwrap().is_some())
+            .count();
+        assert_eq!(crossings, 5);
+    }
+
+    #[test]
+    fn open_before_first_sync_is_none() {
+        let s = StoredDb::build_on(walled_pool(4 * 1024 * 1024), small_db()).unwrap();
+        // No sync() — nothing is durable yet.
+        let (data, wal) = s.pool.into_parts();
+        assert!(
+            StoredDb::open_with(data, wal.unwrap().into_disk(), 4 * 1024 * 1024)
+                .unwrap()
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn changes_after_sync_roll_back_on_reopen() {
+        let mut s = StoredDb::build_on(walled_pool(4 * 1024 * 1024), small_db()).unwrap();
+        s.sync().unwrap();
+        let before = fingerprint(&mut s);
+        let hits = s.content_lookup("Movie 3").unwrap();
+        s.update_content(hits[0], "Unsynced Edit").unwrap();
+        s.pool.flush_all().unwrap(); // even flushed-but-uncommitted pages roll back
+        let (data, wal) = s.pool.into_parts();
+        let mut r = StoredDb::open_with(data, wal.unwrap().into_disk(), 4 * 1024 * 1024)
+            .unwrap()
+            .unwrap();
+        assert_eq!(fingerprint(&mut r), before);
+        assert!(r.content_lookup("Unsynced Edit").unwrap().is_empty());
+        assert_eq!(r.content_lookup("Movie 3").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn sync_without_wal_errors() {
+        let mut s = StoredDb::build(small_db(), 4 * 1024 * 1024).unwrap();
+        assert!(s.sync().is_err(), "MemDisk pool without WAL cannot sync");
+    }
+
+    #[test]
+    fn create_sync_open_on_files() {
+        let dir = std::env::temp_dir().join(format!("mct-persist-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let before = {
+            let mut s = StoredDb::create(&dir, small_db(), 4 * 1024 * 1024).unwrap();
+            s.sync().unwrap();
+            fingerprint(&mut s)
+        };
+        let mut r = StoredDb::open(&dir, 4 * 1024 * 1024)
+            .unwrap()
+            .expect("durable database reopened");
+        assert_eq!(fingerprint(&mut r), before);
+        // A second sync after an update survives another reopen.
+        let n = r.content_lookup("Movie 1").unwrap()[0];
+        r.update_content(n, "Second Life").unwrap();
+        r.sync().unwrap();
+        drop(r);
+        let mut r2 = StoredDb::open(&dir, 4 * 1024 * 1024).unwrap().unwrap();
+        assert_eq!(r2.content_lookup("Second Life").unwrap(), vec![n]);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,395 @@
+//! Binary catalog snapshot for crash-consistent persistence.
+//!
+//! [`StoredDb::sync`](crate::persist::StoredDb::sync) serializes the
+//! complete logical database plus the physical catalog (heap page
+//! lists, B+-tree roots, record-id maps) into one byte blob and hands
+//! it to the WAL commit record. Recovery decodes the blob from the
+//! last durable commit and reconstructs the `StoredDb` over the
+//! replayed page file — no separate superblock or catalog pages, so
+//! the catalog is exactly as durable (and exactly as checksummed) as
+//! the commit that carries it.
+//!
+//! The format is a private little-endian encoding, versioned by an
+//! 8-byte magic. Malformed bytes decode to
+//! [`StorageError::Corrupt`], never a panic.
+
+use crate::color::{ColorSet, Palette};
+use crate::database::{ColorTree, Links, McNode, McNodeKind, MctDatabase};
+use mct_storage::{IntervalCode, PageId, RecordId, StorageError};
+use mct_xml::{Interner, Sym};
+
+/// Format magic; bump the trailing digit on layout changes.
+const MAGIC: &[u8; 8] = b"MCTSNAP1";
+/// Encoding of `None` for optional u32 fields (node ids, syms).
+const NONE32: u32 = u32::MAX;
+/// Encoding of `None` for optional packed record ids.
+const NONE64: u64 = u64::MAX;
+
+/// Catalog parts of one heap file: `(pages, records, bytes)`.
+pub(crate) type HeapParts = (Vec<PageId>, u64, u64);
+/// Catalog parts of one B+-tree: `(root, entries, pages)`.
+pub(crate) type TreeParts = (PageId, u64, u32);
+
+/// The physical catalog: everything a [`StoredDb`] holds outside the
+/// page file itself.
+///
+/// [`StoredDb`]: crate::persist::StoredDb
+pub(crate) struct PhysCatalog {
+    pub content_heap: HeapParts,
+    pub attr_heap: HeapParts,
+    pub struct_heaps: Vec<HeapParts>,
+    pub tag_indexes: Vec<TreeParts>,
+    pub link_indexes: Vec<TreeParts>,
+    pub content_index: TreeParts,
+    pub attr_index: TreeParts,
+    pub content_rid: Vec<Option<RecordId>>,
+    pub attr_rid: Vec<Option<RecordId>>,
+}
+
+// ----- encoding ---------------------------------------------------------------
+
+pub(crate) fn encode(db: &MctDatabase, phys: &PhysCatalog) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 * 1024);
+    out.extend_from_slice(MAGIC);
+    // Interner: strings in Sym order (interning order), so decoding
+    // re-interns them to identical symbols.
+    put_u32(&mut out, db.names.len() as u32);
+    for (_, s) in db.names.iter() {
+        put_str(&mut out, s);
+    }
+    // Palette, in ColorId order.
+    out.push(db.palette.len() as u8);
+    for (_, name) in db.palette.iter() {
+        put_str(&mut out, name);
+    }
+    // Node arena.
+    put_u32(&mut out, db.nodes.len() as u32);
+    for n in &db.nodes {
+        out.push(match n.kind {
+            McNodeKind::Document => 0,
+            McNodeKind::Element => 1,
+        });
+        put_u32(&mut out, n.name.map_or(NONE32, |s| s.0));
+        match &n.content {
+            Some(c) => put_str(&mut out, c),
+            None => put_u32(&mut out, NONE32),
+        }
+        put_u16(&mut out, n.attrs.len() as u16);
+        for (s, v) in &n.attrs {
+            put_u32(&mut out, s.0);
+            put_str(&mut out, v);
+        }
+        put_u32(&mut out, n.colors.0);
+    }
+    // Colored trees: links + interval codes, parallel to the arena.
+    out.push(db.trees.len() as u8);
+    for t in &db.trees {
+        put_u64(&mut out, t.node_count);
+        out.push(t.dirty as u8);
+        put_u32(&mut out, t.links.len() as u32);
+        for (l, code) in t.links.iter().zip(&t.codes) {
+            put_u32(&mut out, l.parent);
+            put_u32(&mut out, l.first_child);
+            put_u32(&mut out, l.last_child);
+            put_u32(&mut out, l.prev);
+            put_u32(&mut out, l.next);
+            out.push(l.attached as u8);
+            out.extend_from_slice(&code.to_bytes());
+        }
+    }
+    // Physical catalog.
+    put_heap(&mut out, &phys.content_heap);
+    put_heap(&mut out, &phys.attr_heap);
+    out.push(phys.struct_heaps.len() as u8);
+    for h in &phys.struct_heaps {
+        put_heap(&mut out, h);
+    }
+    out.push(phys.tag_indexes.len() as u8);
+    for t in &phys.tag_indexes {
+        put_tree(&mut out, t);
+    }
+    out.push(phys.link_indexes.len() as u8);
+    for t in &phys.link_indexes {
+        put_tree(&mut out, t);
+    }
+    put_tree(&mut out, &phys.content_index);
+    put_tree(&mut out, &phys.attr_index);
+    put_rids(&mut out, &phys.content_rid);
+    put_rids(&mut out, &phys.attr_rid);
+    out
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_heap(out: &mut Vec<u8>, (pages, records, bytes): &HeapParts) {
+    put_u32(out, pages.len() as u32);
+    for p in pages {
+        put_u32(out, p.0);
+    }
+    put_u64(out, *records);
+    put_u64(out, *bytes);
+}
+
+fn put_tree(out: &mut Vec<u8>, (root, entries, pages): &TreeParts) {
+    put_u32(out, root.0);
+    put_u64(out, *entries);
+    put_u32(out, *pages);
+}
+
+fn put_rids(out: &mut Vec<u8>, rids: &[Option<RecordId>]) {
+    put_u32(out, rids.len() as u32);
+    for r in rids {
+        let packed = r.map_or(NONE64, |rid| {
+            (u64::from(rid.page.0) << 16) | u64::from(rid.slot)
+        });
+        put_u64(out, packed);
+    }
+}
+
+// ----- decoding ---------------------------------------------------------------
+
+pub(crate) fn decode(bytes: &[u8]) -> mct_storage::Result<(MctDatabase, PhysCatalog)> {
+    let mut r = Reader { b: bytes, at: 0 };
+    if r.take(8)? != MAGIC {
+        return Err(corrupt("bad snapshot magic"));
+    }
+    let mut names = Interner::new();
+    let nstrings = r.u32()?;
+    for i in 0..nstrings {
+        let s = r.str()?;
+        if names.intern(s) != Sym(i) {
+            return Err(corrupt("duplicate interner string"));
+        }
+    }
+    let mut palette = Palette::new();
+    let ncolors = r.u8()? as usize;
+    if ncolors > 32 {
+        return Err(corrupt("palette beyond 32-color limit"));
+    }
+    for _ in 0..ncolors {
+        let name = r.str()?.to_string();
+        palette.register(&name);
+    }
+    if palette.len() != ncolors {
+        return Err(corrupt("duplicate palette color"));
+    }
+    let nnodes = r.u32()? as usize;
+    let mut nodes = Vec::with_capacity(nnodes.min(1 << 20));
+    for _ in 0..nnodes {
+        let kind = match r.u8()? {
+            0 => McNodeKind::Document,
+            1 => McNodeKind::Element,
+            _ => return Err(corrupt("bad node kind")),
+        };
+        let name = match r.u32()? {
+            NONE32 => None,
+            s if s < nstrings => Some(Sym(s)),
+            _ => return Err(corrupt("node name out of range")),
+        };
+        let content = {
+            let len = r.u32()?;
+            if len == NONE32 {
+                None
+            } else {
+                Some(r.str_of(len as usize)?.into())
+            }
+        };
+        let nattrs = r.u16()? as usize;
+        let mut attrs = Vec::with_capacity(nattrs);
+        for _ in 0..nattrs {
+            let s = r.u32()?;
+            if s >= nstrings {
+                return Err(corrupt("attr name out of range"));
+            }
+            attrs.push((Sym(s), r.str()?.into()));
+        }
+        let colors = ColorSet(r.u32()?);
+        nodes.push(McNode {
+            kind,
+            name,
+            content,
+            attrs,
+            colors,
+        });
+    }
+    let ntrees = r.u8()? as usize;
+    if ntrees != ncolors {
+        return Err(corrupt("tree count != color count"));
+    }
+    let mut trees = Vec::with_capacity(ntrees);
+    for _ in 0..ntrees {
+        let node_count = r.u64()?;
+        let dirty = r.u8()? != 0;
+        let len = r.u32()? as usize;
+        if len > nnodes {
+            return Err(corrupt("tree longer than arena"));
+        }
+        let mut links = Vec::with_capacity(len);
+        let mut codes = Vec::with_capacity(len);
+        for _ in 0..len {
+            links.push(Links {
+                parent: r.u32()?,
+                first_child: r.u32()?,
+                last_child: r.u32()?,
+                prev: r.u32()?,
+                next: r.u32()?,
+                attached: r.u8()? != 0,
+            });
+            codes.push(IntervalCode::from_bytes(r.take(IntervalCode::BYTES)?));
+        }
+        trees.push(ColorTree {
+            links,
+            codes,
+            node_count,
+            dirty,
+        });
+    }
+    let db = MctDatabase {
+        nodes,
+        names,
+        palette,
+        trees,
+    };
+    let content_heap = read_heap(&mut r)?;
+    let attr_heap = read_heap(&mut r)?;
+    let nheaps = r.u8()? as usize;
+    if nheaps != ncolors {
+        return Err(corrupt("struct heap count != color count"));
+    }
+    let mut struct_heaps = Vec::with_capacity(nheaps);
+    for _ in 0..nheaps {
+        struct_heaps.push(read_heap(&mut r)?);
+    }
+    let ntags = r.u8()? as usize;
+    if ntags != ncolors {
+        return Err(corrupt("tag index count != color count"));
+    }
+    let mut tag_indexes = Vec::with_capacity(ntags);
+    for _ in 0..ntags {
+        tag_indexes.push(read_tree(&mut r)?);
+    }
+    let nlinks = r.u8()? as usize;
+    if nlinks != ncolors {
+        return Err(corrupt("link index count != color count"));
+    }
+    let mut link_indexes = Vec::with_capacity(nlinks);
+    for _ in 0..nlinks {
+        link_indexes.push(read_tree(&mut r)?);
+    }
+    let content_index = read_tree(&mut r)?;
+    let attr_index = read_tree(&mut r)?;
+    let content_rid = read_rids(&mut r)?;
+    let attr_rid = read_rids(&mut r)?;
+    if r.at != r.b.len() {
+        return Err(corrupt("trailing bytes after snapshot"));
+    }
+    Ok((
+        db,
+        PhysCatalog {
+            content_heap,
+            attr_heap,
+            struct_heaps,
+            tag_indexes,
+            link_indexes,
+            content_index,
+            attr_index,
+            content_rid,
+            attr_rid,
+        },
+    ))
+}
+
+fn corrupt(what: &'static str) -> StorageError {
+    StorageError::Corrupt(what)
+}
+
+struct Reader<'a> {
+    b: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> mct_storage::Result<&'a [u8]> {
+        if self.b.len() - self.at < n {
+            return Err(corrupt("snapshot truncated"));
+        }
+        let s = &self.b[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> mct_storage::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> mct_storage::Result<u16> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> mct_storage::Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> mct_storage::Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn str_of(&mut self, len: usize) -> mct_storage::Result<&'a str> {
+        std::str::from_utf8(self.take(len)?).map_err(|_| corrupt("snapshot string not UTF-8"))
+    }
+
+    fn str(&mut self) -> mct_storage::Result<&'a str> {
+        let len = self.u32()? as usize;
+        self.str_of(len)
+    }
+}
+
+fn read_heap(r: &mut Reader<'_>) -> mct_storage::Result<HeapParts> {
+    let npages = r.u32()? as usize;
+    let mut pages = Vec::with_capacity(npages.min(1 << 20));
+    for _ in 0..npages {
+        pages.push(PageId(r.u32()?));
+    }
+    Ok((pages, r.u64()?, r.u64()?))
+}
+
+fn read_tree(r: &mut Reader<'_>) -> mct_storage::Result<TreeParts> {
+    Ok((PageId(r.u32()?), r.u64()?, r.u32()?))
+}
+
+fn read_rids(r: &mut Reader<'_>) -> mct_storage::Result<Vec<Option<RecordId>>> {
+    let n = r.u32()? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let packed = r.u64()?;
+        out.push(if packed == NONE64 {
+            None
+        } else {
+            Some(RecordId {
+                page: PageId((packed >> 16) as u32),
+                slot: (packed & 0xFFFF) as u16,
+            })
+        });
+    }
+    Ok(out)
+}

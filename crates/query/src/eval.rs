@@ -19,6 +19,7 @@
 //!   paper's *dynamic error* (the `dupl-problem` example).
 
 use crate::ast::*;
+use mct_storage::{DiskManager, MemDisk};
 use mct_core::{ColorId, McNodeId, StoredDb};
 use std::collections::HashMap;
 use std::fmt;
@@ -88,9 +89,9 @@ pub type EvalResult<T> = Result<T, EvalError>;
 
 /// Evaluation context: the stored database, variable bindings, the
 /// context item, and the pending construction edges.
-pub struct EvalContext<'a> {
+pub struct EvalContext<'a, D: DiskManager = MemDisk> {
     /// The database queried and (for constructors/updates) mutated.
-    pub stored: &'a mut StoredDb,
+    pub stored: &'a mut StoredDb<D>,
     /// Default color for steps without a `{color}` (plain XQuery over
     /// a single-colored database).
     pub default_color: Option<ColorId>,
@@ -101,9 +102,9 @@ pub struct EvalContext<'a> {
     pending: HashMap<McNodeId, Vec<McNodeId>>,
 }
 
-impl<'a> EvalContext<'a> {
+impl<'a, D: DiskManager> EvalContext<'a, D> {
     /// Fresh context over a stored database.
-    pub fn new(stored: &'a mut StoredDb) -> Self {
+    pub fn new(stored: &'a mut StoredDb<D>) -> Self {
         EvalContext {
             stored,
             default_color: None,
@@ -170,7 +171,7 @@ impl<'a> EvalContext<'a> {
 }
 
 /// Evaluate a parsed expression.
-pub fn eval(ctx: &mut EvalContext<'_>, e: &Expr) -> EvalResult<Sequence> {
+pub fn eval<D: DiskManager>(ctx: &mut EvalContext<'_, D>, e: &Expr) -> EvalResult<Sequence> {
     match e {
         Expr::Lit(Literal::Str(s)) => Ok(vec![Item::Str(s.clone())]),
         Expr::Lit(Literal::Num(n)) => Ok(vec![Item::Num(*n)]),
@@ -216,7 +217,7 @@ pub fn eval(ctx: &mut EvalContext<'_>, e: &Expr) -> EvalResult<Sequence> {
 // Paths
 // ---------------------------------------------------------------------------
 
-fn eval_path(ctx: &mut EvalContext<'_>, p: &PathExpr) -> EvalResult<Sequence> {
+fn eval_path<D: DiskManager>(ctx: &mut EvalContext<'_, D>, p: &PathExpr) -> EvalResult<Sequence> {
     let mut current: Sequence = match &p.start {
         PathStart::Document(_) => vec![Item::Node(McNodeId::DOCUMENT, None)],
         PathStart::Var(v) => ctx
@@ -236,7 +237,7 @@ fn eval_path(ctx: &mut EvalContext<'_>, p: &PathExpr) -> EvalResult<Sequence> {
     Ok(current)
 }
 
-fn eval_step(ctx: &mut EvalContext<'_>, input: &Sequence, step: &Step) -> EvalResult<Sequence> {
+fn eval_step<D: DiskManager>(ctx: &mut EvalContext<'_, D>, input: &Sequence, step: &Step) -> EvalResult<Sequence> {
     // Attribute steps produce strings and need no tree.
     if step.axis == Axis::Attribute {
         let NodeTest::Name(aname) = &step.test else {
@@ -275,7 +276,14 @@ fn eval_step(ctx: &mut EvalContext<'_>, input: &Sequence, step: &Step) -> EvalRe
                     nodes.push(n);
                 }
             }
-            Axis::Attribute => unreachable!(),
+            // Handled by the early return above; a step that still
+            // carries this axis here is a parser/planner defect, which
+            // must surface as a dynamic error rather than a crash.
+            Axis::Attribute => {
+                return Err(EvalError::Dynamic(
+                    "attribute axis reached tree navigation".into(),
+                ))
+            }
         }
     }
     // Node test.
@@ -320,7 +328,7 @@ fn eval_step(ctx: &mut EvalContext<'_>, input: &Sequence, step: &Step) -> EvalRe
 
 /// Atomize an item to a string (nodes use their string value in their
 /// provenance color, falling back to direct content).
-pub fn atomize(ctx: &EvalContext<'_>, item: &Item) -> String {
+pub fn atomize<D: DiskManager>(ctx: &EvalContext<'_, D>, item: &Item) -> String {
     match item {
         Item::Str(s) => s.clone(),
         Item::Num(n) => format_num(*n),
@@ -365,7 +373,7 @@ fn format_num(n: f64) -> String {
 }
 
 /// XPath general comparison: existential over both sequences.
-pub fn general_compare(ctx: &EvalContext<'_>, l: &Sequence, op: CmpOp, r: &Sequence) -> bool {
+pub fn general_compare<D: DiskManager>(ctx: &EvalContext<'_, D>, l: &Sequence, op: CmpOp, r: &Sequence) -> bool {
     for a in l {
         for b in r {
             // Two nodes compare by identity — the comparison the
@@ -425,7 +433,7 @@ pub fn effective_boolean(seq: &Sequence) -> bool {
 // Functions
 // ---------------------------------------------------------------------------
 
-fn eval_call(ctx: &mut EvalContext<'_>, name: &str, args: &[Expr]) -> EvalResult<Sequence> {
+fn eval_call<D: DiskManager>(ctx: &mut EvalContext<'_, D>, name: &str, args: &[Expr]) -> EvalResult<Sequence> {
     match name {
         "contains" => {
             expect_args(name, args, 2)?;
@@ -574,7 +582,7 @@ fn expect_args(name: &str, args: &[Expr], n: usize) -> EvalResult<()> {
 /// `createColor`'s first argument: a quoted string, or a bare name the
 /// parser read as a relative one-step path (the paper writes
 /// `createColor(black, ...)`).
-fn color_literal(ctx: &mut EvalContext<'_>, e: &Expr) -> EvalResult<String> {
+fn color_literal<D: DiskManager>(ctx: &mut EvalContext<'_, D>, e: &Expr) -> EvalResult<String> {
     match e {
         Expr::Lit(Literal::Str(s)) => Ok(s.clone()),
         Expr::Path(p)
@@ -602,8 +610,8 @@ fn color_literal(ctx: &mut EvalContext<'_>, e: &Expr) -> EvalResult<String> {
 /// edges in tree `c`, recursively. Existing nodes keep their identity
 /// (and their structure in other colors). Raises the §4.2 dynamic
 /// error if a node would be attached twice in `c`.
-fn materialize_color(
-    ctx: &mut EvalContext<'_>,
+fn materialize_color<D: DiskManager>(
+    ctx: &mut EvalContext<'_, D>,
     n: McNodeId,
     c: ColorId,
     color_name: &str,
@@ -627,7 +635,7 @@ fn materialize_color(
 // Constructors
 // ---------------------------------------------------------------------------
 
-fn eval_ctor(ctx: &mut EvalContext<'_>, ctor: &Constructor) -> EvalResult<McNodeId> {
+fn eval_ctor<D: DiskManager>(ctx: &mut EvalContext<'_, D>, ctor: &Constructor) -> EvalResult<McNodeId> {
     let el = ctx.stored.db.new_element_uncolored(&ctor.name);
     for (n, v) in &ctor.attrs {
         ctx.stored.db.set_attr(el, n, v);
@@ -666,8 +674,8 @@ fn eval_ctor(ctx: &mut EvalContext<'_>, ctor: &Constructor) -> EvalResult<McNode
     Ok(el)
 }
 
-fn deep_copy(
-    ctx: &mut EvalContext<'_>,
+fn deep_copy<D: DiskManager>(
+    ctx: &mut EvalContext<'_, D>,
     n: McNodeId,
     color: Option<ColorId>,
 ) -> EvalResult<McNodeId> {
@@ -710,7 +718,7 @@ fn deep_copy(
 // FLWOR
 // ---------------------------------------------------------------------------
 
-fn eval_flwor(ctx: &mut EvalContext<'_>, f: &Flwor) -> EvalResult<Sequence> {
+fn eval_flwor<D: DiskManager>(ctx: &mut EvalContext<'_, D>, f: &Flwor) -> EvalResult<Sequence> {
     let mut out: Vec<(Vec<String>, Sequence)> = Vec::new();
     bind_clauses(ctx, f, 0, &mut out)?;
     if !f.order_by.is_empty() {
@@ -730,8 +738,8 @@ fn eval_flwor(ctx: &mut EvalContext<'_>, f: &Flwor) -> EvalResult<Sequence> {
     Ok(out.into_iter().flat_map(|(_, seq)| seq).collect())
 }
 
-fn bind_clauses(
-    ctx: &mut EvalContext<'_>,
+fn bind_clauses<D: DiskManager>(
+    ctx: &mut EvalContext<'_, D>,
     f: &Flwor,
     depth: usize,
     out: &mut Vec<(Vec<String>, Sequence)>,
@@ -780,7 +788,7 @@ fn bind_clauses(
     }
 }
 
-fn restore(ctx: &mut EvalContext<'_>, var: &str, old: Option<Sequence>) {
+fn restore<D: DiskManager>(ctx: &mut EvalContext<'_, D>, var: &str, old: Option<Sequence>) {
     match old {
         Some(v) => {
             ctx.vars.insert(var.to_string(), v);
@@ -979,7 +987,9 @@ mod tests {
         assert_eq!(out.len(), 2);
         let black = s.db.color("black").unwrap();
         for item in &out {
-            let Item::Node(n, _) = item else { panic!() };
+            let Item::Node(n, _) = item else {
+                unreachable!("query returns nodes")
+            };
             assert_eq!(s.db.name_str(*n), Some("m-name"));
             // Its black child is the ORIGINAL name node (identity kept).
             let kids: Vec<_> = s.db.children(*n, black).collect();
@@ -1005,7 +1015,9 @@ mod tests {
         let black = s.db.color("black").unwrap();
         let red = s.db.color("red").unwrap();
         for item in &out {
-            let Item::Node(n, _) = item else { panic!() };
+            let Item::Node(n, _) = item else {
+                unreachable!("query returns nodes")
+            };
             let kids: Vec<_> = s.db.children(*n, black).collect();
             assert_eq!(kids.len(), 1);
             assert!(
@@ -1052,7 +1064,9 @@ mod tests {
         let mut ctx = EvalContext::new(&mut s);
         let out = eval(&mut ctx, &e).unwrap();
         assert_eq!(out.len(), 1);
-        let Item::Node(byvotes, _) = out[0] else { panic!() };
+        let Item::Node(byvotes, _) = out[0] else {
+            unreachable!("constructor returns a node")
+        };
         let black = s.db.color("black").unwrap();
         let groups: Vec<_> = s.db.children(byvotes, black).collect();
         assert_eq!(groups.len(), 2, "votes 7 and 11");

@@ -25,6 +25,7 @@
 //! concatenate the outer and inner tuples.
 
 use mct_core::{ColorId, StoredDb, StructRef};
+use mct_storage::DiskManager;
 use std::collections::HashMap;
 
 /// A tuple of structural references (positional columns).
@@ -83,8 +84,8 @@ impl NumCmp {
 
 /// Scan a tag's posting list in color `c`, producing 1-column tuples
 /// in local document order.
-pub fn index_scan(
-    s: &mut StoredDb,
+pub fn index_scan<D: DiskManager>(
+    s: &mut StoredDb<D>,
     c: ColorId,
     tag: &str,
 ) -> mct_storage::Result<Vec<Tuple>> {
@@ -284,8 +285,8 @@ fn paths_to(
 
 /// Hash equality join on extracted string keys. Builds on the right,
 /// probes with the left; output order follows the left input.
-pub fn value_join_eq(
-    s: &mut StoredDb,
+pub fn value_join_eq<D: DiskManager>(
+    s: &mut StoredDb<D>,
     left: &[Tuple],
     lcol: usize,
     lkey: &KeySpec,
@@ -317,8 +318,8 @@ pub fn value_join_eq(
 /// Nested-loop join on a numeric comparison — quadratic by design
 /// (this is the inequality value join whose scaling the paper calls
 /// out in §7.2).
-pub fn nl_join_cmp(
-    s: &mut StoredDb,
+pub fn nl_join_cmp<D: DiskManager>(
+    s: &mut StoredDb<D>,
     left: &[Tuple],
     lcol: usize,
     right: &[Tuple],
@@ -347,8 +348,8 @@ pub fn nl_join_cmp(
 /// reference with its counterpart in color `to` (dropping tuples whose
 /// node lacks the color), then re-sort by that column. Uses the
 /// paper's link-probe join.
-pub fn cross_tree_op(
-    s: &mut StoredDb,
+pub fn cross_tree_op<D: DiskManager>(
+    s: &mut StoredDb<D>,
     input: Vec<Tuple>,
     col: usize,
     to: ColorId,
@@ -368,8 +369,8 @@ pub fn cross_tree_op(
 }
 
 /// Keep tuples whose `col` content contains `needle`.
-pub fn select_contains(
-    s: &mut StoredDb,
+pub fn select_contains<D: DiskManager>(
+    s: &mut StoredDb<D>,
     input: Vec<Tuple>,
     col: usize,
     needle: &str,
@@ -386,8 +387,8 @@ pub fn select_contains(
 }
 
 /// Keep tuples whose `col` content equals `value` exactly.
-pub fn select_content_eq(
-    s: &mut StoredDb,
+pub fn select_content_eq<D: DiskManager>(
+    s: &mut StoredDb<D>,
     input: Vec<Tuple>,
     col: usize,
     value: &str,
@@ -402,8 +403,8 @@ pub fn select_content_eq(
 }
 
 /// Keep tuples whose `col` content compares `cmp` against `k`.
-pub fn select_number_cmp(
-    s: &mut StoredDb,
+pub fn select_number_cmp<D: DiskManager>(
+    s: &mut StoredDb<D>,
     input: Vec<Tuple>,
     col: usize,
     cmp: NumCmp,
@@ -423,8 +424,8 @@ pub fn select_number_cmp(
 }
 
 /// Keep tuples whose `col` attribute `name` equals `value`.
-pub fn select_attr_eq(
-    s: &mut StoredDb,
+pub fn select_attr_eq<D: DiskManager>(
+    s: &mut StoredDb<D>,
     input: Vec<Tuple>,
     col: usize,
     name: &str,
@@ -474,8 +475,8 @@ fn is_sorted_by(tuples: &[Tuple], col: usize) -> bool {
         .all(|w| w[0][col].code.start <= w[1][col].code.start)
 }
 
-fn extract_keys(
-    s: &mut StoredDb,
+fn extract_keys<D: DiskManager>(
+    s: &mut StoredDb<D>,
     r: StructRef,
     spec: &KeySpec,
 ) -> mct_storage::Result<Vec<String>> {
@@ -500,8 +501,8 @@ fn extract_keys(
     })
 }
 
-fn fetch_numbers(
-    s: &mut StoredDb,
+fn fetch_numbers<D: DiskManager>(
+    s: &mut StoredDb<D>,
     tuples: &[Tuple],
     col: usize,
 ) -> mct_storage::Result<Vec<Option<f64>>> {

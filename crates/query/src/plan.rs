@@ -26,6 +26,7 @@
 //! to the interpreter ([`crate::eval()`]).
 
 use crate::ast::{Axis, CmpOp, Expr, Literal, NodeTest, PathExpr, PathStart, Step};
+use mct_storage::DiskManager;
 use crate::ops::{
     self, cross_tree_op, dup_elim, holistic_path_join, select_attr_eq, select_contains,
     select_content_eq, select_number_cmp, NumCmp, Rel, Tuple,
@@ -101,7 +102,7 @@ enum CompiledPred {
 
 impl PathPlan {
     /// Human-readable plan description (EXPLAIN).
-    pub fn explain(&self, s: &StoredDb) -> String {
+    pub fn explain<D: DiskManager>(&self, s: &StoredDb<D>) -> String {
         let mut out = String::new();
         for (i, st) in self.stages.iter().enumerate() {
             let line = match st {
@@ -132,7 +133,7 @@ impl PathPlan {
     }
 
     /// Execute the plan, returning the final single-column tuples.
-    pub fn execute(&self, s: &mut StoredDb) -> mct_storage::Result<Vec<Tuple>> {
+    pub fn execute<D: DiskManager>(&self, s: &mut StoredDb<D>) -> mct_storage::Result<Vec<Tuple>> {
         let mut current: Option<Vec<Tuple>> = None;
         for st in &self.stages {
             current = Some(match st {
@@ -214,15 +215,15 @@ impl PathPlan {
     }
 }
 
-fn apply_pred(
-    s: &mut StoredDb,
+fn apply_pred<D: DiskManager>(
+    s: &mut StoredDb<D>,
     tuples: Vec<Tuple>,
     col: usize,
     color: ColorId,
     p: &CompiledPred,
 ) -> mct_storage::Result<Vec<Tuple>> {
     // Predicates on a named child evaluate against that child's content.
-    let resolve_child = |s: &mut StoredDb, tuples: Vec<Tuple>, child: &Option<String>| {
+    let resolve_child = |s: &mut StoredDb<D>, tuples: Vec<Tuple>, child: &Option<String>| {
         match child {
             None => tuples,
             Some(name) => {
@@ -268,8 +269,8 @@ fn apply_pred(
     }
 }
 
-fn filter_by_child(
-    s: &mut StoredDb,
+fn filter_by_child<D: DiskManager>(
+    s: &mut StoredDb<D>,
     tuples: Vec<Tuple>,
     col: usize,
     color: ColorId,
@@ -301,7 +302,7 @@ fn filter_by_child(
 }
 
 /// Compile an absolute colored path expression into a physical plan.
-pub fn plan_path(s: &StoredDb, path: &PathExpr, dedup: bool) -> Result<PathPlan, PlanError> {
+pub fn plan_path<D: DiskManager>(s: &StoredDb<D>, path: &PathExpr, dedup: bool) -> Result<PathPlan, PlanError> {
     if path.start == PathStart::Context {
         return Err(PlanError::Unsupported("relative path".into()));
     }
@@ -420,7 +421,7 @@ pub fn plan_path(s: &StoredDb, path: &PathExpr, dedup: bool) -> Result<PathPlan,
     Ok(PathPlan { stages })
 }
 
-fn resolve_color(s: &StoredDb, step: &Step) -> Result<ColorId, PlanError> {
+fn resolve_color<D: DiskManager>(s: &StoredDb<D>, step: &Step) -> Result<ColorId, PlanError> {
     match &step.color {
         Some(name) => s
             .db

@@ -17,6 +17,7 @@
 //! implicitly giving new nodes that existing color.
 
 use crate::ast::{FlworClause, UpdateAction, UpdateStmt};
+use mct_storage::DiskManager;
 use crate::eval::{atomize, effective_boolean, eval, EvalContext, EvalError, EvalResult, Item};
 use mct_core::{ColorId, McNodeId, StoredDb};
 use std::collections::HashMap;
@@ -48,15 +49,15 @@ pub struct UpdateOutcome {
 /// Execute an update statement. Returns the number of binding tuples
 /// that produced updates (the paper's "number of elements updated" is
 /// available via [`execute_update_with`]).
-pub fn execute_update(stored: &mut StoredDb, u: &UpdateStmt) -> EvalResult<usize> {
+pub fn execute_update<D: DiskManager>(stored: &mut StoredDb<D>, u: &UpdateStmt) -> EvalResult<usize> {
     execute_update_with(stored, u, None).map(|o| o.tuples)
 }
 
 /// [`execute_update`] with a default color for color-less steps
 /// (plain-XQuery updates over single-colored databases) and the full
 /// outcome.
-pub fn execute_update_with(
-    stored: &mut StoredDb,
+pub fn execute_update_with<D: DiskManager>(
+    stored: &mut StoredDb<D>,
     u: &UpdateStmt,
     default_color: Option<&str>,
 ) -> EvalResult<UpdateOutcome> {
@@ -129,8 +130,8 @@ pub fn execute_update_with(
     Ok(UpdateOutcome { tuples, elements })
 }
 
-fn attach_fragment(
-    stored: &mut StoredDb,
+fn attach_fragment<D: DiskManager>(
+    stored: &mut StoredDb<D>,
     n: McNodeId,
     edges: &HashMap<McNodeId, Vec<McNodeId>>,
     c: ColorId,
@@ -155,8 +156,8 @@ fn attach_fragment(
     Ok(())
 }
 
-fn collect(
-    ctx: &mut EvalContext<'_>,
+fn collect<D: DiskManager>(
+    ctx: &mut EvalContext<'_, D>,
     u: &UpdateStmt,
     depth: usize,
     tuples: &mut usize,

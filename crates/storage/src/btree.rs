@@ -22,11 +22,11 @@
 use crate::buffer::BufferPool;
 use crate::disk::DiskManager;
 use crate::error::StorageError;
-use crate::page::{PageId, PAGE_SIZE};
+use crate::page::{PageId, PAGE_BODY};
 use crate::Result;
 
 /// Soft byte budget per node; exceeding it triggers a split.
-const NODE_BUDGET: usize = PAGE_SIZE - 64;
+const NODE_BUDGET: usize = PAGE_BODY - 64;
 
 /// Result of a recursive insert: the replaced value (if any) and a
 /// `(separator, new right page)` pair when the child split.
@@ -187,6 +187,19 @@ pub struct BTree {
 }
 
 impl BTree {
+    /// Decompose into raw parts `(root, entries, pages)` for a durable
+    /// catalog. The node pages themselves live in the buffer pool's
+    /// disk file.
+    pub fn parts(&self) -> (PageId, u64, u32) {
+        (self.root, self.entries, self.pages)
+    }
+
+    /// Reassemble a tree from [`BTree::parts`] output against the same
+    /// disk file.
+    pub fn from_parts(root: PageId, entries: u64, pages: u32) -> BTree {
+        BTree { root, entries, pages }
+    }
+
     /// Create an empty tree (allocates the root leaf).
     pub fn create<D: DiskManager>(pool: &mut BufferPool<D>) -> Result<BTree> {
         let root = pool.allocate()?;
@@ -467,7 +480,7 @@ fn read_node<D: DiskManager>(pool: &mut BufferPool<D>, page: PageId) -> Result<N
 
 fn write_node<D: DiskManager>(pool: &mut BufferPool<D>, page: PageId, node: &Node) -> Result<()> {
     debug_assert!(
-        node.serialized_size() <= PAGE_SIZE,
+        node.serialized_size() <= PAGE_BODY,
         "node overflows page: {}",
         node.serialized_size()
     );
@@ -477,6 +490,7 @@ fn write_node<D: DiskManager>(pool: &mut BufferPool<D>, page: PageId, node: &Nod
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::page::PAGE_SIZE;
     use crate::disk::MemDisk;
 
     fn pool() -> BufferPool<MemDisk> {

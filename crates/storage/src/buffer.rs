@@ -5,12 +5,25 @@
 //! be evicted mid-access, so no pin counting is needed. Dirty pages are
 //! written back on eviction and on [`BufferPool::flush_all`];
 //! [`BufferPool::evict_all`] implements the paper's cold-cache mode.
+//!
+//! The pool owns the physical page envelope (see [`crate::page`]):
+//! consumers are handed only the [`PAGE_BODY`]-byte body slice. Each
+//! checksum is verified on every miss — bit rot surfaces as
+//! [`StorageError::Corrupt`] — and stamped on every writeback. With a
+//! [`Wal`] attached, the pool also tracks which pages were dirtied
+//! since the last commit; [`BufferPool::commit`] logs their images,
+//! writes a commit record, and enforces fsync-before-flush ordering so
+//! a crash at any write boundary is recoverable.
 
 use crate::disk::DiskManager;
 use crate::error::StorageError;
-use crate::page::{PageId, PAGE_SIZE};
+use crate::page::{
+    page_lsn, set_page_lsn, stamp_page_checksum, verify_page_checksum, PageId, PAGE_HEADER,
+    PAGE_SIZE,
+};
+use crate::wal::Wal;
 use crate::Result;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// Hit/miss/eviction counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -40,6 +53,9 @@ pub struct BufferPool<D: DiskManager> {
     map: HashMap<PageId, usize>,
     tick: u64,
     stats: PoolStats,
+    wal: Option<Wal>,
+    /// Pages dirtied since the last commit; tracked only with a WAL.
+    dirty_since_commit: BTreeSet<PageId>,
 }
 
 /// Default pool capacity: 256 MiB, the paper's configuration.
@@ -56,6 +72,8 @@ impl<D: DiskManager> BufferPool<D> {
             map: HashMap::new(),
             tick: 0,
             stats: PoolStats::default(),
+            wal: None,
+            dirty_since_commit: BTreeSet::new(),
         }
     }
 
@@ -84,6 +102,34 @@ impl<D: DiskManager> BufferPool<D> {
         &self.disk
     }
 
+    /// Underlying disk manager (mutable; e.g. to inject faults).
+    pub fn disk_mut(&mut self) -> &mut D {
+        &mut self.disk
+    }
+
+    /// Attach a write-ahead log. From here on, pages dirtied through
+    /// the pool are tracked and [`BufferPool::commit`] becomes the
+    /// durability boundary.
+    pub fn attach_wal(&mut self, wal: Wal) {
+        self.wal = Some(wal);
+    }
+
+    /// The attached WAL, if any.
+    pub fn wal(&self) -> Option<&Wal> {
+        self.wal.as_ref()
+    }
+
+    /// The attached WAL (mutable), if any.
+    pub fn wal_mut(&mut self) -> Option<&mut Wal> {
+        self.wal.as_mut()
+    }
+
+    /// Tear the pool down into its disk and WAL (cached pages are
+    /// dropped, not flushed — commit first for durability).
+    pub fn into_parts(self) -> (D, Option<Wal>) {
+        (self.disk, self.wal)
+    }
+
     /// Allocate a fresh page; it enters the cache zeroed and dirty.
     pub fn allocate(&mut self) -> Result<PageId> {
         let id = self.disk.allocate()?;
@@ -95,6 +141,9 @@ impl<D: DiskManager> BufferPool<D> {
         self.tick += 1;
         f.last_used = self.tick;
         self.map.insert(id, frame);
+        if self.wal.is_some() {
+            self.dirty_since_commit.insert(id);
+        }
         Ok(id)
     }
 
@@ -103,17 +152,27 @@ impl<D: DiskManager> BufferPool<D> {
         self.disk.num_pages()
     }
 
-    /// Run `f` over an immutable view of page `id`.
+    /// Run `f` over an immutable view of page `id`'s body (the page
+    /// minus its physical envelope).
     pub fn with_page<R>(&mut self, id: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
         let frame = self.fetch(id)?;
-        Ok(f(&self.frames[frame].data[..]))
+        Ok(f(&self.frames[frame].data[PAGE_HEADER..]))
     }
 
-    /// Run `f` over a mutable view of page `id`; marks it dirty.
+    /// Run `f` over a mutable view of page `id`'s body; marks it dirty.
     pub fn with_page_mut<R>(&mut self, id: PageId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
         let frame = self.fetch(id)?;
         self.frames[frame].dirty = true;
-        Ok(f(&mut self.frames[frame].data[..]))
+        if self.wal.is_some() {
+            self.dirty_since_commit.insert(id);
+        }
+        Ok(f(&mut self.frames[frame].data[PAGE_HEADER..]))
+    }
+
+    /// The LSN stamped on page `id` (zero if never committed).
+    pub fn page_lsn(&mut self, id: PageId) -> Result<u64> {
+        let frame = self.fetch(id)?;
+        Ok(page_lsn(&self.frames[frame].data[..]))
     }
 
     fn fetch(&mut self, id: PageId) -> Result<usize> {
@@ -126,6 +185,9 @@ impl<D: DiskManager> BufferPool<D> {
         self.stats.misses += 1;
         let frame = self.victim()?;
         self.disk.read(id, &mut self.frames[frame].data[..])?;
+        if !verify_page_checksum(&self.frames[frame].data[..]) {
+            return Err(StorageError::Corrupt("page checksum mismatch"));
+        }
         let f = &mut self.frames[frame];
         f.page = Some(id);
         f.dirty = false;
@@ -156,13 +218,19 @@ impl<D: DiskManager> BufferPool<D> {
         Ok(frame)
     }
 
+    /// Vacate a frame, writing it back first if dirty. Failure-atomic:
+    /// when the write-back errors, the frame keeps its page and dirty
+    /// flag, so the data is neither lost nor aliased on a later retry.
     fn evict(&mut self, frame: usize) -> Result<()> {
-        if let Some(old) = self.frames[frame].page.take() {
-            self.stats.evictions += 1;
+        if let Some(old) = self.frames[frame].page {
             if self.frames[frame].dirty {
-                self.stats.writebacks += 1;
+                stamp_page_checksum(&mut self.frames[frame].data[..]);
                 self.disk.write(old, &self.frames[frame].data[..])?;
+                self.frames[frame].dirty = false;
+                self.stats.writebacks += 1;
             }
+            self.stats.evictions += 1;
+            self.frames[frame].page = None;
             self.map.remove(&old);
         }
         Ok(())
@@ -174,6 +242,7 @@ impl<D: DiskManager> BufferPool<D> {
             if self.frames[i].dirty {
                 if let Some(id) = self.frames[i].page {
                     self.stats.writebacks += 1;
+                    stamp_page_checksum(&mut self.frames[i].data[..]);
                     self.disk.write(id, &self.frames[i].data[..])?;
                     self.frames[i].dirty = false;
                 }
@@ -191,6 +260,71 @@ impl<D: DiskManager> BufferPool<D> {
         }
         self.map.clear();
         Ok(())
+    }
+
+    /// Commit: make everything dirtied since the last commit durable.
+    ///
+    /// Protocol (redo-only WAL):
+    /// 1. log the full image of every page dirtied since the last
+    ///    commit, stamping each with its record's LSN and checksum;
+    /// 2. log a commit record carrying the data-file page count and
+    ///    the caller's `catalog` blob;
+    /// 3. fsync the log — the commit point;
+    /// 4. flush dirty frames and fsync the data file.
+    ///
+    /// A crash before step 3 recovers the previous commit; after it,
+    /// this one (recovery replays the logged images over the data
+    /// file). Returns the commit record's LSN.
+    pub fn commit(&mut self, catalog: &[u8]) -> Result<u64> {
+        let wal = self
+            .wal
+            .as_mut()
+            .ok_or(StorageError::Corrupt("commit without an attached WAL"))?;
+        let pages: Vec<PageId> = std::mem::take(&mut self.dirty_since_commit)
+            .into_iter()
+            .collect();
+        let log_result: Result<()> = (|| {
+            for id in &pages {
+                let lsn = wal.next_lsn();
+                if let Some(&frame) = self.map.get(id) {
+                    let f = &mut self.frames[frame];
+                    set_page_lsn(&mut f.data[..], lsn);
+                    stamp_page_checksum(&mut f.data[..]);
+                    // The frame now differs from disk by its LSN even
+                    // if it was clean; make sure it gets flushed.
+                    f.dirty = true;
+                    wal.append_image(*id, &f.data[..])?;
+                } else {
+                    // Evicted since being dirtied: its checksum was
+                    // stamped on writeback; refresh the LSN and log.
+                    let mut buf = [0u8; PAGE_SIZE];
+                    self.disk.read(*id, &mut buf)?;
+                    set_page_lsn(&mut buf, lsn);
+                    stamp_page_checksum(&mut buf);
+                    self.disk.write(*id, &buf)?;
+                    wal.append_image(*id, &buf)?;
+                }
+            }
+            Ok(())
+        })();
+        if let Err(e) = log_result {
+            // Put the set back so a retry re-logs everything.
+            self.dirty_since_commit.extend(pages);
+            return Err(e);
+        }
+        let lsn = match wal
+            .append_commit(self.disk.num_pages(), catalog)
+            .and_then(|lsn| wal.sync().map(|()| lsn))
+        {
+            Ok(lsn) => lsn,
+            Err(e) => {
+                self.dirty_since_commit.extend(pages);
+                return Err(e);
+            }
+        };
+        self.flush_all()?;
+        self.disk.sync_data()?;
+        Ok(lsn)
     }
 }
 
@@ -279,5 +413,77 @@ mod tests {
         for (i, &id) in ids.iter().enumerate() {
             assert_eq!(p.with_page(id, |b| b[0]).unwrap(), i as u8);
         }
+    }
+
+    #[test]
+    fn bit_flip_on_disk_is_detected_on_read() {
+        let mut p = tiny_pool();
+        let id = p.allocate().unwrap();
+        p.with_page_mut(id, |b| b[500] = 77).unwrap();
+        p.evict_all().unwrap();
+        // Flip one bit in the cell area, behind the pool's back.
+        let mut raw = [0u8; PAGE_SIZE];
+        p.disk_mut().read(id, &mut raw).unwrap();
+        raw[PAGE_SIZE - 1] ^= 0x10;
+        p.disk_mut().write(id, &raw).unwrap();
+        assert!(matches!(
+            p.with_page(id, |_| ()),
+            Err(StorageError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn commit_then_replay_recovers_evicted_and_resident_pages() {
+        use crate::wal::Wal;
+        let mut p = BufferPool::new(MemDisk::new(), 8 * PAGE_SIZE);
+        p.attach_wal(Wal::create(Box::new(MemDisk::new())).unwrap());
+        // More pages than frames, so some dirty pages get evicted
+        // (uncommitted) before commit.
+        let ids: Vec<PageId> = (0..30).map(|_| p.allocate().unwrap()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            p.with_page_mut(id, |b| b[3] = i as u8).unwrap();
+        }
+        p.commit(b"cat").unwrap();
+        // Post-commit scribbles that must NOT survive recovery.
+        p.with_page_mut(ids[0], |b| b[3] = 200).unwrap();
+        p.flush_all().unwrap();
+
+        // Simulate crash: recover from the WAL alone onto a fresh disk
+        // seeded with whatever the data file held (scribbles and all).
+        let BufferPool { disk, wal, .. } = p;
+        let mut data = disk;
+        let mut wal = wal.unwrap();
+        let state = wal.replay_into(&mut data).unwrap().unwrap();
+        assert_eq!(state.catalog, b"cat");
+        assert_eq!(state.num_pages, 30);
+        let mut rp = BufferPool::new(data, 8 * PAGE_SIZE);
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(
+                rp.with_page(id, |b| b[3]).unwrap(),
+                i as u8,
+                "page {id:?} reflects committed, not post-commit, state"
+            );
+        }
+    }
+
+    #[test]
+    fn commit_without_wal_is_an_error() {
+        let mut p = tiny_pool();
+        assert!(matches!(
+            p.commit(b""),
+            Err(StorageError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn committed_pages_carry_their_lsn() {
+        use crate::wal::Wal;
+        let mut p = BufferPool::new(MemDisk::new(), 8 * PAGE_SIZE);
+        p.attach_wal(Wal::create(Box::new(MemDisk::new())).unwrap());
+        let id = p.allocate().unwrap();
+        p.with_page_mut(id, |b| b[0] = 1).unwrap();
+        assert_eq!(p.page_lsn(id).unwrap(), 0, "never committed");
+        p.commit(b"").unwrap();
+        assert!(p.page_lsn(id).unwrap() > 0, "stamped at commit");
     }
 }

@@ -17,6 +17,15 @@ pub trait DiskManager {
     fn write(&mut self, id: PageId, buf: &[u8]) -> Result<()>;
     /// Number of allocated pages.
     fn num_pages(&self) -> u32;
+    /// Force all written pages to stable storage (fsync). A no-op for
+    /// media without a volatile cache.
+    fn sync_data(&mut self) -> Result<()> {
+        Ok(())
+    }
+    /// Shrink the file to exactly `num_pages` pages. Used by recovery
+    /// to drop pages allocated after the last commit. Growing is not
+    /// supported; a larger count than allocated is a no-op.
+    fn truncate(&mut self, num_pages: u32) -> Result<()>;
 }
 
 /// In-memory disk manager — the default for experiments, so measured
@@ -70,6 +79,11 @@ impl DiskManager for MemDisk {
 
     fn num_pages(&self) -> u32 {
         self.pages.len() as u32
+    }
+
+    fn truncate(&mut self, num_pages: u32) -> Result<()> {
+        self.pages.truncate(num_pages as usize);
+        Ok(())
     }
 }
 
@@ -134,6 +148,19 @@ impl DiskManager for FileDisk {
 
     fn num_pages(&self) -> u32 {
         self.num_pages
+    }
+
+    fn sync_data(&mut self) -> Result<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    fn truncate(&mut self, num_pages: u32) -> Result<()> {
+        if num_pages < self.num_pages {
+            self.file.set_len(num_pages as u64 * PAGE_SIZE as u64)?;
+            self.num_pages = num_pages;
+        }
+        Ok(())
     }
 }
 

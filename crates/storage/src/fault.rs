@@ -1,0 +1,326 @@
+//! Deterministic fault injection for storage testing.
+//!
+//! [`FaultDisk`] wraps any [`DiskManager`] and injects faults on a
+//! schedule driven by a shared [`FaultInjector`]:
+//!
+//! * **scheduled I/O errors** — the *n*-th read or write fails cleanly
+//!   (no partial effect), modelling transient media errors;
+//! * **crash points** — the *n*-th write is *torn*: a
+//!   seeded-pseudorandom prefix of the page reaches the media, the
+//!   call fails, and every later operation fails too (the process is
+//!   "dead"), modelling power loss mid-write;
+//! * **bit flips** — [`FaultDisk::flip_bit`] silently corrupts a bit
+//!   in the underlying store, modelling bit rot; checksums must catch
+//!   it on the next read.
+//!
+//! One injector can be shared (it is cheaply cloneable) across several
+//! wrapped disks — e.g. a database's page file *and* its WAL file — so
+//! a single global write counter enumerates every write boundary of a
+//! workload, letting a crash-loop test kill the engine at each one in
+//! turn.
+
+use crate::disk::DiskManager;
+use crate::error::StorageError;
+use crate::page::{PageId, PAGE_SIZE};
+use crate::Result;
+use std::cell::RefCell;
+use std::io;
+use std::rc::Rc;
+
+#[derive(Default)]
+struct FaultState {
+    reads: u64,
+    writes: u64,
+    crash_at_write: Option<u64>,
+    fail_at_write: Option<u64>,
+    fail_at_read: Option<u64>,
+    dead: bool,
+    rng: u64,
+}
+
+impl FaultState {
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64*; state seeded non-zero at construction.
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Shared, cloneable schedule of faults (one counter per injector).
+#[derive(Clone)]
+pub struct FaultInjector {
+    state: Rc<RefCell<FaultState>>,
+}
+
+impl FaultInjector {
+    /// New injector with no faults armed; `seed` drives torn-write
+    /// prefix lengths deterministically.
+    pub fn new(seed: u64) -> FaultInjector {
+        FaultInjector {
+            state: Rc::new(RefCell::new(FaultState {
+                rng: seed | 1,
+                ..FaultState::default()
+            })),
+        }
+    }
+
+    /// Crash at the `n`-th write (0-based, counted across every disk
+    /// sharing this injector): that write is torn, then the disk is
+    /// dead — all later reads, writes, allocations, and syncs fail.
+    pub fn crash_at_write(&self, n: u64) {
+        self.state.borrow_mut().crash_at_write = Some(n);
+    }
+
+    /// Fail the `n`-th write cleanly (no bytes reach the media, the
+    /// disk stays alive).
+    pub fn fail_at_write(&self, n: u64) {
+        self.state.borrow_mut().fail_at_write = Some(n);
+    }
+
+    /// Fail the `n`-th read cleanly.
+    pub fn fail_at_read(&self, n: u64) {
+        self.state.borrow_mut().fail_at_read = Some(n);
+    }
+
+    /// Clear all armed faults and revive a dead disk (the counters
+    /// keep running).
+    pub fn disarm(&self) {
+        let mut s = self.state.borrow_mut();
+        s.crash_at_write = None;
+        s.fail_at_write = None;
+        s.fail_at_read = None;
+        s.dead = false;
+    }
+
+    /// Total writes observed so far.
+    pub fn writes(&self) -> u64 {
+        self.state.borrow().writes
+    }
+
+    /// Total reads observed so far.
+    pub fn reads(&self) -> u64 {
+        self.state.borrow().reads
+    }
+
+    /// Whether a crash point has fired.
+    pub fn crashed(&self) -> bool {
+        self.state.borrow().dead
+    }
+
+    fn injected(what: &str) -> StorageError {
+        StorageError::Io(io::Error::other(format!("injected fault: {what}")))
+    }
+}
+
+/// A [`DiskManager`] wrapper that injects faults per its
+/// [`FaultInjector`] schedule.
+pub struct FaultDisk<D: DiskManager> {
+    inner: D,
+    injector: FaultInjector,
+}
+
+impl<D: DiskManager> FaultDisk<D> {
+    /// Wrap `inner`, drawing faults from `injector`.
+    pub fn new(inner: D, injector: FaultInjector) -> FaultDisk<D> {
+        FaultDisk { inner, injector }
+    }
+
+    /// The shared injector.
+    pub fn injector(&self) -> FaultInjector {
+        self.injector.clone()
+    }
+
+    /// Unwrap the inner disk.
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+
+    /// Silently flip one bit of a stored page (bit rot). Bypasses the
+    /// fault schedule and the write counter.
+    pub fn flip_bit(&mut self, page: PageId, bit: usize) -> Result<()> {
+        debug_assert!(bit < PAGE_SIZE * 8);
+        let mut buf = [0u8; PAGE_SIZE];
+        self.inner.read(page, &mut buf)?;
+        buf[bit / 8] ^= 1 << (bit % 8);
+        self.inner.write(page, &buf)
+    }
+}
+
+impl<D: DiskManager> DiskManager for FaultDisk<D> {
+    fn allocate(&mut self) -> Result<PageId> {
+        if self.injector.state.borrow().dead {
+            return Err(FaultInjector::injected("allocate on dead disk"));
+        }
+        self.inner.allocate()
+    }
+
+    fn read(&mut self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        let fail = {
+            let mut s = self.injector.state.borrow_mut();
+            if s.dead {
+                return Err(FaultInjector::injected("read on dead disk"));
+            }
+            let idx = s.reads;
+            s.reads += 1;
+            s.fail_at_read == Some(idx)
+        };
+        if fail {
+            return Err(FaultInjector::injected("read error"));
+        }
+        self.inner.read(id, buf)
+    }
+
+    fn write(&mut self, id: PageId, buf: &[u8]) -> Result<()> {
+        enum Action {
+            Pass,
+            FailClean,
+            Crash(usize),
+        }
+        let action = {
+            let mut s = self.injector.state.borrow_mut();
+            if s.dead {
+                return Err(FaultInjector::injected("write on dead disk"));
+            }
+            let idx = s.writes;
+            s.writes += 1;
+            if s.crash_at_write == Some(idx) {
+                s.dead = true;
+                let torn = (s.next_rand() % PAGE_SIZE as u64) as usize;
+                Action::Crash(torn)
+            } else if s.fail_at_write == Some(idx) {
+                Action::FailClean
+            } else {
+                Action::Pass
+            }
+        };
+        match action {
+            Action::Pass => self.inner.write(id, buf),
+            Action::FailClean => Err(FaultInjector::injected("write error")),
+            Action::Crash(torn) => {
+                // A torn write: only a prefix reaches the media; the
+                // rest of the page keeps its previous contents.
+                let mut old = [0u8; PAGE_SIZE];
+                self.inner.read(id, &mut old)?;
+                old[..torn].copy_from_slice(&buf[..torn]);
+                self.inner.write(id, &old)?;
+                Err(FaultInjector::injected("power loss mid-write"))
+            }
+        }
+    }
+
+    fn num_pages(&self) -> u32 {
+        self.inner.num_pages()
+    }
+
+    fn sync_data(&mut self) -> Result<()> {
+        if self.injector.state.borrow().dead {
+            return Err(FaultInjector::injected("fsync on dead disk"));
+        }
+        self.inner.sync_data()
+    }
+
+    fn truncate(&mut self, num_pages: u32) -> Result<()> {
+        if self.injector.state.borrow().dead {
+            return Err(FaultInjector::injected("truncate on dead disk"));
+        }
+        self.inner.truncate(num_pages)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::MemDisk;
+
+    #[test]
+    fn clean_write_failure_has_no_effect() {
+        let inj = FaultInjector::new(1);
+        let mut d = FaultDisk::new(MemDisk::new(), inj.clone());
+        let p = d.allocate().unwrap();
+        d.write(p, &[7u8; PAGE_SIZE]).unwrap();
+        inj.fail_at_write(1);
+        assert!(d.write(p, &[9u8; PAGE_SIZE]).is_err());
+        let mut buf = [0u8; PAGE_SIZE];
+        d.read(p, &mut buf).unwrap();
+        assert_eq!(buf[0], 7, "failed write left old contents");
+        // Disk stays alive.
+        d.write(p, &[9u8; PAGE_SIZE]).unwrap();
+    }
+
+    #[test]
+    fn crash_tears_the_write_and_kills_the_disk() {
+        let inj = FaultInjector::new(42);
+        let mut d = FaultDisk::new(MemDisk::new(), inj.clone());
+        let p = d.allocate().unwrap();
+        d.write(p, &[1u8; PAGE_SIZE]).unwrap();
+        inj.crash_at_write(1);
+        assert!(d.write(p, &[2u8; PAGE_SIZE]).is_err());
+        assert!(inj.crashed());
+        // Everything fails now.
+        let mut buf = [0u8; PAGE_SIZE];
+        assert!(d.read(p, &mut buf).is_err());
+        assert!(d.allocate().is_err());
+        assert!(d.sync_data().is_err());
+        // After disarm, the torn page is a mix of old and new bytes.
+        inj.disarm();
+        d.read(p, &mut buf).unwrap();
+        assert!(buf.contains(&1) || buf.iter().all(|&b| b == 2));
+    }
+
+    #[test]
+    fn torn_length_is_deterministic_per_seed() {
+        let torn_of = |seed: u64| {
+            let inj = FaultInjector::new(seed);
+            let mut d = FaultDisk::new(MemDisk::new(), inj.clone());
+            let p = d.allocate().unwrap();
+            inj.crash_at_write(0);
+            let _ = d.write(p, &[0xFFu8; PAGE_SIZE]);
+            inj.disarm();
+            let mut buf = [0u8; PAGE_SIZE];
+            d.read(p, &mut buf).unwrap();
+            buf.iter().filter(|&&b| b == 0xFF).count()
+        };
+        assert_eq!(torn_of(5), torn_of(5));
+    }
+
+    #[test]
+    fn shared_injector_counts_across_disks() {
+        let inj = FaultInjector::new(1);
+        let mut a = FaultDisk::new(MemDisk::new(), inj.clone());
+        let mut b = FaultDisk::new(MemDisk::new(), inj.clone());
+        let pa = a.allocate().unwrap();
+        let pb = b.allocate().unwrap();
+        a.write(pa, &[1u8; PAGE_SIZE]).unwrap();
+        b.write(pb, &[2u8; PAGE_SIZE]).unwrap();
+        assert_eq!(inj.writes(), 2, "one counter spans both disks");
+    }
+
+    #[test]
+    fn read_fault_fires_once() {
+        let inj = FaultInjector::new(1);
+        let mut d = FaultDisk::new(MemDisk::new(), inj.clone());
+        let p = d.allocate().unwrap();
+        d.write(p, &[3u8; PAGE_SIZE]).unwrap();
+        inj.fail_at_read(0);
+        let mut buf = [0u8; PAGE_SIZE];
+        assert!(d.read(p, &mut buf).is_err());
+        d.read(p, &mut buf).unwrap();
+        assert_eq!(buf[0], 3);
+    }
+
+    #[test]
+    fn flip_bit_corrupts_silently() {
+        let inj = FaultInjector::new(1);
+        let mut d = FaultDisk::new(MemDisk::new(), inj);
+        let p = d.allocate().unwrap();
+        d.write(p, &[0u8; PAGE_SIZE]).unwrap();
+        d.flip_bit(p, 12345).unwrap();
+        let mut buf = [0u8; PAGE_SIZE];
+        d.read(p, &mut buf).unwrap();
+        assert_eq!(buf[12345 / 8], 1 << (12345 % 8));
+    }
+}

@@ -62,6 +62,23 @@ impl HeapFile {
         self.pages.len()
     }
 
+    /// The pages owned by this file, in insertion order.
+    pub fn pages(&self) -> &[PageId] {
+        &self.pages
+    }
+
+    /// Decompose into raw parts `(pages, records, bytes)` for a
+    /// durable catalog.
+    pub fn parts(&self) -> (Vec<PageId>, u64, u64) {
+        (self.pages.clone(), self.records, self.bytes)
+    }
+
+    /// Reassemble a heap file from [`HeapFile::parts`] output against
+    /// the same disk file.
+    pub fn from_parts(pages: Vec<PageId>, records: u64, bytes: u64) -> HeapFile {
+        HeapFile { pages, records, bytes }
+    }
+
     /// Insert a record; returns its stable id.
     pub fn insert<D: DiskManager>(
         &mut self,

@@ -35,6 +35,16 @@ impl TagIndex {
         })
     }
 
+    /// Wrap an existing B+-tree (catalog reopen path).
+    pub fn from_btree(tree: BTree) -> TagIndex {
+        TagIndex { tree }
+    }
+
+    /// The underlying B+-tree (for catalog persistence).
+    pub fn btree(&self) -> &BTree {
+        &self.tree
+    }
+
     fn key(tag: u32, code: &IntervalCode) -> Vec<u8> {
         KeyEncoder::pair(&KeyEncoder::u32(tag), &code.to_bytes())
     }
@@ -109,6 +119,16 @@ impl ContentIndex {
         Ok(ContentIndex {
             tree: BTree::create(pool)?,
         })
+    }
+
+    /// Wrap an existing B+-tree (catalog reopen path).
+    pub fn from_btree(tree: BTree) -> ContentIndex {
+        ContentIndex { tree }
+    }
+
+    /// The underlying B+-tree (for catalog persistence).
+    pub fn btree(&self) -> &BTree {
+        &self.tree
     }
 
     fn key(value: &str, node: u64) -> Vec<u8> {

@@ -1,6 +1,22 @@
 //! Slotted 8 KiB pages.
 //!
-//! Layout (all little-endian):
+//! Every on-disk page begins with a 16-byte *physical envelope* owned
+//! by the buffer pool (all little-endian):
+//!
+//! ```text
+//! 0..4    crc32          u32   over bytes 4..PAGE_SIZE
+//! 4..12   page LSN       u64   last WAL record that logged this page
+//! 12..16  reserved       u32
+//! ```
+//!
+//! The checksum is verified on every pool miss and stamped on every
+//! writeback, so bit rot surfaces as [`StorageError::Corrupt`] instead
+//! of silently wrong data. Consumers (heap files, B+-tree nodes) never
+//! see the envelope: the pool hands them only the
+//! [`PAGE_BODY`]-byte body slice.
+//!
+//! The slotted layout below lives inside that body (offsets relative
+//! to the body start):
 //!
 //! ```text
 //! 0..2   slot_count     u16
@@ -8,14 +24,16 @@
 //! 4..8   reserved       u32   (per-consumer header word, e.g. next-leaf)
 //! 8..    slot directory: per slot { offset u16, len u16 }
 //! ...    free space
-//! ...    cells (variable length), packed at the page tail
+//! ...    cells (variable length), packed at the buffer tail
 //! ```
 //!
 //! Slots are stable: deleting a record tombstones its slot (offset =
 //! `DEAD`), so `(page, slot)` record ids stay valid forever. Freed cell
 //! space is reclaimed by [`SlottedPage::compact`], which never renumbers
-//! slots.
+//! slots. [`SlottedPage`] works over any buffer length ≤ 64 KiB, so it
+//! is agnostic to the envelope's presence.
 
+use crate::crc::crc32;
 use crate::error::StorageError;
 use crate::Result;
 use std::fmt;
@@ -23,12 +41,53 @@ use std::fmt;
 /// Page size in bytes — 8 KiB, matching the paper's configuration.
 pub const PAGE_SIZE: usize = 8192;
 
+/// Bytes of the physical page envelope (checksum + LSN).
+pub const PAGE_HEADER: usize = 16;
+
+/// Usable body bytes per page, after the envelope.
+pub const PAGE_BODY: usize = PAGE_SIZE - PAGE_HEADER;
+
 const HEADER: usize = 8;
 const SLOT_BYTES: usize = 4;
 const DEAD: u16 = u16::MAX;
 
 /// Largest record a fresh page can hold.
-pub const MAX_RECORD: usize = PAGE_SIZE - HEADER - SLOT_BYTES;
+pub const MAX_RECORD: usize = PAGE_BODY - HEADER - SLOT_BYTES;
+
+/// Compute the checksum a full [`PAGE_SIZE`] buffer should carry.
+#[inline]
+pub fn page_checksum(page: &[u8]) -> u32 {
+    debug_assert_eq!(page.len(), PAGE_SIZE);
+    crc32(&page[4..])
+}
+
+/// Stamp the checksum into a full page buffer's envelope.
+pub fn stamp_page_checksum(page: &mut [u8]) {
+    let crc = page_checksum(page);
+    page[0..4].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Verify a full page buffer's checksum. A page of all zero bytes is
+/// accepted as valid (a freshly allocated, never-written page).
+pub fn verify_page_checksum(page: &[u8]) -> bool {
+    let stored = u32::from_le_bytes([page[0], page[1], page[2], page[3]]);
+    if stored == page_checksum(page) {
+        return true;
+    }
+    stored == 0 && page.iter().all(|&b| b == 0)
+}
+
+/// Read the page LSN from a full page buffer's envelope.
+#[inline]
+pub fn page_lsn(page: &[u8]) -> u64 {
+    u64::from_le_bytes(page[4..12].try_into().expect("envelope present"))
+}
+
+/// Write the page LSN into a full page buffer's envelope.
+#[inline]
+pub fn set_page_lsn(page: &mut [u8], lsn: u64) {
+    page[4..12].copy_from_slice(&lsn.to_le_bytes());
+}
 
 /// Identifier of a page within a disk file.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -56,17 +115,18 @@ pub struct SlottedPage<'a> {
 impl<'a> SlottedPage<'a> {
     /// Wrap an existing (already formatted) page buffer.
     pub fn new(buf: &'a mut [u8]) -> Self {
-        debug_assert_eq!(buf.len(), PAGE_SIZE);
+        debug_assert!(buf.len() >= HEADER && buf.len() <= u16::MAX as usize);
         SlottedPage { buf }
     }
 
     /// Format a fresh page: zero slots, the whole tail free.
     pub fn format(buf: &'a mut [u8]) -> Self {
-        debug_assert_eq!(buf.len(), PAGE_SIZE);
+        debug_assert!(buf.len() >= HEADER && buf.len() <= u16::MAX as usize);
         buf[..HEADER].fill(0);
+        let end = buf.len() as u16;
         let mut p = SlottedPage { buf };
         p.set_slot_count(0);
-        p.set_free_end(PAGE_SIZE as u16);
+        p.set_free_end(end);
         p
     }
 
@@ -135,7 +195,7 @@ impl<'a> SlottedPage<'a> {
                 live += len as usize;
             }
         }
-        (PAGE_SIZE - self.free_end() as usize).saturating_sub(live)
+        (self.buf.len() - self.free_end() as usize).saturating_sub(live)
     }
 
     /// Whether a record of `len` bytes fits (accounting for a possible
@@ -244,7 +304,7 @@ impl<'a> SlottedPage<'a> {
                 cells.push((s, d.to_vec()));
             }
         }
-        let mut end = PAGE_SIZE;
+        let mut end = self.buf.len();
         for (s, d) in &cells {
             end -= d.len();
             self.buf[end..end + d.len()].copy_from_slice(d);
@@ -262,7 +322,7 @@ pub struct SlottedRead<'a> {
 impl<'a> SlottedRead<'a> {
     /// Wrap an existing formatted page buffer.
     pub fn new(buf: &'a [u8]) -> Self {
-        debug_assert_eq!(buf.len(), PAGE_SIZE);
+        debug_assert!(buf.len() >= HEADER && buf.len() <= u16::MAX as usize);
         SlottedRead { buf }
     }
 
@@ -307,7 +367,8 @@ mod tests {
     use super::*;
 
     fn fresh() -> Vec<u8> {
-        vec![0u8; PAGE_SIZE]
+        // Body-sized, as handed out by the buffer pool.
+        vec![0u8; PAGE_BODY]
     }
 
     #[test]

@@ -2,11 +2,22 @@
 //! surface as typed errors, never panics or silent corruption.
 
 use mct_storage::{
-    BTree, BufferPool, HeapFile, MemDisk, PageId, RecordId, StorageError, PAGE_SIZE,
+    BTree, BufferPool, ContentIndex, FaultDisk, FaultInjector, HeapFile, MemDisk, PageId, RecordId,
+    StorageError, TagIndex, PAGE_SIZE,
 };
 
 fn pool() -> BufferPool<MemDisk> {
     BufferPool::new(MemDisk::new(), 32 * PAGE_SIZE)
+}
+
+/// Pool over a fault-injected in-memory disk.
+fn faulty_pool(frames: usize) -> (BufferPool<FaultDisk<MemDisk>>, FaultInjector) {
+    let inj = FaultInjector::new(0xDEAD);
+    let pool = BufferPool::new(
+        FaultDisk::new(MemDisk::new(), inj.clone()),
+        frames * PAGE_SIZE,
+    );
+    (pool, inj)
 }
 
 #[test]
@@ -87,6 +98,159 @@ fn btree_handles_empty_and_duplicate_heavy_keys() {
     assert_eq!(t.get(&mut p, b"hot").unwrap(), Some(9_999));
     assert_eq!(t.len(), 2);
     assert!(t.page_count() <= 2, "overwrites must not leak pages");
+}
+
+// ----- scheduled I/O faults: every structure reports, none panic ------------
+
+/// Drive an operation repeatedly with a read fault scheduled at every
+/// successive read index until one run completes without the fault
+/// firing. Each faulted run must return a typed error (never panic),
+/// and the structure must stay usable afterwards.
+fn exhaust_read_faults<T>(
+    inj: &FaultInjector,
+    mut op: impl FnMut() -> mct_storage::Result<T>,
+) -> u64 {
+    let mut faulted = 0;
+    loop {
+        let base = inj.reads();
+        inj.fail_at_read(base + faulted);
+        match op() {
+            Err(StorageError::Io(_)) => faulted += 1,
+            Err(e) => panic!("expected injected Io error, got {e:?}"),
+            Ok(_) => {
+                inj.disarm();
+                return faulted;
+            }
+        }
+    }
+}
+
+#[test]
+fn heap_reports_read_and_write_faults() {
+    let (mut p, inj) = faulty_pool(4);
+    let mut h = HeapFile::new();
+    let mut ids = Vec::new();
+    let rec = |i: u32| {
+        let mut r = vec![0u8; 500];
+        r[..4].copy_from_slice(&i.to_le_bytes());
+        r
+    };
+    for i in 0..200u32 {
+        ids.push(h.insert(&mut p, &rec(i)).unwrap());
+    }
+    p.evict_all().unwrap();
+    // Cold reads with a fault at every read index in turn.
+    let faulted = exhaust_read_faults(&inj, || h.get(&mut p, ids[100]));
+    assert!(faulted > 0, "cold heap get must read from disk");
+    assert_eq!(h.get(&mut p, ids[100]).unwrap(), rec(100));
+    // A write fault during eviction: the heap spans far more pages
+    // than the pool holds, so inserts force dirty-frame flushes.
+    inj.fail_at_write(inj.writes());
+    let mut err = None;
+    for i in 200..400u32 {
+        if let Err(e) = h.insert(&mut p, &rec(i)) {
+            err = Some(e);
+            break;
+        }
+    }
+    let err = err.expect("eviction write fault must surface");
+    assert!(matches!(err, StorageError::Io(_)), "typed error: {err:?}");
+    // The engine is still alive after the clean failure.
+    inj.disarm();
+    let id = h.insert(&mut p, b"post-fault").unwrap();
+    assert_eq!(h.get(&mut p, id).unwrap(), b"post-fault");
+
+}
+
+#[test]
+fn tag_index_reports_read_faults() {
+    use mct_storage::IntervalCode;
+    let (mut p, inj) = faulty_pool(4);
+    let mut t = TagIndex::create(&mut p).unwrap();
+    for i in 0..500u32 {
+        let code = IntervalCode {
+            start: i * 8,
+            end: i * 8 + 7,
+            level: 2,
+        };
+        t.insert(&mut p, i % 7, code, u64::from(i)).unwrap();
+    }
+    p.evict_all().unwrap();
+    let faulted = exhaust_read_faults(&inj, || t.postings(&mut p, 3));
+    assert!(faulted > 1, "postings scan descends and walks leaves");
+    let posts = t.postings(&mut p, 3).unwrap();
+    let expected = (0..500u32).filter(|i| i % 7 == 3).count();
+    assert_eq!(posts.len(), expected);
+}
+
+#[test]
+fn content_index_reports_read_faults() {
+    let (mut p, inj) = faulty_pool(4);
+    let mut idx = ContentIndex::create(&mut p).unwrap();
+    for i in 0..500u32 {
+        idx.insert(&mut p, &format!("value-{}", i % 50), u64::from(i))
+            .unwrap();
+    }
+    p.evict_all().unwrap();
+    let faulted = exhaust_read_faults(&inj, || idx.lookup(&mut p, "value-17"));
+    assert!(faulted > 0);
+    assert_eq!(idx.lookup(&mut p, "value-17").unwrap().len(), 10);
+}
+
+#[test]
+fn btree_reports_write_faults_on_split() {
+    let (mut p, inj) = faulty_pool(4);
+    let mut t = BTree::create(&mut p).unwrap();
+    // Grow until evictions happen constantly, failing one write.
+    inj.fail_at_write(8);
+    let mut err = None;
+    for i in 0..5_000u64 {
+        if let Err(e) = t.insert(&mut p, &i.to_be_bytes(), i) {
+            err = Some(e);
+            break;
+        }
+    }
+    let err = err.expect("write fault must surface through the tree");
+    assert!(matches!(err, StorageError::Io(_)), "typed error: {err:?}");
+    inj.disarm();
+    // Still insertable and readable afterwards.
+    t.insert(&mut p, b"recovered", 1).unwrap();
+    assert_eq!(t.get(&mut p, b"recovered").unwrap(), Some(1));
+}
+
+#[test]
+fn pool_eviction_write_fault_keeps_page_dirty() {
+    let (mut p, inj) = faulty_pool(2); // clamped to the 8-frame minimum
+    let a = p.allocate().unwrap();
+    p.with_page_mut(a, |b| b[0] = 0xAB).unwrap();
+    // Fail the flush of `a` during eviction pressure.
+    inj.fail_at_write(inj.writes());
+    let mut failures = 0;
+    for _ in 0..2 * p.capacity() {
+        if p.allocate().is_err() {
+            failures += 1;
+        }
+    }
+    assert!(failures > 0, "eviction flush fault must surface");
+    inj.disarm();
+    // The dirtied byte was not lost: the frame stayed dirty and the
+    // next successful flush persists it.
+    p.evict_all().unwrap();
+    p.with_page(a, |b| assert_eq!(b[0], 0xAB)).unwrap();
+}
+
+#[test]
+fn bit_flip_under_the_pool_reads_as_corrupt() {
+    let (mut p, _inj) = faulty_pool(8);
+    let mut h = HeapFile::new();
+    let id = h.insert(&mut p, b"precious bytes").unwrap();
+    p.evict_all().unwrap();
+    p.disk_mut().flip_bit(id.page, 900 * 8).unwrap();
+    let r = h.get(&mut p, id);
+    assert!(
+        matches!(r, Err(StorageError::Corrupt(_))),
+        "flipped bit must fail the page checksum, got {r:?}"
+    );
 }
 
 #[test]

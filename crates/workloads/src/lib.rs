@@ -19,6 +19,7 @@
 pub mod movies;
 pub mod plans;
 pub mod queries;
+pub mod rng;
 pub mod schemas;
 pub mod sigmod;
 pub mod tpcw;

@@ -14,6 +14,7 @@
 //!   (skipped by the `*D` variants, exactly like the paper's Table 2).
 
 use crate::queries::{Params, SchemaKind};
+use mct_storage::DiskManager;
 use mct_core::{ColorId, McNodeId, StoredDb, StructRef};
 use mct_query::ops::{
     cross_tree_op, dup_elim, index_scan, select_attr_eq, select_contains, select_content_eq,
@@ -33,8 +34,8 @@ pub struct PlanOutcome {
 
 /// Run a read query's plan. `dedup` = apply duplicate elimination
 /// (false reproduces the `*D` rows of Table 2).
-pub fn run_read(
-    s: &mut StoredDb,
+pub fn run_read<D: DiskManager>(
+    s: &mut StoredDb<D>,
     id: &str,
     schema: SchemaKind,
     p: &Params,
@@ -72,8 +73,8 @@ pub fn run_read(
 
 /// Run an update via its (schema-specific) parsed text through the
 /// two-phase update executor.
-pub fn run_update(
-    s: &mut StoredDb,
+pub fn run_update<D: DiskManager>(
+    s: &mut StoredDb<D>,
     wq: &crate::queries::WorkloadQuery,
     schema: SchemaKind,
 ) -> R<PlanOutcome> {
@@ -100,13 +101,13 @@ pub fn run_update(
 // Plan building blocks
 // ---------------------------------------------------------------------------
 
-fn color(s: &StoredDb, name: &str) -> ColorId {
+fn color<D: DiskManager>(s: &StoredDb<D>, name: &str) -> ColorId {
     s.db.color(name)
         .unwrap_or_else(|| panic!("color {name} missing"))
 }
 
 /// Single-column tuples for a node set, coded in `c`, start-sorted.
-fn to_tuples(s: &mut StoredDb, nodes: Vec<McNodeId>, c: ColorId) -> Vec<Tuple> {
+fn to_tuples<D: DiskManager>(s: &mut StoredDb<D>, nodes: Vec<McNodeId>, c: ColorId) -> Vec<Tuple> {
     s.db.ensure_annotated(c);
     let mut out: Vec<Tuple> = nodes
         .into_iter()
@@ -117,7 +118,7 @@ fn to_tuples(s: &mut StoredDb, nodes: Vec<McNodeId>, c: ColorId) -> Vec<Tuple> {
 }
 
 /// Content-index lookup restricted to elements named `elem`.
-fn by_content(s: &mut StoredDb, value: &str, elem: &str, c: ColorId) -> R<Vec<Tuple>> {
+fn by_content<D: DiskManager>(s: &mut StoredDb<D>, value: &str, elem: &str, c: ColorId) -> R<Vec<Tuple>> {
     let hits = s.content_lookup(value)?;
     let filtered: Vec<McNodeId> = hits
         .into_iter()
@@ -127,7 +128,7 @@ fn by_content(s: &mut StoredDb, value: &str, elem: &str, c: ColorId) -> R<Vec<Tu
 }
 
 /// Replace `col` with its parent in `c`; drop tuples without one.
-fn parents(s: &mut StoredDb, input: Vec<Tuple>, col: usize, c: ColorId) -> Vec<Tuple> {
+fn parents<D: DiskManager>(s: &mut StoredDb<D>, input: Vec<Tuple>, col: usize, c: ColorId) -> Vec<Tuple> {
     s.db.ensure_annotated(c);
     let mut out = Vec::with_capacity(input.len());
     for mut t in input {
@@ -146,7 +147,7 @@ fn parents(s: &mut StoredDb, input: Vec<Tuple>, col: usize, c: ColorId) -> Vec<T
 
 /// Expand each tuple once per `name`-child (in `c`) of column `col`;
 /// the child is appended as a new column.
-fn children_named(s: &mut StoredDb, input: Vec<Tuple>, col: usize, c: ColorId, name: &str) -> Vec<Tuple> {
+fn children_named<D: DiskManager>(s: &mut StoredDb<D>, input: Vec<Tuple>, col: usize, c: ColorId, name: &str) -> Vec<Tuple> {
     s.db.ensure_annotated(c);
     let mut out = Vec::new();
     for t in input {
@@ -166,8 +167,8 @@ fn children_named(s: &mut StoredDb, input: Vec<Tuple>, col: usize, c: ColorId, n
 }
 
 /// Expand each tuple once per `name`-descendant (in `c`) of `col`.
-fn descendants_named(
-    s: &mut StoredDb,
+fn descendants_named<D: DiskManager>(
+    s: &mut StoredDb<D>,
     input: Vec<Tuple>,
     col: usize,
     c: ColorId,
@@ -200,7 +201,7 @@ fn last_col(input: Vec<Tuple>) -> Vec<Tuple> {
 }
 
 /// Distinct by the fetched content of the last column.
-fn distinct_by_content(s: &mut StoredDb, input: Vec<Tuple>) -> R<usize> {
+fn distinct_by_content<D: DiskManager>(s: &mut StoredDb<D>, input: Vec<Tuple>) -> R<usize> {
     let mut seen = std::collections::HashSet::new();
     for t in &input {
         let v = s.fetch_content(t.last().unwrap().node)?.unwrap_or_default();
@@ -213,7 +214,7 @@ fn distinct_by_content(s: &mut StoredDb, input: Vec<Tuple>) -> R<usize> {
 // TPC-W reads
 // ---------------------------------------------------------------------------
 
-fn tq1(s: &mut StoredDb, schema: SchemaKind, p: &Params) -> R<usize> {
+fn tq1<D: DiskManager>(s: &mut StoredDb<D>, schema: SchemaKind, p: &Params) -> R<usize> {
     let c = match schema {
         SchemaKind::Mct => color(s, "cust"),
         _ => color(s, "black"),
@@ -224,7 +225,7 @@ fn tq1(s: &mut StoredDb, schema: SchemaKind, p: &Params) -> R<usize> {
     Ok(names.len())
 }
 
-fn tq2(s: &mut StoredDb, schema: SchemaKind, p: &Params) -> R<usize> {
+fn tq2<D: DiskManager>(s: &mut StoredDb<D>, schema: SchemaKind, p: &Params) -> R<usize> {
     let c = match schema {
         SchemaKind::Mct => color(s, "cust"),
         _ => color(s, "black"),
@@ -234,7 +235,7 @@ fn tq2(s: &mut StoredDb, schema: SchemaKind, p: &Params) -> R<usize> {
     Ok(parents(s, hot, 0, c).len())
 }
 
-fn tq3(s: &mut StoredDb, schema: SchemaKind, p: &Params) -> R<usize> {
+fn tq3<D: DiskManager>(s: &mut StoredDb<D>, schema: SchemaKind, p: &Params) -> R<usize> {
     match schema {
         SchemaKind::Mct => {
             let cust = color(s, "cust");
@@ -282,7 +283,7 @@ fn tq3(s: &mut StoredDb, schema: SchemaKind, p: &Params) -> R<usize> {
 }
 
 /// Count distinct item titles (TQ3's projection).
-fn distinct_by_title(s: &mut StoredDb, items: Vec<Tuple>) -> R<usize> {
+fn distinct_by_title<D: DiskManager>(s: &mut StoredDb<D>, items: Vec<Tuple>) -> R<usize> {
     let c = first_color_of(s, &items);
     let titles = match c {
         Some(c) => last_col(children_named(s, items, 0, c, "title")),
@@ -291,13 +292,13 @@ fn distinct_by_title(s: &mut StoredDb, items: Vec<Tuple>) -> R<usize> {
     distinct_by_content(s, titles)
 }
 
-fn first_color_of(s: &StoredDb, tuples: &[Tuple]) -> Option<ColorId> {
+fn first_color_of<D: DiskManager>(s: &StoredDb<D>, tuples: &[Tuple]) -> Option<ColorId> {
     tuples
         .first()
         .and_then(|t| s.db.colors(t[0].node).iter().next())
 }
 
-fn tq4(s: &mut StoredDb, schema: SchemaKind, p: &Params) -> R<usize> {
+fn tq4<D: DiskManager>(s: &mut StoredDb<D>, schema: SchemaKind, p: &Params) -> R<usize> {
     let c = match schema {
         SchemaKind::Mct => color(s, "cust"),
         _ => color(s, "black"),
@@ -307,7 +308,7 @@ fn tq4(s: &mut StoredDb, schema: SchemaKind, p: &Params) -> R<usize> {
     Ok(parents(s, hit, 0, c).len())
 }
 
-fn tq5(s: &mut StoredDb, schema: SchemaKind, p: &Params) -> R<usize> {
+fn tq5<D: DiskManager>(s: &mut StoredDb<D>, schema: SchemaKind, p: &Params) -> R<usize> {
     let c = match schema {
         SchemaKind::Mct => color(s, "cust"),
         _ => color(s, "black"),
@@ -322,7 +323,7 @@ fn tq5(s: &mut StoredDb, schema: SchemaKind, p: &Params) -> R<usize> {
     Ok(dup_elim(custs, &[0]).len())
 }
 
-fn tq6(s: &mut StoredDb, schema: SchemaKind, p: &Params) -> R<usize> {
+fn tq6<D: DiskManager>(s: &mut StoredDb<D>, schema: SchemaKind, p: &Params) -> R<usize> {
     let c = match schema {
         SchemaKind::Mct => color(s, "cust"),
         _ => color(s, "black"),
@@ -332,7 +333,7 @@ fn tq6(s: &mut StoredDb, schema: SchemaKind, p: &Params) -> R<usize> {
     Ok(parents(s, hit, 0, c).len())
 }
 
-fn tq7(s: &mut StoredDb, schema: SchemaKind, dedup: bool) -> R<usize> {
+fn tq7<D: DiskManager>(s: &mut StoredDb<D>, schema: SchemaKind, dedup: bool) -> R<usize> {
     match schema {
         SchemaKind::Mct => {
             let auth = color(s, "auth");
@@ -361,7 +362,7 @@ fn tq7(s: &mut StoredDb, schema: SchemaKind, dedup: bool) -> R<usize> {
     }
 }
 
-fn tq8(s: &mut StoredDb, schema: SchemaKind) -> R<usize> {
+fn tq8<D: DiskManager>(s: &mut StoredDb<D>, schema: SchemaKind) -> R<usize> {
     let c = match schema {
         SchemaKind::Mct => color(s, "cust"),
         _ => color(s, "black"),
@@ -371,7 +372,7 @@ fn tq8(s: &mut StoredDb, schema: SchemaKind) -> R<usize> {
     Ok(1) // a single aggregate row
 }
 
-fn tq9(s: &mut StoredDb, schema: SchemaKind, p: &Params) -> R<usize> {
+fn tq9<D: DiskManager>(s: &mut StoredDb<D>, schema: SchemaKind, p: &Params) -> R<usize> {
     match schema {
         SchemaKind::Mct => {
             let auth = color(s, "auth");
@@ -404,7 +405,7 @@ fn tq9(s: &mut StoredDb, schema: SchemaKind, p: &Params) -> R<usize> {
     }
 }
 
-fn tq10(s: &mut StoredDb, schema: SchemaKind, p: &Params) -> R<usize> {
+fn tq10<D: DiskManager>(s: &mut StoredDb<D>, schema: SchemaKind, p: &Params) -> R<usize> {
     match schema {
         SchemaKind::Mct => {
             let ship = color(s, "ship");
@@ -469,7 +470,7 @@ fn tq10(s: &mut StoredDb, schema: SchemaKind, p: &Params) -> R<usize> {
     }
 }
 
-fn tq11(s: &mut StoredDb, schema: SchemaKind, p: &Params) -> R<usize> {
+fn tq11<D: DiskManager>(s: &mut StoredDb<D>, schema: SchemaKind, p: &Params) -> R<usize> {
     match schema {
         SchemaKind::Mct => {
             let auth = color(s, "auth");
@@ -510,7 +511,7 @@ fn tq11(s: &mut StoredDb, schema: SchemaKind, p: &Params) -> R<usize> {
     }
 }
 
-fn tq12(s: &mut StoredDb, schema: SchemaKind, p: &Params, dedup: bool) -> R<usize> {
+fn tq12<D: DiskManager>(s: &mut StoredDb<D>, schema: SchemaKind, p: &Params, dedup: bool) -> R<usize> {
     match schema {
         SchemaKind::Mct => {
             let cust = color(s, "cust");
@@ -567,11 +568,11 @@ fn tq12(s: &mut StoredDb, schema: SchemaKind, p: &Params, dedup: bool) -> R<usiz
     }
 }
 
-fn tq13(s: &mut StoredDb, schema: SchemaKind, p: &Params) -> R<usize> {
+fn tq13<D: DiskManager>(s: &mut StoredDb<D>, schema: SchemaKind, p: &Params) -> R<usize> {
     shipped_to_city_lines(s, schema, &p.city)
 }
 
-fn shipped_to_city_lines(s: &mut StoredDb, schema: SchemaKind, city: &str) -> R<usize> {
+fn shipped_to_city_lines<D: DiskManager>(s: &mut StoredDb<D>, schema: SchemaKind, city: &str) -> R<usize> {
     match schema {
         SchemaKind::Mct => {
             let ship = color(s, "ship");
@@ -609,7 +610,7 @@ fn shipped_to_city_lines(s: &mut StoredDb, schema: SchemaKind, city: &str) -> R<
     }
 }
 
-fn tq14(s: &mut StoredDb, schema: SchemaKind, p: &Params) -> R<usize> {
+fn tq14<D: DiskManager>(s: &mut StoredDb<D>, schema: SchemaKind, p: &Params) -> R<usize> {
     match schema {
         SchemaKind::Mct => {
             let date = color(s, "date");
@@ -644,7 +645,7 @@ fn tq14(s: &mut StoredDb, schema: SchemaKind, p: &Params) -> R<usize> {
     }
 }
 
-fn tq15(s: &mut StoredDb, schema: SchemaKind, p: &Params) -> R<usize> {
+fn tq15<D: DiskManager>(s: &mut StoredDb<D>, schema: SchemaKind, p: &Params) -> R<usize> {
     match schema {
         SchemaKind::Mct => {
             let bill = color(s, "bill");
@@ -687,7 +688,7 @@ fn tq15(s: &mut StoredDb, schema: SchemaKind, p: &Params) -> R<usize> {
     }
 }
 
-fn tq16(s: &mut StoredDb, schema: SchemaKind, p: &Params) -> R<usize> {
+fn tq16<D: DiskManager>(s: &mut StoredDb<D>, schema: SchemaKind, p: &Params) -> R<usize> {
     match schema {
         SchemaKind::Mct => {
             let auth = color(s, "auth");
@@ -747,7 +748,7 @@ fn tq16(s: &mut StoredDb, schema: SchemaKind, p: &Params) -> R<usize> {
 // SIGMOD-Record reads
 // ---------------------------------------------------------------------------
 
-fn sq1(s: &mut StoredDb, schema: SchemaKind, p: &Params) -> R<usize> {
+fn sq1<D: DiskManager>(s: &mut StoredDb<D>, schema: SchemaKind, p: &Params) -> R<usize> {
     let c = match schema {
         SchemaKind::Mct => color(s, "date"),
         _ => color(s, "black"),
@@ -756,7 +757,7 @@ fn sq1(s: &mut StoredDb, schema: SchemaKind, p: &Params) -> R<usize> {
     Ok(parents(s, titles, 0, c).len())
 }
 
-fn sq2(s: &mut StoredDb, schema: SchemaKind, p: &Params) -> R<usize> {
+fn sq2<D: DiskManager>(s: &mut StoredDb<D>, schema: SchemaKind, p: &Params) -> R<usize> {
     match schema {
         SchemaKind::Mct | SchemaKind::Deep => {
             let c = match schema {
@@ -784,7 +785,7 @@ fn sq2(s: &mut StoredDb, schema: SchemaKind, p: &Params) -> R<usize> {
     }
 }
 
-fn sq3(s: &mut StoredDb, schema: SchemaKind, p: &Params) -> R<usize> {
+fn sq3<D: DiskManager>(s: &mut StoredDb<D>, schema: SchemaKind, p: &Params) -> R<usize> {
     match schema {
         SchemaKind::Mct | SchemaKind::Deep => {
             let c = match schema {
@@ -812,7 +813,7 @@ fn sq3(s: &mut StoredDb, schema: SchemaKind, p: &Params) -> R<usize> {
     }
 }
 
-fn sq4(s: &mut StoredDb, schema: SchemaKind, dedup: bool) -> R<usize> {
+fn sq4<D: DiskManager>(s: &mut StoredDb<D>, schema: SchemaKind, dedup: bool) -> R<usize> {
     let c = match schema {
         SchemaKind::Mct => color(s, "editor"),
         _ => color(s, "black"),
@@ -825,7 +826,7 @@ fn sq4(s: &mut StoredDb, schema: SchemaKind, dedup: bool) -> R<usize> {
     }
 }
 
-fn sq5(s: &mut StoredDb, schema: SchemaKind, p: &Params) -> R<usize> {
+fn sq5<D: DiskManager>(s: &mut StoredDb<D>, schema: SchemaKind, p: &Params) -> R<usize> {
     match schema {
         SchemaKind::Mct => {
             let c = color(s, "editor");

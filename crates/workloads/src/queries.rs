@@ -106,7 +106,14 @@ impl Params {
             qty: 3,
             status: "SHIPPED".to_string(),
             cost_hi: 10_000,
-            cost_very_hi: 19_000,
+            // ~95th percentile of actual item costs (capped below the
+            // max so a strict > comparison always matches something).
+            cost_very_hi: {
+                let mut costs: Vec<u32> = tpcw.items.iter().map(|i| i.cost).collect();
+                costs.sort_unstable();
+                let max = *costs.last().expect("tpcw data has items");
+                costs[costs.len() - 1 - costs.len() / 20].min(max.saturating_sub(1))
+            },
             author: tpcw.authors[0].name.clone(),
             author2: tpcw.authors[1].name.clone(),
             city: tpcw.addresses[0].city.clone(),

@@ -1,0 +1,148 @@
+//! A small, dependency-free pseudo-random number generator.
+//!
+//! The workload generators only need a seeded, deterministic stream of
+//! uniform integers — not cryptographic quality — so an xorshift64*
+//! generator (Vigna, "An experimental exploration of Marsaglia's
+//! xorshift generators, scrambled") is plenty. Keeping it in-tree means
+//! `cargo build` needs no network access and generated datasets are
+//! reproducible byte-for-byte across toolchains.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seeded xorshift64* generator.
+///
+/// The API mirrors the subset of `rand::Rng` the workloads use
+/// (`seed_from_u64`, `gen_range`), so generator code reads the same.
+#[derive(Clone, Debug)]
+pub struct XorShiftRng {
+    state: u64,
+}
+
+impl XorShiftRng {
+    /// Create a generator from a seed. Seeds are scrambled through a
+    /// splitmix64 round so that small consecutive seeds (0, 1, 2, …)
+    /// yield uncorrelated streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        // splitmix64 finalizer; also guarantees a non-zero state.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        XorShiftRng {
+            state: if z == 0 { 0x4D59_5DF4_D0F3_3173 } else { z },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `0..bound` (`bound > 0`), by widening multiply.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
+    }
+
+    /// Uniform value in an integer range, like `rand::Rng::gen_range`.
+    ///
+    /// # Panics
+    /// Panics on an empty range.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        let threshold = (p.clamp(0.0, 1.0) * (u64::MAX as f64)) as u64;
+        self.next_u64() <= threshold
+    }
+}
+
+/// Integer ranges [`XorShiftRng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draw a uniform sample.
+    fn sample(self, rng: &mut XorShiftRng) -> Self::Output;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut XorShiftRng) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.next_below(span) as i128) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut XorShiftRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range on empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + rng.next_below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = XorShiftRng::seed_from_u64(7);
+        let mut b = XorShiftRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = XorShiftRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = XorShiftRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let v = r.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w = r.gen_range(1..=5u32);
+            assert!((1..=5).contains(&w));
+            let n = r.gen_range(0..3usize);
+            assert!(n < 3);
+            let s = r.gen_range(-5..5i64);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut r = XorShiftRng::seed_from_u64(1);
+        let mut buckets = [0u32; 10];
+        for _ in 0..100_000 {
+            buckets[r.gen_range(0..10usize)] += 1;
+        }
+        for &b in &buckets {
+            assert!((8_000..12_000).contains(&b), "skewed bucket: {b}");
+        }
+    }
+
+    #[test]
+    fn single_value_inclusive_range() {
+        let mut r = XorShiftRng::seed_from_u64(3);
+        assert_eq!(r.gen_range(4..=4), 4);
+    }
+}

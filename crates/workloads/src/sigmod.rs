@@ -17,8 +17,7 @@
 //!   inside every article.
 
 use mct_core::{ColorId, McNodeId, MctDatabase};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::XorShiftRng;
 
 /// Generator configuration.
 #[derive(Clone, Copy, Debug)]
@@ -108,7 +107,7 @@ const AREAS: &[&str] = &[
 impl SigmodData {
     /// Generate the entity graph.
     pub fn generate(cfg: &SigmodConfig) -> SigmodData {
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut rng = XorShiftRng::seed_from_u64(cfg.seed);
         let n_articles = ((2000.0 * cfg.scale) as usize).max(40);
         let n_issues = (n_articles / 25).max(4);
         let n_editors = 10usize.min(n_issues);
@@ -139,7 +138,7 @@ impl SigmodData {
             .collect();
         let articles: Vec<Article> = (0..n_articles)
             .map(|i| {
-                let init = rng.gen_range(1..200);
+                let init = rng.gen_range(1u32..200);
                 let n_auth = rng.gen_range(1..=3);
                 Article {
                     title: format!(
@@ -149,7 +148,7 @@ impl SigmodData {
                         format_args!("Workload {i}"),
                     ),
                     init_page: init,
-                    end_page: init + rng.gen_range(5..25),
+                    end_page: init + rng.gen_range(5u32..25),
                     authors: (0..n_auth).map(|a| format!("Author {}-{a}", i % 97)).collect(),
                     issue: rng.gen_range(0..n_issues),
                     topic: rng.gen_range(0..topics.len()),

@@ -27,8 +27,7 @@
 //! [`TpcwConfig::scale`].
 
 use mct_core::{ColorId, McNodeId, MctDatabase};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::XorShiftRng;
 
 /// Generator configuration.
 #[derive(Clone, Copy, Debug)]
@@ -161,7 +160,7 @@ const STATUSES: &[&str] = &["PENDING", "PROCESSING", "SHIPPED", "DELIVERED", "CA
 impl TpcwData {
     /// Generate the entity graph.
     pub fn generate(cfg: &TpcwConfig) -> TpcwData {
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut rng = XorShiftRng::seed_from_u64(cfg.seed);
         let s = cfg.scale;
         let n_countries = 92usize;
         let n_authors = ((500.0 * s) as usize).max(10);
@@ -195,7 +194,7 @@ impl TpcwData {
             .map(|i| Item {
                 title: format!("The {} of {} (vol. {})", NOUNS[i % NOUNS.len()],
                     FIRST[(i * 7) % FIRST.len()], i),
-                cost: rng.gen_range(100..20000),
+                cost: rng.gen_range(100u32..20000),
                 desc: format!(
                     "A {} account of the {} that travels from {} to {}, tracing how the \
                      {} reshaped everything its keepers believed about the {}. Vol {i}.",
@@ -236,7 +235,7 @@ impl TpcwData {
                     bill_addr: customer * 2,
                     ship_addr: customer * 2 + 1,
                     date: rng.gen_range(0..n_dates),
-                    total: rng.gen_range(500..100000),
+                    total: rng.gen_range(500u32..100000),
                     status: STATUSES[rng.gen_range(0..STATUSES.len())],
                 }
             })
@@ -258,7 +257,7 @@ impl TpcwData {
                 orderlines.push(OrderLine {
                     order: oi,
                     item,
-                    qty: rng.gen_range(1..=9),
+                    qty: rng.gen_range(1u32..=9),
                 });
             }
         }

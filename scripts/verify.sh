@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Full local verification: everything CI runs, in the same order.
+# Usage: scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> build (release)"
+cargo build --release --workspace --offline
+
+echo "==> tests"
+cargo test --workspace --offline -q
+
+echo "==> clippy (-D warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "OK: all checks passed"

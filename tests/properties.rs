@@ -1,73 +1,77 @@
-//! Property-based tests over the core invariants, with `proptest`.
+//! Randomized property tests over the core invariants.
+//!
+//! Cases are generated with the in-tree seeded [`XorShiftRng`] rather
+//! than an external property-testing crate, so the suite runs fully
+//! offline and every case is reproducible from its printed seed.
 
 use colorful_xml::core::{ColorId, McNodeId, MctDatabase, StoredDb};
+use colorful_xml::query::ops::{naive_structural_join, structural_join, Rel, Tuple};
 use colorful_xml::query::plan::plan_path;
 use colorful_xml::query::{eval, parse_query, EvalContext, Expr, Item};
-use colorful_xml::query::ops::{naive_structural_join, structural_join, Rel, Tuple};
 use colorful_xml::serialize::{emit_exchange, reconstruct, SerializationScheme};
 use colorful_xml::storage::{BTree, BufferPool, IntervalCode, MemDisk, PAGE_SIZE};
 use colorful_xml::xml::{parse, write_document, Document, NodeId, WriteOptions};
 use mct_core::StructRef;
-use proptest::prelude::*;
+use mct_workloads::rng::XorShiftRng;
 
 // ---------------------------------------------------------------------------
 // XML parse/write round trip
 // ---------------------------------------------------------------------------
 
-/// A small recursive generator of data-centric XML documents.
-fn arb_tree() -> impl Strategy<Value = Document> {
-    // Encode a tree shape as nested vectors of (name index, text, children).
-    #[derive(Clone, Debug)]
-    struct N(usize, String, Vec<N>);
-    fn arb_n(depth: u32) -> BoxedStrategy<N> {
-        let name = 0usize..6;
-        let text = "[a-zA-Z0-9 .&<>'\"-]{0,12}";
-        if depth == 0 {
-            (name, text).prop_map(|(n, t)| N(n, t, vec![])).boxed()
-        } else {
-            (name, text, prop::collection::vec(arb_n(depth - 1), 0..4))
-                .prop_map(|(n, t, c)| N(n, t, c))
-                .boxed()
+/// Random data-centric XML document: up to 4 levels, fan-out ≤ 3,
+/// names from a small alphabet, text drawn from characters that need
+/// escaping as often as not.
+fn gen_tree(rng: &mut XorShiftRng) -> Document {
+    const NAMES: [&str; 6] = ["a", "b", "movie", "name", "item", "order"];
+    const TEXT_CHARS: &[u8] = b"abcXYZ019 .&<>'\"-";
+    fn gen_text(rng: &mut XorShiftRng) -> String {
+        let len = rng.gen_range(0..12usize);
+        (0..len)
+            .map(|_| TEXT_CHARS[rng.gen_range(0..TEXT_CHARS.len())] as char)
+            .collect()
+    }
+    fn build(doc: &mut Document, parent: NodeId, depth: u32, rng: &mut XorShiftRng) {
+        let e = doc.create_element(NAMES[rng.gen_range(0..NAMES.len())]);
+        doc.append_child(parent, e);
+        let text = gen_text(rng);
+        if !text.trim().is_empty() {
+            let t = doc.create_text(&text);
+            doc.append_child(e, t);
+        }
+        if depth > 0 {
+            for _ in 0..rng.gen_range(0..4u32) {
+                build(doc, e, depth - 1, rng);
+            }
         }
     }
-    arb_n(3).prop_map(|root| {
-        const NAMES: [&str; 6] = ["a", "b", "movie", "name", "item", "order"];
-        fn build(doc: &mut Document, parent: NodeId, n: &N) {
-            let e = doc.create_element(NAMES[n.0]);
-            doc.append_child(parent, e);
-            if !n.1.trim().is_empty() {
-                let t = doc.create_text(&n.1);
-                doc.append_child(e, t);
-            }
-            for c in &n.2 {
-                build(doc, e, c);
-            }
-        }
-        let mut doc = Document::new();
-        build(&mut doc, NodeId::DOCUMENT, &root);
-        doc
-    })
+    let mut doc = Document::new();
+    build(&mut doc, NodeId::DOCUMENT, 3, rng);
+    doc
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// write(parse(write(d))) == write(d): serialization is a fixpoint
-    /// after one round.
-    #[test]
-    fn xml_write_parse_roundtrip(doc in arb_tree()) {
+/// write(parse(write(d))) == write(d): serialization is a fixpoint
+/// after one round.
+#[test]
+fn xml_write_parse_roundtrip() {
+    for seed in 0..64u64 {
+        let mut rng = XorShiftRng::seed_from_u64(seed);
+        let doc = gen_tree(&mut rng);
         let once = write_document(&doc, &WriteOptions::default());
         let re = parse(&once).unwrap();
         let twice = write_document(&re, &WriteOptions::default());
-        prop_assert_eq!(once, twice);
+        assert_eq!(once, twice, "seed {seed}");
     }
+}
 
-    /// Pretty-printed output parses back to the same canonical form
-    /// (modulo the whitespace the pretty printer adds between elements).
-    #[test]
-    fn xml_pretty_print_reparses(doc in arb_tree()) {
+/// Pretty-printed output parses back to a structurally valid document
+/// (modulo the whitespace the pretty printer adds between elements).
+#[test]
+fn xml_pretty_print_reparses() {
+    for seed in 0..64u64 {
+        let mut rng = XorShiftRng::seed_from_u64(seed);
+        let doc = gen_tree(&mut rng);
         let pretty = write_document(&doc, &WriteOptions::pretty());
-        let re = parse(&pretty).unwrap();
+        let re = parse(&pretty).unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
         re.check_invariants();
     }
 }
@@ -76,43 +80,41 @@ proptest! {
 // B+-tree vs std::BTreeMap model
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn btree_matches_model(
-        ops in prop::collection::vec(
-            (0u8..3, prop::collection::vec(any::<u8>(), 1..12), any::<u64>()),
-            1..200,
-        )
-    ) {
+#[test]
+fn btree_matches_model() {
+    for seed in 0..32u64 {
+        let mut rng = XorShiftRng::seed_from_u64(1000 + seed);
         let mut pool = BufferPool::new(MemDisk::new(), 64 * PAGE_SIZE);
         let mut tree = BTree::create(&mut pool).unwrap();
         let mut model = std::collections::BTreeMap::new();
-        for (op, key, val) in &ops {
-            match op % 3 {
+        let n_ops = rng.gen_range(1..200usize);
+        for _ in 0..n_ops {
+            let key: Vec<u8> = (0..rng.gen_range(1..12usize))
+                .map(|_| rng.gen_range(0..=255u32) as u8)
+                .collect();
+            let val = rng.next_u64();
+            match rng.gen_range(0..3u8) {
                 0 => {
-                    let a = tree.insert(&mut pool, key, *val).unwrap();
-                    let b = model.insert(key.clone(), *val);
-                    prop_assert_eq!(a, b);
+                    let a = tree.insert(&mut pool, &key, val).unwrap();
+                    let b = model.insert(key.clone(), val);
+                    assert_eq!(a, b, "seed {seed}");
                 }
                 1 => {
-                    let a = tree.delete(&mut pool, key).unwrap();
-                    let b = model.remove(key);
-                    prop_assert_eq!(a, b);
+                    let a = tree.delete(&mut pool, &key).unwrap();
+                    let b = model.remove(&key);
+                    assert_eq!(a, b, "seed {seed}");
                 }
                 _ => {
-                    let a = tree.get(&mut pool, key).unwrap();
-                    let b = model.get(key).copied();
-                    prop_assert_eq!(a, b);
+                    let a = tree.get(&mut pool, &key).unwrap();
+                    let b = model.get(&key).copied();
+                    assert_eq!(a, b, "seed {seed}");
                 }
             }
         }
         // Full scans agree, in order.
         let scanned = tree.range_vec(&mut pool, &[], None).unwrap();
-        let expected: Vec<(Vec<u8>, u64)> =
-            model.into_iter().collect();
-        prop_assert_eq!(scanned, expected);
+        let expected: Vec<(Vec<u8>, u64)> = model.into_iter().collect();
+        assert_eq!(scanned, expected, "seed {seed}");
     }
 }
 
@@ -122,74 +124,75 @@ proptest! {
 
 /// Random forest encoded as a parent vector; node i's parent is in
 /// 0..i (or none). Produces consistent interval codes.
-fn arb_forest() -> impl Strategy<Value = Vec<IntervalCode>> {
-    prop::collection::vec(any::<u32>(), 1..60).prop_map(|seeds| {
-        let n = seeds.len();
-        let mut parent = vec![usize::MAX; n];
-        for i in 1..n {
-            // ~30% roots, otherwise parent among earlier nodes.
-            if seeds[i] % 10 < 3 {
-                parent[i] = usize::MAX;
-            } else {
-                parent[i] = (seeds[i] as usize) % i;
-            }
+fn gen_forest(rng: &mut XorShiftRng) -> Vec<IntervalCode> {
+    let n = rng.gen_range(1..60usize);
+    let mut parent = vec![usize::MAX; n];
+    for (i, p) in parent.iter_mut().enumerate().skip(1) {
+        // ~30% roots, otherwise parent among earlier nodes.
+        if rng.gen_range(0..10u32) < 3 {
+            *p = usize::MAX;
+        } else {
+            *p = rng.gen_range(0..i);
         }
-        // Assign pre-order codes: children grouped under parents.
-        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
-        let mut roots = Vec::new();
-        for i in 0..n {
-            if parent[i] == usize::MAX {
-                roots.push(i);
-            } else {
-                children[parent[i]].push(i);
-            }
+    }
+    // Assign pre-order codes: children grouped under parents.
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut roots = Vec::new();
+    for (i, &p) in parent.iter().enumerate() {
+        if p == usize::MAX {
+            roots.push(i);
+        } else {
+            children[p].push(i);
         }
-        let mut codes = vec![
-            IntervalCode {
-                start: 0,
-                end: 0,
-                level: 0
-            };
-            n
-        ];
-        let mut counter = 0u32;
-        fn assign(
-            node: usize,
-            level: u16,
-            children: &[Vec<usize>],
-            codes: &mut [IntervalCode],
-            counter: &mut u32,
-        ) {
-            *counter += 1;
-            let start = *counter;
-            for &c in &children[node] {
-                assign(c, level + 1, children, codes, counter);
-            }
-            *counter += 1;
-            codes[node] = IntervalCode {
-                start,
-                end: *counter,
-                level,
-            };
+    }
+    let mut codes = vec![
+        IntervalCode {
+            start: 0,
+            end: 0,
+            level: 0
+        };
+        n
+    ];
+    let mut counter = 0u32;
+    fn assign(
+        node: usize,
+        level: u16,
+        children: &[Vec<usize>],
+        codes: &mut [IntervalCode],
+        counter: &mut u32,
+    ) {
+        *counter += 1;
+        let start = *counter;
+        for &c in &children[node] {
+            assign(c, level + 1, children, codes, counter);
         }
-        for &r in &roots {
-            assign(r, 1, &children, &mut codes, &mut counter);
-        }
-        codes
-    })
+        *counter += 1;
+        codes[node] = IntervalCode {
+            start,
+            end: *counter,
+            level,
+        };
+    }
+    for &r in &roots {
+        assign(r, 1, &children, &mut codes, &mut counter);
+    }
+    codes
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn structural_join_equals_oracle(codes in arb_forest(), split in any::<u32>()) {
+#[test]
+fn structural_join_equals_oracle() {
+    for seed in 0..64u64 {
+        let mut rng = XorShiftRng::seed_from_u64(2000 + seed);
+        let codes = gen_forest(&mut rng);
         // Partition nodes into "ancestor side" and "descendant side".
         let mut anc: Vec<Tuple> = Vec::new();
         let mut desc: Vec<Tuple> = Vec::new();
         for (i, &code) in codes.iter().enumerate() {
-            let r = StructRef { node: McNodeId(i as u32), code };
-            if (split.wrapping_add(i as u32)) % 2 == 0 {
+            let r = StructRef {
+                node: McNodeId(i as u32),
+                code,
+            };
+            if rng.gen_range(0..2u32) == 0 {
                 anc.push(vec![r]);
             } else {
                 desc.push(vec![r]);
@@ -206,7 +209,7 @@ proptest! {
                 pairs.sort_unstable();
                 pairs
             };
-            prop_assert_eq!(norm(fast), norm(slow));
+            assert_eq!(norm(fast), norm(slow), "seed {seed}, rel {rel:?}");
         }
     }
 }
@@ -217,46 +220,49 @@ proptest! {
 
 /// A random 2-color MCT database: red items under a red root, a green
 /// root adopting a random subset of them (plus green-only extras).
-fn arb_mct() -> impl Strategy<Value = MctDatabase> {
-    (
-        prop::collection::vec((any::<bool>(), "[a-z]{0,8}"), 1..25),
-        prop::collection::vec(any::<bool>(), 1..25),
-    )
-        .prop_map(|(items, adopt)| {
-            let mut db = MctDatabase::new();
-            let red = db.add_color("red");
-            let green = db.add_color("green");
-            let rroot = db.new_element("red-root", red);
-            db.append_child(McNodeId::DOCUMENT, rroot, red);
-            let groot = db.new_element("green-root", green);
-            db.append_child(McNodeId::DOCUMENT, groot, green);
-            for (i, (has_content, content)) in items.iter().enumerate() {
-                let e = db.new_element("item", red);
-                if *has_content && !content.is_empty() {
-                    db.set_content(e, content);
-                }
-                db.set_attr(e, "k", &i.to_string());
-                db.append_child(rroot, e, red);
-                if adopt.get(i).copied().unwrap_or(false) {
-                    db.add_node_color(e, green);
-                    db.append_child(groot, e, green);
-                }
-            }
-            db
-        })
+fn gen_mct(rng: &mut XorShiftRng) -> MctDatabase {
+    let mut db = MctDatabase::new();
+    let red = db.add_color("red");
+    let green = db.add_color("green");
+    let rroot = db.new_element("red-root", red);
+    db.append_child(McNodeId::DOCUMENT, rroot, red);
+    let groot = db.new_element("green-root", green);
+    db.append_child(McNodeId::DOCUMENT, groot, green);
+    let n_items = rng.gen_range(1..25usize);
+    for i in 0..n_items {
+        let e = db.new_element("item", red);
+        if rng.gen_range(0..2u32) == 0 {
+            let len = rng.gen_range(1..=8usize);
+            let content: String = (0..len)
+                .map(|_| (b'a' + rng.gen_range(0..26u32) as u8) as char)
+                .collect();
+            db.set_content(e, &content);
+        }
+        db.set_attr(e, "k", &i.to_string());
+        db.append_child(rroot, e, red);
+        if rng.gen_range(0..2u32) == 0 {
+            db.add_node_color(e, green);
+            db.append_child(groot, e, green);
+        }
+    }
+    db
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn exchange_roundtrip_preserves_all_trees(db in arb_mct()) {
+#[test]
+fn exchange_roundtrip_preserves_all_trees() {
+    for seed in 0..48u64 {
+        let mut rng = XorShiftRng::seed_from_u64(3000 + seed);
+        let db = gen_mct(&mut rng);
         let scheme = SerializationScheme::default();
         let doc = emit_exchange(&db, &scheme);
         let back = reconstruct(&doc).unwrap();
         back.check_invariants();
-        prop_assert_eq!(db.counts(), back.counts());
-        prop_assert_eq!(db.structural_count(), back.structural_count());
+        assert_eq!(db.counts(), back.counts(), "seed {seed}");
+        assert_eq!(
+            db.structural_count(),
+            back.structural_count(),
+            "seed {seed}"
+        );
         for (c, name) in db.palette.iter() {
             let c2 = back.color(name).unwrap();
             let a = write_document(
@@ -267,13 +273,17 @@ proptest! {
                 &colorful_xml::core::export_color(&back, c2),
                 &WriteOptions::default(),
             );
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b, "seed {seed}, color {name}");
         }
     }
+}
 
-    /// Annotation invariants hold for every generated database.
-    #[test]
-    fn interval_codes_consistent(mut db in arb_mct()) {
+/// Annotation invariants hold for every generated database.
+#[test]
+fn interval_codes_consistent() {
+    for seed in 0..48u64 {
+        let mut rng = XorShiftRng::seed_from_u64(4000 + seed);
+        let mut db = gen_mct(&mut rng);
         for i in 0..db.palette.len() {
             db.annotate(ColorId(i as u8));
         }
@@ -285,13 +295,13 @@ proptest! {
 // Planner vs interpreter over random multi-colored databases
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// For every generated database and a panel of colored path shapes,
-    /// the heuristic planner's pipeline and the interpreter agree.
-    #[test]
-    fn planner_equals_interpreter(db in arb_mct()) {
+/// For every generated database and a panel of colored path shapes,
+/// the heuristic planner's pipeline and the interpreter agree.
+#[test]
+fn planner_equals_interpreter() {
+    for seed in 0..24u64 {
+        let mut rng = XorShiftRng::seed_from_u64(5000 + seed);
+        let db = gen_mct(&mut rng);
         let mut stored = StoredDb::build(db, 8 * 1024 * 1024).unwrap();
         let queries = [
             r#"document("d")/{red}descendant::item"#,
@@ -300,7 +310,9 @@ proptest! {
             r#"document("d")/{red}descendant::item/{green}parent::green-root"#,
         ];
         for q in queries {
-            let Expr::Path(p) = parse_query(q).unwrap() else { unreachable!() };
+            let Expr::Path(p) = parse_query(q).unwrap() else {
+                unreachable!()
+            };
             let plan = plan_path(&stored, &p, true).unwrap();
             let via_plan: std::collections::BTreeSet<u32> = plan
                 .execute(&mut stored)
@@ -318,7 +330,7 @@ proptest! {
                     _ => None,
                 })
                 .collect();
-            prop_assert_eq!(&via_plan, &via_interp, "query {}", q);
+            assert_eq!(via_plan, via_interp, "seed {seed}, query {q}");
         }
     }
 }
