@@ -48,7 +48,7 @@ fn main() {
                 let mut s = StoredDb::build(db, pool_mib * 1024 * 1024).expect("build");
                 // Prime or flush.
                 let _ = run_read(&mut s, "TQ13", *schema, &params, true).unwrap();
-                s.pool.reset_stats();
+                let mark = s.pool.stats();
                 let (d, _) = time_paper_protocol(|| {
                     if cold {
                         s.flush_cache().unwrap();
@@ -57,8 +57,9 @@ fn main() {
                 });
                 times.push(secs(d));
                 if *schema == SchemaKind::Mct {
-                    hits = s.pool.stats().hits;
-                    misses = s.pool.stats().misses;
+                    let st = s.pool.stats().delta_since(&mark);
+                    hits = st.hits;
+                    misses = st.misses;
                 }
             }
             println!(
@@ -76,4 +77,5 @@ fn main() {
     println!();
     println!("Expected (paper §7.2): the MCT < deep < shallow ordering holds in every row;");
     println!("cold runs pay page misses (misses > 0) but do not change the trend.");
+    mct_bench::maybe_dump_metrics_json();
 }

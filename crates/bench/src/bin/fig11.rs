@@ -47,4 +47,5 @@ fn main() {
     }
     println!("\nPaper shape: MCT and deep comparable; shallow needs more path expressions");
     println!("wherever value joins replace structural navigation.");
+    mct_bench::maybe_dump_metrics_json();
 }

@@ -47,4 +47,5 @@ fn main() {
     }
     println!("\nPaper shape: \"MCT and deep are comparable, with the equivalent shallow");
     println!("tree query being quite a bit more complex\" (§7.3).");
+    mct_bench::maybe_dump_metrics_json();
 }

@@ -92,4 +92,5 @@ fn main() {
         );
     }
     println!("\nRun `table1`, `table2`, `fig11`, `fig12` for the full reproductions.");
+    mct_bench::maybe_dump_metrics_json();
 }

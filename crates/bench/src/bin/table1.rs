@@ -46,4 +46,5 @@ fn main() {
     println!("  * deep has many more elements and more data than MCT/shallow (replication);");
     println!("  * MCT has the same element count as shallow but MORE structural records");
     println!("    (one per color) and hence data/index sizes between shallow and deep.");
+    mct_bench::maybe_dump_metrics_json();
 }

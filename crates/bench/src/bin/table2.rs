@@ -78,10 +78,10 @@ fn main() {
                     for (i, schema) in SchemaKind::ALL.iter().enumerate() {
                         let p = fx.params.clone();
                         let db = fx.db(wq.dataset, *schema);
-                        db.pool.reset_stats();
+                        let mark = db.pool.stats();
                         let _ = run_read(db, wq.id, *schema, &p, true).expect("plan");
-                        let st = db.pool.stats();
-                        cells.push(st.hits + st.misses);
+                        let st = db.pool.stats().delta_since(&mark);
+                        cells.push(st.accesses());
                         let _ = i;
                     }
                     println!(
@@ -147,6 +147,7 @@ fn main() {
     if sweep {
         scaling_sweep();
     }
+    mct_bench::maybe_dump_metrics_json();
 }
 
 /// The §7.2 scaling note: most queries scale linearly with data size;

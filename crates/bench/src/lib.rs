@@ -150,6 +150,8 @@ pub fn parse_args_stats() -> (f64, bool, bool, bool) {
             "--sweep" => sweep = true,
             "--cold" => cold = true,
             "--stats" => stats = true,
+            // Handled by metrics_json_requested(); not an error here.
+            "--metrics-json" => {}
             other if other.starts_with("--") => {
                 eprintln!("unknown flag {other}");
             }
@@ -157,6 +159,22 @@ pub fn parse_args_stats() -> (f64, bool, bool, bool) {
         }
     }
     (scale, sweep, cold, stats)
+}
+
+/// Whether `--metrics-json` was passed: report binaries then dump the
+/// global metrics registry (JSON) to stdout after their tables, so
+/// BENCH output gains an I/O dimension next to the timings.
+pub fn metrics_json_requested() -> bool {
+    std::env::args().any(|a| a == "--metrics-json")
+}
+
+/// Dump the global metrics registry as JSON when requested by
+/// `--metrics-json` (call at the end of a report binary).
+pub fn maybe_dump_metrics_json() {
+    if metrics_json_requested() {
+        println!("\n-- metrics --");
+        print!("{}", mct_obs::global().snapshot().to_json());
+    }
 }
 
 #[cfg(test)]

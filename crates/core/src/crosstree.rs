@@ -21,7 +21,28 @@
 
 use crate::color::ColorId;
 use crate::persist::{StoredDb, StructRef};
+use mct_obs::Counter;
 use mct_storage::DiskManager;
+use std::sync::OnceLock;
+
+/// Global-registry handles for color transitions
+/// (`query.crosstree.*`), covering both join variants.
+struct CrossTreeCounters {
+    calls: Counter,
+    input_rows: Counter,
+    output_rows: Counter,
+    transitions: Counter,
+}
+
+fn crosstree_counters() -> &'static CrossTreeCounters {
+    static C: OnceLock<CrossTreeCounters> = OnceLock::new();
+    C.get_or_init(|| CrossTreeCounters {
+        calls: mct_obs::counter("query.crosstree.calls"),
+        input_rows: mct_obs::counter("query.crosstree.input_rows"),
+        output_rows: mct_obs::counter("query.crosstree.output_rows"),
+        transitions: mct_obs::counter("query.crosstree.transitions"),
+    })
+}
 
 /// Bulk color transition via the link-index (attribute-value) join —
 /// the paper's implementation. Output is sorted by target-tree start.
@@ -30,6 +51,10 @@ pub fn cross_tree_join<D: DiskManager>(
     input: &[StructRef],
     to: ColorId,
 ) -> mct_storage::Result<Vec<StructRef>> {
+    let _span = mct_obs::trace::span("crosstree.join");
+    let c = crosstree_counters();
+    c.calls.inc();
+    c.input_rows.add(input.len() as u64);
     let mut out = Vec::with_capacity(input.len());
     for r in input {
         if let Some(code) = stored.link_probe(r.node, to)? {
@@ -37,6 +62,8 @@ pub fn cross_tree_join<D: DiskManager>(
         }
     }
     out.sort_unstable_by_key(|r| r.code.start);
+    c.output_rows.add(out.len() as u64);
+    c.transitions.add(out.len() as u64);
     Ok(out)
 }
 
@@ -46,6 +73,10 @@ pub fn cross_tree_join_direct<D: DiskManager>(
     input: &[StructRef],
     to: ColorId,
 ) -> Vec<StructRef> {
+    let _span = mct_obs::trace::span("crosstree.join_direct");
+    let c = crosstree_counters();
+    c.calls.inc();
+    c.input_rows.add(input.len() as u64);
     let mut out = Vec::with_capacity(input.len());
     for r in input {
         if let Some(code) = stored.link_direct(r.node, to) {
@@ -53,6 +84,8 @@ pub fn cross_tree_join_direct<D: DiskManager>(
         }
     }
     out.sort_unstable_by_key(|r| r.code.start);
+    c.output_rows.add(out.len() as u64);
+    c.transitions.add(out.len() as u64);
     out
 }
 
@@ -152,12 +185,12 @@ mod tests {
         let red = s.db.color("red").unwrap();
         let green = s.db.color("green").unwrap();
         let reds = s.postings_named(red, "item").unwrap();
-        s.pool.reset_stats();
+        let mark = s.pool.stats();
         let _ = cross_tree_join_direct(&s, &reds, green);
-        let direct_hits = s.pool.stats().hits + s.pool.stats().misses;
+        let direct_hits = s.pool.stats().delta_since(&mark).accesses();
         assert_eq!(direct_hits, 0, "direct variant touches no pages");
         let _ = cross_tree_join(&mut s, &reds, green).unwrap();
-        let probe_hits = s.pool.stats().hits + s.pool.stats().misses;
+        let probe_hits = s.pool.stats().delta_since(&mark).accesses();
         assert!(probe_hits >= reds.len() as u64, "one probe per input at least");
     }
 }

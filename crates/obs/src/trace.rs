@@ -1,0 +1,303 @@
+//! Structured tracing: nested spans reported to a pluggable
+//! subscriber.
+//!
+//! [`span`] returns an RAII guard; its `Drop` reports the exit, so
+//! spans close correctly even when the traced code panics. With no
+//! subscriber installed, entering a span costs one relaxed atomic
+//! load — cheap enough to leave in every operator and access method.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+/// Receives span lifecycle callbacks. Implementations must be
+/// `Send + Sync`; callbacks may fire from any thread.
+pub trait Subscriber: Send + Sync {
+    /// A span named `name` was entered at nesting `depth` (0 = root).
+    fn on_enter(&self, name: &'static str, depth: usize);
+    /// The span named `name` at `depth` exited after `elapsed`.
+    fn on_exit(&self, name: &'static str, depth: usize, elapsed: Duration);
+    /// A point event emitted inside the current span nest.
+    fn on_event(&self, message: &str, depth: usize) {
+        let _ = (message, depth);
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn subscriber_slot() -> &'static RwLock<Option<Arc<dyn Subscriber>>> {
+    static SLOT: std::sync::OnceLock<RwLock<Option<Arc<dyn Subscriber>>>> =
+        std::sync::OnceLock::new();
+    SLOT.get_or_init(|| RwLock::new(None))
+}
+
+thread_local! {
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Install (or with `None`, remove) the process-wide subscriber.
+/// Returns the previously installed one, if any.
+pub fn set_subscriber(sub: Option<Arc<dyn Subscriber>>) -> Option<Arc<dyn Subscriber>> {
+    let mut slot = subscriber_slot().write().expect("trace subscriber poisoned");
+    ENABLED.store(sub.is_some(), Ordering::Release);
+    std::mem::replace(&mut *slot, sub)
+}
+
+/// True when a subscriber is installed (the spans' fast-path gate).
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Acquire)
+}
+
+/// Enter a span. Keep the returned guard alive for the duration of
+/// the work; its drop reports the exit (panic-safe).
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span { live: None };
+    }
+    enter_slow(name)
+}
+
+#[cold]
+fn enter_slow(name: &'static str) -> Span {
+    let depth = DEPTH.with(|d| {
+        let v = d.get();
+        d.set(v + 1);
+        v
+    });
+    if let Some(sub) = subscriber_slot()
+        .read()
+        .expect("trace subscriber poisoned")
+        .as_ref()
+    {
+        sub.on_enter(name, depth);
+    }
+    Span {
+        live: Some(LiveSpan {
+            name,
+            depth,
+            start: Instant::now(),
+        }),
+    }
+}
+
+/// Emit a point event at the current nesting depth (no-op without a
+/// subscriber).
+pub fn event(message: &str) {
+    if !enabled() {
+        return;
+    }
+    let depth = DEPTH.with(Cell::get);
+    if let Some(sub) = subscriber_slot()
+        .read()
+        .expect("trace subscriber poisoned")
+        .as_ref()
+    {
+        sub.on_event(message, depth);
+    }
+}
+
+struct LiveSpan {
+    name: &'static str,
+    depth: usize,
+    start: Instant,
+}
+
+/// RAII guard for an entered span; see [`span`].
+#[must_use = "a span guard reports its exit when dropped"]
+pub struct Span {
+    live: Option<LiveSpan>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(live) = self.live.take() else {
+            return;
+        };
+        DEPTH.with(|d| d.set(live.depth));
+        if let Some(sub) = subscriber_slot()
+            .read()
+            .expect("trace subscriber poisoned")
+            .as_ref()
+        {
+            sub.on_exit(live.name, live.depth, live.start.elapsed());
+        }
+    }
+}
+
+/// One captured trace callback.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Span entered: `(name, depth)`.
+    Enter(&'static str, usize),
+    /// Span exited: `(name, depth, elapsed)`.
+    Exit(&'static str, usize, Duration),
+    /// Point event: `(message, depth)`.
+    Event(String, usize),
+}
+
+/// A subscriber that keeps the last `capacity` events in a ring
+/// buffer, for post-hoc inspection in tests and the CLI.
+pub struct RingSubscriber {
+    capacity: usize,
+    events: Mutex<VecDeque<TraceEvent>>,
+}
+
+impl RingSubscriber {
+    /// A ring holding at most `capacity` events (oldest evicted first).
+    pub fn new(capacity: usize) -> RingSubscriber {
+        RingSubscriber {
+            capacity: capacity.max(1),
+            events: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    fn push(&self, ev: TraceEvent) {
+        let mut q = self.events.lock().expect("ring subscriber poisoned");
+        if q.len() == self.capacity {
+            q.pop_front();
+        }
+        q.push_back(ev);
+    }
+
+    /// The captured events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events
+            .lock()
+            .expect("ring subscriber poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Drop all captured events.
+    pub fn clear(&self) {
+        self.events.lock().expect("ring subscriber poisoned").clear();
+    }
+}
+
+impl Subscriber for RingSubscriber {
+    fn on_enter(&self, name: &'static str, depth: usize) {
+        self.push(TraceEvent::Enter(name, depth));
+    }
+    fn on_exit(&self, name: &'static str, depth: usize, elapsed: Duration) {
+        self.push(TraceEvent::Exit(name, depth, elapsed));
+    }
+    fn on_event(&self, message: &str, depth: usize) {
+        self.push(TraceEvent::Event(message.to_string(), depth));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tracing tests share the process-wide subscriber slot, so they
+    /// serialize on this lock to avoid clobbering each other.
+    fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn spans_nest_and_report_depths() {
+        let _g = test_guard();
+        let ring = Arc::new(RingSubscriber::new(64));
+        set_subscriber(Some(ring.clone()));
+        {
+            let _outer = span("outer");
+            {
+                let _inner = span("inner");
+                event("probe");
+            }
+        }
+        set_subscriber(None);
+        let evs = ring.events();
+        assert_eq!(
+            evs,
+            vec![
+                TraceEvent::Enter("outer", 0),
+                TraceEvent::Enter("inner", 1),
+                TraceEvent::Event("probe".into(), 2),
+                evs[3].clone(), // Exit("inner", 1, _) — elapsed is nondeterministic
+                evs[4].clone(), // Exit("outer", 0, _)
+            ]
+        );
+        assert!(matches!(evs[3], TraceEvent::Exit("inner", 1, _)));
+        assert!(matches!(evs[4], TraceEvent::Exit("outer", 0, _)));
+    }
+
+    #[test]
+    fn no_subscriber_spans_are_noops() {
+        let _g = test_guard();
+        set_subscriber(None);
+        assert!(!enabled());
+        let s = span("free");
+        drop(s);
+        event("ignored");
+        // Depth stays untouched because the guard never went live.
+        DEPTH.with(|d| assert_eq!(d.get(), 0));
+    }
+
+    #[test]
+    fn span_guard_drops_on_panic_restoring_depth() {
+        let _g = test_guard();
+        let ring = Arc::new(RingSubscriber::new(64));
+        set_subscriber(Some(ring.clone()));
+        let result = std::panic::catch_unwind(|| {
+            let _outer = span("outer");
+            let _inner = span("inner");
+            panic!("boom");
+        });
+        assert!(result.is_err());
+        // Both guards unwound: exits were reported and depth is 0
+        // again, so a fresh span is a root span.
+        {
+            let _after = span("after");
+        }
+        set_subscriber(None);
+        let evs = ring.events();
+        assert!(evs.contains(&TraceEvent::Enter("inner", 1)));
+        assert!(
+            evs.iter().any(|e| matches!(e, TraceEvent::Exit("inner", 1, _))),
+            "inner span exit reported despite panic: {evs:?}"
+        );
+        assert!(
+            evs.iter().any(|e| matches!(e, TraceEvent::Exit("outer", 0, _))),
+            "outer span exit reported despite panic: {evs:?}"
+        );
+        assert!(evs.contains(&TraceEvent::Enter("after", 0)), "depth reset after unwind");
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let ring = RingSubscriber::new(3);
+        for i in 0..5 {
+            ring.on_event(&format!("e{i}"), 0);
+        }
+        let evs = ring.events();
+        assert_eq!(
+            evs,
+            vec![
+                TraceEvent::Event("e2".into(), 0),
+                TraceEvent::Event("e3".into(), 0),
+                TraceEvent::Event("e4".into(), 0),
+            ]
+        );
+        ring.clear();
+        assert!(ring.events().is_empty());
+    }
+
+    #[test]
+    fn set_subscriber_returns_previous() {
+        let _g = test_guard();
+        let a: Arc<dyn Subscriber> = Arc::new(RingSubscriber::new(4));
+        assert!(set_subscriber(Some(a)).is_none());
+        let prev = set_subscriber(None);
+        assert!(prev.is_some());
+        assert!(!enabled());
+    }
+}

@@ -36,6 +36,6 @@ pub use ast::{complexity, update_complexity, Complexity, Expr, UpdateStmt};
 pub use eval::{eval, EvalContext, EvalError, Item, Sequence};
 pub use ops::{Rel, Tuple};
 pub use parser::{parse_query, parse_update, QueryParseError};
-pub use plan::{plan_path, PathPlan, PlanError};
+pub use plan::{plan_path, AnalyzeReport, PathPlan, PlanError, StageStats};
 pub use twig::{holistic_twig_join, naive_twig_join, TwigNode};
 pub use update::{execute_update, execute_update_with, UpdateOutcome};

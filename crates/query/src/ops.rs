@@ -354,6 +354,25 @@ pub fn cross_tree_op<D: DiskManager>(
     col: usize,
     to: ColorId,
 ) -> mct_storage::Result<Vec<Tuple>> {
+    // Same metric names as mct_core's bulk cross_tree_join — the
+    // registry hands back the shared counters, so every color
+    // transition lands in query.crosstree.* regardless of entry point.
+    struct Counters {
+        calls: mct_obs::Counter,
+        input_rows: mct_obs::Counter,
+        output_rows: mct_obs::Counter,
+        transitions: mct_obs::Counter,
+    }
+    static COUNTERS: std::sync::OnceLock<Counters> = std::sync::OnceLock::new();
+    let c = COUNTERS.get_or_init(|| Counters {
+        calls: mct_obs::counter("query.crosstree.calls"),
+        input_rows: mct_obs::counter("query.crosstree.input_rows"),
+        output_rows: mct_obs::counter("query.crosstree.output_rows"),
+        transitions: mct_obs::counter("query.crosstree.transitions"),
+    });
+    let _span = mct_obs::trace::span("crosstree.op");
+    c.calls.inc();
+    c.input_rows.add(input.len() as u64);
     let mut out = Vec::with_capacity(input.len());
     for mut t in input {
         if let Some(code) = s.link_probe(t[col].node, to)? {
@@ -365,6 +384,8 @@ pub fn cross_tree_op<D: DiskManager>(
         }
     }
     out.sort_by_key(|t| t[col].code.start);
+    c.output_rows.add(out.len() as u64);
+    c.transitions.add(out.len() as u64);
     Ok(out)
 }
 

@@ -32,7 +32,9 @@ use crate::ops::{
     select_content_eq, select_number_cmp, NumCmp, Rel, Tuple,
 };
 use mct_core::{ColorId, McNodeId, StoredDb, StructRef};
+use mct_storage::PoolStats;
 use std::fmt;
+use std::time::{Duration, Instant};
 
 /// Chain under construction: `(color, tags, edge relations, per-tag
 /// predicates)`.
@@ -100,42 +102,176 @@ enum CompiledPred {
     AttrEq { name: String, value: String },
 }
 
+/// Per-operator measurements from one EXPLAIN ANALYZE execution.
+#[derive(Debug, Clone)]
+pub struct StageStats {
+    /// The stage's renderer label (same text EXPLAIN prints).
+    pub label: String,
+    /// Tuples flowing into the stage.
+    pub rows_in: u64,
+    /// Tuples the stage produced.
+    pub rows_out: u64,
+    /// Wall-clock time spent in the stage.
+    pub elapsed: Duration,
+    /// Buffer-pool counters accumulated during the stage.
+    pub pool: PoolStats,
+}
+
+/// The result of [`PathPlan::execute_analyze`]: per-stage actuals
+/// plus totals, renderable as an annotated plan tree.
+#[derive(Debug, Clone)]
+pub struct AnalyzeReport {
+    /// One entry per plan stage, in pipeline order.
+    pub stages: Vec<StageStats>,
+    /// Total execution wall-clock time.
+    pub total: Duration,
+    /// Buffer-pool counters accumulated over the whole execution.
+    pub pool: PoolStats,
+    /// Final result cardinality.
+    pub rows: u64,
+}
+
+impl AnalyzeReport {
+    /// Annotated plan tree (EXPLAIN layout plus per-stage actuals)
+    /// with a totals footer.
+    pub fn render(&self) -> String {
+        let lines: Vec<String> = self
+            .stages
+            .iter()
+            .map(|st| {
+                format!(
+                    "{}  (rows {} -> {}; {}; pages {} hit, {} miss)",
+                    st.label,
+                    st.rows_in,
+                    st.rows_out,
+                    fmt_duration(st.elapsed),
+                    st.pool.hits,
+                    st.pool.misses
+                )
+            })
+            .collect();
+        let mut out = render_tree(&lines);
+        out.push_str(&format!(
+            "total: {} rows; {}; pages {} hit, {} miss\n",
+            self.rows,
+            fmt_duration(self.total),
+            self.pool.hits,
+            self.pool.misses
+        ));
+        out
+    }
+}
+
+/// Render pipeline-stage lines as a plan tree: the last stage is the
+/// root, each earlier stage its child, one extra indent per level.
+/// Shared by EXPLAIN and EXPLAIN ANALYZE so their shapes always agree
+/// (and tests can assert on the stable `"   "`-per-level indentation).
+fn render_tree(lines: &[String]) -> String {
+    let mut out = String::new();
+    for (depth, line) in lines.iter().rev().enumerate() {
+        if depth > 0 {
+            out.push_str(&"   ".repeat(depth - 1));
+            out.push_str("└─ ");
+        }
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
 impl PathPlan {
+    fn stage_label<D: DiskManager>(&self, s: &StoredDb<D>, st: &Stage) -> String {
+        match st {
+            Stage::ContentEntry { color, tag, child_tag, value } => format!(
+                "content-index entry: {tag}[{child_tag} = {value:?}] in {{{}}}",
+                s.db.palette.name(*color)
+            ),
+            Stage::Chain { color, tags, .. } => format!(
+                "holistic chain join over {:?} in {{{}}}",
+                tags,
+                s.db.palette.name(*color)
+            ),
+            Stage::CrossTree { to } => {
+                format!("cross-tree join -> {{{}}}", s.db.palette.name(*to))
+            }
+            Stage::Parent { color, tag } => format!(
+                "parent step in {{{}}}{}",
+                s.db.palette.name(*color),
+                tag.as_deref()
+                    .map(|t| format!(" [{t}]"))
+                    .unwrap_or_default()
+            ),
+            Stage::DupElim => "duplicate elimination".to_string(),
+        }
+    }
+
+    fn labels<D: DiskManager>(&self, s: &StoredDb<D>) -> Vec<String> {
+        self.stages.iter().map(|st| self.stage_label(s, st)).collect()
+    }
+
     /// Human-readable plan description (EXPLAIN).
     pub fn explain<D: DiskManager>(&self, s: &StoredDb<D>) -> String {
-        let mut out = String::new();
-        for (i, st) in self.stages.iter().enumerate() {
-            let line = match st {
-                Stage::ContentEntry { color, tag, child_tag, value } => format!(
-                    "content-index entry: {tag}[{child_tag} = {value:?}] in {{{}}}",
-                    s.db.palette.name(*color)
-                ),
-                Stage::Chain { color, tags, .. } => format!(
-                    "holistic chain join over {:?} in {{{}}}",
-                    tags,
-                    s.db.palette.name(*color)
-                ),
-                Stage::CrossTree { to } => {
-                    format!("cross-tree join -> {{{}}}", s.db.palette.name(*to))
-                }
-                Stage::Parent { color, tag } => format!(
-                    "parent step in {{{}}}{}",
-                    s.db.palette.name(*color),
-                    tag.as_deref()
-                        .map(|t| format!(" [{t}]"))
-                        .unwrap_or_default()
-                ),
-                Stage::DupElim => "duplicate elimination".to_string(),
-            };
-            out.push_str(&format!("{i}: {line}\n"));
-        }
-        out
+        render_tree(&self.labels(s))
     }
 
     /// Execute the plan, returning the final single-column tuples.
     pub fn execute<D: DiskManager>(&self, s: &mut StoredDb<D>) -> mct_storage::Result<Vec<Tuple>> {
+        self.run(s, None).map(|(tuples, _)| tuples)
+    }
+
+    /// Execute the plan collecting per-stage actuals (EXPLAIN
+    /// ANALYZE): rows in/out, elapsed time, and buffer-pool deltas.
+    pub fn execute_analyze<D: DiskManager>(
+        &self,
+        s: &mut StoredDb<D>,
+    ) -> mct_storage::Result<(Vec<Tuple>, AnalyzeReport)> {
+        let labels = self.labels(s);
+        let pool_mark = s.pool.stats();
+        let t0 = Instant::now();
+        let (tuples, stages) = self.run(s, Some(&labels))?;
+        let report = AnalyzeReport {
+            stages,
+            total: t0.elapsed(),
+            pool: s.pool.stats().delta_since(&pool_mark),
+            rows: tuples.len() as u64,
+        };
+        Ok((tuples, report))
+    }
+
+    /// Pipeline driver behind both execute flavors. With
+    /// `labels: Some(..)`, each stage is timed and its pool delta
+    /// captured; without, only the (cheap) spans and row counters run.
+    fn run<D: DiskManager>(
+        &self,
+        s: &mut StoredDb<D>,
+        labels: Option<&[String]>,
+    ) -> mct_storage::Result<(Vec<Tuple>, Vec<StageStats>)> {
+        mct_obs::counter("query.plan.executions").inc();
+        let mut collected = Vec::new();
         let mut current: Option<Vec<Tuple>> = None;
-        for st in &self.stages {
+        for (i, st) in self.stages.iter().enumerate() {
+            let _span = mct_obs::trace::span(match st {
+                Stage::ContentEntry { .. } => "plan.content_entry",
+                Stage::Chain { .. } => "plan.chain",
+                Stage::CrossTree { .. } => "plan.crosstree",
+                Stage::Parent { .. } => "plan.parent",
+                Stage::DupElim => "plan.dup_elim",
+            });
+            let rows_in = current.as_ref().map_or(0, Vec::len) as u64;
+            let mark = labels.map(|_| (s.pool.stats(), Instant::now()));
             current = Some(match st {
                 Stage::ContentEntry { color, tag, child_tag, value } => {
                     let hits = s.content_lookup(value)?;
@@ -210,8 +346,19 @@ impl PathPlan {
                 }
                 Stage::DupElim => dup_elim(current.take().unwrap_or_default(), &[0]),
             });
+            let rows_out = current.as_ref().map_or(0, Vec::len) as u64;
+            mct_obs::counter("query.plan.rows").add(rows_out);
+            if let (Some(labels), Some((pool_mark, stage_t0))) = (labels, mark) {
+                collected.push(StageStats {
+                    label: labels[i].clone(),
+                    rows_in,
+                    rows_out,
+                    elapsed: stage_t0.elapsed(),
+                    pool: s.pool.stats().delta_since(&pool_mark),
+                });
+            }
         }
-        Ok(current.unwrap_or_default())
+        Ok((current.unwrap_or_default(), collected))
     }
 }
 

@@ -23,9 +23,15 @@ use crate::page::{
 };
 use crate::wal::Wal;
 use crate::Result;
+use mct_obs::Counter;
 use std::collections::{BTreeSet, HashMap};
+use std::sync::OnceLock;
 
-/// Hit/miss/eviction counters.
+/// Hit/miss/eviction counters. Lifetime totals — they are never
+/// reset; per-query consumers take a [`BufferPool::stats`] mark
+/// before the query and diff with [`PoolStats::delta_since`] after,
+/// so EXPLAIN ANALYZE and bench reports can coexist without
+/// clobbering each other.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PoolStats {
     /// Page requests served from a resident frame.
@@ -36,6 +42,61 @@ pub struct PoolStats {
     pub evictions: u64,
     /// Dirty-page writebacks.
     pub writebacks: u64,
+    /// Page reads that failed checksum verification.
+    pub corrupt_reads: u64,
+    /// Page reads/writes that failed with an I/O error.
+    pub io_errors: u64,
+}
+
+impl PoolStats {
+    /// Counters accumulated since `mark` (an earlier
+    /// [`BufferPool::stats`] snapshot): `self - mark`, saturating.
+    pub fn delta_since(&self, mark: &PoolStats) -> PoolStats {
+        PoolStats {
+            hits: self.hits.saturating_sub(mark.hits),
+            misses: self.misses.saturating_sub(mark.misses),
+            evictions: self.evictions.saturating_sub(mark.evictions),
+            writebacks: self.writebacks.saturating_sub(mark.writebacks),
+            corrupt_reads: self.corrupt_reads.saturating_sub(mark.corrupt_reads),
+            io_errors: self.io_errors.saturating_sub(mark.io_errors),
+        }
+    }
+
+    /// Total page requests (hits + misses).
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+impl std::ops::Sub for PoolStats {
+    type Output = PoolStats;
+    fn sub(self, mark: PoolStats) -> PoolStats {
+        self.delta_since(&mark)
+    }
+}
+
+/// Global-registry handles mirroring [`PoolStats`], shared by every
+/// pool in the process (`storage.pool.*`, `storage.corrupt_reads`,
+/// `storage.io_errors`).
+struct PoolCounters {
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    writebacks: Counter,
+    corrupt_reads: Counter,
+    io_errors: Counter,
+}
+
+fn pool_counters() -> &'static PoolCounters {
+    static C: OnceLock<PoolCounters> = OnceLock::new();
+    C.get_or_init(|| PoolCounters {
+        hits: mct_obs::counter("storage.pool.hits"),
+        misses: mct_obs::counter("storage.pool.misses"),
+        evictions: mct_obs::counter("storage.pool.evictions"),
+        writebacks: mct_obs::counter("storage.pool.writebacks"),
+        corrupt_reads: mct_obs::counter("storage.corrupt_reads"),
+        io_errors: mct_obs::counter("storage.io_errors"),
+    })
 }
 
 struct Frame {
@@ -87,14 +148,10 @@ impl<D: DiskManager> BufferPool<D> {
         self.max_frames
     }
 
-    /// Current counters.
+    /// Current counters (lifetime totals — see [`PoolStats`] for the
+    /// mark/delta pattern that replaces resetting).
     pub fn stats(&self) -> PoolStats {
         self.stats
-    }
-
-    /// Zero the counters (not the cache).
-    pub fn reset_stats(&mut self) {
-        self.stats = PoolStats::default();
     }
 
     /// Underlying disk manager (read-only).
@@ -175,17 +232,32 @@ impl<D: DiskManager> BufferPool<D> {
         Ok(page_lsn(&self.frames[frame].data[..]))
     }
 
+    /// Run a disk operation, recording the I/O-error metric when it
+    /// fails with [`StorageError::Io`].
+    fn track_io<T>(&mut self, op: impl FnOnce(&mut Self) -> Result<T>) -> Result<T> {
+        let r = op(self);
+        if matches!(r, Err(StorageError::Io(_))) {
+            self.stats.io_errors += 1;
+            pool_counters().io_errors.inc();
+        }
+        r
+    }
+
     fn fetch(&mut self, id: PageId) -> Result<usize> {
         self.tick += 1;
         if let Some(&frame) = self.map.get(&id) {
             self.stats.hits += 1;
+            pool_counters().hits.inc();
             self.frames[frame].last_used = self.tick;
             return Ok(frame);
         }
         self.stats.misses += 1;
+        pool_counters().misses.inc();
         let frame = self.victim()?;
-        self.disk.read(id, &mut self.frames[frame].data[..])?;
+        self.track_io(|p| p.disk.read(id, &mut p.frames[frame].data[..]))?;
         if !verify_page_checksum(&self.frames[frame].data[..]) {
+            self.stats.corrupt_reads += 1;
+            pool_counters().corrupt_reads.inc();
             return Err(StorageError::Corrupt("page checksum mismatch"));
         }
         let f = &mut self.frames[frame];
@@ -225,11 +297,13 @@ impl<D: DiskManager> BufferPool<D> {
         if let Some(old) = self.frames[frame].page {
             if self.frames[frame].dirty {
                 stamp_page_checksum(&mut self.frames[frame].data[..]);
-                self.disk.write(old, &self.frames[frame].data[..])?;
+                self.track_io(|p| p.disk.write(old, &p.frames[frame].data[..]))?;
                 self.frames[frame].dirty = false;
                 self.stats.writebacks += 1;
+                pool_counters().writebacks.inc();
             }
             self.stats.evictions += 1;
+            pool_counters().evictions.inc();
             self.frames[frame].page = None;
             self.map.remove(&old);
         }
@@ -242,8 +316,9 @@ impl<D: DiskManager> BufferPool<D> {
             if self.frames[i].dirty {
                 if let Some(id) = self.frames[i].page {
                     self.stats.writebacks += 1;
+                    pool_counters().writebacks.inc();
                     stamp_page_checksum(&mut self.frames[i].data[..]);
-                    self.disk.write(id, &self.frames[i].data[..])?;
+                    self.track_io(|p| p.disk.write(id, &p.frames[i].data[..]))?;
                     self.frames[i].dirty = false;
                 }
             }
@@ -308,6 +383,10 @@ impl<D: DiskManager> BufferPool<D> {
             Ok(())
         })();
         if let Err(e) = log_result {
+            if matches!(e, StorageError::Io(_)) {
+                self.stats.io_errors += 1;
+                pool_counters().io_errors.inc();
+            }
             // Put the set back so a retry re-logs everything.
             self.dirty_since_commit.extend(pages);
             return Err(e);
@@ -368,14 +447,16 @@ mod tests {
     fn hits_and_misses_are_counted() {
         let mut p = tiny_pool();
         let id = p.allocate().unwrap();
-        p.reset_stats();
+        let mark = p.stats();
         p.with_page(id, |_| ()).unwrap();
         p.with_page(id, |_| ()).unwrap();
-        assert_eq!(p.stats().hits, 2);
-        assert_eq!(p.stats().misses, 0);
+        let d = p.stats().delta_since(&mark);
+        assert_eq!(d.hits, 2);
+        assert_eq!(d.misses, 0);
+        let mark = p.stats();
         p.evict_all().unwrap();
         p.with_page(id, |_| ()).unwrap();
-        assert_eq!(p.stats().misses, 1, "cold read after evict_all");
+        assert_eq!(p.stats().delta_since(&mark).misses, 1, "cold read after evict_all");
     }
 
     #[test]
@@ -387,11 +468,15 @@ mod tests {
             p.with_page(id, |_| ()).unwrap();
         }
         let _ = p.allocate().unwrap(); // forces one eviction
-        p.reset_stats();
+        let mark = p.stats();
         p.with_page(ids[1], |_| ()).unwrap();
-        assert_eq!(p.stats().hits, 1, "recently used page stayed resident");
+        assert_eq!(
+            (p.stats() - mark).hits,
+            1,
+            "recently used page stayed resident"
+        );
         p.with_page(ids[0], |_| ()).unwrap();
-        assert_eq!(p.stats().misses, 1, "LRU page was the victim");
+        assert_eq!((p.stats() - mark).misses, 1, "LRU page was the victim");
     }
 
     #[test]

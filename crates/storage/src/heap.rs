@@ -5,7 +5,30 @@ use crate::disk::DiskManager;
 use crate::error::StorageError;
 use crate::page::{PageId, SlottedPage, SlottedRead, MAX_RECORD};
 use crate::Result;
+use mct_obs::Counter;
 use std::fmt;
+use std::sync::OnceLock;
+
+/// Global-registry handles for heap access methods
+/// (`storage.heap.*`), shared by every heap file in the process.
+struct HeapCounters {
+    inserts: Counter,
+    reads: Counter,
+    updates: Counter,
+    deletes: Counter,
+    scans: Counter,
+}
+
+fn heap_counters() -> &'static HeapCounters {
+    static C: OnceLock<HeapCounters> = OnceLock::new();
+    C.get_or_init(|| HeapCounters {
+        inserts: mct_obs::counter("storage.heap.inserts"),
+        reads: mct_obs::counter("storage.heap.reads"),
+        updates: mct_obs::counter("storage.heap.updates"),
+        deletes: mct_obs::counter("storage.heap.deletes"),
+        scans: mct_obs::counter("storage.heap.scans"),
+    })
+}
 
 /// Stable address of a record: page + slot.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -91,6 +114,7 @@ impl HeapFile {
                 max: MAX_RECORD,
             });
         }
+        heap_counters().inserts.inc();
         // Try the last page first.
         if let Some(&last) = self.pages.last() {
             let slot = pool.with_page_mut(last, |buf| {
@@ -124,6 +148,7 @@ impl HeapFile {
         pool: &mut BufferPool<D>,
         id: RecordId,
     ) -> Result<Vec<u8>> {
+        heap_counters().reads.inc();
         let data = pool.with_page(id.page, |buf| {
             SlottedRead::new(buf).get(id.slot).map(|d| d.to_vec())
         })?;
@@ -143,6 +168,7 @@ impl HeapFile {
         id: RecordId,
         data: &[u8],
     ) -> Result<RecordId> {
+        heap_counters().updates.inc();
         let in_place = pool.with_page_mut(id.page, |buf| {
             let mut p = SlottedPage::new(buf);
             let old = p.get(id.slot).map(|d| d.len());
@@ -173,6 +199,7 @@ impl HeapFile {
         pool: &mut BufferPool<D>,
         id: RecordId,
     ) -> Result<bool> {
+        heap_counters().deletes.inc();
         let freed = pool.with_page_mut(id.page, |buf| {
             let mut p = SlottedPage::new(buf);
             let len = p.get(id.slot).map(|d| d.len());
@@ -197,6 +224,7 @@ impl HeapFile {
         pool: &mut BufferPool<D>,
         mut f: impl FnMut(RecordId, &[u8]),
     ) -> Result<()> {
+        heap_counters().scans.inc();
         for &page in &self.pages {
             pool.with_page(page, |buf| {
                 for (slot, data) in SlottedRead::new(buf).iter() {

@@ -12,6 +12,27 @@ use crate::buffer::BufferPool;
 use crate::disk::DiskManager;
 use crate::encoding::{IntervalCode, KeyEncoder};
 use crate::Result;
+use mct_obs::Counter;
+use std::sync::OnceLock;
+
+/// Global-registry handles for index access methods
+/// (`storage.index.*`), shared by every index in the process.
+struct IndexCounters {
+    tag_inserts: Counter,
+    tag_probes: Counter,
+    content_inserts: Counter,
+    content_probes: Counter,
+}
+
+fn index_counters() -> &'static IndexCounters {
+    static C: OnceLock<IndexCounters> = OnceLock::new();
+    C.get_or_init(|| IndexCounters {
+        tag_inserts: mct_obs::counter("storage.index.tag.inserts"),
+        tag_probes: mct_obs::counter("storage.index.tag.probes"),
+        content_inserts: mct_obs::counter("storage.index.content.inserts"),
+        content_probes: mct_obs::counter("storage.index.content.probes"),
+    })
+}
 
 /// A structural-node posting: interval code plus the logical node id.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -57,6 +78,7 @@ impl TagIndex {
         code: IntervalCode,
         node: u64,
     ) -> Result<()> {
+        index_counters().tag_inserts.inc();
         self.tree.insert(pool, &Self::key(tag, &code), node)?;
         Ok(())
     }
@@ -77,6 +99,7 @@ impl TagIndex {
         pool: &mut BufferPool<D>,
         tag: u32,
     ) -> Result<Vec<Posting>> {
+        index_counters().tag_probes.inc();
         let lo = KeyEncoder::u32(tag).to_vec();
         let hi = tag.checked_add(1).map(|t| KeyEncoder::u32(t).to_vec());
         let mut out = Vec::new();
@@ -150,6 +173,7 @@ impl ContentIndex {
         value: &str,
         node: u64,
     ) -> Result<()> {
+        index_counters().content_inserts.inc();
         self.tree.insert(pool, &Self::key(value, node), node)?;
         Ok(())
     }
@@ -170,6 +194,7 @@ impl ContentIndex {
         pool: &mut BufferPool<D>,
         value: &str,
     ) -> Result<Vec<u64>> {
+        index_counters().content_probes.inc();
         let mut lo = value.as_bytes().to_vec();
         lo.push(0);
         let hi = KeyEncoder::prefix_upper_bound(&lo);
@@ -186,6 +211,7 @@ impl ContentIndex {
         lo: &str,
         hi: Option<&str>,
     ) -> Result<Vec<(String, u64)>> {
+        index_counters().content_probes.inc();
         let lo_key = lo.as_bytes().to_vec();
         let hi_key = hi.map(|h| {
             let mut k = h.as_bytes().to_vec();

@@ -36,6 +36,31 @@ use crate::disk::DiskManager;
 use crate::error::StorageError;
 use crate::page::{PageId, PAGE_SIZE};
 use crate::Result;
+use mct_obs::Counter;
+use std::sync::OnceLock;
+
+/// Global-registry handles for WAL activity (`wal.*`), shared by
+/// every log in the process.
+struct WalCounters {
+    appends: Counter,
+    bytes_appended: Counter,
+    fsyncs: Counter,
+    commits: Counter,
+    replay_images_applied: Counter,
+    replay_commits_seen: Counter,
+}
+
+fn wal_counters() -> &'static WalCounters {
+    static C: OnceLock<WalCounters> = OnceLock::new();
+    C.get_or_init(|| WalCounters {
+        appends: mct_obs::counter("wal.appends"),
+        bytes_appended: mct_obs::counter("wal.bytes_appended"),
+        fsyncs: mct_obs::counter("wal.fsyncs"),
+        commits: mct_obs::counter("wal.commits"),
+        replay_images_applied: mct_obs::counter("wal.replay.images_applied"),
+        replay_commits_seen: mct_obs::counter("wal.replay.commits_seen"),
+    })
+}
 
 /// Magic leading every record (little-endian "WL").
 const MAGIC: u16 = 0x4C57;
@@ -137,12 +162,15 @@ impl Wal {
         payload.extend_from_slice(catalog);
         let lsn = self.append(KIND_COMMIT, &payload)?;
         self.last_commit_end = Some(self.end);
+        wal_counters().commits.inc();
         Ok(lsn)
     }
 
     /// Force the log to stable storage.
     pub fn sync(&mut self) -> Result<()> {
-        self.disk.sync_data()
+        self.disk.sync_data()?;
+        wal_counters().fsyncs.inc();
+        Ok(())
     }
 
     /// Tear the log down into its backing disk (e.g. to reopen it
@@ -184,6 +212,7 @@ impl Wal {
                         target.allocate()?;
                     }
                     target.write(page, &payload[4..])?;
+                    wal_counters().replay_images_applied.inc();
                 }
                 KIND_COMMIT => {
                     let num_pages =
@@ -199,6 +228,7 @@ impl Wal {
                         catalog: payload[8..8 + cat_len].to_vec(),
                         lsn,
                     });
+                    wal_counters().replay_commits_seen.inc();
                 }
                 _ => return Err(StorageError::Corrupt("unknown WAL record kind")),
             }
@@ -224,6 +254,8 @@ impl Wal {
         rec.extend_from_slice(&crc.to_le_bytes());
         self.write_bytes(self.end, &rec)?;
         self.end += rec.len() as u64;
+        wal_counters().appends.inc();
+        wal_counters().bytes_appended.add(rec.len() as u64);
         Ok(lsn)
     }
 

@@ -253,6 +253,57 @@ fn bit_flip_under_the_pool_reads_as_corrupt() {
     );
 }
 
+// ----- injected faults are visible as metrics, not just errors --------------
+//
+// Global counters are shared across the parallel test threads, so the
+// assertions compare before/after deltas against the pool's own (per-
+// instance, deterministic) PoolStats rather than absolute values.
+
+#[test]
+fn injected_checksum_failure_counts_as_corrupt_read_metric() {
+    let global = mct_obs::counter("storage.corrupt_reads");
+    let (mut p, _inj) = faulty_pool(8);
+    let mut h = HeapFile::new();
+    let id = h.insert(&mut p, b"counted bytes").unwrap();
+    p.evict_all().unwrap();
+    p.disk_mut().flip_bit(id.page, 900 * 8).unwrap();
+    let mark_local = p.stats();
+    let mark_global = global.get();
+    assert!(matches!(h.get(&mut p, id), Err(StorageError::Corrupt(_))));
+    let local = p.stats().delta_since(&mark_local);
+    assert_eq!(local.corrupt_reads, 1, "pool counted the checksum failure");
+    assert!(
+        global.get() - mark_global >= local.corrupt_reads,
+        "storage.corrupt_reads reflects the pool's count"
+    );
+}
+
+#[test]
+fn injected_io_errors_count_as_io_error_metric() {
+    let global = mct_obs::counter("storage.io_errors");
+    let (mut p, inj) = faulty_pool(8);
+    let mut h = HeapFile::new();
+    let id = h.insert(&mut p, b"io counted").unwrap();
+    p.evict_all().unwrap();
+    // Read fault on the cold fetch.
+    let mark_local = p.stats();
+    let mark_global = global.get();
+    inj.fail_at_read(inj.reads());
+    assert!(matches!(h.get(&mut p, id), Err(StorageError::Io(_))));
+    assert_eq!(p.stats().delta_since(&mark_local).io_errors, 1);
+    // Write fault on an eviction flush.
+    p.with_page_mut(id.page, |b| b[1] = 9).unwrap();
+    inj.fail_at_write(inj.writes());
+    assert!(matches!(p.evict_all(), Err(StorageError::Io(_))));
+    inj.disarm();
+    let local = p.stats().delta_since(&mark_local);
+    assert_eq!(local.io_errors, 2, "one read fault + one write fault");
+    assert!(
+        global.get() - mark_global >= local.io_errors,
+        "storage.io_errors reflects the pool's count"
+    );
+}
+
 #[test]
 fn delete_insert_churn_reuses_space() {
     let mut p = pool();

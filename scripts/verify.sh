@@ -13,4 +13,33 @@ cargo test --workspace --offline -q
 echo "==> clippy (-D warnings)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "==> mctq --analyze smoke run"
+ANALYZE_QUERY='document("t")/{cust}descendant::order[{cust}child::status = "SHIPPED"]/{cust}child::orderline/{auth}parent::item'
+analyze_out=$(cargo run --release --offline --bin mctq -- \
+    --db tpcw --scale 0.05 --analyze --metrics-json "$ANALYZE_QUERY")
+echo "$analyze_out" | grep -q -- "-- EXPLAIN ANALYZE --" \
+    || { echo "FAIL: no EXPLAIN ANALYZE header"; exit 1; }
+echo "$analyze_out" | grep -q "^total: .* rows" \
+    || { echo "FAIL: no ANALYZE totals footer"; exit 1; }
+
+echo "==> metrics JSON well-formedness (mctq + bench report)"
+bench_out=$(cargo run --release --offline -p mct-bench --bin table1 -- \
+    --scale 0.05 --metrics-json)
+if command -v python3 >/dev/null 2>&1; then
+    # The JSON dump is the final block of stdout, starting at the first
+    # line that is exactly "{".
+    echo "$analyze_out" | sed -n '/^{$/,$p' | python3 -m json.tool >/dev/null \
+        || { echo "FAIL: mctq metrics JSON malformed"; exit 1; }
+    echo "$bench_out" | sed -n '/^{$/,$p' | python3 -m json.tool >/dev/null \
+        || { echo "FAIL: bench metrics JSON malformed"; exit 1; }
+else
+    echo "$analyze_out" | grep -q '"counters"' \
+        || { echo "FAIL: mctq metrics JSON missing"; exit 1; }
+    echo "$bench_out" | grep -q '"counters"' \
+        || { echo "FAIL: bench metrics JSON missing"; exit 1; }
+fi
+
+echo "==> bench dry-run (compile only)"
+cargo bench --workspace --offline --no-run
+
 echo "OK: all checks passed"

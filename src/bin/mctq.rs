@@ -16,6 +16,11 @@
 //!   for execution either way unless `--plan-exec` is given.
 //! * `--plan-exec` — execute through the planner's pipeline instead of
 //!   the interpreter (bare paths only).
+//! * `--analyze` — EXPLAIN ANALYZE: execute through the planner and
+//!   print the plan tree annotated with per-operator actual rows,
+//!   elapsed time, and buffer-pool hit/miss deltas (bare paths only).
+//! * `--metrics-json` / `--metrics-prom` — after the query, dump the
+//!   global metrics registry as JSON / Prometheus text to stdout.
 //! * `--update` — treat the input as an update statement.
 
 use colorful_xml::core::StoredDb;
@@ -31,6 +36,9 @@ struct Opts {
     scale: f64,
     explain: bool,
     plan_exec: bool,
+    analyze: bool,
+    metrics_json: bool,
+    metrics_prom: bool,
     update: bool,
     query: Option<String>,
 }
@@ -41,6 +49,9 @@ fn parse_opts() -> Opts {
         scale: 0.05,
         explain: false,
         plan_exec: false,
+        analyze: false,
+        metrics_json: false,
+        metrics_prom: false,
         update: false,
         query: None,
     };
@@ -57,11 +68,15 @@ fn parse_opts() -> Opts {
             }
             "--explain" => opts.explain = true,
             "--plan-exec" => opts.plan_exec = true,
+            "--analyze" => opts.analyze = true,
+            "--metrics-json" => opts.metrics_json = true,
+            "--metrics-prom" => opts.metrics_prom = true,
             "--update" => opts.update = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: mctq [--db movies|tpcw|sigmod] [--scale X] [--explain] \
-                     [--plan-exec] [--update] [QUERY]"
+                     [--plan-exec] [--analyze] [--metrics-json] [--metrics-prom] \
+                     [--update] [QUERY]"
                 );
                 std::process::exit(0);
             }
@@ -69,6 +84,17 @@ fn parse_opts() -> Opts {
         }
     }
     opts
+}
+
+/// Dump the global metrics registry in the requested formats.
+fn dump_metrics(opts: &Opts) {
+    let snap = colorful_xml::obs::global().snapshot();
+    if opts.metrics_json {
+        print!("{}", snap.to_json());
+    }
+    if opts.metrics_prom {
+        print!("{}", snap.to_prometheus());
+    }
 }
 
 fn load(db: &str, scale: f64) -> StoredDb {
@@ -139,6 +165,7 @@ fn main() {
             "updated: {} binding tuple(s), {} element(s)",
             out.tuples, out.elements
         );
+        dump_metrics(&opts);
         return;
     }
 
@@ -147,7 +174,7 @@ fn main() {
         std::process::exit(1);
     });
 
-    if opts.explain || opts.plan_exec {
+    if opts.explain || opts.plan_exec || opts.analyze {
         if let Expr::Path(p) = &expr {
             match plan_path(&stored, p, true) {
                 Ok(plan) => {
@@ -155,6 +182,22 @@ fn main() {
                         eprintln!("-- physical plan --");
                         eprint!("{}", plan.explain(&stored));
                         eprintln!("-------------------");
+                    }
+                    if opts.analyze {
+                        let (out, report) =
+                            plan.execute_analyze(&mut stored).expect("plan execution");
+                        println!("-- EXPLAIN ANALYZE --");
+                        print!("{}", report.render());
+                        println!("---------------------");
+                        println!("{} result(s) via planner:", out.len());
+                        for t in out.iter().take(50) {
+                            print_node(&stored, t[0].node);
+                        }
+                        if out.len() > 50 {
+                            println!("... ({} more)", out.len() - 50);
+                        }
+                        dump_metrics(&opts);
+                        return;
                     }
                     if opts.plan_exec {
                         let out = plan.execute(&mut stored).expect("plan execution");
@@ -165,13 +208,23 @@ fn main() {
                         if out.len() > 50 {
                             println!("... ({} more)", out.len() - 50);
                         }
+                        dump_metrics(&opts);
                         return;
                     }
                 }
-                Err(e) => eprintln!("(planner fallback to interpreter: {e})"),
+                Err(e) => {
+                    if opts.analyze {
+                        eprintln!("--analyze requires a plannable bare path: {e}");
+                        std::process::exit(1);
+                    }
+                    eprintln!("(planner fallback to interpreter: {e})");
+                }
             }
-        } else if opts.plan_exec {
-            eprintln!("--plan-exec requires a bare path expression; using interpreter");
+        } else if opts.plan_exec || opts.analyze {
+            eprintln!("--plan-exec/--analyze require a bare path expression; using interpreter");
+            if opts.analyze {
+                std::process::exit(1);
+            }
         }
     }
 
@@ -192,6 +245,7 @@ fn main() {
     if out.len() > 50 {
         println!("... ({} more)", out.len() - 50);
     }
+    dump_metrics(&opts);
 }
 
 fn print_node(s: &StoredDb, n: colorful_xml::core::McNodeId) {

@@ -48,6 +48,7 @@
 //! comparison, and the exchange-serialization round trip.
 
 pub use mct_core as core;
+pub use mct_obs as obs;
 pub use mct_query as query;
 pub use mct_serialize as serialize;
 pub use mct_storage as storage;
