@@ -152,6 +152,10 @@ pub fn parse_args_stats() -> (f64, bool, bool, bool) {
             "--stats" => stats = true,
             // Handled by metrics_json_requested(); not an error here.
             "--metrics-json" => {}
+            // Handled by parse_threads(); swallow the value too.
+            "--threads" => {
+                it.next();
+            }
             other if other.starts_with("--") => {
                 eprintln!("unknown flag {other}");
             }
@@ -159,6 +163,24 @@ pub fn parse_args_stats() -> (f64, bool, bool, bool) {
         }
     }
     (scale, sweep, cold, stats)
+}
+
+/// Parse `--threads N` from argv (default 1). Report binaries pass
+/// this to the parallel plan executors; `1` keeps the sequential
+/// operators on the hot path.
+pub fn parse_threads() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    let mut it = args.iter().skip(1);
+    while let Some(a) = it.next() {
+        if a == "--threads" {
+            return it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n >= 1)
+                .expect("--threads needs a positive integer");
+        }
+    }
+    1
 }
 
 /// Whether `--metrics-json` was passed: report binaries then dump the

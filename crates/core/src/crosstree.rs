@@ -46,8 +46,10 @@ fn crosstree_counters() -> &'static CrossTreeCounters {
 
 /// Bulk color transition via the link-index (attribute-value) join —
 /// the paper's implementation. Output is sorted by target-tree start.
+/// Takes `&StoredDb`: probes are pure reads through the concurrent
+/// buffer pool, so callers may fan input partitions across threads.
 pub fn cross_tree_join<D: DiskManager>(
-    stored: &mut StoredDb<D>,
+    stored: &StoredDb<D>,
     input: &[StructRef],
     to: ColorId,
 ) -> mct_storage::Result<Vec<StructRef>> {
@@ -119,12 +121,12 @@ mod tests {
 
     #[test]
     fn join_filters_and_reorders() {
-        let mut s = stored();
+        let s = stored();
         let red = s.db.color("red").unwrap();
         let green = s.db.color("green").unwrap();
         let reds = s.postings_named(red, "item").unwrap();
         assert_eq!(reds.len(), 100);
-        let crossed = cross_tree_join(&mut s, &reds, green).unwrap();
+        let crossed = cross_tree_join(&s, &reds, green).unwrap();
         assert_eq!(crossed.len(), 34, "items 0,3,...,99");
         // Sorted in green local order.
         assert!(crossed.windows(2).all(|w| w[0].code.start < w[1].code.start));
@@ -136,11 +138,11 @@ mod tests {
 
     #[test]
     fn direct_variant_agrees_with_probe_variant() {
-        let mut s = stored();
+        let s = stored();
         let red = s.db.color("red").unwrap();
         let green = s.db.color("green").unwrap();
         let reds = s.postings_named(red, "item").unwrap();
-        let a = cross_tree_join(&mut s, &reds, green).unwrap();
+        let a = cross_tree_join(&s, &reds, green).unwrap();
         let b = cross_tree_join_direct(&s, &reds, green);
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(&b) {
@@ -152,11 +154,11 @@ mod tests {
 
     #[test]
     fn probe_variant_recovers_level() {
-        let mut s = stored();
+        let s = stored();
         let red = s.db.color("red").unwrap();
         let green = s.db.color("green").unwrap();
         let reds = s.postings_named(red, "item").unwrap();
-        let crossed = cross_tree_join(&mut s, &reds, green).unwrap();
+        let crossed = cross_tree_join(&s, &reds, green).unwrap();
         for r in &crossed {
             assert_eq!(r.code.level, s.db.code(r.node, green).unwrap().level);
         }
@@ -164,24 +166,24 @@ mod tests {
 
     #[test]
     fn transition_to_same_color_is_identity_modulo_order() {
-        let mut s = stored();
+        let s = stored();
         let red = s.db.color("red").unwrap();
         let reds = s.postings_named(red, "item").unwrap();
-        let same = cross_tree_join(&mut s, &reds, red).unwrap();
+        let same = cross_tree_join(&s, &reds, red).unwrap();
         assert_eq!(same.len(), reds.len());
         assert_eq!(same, reds);
     }
 
     #[test]
     fn empty_input_empty_output() {
-        let mut s = stored();
+        let s = stored();
         let green = s.db.color("green").unwrap();
-        assert!(cross_tree_join(&mut s, &[], green).unwrap().is_empty());
+        assert!(cross_tree_join(&s, &[], green).unwrap().is_empty());
     }
 
     #[test]
     fn probe_join_pays_page_accesses_direct_does_not() {
-        let mut s = stored();
+        let s = stored();
         let red = s.db.color("red").unwrap();
         let green = s.db.color("green").unwrap();
         let reds = s.postings_named(red, "item").unwrap();
@@ -189,7 +191,7 @@ mod tests {
         let _ = cross_tree_join_direct(&s, &reds, green);
         let direct_hits = s.pool.stats().delta_since(&mark).accesses();
         assert_eq!(direct_hits, 0, "direct variant touches no pages");
-        let _ = cross_tree_join(&mut s, &reds, green).unwrap();
+        let _ = cross_tree_join(&s, &reds, green).unwrap();
         let probe_hits = s.pool.stats().delta_since(&mark).accesses();
         assert!(probe_hits >= reds.len() as u64, "one probe per input at least");
     }

@@ -120,11 +120,11 @@ impl<D: DiskManager> StoredDb<D> {
         let mut tag_indexes = Vec::with_capacity(ncolors);
         let mut link_indexes = Vec::with_capacity(ncolors);
         for _ in 0..ncolors {
-            tag_indexes.push(TagIndex::create(&mut pool)?);
-            link_indexes.push(BTree::create(&mut pool)?);
+            tag_indexes.push(TagIndex::create(&pool)?);
+            link_indexes.push(BTree::create(&pool)?);
         }
-        let mut content_index = ContentIndex::create(&mut pool)?;
-        let mut attr_index = ContentIndex::create(&mut pool)?;
+        let mut content_index = ContentIndex::create(&pool)?;
+        let mut attr_index = ContentIndex::create(&pool)?;
         let mut content_rid = vec![None; db.len()];
         let mut attr_rid = vec![None; db.len()];
 
@@ -138,17 +138,17 @@ impl<D: DiskManager> StoredDb<D> {
             // Content record + index.
             if let Some(content) = node.content.clone() {
                 let rec = encode_content(n, &content);
-                content_rid[i] = Some(content_heap.insert(&mut pool, &rec)?);
-                content_index.insert(&mut pool, &content, u64::from(n.0))?;
+                content_rid[i] = Some(content_heap.insert(&pool, &rec)?);
+                content_index.insert(&pool, &content, u64::from(n.0))?;
             }
             // Attribute record + index.
             if !node.attrs.is_empty() {
                 let pairs: Vec<(Sym, Box<str>)> = node.attrs.clone();
                 let rec = encode_attrs(n, &pairs);
-                attr_rid[i] = Some(attr_heap.insert(&mut pool, &rec)?);
+                attr_rid[i] = Some(attr_heap.insert(&pool, &rec)?);
                 for (s, v) in &pairs {
                     let key = format!("{}={}", db.names.resolve(*s), v);
-                    attr_index.insert(&mut pool, &key, u64::from(n.0))?;
+                    attr_index.insert(&pool, &key, u64::from(n.0))?;
                 }
             }
             // One structural record per color; the link index points at
@@ -156,9 +156,9 @@ impl<D: DiskManager> StoredDb<D> {
             for c in node.colors.iter() {
                 let code = db.code(n, c).expect("annotated");
                 let rid =
-                    struct_heaps[c.index()].insert(&mut pool, &encode_struct(n, name, code))?;
-                tag_indexes[c.index()].insert(&mut pool, name.0, code, u64::from(n.0))?;
-                link_indexes[c.index()].insert(&mut pool, &KeyEncoder::u32(n.0), pack_rid(rid))?;
+                    struct_heaps[c.index()].insert(&pool, &encode_struct(n, name, code))?;
+                tag_indexes[c.index()].insert(&pool, name.0, code, u64::from(n.0))?;
+                link_indexes[c.index()].insert(&pool, &KeyEncoder::u32(n.0), pack_rid(rid))?;
             }
         }
         Ok(StoredDb {
@@ -193,7 +193,7 @@ impl<D: DiskManager> StoredDb<D> {
     /// Returns `Ok(None)` when the WAL holds no commit.
     pub fn open_with(
         mut data: D,
-        wal_disk: Box<dyn DiskManager>,
+        wal_disk: Box<dyn DiskManager + Send>,
         pool_bytes: usize,
     ) -> mct_storage::Result<Option<StoredDb<D>>> {
         let mut wal = Wal::open(wal_disk)?;
@@ -260,8 +260,8 @@ impl<D: DiskManager> StoredDb<D> {
 
     /// Posting list for `tag` in colored tree `c`, in local document
     /// order (via the tag B+-tree: page-cost-bearing).
-    pub fn postings(&mut self, c: ColorId, tag: Sym) -> mct_storage::Result<Vec<StructRef>> {
-        let posts = self.tag_indexes[c.index()].postings(&mut self.pool, tag.0)?;
+    pub fn postings(&self, c: ColorId, tag: Sym) -> mct_storage::Result<Vec<StructRef>> {
+        let posts = self.tag_indexes[c.index()].postings(&self.pool, tag.0)?;
         Ok(posts
             .into_iter()
             .map(|p| StructRef {
@@ -272,7 +272,7 @@ impl<D: DiskManager> StoredDb<D> {
     }
 
     /// Posting list by tag name (resolving through the interner).
-    pub fn postings_named(&mut self, c: ColorId, tag: &str) -> mct_storage::Result<Vec<StructRef>> {
+    pub fn postings_named(&self, c: ColorId, tag: &str) -> mct_storage::Result<Vec<StructRef>> {
         match self.db.names.get(tag) {
             Some(sym) => self.postings(c, sym),
             None => Ok(Vec::new()),
@@ -280,31 +280,31 @@ impl<D: DiskManager> StoredDb<D> {
     }
 
     /// Nodes whose content equals `value` exactly.
-    pub fn content_lookup(&mut self, value: &str) -> mct_storage::Result<Vec<McNodeId>> {
+    pub fn content_lookup(&self, value: &str) -> mct_storage::Result<Vec<McNodeId>> {
         Ok(self
             .content_index
-            .lookup(&mut self.pool, value)?
+            .lookup(&self.pool, value)?
             .into_iter()
             .map(|v| McNodeId(v as u32))
             .collect())
     }
 
     /// Nodes with attribute `name` equal to `value`.
-    pub fn attr_lookup(&mut self, name: &str, value: &str) -> mct_storage::Result<Vec<McNodeId>> {
+    pub fn attr_lookup(&self, name: &str, value: &str) -> mct_storage::Result<Vec<McNodeId>> {
         let key = format!("{name}={value}");
         Ok(self
             .attr_index
-            .lookup(&mut self.pool, &key)?
+            .lookup(&self.pool, &key)?
             .into_iter()
             .map(|v| McNodeId(v as u32))
             .collect())
     }
 
     /// Fetch an element's content through the heap (page-cost-bearing).
-    pub fn fetch_content(&mut self, n: McNodeId) -> mct_storage::Result<Option<String>> {
+    pub fn fetch_content(&self, n: McNodeId) -> mct_storage::Result<Option<String>> {
         match self.content_rid.get(n.index()).copied().flatten() {
             Some(rid) => {
-                let rec = self.content_heap.get(&mut self.pool, rid)?;
+                let rec = self.content_heap.get(&self.pool, rid)?;
                 Ok(Some(decode_content(&rec).1))
             }
             None => Ok(None),
@@ -312,10 +312,10 @@ impl<D: DiskManager> StoredDb<D> {
     }
 
     /// Fetch an element's attributes through the heap.
-    pub fn fetch_attrs(&mut self, n: McNodeId) -> mct_storage::Result<Vec<(String, String)>> {
+    pub fn fetch_attrs(&self, n: McNodeId) -> mct_storage::Result<Vec<(String, String)>> {
         match self.attr_rid.get(n.index()).copied().flatten() {
             Some(rid) => {
-                let rec = self.attr_heap.get(&mut self.pool, rid)?;
+                let rec = self.attr_heap.get(&self.pool, rid)?;
                 Ok(decode_attrs(&rec, &self.db))
             }
             None => Ok(Vec::new()),
@@ -327,15 +327,15 @@ impl<D: DiskManager> StoredDb<D> {
     /// structural-record fetch per call, which is what makes a color
     /// transition cost like a value join.
     pub fn link_probe(
-        &mut self,
+        &self,
         n: McNodeId,
         to: ColorId,
     ) -> mct_storage::Result<Option<IntervalCode>> {
-        let Some(packed) = self.link_indexes[to.index()].get(&mut self.pool, &KeyEncoder::u32(n.0))?
+        let Some(packed) = self.link_indexes[to.index()].get(&self.pool, &KeyEncoder::u32(n.0))?
         else {
             return Ok(None);
         };
-        let rec = self.struct_heaps[to.index()].get(&mut self.pool, unpack_rid(packed))?;
+        let rec = self.struct_heaps[to.index()].get(&self.pool, unpack_rid(packed))?;
         Ok(Some(IntervalCode::from_bytes(&rec[..10])))
     }
 
@@ -361,24 +361,24 @@ impl<D: DiskManager> StoredDb<D> {
         let name = node.name.expect("element named");
         if let Some(content) = &node.content {
             let rec = encode_content(n, content);
-            self.content_rid[n.index()] = Some(self.content_heap.insert(&mut self.pool, &rec)?);
+            self.content_rid[n.index()] = Some(self.content_heap.insert(&self.pool, &rec)?);
             self.content_index
-                .insert(&mut self.pool, content, u64::from(n.0))?;
+                .insert(&self.pool, content, u64::from(n.0))?;
         }
         if !node.attrs.is_empty() {
             let rec = encode_attrs(n, &node.attrs);
-            self.attr_rid[n.index()] = Some(self.attr_heap.insert(&mut self.pool, &rec)?);
+            self.attr_rid[n.index()] = Some(self.attr_heap.insert(&self.pool, &rec)?);
             for (s, v) in &node.attrs {
                 let key = format!("{}={}", self.db.names.resolve(*s), v);
-                self.attr_index.insert(&mut self.pool, &key, u64::from(n.0))?;
+                self.attr_index.insert(&self.pool, &key, u64::from(n.0))?;
             }
         }
         for c in node.colors.iter() {
             let code = self.db.code(n, c).expect("code assigned before persist");
             let rid = self.struct_heaps[c.index()]
-                .insert(&mut self.pool, &encode_struct(n, name, code))?;
-            self.tag_indexes[c.index()].insert(&mut self.pool, name.0, code, u64::from(n.0))?;
-            self.link_indexes[c.index()].insert(&mut self.pool, &KeyEncoder::u32(n.0), pack_rid(rid))?;
+                .insert(&self.pool, &encode_struct(n, name, code))?;
+            self.tag_indexes[c.index()].insert(&self.pool, name.0, code, u64::from(n.0))?;
+            self.link_indexes[c.index()].insert(&self.pool, &KeyEncoder::u32(n.0), pack_rid(rid))?;
         }
         Ok(())
     }
@@ -388,13 +388,13 @@ impl<D: DiskManager> StoredDb<D> {
         let old = self.db.content(n).map(str::to_string);
         self.db.set_content(n, new);
         if let Some(old) = &old {
-            self.content_index.remove(&mut self.pool, old, u64::from(n.0))?;
+            self.content_index.remove(&self.pool, old, u64::from(n.0))?;
         }
         let rec = encode_content(n, new);
         match self.content_rid.get(n.index()).copied().flatten() {
             Some(rid) => {
                 // The record may relocate when it grows past its page.
-                let new_rid = self.content_heap.update(&mut self.pool, rid, &rec)?;
+                let new_rid = self.content_heap.update(&self.pool, rid, &rec)?;
                 self.content_rid[n.index()] = Some(new_rid);
             }
             None => {
@@ -402,10 +402,10 @@ impl<D: DiskManager> StoredDb<D> {
                     self.content_rid.resize(self.db.len(), None);
                 }
                 self.content_rid[n.index()] =
-                    Some(self.content_heap.insert(&mut self.pool, &rec)?);
+                    Some(self.content_heap.insert(&self.pool, &rec)?);
             }
         }
-        self.content_index.insert(&mut self.pool, new, u64::from(n.0))?;
+        self.content_index.insert(&self.pool, new, u64::from(n.0))?;
         Ok(())
     }
 
@@ -415,13 +415,13 @@ impl<D: DiskManager> StoredDb<D> {
     pub fn unindex_node(&mut self, n: McNodeId, c: ColorId) -> mct_storage::Result<()> {
         let name = self.db.node(n).name.expect("element named");
         if let Some(code) = self.db.code(n, c) {
-            self.tag_indexes[c.index()].remove(&mut self.pool, name.0, code)?;
+            self.tag_indexes[c.index()].remove(&self.pool, name.0, code)?;
             if let Some(packed) =
-                self.link_indexes[c.index()].get(&mut self.pool, &KeyEncoder::u32(n.0))?
+                self.link_indexes[c.index()].get(&self.pool, &KeyEncoder::u32(n.0))?
             {
-                self.struct_heaps[c.index()].delete(&mut self.pool, unpack_rid(packed))?;
+                self.struct_heaps[c.index()].delete(&self.pool, unpack_rid(packed))?;
             }
-            self.link_indexes[c.index()].delete(&mut self.pool, &KeyEncoder::u32(n.0))?;
+            self.link_indexes[c.index()].delete(&self.pool, &KeyEncoder::u32(n.0))?;
         }
         Ok(())
     }
@@ -430,8 +430,8 @@ impl<D: DiskManager> StoredDb<D> {
     /// (`annotate`) invalidated its codes.
     pub fn reindex_color(&mut self, c: ColorId) -> mct_storage::Result<()> {
         self.db.ensure_annotated(c);
-        let mut tag = TagIndex::create(&mut self.pool)?;
-        let mut link = BTree::create(&mut self.pool)?;
+        let mut tag = TagIndex::create(&self.pool)?;
+        let mut link = BTree::create(&self.pool)?;
         let mut heap = HeapFile::new();
         let nodes: Vec<(McNodeId, Sym)> = self
             .db
@@ -441,9 +441,9 @@ impl<D: DiskManager> StoredDb<D> {
             .collect();
         for (n, name) in nodes {
             let code = self.db.code(n, c).expect("annotated");
-            let rid = heap.insert(&mut self.pool, &encode_struct(n, name, code))?;
-            tag.insert(&mut self.pool, name.0, code, u64::from(n.0))?;
-            link.insert(&mut self.pool, &KeyEncoder::u32(n.0), pack_rid(rid))?;
+            let rid = heap.insert(&self.pool, &encode_struct(n, name, code))?;
+            tag.insert(&self.pool, name.0, code, u64::from(n.0))?;
+            link.insert(&self.pool, &KeyEncoder::u32(n.0), pack_rid(rid))?;
         }
         self.tag_indexes[c.index()] = tag;
         self.link_indexes[c.index()] = link;
@@ -483,7 +483,7 @@ impl<D: DiskManager> StoredDb<D> {
 
     /// Cold-cache mode: drop every cached page (§7: "flushing all
     /// buffers completely before each query evaluation").
-    pub fn flush_cache(&mut self) -> mct_storage::Result<()> {
+    pub fn flush_cache(&self) -> mct_storage::Result<()> {
         self.pool.evict_all()
     }
 }
@@ -583,7 +583,7 @@ mod tests {
 
     #[test]
     fn build_and_postings() {
-        let mut s = StoredDb::build(small_db(), 4 * 1024 * 1024).unwrap();
+        let s = StoredDb::build(small_db(), 4 * 1024 * 1024).unwrap();
         let red = s.db.color("red").unwrap();
         let green = s.db.color("green").unwrap();
         let red_movies = s.postings_named(red, "movie").unwrap();
@@ -598,7 +598,7 @@ mod tests {
 
     #[test]
     fn content_and_attr_lookup() {
-        let mut s = StoredDb::build(small_db(), 4 * 1024 * 1024).unwrap();
+        let s = StoredDb::build(small_db(), 4 * 1024 * 1024).unwrap();
         let hits = s.content_lookup("Movie 3").unwrap();
         assert_eq!(hits.len(), 1);
         assert_eq!(s.db.name_str(hits[0]), Some("name"));
@@ -610,7 +610,7 @@ mod tests {
 
     #[test]
     fn fetch_content_via_heap() {
-        let mut s = StoredDb::build(small_db(), 4 * 1024 * 1024).unwrap();
+        let s = StoredDb::build(small_db(), 4 * 1024 * 1024).unwrap();
         let hits = s.content_lookup("Movie 3").unwrap();
         assert_eq!(s.fetch_content(hits[0]).unwrap().as_deref(), Some("Movie 3"));
         let red = s.db.color("red").unwrap();
@@ -622,7 +622,7 @@ mod tests {
 
     #[test]
     fn link_probe_matches_direct() {
-        let mut s = StoredDb::build(small_db(), 4 * 1024 * 1024).unwrap();
+        let s = StoredDb::build(small_db(), 4 * 1024 * 1024).unwrap();
         let red = s.db.color("red").unwrap();
         let green = s.db.color("green").unwrap();
         let red_movies = s.postings_named(red, "movie").unwrap();
@@ -822,14 +822,14 @@ mod tests {
         r.update_content(n, "Second Life").unwrap();
         r.sync().unwrap();
         drop(r);
-        let mut r2 = StoredDb::open(&dir, 4 * 1024 * 1024).unwrap().unwrap();
+        let r2 = StoredDb::open(&dir, 4 * 1024 * 1024).unwrap().unwrap();
         assert_eq!(r2.content_lookup("Second Life").unwrap(), vec![n]);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn cold_cache_flush() {
-        let mut s = StoredDb::build(small_db(), 4 * 1024 * 1024).unwrap();
+        let s = StoredDb::build(small_db(), 4 * 1024 * 1024).unwrap();
         let red = s.db.color("red").unwrap();
         s.postings_named(red, "movie").unwrap();
         s.flush_cache().unwrap();

@@ -725,7 +725,11 @@ fn eval_flwor<D: DiskManager>(ctx: &mut EvalContext<'_, D>, f: &Flwor) -> EvalRe
         out.sort_by(|(ka, _), (kb, _)| {
             for (a, b) in ka.iter().zip(kb) {
                 let ord = match (a.trim().parse::<f64>(), b.trim().parse::<f64>()) {
-                    (Ok(na), Ok(nb)) => na.partial_cmp(&nb).unwrap_or(std::cmp::Ordering::Equal),
+                    // total_cmp: a total order even for NaN keys
+                    // ("NaN" parses as f64), so order-by never sees
+                    // an inconsistent comparator and sorts
+                    // deterministically (NaN after +inf).
+                    (Ok(na), Ok(nb)) => na.total_cmp(&nb),
                     _ => a.cmp(b),
                 };
                 if ord != std::cmp::Ordering::Equal {

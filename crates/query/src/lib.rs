@@ -15,6 +15,10 @@
 //! * [`plan`] — a heuristic physical planner for colored path
 //!   expressions (the paper's "future work" optimizer): single-color
 //!   chains run holistically, color changes become cross-tree joins.
+//! * [`exec`] — morsel-driven parallel execution: a scoped-thread
+//!   worker pool partitioning posting lists and cross-tree join
+//!   inputs by node-id range, output-identical to the sequential
+//!   operators.
 //! * [`twig`] — branching holistic twig joins (TwigStack) for tree
 //!   patterns, complementing the chain join in [`ops`].
 //! * [`update`] — two-phase color-aware update execution.
@@ -26,6 +30,7 @@
 
 pub mod ast;
 pub mod eval;
+pub mod exec;
 pub mod ops;
 pub mod parser;
 pub mod plan;

@@ -52,6 +52,12 @@ pub enum KeySpec {
 }
 
 /// Comparison for numeric joins/selections.
+///
+/// Semantics over element content: content that does not parse as a
+/// number makes the predicate **false** (the tuple is dropped, never a
+/// panic), and any comparison involving NaN is **false — including
+/// `!=`**. Note `"NaN"` and `"inf"` do parse as `f64`, so the NaN rule
+/// matters even for plain text content; infinities compare normally.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum NumCmp {
     /// `=`
@@ -69,8 +75,11 @@ pub enum NumCmp {
 }
 
 impl NumCmp {
-    /// Apply the comparison.
+    /// Apply the comparison. NaN operands never match (even `Ne`).
     pub fn test(self, a: f64, b: f64) -> bool {
+        if a.is_nan() || b.is_nan() {
+            return false;
+        }
         match self {
             NumCmp::Eq => a == b,
             NumCmp::Lt => a < b,
@@ -85,7 +94,7 @@ impl NumCmp {
 /// Scan a tag's posting list in color `c`, producing 1-column tuples
 /// in local document order.
 pub fn index_scan<D: DiskManager>(
-    s: &mut StoredDb<D>,
+    s: &StoredDb<D>,
     c: ColorId,
     tag: &str,
 ) -> mct_storage::Result<Vec<Tuple>> {
@@ -286,7 +295,7 @@ fn paths_to(
 /// Hash equality join on extracted string keys. Builds on the right,
 /// probes with the left; output order follows the left input.
 pub fn value_join_eq<D: DiskManager>(
-    s: &mut StoredDb<D>,
+    s: &StoredDb<D>,
     left: &[Tuple],
     lcol: usize,
     lkey: &KeySpec,
@@ -319,7 +328,7 @@ pub fn value_join_eq<D: DiskManager>(
 /// (this is the inequality value join whose scaling the paper calls
 /// out in §7.2).
 pub fn nl_join_cmp<D: DiskManager>(
-    s: &mut StoredDb<D>,
+    s: &StoredDb<D>,
     left: &[Tuple],
     lcol: usize,
     right: &[Tuple],
@@ -349,7 +358,7 @@ pub fn nl_join_cmp<D: DiskManager>(
 /// node lacks the color), then re-sort by that column. Uses the
 /// paper's link-probe join.
 pub fn cross_tree_op<D: DiskManager>(
-    s: &mut StoredDb<D>,
+    s: &StoredDb<D>,
     input: Vec<Tuple>,
     col: usize,
     to: ColorId,
@@ -391,7 +400,7 @@ pub fn cross_tree_op<D: DiskManager>(
 
 /// Keep tuples whose `col` content contains `needle`.
 pub fn select_contains<D: DiskManager>(
-    s: &mut StoredDb<D>,
+    s: &StoredDb<D>,
     input: Vec<Tuple>,
     col: usize,
     needle: &str,
@@ -409,7 +418,7 @@ pub fn select_contains<D: DiskManager>(
 
 /// Keep tuples whose `col` content equals `value` exactly.
 pub fn select_content_eq<D: DiskManager>(
-    s: &mut StoredDb<D>,
+    s: &StoredDb<D>,
     input: Vec<Tuple>,
     col: usize,
     value: &str,
@@ -425,7 +434,7 @@ pub fn select_content_eq<D: DiskManager>(
 
 /// Keep tuples whose `col` content compares `cmp` against `k`.
 pub fn select_number_cmp<D: DiskManager>(
-    s: &mut StoredDb<D>,
+    s: &StoredDb<D>,
     input: Vec<Tuple>,
     col: usize,
     cmp: NumCmp,
@@ -446,7 +455,7 @@ pub fn select_number_cmp<D: DiskManager>(
 
 /// Keep tuples whose `col` attribute `name` equals `value`.
 pub fn select_attr_eq<D: DiskManager>(
-    s: &mut StoredDb<D>,
+    s: &StoredDb<D>,
     input: Vec<Tuple>,
     col: usize,
     name: &str,
@@ -497,7 +506,7 @@ fn is_sorted_by(tuples: &[Tuple], col: usize) -> bool {
 }
 
 fn extract_keys<D: DiskManager>(
-    s: &mut StoredDb<D>,
+    s: &StoredDb<D>,
     r: StructRef,
     spec: &KeySpec,
 ) -> mct_storage::Result<Vec<String>> {
@@ -523,7 +532,7 @@ fn extract_keys<D: DiskManager>(
 }
 
 fn fetch_numbers<D: DiskManager>(
-    s: &mut StoredDb<D>,
+    s: &StoredDb<D>,
     tuples: &[Tuple],
     col: usize,
 ) -> mct_storage::Result<Vec<Option<f64>>> {
@@ -585,11 +594,11 @@ mod tests {
 
     #[test]
     fn structural_join_matches_naive() {
-        let mut s = stored();
+        let s = stored();
         let red = s.db.color("red").unwrap();
-        let genres = index_scan(&mut s, red, "genre").unwrap();
-        let movies = index_scan(&mut s, red, "movie").unwrap();
-        let names = index_scan(&mut s, red, "name").unwrap();
+        let genres = index_scan(&s, red, "genre").unwrap();
+        let movies = index_scan(&s, red, "movie").unwrap();
+        let names = index_scan(&s, red, "name").unwrap();
         for rel in [Rel::Child, Rel::Descendant] {
             let fast = structural_join(&genres, 0, &movies, 0, rel);
             let slow = naive_structural_join(&genres, 0, &movies, 0, rel);
@@ -605,10 +614,10 @@ mod tests {
 
     #[test]
     fn structural_join_tuple_concatenation() {
-        let mut s = stored();
+        let s = stored();
         let red = s.db.color("red").unwrap();
-        let movies = index_scan(&mut s, red, "movie").unwrap();
-        let names = index_scan(&mut s, red, "name").unwrap();
+        let movies = index_scan(&s, red, "movie").unwrap();
+        let names = index_scan(&s, red, "name").unwrap();
         let joined = structural_join(&movies, 0, &names, 0, Rel::Child);
         assert!(joined.iter().all(|t| t.len() == 2));
         for t in &joined {
@@ -618,7 +627,7 @@ mod tests {
 
     #[test]
     fn holistic_chain_equals_binary_composition() {
-        let mut s = stored();
+        let s = stored();
         let red = s.db.color("red").unwrap();
         let genres: Vec<_> = s.postings_named(red, "genre").unwrap();
         let movies: Vec<_> = s.postings_named(red, "movie").unwrap();
@@ -651,7 +660,7 @@ mod tests {
 
     #[test]
     fn holistic_single_list_passthrough() {
-        let mut s = stored();
+        let s = stored();
         let red = s.db.color("red").unwrap();
         let movies: Vec<_> = s.postings_named(red, "movie").unwrap();
         let out = holistic_path_join(std::slice::from_ref(&movies), &[]);
@@ -660,12 +669,12 @@ mod tests {
 
     #[test]
     fn value_join_on_attribute() {
-        let mut s = stored();
+        let s = stored();
         let red = s.db.color("red").unwrap();
-        let movies = index_scan(&mut s, red, "movie").unwrap();
-        let roles = index_scan(&mut s, red, "role").unwrap();
+        let movies = index_scan(&s, red, "movie").unwrap();
+        let roles = index_scan(&s, red, "role").unwrap();
         let joined = value_join_eq(
-            &mut s,
+            &s,
             &roles,
             0,
             &KeySpec::Attr("movieIdRef".into()),
@@ -697,11 +706,11 @@ mod tests {
             db.set_attr(b, "id", id);
             db.append_child(root, b, c);
         }
-        let mut s = StoredDb::build(db, 1024 * 1024).unwrap();
-        let as_ = index_scan(&mut s, c, "a").unwrap();
-        let bs = index_scan(&mut s, c, "b").unwrap();
+        let s = StoredDb::build(db, 1024 * 1024).unwrap();
+        let as_ = index_scan(&s, c, "a").unwrap();
+        let bs = index_scan(&s, c, "b").unwrap();
         let joined = value_join_eq(
-            &mut s,
+            &s,
             &as_,
             0,
             &KeySpec::AttrTokens("refs".into()),
@@ -715,21 +724,21 @@ mod tests {
 
     #[test]
     fn nested_loop_inequality_join() {
-        let mut s = stored();
+        let s = stored();
         let red = s.db.color("red").unwrap();
-        let votes = index_scan(&mut s, red, "votes").unwrap();
+        let votes = index_scan(&s, red, "votes").unwrap();
         // votes > votes: strict pairs among 0,10,...,70 → 28 pairs.
-        let joined = nl_join_cmp(&mut s, &votes, 0, &votes, 0, NumCmp::Gt).unwrap();
+        let joined = nl_join_cmp(&s, &votes, 0, &votes, 0, NumCmp::Gt).unwrap();
         assert_eq!(joined.len(), 28);
     }
 
     #[test]
     fn cross_tree_op_changes_codes_and_order() {
-        let mut s = stored();
+        let s = stored();
         let red = s.db.color("red").unwrap();
         let green = s.db.color("green").unwrap();
-        let movies = index_scan(&mut s, red, "movie").unwrap();
-        let crossed = cross_tree_op(&mut s, movies, 0, green).unwrap();
+        let movies = index_scan(&s, red, "movie").unwrap();
+        let crossed = cross_tree_op(&s, movies, 0, green).unwrap();
         assert_eq!(crossed.len(), 4, "even movies are green");
         for t in &crossed {
             assert_eq!(
@@ -742,27 +751,71 @@ mod tests {
 
     #[test]
     fn selections() {
-        let mut s = stored();
+        let s = stored();
         let red = s.db.color("red").unwrap();
-        let names = index_scan(&mut s, red, "name").unwrap();
-        let eq = select_content_eq(&mut s, names.clone(), 0, "Movie 3").unwrap();
+        let names = index_scan(&s, red, "name").unwrap();
+        let eq = select_content_eq(&s, names.clone(), 0, "Movie 3").unwrap();
         assert_eq!(eq.len(), 1);
-        let has = select_contains(&mut s, names.clone(), 0, "Movie").unwrap();
+        let has = select_contains(&s, names.clone(), 0, "Movie").unwrap();
         assert_eq!(has.len(), 8);
-        let votes = index_scan(&mut s, red, "votes").unwrap();
-        let big = select_number_cmp(&mut s, votes, 0, NumCmp::Gt, 45.0).unwrap();
+        let votes = index_scan(&s, red, "votes").unwrap();
+        let big = select_number_cmp(&s, votes, 0, NumCmp::Gt, 45.0).unwrap();
         assert_eq!(big.len(), 3); // 50, 60, 70
-        let movies = index_scan(&mut s, red, "movie").unwrap();
-        let m3 = select_attr_eq(&mut s, movies, 0, "id", "m3").unwrap();
+        let movies = index_scan(&s, red, "movie").unwrap();
+        let m3 = select_attr_eq(&s, movies, 0, "id", "m3").unwrap();
         assert_eq!(m3.len(), 1);
     }
 
     #[test]
+    fn numcmp_nan_never_matches() {
+        let all = [NumCmp::Eq, NumCmp::Lt, NumCmp::Le, NumCmp::Gt, NumCmp::Ge, NumCmp::Ne];
+        for cmp in all {
+            assert!(!cmp.test(f64::NAN, 1.0), "{cmp:?} NaN lhs");
+            assert!(!cmp.test(1.0, f64::NAN), "{cmp:?} NaN rhs");
+            assert!(!cmp.test(f64::NAN, f64::NAN), "{cmp:?} NaN both");
+        }
+        // Ne on NaN is false too — deliberately not IEEE `!=`.
+        assert!(!NumCmp::Ne.test(f64::NAN, 1.0));
+        // Infinities compare normally.
+        assert!(NumCmp::Gt.test(f64::INFINITY, 1e308));
+        assert!(NumCmp::Lt.test(f64::NEG_INFINITY, 0.0));
+        assert!(NumCmp::Ne.test(1.0, 2.0));
+    }
+
+    #[test]
+    fn select_number_cmp_odd_content() {
+        // "NaN" and "inf" parse as f64; "n/a" does not. None may panic
+        // and none but the real numbers/infinities may match.
+        let mut db = MctDatabase::new();
+        let c = db.add_color("black");
+        let root = db.new_element("root", c);
+        db.append_child(McNodeId::DOCUMENT, root, c);
+        for content in ["NaN", "inf", "-inf", "n/a", "5", ""] {
+            let v = db.new_element("v", c);
+            db.set_content(v, content);
+            db.append_child(root, v, c);
+        }
+        let s = StoredDb::build(db, 1024 * 1024).unwrap();
+        let vs = index_scan(&s, c, "v").unwrap();
+        let fetch = |ts: &[Tuple]| -> Vec<String> {
+            ts.iter()
+                .map(|t| s.fetch_content(t[0].node).unwrap().unwrap_or_default())
+                .collect()
+        };
+        let gt = select_number_cmp(&s, vs.clone(), 0, NumCmp::Gt, 1.0).unwrap();
+        assert_eq!(fetch(&gt), ["inf", "5"], "NaN and unparsable never match");
+        let ne = select_number_cmp(&s, vs.clone(), 0, NumCmp::Ne, 5.0).unwrap();
+        assert_eq!(fetch(&ne), ["inf", "-inf"], "NaN != k is still false");
+        let le = select_number_cmp(&s, vs, 0, NumCmp::Le, f64::NAN).unwrap();
+        assert!(le.is_empty(), "NaN bound matches nothing");
+    }
+
+    #[test]
     fn dup_elim_and_project() {
-        let mut s = stored();
+        let s = stored();
         let red = s.db.color("red").unwrap();
-        let movies = index_scan(&mut s, red, "movie").unwrap();
-        let names = index_scan(&mut s, red, "name").unwrap();
+        let movies = index_scan(&s, red, "movie").unwrap();
+        let names = index_scan(&s, red, "name").unwrap();
         let joined = structural_join(&movies, 0, &names, 0, Rel::Child);
         let only_movies = project(joined.clone(), &[0]);
         assert!(only_movies.iter().all(|t| t.len() == 1));

@@ -26,9 +26,10 @@
 //! to the interpreter ([`crate::eval()`]).
 
 use crate::ast::{Axis, CmpOp, Expr, Literal, NodeTest, PathExpr, PathStart, Step};
+use crate::exec;
 use mct_storage::DiskManager;
 use crate::ops::{
-    self, cross_tree_op, dup_elim, holistic_path_join, select_attr_eq, select_contains,
+    self, dup_elim, select_attr_eq, select_contains,
     select_content_eq, select_number_cmp, NumCmp, Rel, Tuple,
 };
 use mct_core::{ColorId, McNodeId, StoredDb, StructRef};
@@ -229,7 +230,20 @@ impl PathPlan {
 
     /// Execute the plan, returning the final single-column tuples.
     pub fn execute<D: DiskManager>(&self, s: &mut StoredDb<D>) -> mct_storage::Result<Vec<Tuple>> {
-        self.run(s, None).map(|(tuples, _)| tuples)
+        self.run(s, None, 1).map(|(tuples, _)| tuples)
+    }
+
+    /// Execute with `threads` morsel workers. Output is byte-identical
+    /// to [`PathPlan::execute`]: the parallel operators merge chunk
+    /// results in chunk order and the Chain/CrossTree stages re-sort
+    /// by document order (see [`crate::exec`]). `threads <= 1` is the
+    /// sequential path.
+    pub fn execute_parallel<D: DiskManager>(
+        &self,
+        s: &mut StoredDb<D>,
+        threads: usize,
+    ) -> mct_storage::Result<Vec<Tuple>> {
+        self.run(s, None, threads).map(|(tuples, _)| tuples)
     }
 
     /// Execute the plan collecting per-stage actuals (EXPLAIN
@@ -238,10 +252,21 @@ impl PathPlan {
         &self,
         s: &mut StoredDb<D>,
     ) -> mct_storage::Result<(Vec<Tuple>, AnalyzeReport)> {
+        self.execute_analyze_parallel(s, 1)
+    }
+
+    /// [`PathPlan::execute_analyze`] with `threads` morsel workers:
+    /// per-stage wall clock then reflects the parallel operators, and
+    /// pool deltas aggregate the page traffic of every worker.
+    pub fn execute_analyze_parallel<D: DiskManager>(
+        &self,
+        s: &mut StoredDb<D>,
+        threads: usize,
+    ) -> mct_storage::Result<(Vec<Tuple>, AnalyzeReport)> {
         let labels = self.labels(s);
         let pool_mark = s.pool.stats();
         let t0 = Instant::now();
-        let (tuples, stages) = self.run(s, Some(&labels))?;
+        let (tuples, stages) = self.run(s, Some(&labels), threads)?;
         let report = AnalyzeReport {
             stages,
             total: t0.elapsed(),
@@ -254,12 +279,30 @@ impl PathPlan {
     /// Pipeline driver behind both execute flavors. With
     /// `labels: Some(..)`, each stage is timed and its pool delta
     /// captured; without, only the (cheap) spans and row counters run.
+    /// With `threads > 1`, Chain and CrossTree stages fan their inputs
+    /// out over [`exec::run_morsels`] workers.
     fn run<D: DiskManager>(
         &self,
         s: &mut StoredDb<D>,
         labels: Option<&[String]>,
+        threads: usize,
     ) -> mct_storage::Result<(Vec<Tuple>, Vec<StageStats>)> {
         mct_obs::counter("query.plan.executions").inc();
+        // Hoist color annotation: parent navigation and predicate
+        // evaluation need in-memory interval codes, and annotating is
+        // the one `&mut` operation in the pipeline. Doing it up front
+        // leaves the stage loop a pure read, so morsel workers can
+        // share `&StoredDb` freely.
+        for st in &self.stages {
+            match st {
+                Stage::ContentEntry { color, .. }
+                | Stage::Chain { color, .. }
+                | Stage::Parent { color, .. } => s.db.ensure_annotated(*color),
+                Stage::CrossTree { to } => s.db.ensure_annotated(*to),
+                Stage::DupElim => {}
+            }
+        }
+        let s: &StoredDb<D> = s;
         let mut collected = Vec::new();
         let mut current: Option<Vec<Tuple>> = None;
         for (i, st) in self.stages.iter().enumerate() {
@@ -275,7 +318,6 @@ impl PathPlan {
             current = Some(match st {
                 Stage::ContentEntry { color, tag, child_tag, value } => {
                     let hits = s.content_lookup(value)?;
-                    s.db.ensure_annotated(*color);
                     let mut out = Vec::new();
                     for n in hits {
                         if s.db.name_str(n) != Some(child_tag.as_str()) {
@@ -304,27 +346,35 @@ impl PathPlan {
                     } else {
                         0
                     };
-                    for tag in &tags[start..] {
-                        lists.push(s.postings_named(*color, tag)?);
+                    // Gather the remaining posting lists — one index
+                    // scan per chain tag, fanned out when parallel.
+                    let rest = &tags[start..];
+                    if threads > 1 && rest.len() > 1 {
+                        lists.extend(exec::run_morsels(threads, rest.len(), |i| {
+                            s.postings_named(*color, &rest[i])
+                        })?);
+                    } else {
+                        for tag in rest {
+                            lists.push(s.postings_named(*color, tag)?);
+                        }
                     }
-                    let joined = holistic_path_join(&lists, rels);
+                    let joined = exec::holistic_chain_par(&lists, rels, threads);
                     // Apply per-position predicates, then project to the
                     // last column.
                     let mut tuples = joined;
                     for (pos, ps) in preds.iter().enumerate() {
                         for p in ps {
-                            tuples = apply_pred(s, tuples, pos, *color, p)?;
+                            tuples = apply_pred_par(s, tuples, pos, *color, p, threads)?;
                         }
                     }
                     ops::sort_by_col(ops::project(tuples, &[tags.len() - 1]), 0)
                 }
                 Stage::CrossTree { to } => {
                     let cur = current.take().unwrap_or_default();
-                    cross_tree_op(s, cur, 0, *to)?
+                    exec::cross_tree_op_par(s, cur, 0, *to, threads)?
                 }
                 Stage::Parent { color, tag } => {
                     let cur = current.take().unwrap_or_default();
-                    s.db.ensure_annotated(*color);
                     let mut out = Vec::new();
                     for t in cur {
                         if let Some(p) = s.db.parent(t[0].node, *color) {
@@ -362,27 +412,48 @@ impl PathPlan {
     }
 }
 
+/// [`apply_pred`] over morsels: predicates filter tuples
+/// independently and chunk outputs merge in chunk order, so the
+/// result equals the sequential filter exactly.
+fn apply_pred_par<D: DiskManager>(
+    s: &StoredDb<D>,
+    tuples: Vec<Tuple>,
+    col: usize,
+    color: ColorId,
+    p: &CompiledPred,
+    threads: usize,
+) -> mct_storage::Result<Vec<Tuple>> {
+    if threads <= 1 || tuples.len() < 2 * exec::MIN_MORSEL {
+        return apply_pred(s, tuples, col, color, p);
+    }
+    let ranges = exec::chunk_ranges(tuples.len(), threads);
+    let chunks = exec::run_morsels(threads, ranges.len(), |ci| {
+        apply_pred(s, tuples[ranges[ci].clone()].to_vec(), col, color, p)
+    })?;
+    Ok(chunks.into_iter().flatten().collect())
+}
+
+/// Apply one compiled predicate. Callers must have annotated `color`
+/// already (see [`PathPlan::run`]'s hoist) — this is a pure read and
+/// safe to fan across threads.
 fn apply_pred<D: DiskManager>(
-    s: &mut StoredDb<D>,
+    s: &StoredDb<D>,
     tuples: Vec<Tuple>,
     col: usize,
     color: ColorId,
     p: &CompiledPred,
 ) -> mct_storage::Result<Vec<Tuple>> {
     // Predicates on a named child evaluate against that child's content.
-    let resolve_child = |s: &mut StoredDb<D>, tuples: Vec<Tuple>, child: &Option<String>| {
+    let resolve_child = |s: &StoredDb<D>, tuples: Vec<Tuple>, child: &Option<String>| {
         match child {
             None => tuples,
-            Some(name) => {
-                s.db.ensure_annotated(color);
-                tuples
-                    .into_iter()
-                    .filter(|t| {
-                        s.db.children(t[col].node, color)
-                            .any(|ch| s.db.name_str(ch) == Some(name.as_str()))
-                    })
-                    .collect()
-            }
+            Some(name) => tuples
+                .into_iter()
+                .filter(|t| {
+                    s.db.children(t[col].node, color)
+                        .any(|ch| s.db.name_str(ch) == Some(name.as_str()))
+                })
+                .collect(),
         }
     };
     match p {
@@ -417,14 +488,13 @@ fn apply_pred<D: DiskManager>(
 }
 
 fn filter_by_child<D: DiskManager>(
-    s: &mut StoredDb<D>,
+    s: &StoredDb<D>,
     tuples: Vec<Tuple>,
     col: usize,
     color: ColorId,
     child: &str,
     test: impl Fn(&str) -> bool,
 ) -> mct_storage::Result<Vec<Tuple>> {
-    s.db.ensure_annotated(color);
     let mut out = Vec::new();
     for t in tuples {
         let kids: Vec<McNodeId> = s
@@ -803,6 +873,28 @@ mod tests {
         let text = plan.explain(&s);
         assert!(text.contains("holistic chain join"), "{text}");
         assert!(text.contains("cross-tree join"), "{text}");
+    }
+
+    #[test]
+    fn parallel_execution_is_byte_identical() {
+        let mut s = stored();
+        for q in [
+            r#"document("m")/{red}descendant::movie/{red}child::name"#,
+            r#"document("m")/{red}descendant::movie[contains({red}child::name, "Eve")]"#,
+            r#"document("m")/{red}descendant::movie/{green}child::votes"#,
+            r#"document("m")/{green}descendant::movie[{green}child::votes > 8]/{red}child::name"#,
+        ] {
+            let Expr::Path(p) = parse_query(q).unwrap() else { panic!("{q}") };
+            let plan = plan_path(&s, &p, true).unwrap();
+            let seq = plan.execute(&mut s).unwrap();
+            for threads in [2, 4] {
+                let par = plan.execute_parallel(&mut s, threads).unwrap();
+                assert_eq!(par, seq, "{q} threads={threads}");
+            }
+            let (analyzed, report) = plan.execute_analyze_parallel(&mut s, 4).unwrap();
+            assert_eq!(analyzed, seq, "{q} analyze");
+            assert_eq!(report.rows as usize, seq.len());
+        }
     }
 
     #[test]

@@ -201,7 +201,7 @@ impl BTree {
     }
 
     /// Create an empty tree (allocates the root leaf).
-    pub fn create<D: DiskManager>(pool: &mut BufferPool<D>) -> Result<BTree> {
+    pub fn create<D: DiskManager>(pool: &BufferPool<D>) -> Result<BTree> {
         let root = pool.allocate()?;
         let node = Node::Leaf {
             entries: Vec::new(),
@@ -233,7 +233,7 @@ impl BTree {
     /// Exact-match lookup.
     pub fn get<D: DiskManager>(
         &self,
-        pool: &mut BufferPool<D>,
+        pool: &BufferPool<D>,
         key: &[u8],
     ) -> Result<Option<u64>> {
         let mut page = self.root;
@@ -256,7 +256,7 @@ impl BTree {
     /// Insert or overwrite. Returns the previous value if the key existed.
     pub fn insert<D: DiskManager>(
         &mut self,
-        pool: &mut BufferPool<D>,
+        pool: &BufferPool<D>,
         key: &[u8],
         value: u64,
     ) -> Result<Option<u64>> {
@@ -281,7 +281,7 @@ impl BTree {
 
     fn insert_rec<D: DiskManager>(
         &mut self,
-        pool: &mut BufferPool<D>,
+        pool: &BufferPool<D>,
         page: PageId,
         key: &[u8],
         value: u64,
@@ -382,7 +382,7 @@ impl BTree {
     /// Delete a key (lazy: no rebalancing). Returns the removed value.
     pub fn delete<D: DiskManager>(
         &mut self,
-        pool: &mut BufferPool<D>,
+        pool: &BufferPool<D>,
         key: &[u8],
     ) -> Result<Option<u64>> {
         let mut page = self.root;
@@ -411,7 +411,7 @@ impl BTree {
     /// `hi = None` means unbounded above.
     pub fn scan_range<D: DiskManager>(
         &self,
-        pool: &mut BufferPool<D>,
+        pool: &BufferPool<D>,
         lo: &[u8],
         hi: Option<&[u8]>,
         mut f: impl FnMut(&[u8], u64),
@@ -455,7 +455,7 @@ impl BTree {
     /// Collect a range into a vector (convenience over [`Self::scan_range`]).
     pub fn range_vec<D: DiskManager>(
         &self,
-        pool: &mut BufferPool<D>,
+        pool: &BufferPool<D>,
         lo: &[u8],
         hi: Option<&[u8]>,
     ) -> Result<Vec<(Vec<u8>, u64)>> {
@@ -474,11 +474,11 @@ fn descend(entries: &[(Vec<u8>, PageId)], child0: PageId, key: &[u8]) -> PageId 
     }
 }
 
-fn read_node<D: DiskManager>(pool: &mut BufferPool<D>, page: PageId) -> Result<Node> {
+fn read_node<D: DiskManager>(pool: &BufferPool<D>, page: PageId) -> Result<Node> {
     pool.with_page(page, Node::decode)?
 }
 
-fn write_node<D: DiskManager>(pool: &mut BufferPool<D>, page: PageId, node: &Node) -> Result<()> {
+fn write_node<D: DiskManager>(pool: &BufferPool<D>, page: PageId, node: &Node) -> Result<()> {
     debug_assert!(
         node.serialized_size() <= PAGE_BODY,
         "node overflows page: {}",
@@ -499,54 +499,54 @@ mod tests {
 
     #[test]
     fn insert_get_small() {
-        let mut p = pool();
-        let mut t = BTree::create(&mut p).unwrap();
-        assert_eq!(t.insert(&mut p, b"b", 2).unwrap(), None);
-        assert_eq!(t.insert(&mut p, b"a", 1).unwrap(), None);
-        assert_eq!(t.insert(&mut p, b"c", 3).unwrap(), None);
-        assert_eq!(t.get(&mut p, b"a").unwrap(), Some(1));
-        assert_eq!(t.get(&mut p, b"b").unwrap(), Some(2));
-        assert_eq!(t.get(&mut p, b"c").unwrap(), Some(3));
-        assert_eq!(t.get(&mut p, b"d").unwrap(), None);
+        let p = pool();
+        let mut t = BTree::create(&p).unwrap();
+        assert_eq!(t.insert(&p, b"b", 2).unwrap(), None);
+        assert_eq!(t.insert(&p, b"a", 1).unwrap(), None);
+        assert_eq!(t.insert(&p, b"c", 3).unwrap(), None);
+        assert_eq!(t.get(&p, b"a").unwrap(), Some(1));
+        assert_eq!(t.get(&p, b"b").unwrap(), Some(2));
+        assert_eq!(t.get(&p, b"c").unwrap(), Some(3));
+        assert_eq!(t.get(&p, b"d").unwrap(), None);
         assert_eq!(t.len(), 3);
     }
 
     #[test]
     fn overwrite_returns_old() {
-        let mut p = pool();
-        let mut t = BTree::create(&mut p).unwrap();
-        t.insert(&mut p, b"k", 1).unwrap();
-        assert_eq!(t.insert(&mut p, b"k", 2).unwrap(), Some(1));
-        assert_eq!(t.get(&mut p, b"k").unwrap(), Some(2));
+        let p = pool();
+        let mut t = BTree::create(&p).unwrap();
+        t.insert(&p, b"k", 1).unwrap();
+        assert_eq!(t.insert(&p, b"k", 2).unwrap(), Some(1));
+        assert_eq!(t.get(&p, b"k").unwrap(), Some(2));
         assert_eq!(t.len(), 1);
     }
 
     #[test]
     fn many_inserts_force_splits() {
-        let mut p = BufferPool::new(MemDisk::new(), 256 * PAGE_SIZE);
-        let mut t = BTree::create(&mut p).unwrap();
+        let p = BufferPool::new(MemDisk::new(), 256 * PAGE_SIZE);
+        let mut t = BTree::create(&p).unwrap();
         let n = 20_000u32;
         for i in 0..n {
             // Interleaved order to exercise both split directions.
             let k = i.wrapping_mul(2654435761) ^ i;
-            t.insert(&mut p, &k.to_be_bytes(), u64::from(i)).unwrap();
+            t.insert(&p, &k.to_be_bytes(), u64::from(i)).unwrap();
         }
         assert!(t.page_count() > 10, "splits happened: {}", t.page_count());
         for i in 0..n {
             let k = i.wrapping_mul(2654435761) ^ i;
-            assert_eq!(t.get(&mut p, &k.to_be_bytes()).unwrap(), Some(u64::from(i)));
+            assert_eq!(t.get(&p, &k.to_be_bytes()).unwrap(), Some(u64::from(i)));
         }
     }
 
     #[test]
     fn range_scan_in_order() {
-        let mut p = pool();
-        let mut t = BTree::create(&mut p).unwrap();
+        let p = pool();
+        let mut t = BTree::create(&p).unwrap();
         for i in (0..100u32).rev() {
-            t.insert(&mut p, &i.to_be_bytes(), u64::from(i)).unwrap();
+            t.insert(&p, &i.to_be_bytes(), u64::from(i)).unwrap();
         }
         let got = t
-            .range_vec(&mut p, &10u32.to_be_bytes(), Some(&20u32.to_be_bytes()))
+            .range_vec(&p, &10u32.to_be_bytes(), Some(&20u32.to_be_bytes()))
             .unwrap();
         let vals: Vec<u64> = got.iter().map(|(_, v)| *v).collect();
         assert_eq!(vals, (10..20).collect::<Vec<u64>>());
@@ -554,14 +554,14 @@ mod tests {
 
     #[test]
     fn full_scan_is_sorted_after_splits() {
-        let mut p = BufferPool::new(MemDisk::new(), 256 * PAGE_SIZE);
-        let mut t = BTree::create(&mut p).unwrap();
+        let p = BufferPool::new(MemDisk::new(), 256 * PAGE_SIZE);
+        let mut t = BTree::create(&p).unwrap();
         let mut keys: Vec<u32> = (0..5000).map(|i| i * 7 % 5000).collect();
         keys.dedup();
         for &k in &keys {
-            t.insert(&mut p, &k.to_be_bytes(), u64::from(k)).unwrap();
+            t.insert(&p, &k.to_be_bytes(), u64::from(k)).unwrap();
         }
-        let got = t.range_vec(&mut p, &[], None).unwrap();
+        let got = t.range_vec(&p, &[], None).unwrap();
         let mut prev: Option<Vec<u8>> = None;
         for (k, _) in &got {
             if let Some(pk) = &prev {
@@ -574,33 +574,33 @@ mod tests {
 
     #[test]
     fn delete_removes_key() {
-        let mut p = pool();
-        let mut t = BTree::create(&mut p).unwrap();
+        let p = pool();
+        let mut t = BTree::create(&p).unwrap();
         for i in 0..100u32 {
-            t.insert(&mut p, &i.to_be_bytes(), u64::from(i)).unwrap();
+            t.insert(&p, &i.to_be_bytes(), u64::from(i)).unwrap();
         }
-        assert_eq!(t.delete(&mut p, &50u32.to_be_bytes()).unwrap(), Some(50));
-        assert_eq!(t.delete(&mut p, &50u32.to_be_bytes()).unwrap(), None);
-        assert_eq!(t.get(&mut p, &50u32.to_be_bytes()).unwrap(), None);
+        assert_eq!(t.delete(&p, &50u32.to_be_bytes()).unwrap(), Some(50));
+        assert_eq!(t.delete(&p, &50u32.to_be_bytes()).unwrap(), None);
+        assert_eq!(t.get(&p, &50u32.to_be_bytes()).unwrap(), None);
         assert_eq!(t.len(), 99);
         // Neighbours untouched.
-        assert_eq!(t.get(&mut p, &49u32.to_be_bytes()).unwrap(), Some(49));
-        assert_eq!(t.get(&mut p, &51u32.to_be_bytes()).unwrap(), Some(51));
+        assert_eq!(t.get(&p, &49u32.to_be_bytes()).unwrap(), Some(49));
+        assert_eq!(t.get(&p, &51u32.to_be_bytes()).unwrap(), Some(51));
     }
 
     #[test]
     fn variable_length_keys() {
-        let mut p = pool();
-        let mut t = BTree::create(&mut p).unwrap();
+        let p = pool();
+        let mut t = BTree::create(&p).unwrap();
         let keys = ["a", "ab", "abc", "b", "ba", "z", ""];
         for (i, k) in keys.iter().enumerate() {
-            t.insert(&mut p, k.as_bytes(), i as u64).unwrap();
+            t.insert(&p, k.as_bytes(), i as u64).unwrap();
         }
         for (i, k) in keys.iter().enumerate() {
-            assert_eq!(t.get(&mut p, k.as_bytes()).unwrap(), Some(i as u64));
+            assert_eq!(t.get(&p, k.as_bytes()).unwrap(), Some(i as u64));
         }
         // Lexicographic scan order.
-        let got = t.range_vec(&mut p, &[], None).unwrap();
+        let got = t.range_vec(&p, &[], None).unwrap();
         let strs: Vec<String> = got
             .iter()
             .map(|(k, _)| String::from_utf8(k.clone()).unwrap())
@@ -610,29 +610,29 @@ mod tests {
 
     #[test]
     fn long_keys_split_correctly() {
-        let mut p = BufferPool::new(MemDisk::new(), 128 * PAGE_SIZE);
-        let mut t = BTree::create(&mut p).unwrap();
+        let p = BufferPool::new(MemDisk::new(), 128 * PAGE_SIZE);
+        let mut t = BTree::create(&p).unwrap();
         for i in 0..500u32 {
             let key = format!("{:0>200}", i); // 200-byte keys
-            t.insert(&mut p, key.as_bytes(), u64::from(i)).unwrap();
+            t.insert(&p, key.as_bytes(), u64::from(i)).unwrap();
         }
         for i in 0..500u32 {
             let key = format!("{:0>200}", i);
-            assert_eq!(t.get(&mut p, key.as_bytes()).unwrap(), Some(u64::from(i)));
+            assert_eq!(t.get(&p, key.as_bytes()).unwrap(), Some(u64::from(i)));
         }
     }
 
     #[test]
     fn scan_after_deletes_skips_them() {
-        let mut p = pool();
-        let mut t = BTree::create(&mut p).unwrap();
+        let p = pool();
+        let mut t = BTree::create(&p).unwrap();
         for i in 0..50u32 {
-            t.insert(&mut p, &i.to_be_bytes(), u64::from(i)).unwrap();
+            t.insert(&p, &i.to_be_bytes(), u64::from(i)).unwrap();
         }
         for i in (0..50u32).step_by(2) {
-            t.delete(&mut p, &i.to_be_bytes()).unwrap();
+            t.delete(&p, &i.to_be_bytes()).unwrap();
         }
-        let got = t.range_vec(&mut p, &[], None).unwrap();
+        let got = t.range_vec(&p, &[], None).unwrap();
         assert_eq!(got.len(), 25);
         assert!(got.iter().all(|(_, v)| v % 2 == 1));
     }

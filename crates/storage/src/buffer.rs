@@ -1,19 +1,54 @@
-//! LRU buffer pool.
+//! Concurrent buffer pool: sharded page table, pin-counted frames,
+//! clock-sweep eviction.
 //!
-//! Access is closure-scoped (`with_page` / `with_page_mut`): the
-//! borrow of `&mut self` during the closure guarantees the frame cannot
-//! be evicted mid-access, so no pin counting is needed. Dirty pages are
-//! written back on eviction and on [`BufferPool::flush_all`];
-//! [`BufferPool::evict_all`] implements the paper's cold-cache mode.
+//! Every page operation goes through `&self`, so any number of reader
+//! threads can share one pool (writes to the *same* page are
+//! serialized by the per-frame lock). The design:
+//!
+//! * the page table is split across [`NUM_SHARDS`] `RwLock`-protected
+//!   shards, so table lookups by different threads rarely contend;
+//! * each frame carries its own `RwLock` (many concurrent readers of
+//!   one hot page), a **pin count** advising the eviction sweep to
+//!   pass it over, and a reference bit;
+//! * eviction is a **clock sweep** (second chance): O(1) amortized,
+//!   replacing the old O(n) `min_by_key` LRU scan, and it only takes
+//!   frames whose lock it can claim without blocking.
+//!
+//! Pin counts are advisory; correctness does not depend on them.
+//! After pinning, an accessor re-checks the frame's page id under the
+//! frame lock and retries the table lookup if an eviction won the
+//! race. The sweep claims a frame via `try_write`, so a frame being
+//! read is never stolen mid-access.
+//!
+//! Lock order is `frame → shard → disk`; table lookups drop the shard
+//! lock *before* touching the frame, so the two never deadlock.
+//! Closures passed to [`BufferPool::with_page`] /
+//! [`BufferPool::with_page_mut`] must not re-enter the pool for the
+//! same page (self-deadlock on the frame lock); nested access to
+//! *different* pages is safe but discouraged — every call site in this
+//! repository completes its closure without re-entering.
+//!
+//! [`BufferPool::with_page_mut`] marks the frame dirty (and records it
+//! for the next commit) *unconditionally* — it cannot know whether the
+//! closure wrote. Read-only call sites must use
+//! [`BufferPool::with_page`], or they turn every access into a
+//! writeback and a WAL page image.
 //!
 //! The pool owns the physical page envelope (see [`crate::page`]):
-//! consumers are handed only the [`PAGE_BODY`]-byte body slice. Each
-//! checksum is verified on every miss — bit rot surfaces as
-//! [`StorageError::Corrupt`] — and stamped on every writeback. With a
-//! [`Wal`] attached, the pool also tracks which pages were dirtied
-//! since the last commit; [`BufferPool::commit`] logs their images,
-//! writes a commit record, and enforces fsync-before-flush ordering so
-//! a crash at any write boundary is recoverable.
+//! consumers are handed only the [`crate::page::PAGE_BODY`]-byte body
+//! slice. Each checksum is verified on every miss — bit rot surfaces
+//! as [`StorageError::Corrupt`] — and stamped on every writeback. The
+//! miss path is failure-atomic: when the disk read errors or the
+//! checksum fails, the provisional table entry is removed and the
+//! victim frame returns to a clean free state (no corrupt bytes
+//! retained), so a retry or a fetch of a different page behaves as if
+//! the failed fetch never happened. With a [`Wal`] attached, the pool
+//! also tracks which pages were dirtied since the last commit;
+//! [`BufferPool::commit`] logs their images, writes a commit record,
+//! and enforces fsync-before-flush ordering so a crash at any write
+//! boundary is recoverable. Commit assumes the single-writer model
+//! (writes require `&mut` access at the database layer) and must not
+//! race other commits or writers.
 
 use crate::disk::DiskManager;
 use crate::error::StorageError;
@@ -25,7 +60,8 @@ use crate::wal::Wal;
 use crate::Result;
 use mct_obs::Counter;
 use std::collections::{BTreeSet, HashMap};
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Hit/miss/eviction counters. Lifetime totals — they are never
 /// reset; per-query consumers take a [`BufferPool::stats`] mark
@@ -99,24 +135,139 @@ fn pool_counters() -> &'static PoolCounters {
     })
 }
 
-struct Frame {
-    page: Option<PageId>,
-    data: Box<[u8; PAGE_SIZE]>,
-    dirty: bool,
-    last_used: u64,
+/// Per-pool atomic counters (the `&self` twin of [`PoolStats`]); every
+/// bump also feeds the process-wide `mct-obs` registry.
+#[derive(Default)]
+struct SharedStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    writebacks: AtomicU64,
+    corrupt_reads: AtomicU64,
+    io_errors: AtomicU64,
 }
 
-/// A fixed-capacity page cache over a [`DiskManager`].
+impl SharedStats {
+    fn snapshot(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            writebacks: self.writebacks.load(Ordering::Relaxed),
+            corrupt_reads: self.corrupt_reads.load(Ordering::Relaxed),
+            io_errors: self.io_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        pool_counters().hits.inc();
+    }
+
+    fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        pool_counters().misses.inc();
+    }
+
+    fn eviction(&self) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+        pool_counters().evictions.inc();
+    }
+
+    fn writeback(&self) {
+        self.writebacks.fetch_add(1, Ordering::Relaxed);
+        pool_counters().writebacks.inc();
+    }
+
+    fn corrupt_read(&self) {
+        self.corrupt_reads.fetch_add(1, Ordering::Relaxed);
+        pool_counters().corrupt_reads.inc();
+    }
+
+    /// Record the I/O-error metric when `e` is [`StorageError::Io`].
+    fn note_error(&self, e: &StorageError) {
+        if matches!(e, StorageError::Io(_)) {
+            self.io_errors.fetch_add(1, Ordering::Relaxed);
+            pool_counters().io_errors.inc();
+        }
+    }
+}
+
+// Poison-tolerant lock helpers: a panicking closure in one thread must
+// not wedge every other thread on a PoisonError (the stress tests rely
+// on this). The guarded data is bytes + flags whose invariants are
+// re-established by the caller, not broken mid-panic.
+fn rlock<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn wlock<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn mlock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Contents of one frame, guarded by the frame's `RwLock`. The page
+/// buffer is allocated lazily on first use, so a large pool costs only
+/// frame metadata until pages actually flow through it.
+struct FrameSlot {
+    page: Option<PageId>,
+    dirty: bool,
+    buf: Option<Box<[u8; PAGE_SIZE]>>,
+}
+
+impl FrameSlot {
+    fn buf_mut(&mut self) -> &mut [u8; PAGE_SIZE] {
+        self.buf.get_or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+    }
+}
+
+struct Frame {
+    slot: RwLock<FrameSlot>,
+    /// Accessors holding (or about to take) the slot lock. Advisory:
+    /// the sweep skips pinned frames, but correctness comes from the
+    /// post-pin page-id re-check, not from the count.
+    pins: AtomicU32,
+    /// Clock-sweep reference bit (second chance).
+    referenced: AtomicBool,
+}
+
+/// Unpins its frame on drop, so a panicking access closure cannot leak
+/// a pin and permanently shield the frame from eviction.
+struct PinGuard<'a> {
+    frame: &'a Frame,
+}
+
+impl Drop for PinGuard<'_> {
+    fn drop(&mut self) {
+        self.frame.pins.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// Page-table shard count (power of two). Pages hash by id, which is
+/// sequential, so shards load-balance perfectly.
+const NUM_SHARDS: usize = 16;
+
+/// Full clock sweeps attempted before declaring the pool exhausted
+/// (every frame pinned or locked).
+const MAX_SWEEPS: usize = 8;
+
+/// A fixed-capacity concurrent page cache over a [`DiskManager`].
 pub struct BufferPool<D: DiskManager> {
-    disk: D,
+    disk: Mutex<D>,
     frames: Vec<Frame>,
-    max_frames: usize,
-    map: HashMap<PageId, usize>,
-    tick: u64,
-    stats: PoolStats,
-    wal: Option<Wal>,
+    shards: Vec<RwLock<HashMap<PageId, usize>>>,
+    /// Clock hand for the eviction sweep.
+    clock: AtomicUsize,
+    stats: SharedStats,
+    wal: Mutex<Option<Wal>>,
+    /// Mirrors `wal.is_some()`; only mutated under `&mut self`, so the
+    /// hot path can check it without locking.
+    wal_attached: bool,
     /// Pages dirtied since the last commit; tracked only with a WAL.
-    dirty_since_commit: BTreeSet<PageId>,
+    dirty_since_commit: Mutex<BTreeSet<PageId>>,
 }
 
 /// Default pool capacity: 256 MiB, the paper's configuration.
@@ -127,14 +278,24 @@ impl<D: DiskManager> BufferPool<D> {
     pub fn new(disk: D, capacity_bytes: usize) -> Self {
         let n = (capacity_bytes / PAGE_SIZE).max(8);
         BufferPool {
-            disk,
-            frames: Vec::new(),
-            max_frames: n,
-            map: HashMap::new(),
-            tick: 0,
-            stats: PoolStats::default(),
-            wal: None,
-            dirty_since_commit: BTreeSet::new(),
+            disk: Mutex::new(disk),
+            frames: (0..n)
+                .map(|_| Frame {
+                    slot: RwLock::new(FrameSlot {
+                        page: None,
+                        dirty: false,
+                        buf: None,
+                    }),
+                    pins: AtomicU32::new(0),
+                    referenced: AtomicBool::new(false),
+                })
+                .collect(),
+            shards: (0..NUM_SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            clock: AtomicUsize::new(0),
+            stats: SharedStats::default(),
+            wal: Mutex::new(None),
+            wal_attached: false,
+            dirty_since_commit: Mutex::new(BTreeSet::new()),
         }
     }
 
@@ -145,181 +306,277 @@ impl<D: DiskManager> BufferPool<D> {
 
     /// Maximum number of frames.
     pub fn capacity(&self) -> usize {
-        self.max_frames
+        self.frames.len()
     }
 
     /// Current counters (lifetime totals — see [`PoolStats`] for the
     /// mark/delta pattern that replaces resetting).
     pub fn stats(&self) -> PoolStats {
-        self.stats
-    }
-
-    /// Underlying disk manager (read-only).
-    pub fn disk(&self) -> &D {
-        &self.disk
+        self.stats.snapshot()
     }
 
     /// Underlying disk manager (mutable; e.g. to inject faults).
     pub fn disk_mut(&mut self) -> &mut D {
-        &mut self.disk
+        self.disk
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Attach a write-ahead log. From here on, pages dirtied through
     /// the pool are tracked and [`BufferPool::commit`] becomes the
     /// durability boundary.
     pub fn attach_wal(&mut self, wal: Wal) {
-        self.wal = Some(wal);
-    }
-
-    /// The attached WAL, if any.
-    pub fn wal(&self) -> Option<&Wal> {
-        self.wal.as_ref()
+        *self
+            .wal
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(wal);
+        self.wal_attached = true;
     }
 
     /// The attached WAL (mutable), if any.
     pub fn wal_mut(&mut self) -> Option<&mut Wal> {
-        self.wal.as_mut()
+        self.wal
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .as_mut()
+    }
+
+    /// Pages dirtied since the last commit (zero without a WAL). A
+    /// read-only access must not grow this.
+    pub fn dirty_since_commit_count(&self) -> usize {
+        mlock(&self.dirty_since_commit).len()
     }
 
     /// Tear the pool down into its disk and WAL (cached pages are
     /// dropped, not flushed — commit first for durability).
     pub fn into_parts(self) -> (D, Option<Wal>) {
-        (self.disk, self.wal)
+        (
+            self.disk
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+            self.wal
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        )
     }
 
     /// Allocate a fresh page; it enters the cache zeroed and dirty.
-    pub fn allocate(&mut self) -> Result<PageId> {
-        let id = self.disk.allocate()?;
-        let frame = self.victim()?;
-        let f = &mut self.frames[frame];
-        f.page = Some(id);
-        f.data.fill(0);
-        f.dirty = true;
-        self.tick += 1;
-        f.last_used = self.tick;
-        self.map.insert(id, frame);
-        if self.wal.is_some() {
-            self.dirty_since_commit.insert(id);
+    pub fn allocate(&self) -> Result<PageId> {
+        let id = mlock(&self.disk).allocate()?;
+        let (fi, mut slot) = self.claim_victim()?;
+        self.release_occupant(&mut slot)?;
+        slot.buf_mut().fill(0);
+        slot.page = Some(id);
+        slot.dirty = true;
+        self.frames[fi].referenced.store(true, Ordering::Relaxed);
+        wlock(self.shard_of(id)).insert(id, fi);
+        if self.wal_attached {
+            mlock(&self.dirty_since_commit).insert(id);
         }
         Ok(id)
     }
 
     /// Number of pages allocated on disk.
     pub fn num_pages(&self) -> u32 {
-        self.disk.num_pages()
+        mlock(&self.disk).num_pages()
     }
 
     /// Run `f` over an immutable view of page `id`'s body (the page
-    /// minus its physical envelope).
-    pub fn with_page<R>(&mut self, id: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
-        let frame = self.fetch(id)?;
-        Ok(f(&self.frames[frame].data[PAGE_HEADER..]))
+    /// minus its physical envelope). Concurrent readers of the same
+    /// page run in parallel.
+    pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        loop {
+            let pin = self.pin(id)?;
+            let slot = rlock(&pin.frame.slot);
+            if slot.page == Some(id) {
+                let buf = slot.buf.as_ref().expect("resident frame has a buffer");
+                return Ok(f(&buf[PAGE_HEADER..]));
+            }
+            // Evicted between the table lookup and the frame lock; the
+            // table is authoritative — look it up again.
+        }
     }
 
-    /// Run `f` over a mutable view of page `id`'s body; marks it dirty.
-    pub fn with_page_mut<R>(&mut self, id: PageId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
-        let frame = self.fetch(id)?;
-        self.frames[frame].dirty = true;
-        if self.wal.is_some() {
-            self.dirty_since_commit.insert(id);
+    /// Run `f` over a mutable view of page `id`'s body; marks it dirty
+    /// (and queues it for the next commit) **unconditionally** — the
+    /// pool cannot observe whether the closure wrote. Read-only
+    /// accesses belong on [`BufferPool::with_page`].
+    pub fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
+        loop {
+            let pin = self.pin(id)?;
+            let mut slot = wlock(&pin.frame.slot);
+            if slot.page == Some(id) {
+                slot.dirty = true;
+                if self.wal_attached {
+                    mlock(&self.dirty_since_commit).insert(id);
+                }
+                let buf = slot.buf.as_mut().expect("resident frame has a buffer");
+                return Ok(f(&mut buf[PAGE_HEADER..]));
+            }
         }
-        Ok(f(&mut self.frames[frame].data[PAGE_HEADER..]))
     }
 
     /// The LSN stamped on page `id` (zero if never committed).
-    pub fn page_lsn(&mut self, id: PageId) -> Result<u64> {
-        let frame = self.fetch(id)?;
-        Ok(page_lsn(&self.frames[frame].data[..]))
-    }
-
-    /// Run a disk operation, recording the I/O-error metric when it
-    /// fails with [`StorageError::Io`].
-    fn track_io<T>(&mut self, op: impl FnOnce(&mut Self) -> Result<T>) -> Result<T> {
-        let r = op(self);
-        if matches!(r, Err(StorageError::Io(_))) {
-            self.stats.io_errors += 1;
-            pool_counters().io_errors.inc();
-        }
-        r
-    }
-
-    fn fetch(&mut self, id: PageId) -> Result<usize> {
-        self.tick += 1;
-        if let Some(&frame) = self.map.get(&id) {
-            self.stats.hits += 1;
-            pool_counters().hits.inc();
-            self.frames[frame].last_used = self.tick;
-            return Ok(frame);
-        }
-        self.stats.misses += 1;
-        pool_counters().misses.inc();
-        let frame = self.victim()?;
-        self.track_io(|p| p.disk.read(id, &mut p.frames[frame].data[..]))?;
-        if !verify_page_checksum(&self.frames[frame].data[..]) {
-            self.stats.corrupt_reads += 1;
-            pool_counters().corrupt_reads.inc();
-            return Err(StorageError::Corrupt("page checksum mismatch"));
-        }
-        let f = &mut self.frames[frame];
-        f.page = Some(id);
-        f.dirty = false;
-        f.last_used = self.tick;
-        self.map.insert(id, frame);
-        Ok(frame)
-    }
-
-    /// Choose (and clear) a frame: grow if below capacity, else evict
-    /// the least recently used frame, writing it back if dirty.
-    fn victim(&mut self) -> Result<usize> {
-        if self.frames.len() < self.max_frames {
-            self.frames.push(Frame {
-                page: None,
-                data: Box::new([0u8; PAGE_SIZE]),
-                dirty: false,
-                last_used: 0,
-            });
-            return Ok(self.frames.len() - 1);
-        }
-        let (frame, _) = self
-            .frames
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, f)| f.last_used)
-            .ok_or(StorageError::PoolExhausted)?;
-        self.evict(frame)?;
-        Ok(frame)
-    }
-
-    /// Vacate a frame, writing it back first if dirty. Failure-atomic:
-    /// when the write-back errors, the frame keeps its page and dirty
-    /// flag, so the data is neither lost nor aliased on a later retry.
-    fn evict(&mut self, frame: usize) -> Result<()> {
-        if let Some(old) = self.frames[frame].page {
-            if self.frames[frame].dirty {
-                stamp_page_checksum(&mut self.frames[frame].data[..]);
-                self.track_io(|p| p.disk.write(old, &p.frames[frame].data[..]))?;
-                self.frames[frame].dirty = false;
-                self.stats.writebacks += 1;
-                pool_counters().writebacks.inc();
+    pub fn page_lsn(&self, id: PageId) -> Result<u64> {
+        loop {
+            let pin = self.pin(id)?;
+            let slot = rlock(&pin.frame.slot);
+            if slot.page == Some(id) {
+                let buf = slot.buf.as_ref().expect("resident frame has a buffer");
+                return Ok(page_lsn(&buf[..]));
             }
-            self.stats.evictions += 1;
-            pool_counters().evictions.inc();
-            self.frames[frame].page = None;
-            self.map.remove(&old);
         }
+    }
+
+    fn shard_of(&self, id: PageId) -> &RwLock<HashMap<PageId, usize>> {
+        &self.shards[id.0 as usize & (NUM_SHARDS - 1)]
+    }
+
+    /// Pin the frame holding `id`, loading the page on a miss. The
+    /// caller must still verify the frame's page id under the frame
+    /// lock — a concurrent eviction can win the race between the table
+    /// lookup and the pin.
+    fn pin(&self, id: PageId) -> Result<PinGuard<'_>> {
+        loop {
+            // The shard lock is dropped before the frame is touched
+            // (lock order: frame before shard, never both ways).
+            let found = rlock(self.shard_of(id)).get(&id).copied();
+            if let Some(fi) = found {
+                let frame = &self.frames[fi];
+                frame.pins.fetch_add(1, Ordering::Acquire);
+                frame.referenced.store(true, Ordering::Relaxed);
+                self.stats.hit();
+                return Ok(PinGuard { frame });
+            }
+            if let Some(fi) = self.load(id)? {
+                return Ok(PinGuard {
+                    frame: &self.frames[fi],
+                });
+            }
+            // Lost the load race: another thread claimed the table
+            // entry for `id` first. Retry the lookup.
+        }
+    }
+
+    /// Read `id` from disk into a victim frame. Returns `None` when a
+    /// concurrent load of the same page won the race. Failure-atomic:
+    /// on read error or checksum mismatch the provisional table entry
+    /// is removed and the frame returns to a clean free state.
+    fn load(&self, id: PageId) -> Result<Option<usize>> {
+        let (fi, mut slot) = self.claim_victim()?;
+        self.release_occupant(&mut slot)?;
+        {
+            let mut shard = wlock(self.shard_of(id));
+            if shard.contains_key(&id) {
+                return Ok(None); // the frame stays free for later use
+            }
+            shard.insert(id, fi);
+        }
+        self.stats.miss();
+        let read = {
+            let buf = slot.buf_mut();
+            match mlock(&self.disk).read(id, &mut buf[..]) {
+                Ok(()) if verify_page_checksum(&buf[..]) => Ok(()),
+                Ok(()) => {
+                    self.stats.corrupt_read();
+                    Err(StorageError::Corrupt("page checksum mismatch"))
+                }
+                Err(e) => {
+                    self.stats.note_error(&e);
+                    Err(e)
+                }
+            }
+        };
+        if let Err(e) = read {
+            wlock(self.shard_of(id)).remove(&id);
+            if let Some(buf) = slot.buf.as_mut() {
+                buf.fill(0); // no corrupt bytes left behind
+            }
+            slot.page = None;
+            slot.dirty = false;
+            return Err(e);
+        }
+        slot.page = Some(id);
+        slot.dirty = false;
+        let frame = &self.frames[fi];
+        frame.referenced.store(true, Ordering::Relaxed);
+        // Pin before releasing the frame lock so the sweep passes us by.
+        frame.pins.fetch_add(1, Ordering::Acquire);
+        Ok(Some(fi))
+    }
+
+    /// Clock sweep (second chance): claim an unpinned, unreferenced
+    /// frame whose lock is free, write-locked. Frames are skipped, not
+    /// waited on, so a reader mid-access is never stolen from.
+    fn claim_victim(&self) -> Result<(usize, RwLockWriteGuard<'_, FrameSlot>)> {
+        let n = self.frames.len();
+        for sweep in 0..MAX_SWEEPS {
+            for _ in 0..n {
+                let fi = self.clock.fetch_add(1, Ordering::Relaxed) % n;
+                let frame = &self.frames[fi];
+                if frame.pins.load(Ordering::Acquire) != 0 {
+                    continue;
+                }
+                if frame.referenced.swap(false, Ordering::Relaxed) {
+                    continue; // second chance
+                }
+                let slot = match frame.slot.try_write() {
+                    Ok(g) => g,
+                    Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+                    Err(std::sync::TryLockError::WouldBlock) => continue,
+                };
+                // A pin taken after our check means someone wants this
+                // page; leave it to them.
+                if frame.pins.load(Ordering::Acquire) != 0 {
+                    continue;
+                }
+                return Ok((fi, slot));
+            }
+            if sweep + 1 < MAX_SWEEPS {
+                std::thread::yield_now();
+            }
+        }
+        Err(StorageError::PoolExhausted)
+    }
+
+    /// Write back and unmap a claimed frame's current occupant (frame
+    /// write guard held by the caller). Failure-atomic: when the
+    /// write-back errors, the frame keeps its page and dirty flag, so
+    /// the data is neither lost nor aliased on a later retry.
+    fn release_occupant(&self, slot: &mut FrameSlot) -> Result<()> {
+        let Some(old) = slot.page else {
+            return Ok(());
+        };
+        if slot.dirty {
+            let buf = slot.buf.as_mut().expect("dirty frame has a buffer");
+            stamp_page_checksum(&mut buf[..]);
+            if let Err(e) = mlock(&self.disk).write(old, &buf[..]) {
+                self.stats.note_error(&e);
+                return Err(e);
+            }
+            slot.dirty = false;
+            self.stats.writeback();
+        }
+        self.stats.eviction();
+        wlock(self.shard_of(old)).remove(&old);
+        slot.page = None;
         Ok(())
     }
 
     /// Write every dirty frame back; the cache stays warm.
-    pub fn flush_all(&mut self) -> Result<()> {
-        for i in 0..self.frames.len() {
-            if self.frames[i].dirty {
-                if let Some(id) = self.frames[i].page {
-                    self.stats.writebacks += 1;
-                    pool_counters().writebacks.inc();
-                    stamp_page_checksum(&mut self.frames[i].data[..]);
-                    self.track_io(|p| p.disk.write(id, &p.frames[i].data[..]))?;
-                    self.frames[i].dirty = false;
+    pub fn flush_all(&self) -> Result<()> {
+        for frame in &self.frames {
+            let mut slot = wlock(&frame.slot);
+            if slot.dirty {
+                if let Some(id) = slot.page {
+                    let buf = slot.buf.as_mut().expect("dirty frame has a buffer");
+                    stamp_page_checksum(&mut buf[..]);
+                    if let Err(e) = mlock(&self.disk).write(id, &buf[..]) {
+                        self.stats.note_error(&e);
+                        return Err(e);
+                    }
+                    self.stats.writeback();
+                    slot.dirty = false;
                 }
             }
         }
@@ -327,13 +584,17 @@ impl<D: DiskManager> BufferPool<D> {
     }
 
     /// Cold-cache mode: flush everything and drop all frames.
-    pub fn evict_all(&mut self) -> Result<()> {
+    pub fn evict_all(&self) -> Result<()> {
         self.flush_all()?;
-        for f in &mut self.frames {
-            f.page = None;
-            f.dirty = false;
+        for frame in &self.frames {
+            let mut slot = wlock(&frame.slot);
+            if let Some(old) = slot.page {
+                wlock(self.shard_of(old)).remove(&old);
+                slot.page = None;
+                slot.dirty = false;
+            }
+            frame.referenced.store(false, Ordering::Relaxed);
         }
-        self.map.clear();
         Ok(())
     }
 
@@ -350,60 +611,76 @@ impl<D: DiskManager> BufferPool<D> {
     /// A crash before step 3 recovers the previous commit; after it,
     /// this one (recovery replays the logged images over the data
     /// file). Returns the commit record's LSN.
-    pub fn commit(&mut self, catalog: &[u8]) -> Result<u64> {
-        let wal = self
-            .wal
+    ///
+    /// Commit is an exclusive-writer operation: concurrent readers are
+    /// fine, but racing it against writers or another commit is not
+    /// supported (the database layer's `&mut` write path enforces
+    /// this).
+    pub fn commit(&self, catalog: &[u8]) -> Result<u64> {
+        let mut wal_guard = mlock(&self.wal);
+        let wal = wal_guard
             .as_mut()
             .ok_or(StorageError::Corrupt("commit without an attached WAL"))?;
-        let pages: Vec<PageId> = std::mem::take(&mut self.dirty_since_commit)
+        let pages: Vec<PageId> = std::mem::take(&mut *mlock(&self.dirty_since_commit))
             .into_iter()
             .collect();
-        let log_result: Result<()> = (|| {
-            for id in &pages {
-                let lsn = wal.next_lsn();
-                if let Some(&frame) = self.map.get(id) {
-                    let f = &mut self.frames[frame];
-                    set_page_lsn(&mut f.data[..], lsn);
-                    stamp_page_checksum(&mut f.data[..]);
-                    // The frame now differs from disk by its LSN even
-                    // if it was clean; make sure it gets flushed.
-                    f.dirty = true;
-                    wal.append_image(*id, &f.data[..])?;
-                } else {
-                    // Evicted since being dirtied: its checksum was
-                    // stamped on writeback; refresh the LSN and log.
-                    let mut buf = [0u8; PAGE_SIZE];
-                    self.disk.read(*id, &mut buf)?;
-                    set_page_lsn(&mut buf, lsn);
-                    stamp_page_checksum(&mut buf);
-                    self.disk.write(*id, &buf)?;
-                    wal.append_image(*id, &buf)?;
-                }
-            }
-            Ok(())
-        })();
-        if let Err(e) = log_result {
-            if matches!(e, StorageError::Io(_)) {
-                self.stats.io_errors += 1;
-                pool_counters().io_errors.inc();
-            }
+        if let Err(e) = self.log_images(wal, &pages) {
+            self.stats.note_error(&e);
             // Put the set back so a retry re-logs everything.
-            self.dirty_since_commit.extend(pages);
+            mlock(&self.dirty_since_commit).extend(pages.iter().copied());
             return Err(e);
         }
+        let num_pages = mlock(&self.disk).num_pages();
         let lsn = match wal
-            .append_commit(self.disk.num_pages(), catalog)
+            .append_commit(num_pages, catalog)
             .and_then(|lsn| wal.sync().map(|()| lsn))
         {
             Ok(lsn) => lsn,
             Err(e) => {
-                self.dirty_since_commit.extend(pages);
+                mlock(&self.dirty_since_commit).extend(pages.iter().copied());
                 return Err(e);
             }
         };
+        drop(wal_guard);
         self.flush_all()?;
-        self.disk.sync_data()?;
+        mlock(&self.disk).sync_data()?;
         Ok(lsn)
+    }
+
+    /// Step 1 of [`BufferPool::commit`]: append a redo image for every
+    /// page in `pages`, LSN-stamping resident frames in place and
+    /// evicted pages through the disk.
+    fn log_images(&self, wal: &mut Wal, pages: &[PageId]) -> Result<()> {
+        for &id in pages {
+            let lsn = wal.next_lsn();
+            let resident = rlock(self.shard_of(id)).get(&id).copied();
+            if let Some(fi) = resident {
+                let mut slot = wlock(&self.frames[fi].slot);
+                if slot.page == Some(id) {
+                    // The frame now differs from disk by its LSN even
+                    // if it was clean; make sure it gets flushed.
+                    slot.dirty = true;
+                    let buf = slot.buf.as_mut().expect("resident frame has a buffer");
+                    set_page_lsn(&mut buf[..], lsn);
+                    stamp_page_checksum(&mut buf[..]);
+                    wal.append_image(id, &buf[..])?;
+                    continue;
+                }
+                // Evicted between lookup and lock; fall through.
+            }
+            // Evicted since being dirtied: its checksum was stamped on
+            // writeback; refresh the LSN and log.
+            let mut buf = [0u8; PAGE_SIZE];
+            {
+                let mut disk = mlock(&self.disk);
+                disk.read(id, &mut buf)?;
+                set_page_lsn(&mut buf, lsn);
+                stamp_page_checksum(&mut buf);
+                disk.write(id, &buf)?;
+            }
+            wal.append_image(id, &buf)?;
+        }
+        Ok(())
     }
 }
 
@@ -418,8 +695,14 @@ mod tests {
     }
 
     #[test]
+    fn pool_is_sync() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<BufferPool<MemDisk>>();
+    }
+
+    #[test]
     fn allocate_and_readback() {
-        let mut p = tiny_pool();
+        let p = tiny_pool();
         let id = p.allocate().unwrap();
         p.with_page_mut(id, |b| b[100] = 42).unwrap();
         let v = p.with_page(id, |b| b[100]).unwrap();
@@ -428,7 +711,7 @@ mod tests {
 
     #[test]
     fn eviction_writes_back_dirty_pages() {
-        let mut p = tiny_pool();
+        let p = tiny_pool();
         let first = p.allocate().unwrap();
         p.with_page_mut(first, |b| b[0] = 7).unwrap();
         // Allocate enough pages to force eviction of `first`.
@@ -445,7 +728,7 @@ mod tests {
 
     #[test]
     fn hits_and_misses_are_counted() {
-        let mut p = tiny_pool();
+        let p = tiny_pool();
         let id = p.allocate().unwrap();
         let mark = p.stats();
         p.with_page(id, |_| ()).unwrap();
@@ -460,10 +743,11 @@ mod tests {
     }
 
     #[test]
-    fn lru_evicts_least_recently_used() {
-        let mut p = tiny_pool();
+    fn clock_sweep_evicts_unreferenced_over_recently_used() {
+        let p = tiny_pool();
         let ids: Vec<PageId> = (0..8).map(|_| p.allocate().unwrap()).collect();
-        // Touch everything except ids[0] so it becomes LRU.
+        // Touch everything except ids[0]: the sweep clears reference
+        // bits once around, then takes the first frame not re-touched.
         for &id in &ids[1..] {
             p.with_page(id, |_| ()).unwrap();
         }
@@ -476,12 +760,12 @@ mod tests {
             "recently used page stayed resident"
         );
         p.with_page(ids[0], |_| ()).unwrap();
-        assert_eq!((p.stats() - mark).misses, 1, "LRU page was the victim");
+        assert_eq!((p.stats() - mark).misses, 1, "cold page was the victim");
     }
 
     #[test]
     fn flush_all_then_cold_read_sees_data() {
-        let mut p = tiny_pool();
+        let p = tiny_pool();
         let id = p.allocate().unwrap();
         p.with_page_mut(id, |b| b[10] = 99).unwrap();
         p.evict_all().unwrap();
@@ -490,7 +774,7 @@ mod tests {
 
     #[test]
     fn many_pages_beyond_capacity() {
-        let mut p = tiny_pool();
+        let p = tiny_pool();
         let ids: Vec<PageId> = (0..100).map(|_| p.allocate().unwrap()).collect();
         for (i, &id) in ids.iter().enumerate() {
             p.with_page_mut(id, |b| b[0] = i as u8).unwrap();
@@ -518,6 +802,56 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_read_leaves_pool_usable_and_unmapped() {
+        // Satellite regression: the corrupt-checksum miss path must be
+        // failure-atomic — retrying yields the same clean error, other
+        // pages stay fetchable, and no frame aliases the corrupt page.
+        let mut p = tiny_pool();
+        let good = p.allocate().unwrap();
+        p.with_page_mut(good, |b| b[0] = 5).unwrap();
+        let bad = p.allocate().unwrap();
+        p.with_page_mut(bad, |b| b[0] = 6).unwrap();
+        p.evict_all().unwrap();
+        let mut raw = [0u8; PAGE_SIZE];
+        p.disk_mut().read(bad, &mut raw).unwrap();
+        raw[PAGE_SIZE / 2] ^= 0x01;
+        p.disk_mut().write(bad, &raw).unwrap();
+        let mark = p.stats();
+        // Retry the corrupt page twice: same error both times, and the
+        // failed fetch never enters the page table (each try re-reads).
+        for _ in 0..2 {
+            assert!(matches!(
+                p.with_page(bad, |_| ()),
+                Err(StorageError::Corrupt(_))
+            ));
+        }
+        let d = p.stats() - mark;
+        assert_eq!(d.corrupt_reads, 2, "each retry re-reads and re-detects");
+        assert_eq!(d.hits, 0, "corrupt page never became resident");
+        // A different page still fetches fine afterwards.
+        assert_eq!(p.with_page(good, |b| b[0]).unwrap(), 5);
+    }
+
+    #[test]
+    fn read_only_access_is_not_marked_dirty() {
+        // Satellite regression: `with_page` must cause zero writebacks
+        // and zero dirty_since_commit growth.
+        let mut p = tiny_pool();
+        p.attach_wal(Wal::create(Box::new(MemDisk::new())).unwrap());
+        let id = p.allocate().unwrap();
+        p.with_page_mut(id, |b| b[0] = 1).unwrap();
+        p.commit(b"").unwrap();
+        assert_eq!(p.dirty_since_commit_count(), 0);
+        let mark = p.stats();
+        for _ in 0..10 {
+            p.with_page(id, |b| assert_eq!(b[0], 1)).unwrap();
+        }
+        assert_eq!(p.dirty_since_commit_count(), 0, "reads queue no WAL images");
+        p.flush_all().unwrap();
+        assert_eq!((p.stats() - mark).writebacks, 0, "reads cause no writebacks");
+    }
+
+    #[test]
     fn commit_then_replay_recovers_evicted_and_resident_pages() {
         use crate::wal::Wal;
         let mut p = BufferPool::new(MemDisk::new(), 8 * PAGE_SIZE);
@@ -535,13 +869,12 @@ mod tests {
 
         // Simulate crash: recover from the WAL alone onto a fresh disk
         // seeded with whatever the data file held (scribbles and all).
-        let BufferPool { disk, wal, .. } = p;
-        let mut data = disk;
+        let (mut data, wal) = p.into_parts();
         let mut wal = wal.unwrap();
         let state = wal.replay_into(&mut data).unwrap().unwrap();
         assert_eq!(state.catalog, b"cat");
         assert_eq!(state.num_pages, 30);
-        let mut rp = BufferPool::new(data, 8 * PAGE_SIZE);
+        let rp = BufferPool::new(data, 8 * PAGE_SIZE);
         for (i, &id) in ids.iter().enumerate() {
             assert_eq!(
                 rp.with_page(id, |b| b[3]).unwrap(),
@@ -553,11 +886,8 @@ mod tests {
 
     #[test]
     fn commit_without_wal_is_an_error() {
-        let mut p = tiny_pool();
-        assert!(matches!(
-            p.commit(b""),
-            Err(StorageError::Corrupt(_))
-        ));
+        let p = tiny_pool();
+        assert!(matches!(p.commit(b""), Err(StorageError::Corrupt(_))));
     }
 
     #[test]
@@ -570,5 +900,27 @@ mod tests {
         assert_eq!(p.page_lsn(id).unwrap(), 0, "never committed");
         p.commit(b"").unwrap();
         assert!(p.page_lsn(id).unwrap() > 0, "stamped at commit");
+    }
+
+    #[test]
+    fn shared_reads_across_threads() {
+        let p = tiny_pool();
+        let ids: Vec<PageId> = (0..32).map(|_| p.allocate().unwrap()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            p.with_page_mut(id, |b| b[0] = i as u8).unwrap();
+        }
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let p = &p;
+                let ids = &ids;
+                scope.spawn(move || {
+                    for round in 0..50 {
+                        let i = (t * 7 + round * 13) % ids.len();
+                        let v = p.with_page(ids[i], |b| b[0]).unwrap();
+                        assert_eq!(v, i as u8);
+                    }
+                });
+            }
+        });
     }
 }

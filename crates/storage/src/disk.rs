@@ -8,7 +8,11 @@ use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
 /// Source/sink of raw pages.
-pub trait DiskManager {
+///
+/// `Send` is a supertrait: disks sit behind the buffer pool's mutex
+/// and pools are shared across query worker threads, so every disk
+/// implementation must be movable between threads.
+pub trait DiskManager: Send {
     /// Allocate a fresh zeroed page at the end of the file.
     fn allocate(&mut self) -> Result<PageId>;
     /// Read page `id` into `buf` (`PAGE_SIZE` bytes).

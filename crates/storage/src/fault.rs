@@ -23,9 +23,8 @@ use crate::disk::DiskManager;
 use crate::error::StorageError;
 use crate::page::{PageId, PAGE_SIZE};
 use crate::Result;
-use std::cell::RefCell;
 use std::io;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 #[derive(Default)]
 struct FaultState {
@@ -34,6 +33,8 @@ struct FaultState {
     crash_at_write: Option<u64>,
     fail_at_write: Option<u64>,
     fail_at_read: Option<u64>,
+    /// Fail every read whose 1-based count is a multiple of this.
+    fail_every_read: Option<u64>,
     dead: bool,
     rng: u64,
 }
@@ -51,9 +52,11 @@ impl FaultState {
 }
 
 /// Shared, cloneable schedule of faults (one counter per injector).
+/// Thread-safe: one injector can drive disks accessed from several
+/// threads (e.g. through a concurrent buffer pool).
 #[derive(Clone)]
 pub struct FaultInjector {
-    state: Rc<RefCell<FaultState>>,
+    state: Arc<Mutex<FaultState>>,
 }
 
 impl FaultInjector {
@@ -61,54 +64,67 @@ impl FaultInjector {
     /// prefix lengths deterministically.
     pub fn new(seed: u64) -> FaultInjector {
         FaultInjector {
-            state: Rc::new(RefCell::new(FaultState {
+            state: Arc::new(Mutex::new(FaultState {
                 rng: seed | 1,
                 ..FaultState::default()
             })),
         }
     }
 
+    fn state(&self) -> MutexGuard<'_, FaultState> {
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Crash at the `n`-th write (0-based, counted across every disk
     /// sharing this injector): that write is torn, then the disk is
     /// dead — all later reads, writes, allocations, and syncs fail.
     pub fn crash_at_write(&self, n: u64) {
-        self.state.borrow_mut().crash_at_write = Some(n);
+        self.state().crash_at_write = Some(n);
     }
 
     /// Fail the `n`-th write cleanly (no bytes reach the media, the
     /// disk stays alive).
     pub fn fail_at_write(&self, n: u64) {
-        self.state.borrow_mut().fail_at_write = Some(n);
+        self.state().fail_at_write = Some(n);
     }
 
     /// Fail the `n`-th read cleanly.
     pub fn fail_at_read(&self, n: u64) {
-        self.state.borrow_mut().fail_at_read = Some(n);
+        self.state().fail_at_read = Some(n);
+    }
+
+    /// Fail every read whose 1-based count is a multiple of `k`
+    /// (cleanly; the disk stays alive). Models recurring transient
+    /// media errors for concurrent-read tests.
+    pub fn fail_reads_every(&self, k: u64) {
+        debug_assert!(k > 0);
+        self.state().fail_every_read = Some(k);
     }
 
     /// Clear all armed faults and revive a dead disk (the counters
     /// keep running).
     pub fn disarm(&self) {
-        let mut s = self.state.borrow_mut();
+        let mut s = self.state();
         s.crash_at_write = None;
         s.fail_at_write = None;
         s.fail_at_read = None;
+        s.fail_every_read = None;
         s.dead = false;
     }
 
     /// Total writes observed so far.
     pub fn writes(&self) -> u64 {
-        self.state.borrow().writes
+        self.state().writes
     }
 
     /// Total reads observed so far.
     pub fn reads(&self) -> u64 {
-        self.state.borrow().reads
+        self.state().reads
     }
 
     /// Whether a crash point has fired.
     pub fn crashed(&self) -> bool {
-        self.state.borrow().dead
+        self.state().dead
     }
 
     fn injected(what: &str) -> StorageError {
@@ -152,7 +168,7 @@ impl<D: DiskManager> FaultDisk<D> {
 
 impl<D: DiskManager> DiskManager for FaultDisk<D> {
     fn allocate(&mut self) -> Result<PageId> {
-        if self.injector.state.borrow().dead {
+        if self.injector.state().dead {
             return Err(FaultInjector::injected("allocate on dead disk"));
         }
         self.inner.allocate()
@@ -160,13 +176,14 @@ impl<D: DiskManager> DiskManager for FaultDisk<D> {
 
     fn read(&mut self, id: PageId, buf: &mut [u8]) -> Result<()> {
         let fail = {
-            let mut s = self.injector.state.borrow_mut();
+            let mut s = self.injector.state();
             if s.dead {
                 return Err(FaultInjector::injected("read on dead disk"));
             }
             let idx = s.reads;
             s.reads += 1;
             s.fail_at_read == Some(idx)
+                || s.fail_every_read.is_some_and(|k| (idx + 1).is_multiple_of(k))
         };
         if fail {
             return Err(FaultInjector::injected("read error"));
@@ -181,7 +198,7 @@ impl<D: DiskManager> DiskManager for FaultDisk<D> {
             Crash(usize),
         }
         let action = {
-            let mut s = self.injector.state.borrow_mut();
+            let mut s = self.injector.state();
             if s.dead {
                 return Err(FaultInjector::injected("write on dead disk"));
             }
@@ -217,14 +234,14 @@ impl<D: DiskManager> DiskManager for FaultDisk<D> {
     }
 
     fn sync_data(&mut self) -> Result<()> {
-        if self.injector.state.borrow().dead {
+        if self.injector.state().dead {
             return Err(FaultInjector::injected("fsync on dead disk"));
         }
         self.inner.sync_data()
     }
 
     fn truncate(&mut self, num_pages: u32) -> Result<()> {
-        if self.injector.state.borrow().dead {
+        if self.injector.state().dead {
             return Err(FaultInjector::injected("truncate on dead disk"));
         }
         self.inner.truncate(num_pages)

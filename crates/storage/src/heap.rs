@@ -105,7 +105,7 @@ impl HeapFile {
     /// Insert a record; returns its stable id.
     pub fn insert<D: DiskManager>(
         &mut self,
-        pool: &mut BufferPool<D>,
+        pool: &BufferPool<D>,
         data: &[u8],
     ) -> Result<RecordId> {
         if data.len() > MAX_RECORD {
@@ -115,20 +115,19 @@ impl HeapFile {
             });
         }
         heap_counters().inserts.inc();
-        // Try the last page first.
+        // Try the last page first. The fit check is a read-only pass:
+        // taking `with_page_mut` for it would dirty (and WAL-log) the
+        // full page even when the record spills to a fresh one. Inserts
+        // hold `&mut self`, so the check cannot race another insert
+        // into this file.
         if let Some(&last) = self.pages.last() {
-            let slot = pool.with_page_mut(last, |buf| {
-                let mut p = SlottedPage::new(buf);
-                if p.fits(data.len()) {
-                    Some(p.insert(data))
-                } else {
-                    None
-                }
-            })?;
-            if let Some(slot) = slot {
+            let fits = pool.with_page(last, |buf| SlottedRead::new(buf).fits(data.len()))?;
+            if fits {
+                let slot =
+                    pool.with_page_mut(last, |buf| SlottedPage::new(buf).insert(data))??;
                 self.records += 1;
                 self.bytes += data.len() as u64;
-                return Ok(RecordId { page: last, slot: slot? });
+                return Ok(RecordId { page: last, slot });
             }
         }
         let page = pool.allocate()?;
@@ -145,7 +144,7 @@ impl HeapFile {
     /// Read a record into an owned buffer.
     pub fn get<D: DiskManager>(
         &self,
-        pool: &mut BufferPool<D>,
+        pool: &BufferPool<D>,
         id: RecordId,
     ) -> Result<Vec<u8>> {
         heap_counters().reads.inc();
@@ -164,7 +163,7 @@ impl HeapFile {
     /// store it).
     pub fn update<D: DiskManager>(
         &mut self,
-        pool: &mut BufferPool<D>,
+        pool: &BufferPool<D>,
         id: RecordId,
         data: &[u8],
     ) -> Result<RecordId> {
@@ -196,7 +195,7 @@ impl HeapFile {
     /// Delete a record. Returns whether it was live.
     pub fn delete<D: DiskManager>(
         &mut self,
-        pool: &mut BufferPool<D>,
+        pool: &BufferPool<D>,
         id: RecordId,
     ) -> Result<bool> {
         heap_counters().deletes.inc();
@@ -221,7 +220,7 @@ impl HeapFile {
     /// Scan all live records in (page, slot) order, invoking `f`.
     pub fn scan<D: DiskManager>(
         &self,
-        pool: &mut BufferPool<D>,
+        pool: &BufferPool<D>,
         mut f: impl FnMut(RecordId, &[u8]),
     ) -> Result<()> {
         heap_counters().scans.inc();
@@ -248,74 +247,102 @@ mod tests {
 
     #[test]
     fn insert_get_roundtrip() {
-        let mut p = pool();
+        let p = pool();
         let mut h = HeapFile::new();
-        let id = h.insert(&mut p, b"record one").unwrap();
-        assert_eq!(h.get(&mut p, id).unwrap(), b"record one");
+        let id = h.insert(&p, b"record one").unwrap();
+        assert_eq!(h.get(&p, id).unwrap(), b"record one");
         assert_eq!(h.record_count(), 1);
     }
 
     #[test]
     fn records_spill_to_new_pages() {
-        let mut p = pool();
+        let p = pool();
         let mut h = HeapFile::new();
         let big = vec![1u8; 3000];
-        let ids: Vec<RecordId> = (0..10).map(|_| h.insert(&mut p, &big).unwrap()).collect();
+        let ids: Vec<RecordId> = (0..10).map(|_| h.insert(&p, &big).unwrap()).collect();
         assert!(h.page_count() > 1, "3000-byte records overflow one page");
         for id in ids {
-            assert_eq!(h.get(&mut p, id).unwrap().len(), 3000);
+            assert_eq!(h.get(&p, id).unwrap().len(), 3000);
         }
     }
 
     #[test]
     fn update_and_delete() {
-        let mut p = pool();
+        let p = pool();
         let mut h = HeapFile::new();
-        let id = h.insert(&mut p, b"before").unwrap();
-        h.update(&mut p, id, b"after-longer-value").unwrap();
-        assert_eq!(h.get(&mut p, id).unwrap(), b"after-longer-value");
-        assert!(h.delete(&mut p, id).unwrap());
-        assert!(!h.delete(&mut p, id).unwrap());
-        assert!(h.get(&mut p, id).is_err());
+        let id = h.insert(&p, b"before").unwrap();
+        h.update(&p, id, b"after-longer-value").unwrap();
+        assert_eq!(h.get(&p, id).unwrap(), b"after-longer-value");
+        assert!(h.delete(&p, id).unwrap());
+        assert!(!h.delete(&p, id).unwrap());
+        assert!(h.get(&p, id).is_err());
         assert_eq!(h.record_count(), 0);
     }
 
     #[test]
     fn scan_visits_all_live_records() {
-        let mut p = pool();
+        let p = pool();
         let mut h = HeapFile::new();
-        let a = h.insert(&mut p, b"a").unwrap();
-        let _b = h.insert(&mut p, b"b").unwrap();
-        let _c = h.insert(&mut p, b"c").unwrap();
-        h.delete(&mut p, a).unwrap();
+        let a = h.insert(&p, b"a").unwrap();
+        let _b = h.insert(&p, b"b").unwrap();
+        let _c = h.insert(&p, b"c").unwrap();
+        h.delete(&p, a).unwrap();
         let mut seen = Vec::new();
-        h.scan(&mut p, |_, d| seen.push(d.to_vec())).unwrap();
+        h.scan(&p, |_, d| seen.push(d.to_vec())).unwrap();
         assert_eq!(seen, vec![b"b".to_vec(), b"c".to_vec()]);
     }
 
     #[test]
     fn payload_accounting() {
-        let mut p = pool();
+        let p = pool();
         let mut h = HeapFile::new();
-        let id = h.insert(&mut p, &[0u8; 100]).unwrap();
-        h.insert(&mut p, &[0u8; 50]).unwrap();
+        let id = h.insert(&p, &[0u8; 100]).unwrap();
+        h.insert(&p, &[0u8; 50]).unwrap();
         assert_eq!(h.payload_bytes(), 150);
-        h.update(&mut p, id, &[0u8; 20]).unwrap();
+        h.update(&p, id, &[0u8; 20]).unwrap();
         assert_eq!(h.payload_bytes(), 70);
-        h.delete(&mut p, id).unwrap();
+        h.delete(&p, id).unwrap();
         assert_eq!(h.payload_bytes(), 50);
+    }
+
+    #[test]
+    fn spilled_insert_does_not_dirty_the_probed_page() {
+        // Regression: the "does it fit?" probe of the last page must be
+        // read-only — a spilling insert used to dirty (and WAL-queue)
+        // the full page it merely inspected.
+        use crate::wal::Wal;
+        let mut p = pool();
+        p.attach_wal(Wal::create(Box::new(MemDisk::new())).unwrap());
+        let mut h = HeapFile::new();
+        h.insert(&p, &vec![1u8; 5000]).unwrap();
+        p.commit(b"").unwrap();
+        let mark = p.stats();
+        // Does not fit page 0 → spills to a fresh page.
+        h.insert(&p, &vec![2u8; 5000]).unwrap();
+        assert_eq!(h.page_count(), 2);
+        assert_eq!(
+            p.dirty_since_commit_count(),
+            1,
+            "only the new page is queued for commit"
+        );
+        p.flush_all().unwrap();
+        assert_eq!(
+            (p.stats() - mark).writebacks,
+            1,
+            "the probed full page was not written back"
+        );
     }
 
     #[test]
     fn survives_eviction_pressure() {
         // Pool smaller than data forces evictions mid-stream.
-        let mut p = BufferPool::new(MemDisk::new(), 8 * PAGE_SIZE);
+        let p = BufferPool::new(MemDisk::new(), 8 * PAGE_SIZE);
         let mut h = HeapFile::new();
         let ids: Vec<RecordId> = (0..2000u32)
-            .map(|i| h.insert(&mut p, &i.to_le_bytes()).unwrap())
+            .map(|i| h.insert(&p, &i.to_le_bytes()).unwrap())
             .collect();
         for (i, id) in ids.iter().enumerate() {
-            let d = h.get(&mut p, *id).unwrap();
+            let d = h.get(&p, *id).unwrap();
             assert_eq!(u32::from_le_bytes(d.try_into().unwrap()), i as u32);
         }
     }

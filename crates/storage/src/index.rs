@@ -50,7 +50,7 @@ pub struct TagIndex {
 
 impl TagIndex {
     /// Create an empty tag index.
-    pub fn create<D: DiskManager>(pool: &mut BufferPool<D>) -> Result<TagIndex> {
+    pub fn create<D: DiskManager>(pool: &BufferPool<D>) -> Result<TagIndex> {
         Ok(TagIndex {
             tree: BTree::create(pool)?,
         })
@@ -73,7 +73,7 @@ impl TagIndex {
     /// Add a structural node under `tag`.
     pub fn insert<D: DiskManager>(
         &mut self,
-        pool: &mut BufferPool<D>,
+        pool: &BufferPool<D>,
         tag: u32,
         code: IntervalCode,
         node: u64,
@@ -86,7 +86,7 @@ impl TagIndex {
     /// Remove a structural node entry.
     pub fn remove<D: DiskManager>(
         &mut self,
-        pool: &mut BufferPool<D>,
+        pool: &BufferPool<D>,
         tag: u32,
         code: IntervalCode,
     ) -> Result<bool> {
@@ -96,7 +96,7 @@ impl TagIndex {
     /// All postings for `tag`, in interval-start (document) order.
     pub fn postings<D: DiskManager>(
         &self,
-        pool: &mut BufferPool<D>,
+        pool: &BufferPool<D>,
         tag: u32,
     ) -> Result<Vec<Posting>> {
         index_counters().tag_probes.inc();
@@ -138,7 +138,7 @@ pub struct ContentIndex {
 
 impl ContentIndex {
     /// Create an empty content index.
-    pub fn create<D: DiskManager>(pool: &mut BufferPool<D>) -> Result<ContentIndex> {
+    pub fn create<D: DiskManager>(pool: &BufferPool<D>) -> Result<ContentIndex> {
         Ok(ContentIndex {
             tree: BTree::create(pool)?,
         })
@@ -169,7 +169,7 @@ impl ContentIndex {
     /// Add `(value, node)`.
     pub fn insert<D: DiskManager>(
         &mut self,
-        pool: &mut BufferPool<D>,
+        pool: &BufferPool<D>,
         value: &str,
         node: u64,
     ) -> Result<()> {
@@ -181,7 +181,7 @@ impl ContentIndex {
     /// Remove `(value, node)`.
     pub fn remove<D: DiskManager>(
         &mut self,
-        pool: &mut BufferPool<D>,
+        pool: &BufferPool<D>,
         value: &str,
         node: u64,
     ) -> Result<bool> {
@@ -191,7 +191,7 @@ impl ContentIndex {
     /// All nodes whose value equals `value` exactly.
     pub fn lookup<D: DiskManager>(
         &self,
-        pool: &mut BufferPool<D>,
+        pool: &BufferPool<D>,
         value: &str,
     ) -> Result<Vec<u64>> {
         index_counters().content_probes.inc();
@@ -207,7 +207,7 @@ impl ContentIndex {
     /// All `(value, node)` pairs with `lo <= value < hi` (string range).
     pub fn lookup_range<D: DiskManager>(
         &self,
-        pool: &mut BufferPool<D>,
+        pool: &BufferPool<D>,
         lo: &str,
         hi: Option<&str>,
     ) -> Result<Vec<(String, u64)>> {
@@ -259,14 +259,14 @@ mod tests {
 
     #[test]
     fn tag_postings_in_document_order() {
-        let mut p = pool();
-        let mut idx = TagIndex::create(&mut p).unwrap();
+        let p = pool();
+        let mut idx = TagIndex::create(&p).unwrap();
         // Insert out of order; expect start-order retrieval.
-        idx.insert(&mut p, 7, code(30, 40, 2), 103).unwrap();
-        idx.insert(&mut p, 7, code(10, 20, 2), 101).unwrap();
-        idx.insert(&mut p, 7, code(21, 29, 3), 102).unwrap();
-        idx.insert(&mut p, 8, code(5, 50, 1), 200).unwrap();
-        let posts = idx.postings(&mut p, 7).unwrap();
+        idx.insert(&p, 7, code(30, 40, 2), 103).unwrap();
+        idx.insert(&p, 7, code(10, 20, 2), 101).unwrap();
+        idx.insert(&p, 7, code(21, 29, 3), 102).unwrap();
+        idx.insert(&p, 8, code(5, 50, 1), 200).unwrap();
+        let posts = idx.postings(&p, 7).unwrap();
         let starts: Vec<u32> = posts.iter().map(|p| p.code.start).collect();
         assert_eq!(starts, vec![10, 21, 30]);
         let nodes: Vec<u64> = posts.iter().map(|p| p.node).collect();
@@ -275,80 +275,80 @@ mod tests {
 
     #[test]
     fn tag_isolation_between_tags() {
-        let mut p = pool();
-        let mut idx = TagIndex::create(&mut p).unwrap();
-        idx.insert(&mut p, 1, code(1, 2, 1), 10).unwrap();
-        idx.insert(&mut p, 2, code(3, 4, 1), 20).unwrap();
-        assert_eq!(idx.postings(&mut p, 1).unwrap().len(), 1);
-        assert_eq!(idx.postings(&mut p, 2).unwrap().len(), 1);
-        assert_eq!(idx.postings(&mut p, 3).unwrap().len(), 0);
+        let p = pool();
+        let mut idx = TagIndex::create(&p).unwrap();
+        idx.insert(&p, 1, code(1, 2, 1), 10).unwrap();
+        idx.insert(&p, 2, code(3, 4, 1), 20).unwrap();
+        assert_eq!(idx.postings(&p, 1).unwrap().len(), 1);
+        assert_eq!(idx.postings(&p, 2).unwrap().len(), 1);
+        assert_eq!(idx.postings(&p, 3).unwrap().len(), 0);
     }
 
     #[test]
     fn tag_max_u32_boundary() {
-        let mut p = pool();
-        let mut idx = TagIndex::create(&mut p).unwrap();
-        idx.insert(&mut p, u32::MAX, code(1, 2, 1), 10).unwrap();
-        assert_eq!(idx.postings(&mut p, u32::MAX).unwrap().len(), 1);
-        assert_eq!(idx.postings(&mut p, u32::MAX - 1).unwrap().len(), 0);
+        let p = pool();
+        let mut idx = TagIndex::create(&p).unwrap();
+        idx.insert(&p, u32::MAX, code(1, 2, 1), 10).unwrap();
+        assert_eq!(idx.postings(&p, u32::MAX).unwrap().len(), 1);
+        assert_eq!(idx.postings(&p, u32::MAX - 1).unwrap().len(), 0);
     }
 
     #[test]
     fn tag_remove() {
-        let mut p = pool();
-        let mut idx = TagIndex::create(&mut p).unwrap();
+        let p = pool();
+        let mut idx = TagIndex::create(&p).unwrap();
         let c = code(10, 20, 2);
-        idx.insert(&mut p, 7, c, 1).unwrap();
-        assert!(idx.remove(&mut p, 7, c).unwrap());
-        assert!(!idx.remove(&mut p, 7, c).unwrap());
-        assert!(idx.postings(&mut p, 7).unwrap().is_empty());
+        idx.insert(&p, 7, c, 1).unwrap();
+        assert!(idx.remove(&p, 7, c).unwrap());
+        assert!(!idx.remove(&p, 7, c).unwrap());
+        assert!(idx.postings(&p, 7).unwrap().is_empty());
     }
 
     #[test]
     fn content_exact_lookup() {
-        let mut p = pool();
-        let mut idx = ContentIndex::create(&mut p).unwrap();
-        idx.insert(&mut p, "Comedy", 1).unwrap();
-        idx.insert(&mut p, "Comedy", 2).unwrap();
-        idx.insert(&mut p, "ComedyClub", 3).unwrap();
-        idx.insert(&mut p, "Drama", 4).unwrap();
-        let mut got = idx.lookup(&mut p, "Comedy").unwrap();
+        let p = pool();
+        let mut idx = ContentIndex::create(&p).unwrap();
+        idx.insert(&p, "Comedy", 1).unwrap();
+        idx.insert(&p, "Comedy", 2).unwrap();
+        idx.insert(&p, "ComedyClub", 3).unwrap();
+        idx.insert(&p, "Drama", 4).unwrap();
+        let mut got = idx.lookup(&p, "Comedy").unwrap();
         got.sort_unstable();
         assert_eq!(got, vec![1, 2], "prefix value must not leak in");
-        assert_eq!(idx.lookup(&mut p, "Thriller").unwrap(), Vec::<u64>::new());
+        assert_eq!(idx.lookup(&p, "Thriller").unwrap(), Vec::<u64>::new());
     }
 
     #[test]
     fn content_range_lookup() {
-        let mut p = pool();
-        let mut idx = ContentIndex::create(&mut p).unwrap();
+        let p = pool();
+        let mut idx = ContentIndex::create(&p).unwrap();
         for (v, n) in [("apple", 1u64), ("banana", 2), ("cherry", 3), ("date", 4)] {
-            idx.insert(&mut p, v, n).unwrap();
+            idx.insert(&p, v, n).unwrap();
         }
-        let got = idx.lookup_range(&mut p, "b", Some("d")).unwrap();
+        let got = idx.lookup_range(&p, "b", Some("d")).unwrap();
         let names: Vec<&str> = got.iter().map(|(s, _)| s.as_str()).collect();
         assert_eq!(names, ["banana", "cherry"]);
     }
 
     #[test]
     fn content_remove_specific_pair() {
-        let mut p = pool();
-        let mut idx = ContentIndex::create(&mut p).unwrap();
-        idx.insert(&mut p, "x", 1).unwrap();
-        idx.insert(&mut p, "x", 2).unwrap();
-        assert!(idx.remove(&mut p, "x", 1).unwrap());
-        assert_eq!(idx.lookup(&mut p, "x").unwrap(), vec![2]);
+        let p = pool();
+        let mut idx = ContentIndex::create(&p).unwrap();
+        idx.insert(&p, "x", 1).unwrap();
+        idx.insert(&p, "x", 2).unwrap();
+        assert!(idx.remove(&p, "x", 1).unwrap());
+        assert_eq!(idx.lookup(&p, "x").unwrap(), vec![2]);
     }
 
     #[test]
     fn large_posting_lists() {
-        let mut p = BufferPool::new(MemDisk::new(), 512 * PAGE_SIZE);
-        let mut idx = TagIndex::create(&mut p).unwrap();
+        let p = BufferPool::new(MemDisk::new(), 512 * PAGE_SIZE);
+        let mut idx = TagIndex::create(&p).unwrap();
         for i in 0..10_000u32 {
-            idx.insert(&mut p, 42, code(i * 2, i * 2 + 1, 3), u64::from(i))
+            idx.insert(&p, 42, code(i * 2, i * 2 + 1, 3), u64::from(i))
                 .unwrap();
         }
-        let posts = idx.postings(&mut p, 42).unwrap();
+        let posts = idx.postings(&p, 42).unwrap();
         assert_eq!(posts.len(), 10_000);
         assert!(posts.windows(2).all(|w| w[0].code.start < w[1].code.start));
     }

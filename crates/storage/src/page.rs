@@ -342,6 +342,31 @@ impl<'a> SlottedRead<'a> {
         u32::from_le_bytes([self.buf[4], self.buf[5], self.buf[6], self.buf[7]])
     }
 
+    /// Contiguous free bytes between the slot directory and cell area.
+    pub fn free_space(&self) -> usize {
+        let dir_end = HEADER + self.slot_count() as usize * SLOT_BYTES;
+        self.read_u16(2) as usize - dir_end
+    }
+
+    /// Bytes that would be freed by [`SlottedPage::compact`].
+    pub fn dead_space(&self) -> usize {
+        let mut live = 0usize;
+        for s in 0..self.slot_count() {
+            let base = HEADER + s as usize * SLOT_BYTES;
+            if self.read_u16(base) != DEAD {
+                live += self.read_u16(base + 2) as usize;
+            }
+        }
+        (self.buf.len() - self.read_u16(2) as usize).saturating_sub(live)
+    }
+
+    /// Whether a record of `len` bytes fits (accounting for a possible
+    /// new slot entry, and assuming compaction) — the read-only twin of
+    /// [`SlottedPage::fits`], so capacity checks need not dirty a page.
+    pub fn fits(&self, len: usize) -> bool {
+        self.free_space() + self.dead_space() >= len + SLOT_BYTES
+    }
+
     /// Read a record by slot. `None` for tombstoned/out-of-range slots.
     pub fn get(&self, slot: u16) -> Option<&'a [u8]> {
         if slot >= self.slot_count() {

@@ -86,7 +86,7 @@ pub struct CommittedState {
 
 /// The write-ahead log over its own page file.
 pub struct Wal {
-    disk: Box<dyn DiskManager>,
+    disk: Box<dyn DiskManager + Send>,
     /// Append cursor (byte offset past the last intact record).
     end: u64,
     /// Byte offset just past the last commit record, if any.
@@ -96,7 +96,7 @@ pub struct Wal {
 
 impl Wal {
     /// Start a fresh, empty log (drops any previous contents).
-    pub fn create(mut disk: Box<dyn DiskManager>) -> Result<Wal> {
+    pub fn create(mut disk: Box<dyn DiskManager + Send>) -> Result<Wal> {
         disk.truncate(0)?;
         Ok(Wal {
             disk,
@@ -110,7 +110,7 @@ impl Wal {
     /// prefix and the position of the last commit. A torn tail (short
     /// or checksum-failing record) is truncated: subsequent appends
     /// overwrite it.
-    pub fn open(disk: Box<dyn DiskManager>) -> Result<Wal> {
+    pub fn open(disk: Box<dyn DiskManager + Send>) -> Result<Wal> {
         let mut wal = Wal {
             disk,
             end: 0,
@@ -175,7 +175,7 @@ impl Wal {
 
     /// Tear the log down into its backing disk (e.g. to reopen it
     /// later with [`Wal::open`]).
-    pub fn into_disk(self) -> Box<dyn DiskManager> {
+    pub fn into_disk(self) -> Box<dyn DiskManager + Send> {
         self.disk
     }
 

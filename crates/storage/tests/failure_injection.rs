@@ -22,10 +22,10 @@ fn faulty_pool(frames: usize) -> (BufferPool<FaultDisk<MemDisk>>, FaultInjector)
 
 #[test]
 fn corrupt_btree_node_is_reported_not_panicked() {
-    let mut p = pool();
-    let mut t = BTree::create(&mut p).unwrap();
+    let p = pool();
+    let mut t = BTree::create(&p).unwrap();
     for i in 0..100u32 {
-        t.insert(&mut p, &i.to_be_bytes(), u64::from(i)).unwrap();
+        t.insert(&p, &i.to_be_bytes(), u64::from(i)).unwrap();
     }
     // Scribble over the root page: claim a huge entry count with no
     // backing bytes.
@@ -36,7 +36,7 @@ fn corrupt_btree_node_is_reported_not_panicked() {
         buf[7] = 0xEE; // garbage key length territory
     })
     .unwrap();
-    let r = t.get(&mut p, &5u32.to_be_bytes());
+    let r = t.get(&p, &5u32.to_be_bytes());
     assert!(
         matches!(r, Err(StorageError::Corrupt(_))),
         "expected Corrupt, got {r:?}"
@@ -45,23 +45,23 @@ fn corrupt_btree_node_is_reported_not_panicked() {
 
 #[test]
 fn heap_get_on_foreign_page_is_an_error() {
-    let mut p = pool();
+    let p = pool();
     let mut h = HeapFile::new();
-    let id = h.insert(&mut p, b"hello").unwrap();
+    let id = h.insert(&p, b"hello").unwrap();
     // A record id pointing at a slot that never existed.
     let bogus = RecordId {
         page: id.page,
         slot: 999,
     };
     assert!(matches!(
-        h.get(&mut p, bogus),
+        h.get(&p, bogus),
         Err(StorageError::RecordNotFound { .. })
     ));
 }
 
 #[test]
 fn reading_unallocated_page_is_an_error() {
-    let mut p = pool();
+    let p = pool();
     let _ = p.allocate().unwrap();
     let r = p.with_page(PageId(1000), |_| ());
     assert!(matches!(r, Err(StorageError::PageOutOfRange { .. })));
@@ -70,32 +70,32 @@ fn reading_unallocated_page_is_an_error() {
 #[test]
 fn heap_survives_record_boundary_sizes() {
     // Records exactly at, just below, and above page capacity.
-    let mut p = pool();
+    let p = pool();
     let mut h = HeapFile::new();
     let max = mct_storage::page::MAX_RECORD;
-    assert!(h.insert(&mut p, &vec![7u8; max]).is_ok());
-    assert!(h.insert(&mut p, &vec![7u8; max - 1]).is_ok());
+    assert!(h.insert(&p, &vec![7u8; max]).is_ok());
+    assert!(h.insert(&p, &vec![7u8; max - 1]).is_ok());
     assert!(matches!(
-        h.insert(&mut p, &vec![7u8; max + 1]),
+        h.insert(&p, &vec![7u8; max + 1]),
         Err(StorageError::RecordTooLarge { .. })
     ));
     // After the failure the heap still works.
-    let id = h.insert(&mut p, b"still fine").unwrap();
-    assert_eq!(h.get(&mut p, id).unwrap(), b"still fine");
+    let id = h.insert(&p, b"still fine").unwrap();
+    assert_eq!(h.get(&p, id).unwrap(), b"still fine");
 }
 
 #[test]
 fn btree_handles_empty_and_duplicate_heavy_keys() {
-    let mut p = pool();
-    let mut t = BTree::create(&mut p).unwrap();
+    let p = pool();
+    let mut t = BTree::create(&p).unwrap();
     // Empty key is legal.
-    t.insert(&mut p, b"", 1).unwrap();
-    assert_eq!(t.get(&mut p, b"").unwrap(), Some(1));
+    t.insert(&p, b"", 1).unwrap();
+    assert_eq!(t.get(&p, b"").unwrap(), Some(1));
     // Massive overwrite churn on one key must not grow the tree.
     for i in 0..10_000u64 {
-        t.insert(&mut p, b"hot", i).unwrap();
+        t.insert(&p, b"hot", i).unwrap();
     }
-    assert_eq!(t.get(&mut p, b"hot").unwrap(), Some(9_999));
+    assert_eq!(t.get(&p, b"hot").unwrap(), Some(9_999));
     assert_eq!(t.len(), 2);
     assert!(t.page_count() <= 2, "overwrites must not leak pages");
 }
@@ -127,7 +127,7 @@ fn exhaust_read_faults<T>(
 
 #[test]
 fn heap_reports_read_and_write_faults() {
-    let (mut p, inj) = faulty_pool(4);
+    let (p, inj) = faulty_pool(4);
     let mut h = HeapFile::new();
     let mut ids = Vec::new();
     let rec = |i: u32| {
@@ -136,19 +136,19 @@ fn heap_reports_read_and_write_faults() {
         r
     };
     for i in 0..200u32 {
-        ids.push(h.insert(&mut p, &rec(i)).unwrap());
+        ids.push(h.insert(&p, &rec(i)).unwrap());
     }
     p.evict_all().unwrap();
     // Cold reads with a fault at every read index in turn.
-    let faulted = exhaust_read_faults(&inj, || h.get(&mut p, ids[100]));
+    let faulted = exhaust_read_faults(&inj, || h.get(&p, ids[100]));
     assert!(faulted > 0, "cold heap get must read from disk");
-    assert_eq!(h.get(&mut p, ids[100]).unwrap(), rec(100));
+    assert_eq!(h.get(&p, ids[100]).unwrap(), rec(100));
     // A write fault during eviction: the heap spans far more pages
     // than the pool holds, so inserts force dirty-frame flushes.
     inj.fail_at_write(inj.writes());
     let mut err = None;
     for i in 200..400u32 {
-        if let Err(e) = h.insert(&mut p, &rec(i)) {
+        if let Err(e) = h.insert(&p, &rec(i)) {
             err = Some(e);
             break;
         }
@@ -157,55 +157,55 @@ fn heap_reports_read_and_write_faults() {
     assert!(matches!(err, StorageError::Io(_)), "typed error: {err:?}");
     // The engine is still alive after the clean failure.
     inj.disarm();
-    let id = h.insert(&mut p, b"post-fault").unwrap();
-    assert_eq!(h.get(&mut p, id).unwrap(), b"post-fault");
+    let id = h.insert(&p, b"post-fault").unwrap();
+    assert_eq!(h.get(&p, id).unwrap(), b"post-fault");
 
 }
 
 #[test]
 fn tag_index_reports_read_faults() {
     use mct_storage::IntervalCode;
-    let (mut p, inj) = faulty_pool(4);
-    let mut t = TagIndex::create(&mut p).unwrap();
+    let (p, inj) = faulty_pool(4);
+    let mut t = TagIndex::create(&p).unwrap();
     for i in 0..500u32 {
         let code = IntervalCode {
             start: i * 8,
             end: i * 8 + 7,
             level: 2,
         };
-        t.insert(&mut p, i % 7, code, u64::from(i)).unwrap();
+        t.insert(&p, i % 7, code, u64::from(i)).unwrap();
     }
     p.evict_all().unwrap();
-    let faulted = exhaust_read_faults(&inj, || t.postings(&mut p, 3));
+    let faulted = exhaust_read_faults(&inj, || t.postings(&p, 3));
     assert!(faulted > 1, "postings scan descends and walks leaves");
-    let posts = t.postings(&mut p, 3).unwrap();
+    let posts = t.postings(&p, 3).unwrap();
     let expected = (0..500u32).filter(|i| i % 7 == 3).count();
     assert_eq!(posts.len(), expected);
 }
 
 #[test]
 fn content_index_reports_read_faults() {
-    let (mut p, inj) = faulty_pool(4);
-    let mut idx = ContentIndex::create(&mut p).unwrap();
+    let (p, inj) = faulty_pool(4);
+    let mut idx = ContentIndex::create(&p).unwrap();
     for i in 0..500u32 {
-        idx.insert(&mut p, &format!("value-{}", i % 50), u64::from(i))
+        idx.insert(&p, &format!("value-{}", i % 50), u64::from(i))
             .unwrap();
     }
     p.evict_all().unwrap();
-    let faulted = exhaust_read_faults(&inj, || idx.lookup(&mut p, "value-17"));
+    let faulted = exhaust_read_faults(&inj, || idx.lookup(&p, "value-17"));
     assert!(faulted > 0);
-    assert_eq!(idx.lookup(&mut p, "value-17").unwrap().len(), 10);
+    assert_eq!(idx.lookup(&p, "value-17").unwrap().len(), 10);
 }
 
 #[test]
 fn btree_reports_write_faults_on_split() {
-    let (mut p, inj) = faulty_pool(4);
-    let mut t = BTree::create(&mut p).unwrap();
+    let (p, inj) = faulty_pool(4);
+    let mut t = BTree::create(&p).unwrap();
     // Grow until evictions happen constantly, failing one write.
     inj.fail_at_write(8);
     let mut err = None;
     for i in 0..5_000u64 {
-        if let Err(e) = t.insert(&mut p, &i.to_be_bytes(), i) {
+        if let Err(e) = t.insert(&p, &i.to_be_bytes(), i) {
             err = Some(e);
             break;
         }
@@ -214,13 +214,13 @@ fn btree_reports_write_faults_on_split() {
     assert!(matches!(err, StorageError::Io(_)), "typed error: {err:?}");
     inj.disarm();
     // Still insertable and readable afterwards.
-    t.insert(&mut p, b"recovered", 1).unwrap();
-    assert_eq!(t.get(&mut p, b"recovered").unwrap(), Some(1));
+    t.insert(&p, b"recovered", 1).unwrap();
+    assert_eq!(t.get(&p, b"recovered").unwrap(), Some(1));
 }
 
 #[test]
 fn pool_eviction_write_fault_keeps_page_dirty() {
-    let (mut p, inj) = faulty_pool(2); // clamped to the 8-frame minimum
+    let (p, inj) = faulty_pool(2); // clamped to the 8-frame minimum
     let a = p.allocate().unwrap();
     p.with_page_mut(a, |b| b[0] = 0xAB).unwrap();
     // Fail the flush of `a` during eviction pressure.
@@ -243,10 +243,10 @@ fn pool_eviction_write_fault_keeps_page_dirty() {
 fn bit_flip_under_the_pool_reads_as_corrupt() {
     let (mut p, _inj) = faulty_pool(8);
     let mut h = HeapFile::new();
-    let id = h.insert(&mut p, b"precious bytes").unwrap();
+    let id = h.insert(&p, b"precious bytes").unwrap();
     p.evict_all().unwrap();
     p.disk_mut().flip_bit(id.page, 900 * 8).unwrap();
-    let r = h.get(&mut p, id);
+    let r = h.get(&p, id);
     assert!(
         matches!(r, Err(StorageError::Corrupt(_))),
         "flipped bit must fail the page checksum, got {r:?}"
@@ -264,12 +264,12 @@ fn injected_checksum_failure_counts_as_corrupt_read_metric() {
     let global = mct_obs::counter("storage.corrupt_reads");
     let (mut p, _inj) = faulty_pool(8);
     let mut h = HeapFile::new();
-    let id = h.insert(&mut p, b"counted bytes").unwrap();
+    let id = h.insert(&p, b"counted bytes").unwrap();
     p.evict_all().unwrap();
     p.disk_mut().flip_bit(id.page, 900 * 8).unwrap();
     let mark_local = p.stats();
     let mark_global = global.get();
-    assert!(matches!(h.get(&mut p, id), Err(StorageError::Corrupt(_))));
+    assert!(matches!(h.get(&p, id), Err(StorageError::Corrupt(_))));
     let local = p.stats().delta_since(&mark_local);
     assert_eq!(local.corrupt_reads, 1, "pool counted the checksum failure");
     assert!(
@@ -281,15 +281,15 @@ fn injected_checksum_failure_counts_as_corrupt_read_metric() {
 #[test]
 fn injected_io_errors_count_as_io_error_metric() {
     let global = mct_obs::counter("storage.io_errors");
-    let (mut p, inj) = faulty_pool(8);
+    let (p, inj) = faulty_pool(8);
     let mut h = HeapFile::new();
-    let id = h.insert(&mut p, b"io counted").unwrap();
+    let id = h.insert(&p, b"io counted").unwrap();
     p.evict_all().unwrap();
     // Read fault on the cold fetch.
     let mark_local = p.stats();
     let mark_global = global.get();
     inj.fail_at_read(inj.reads());
-    assert!(matches!(h.get(&mut p, id), Err(StorageError::Io(_))));
+    assert!(matches!(h.get(&p, id), Err(StorageError::Io(_))));
     assert_eq!(p.stats().delta_since(&mark_local).io_errors, 1);
     // Write fault on an eviction flush.
     p.with_page_mut(id.page, |b| b[1] = 9).unwrap();
@@ -306,19 +306,19 @@ fn injected_io_errors_count_as_io_error_metric() {
 
 #[test]
 fn delete_insert_churn_reuses_space() {
-    let mut p = pool();
+    let p = pool();
     let mut h = HeapFile::new();
     // Fill one page, then churn delete/insert; page count must stay
     // bounded (compaction reclaims tombstones).
     let mut ids = Vec::new();
     for i in 0..50 {
-        ids.push(h.insert(&mut p, &[i as u8; 120]).unwrap());
+        ids.push(h.insert(&p, &[i as u8; 120]).unwrap());
     }
     let pages_before = h.page_count();
     for round in 0..100 {
         let id = ids.remove(0);
-        h.delete(&mut p, id).unwrap();
-        ids.push(h.insert(&mut p, &[round as u8; 120]).unwrap());
+        h.delete(&p, id).unwrap();
+        ids.push(h.insert(&p, &[round as u8; 120]).unwrap());
     }
     assert!(
         h.page_count() <= pages_before + 1,

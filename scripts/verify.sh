@@ -22,6 +22,19 @@ echo "$analyze_out" | grep -q -- "-- EXPLAIN ANALYZE --" \
 echo "$analyze_out" | grep -q "^total: .* rows" \
     || { echo "FAIL: no ANALYZE totals footer"; exit 1; }
 
+echo "==> parallel execution smoke (4 threads == 1 thread)"
+seq_out=$(cargo run --release --offline --bin mctq -- \
+    --db tpcw --scale 0.05 --plan-exec --threads 1 "$ANALYZE_QUERY" 2>/dev/null)
+par_out=$(cargo run --release --offline --bin mctq -- \
+    --db tpcw --scale 0.05 --plan-exec --threads 4 "$ANALYZE_QUERY" 2>/dev/null)
+[ "$seq_out" = "$par_out" ] \
+    || { echo "FAIL: --threads 4 output differs from --threads 1"; exit 1; }
+echo "$par_out" | grep -q "result(s) via planner" \
+    || { echo "FAIL: parallel smoke produced no planner results"; exit 1; }
+
+echo "==> concurrent buffer-pool stress"
+RUST_BACKTRACE=1 cargo test -p mct-storage --test concurrent_pool --offline -q
+
 echo "==> metrics JSON well-formedness (mctq + bench report)"
 bench_out=$(cargo run --release --offline -p mct-bench --bin table1 -- \
     --scale 0.05 --metrics-json)

@@ -19,6 +19,9 @@
 //! * `--analyze` — EXPLAIN ANALYZE: execute through the planner and
 //!   print the plan tree annotated with per-operator actual rows,
 //!   elapsed time, and buffer-pool hit/miss deltas (bare paths only).
+//! * `--threads N` — execute planner pipelines (`--plan-exec` /
+//!   `--analyze`) with N worker threads via the morsel-driven parallel
+//!   executor; output is identical to `--threads 1` (default 1).
 //! * `--metrics-json` / `--metrics-prom` — after the query, dump the
 //!   global metrics registry as JSON / Prometheus text to stdout.
 //! * `--update` — treat the input as an update statement.
@@ -37,6 +40,7 @@ struct Opts {
     explain: bool,
     plan_exec: bool,
     analyze: bool,
+    threads: usize,
     metrics_json: bool,
     metrics_prom: bool,
     update: bool,
@@ -50,6 +54,7 @@ fn parse_opts() -> Opts {
         explain: false,
         plan_exec: false,
         analyze: false,
+        threads: 1,
         metrics_json: false,
         metrics_prom: false,
         update: false,
@@ -69,14 +74,21 @@ fn parse_opts() -> Opts {
             "--explain" => opts.explain = true,
             "--plan-exec" => opts.plan_exec = true,
             "--analyze" => opts.analyze = true,
+            "--threads" => {
+                opts.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .expect("--threads needs a positive integer")
+            }
             "--metrics-json" => opts.metrics_json = true,
             "--metrics-prom" => opts.metrics_prom = true,
             "--update" => opts.update = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: mctq [--db movies|tpcw|sigmod] [--scale X] [--explain] \
-                     [--plan-exec] [--analyze] [--metrics-json] [--metrics-prom] \
-                     [--update] [QUERY]"
+                     [--plan-exec] [--analyze] [--threads N] [--metrics-json] \
+                     [--metrics-prom] [--update] [QUERY]"
                 );
                 std::process::exit(0);
             }
@@ -184,8 +196,9 @@ fn main() {
                         eprintln!("-------------------");
                     }
                     if opts.analyze {
-                        let (out, report) =
-                            plan.execute_analyze(&mut stored).expect("plan execution");
+                        let (out, report) = plan
+                            .execute_analyze_parallel(&mut stored, opts.threads)
+                            .expect("plan execution");
                         println!("-- EXPLAIN ANALYZE --");
                         print!("{}", report.render());
                         println!("---------------------");
@@ -200,7 +213,9 @@ fn main() {
                         return;
                     }
                     if opts.plan_exec {
-                        let out = plan.execute(&mut stored).expect("plan execution");
+                        let out = plan
+                            .execute_parallel(&mut stored, opts.threads)
+                            .expect("plan execution");
                         println!("{} result(s) via planner:", out.len());
                         for t in out.iter().take(50) {
                             print_node(&stored, t[0].node);

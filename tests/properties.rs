@@ -84,8 +84,8 @@ fn xml_pretty_print_reparses() {
 fn btree_matches_model() {
     for seed in 0..32u64 {
         let mut rng = XorShiftRng::seed_from_u64(1000 + seed);
-        let mut pool = BufferPool::new(MemDisk::new(), 64 * PAGE_SIZE);
-        let mut tree = BTree::create(&mut pool).unwrap();
+        let pool = BufferPool::new(MemDisk::new(), 64 * PAGE_SIZE);
+        let mut tree = BTree::create(&pool).unwrap();
         let mut model = std::collections::BTreeMap::new();
         let n_ops = rng.gen_range(1..200usize);
         for _ in 0..n_ops {
@@ -95,24 +95,24 @@ fn btree_matches_model() {
             let val = rng.next_u64();
             match rng.gen_range(0..3u8) {
                 0 => {
-                    let a = tree.insert(&mut pool, &key, val).unwrap();
+                    let a = tree.insert(&pool, &key, val).unwrap();
                     let b = model.insert(key.clone(), val);
                     assert_eq!(a, b, "seed {seed}");
                 }
                 1 => {
-                    let a = tree.delete(&mut pool, &key).unwrap();
+                    let a = tree.delete(&pool, &key).unwrap();
                     let b = model.remove(&key);
                     assert_eq!(a, b, "seed {seed}");
                 }
                 _ => {
-                    let a = tree.get(&mut pool, &key).unwrap();
+                    let a = tree.get(&pool, &key).unwrap();
                     let b = model.get(&key).copied();
                     assert_eq!(a, b, "seed {seed}");
                 }
             }
         }
         // Full scans agree, in order.
-        let scanned = tree.range_vec(&mut pool, &[], None).unwrap();
+        let scanned = tree.range_vec(&pool, &[], None).unwrap();
         let expected: Vec<(Vec<u8>, u64)> = model.into_iter().collect();
         assert_eq!(scanned, expected, "seed {seed}");
     }
