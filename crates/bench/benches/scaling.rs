@@ -27,14 +27,14 @@ fn scaling(c: &mut Criterion) {
     // --- cross-tree: cust orderlines -> auth items --------------------
     let lines = db.postings_named(cust, "orderline").expect("postings");
     let tuples: Vec<Tuple> = lines.iter().map(|r| vec![*r]).collect();
-    let expected = cross_tree_op_par(db, tuples.clone(), 0, auth, 1)
+    let expected = cross_tree_op_par(db, tuples.clone(), 0, auth, 1, None)
         .expect("join")
         .len();
     for threads in THREADS {
         let name = format!("cross_tree_par/orderline-auth/t{threads}");
         c.bench_function(&name, |b| {
             b.iter(|| {
-                let out = cross_tree_op_par(db, tuples.clone(), 0, auth, threads).expect("join");
+                let out = cross_tree_op_par(db, tuples.clone(), 0, auth, threads, None).expect("join");
                 assert_eq!(out.len(), expected);
                 out.len()
             })
@@ -48,12 +48,12 @@ fn scaling(c: &mut Criterion) {
         lines,
     ];
     let rels = [Rel::Child, Rel::Child];
-    let expected = holistic_chain_par(&lists, &rels, 1).len();
+    let expected = holistic_chain_par(&lists, &rels, 1, None).expect("join").len();
     for threads in THREADS {
         let name = format!("holistic_chain_par/cust-order-line/t{threads}");
         c.bench_function(&name, |b| {
             b.iter(|| {
-                let out = holistic_chain_par(&lists, &rels, threads);
+                let out = holistic_chain_par(&lists, &rels, threads, None).expect("join");
                 assert_eq!(out.len(), expected);
                 out.len()
             })

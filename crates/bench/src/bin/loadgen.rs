@@ -1,0 +1,196 @@
+//! `loadgen` — closed-loop load generator for `mctd`.
+//!
+//! ```text
+//! # Embedded: spin up the serving core in-process and sweep 1..8 connections
+//! cargo run --release -p mct-bench --bin loadgen -- --db tpcw --scale 0.05
+//!
+//! # Attach to an already-running mctd
+//! cargo run --release -p mct-bench --bin loadgen -- --port 8642 --connections 4
+//! ```
+//!
+//! Flags:
+//! * `--host H` / `--port P` — attach to an external server instead of
+//!   embedding one (`--port` required for attach mode).
+//! * `--db movies|tpcw|sigmod` + `--scale X` — embedded database
+//!   (default `movies`).
+//! * `--connections LIST` — comma-separated sweep, default `1,2,4,8`.
+//! * `--requests N` — requests per connection per point (default 50).
+//! * `--workers N` — embedded server worker threads (default 4).
+//! * `--update-every N` — in the mixed workload, every Nth request per
+//!   connection is an update (default 0 = read-only).
+//!
+//! Each sweep point prints one line: throughput, client-side
+//! p50/p95/p99 (from merged mct-obs histograms), and the plan-cache
+//! hit ratio over the run (scraped from `/metrics`). The first point
+//! runs twice — cold (empty plan cache, cold buffer pool) and warm —
+//! so the cache effect is visible directly.
+
+use mct_core::StoredDb;
+use mct_server::load::{builtin_mix, run, LoadSpec};
+use mct_server::{serve, ServerConfig};
+use mct_workloads::{movies, SigmodConfig, SigmodData, TpcwConfig, TpcwData};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--host H] [--port P] [--db movies|tpcw|sigmod] [--scale X] \
+         [--connections LIST] [--requests N] [--workers N] [--update-every N]"
+    );
+    std::process::exit(2);
+}
+
+struct Opts {
+    host: String,
+    port: Option<u16>,
+    db: String,
+    scale: f64,
+    connections: Vec<usize>,
+    requests: usize,
+    workers: usize,
+    update_every: usize,
+}
+
+fn parse_opts() -> Opts {
+    let mut o = Opts {
+        host: "127.0.0.1".to_string(),
+        port: None,
+        db: "movies".to_string(),
+        scale: 0.05,
+        connections: vec![1, 2, 4, 8],
+        requests: 50,
+        workers: 4,
+        update_every: 0,
+    };
+    let mut it = std::env::args().skip(1);
+    fn req(it: &mut impl Iterator<Item = String>) -> String {
+        it.next().unwrap_or_else(|| usage())
+    }
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--host" => o.host = req(&mut it),
+            "--port" => o.port = Some(req(&mut it).parse().unwrap_or_else(|_| usage())),
+            "--db" => o.db = req(&mut it),
+            "--scale" => o.scale = req(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--connections" => {
+                o.connections = req(&mut it)
+                    .split(',')
+                    .map(|v| v.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if o.connections.is_empty() {
+                    usage();
+                }
+            }
+            "--requests" => o.requests = req(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--workers" => o.workers = req(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--update-every" => {
+                o.update_every = req(&mut it).parse().unwrap_or_else(|_| usage())
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    o
+}
+
+fn build(db: &str, scale: f64) -> StoredDb {
+    const POOL: usize = 128 * 1024 * 1024;
+    match db {
+        "movies" => StoredDb::build(movies::build().db, POOL).expect("build movies"),
+        "tpcw" => StoredDb::build(
+            TpcwData::generate(&TpcwConfig {
+                scale,
+                ..Default::default()
+            })
+            .build_mct(),
+            POOL,
+        )
+        .expect("build tpcw"),
+        "sigmod" => StoredDb::build(
+            SigmodData::generate(&SigmodConfig {
+                scale,
+                ..Default::default()
+            })
+            .build_mct(),
+            POOL,
+        )
+        .expect("build sigmod"),
+        other => {
+            eprintln!("unknown --db {other}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// An update for the mixed workload that leaves the read mix's result
+/// sets untouched (different color hierarchy), so mixing is safe.
+fn update_text(db: &str) -> String {
+    match db {
+        "tpcw" => "for $d in document(\"tpcw\")/{date}descendant::date \
+                   update $d { insert <loadgen-note>n</loadgen-note> }"
+            .to_string(),
+        "sigmod" => "for $e in document(\"sigmod\")/{editor}descendant::editor \
+                     update $e { insert <loadgen-note>n</loadgen-note> }"
+            .to_string(),
+        _ => "for $y in document(\"m\")/{green}descendant::movie-award \
+              update $y { insert <loadgen-note>n</loadgen-note> }"
+            .to_string(),
+    }
+}
+
+fn main() {
+    let opts = parse_opts();
+    let queries = builtin_mix(&opts.db);
+
+    // Embedded unless --port was given.
+    let (handle, port) = match opts.port {
+        Some(p) => (None, p),
+        None => {
+            eprintln!("loadgen: embedding a server over {} (scale {})", opts.db, opts.scale);
+            let h = serve(
+                build(&opts.db, opts.scale),
+                ServerConfig {
+                    workers: opts.workers,
+                    ..ServerConfig::default()
+                },
+            )
+            .expect("embedded server");
+            let p = h.port();
+            (Some(h), p)
+        }
+    };
+
+    let spec = |connections: usize| LoadSpec {
+        connections,
+        requests_per_conn: opts.requests,
+        queries: queries.clone(),
+        update_every: opts.update_every,
+        update_text: (opts.update_every > 0).then(|| update_text(&opts.db)),
+    };
+
+    println!(
+        "loadgen: {} queries in the mix, {} requests/connection{}",
+        queries.len(),
+        opts.requests,
+        if opts.update_every > 0 {
+            format!(", update every {}th", opts.update_every)
+        } else {
+            String::new()
+        }
+    );
+
+    // Cold vs warm at the first sweep point: same spec twice.
+    let first = opts.connections[0];
+    let cold = run(&opts.host, port, &spec(first)).expect("cold run");
+    println!("cold: {}", cold.render());
+    let warm = run(&opts.host, port, &spec(first)).expect("warm run");
+    println!("warm: {}", warm.render());
+
+    println!("\nthroughput vs connection count:");
+    for &connections in &opts.connections {
+        let report = run(&opts.host, port, &spec(connections)).expect("sweep run");
+        println!("  {}", report.render());
+    }
+
+    if let Some(h) = handle {
+        h.shutdown();
+    }
+}

@@ -56,6 +56,12 @@ pub struct StoredDb<D: DiskManager = MemDisk> {
     attr_index: ContentIndex,
     content_rid: Vec<Option<RecordId>>,
     attr_rid: Vec<Option<RecordId>>,
+    /// Monotone store generation: bumped by every write-through update
+    /// (content/structure/index changes). Consumers holding derived
+    /// state — prepared-plan caches, catalog snapshots — stamp the
+    /// generation they were built against and treat a mismatch as
+    /// stale. In-process only; a fresh open starts at 0.
+    generation: u64,
 }
 
 impl StoredDb<MemDisk> {
@@ -173,6 +179,7 @@ impl<D: DiskManager> StoredDb<D> {
             attr_index,
             content_rid,
             attr_rid,
+            generation: 0,
         })
     }
 
@@ -239,6 +246,7 @@ impl<D: DiskManager> StoredDb<D> {
             )),
             content_rid: phys.content_rid,
             attr_rid: phys.attr_rid,
+            generation: 0,
         }))
     }
 
@@ -348,11 +356,41 @@ impl<D: DiskManager> StoredDb<D> {
         self.db.code(n, to)
     }
 
+    // ----- staleness detection --------------------------------------------------
+
+    /// Current store generation. Any write-through update bumps it, so
+    /// derived state stamped with an older generation is stale.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Explicitly advance the generation (for callers performing
+    /// logical-only mutations outside the write-through methods).
+    pub fn bump_generation(&mut self) {
+        self.generation += 1;
+    }
+
+    /// Re-annotate every dirty color and rebuild its structural
+    /// indexes, restoring the "all codes clean" invariant that the
+    /// shared read-only execution paths rely on. No-op when nothing is
+    /// dirty.
+    pub fn ensure_all_annotated(&mut self) -> mct_storage::Result<()> {
+        for i in 0..self.db.palette.len() {
+            let c = ColorId(i as u8);
+            if self.db.is_dirty(c) {
+                self.db.annotate(c);
+                self.reindex_color(c)?;
+            }
+        }
+        Ok(())
+    }
+
     // ----- write-through updates -----------------------------------------------
 
     /// Insert a fresh element (already created and appended in the
     /// logical database, with codes assigned) into the physical store.
     pub fn persist_new_element(&mut self, n: McNodeId) -> mct_storage::Result<()> {
+        self.generation += 1;
         if self.content_rid.len() < self.db.len() {
             self.content_rid.resize(self.db.len(), None);
             self.attr_rid.resize(self.db.len(), None);
@@ -385,6 +423,7 @@ impl<D: DiskManager> StoredDb<D> {
 
     /// Replace an element's content, updating heap and content index.
     pub fn update_content(&mut self, n: McNodeId, new: &str) -> mct_storage::Result<()> {
+        self.generation += 1;
         let old = self.db.content(n).map(str::to_string);
         self.db.set_content(n, new);
         if let Some(old) = &old {
@@ -413,6 +452,7 @@ impl<D: DiskManager> StoredDb<D> {
     /// color-scoped delete): drops its structural index entries. The
     /// logical detach/`remove_color` is the caller's responsibility.
     pub fn unindex_node(&mut self, n: McNodeId, c: ColorId) -> mct_storage::Result<()> {
+        self.generation += 1;
         let name = self.db.node(n).name.expect("element named");
         if let Some(code) = self.db.code(n, c) {
             self.tag_indexes[c.index()].remove(&self.pool, name.0, code)?;
@@ -429,6 +469,7 @@ impl<D: DiskManager> StoredDb<D> {
     /// Rebuild the structural indexes of one color after a renumbering
     /// (`annotate`) invalidated its codes.
     pub fn reindex_color(&mut self, c: ColorId) -> mct_storage::Result<()> {
+        self.generation += 1;
         self.db.ensure_annotated(c);
         let mut tag = TagIndex::create(&self.pool)?;
         let mut link = BTree::create(&self.pool)?;
@@ -825,6 +866,46 @@ mod tests {
         let r2 = StoredDb::open(&dir, 4 * 1024 * 1024).unwrap().unwrap();
         assert_eq!(r2.content_lookup("Second Life").unwrap(), vec![n]);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn generation_bumps_on_every_write_path() {
+        let mut s = StoredDb::build(small_db(), 4 * 1024 * 1024).unwrap();
+        assert_eq!(s.generation(), 0, "fresh build starts at 0");
+        let n = s.content_lookup("Movie 3").unwrap()[0];
+        s.update_content(n, "Renamed").unwrap();
+        let g1 = s.generation();
+        assert!(g1 > 0, "update_content bumps");
+        // Reads leave the generation untouched.
+        let red = s.db.color("red").unwrap();
+        s.postings_named(red, "movie").unwrap();
+        s.fetch_content(n).unwrap();
+        assert_eq!(s.generation(), g1);
+        let green = s.db.color("green").unwrap();
+        let victim = s.postings_named(green, "movie").unwrap()[0].node;
+        s.unindex_node(victim, green).unwrap();
+        s.db.remove_color(victim, green);
+        assert!(s.generation() > g1, "unindex_node bumps");
+        let g2 = s.generation();
+        s.reindex_color(green).unwrap();
+        assert!(s.generation() > g2, "reindex_color bumps");
+        let g3 = s.generation();
+        s.bump_generation();
+        assert_eq!(s.generation(), g3 + 1);
+    }
+
+    #[test]
+    fn ensure_all_annotated_clears_dirty_colors() {
+        let mut s = StoredDb::build(small_db(), 4 * 1024 * 1024).unwrap();
+        let red = s.db.color("red").unwrap();
+        let genre = s.postings_named(red, "movie-genre").unwrap()[0].node;
+        let m = s.db.new_element("movie", red);
+        s.db.append_child(genre, m, red);
+        assert!(s.db.is_dirty(red), "structural append dirties the color");
+        s.ensure_all_annotated().unwrap();
+        assert!(!s.db.is_dirty(red));
+        // The fresh element is now indexed with a valid code.
+        assert_eq!(s.postings_named(red, "movie").unwrap().len(), 11);
     }
 
     #[test]

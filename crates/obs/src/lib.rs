@@ -25,7 +25,8 @@ pub mod metrics;
 pub mod trace;
 
 pub use metrics::{
-    global, Counter, Gauge, Histogram, HistogramSnapshot, Registry, RegistrySnapshot,
+    global, Counter, Gauge, Histogram, HistogramSnapshot, HistogramTimer, Registry,
+    RegistrySnapshot,
 };
 pub use trace::{set_subscriber, span, RingSubscriber, Span, Subscriber, TraceEvent};
 

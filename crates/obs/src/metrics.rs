@@ -55,6 +55,24 @@ impl Gauge {
         self.0.store(v, Ordering::Relaxed);
     }
 
+    /// Increment by `n` (e.g. an in-flight request starting).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Decrement by `n`, saturating at 0.
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        // fetch_update loops only under contention; saturation keeps a
+        // double-decrement bug from wrapping to u64::MAX in a dashboard.
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
@@ -126,6 +144,24 @@ impl Histogram {
         self.0.count.load(Ordering::Relaxed)
     }
 
+    /// Start a timer that records its elapsed nanoseconds into this
+    /// histogram when dropped — the idiomatic way to time a scope:
+    ///
+    /// ```
+    /// let h = mct_obs::histogram("server.latency.query");
+    /// {
+    ///     let _t = h.start_timer();
+    ///     // ... handle the request ...
+    /// } // recorded here
+    /// assert_eq!(h.count(), 1);
+    /// ```
+    pub fn start_timer(&self) -> HistogramTimer {
+        HistogramTimer {
+            histogram: self.clone(),
+            started: std::time::Instant::now(),
+        }
+    }
+
     /// A point-in-time copy of the distribution.
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
@@ -133,6 +169,29 @@ impl Histogram {
             count: self.0.count.load(Ordering::Relaxed),
             sum: self.0.sum.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// RAII guard from [`Histogram::start_timer`]: records the elapsed
+/// time (in nanoseconds) into its histogram on drop.
+pub struct HistogramTimer {
+    histogram: Histogram,
+    started: std::time::Instant,
+}
+
+impl HistogramTimer {
+    /// Stop early and return the recorded duration.
+    pub fn stop(self) -> std::time::Duration {
+        let elapsed = self.started.elapsed();
+        self.histogram.record_duration(elapsed);
+        std::mem::forget(self);
+        elapsed
+    }
+}
+
+impl Drop for HistogramTimer {
+    fn drop(&mut self) {
+        self.histogram.record_duration(self.started.elapsed());
     }
 }
 
@@ -491,6 +550,19 @@ mod tests {
         let before = m.clone();
         m.merge(&HistogramSnapshot::default());
         assert_eq!(m, before);
+    }
+
+    #[test]
+    fn histogram_timer_records_on_drop_and_stop() {
+        let h = Histogram::new();
+        {
+            let _t = h.start_timer();
+        }
+        assert_eq!(h.count(), 1, "drop records");
+        let t = h.start_timer();
+        let d = t.stop();
+        assert_eq!(h.count(), 2, "stop records exactly once");
+        assert!(h.snapshot().sum >= d.as_nanos() as u64 / 2);
     }
 
     #[test]

@@ -24,10 +24,91 @@
 
 use crate::ops::{self, Rel, Tuple};
 use mct_core::{ColorId, StoredDb, StructRef};
-use mct_storage::DiskManager;
+use mct_storage::{DiskManager, StorageError};
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+/// A cooperative cancellation token: an explicit [`CancelToken::cancel`]
+/// or an elapsed deadline makes every subsequent [`CancelToken::check`]
+/// fail with [`StorageError::Cancelled`]. Operators consult the token
+/// at morsel boundaries (and the plan driver at stage boundaries), so a
+/// cancelled query stops within one morsel's worth of work — the
+/// serving layer's per-request deadline mechanism.
+///
+/// Cloning is cheap (`Arc`); all clones observe the same state.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+#[derive(Debug, Default)]
+struct CancelInner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that only cancels explicitly.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// A token that auto-cancels once `deadline` passes.
+    pub fn with_deadline(deadline: Instant) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(deadline),
+            }),
+        }
+    }
+
+    /// A token that auto-cancels `timeout` from now.
+    pub fn after(timeout: std::time::Duration) -> CancelToken {
+        CancelToken::with_deadline(Instant::now() + timeout)
+    }
+
+    /// Cancel explicitly; idempotent.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the token has been cancelled or its deadline elapsed.
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        match self.inner.deadline {
+            Some(d) if Instant::now() >= d => {
+                // Latch so later checks skip the clock read.
+                self.inner.cancelled.store(true, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// `Err(StorageError::Cancelled)` once cancelled, `Ok(())` before.
+    pub fn check(&self) -> mct_storage::Result<()> {
+        if self.is_cancelled() {
+            Err(StorageError::Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Check an optional token (the pervasive `cancel: Option<&CancelToken>`
+/// parameter): `None` never cancels.
+#[inline]
+pub fn check_cancel(cancel: Option<&CancelToken>) -> mct_storage::Result<()> {
+    match cancel {
+        Some(t) => t.check(),
+        None => Ok(()),
+    }
+}
 
 /// Smallest worthwhile morsel: below this, scheduling overhead beats
 /// the win, and operators fall back to their sequential twins.
@@ -113,7 +194,9 @@ pub fn cross_tree_op_par<D: DiskManager>(
     col: usize,
     to: ColorId,
     threads: usize,
+    cancel: Option<&CancelToken>,
 ) -> mct_storage::Result<Vec<Tuple>> {
+    check_cancel(cancel)?;
     if threads <= 1 || input.len() < 2 * MIN_MORSEL {
         return ops::cross_tree_op(s, input, col, to);
     }
@@ -126,6 +209,7 @@ pub fn cross_tree_op_par<D: DiskManager>(
     input_rows.add(input.len() as u64);
     let ranges = chunk_ranges(input.len(), threads);
     let chunks = run_morsels(threads, ranges.len(), |ci| {
+        check_cancel(cancel)?;
         let range = ranges[ci].clone();
         let mut out = Vec::with_capacity(range.len());
         for t in &input[range] {
@@ -155,14 +239,21 @@ pub fn cross_tree_op_par<D: DiskManager>(
 /// root subtrees nest across a chunk boundary, so order-sensitive
 /// callers re-sort (the planner's Chain stage sorts its projected
 /// column, making plan output byte-identical).
-pub fn holistic_chain_par(lists: &[Vec<StructRef>], rels: &[Rel], threads: usize) -> Vec<Tuple> {
+pub fn holistic_chain_par(
+    lists: &[Vec<StructRef>],
+    rels: &[Rel],
+    threads: usize,
+    cancel: Option<&CancelToken>,
+) -> mct_storage::Result<Vec<Tuple>> {
     assert_eq!(lists.len(), rels.len() + 1, "k+1 lists need k relations");
+    check_cancel(cancel)?;
     if threads <= 1 || lists.len() == 1 || lists[0].len() < 2 * MIN_MORSEL {
-        return ops::holistic_path_join(lists, rels);
+        return Ok(ops::holistic_path_join(lists, rels));
     }
     let roots = &lists[0];
     let ranges = chunk_ranges(roots.len(), threads);
     let chunks = run_morsels(threads, ranges.len(), |ci| {
+        check_cancel(cancel)?;
         let chunk_roots = roots[ranges[ci].clone()].to_vec();
         let lo = chunk_roots[0].code.start;
         let hi = chunk_roots.iter().map(|r| r.code.end).max().expect("nonempty chunk");
@@ -173,13 +264,9 @@ pub fn holistic_chain_par(lists: &[Vec<StructRef>], rels: &[Rel], threads: usize
             let to = list.partition_point(|r| r.code.start <= hi);
             sub.push(list[from..to].to_vec());
         }
-        Ok::<_, std::convert::Infallible>(ops::holistic_path_join(&sub, rels))
-    });
-    let chunks = match chunks {
-        Ok(c) => c,
-        Err(e) => match e {},
-    };
-    chunks.into_iter().flatten().collect()
+        Ok::<_, StorageError>(ops::holistic_path_join(&sub, rels))
+    })?;
+    Ok(chunks.into_iter().flatten().collect())
 }
 
 #[cfg(test)]
@@ -275,9 +362,40 @@ mod tests {
         let seq = sort_tuples(ops::holistic_path_join(&lists, &rels));
         assert!(!seq.is_empty());
         for threads in [2, 4, 8] {
-            let par = sort_tuples(holistic_chain_par(&lists, &rels, threads));
+            let par = sort_tuples(holistic_chain_par(&lists, &rels, threads, None).unwrap());
             assert_eq!(par, seq, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn cancelled_token_aborts_parallel_operators() {
+        let s = big_stored();
+        let red = s.db.color("red").unwrap();
+        let green = s.db.color("green").unwrap();
+        let sections = s.postings_named(red, "section").unwrap();
+        let paras = s.postings_named(red, "para").unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        assert!(token.is_cancelled());
+        let lists = [sections.clone(), paras];
+        let r = holistic_chain_par(&lists, &[Rel::Child], 4, Some(&token));
+        assert!(matches!(r, Err(StorageError::Cancelled)), "{r:?}");
+        let input: Vec<Tuple> = sections.into_iter().map(|r| vec![r]).collect();
+        let r = cross_tree_op_par(&s, input, 0, green, 4, Some(&token));
+        assert!(matches!(r, Err(StorageError::Cancelled)), "{r:?}");
+    }
+
+    #[test]
+    fn deadline_token_latches_after_expiry() {
+        let token = CancelToken::after(std::time::Duration::ZERO);
+        assert!(token.check().is_err(), "zero deadline is already expired");
+        let far = CancelToken::after(std::time::Duration::from_secs(3600));
+        assert!(far.check().is_ok());
+        far.cancel();
+        assert!(far.check().is_err(), "explicit cancel wins over deadline");
+        // Clones share state.
+        let clone = token.clone();
+        assert!(clone.is_cancelled());
     }
 
     #[test]
@@ -300,7 +418,7 @@ mod tests {
         let seq = sort_tuples(ops::holistic_path_join(&lists, &rels));
         assert_eq!(seq.len(), 400 * 399 / 2, "all strict ancestor pairs");
         for threads in [2, 4, 8] {
-            let par = sort_tuples(holistic_chain_par(&lists, &rels, threads));
+            let par = sort_tuples(holistic_chain_par(&lists, &rels, threads, None).unwrap());
             assert_eq!(par, seq, "threads={threads}");
         }
     }
@@ -319,7 +437,7 @@ mod tests {
         let seq = ops::cross_tree_op(&s, input.clone(), 0, green).unwrap();
         assert!(!seq.is_empty());
         for threads in [2, 4, 8] {
-            let par = cross_tree_op_par(&s, input.clone(), 0, green, threads).unwrap();
+            let par = cross_tree_op_par(&s, input.clone(), 0, green, threads, None).unwrap();
             assert_eq!(par, seq, "threads={threads}");
         }
     }
@@ -336,7 +454,7 @@ mod tests {
             .take(10)
             .map(|r| vec![r])
             .collect();
-        let a = cross_tree_op_par(&s, few.clone(), 0, green, 8).unwrap();
+        let a = cross_tree_op_par(&s, few.clone(), 0, green, 8, None).unwrap();
         let b = ops::cross_tree_op(&s, few, 0, green).unwrap();
         assert_eq!(a, b);
     }

@@ -39,6 +39,7 @@ pub mod update;
 
 pub use ast::{complexity, update_complexity, Complexity, Expr, UpdateStmt};
 pub use eval::{eval, EvalContext, EvalError, Item, Sequence};
+pub use exec::CancelToken;
 pub use ops::{Rel, Tuple};
 pub use parser::{parse_query, parse_update, QueryParseError};
 pub use plan::{plan_path, AnalyzeReport, PathPlan, PlanError, StageStats};

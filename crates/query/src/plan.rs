@@ -26,8 +26,8 @@
 //! to the interpreter ([`crate::eval()`]).
 
 use crate::ast::{Axis, CmpOp, Expr, Literal, NodeTest, PathExpr, PathStart, Step};
-use crate::exec;
-use mct_storage::DiskManager;
+use crate::exec::{self, CancelToken};
+use mct_storage::{DiskManager, StorageError};
 use crate::ops::{
     self, dup_elim, select_attr_eq, select_contains,
     select_content_eq, select_number_cmp, NumCmp, Rel, Tuple,
@@ -233,6 +233,56 @@ impl PathPlan {
         self.run(s, None, 1).map(|(tuples, _)| tuples)
     }
 
+    /// Hoist the one `&mut` prerequisite of execution: annotate every
+    /// color the plan touches. After this (and until a mutation dirties
+    /// a color again), the plan can run over `&StoredDb` via
+    /// [`PathPlan::execute_shared`].
+    pub fn prepare<D: DiskManager>(&self, s: &mut StoredDb<D>) {
+        for st in &self.stages {
+            match st {
+                Stage::ContentEntry { color, .. }
+                | Stage::Chain { color, .. }
+                | Stage::Parent { color, .. } => s.db.ensure_annotated(*color),
+                Stage::CrossTree { to } => s.db.ensure_annotated(*to),
+                Stage::DupElim => {}
+            }
+        }
+    }
+
+    /// Execute over a shared reference — the serving path, where many
+    /// worker threads run cached plans against one `StoredDb` behind a
+    /// read lock. Every color the plan touches must be annotated and
+    /// clean (guaranteed after [`PathPlan::prepare`], and restored by
+    /// [`StoredDb::ensure_all_annotated`] after updates); a dirty color
+    /// is reported as an error here rather than the panic the in-memory
+    /// accessors would raise.
+    ///
+    /// `cancel` is consulted at stage and morsel boundaries; an elapsed
+    /// deadline surfaces as [`StorageError::Cancelled`].
+    pub fn execute_shared<D: DiskManager>(
+        &self,
+        s: &StoredDb<D>,
+        threads: usize,
+        cancel: Option<&CancelToken>,
+    ) -> mct_storage::Result<Vec<Tuple>> {
+        for st in &self.stages {
+            let c = match st {
+                Stage::ContentEntry { color, .. }
+                | Stage::Chain { color, .. }
+                | Stage::Parent { color, .. } => *color,
+                Stage::CrossTree { to } => *to,
+                Stage::DupElim => continue,
+            };
+            if s.db.is_dirty(c) {
+                return Err(StorageError::Corrupt(
+                    "color tree not annotated; call prepare/ensure_all_annotated first",
+                ));
+            }
+        }
+        self.run_shared(s, None, threads, cancel)
+            .map(|(tuples, _)| tuples)
+    }
+
     /// Execute with `threads` morsel workers. Output is byte-identical
     /// to [`PathPlan::execute`]: the parallel operators merge chunk
     /// results in chunk order and the Chain/CrossTree stages re-sort
@@ -287,25 +337,30 @@ impl PathPlan {
         labels: Option<&[String]>,
         threads: usize,
     ) -> mct_storage::Result<(Vec<Tuple>, Vec<StageStats>)> {
-        mct_obs::counter("query.plan.executions").inc();
         // Hoist color annotation: parent navigation and predicate
         // evaluation need in-memory interval codes, and annotating is
         // the one `&mut` operation in the pipeline. Doing it up front
         // leaves the stage loop a pure read, so morsel workers can
         // share `&StoredDb` freely.
-        for st in &self.stages {
-            match st {
-                Stage::ContentEntry { color, .. }
-                | Stage::Chain { color, .. }
-                | Stage::Parent { color, .. } => s.db.ensure_annotated(*color),
-                Stage::CrossTree { to } => s.db.ensure_annotated(*to),
-                Stage::DupElim => {}
-            }
-        }
-        let s: &StoredDb<D> = s;
+        self.prepare(s);
+        self.run_shared(s, labels, threads, None)
+    }
+
+    /// The read-only pipeline driver: every color already annotated
+    /// (see [`PathPlan::prepare`]), so `&StoredDb` suffices and the
+    /// serving layer can run many plans concurrently under a read lock.
+    fn run_shared<D: DiskManager>(
+        &self,
+        s: &StoredDb<D>,
+        labels: Option<&[String]>,
+        threads: usize,
+        cancel: Option<&CancelToken>,
+    ) -> mct_storage::Result<(Vec<Tuple>, Vec<StageStats>)> {
+        mct_obs::counter("query.plan.executions").inc();
         let mut collected = Vec::new();
         let mut current: Option<Vec<Tuple>> = None;
         for (i, st) in self.stages.iter().enumerate() {
+            exec::check_cancel(cancel)?;
             let _span = mct_obs::trace::span(match st {
                 Stage::ContentEntry { .. } => "plan.content_entry",
                 Stage::Chain { .. } => "plan.chain",
@@ -358,20 +413,20 @@ impl PathPlan {
                             lists.push(s.postings_named(*color, tag)?);
                         }
                     }
-                    let joined = exec::holistic_chain_par(&lists, rels, threads);
+                    let joined = exec::holistic_chain_par(&lists, rels, threads, cancel)?;
                     // Apply per-position predicates, then project to the
                     // last column.
                     let mut tuples = joined;
                     for (pos, ps) in preds.iter().enumerate() {
                         for p in ps {
-                            tuples = apply_pred_par(s, tuples, pos, *color, p, threads)?;
+                            tuples = apply_pred_par(s, tuples, pos, *color, p, threads, cancel)?;
                         }
                     }
                     ops::sort_by_col(ops::project(tuples, &[tags.len() - 1]), 0)
                 }
                 Stage::CrossTree { to } => {
                     let cur = current.take().unwrap_or_default();
-                    exec::cross_tree_op_par(s, cur, 0, *to, threads)?
+                    exec::cross_tree_op_par(s, cur, 0, *to, threads, cancel)?
                 }
                 Stage::Parent { color, tag } => {
                     let cur = current.take().unwrap_or_default();
@@ -422,12 +477,14 @@ fn apply_pred_par<D: DiskManager>(
     color: ColorId,
     p: &CompiledPred,
     threads: usize,
+    cancel: Option<&CancelToken>,
 ) -> mct_storage::Result<Vec<Tuple>> {
     if threads <= 1 || tuples.len() < 2 * exec::MIN_MORSEL {
         return apply_pred(s, tuples, col, color, p);
     }
     let ranges = exec::chunk_ranges(tuples.len(), threads);
     let chunks = exec::run_morsels(threads, ranges.len(), |ci| {
+        exec::check_cancel(cancel)?;
         apply_pred(s, tuples[ranges[ci].clone()].to_vec(), col, color, p)
     })?;
     Ok(chunks.into_iter().flatten().collect())
@@ -895,6 +952,59 @@ mod tests {
             assert_eq!(analyzed, seq, "{q} analyze");
             assert_eq!(report.rows as usize, seq.len());
         }
+    }
+
+    #[test]
+    fn execute_shared_matches_mut_execution() {
+        let mut s = stored();
+        for q in [
+            r#"document("m")/{red}descendant::movie/{red}child::name"#,
+            r#"document("m")/{green}descendant::movie[{green}child::votes > 8]/{red}child::name"#,
+        ] {
+            let Expr::Path(p) = parse_query(q).unwrap() else { panic!("{q}") };
+            let plan = plan_path(&s, &p, true).unwrap();
+            let seq = plan.execute(&mut s).unwrap();
+            plan.prepare(&mut s);
+            let shared = plan.execute_shared(&s, 2, None).unwrap();
+            assert_eq!(shared, seq, "{q}");
+        }
+    }
+
+    #[test]
+    fn execute_shared_refuses_dirty_colors() {
+        let mut s = stored();
+        let Expr::Path(p) =
+            parse_query(r#"document("m")/{red}descendant::movie"#).unwrap()
+        else {
+            panic!()
+        };
+        let plan = plan_path(&s, &p, true).unwrap();
+        plan.prepare(&mut s);
+        // Dirty the red tree behind the plan's back.
+        let red = s.db.color("red").unwrap();
+        let m = s.db.new_element("movie", red);
+        let genre = s.postings_named(red, "movie-genre").unwrap()[0].node;
+        s.db.append_child(genre, m, red);
+        assert!(s.db.is_dirty(red));
+        assert!(plan.execute_shared(&s, 1, None).is_err(), "must not panic");
+        s.ensure_all_annotated().unwrap();
+        assert!(plan.execute_shared(&s, 1, None).is_ok());
+    }
+
+    #[test]
+    fn cancelled_execution_returns_cancelled() {
+        let mut s = stored();
+        let Expr::Path(p) =
+            parse_query(r#"document("m")/{red}descendant::movie/{red}child::name"#).unwrap()
+        else {
+            panic!()
+        };
+        let plan = plan_path(&s, &p, true).unwrap();
+        plan.prepare(&mut s);
+        let token = CancelToken::new();
+        token.cancel();
+        let r = plan.execute_shared(&s, 2, Some(&token));
+        assert!(matches!(r, Err(StorageError::Cancelled)), "{r:?}");
     }
 
     #[test]

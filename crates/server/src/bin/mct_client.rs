@@ -1,0 +1,84 @@
+//! `mct-client` — command-line companion to `mctd`.
+//!
+//! ```text
+//! mct-client --port 8642 health
+//! mct-client --port 8642 query 'document("m")/{red}descendant::movie'
+//! mct-client --port 8642 query-json 'document("m")/{red}descendant::movie'
+//! mct-client --port 8642 update 'for $m in ... update $m { ... }'
+//! mct-client --port 8642 metrics
+//! echo 'QUERY' | mct-client --port 8642 query      # text from stdin
+//! ```
+//!
+//! Exit codes: `0` success (2xx), `2` usage error, `3` transport
+//! failure (cannot reach the server), `4` HTTP error status from the
+//! server (the response body goes to stderr).
+
+use mct_server::Client;
+use std::io::Read;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mct-client [--host H] [--port P] [--timeout-ms N] \
+         <health|metrics|query|query-json|update> [TEXT]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut host = "127.0.0.1".to_string();
+    let mut port: u16 = 8642;
+    let mut timeout_ms: u64 = 30_000;
+    let mut command: Option<String> = None;
+    let mut text: Option<String> = None;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--host" => host = it.next().unwrap_or_else(|| usage()),
+            "--port" => port = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--timeout-ms" => {
+                timeout_ms = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--help" | "-h" => usage(),
+            other if command.is_none() => command = Some(other.to_string()),
+            other if text.is_none() => text = Some(other.to_string()),
+            _ => usage(),
+        }
+    }
+    let command = command.unwrap_or_else(|| usage());
+
+    let needs_text = matches!(command.as_str(), "query" | "query-json" | "update");
+    if needs_text && text.is_none() {
+        let mut buf = String::new();
+        if std::io::stdin().read_to_string(&mut buf).is_err() || buf.trim().is_empty() {
+            eprintln!("{command} needs text (argument or stdin)");
+            std::process::exit(2);
+        }
+        text = Some(buf);
+    }
+
+    let client = Client::new(&host, port).with_timeout(Duration::from_millis(timeout_ms.max(1)));
+    let result = match command.as_str() {
+        "health" => client.healthz(),
+        "metrics" => client.metrics(),
+        "query" => client.query(text.as_deref().unwrap_or("")),
+        "query-json" => client.query_json(text.as_deref().unwrap_or("")),
+        "update" => client.update(text.as_deref().unwrap_or("")),
+        _ => usage(),
+    };
+
+    match result {
+        Ok(reply) if reply.is_ok() => {
+            print!("{}", reply.body_str());
+        }
+        Ok(reply) => {
+            eprintln!("HTTP {}: {}", reply.status, reply.body_str().trim_end());
+            std::process::exit(4);
+        }
+        Err(e) => {
+            eprintln!("cannot reach {host}:{port}: {e}");
+            std::process::exit(3);
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! `mctd` — the MCXQuery network daemon.
+//!
+//! ```text
+//! mctd --db movies --port 8642 --threads 4
+//! mctd --db tpcw --scale 0.1 --port 0 --port-file /tmp/mctd.port
+//! ```
+//!
+//! Flags:
+//! * `--db movies|tpcw|sigmod` — built-in database to serve (default
+//!   `movies`).
+//! * `--scale X` — generator scale for tpcw/sigmod (default 0.05).
+//! * `--host H` / `--port P` — bind address (default 127.0.0.1:8642;
+//!   `--port 0` picks an ephemeral port).
+//! * `--port-file PATH` — write the bound port there once listening
+//!   (for scripts using `--port 0`).
+//! * `--threads N` — worker threads (default 4).
+//! * `--exec-threads N` — morsel-executor threads per query (default 1).
+//! * `--queue N` — accept-queue depth before `503` (default 64).
+//! * `--deadline-ms N` — per-request deadline (default 30000; 0 = none).
+//! * `--cache N` — plan-cache capacity in entries (default 256).
+//! * `--shutdown-file PATH` — drain and exit when this file appears.
+//!
+//! `SIGTERM`/`SIGINT` trigger a graceful drain: stop accepting, finish
+//! every queued request, exit 0.
+
+use mct_core::StoredDb;
+use mct_server::{serve, ServerConfig};
+use mct_workloads::{movies, SigmodConfig, SigmodData, TpcwConfig, TpcwData};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+struct Opts {
+    db: String,
+    scale: f64,
+    port_file: Option<String>,
+    shutdown_file: Option<String>,
+    cfg: ServerConfig,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mctd [--db movies|tpcw|sigmod] [--scale X] [--host H] [--port P] \
+         [--port-file PATH] [--threads N] [--exec-threads N] [--queue N] \
+         [--deadline-ms N] [--cache N] [--shutdown-file PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        db: "movies".to_string(),
+        scale: 0.05,
+        port_file: None,
+        shutdown_file: None,
+        cfg: ServerConfig {
+            port: 8642,
+            ..ServerConfig::default()
+        },
+    };
+    let mut it = std::env::args().skip(1);
+    fn value(it: &mut impl Iterator<Item = String>, flag: &str) -> String {
+        it.next().unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            usage();
+        })
+    }
+    fn numeric<T: std::str::FromStr>(it: &mut impl Iterator<Item = String>, flag: &str) -> T {
+        value(it, flag).parse().unwrap_or_else(|_| {
+            eprintln!("{flag} needs a number");
+            usage();
+        })
+    }
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--db" => opts.db = value(&mut it, "--db"),
+            "--scale" => opts.scale = numeric(&mut it, "--scale"),
+            "--host" => opts.cfg.host = value(&mut it, "--host"),
+            "--port" => opts.cfg.port = numeric(&mut it, "--port"),
+            "--port-file" => opts.port_file = Some(value(&mut it, "--port-file")),
+            "--threads" => opts.cfg.workers = numeric::<usize>(&mut it, "--threads").max(1),
+            "--exec-threads" => {
+                opts.cfg.exec_threads = numeric::<usize>(&mut it, "--exec-threads").max(1)
+            }
+            "--queue" => opts.cfg.queue_depth = numeric::<usize>(&mut it, "--queue").max(1),
+            "--deadline-ms" => {
+                let ms: u64 = numeric(&mut it, "--deadline-ms");
+                opts.cfg.deadline = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--cache" => opts.cfg.cache_capacity = numeric::<usize>(&mut it, "--cache").max(1),
+            "--shutdown-file" => opts.shutdown_file = Some(value(&mut it, "--shutdown-file")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    opts
+}
+
+fn load(db: &str, scale: f64) -> StoredDb {
+    const POOL: usize = 128 * 1024 * 1024;
+    match db {
+        "movies" => StoredDb::build(movies::build().db, POOL).expect("build"),
+        "tpcw" => {
+            let data = TpcwData::generate(&TpcwConfig {
+                scale,
+                ..Default::default()
+            });
+            StoredDb::build(data.build_mct(), POOL).expect("build")
+        }
+        "sigmod" => {
+            let data = SigmodData::generate(&SigmodConfig {
+                scale,
+                ..Default::default()
+            });
+            StoredDb::build(data.build_mct(), POOL).expect("build")
+        }
+        other => {
+            eprintln!("unknown --db {other} (movies | tpcw | sigmod)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Signal flag shared with the handler; `SIGTERM`/`SIGINT` set it.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" fn on_signal(_sig: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+    // Raw libc signal(2) via FFI keeps the binary zero-dependency.
+    // Storing to an atomic is async-signal-safe.
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+fn main() {
+    let opts = parse_opts();
+    install_signal_handlers();
+
+    eprintln!("mctd: loading {} database (scale {})...", opts.db, opts.scale);
+    let stored = load(&opts.db, opts.scale);
+    let workers = opts.cfg.workers;
+    let handle = match serve(stored, opts.cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("mctd: cannot start server: {e}");
+            std::process::exit(5);
+        }
+    };
+    eprintln!(
+        "mctd: serving {} on {} with {} workers",
+        opts.db,
+        handle.addr(),
+        workers
+    );
+    if let Some(path) = &opts.port_file {
+        if let Err(e) = std::fs::write(path, format!("{}\n", handle.port())) {
+            eprintln!("mctd: cannot write --port-file {path}: {e}");
+            handle.shutdown();
+            std::process::exit(5);
+        }
+    }
+
+    // Wait for a shutdown signal (or the shutdown file to appear).
+    loop {
+        if SHUTDOWN.load(Ordering::SeqCst) {
+            eprintln!("mctd: signal received, draining...");
+            break;
+        }
+        if let Some(path) = &opts.shutdown_file {
+            if std::path::Path::new(path).exists() {
+                eprintln!("mctd: shutdown file present, draining...");
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    let served = handle.shutdown();
+    eprintln!("mctd: drained cleanly after {served} request(s)");
+}

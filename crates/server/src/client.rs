@@ -1,0 +1,177 @@
+//! `mct-client` — a tiny blocking HTTP client for talking to `mctd`.
+//!
+//! One TCP connection per request (`Connection: close`): with a
+//! connection-per-worker server, short-lived connections are what
+//! keeps N clients from starving a smaller worker pool. Responses are
+//! read to EOF and parsed leniently — this is a test/ops helper, not a
+//! general HTTP client.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A parsed response.
+#[derive(Debug)]
+pub struct Reply {
+    /// HTTP status code.
+    pub status: u16,
+    /// Headers, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Reply {
+    /// Body as (lossy) UTF-8.
+    pub fn body_str(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// First header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Is the status 2xx?
+    pub fn is_ok(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+/// Client for one `mctd` endpoint.
+#[derive(Clone, Debug)]
+pub struct Client {
+    host: String,
+    port: u16,
+    timeout: Duration,
+}
+
+impl Client {
+    /// A client for `host:port` with a 30 s I/O timeout.
+    pub fn new(host: &str, port: u16) -> Client {
+        Client {
+            host: host.to_string(),
+            port,
+            timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Override the connect/read/write timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Client {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Issue one request and read the full response.
+    pub fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        extra_headers: &[(&str, &str)],
+    ) -> io::Result<Reply> {
+        let addr = (self.host.as_str(), self.port)
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::other("no address resolved"))?;
+        let mut stream = TcpStream::connect_timeout(&addr, self.timeout)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        let _ = stream.set_nodelay(true);
+
+        let body = body.unwrap_or("");
+        let mut req = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}:{}\r\nConnection: close\r\nContent-Length: {}\r\n",
+            self.host,
+            self.port,
+            body.len()
+        );
+        for (k, v) in extra_headers {
+            req.push_str(&format!("{k}: {v}\r\n"));
+        }
+        req.push_str("\r\n");
+        stream.write_all(req.as_bytes())?;
+        stream.write_all(body.as_bytes())?;
+        stream.flush()?;
+
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw)?;
+        parse_reply(&raw)
+    }
+
+    /// `POST /query`, XML response.
+    pub fn query(&self, text: &str) -> io::Result<Reply> {
+        self.request("POST", "/query", Some(text), &[])
+    }
+
+    /// `POST /query?format=json`.
+    pub fn query_json(&self, text: &str) -> io::Result<Reply> {
+        self.request("POST", "/query?format=json", Some(text), &[])
+    }
+
+    /// `POST /query` with an explicit per-request deadline.
+    pub fn query_with_deadline(&self, text: &str, deadline_ms: u64) -> io::Result<Reply> {
+        let ms = deadline_ms.to_string();
+        self.request("POST", "/query", Some(text), &[("X-Deadline-Ms", &ms)])
+    }
+
+    /// `POST /update`.
+    pub fn update(&self, text: &str) -> io::Result<Reply> {
+        self.request("POST", "/update", Some(text), &[])
+    }
+
+    /// `GET /metrics` (Prometheus text).
+    pub fn metrics(&self) -> io::Result<Reply> {
+        self.request("GET", "/metrics", None, &[])
+    }
+
+    /// `GET /healthz`.
+    pub fn healthz(&self) -> io::Result<Reply> {
+        self.request("GET", "/healthz", None, &[])
+    }
+}
+
+/// Parse a full `Connection: close` response capture.
+fn parse_reply(raw: &[u8]) -> io::Result<Reply> {
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| io::Error::other("no header/body separator in response"))?;
+    let head = std::str::from_utf8(&raw[..header_end])
+        .map_err(|_| io::Error::other("non-UTF-8 response head"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::other("unparseable status line"))?;
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    Ok(Reply {
+        status,
+        headers,
+        body: raw[header_end + 4..].to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_closed_connection_capture() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\nContent-Length: 3\r\n\r\nok\n";
+        let r = parse_reply(raw).unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.header("content-type"), Some("text/plain"));
+        assert_eq!(r.body_str(), "ok\n");
+        assert!(r.is_ok());
+    }
+}

@@ -1,0 +1,358 @@
+//! A minimal HTTP/1.1 subset — just enough protocol for `mctd`.
+//!
+//! Scope: request line + headers + `Content-Length` bodies, keep-alive
+//! and `Connection: close`, no chunked transfer, no TLS, no
+//! continuation lines. Every limit is enforced while reading so a
+//! malformed or hostile peer costs a bounded amount of memory and ends
+//! in a 4xx response, never a panic:
+//!
+//! * request line ≤ [`MAX_REQUEST_LINE`] bytes,
+//! * ≤ [`MAX_HEADERS`] headers of ≤ [`MAX_HEADER_LINE`] bytes each,
+//! * body ≤ the server's configured `max_body` (413 beyond it).
+
+use std::io::{self, BufRead, Read, Write};
+
+/// Longest accepted request line (method + target + version), bytes.
+pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Longest accepted single header line, bytes.
+pub const MAX_HEADER_LINE: usize = 8 * 1024;
+/// Most headers accepted on one request.
+pub const MAX_HEADERS: usize = 64;
+/// Default request-body cap (overridable via `ServerConfig::max_body`).
+pub const DEFAULT_MAX_BODY: usize = 1024 * 1024;
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Syntactically invalid request → 400.
+    Malformed(&'static str),
+    /// A limit was exceeded → 413 (body) / 400 (line or header count).
+    TooLarge(&'static str),
+    /// The socket failed mid-read; no response is possible.
+    Io(io::Error),
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Malformed(what) => write!(f, "malformed request: {what}"),
+            HttpError::TooLarge(what) => write!(f, "request too large: {what}"),
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path component of the target, before any `?`.
+    pub path: String,
+    /// Raw query string after `?`, if present.
+    pub query: Option<String>,
+    /// Header name/value pairs in arrival order; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` was given).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Did the client ask to close the connection after this exchange?
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .map(|v| v.eq_ignore_ascii_case("close"))
+            .unwrap_or(false)
+    }
+
+    /// Value of `name=` in the query string, if present.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        let q = self.query.as_deref()?;
+        q.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == name).then_some(v)
+        })
+    }
+
+    /// The body as UTF-8, or a 400-class error.
+    pub fn body_str(&self) -> Result<&str, HttpError> {
+        std::str::from_utf8(&self.body)
+            .map_err(|_| HttpError::Malformed("body is not valid UTF-8"))
+    }
+}
+
+/// Read one `\n`-terminated line with a byte limit. `Ok(None)` means
+/// clean EOF before any byte (the peer closed between requests).
+fn read_limited_line(
+    r: &mut impl BufRead,
+    limit: usize,
+    what: &'static str,
+) -> Result<Option<String>, HttpError> {
+    let mut line = Vec::new();
+    let n = r.take(limit as u64 + 1).read_until(b'\n', &mut line)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if line.last() != Some(&b'\n') {
+        // Either the limit cut the line short or the peer died mid-line.
+        if line.len() > limit {
+            return Err(HttpError::TooLarge(what));
+        }
+        return Err(HttpError::Malformed("truncated line"));
+    }
+    line.pop();
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line)
+        .map(Some)
+        .map_err(|_| HttpError::Malformed("non-UTF-8 header bytes"))
+}
+
+/// Read and parse one request. `Ok(None)` = the peer closed the
+/// connection cleanly before sending anything (normal keep-alive end).
+pub fn read_request(
+    r: &mut impl BufRead,
+    max_body: usize,
+) -> Result<Option<Request>, HttpError> {
+    let line = match read_limited_line(r, MAX_REQUEST_LINE, "request line")? {
+        Some(l) => l,
+        None => return Ok(None),
+    };
+    let mut parts = line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next())
+    {
+        (Some(m), Some(t), Some(v), None) => (m, t, v),
+        _ => return Err(HttpError::Malformed("request line is not `METHOD TARGET VERSION`")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("only HTTP/1.x is supported"));
+    }
+    if !target.starts_with('/') {
+        return Err(HttpError::Malformed("target must be an absolute path"));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target.to_string(), None),
+    };
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_limited_line(r, MAX_HEADER_LINE, "header line")?
+            .ok_or(HttpError::Malformed("connection closed inside headers"))?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::TooLarge("too many headers"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(HttpError::Malformed("header line without `:`"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut req = Request {
+        method: method.to_ascii_uppercase(),
+        path,
+        query,
+        headers,
+        body: Vec::new(),
+    };
+    if req.header("transfer-encoding").is_some() {
+        return Err(HttpError::Malformed("chunked transfer encoding is not supported"));
+    }
+    if let Some(len) = req.header("content-length") {
+        let len: usize = len
+            .parse()
+            .map_err(|_| HttpError::Malformed("unparseable Content-Length"))?;
+        if len > max_body {
+            return Err(HttpError::TooLarge("body exceeds the configured limit"));
+        }
+        let mut body = vec![0u8; len];
+        r.read_exact(&mut body)
+            .map_err(|_| HttpError::Malformed("connection closed inside the body"))?;
+        req.body = body;
+    }
+    Ok(Some(req))
+}
+
+/// Canonical reason phrase for the status codes `mctd` emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// A response under construction.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers (`Content-Type`, `Content-Length`, and
+    /// `Connection` are emitted automatically).
+    pub headers: Vec<(String, String)>,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// Set the content type (builder style).
+    pub fn content_type(mut self, ct: &'static str) -> Response {
+        self.content_type = ct;
+        self
+    }
+
+    /// Append a header (builder style).
+    pub fn header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Serialize onto the wire. `close` controls the `Connection`
+    /// header (and must match whether the caller then drops the socket).
+    pub fn write_to(&self, w: &mut impl Write, close: bool) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len(),
+            if close { "close" } else { "keep-alive" },
+        );
+        for (k, v) in &self.headers {
+            head.push_str(k);
+            head.push_str(": ");
+            head.push_str(v);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        w.write_all(head.as_bytes())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// Map a read-side failure to the response it deserves (`None` when the
+/// socket is already dead and no response can be delivered).
+pub fn error_response(e: &HttpError) -> Option<Response> {
+    match e {
+        HttpError::Malformed(what) => Some(Response::text(400, format!("bad request: {what}\n"))),
+        HttpError::TooLarge(what) => Some(Response::text(413, format!("too large: {what}\n"))),
+        HttpError::Io(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &[u8]) -> Result<Option<Request>, HttpError> {
+        read_request(&mut BufReader::new(raw), DEFAULT_MAX_BODY)
+    }
+
+    #[test]
+    fn parses_post_with_body_and_query_string() {
+        let req = parse(
+            b"POST /query?format=json HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/query");
+        assert_eq!(req.query_param("format"), Some("json"));
+        assert_eq!(req.body, b"hello");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn eof_before_any_byte_is_a_clean_none() {
+        assert!(parse(b"").unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_inputs_fail_without_panicking() {
+        for raw in [
+            &b"GARBAGE\r\n\r\n"[..],
+            b"GET /x SPDY/3\r\n\r\n",
+            b"GET relative HTTP/1.1\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nbroken header line\r\n\r\n",
+            b"POST /q HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            b"POST /q HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort",
+            b"GET /x HTTP/1.1\r\nHost: x", // dies inside headers
+        ] {
+            assert!(matches!(parse(raw), Err(HttpError::Malformed(_))), "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_inputs_are_rejected_as_too_large() {
+        let long_line = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_REQUEST_LINE));
+        assert!(matches!(
+            parse(long_line.as_bytes()),
+            Err(HttpError::TooLarge(_))
+        ));
+
+        let mut many = String::from("GET /x HTTP/1.1\r\n");
+        for i in 0..(MAX_HEADERS + 1) {
+            many.push_str(&format!("h{i}: v\r\n"));
+        }
+        many.push_str("\r\n");
+        assert!(matches!(parse(many.as_bytes()), Err(HttpError::TooLarge(_))));
+
+        let big_body = b"POST /q HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n";
+        assert!(matches!(parse(big_body), Err(HttpError::TooLarge(_))));
+    }
+
+    #[test]
+    fn response_serializes_with_length_and_connection() {
+        let mut buf = Vec::new();
+        Response::text(503, "busy\n")
+            .header("Retry-After", "1")
+            .write_to(&mut buf, true)
+            .unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(s.contains("Content-Length: 5\r\n"));
+        assert!(s.contains("Connection: close\r\n"));
+        assert!(s.contains("Retry-After: 1\r\n"));
+        assert!(s.ends_with("\r\n\r\nbusy\n"));
+    }
+}

@@ -1,0 +1,42 @@
+//! # mct-server — `mctd`, a multi-threaded MCXQuery network server
+//!
+//! Takes the engine the paper evaluates single-process and puts it
+//! behind a socket: one shared [`StoredDb`](mct_core::StoredDb) served
+//! over a minimal std-only HTTP/1.1 subset. No external crates — the
+//! protocol layer, thread pool, and client are all in-tree, matching
+//! the repo's zero-dependency rule.
+//!
+//! * [`http`] — bounded request parsing and response serialization
+//!   (hostile input costs bounded memory and a 4xx, never a panic).
+//! * [`server`] — acceptor → bounded queue (backpressure: `503` +
+//!   `Retry-After`) → worker pool → shared `RwLock<StoredDb>`;
+//!   per-request deadlines via [`CancelToken`](mct_query::CancelToken)
+//!   checked at morsel boundaries (`408`); graceful drain that
+//!   finishes every accepted request.
+//! * [`cache`] — sharded LRU prepared-statement cache keyed by query
+//!   text, stamped with the store generation so any update invalidates
+//!   stale plans.
+//! * [`render`] — one `Row` shape for planner and interpreter results,
+//!   rendered as XML or JSON; shared with tests so "server response ≡
+//!   direct execution" is a byte comparison.
+//! * [`client`] — `mct-client`, a tiny blocking HTTP helper.
+//! * [`load`] — closed-loop load generation (used by
+//!   `bench/src/bin/loadgen.rs` and the report harness).
+//!
+//! Endpoints: `POST /query` (body = MCXQuery; `?format=json` for JSON
+//! rows), `POST /update`, `GET /metrics` (Prometheus), `GET /healthz`.
+//! See DESIGN.md §12 for the full serving architecture.
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod load;
+pub mod render;
+pub mod server;
+
+pub use cache::{PlanCache, Prepared};
+pub use client::{Client, Reply};
+pub use http::{Request, Response};
+pub use load::{prom_value, LoadReport, LoadSpec};
+pub use render::{render_json, render_xml, rows_from_items, rows_from_tuples, Row};
+pub use server::{serve, AppState, ServerConfig, ServerHandle, ServerMetrics};

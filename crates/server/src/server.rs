@@ -1,0 +1,573 @@
+//! The `mctd` serving core: acceptor → bounded queue → worker pool →
+//! shared [`StoredDb`].
+//!
+//! ## Threading model
+//!
+//! One acceptor thread blocks on `accept(2)` and pushes connections
+//! into a bounded [`sync_channel`]; `workers` threads pop connections
+//! and serve them to completion (HTTP keep-alive: a worker owns a
+//! connection for its whole life, so clients that multiplex many
+//! requests should use `Connection: close`, as [`crate::Client`]
+//! does). When the queue is full the acceptor answers `503` with
+//! `Retry-After: 1` inline and drops the connection — admission
+//! control costs one small write, never a thread.
+//!
+//! ## Locking protocol
+//!
+//! The database sits in one [`RwLock`]:
+//!
+//! * planner-covered queries execute under the **read** lock via
+//!   [`PathPlan::execute_shared`], so cached plans run concurrently on
+//!   all workers;
+//! * interpreter queries and updates take the **write** lock
+//!   (`EvalContext` needs `&mut` for construction and updates);
+//! * every write-lock section ends with
+//!   [`StoredDb::ensure_all_annotated`], restoring the invariant that
+//!   read-lock execution never sees a dirty color tree.
+//!
+//! ## Cancellation
+//!
+//! Each request gets a [`CancelToken`] carrying its deadline (server
+//! default, overridable per request with an `X-Deadline-Ms` header).
+//! The parallel operators check it at morsel boundaries; an expired
+//! token surfaces as [`StorageError::Cancelled`] → `408`.
+//!
+//! ## Shutdown
+//!
+//! [`ServerHandle::initiate_shutdown`] flips the drain flag and wakes
+//! the acceptor with a loopback connection. The acceptor stops and
+//! drops its sender; workers drain every already-queued connection to
+//! completion, then exit. No accepted request is ever abandoned.
+
+use crate::cache::{PlanCache, Prepared};
+use crate::http::{self, Request, Response};
+use crate::render::{self, Row};
+use mct_core::StoredDb;
+use mct_obs::{Counter, Gauge, Histogram};
+use mct_query::plan::plan_path;
+use mct_query::{
+    eval, execute_update_with, parse_query, parse_update, CancelToken, EvalContext, EvalError,
+    Expr, PlanError,
+};
+use mct_storage::{DiskManager, StorageError};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server tunables. `Default` matches the README quickstart.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Interface to bind.
+    pub host: String,
+    /// Port to bind; `0` picks an ephemeral port (see
+    /// [`ServerHandle::port`]).
+    pub port: u16,
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// Bounded accept-queue depth; beyond it connections get `503`.
+    pub queue_depth: usize,
+    /// Default per-request deadline (`None` = no deadline).
+    pub deadline: Option<Duration>,
+    /// Morsel-executor threads per query (within one request).
+    pub exec_threads: usize,
+    /// Request-body cap in bytes (`413` beyond it).
+    pub max_body: usize,
+    /// Plan-cache capacity in entries.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            host: "127.0.0.1".to_string(),
+            port: 0,
+            workers: 4,
+            queue_depth: 64,
+            deadline: Some(Duration::from_secs(30)),
+            exec_threads: 1,
+            max_body: http::DEFAULT_MAX_BODY,
+            cache_capacity: 256,
+        }
+    }
+}
+
+/// Handles to the server's metric instruments (global registry names
+/// under `server.*`; scrape them at `/metrics`).
+pub struct ServerMetrics {
+    /// Connections accepted.
+    pub accepted: Counter,
+    /// Connections rejected with `503` by admission control.
+    pub rejected: Counter,
+    /// Requests handled (any status).
+    pub requests: Counter,
+    /// Requests that hit their deadline (`408`).
+    pub timeouts: Counter,
+    /// Responses with status ≥ 400.
+    pub http_errors: Counter,
+    /// Requests currently executing.
+    pub inflight: Gauge,
+    /// Per-endpoint latency histograms (nanoseconds).
+    pub lat_query: Histogram,
+    /// `/update` latency.
+    pub lat_update: Histogram,
+    /// `/metrics` latency.
+    pub lat_metrics: Histogram,
+    /// `/healthz` latency.
+    pub lat_healthz: Histogram,
+}
+
+impl ServerMetrics {
+    fn new() -> ServerMetrics {
+        ServerMetrics {
+            accepted: mct_obs::counter("server.accepted"),
+            rejected: mct_obs::counter("server.rejected"),
+            requests: mct_obs::counter("server.requests"),
+            timeouts: mct_obs::counter("server.timeouts"),
+            http_errors: mct_obs::counter("server.http.errors"),
+            inflight: mct_obs::gauge("server.inflight"),
+            lat_query: mct_obs::histogram("server.latency.query"),
+            lat_update: mct_obs::histogram("server.latency.update"),
+            lat_metrics: mct_obs::histogram("server.latency.metrics"),
+            lat_healthz: mct_obs::histogram("server.latency.healthz"),
+        }
+    }
+}
+
+/// Shared server state: the database, the plan cache, config, and the
+/// drain flag.
+pub struct AppState<D: DiskManager = mct_storage::MemDisk> {
+    /// The one shared database.
+    pub db: RwLock<StoredDb<D>>,
+    /// Prepared-statement cache.
+    pub cache: PlanCache,
+    /// Effective configuration.
+    pub cfg: ServerConfig,
+    /// Set once shutdown begins; new connections get `503 draining`.
+    pub draining: AtomicBool,
+    /// Metric handles.
+    pub metrics: ServerMetrics,
+}
+
+/// Decrements the in-flight gauge even on panic or early return.
+struct InflightGuard(Gauge);
+
+impl InflightGuard {
+    fn enter(g: &Gauge) -> InflightGuard {
+        g.add(1);
+        InflightGuard(g.clone())
+    }
+}
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        self.0.sub(1);
+    }
+}
+
+/// A running server. Dropping the handle does NOT stop the server;
+/// call [`ServerHandle::shutdown`] (or `initiate_shutdown` + `wait`).
+pub struct ServerHandle<D: DiskManager = mct_storage::MemDisk> {
+    addr: SocketAddr,
+    state: Arc<AppState<D>>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<u64>>,
+}
+
+impl<D: DiskManager> ServerHandle<D> {
+    /// Bound address (useful with `port: 0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Bound port.
+    pub fn port(&self) -> u16 {
+        self.addr.port()
+    }
+
+    /// Shared state — tests inspect the cache and metrics through it.
+    pub fn state(&self) -> &Arc<AppState<D>> {
+        &self.state
+    }
+
+    /// Begin a graceful drain: stop accepting, finish everything
+    /// queued. Idempotent; returns immediately.
+    pub fn initiate_shutdown(&self) {
+        self.state.draining.store(true, Ordering::SeqCst);
+        // Wake the acceptor if it is parked in accept(2).
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+    }
+
+    /// Block until the drain completes; returns the total number of
+    /// requests served over the server's lifetime.
+    pub fn wait(mut self) -> u64 {
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        let mut served = 0;
+        for w in self.workers.drain(..) {
+            served += w.join().unwrap_or(0);
+        }
+        served
+    }
+
+    /// [`initiate_shutdown`](Self::initiate_shutdown) + [`wait`](Self::wait).
+    pub fn shutdown(self) -> u64 {
+        self.initiate_shutdown();
+        self.wait()
+    }
+}
+
+/// Start serving `stored` with `cfg`. Annotates every color tree up
+/// front so read-lock execution starts from a clean store.
+pub fn serve<D>(mut stored: StoredDb<D>, cfg: ServerConfig) -> std::io::Result<ServerHandle<D>>
+where
+    D: DiskManager + Sync + 'static,
+{
+    stored
+        .ensure_all_annotated()
+        .map_err(|e| std::io::Error::other(format!("annotating store: {e}")))?;
+    let listener = TcpListener::bind((cfg.host.as_str(), cfg.port))?;
+    let addr = listener.local_addr()?;
+
+    let state = Arc::new(AppState {
+        cache: PlanCache::new(cfg.cache_capacity),
+        db: RwLock::new(stored),
+        draining: AtomicBool::new(false),
+        metrics: ServerMetrics::new(),
+        cfg,
+    });
+
+    let (tx, rx) = sync_channel::<TcpStream>(state.cfg.queue_depth.max(1));
+    let rx = Arc::new(Mutex::new(rx));
+
+    let mut workers = Vec::with_capacity(state.cfg.workers.max(1));
+    for i in 0..state.cfg.workers.max(1) {
+        let state = Arc::clone(&state);
+        let rx = Arc::clone(&rx);
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("mctd-worker-{i}"))
+                .spawn(move || worker_loop(&state, &rx))?,
+        );
+    }
+
+    let acceptor = {
+        let state = Arc::clone(&state);
+        std::thread::Builder::new()
+            .name("mctd-acceptor".to_string())
+            .spawn(move || acceptor_loop(&state, &listener, tx))?
+    };
+
+    Ok(ServerHandle {
+        addr,
+        state,
+        acceptor: Some(acceptor),
+        workers,
+    })
+}
+
+fn acceptor_loop<D: DiskManager>(
+    state: &AppState<D>,
+    listener: &TcpListener,
+    tx: std::sync::mpsc::SyncSender<TcpStream>,
+) {
+    for stream in listener.incoming() {
+        if state.draining.load(Ordering::SeqCst) {
+            break; // the wake-up (or raced) connection is dropped
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        state.metrics.accepted.inc();
+        match tx.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(stream)) => {
+                state.metrics.rejected.inc();
+                reject_busy(stream);
+            }
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+    }
+    // Dropping `tx` here lets workers drain the queue and then exit.
+}
+
+/// Tell an over-admission connection to come back later. Best-effort:
+/// a peer that already vanished just loses the courtesy note.
+fn reject_busy(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let _ = Response::text(503, "server busy\n")
+        .header("Retry-After", "1")
+        .write_to(&mut stream, true);
+}
+
+fn worker_loop<D: DiskManager>(
+    state: &AppState<D>,
+    rx: &Arc<Mutex<Receiver<TcpStream>>>,
+) -> u64 {
+    let mut served = 0u64;
+    loop {
+        // Take the next connection; hold the receiver lock only for the
+        // recv itself so idle workers queue fairly.
+        let next = {
+            let guard = rx.lock().unwrap_or_else(PoisonError::into_inner);
+            guard.recv()
+        };
+        match next {
+            Ok(stream) => served += serve_connection(state, stream),
+            Err(_) => return served, // acceptor gone and queue empty
+        }
+    }
+}
+
+/// Serve one connection to completion. Returns requests handled.
+fn serve_connection<D: DiskManager>(state: &AppState<D>, stream: TcpStream) -> u64 {
+    let _ = stream.set_nodelay(true);
+    // A peer that stops talking mid-request must not pin a worker
+    // forever (slowloris); reads time out and the connection drops.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let mut writer = stream;
+    let mut reader = match writer.try_clone() {
+        Ok(r) => BufReader::new(r),
+        Err(_) => return 0,
+    };
+
+    let mut handled = 0u64;
+    loop {
+        match http::read_request(&mut reader, state.cfg.max_body) {
+            Ok(None) => break,
+            Err(e) => {
+                if let Some(resp) = http::error_response(&e) {
+                    state.metrics.http_errors.inc();
+                    let _ = resp.write_to(&mut writer, true);
+                }
+                break;
+            }
+            Ok(Some(req)) => {
+                let resp = handle_request(state, &req);
+                handled += 1;
+                let close = req.wants_close() || state.draining.load(Ordering::SeqCst);
+                if resp.status >= 400 {
+                    state.metrics.http_errors.inc();
+                }
+                if resp.write_to(&mut writer, close).is_err() || close {
+                    break;
+                }
+            }
+        }
+    }
+    handled
+}
+
+/// Route one request. Panics inside a handler are contained to a `500`
+/// so a worker thread (and its queue slot) survives any single bad
+/// request.
+pub fn handle_request<D: DiskManager>(state: &AppState<D>, req: &Request) -> Response {
+    state.metrics.requests.inc();
+    let _inflight = InflightGuard::enter(&state.metrics.inflight);
+    let result = catch_unwind(AssertUnwindSafe(|| route(state, req)));
+    result.unwrap_or_else(|_| Response::text(500, "internal error\n"))
+}
+
+fn route<D: DiskManager>(state: &AppState<D>, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            let _t = state.metrics.lat_healthz.start_timer();
+            if state.draining.load(Ordering::SeqCst) {
+                Response::text(503, "draining\n")
+            } else {
+                Response::text(200, "ok\n")
+            }
+        }
+        ("GET", "/metrics") => {
+            let _t = state.metrics.lat_metrics.start_timer();
+            Response::text(200, mct_obs::global().snapshot().to_prometheus())
+                .content_type("text/plain; version=0.0.4")
+        }
+        ("POST", "/query") => {
+            let _t = state.metrics.lat_query.start_timer();
+            handle_query(state, req)
+        }
+        ("POST", "/update") => {
+            let _t = state.metrics.lat_update.start_timer();
+            handle_update(state, req)
+        }
+        (_, "/healthz" | "/metrics") => {
+            Response::text(405, "method not allowed\n").header("Allow", "GET")
+        }
+        (_, "/query" | "/update") => {
+            Response::text(405, "method not allowed\n").header("Allow", "POST")
+        }
+        _ => Response::text(404, "not found\n"),
+    }
+}
+
+/// The request's cancel token: `X-Deadline-Ms` wins over the server
+/// default.
+fn request_cancel<D: DiskManager>(state: &AppState<D>, req: &Request) -> Option<CancelToken> {
+    if let Some(ms) = req.header("x-deadline-ms") {
+        let ms: u64 = ms.parse().ok()?;
+        return Some(CancelToken::after(Duration::from_millis(ms)));
+    }
+    state.cfg.deadline.map(CancelToken::after)
+}
+
+fn wants_json(req: &Request) -> bool {
+    req.query_param("format") == Some("json")
+        || req
+            .header("accept")
+            .map(|a| a.contains("application/json"))
+            .unwrap_or(false)
+}
+
+fn respond_rows(rows: &[Row], json: bool) -> Response {
+    if json {
+        Response::text(200, render::render_json(rows)).content_type("application/json")
+    } else {
+        Response::text(200, render::render_xml(rows)).content_type("application/xml")
+    }
+}
+
+fn handle_query<D: DiskManager>(state: &AppState<D>, req: &Request) -> Response {
+    let text = match req.body_str() {
+        Ok(t) => t.trim(),
+        Err(_) => return Response::text(400, "query body is not valid UTF-8\n"),
+    };
+    if text.is_empty() {
+        return Response::text(400, "empty query\n");
+    }
+    let json = wants_json(req);
+    let cancel = request_cancel(state, req);
+
+    // One annotate-and-retry round covers the (invariant-violating)
+    // case of a dirty color tree slipping past a write-lock section.
+    for attempt in 0..2 {
+        let db = state.db.read().unwrap_or_else(PoisonError::into_inner);
+        let generation = db.generation();
+        let prepared = match state.cache.lookup(text, generation) {
+            Some(p) => p,
+            None => {
+                let expr = match parse_query(text) {
+                    Ok(e) => e,
+                    Err(e) => return Response::text(400, format!("parse error: {e}\n")),
+                };
+                let plan = match &expr {
+                    Expr::Path(p) => match plan_path(&db, p, true) {
+                        Ok(plan) => Some(plan),
+                        Err(PlanError::Unsupported(_)) => None,
+                        Err(e @ PlanError::UnknownColor(_)) => {
+                            return Response::text(400, format!("plan error: {e}\n"))
+                        }
+                    },
+                    _ => None,
+                };
+                let prepared = Arc::new(Prepared { expr, plan });
+                state.cache.insert(text, generation, Arc::clone(&prepared));
+                prepared
+            }
+        };
+
+        if let Some(plan) = &prepared.plan {
+            match plan.execute_shared(&db, state.cfg.exec_threads, cancel.as_ref()) {
+                Ok(tuples) => {
+                    let rows = render::rows_from_tuples(&db, &tuples);
+                    return respond_rows(&rows, json);
+                }
+                Err(StorageError::Cancelled) => {
+                    state.metrics.timeouts.inc();
+                    return Response::text(408, "deadline exceeded\n");
+                }
+                Err(StorageError::Corrupt(m)) if m.contains("not annotated") && attempt == 0 => {
+                    drop(db);
+                    let mut w = state.db.write().unwrap_or_else(PoisonError::into_inner);
+                    if let Err(e) = w.ensure_all_annotated() {
+                        return Response::text(500, format!("annotation failed: {e}\n"));
+                    }
+                    continue;
+                }
+                Err(e) => return Response::text(500, format!("execution failed: {e}\n")),
+            }
+        }
+
+        // Interpreter path: FLWOR, constructors, predicates outside the
+        // planner fragment. Needs `&mut` (construction mutates the
+        // store), so it serializes on the write lock.
+        drop(db);
+        let mut db = state.db.write().unwrap_or_else(PoisonError::into_inner);
+        if let Some(c) = &cancel {
+            if c.is_cancelled() {
+                state.metrics.timeouts.inc();
+                return Response::text(408, "deadline exceeded\n");
+            }
+        }
+        let items = {
+            let mut ctx = EvalContext::new(&mut db);
+            match eval(&mut ctx, &prepared.expr) {
+                Ok(items) => items,
+                Err(EvalError::Storage(e)) => {
+                    return Response::text(500, format!("execution failed: {e}\n"))
+                }
+                Err(e) => return Response::text(400, format!("query error: {e}\n")),
+            }
+        };
+        // Constructors may have created nodes (dirtying colors and
+        // bumping the generation); restore the all-annotated invariant
+        // before the write lock drops.
+        if let Err(e) = db.ensure_all_annotated() {
+            return Response::text(500, format!("annotation failed: {e}\n"));
+        }
+        let rows = render::rows_from_items(&db, &items);
+        return respond_rows(&rows, json);
+    }
+    Response::text(500, "retry limit reached\n")
+}
+
+fn handle_update<D: DiskManager>(state: &AppState<D>, req: &Request) -> Response {
+    let text = match req.body_str() {
+        Ok(t) => t.trim(),
+        Err(_) => return Response::text(400, "update body is not valid UTF-8\n"),
+    };
+    if text.is_empty() {
+        return Response::text(400, "empty update\n");
+    }
+    let stmt = match parse_update(text) {
+        Ok(s) => s,
+        Err(e) => return Response::text(400, format!("parse error: {e}\n")),
+    };
+    let cancel = request_cancel(state, req);
+
+    let mut db = state.db.write().unwrap_or_else(PoisonError::into_inner);
+    // Deadline is only honored before the update starts: updates are
+    // not rolled back mid-flight, so once applied, it reports success.
+    if let Some(c) = &cancel {
+        if c.is_cancelled() {
+            state.metrics.timeouts.inc();
+            return Response::text(408, "deadline exceeded\n");
+        }
+    }
+    let out = match execute_update_with(&mut db, &stmt, None) {
+        Ok(o) => o,
+        Err(EvalError::Storage(e)) => {
+            return Response::text(500, format!("update failed: {e}\n"))
+        }
+        Err(e) => return Response::text(400, format!("update error: {e}\n")),
+    };
+    if let Err(e) = db.ensure_all_annotated() {
+        return Response::text(500, format!("annotation failed: {e}\n"));
+    }
+    Response::text(
+        200,
+        format!(
+            "{{\"tuples\":{},\"elements\":{},\"generation\":{}}}\n",
+            out.tuples,
+            out.elements,
+            db.generation()
+        ),
+    )
+    .content_type("application/json")
+}

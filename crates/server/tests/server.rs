@@ -1,0 +1,377 @@
+//! End-to-end tests against a real listening `mctd` core.
+//!
+//! Every test starts an in-process server (`serve`) on an ephemeral
+//! port and talks to it over real TCP via [`Client`] or raw sockets.
+//! The metrics registry is process-global, so tests that assert on
+//! counters/gauges serialize through [`test_lock`].
+
+use mct_core::StoredDb;
+use mct_query::{parse_query, plan_path, Expr};
+use mct_server::{render_xml, rows_from_tuples, serve, Client, ServerConfig, ServerHandle};
+use mct_workloads::movies;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+const POOL: usize = 16 * 1024 * 1024;
+
+fn test_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn movies_store() -> StoredDb {
+    StoredDb::build(movies::build().db, POOL).expect("build movies")
+}
+
+fn start(cfg: ServerConfig) -> ServerHandle {
+    serve(movies_store(), cfg).expect("server starts")
+}
+
+/// Expected `/query` XML body, computed by executing the plan directly
+/// (no server) and rendering through the same shared renderer.
+fn direct_xml(stored: &mut StoredDb, query: &str) -> String {
+    let expr = parse_query(query).expect("parse");
+    let Expr::Path(p) = &expr else {
+        panic!("test queries must be bare paths")
+    };
+    let plan = plan_path(stored, p, true).expect("plannable");
+    let tuples = plan.execute_parallel(stored, 1).expect("direct execution");
+    render_xml(&rows_from_tuples(stored, &tuples))
+}
+
+const Q_MOVIES: &str = "document(\"m\")/{red}descendant::movie";
+const Q_NAMES: &str = "document(\"m\")/{red}descendant::movie/{red}child::name";
+const Q_GENRES: &str = "document(\"m\")/{red}child::movie-genre";
+
+#[test]
+fn sixteen_concurrent_clients_get_byte_identical_results() {
+    let _guard = test_lock();
+    // Reference copy executed directly, server copy behind TCP.
+    let mut reference = movies_store();
+    let queries = [Q_MOVIES, Q_NAMES, Q_GENRES];
+    let expected: Vec<String> = queries
+        .iter()
+        .map(|q| direct_xml(&mut reference, q))
+        .collect();
+
+    let handle = start(ServerConfig {
+        workers: 4,
+        exec_threads: 2,
+        ..ServerConfig::default()
+    });
+    let port = handle.port();
+
+    // The green hierarchy is untouched by the red-path queries above,
+    // so this update churns generations (and the plan cache) without
+    // changing any expected byte.
+    let update = "for $y in document(\"m\")/{green}descendant::movie-award \
+                  update $y { insert <stress-note>n</stress-note> }";
+
+    std::thread::scope(|scope| {
+        for client_id in 0..16 {
+            let expected = &expected;
+            scope.spawn(move || {
+                let client = Client::new("127.0.0.1", port);
+                for i in 0..20 {
+                    if client_id < 4 && i % 10 == 5 {
+                        let reply = client.update(update).expect("update reply");
+                        assert_eq!(reply.status, 200, "{}", reply.body_str());
+                    } else {
+                        let qi = (client_id + i) % queries.len();
+                        let reply = client.query(queries[qi]).expect("query reply");
+                        assert_eq!(reply.status, 200, "{}", reply.body_str());
+                        assert_eq!(
+                            reply.body_str(),
+                            expected[qi],
+                            "client {client_id} request {i} diverged on {}",
+                            queries[qi]
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    let state = handle.state();
+    assert!(
+        state.cache.hits.get() > 0,
+        "repeat queries must hit the plan cache"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_4xx_and_the_server_survives() {
+    let _guard = test_lock();
+    let handle = start(ServerConfig::default());
+    let port = handle.port();
+
+    let send_raw = |raw: &[u8], half_close: bool| -> String {
+        let mut s = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        s.write_all(raw).expect("write");
+        if half_close {
+            s.shutdown(std::net::Shutdown::Write).ok();
+        }
+        let mut out = Vec::new();
+        s.read_to_end(&mut out).ok();
+        String::from_utf8_lossy(&out).into_owned()
+    };
+
+    // (raw request, expected status fragment)
+    let table: &[(&[u8], &str, bool)] = &[
+        (b"GARBAGE\r\n\r\n", "400", false),
+        (b"GET /query HTTP/9.9\r\n\r\n", "400", false),
+        (b"GET /no-such-path HTTP/1.1\r\n\r\n", "404", false),
+        (b"PUT /query HTTP/1.1\r\n\r\n", "405", false),
+        (b"GET /metrics extra HTTP/1.1\r\n\r\n", "400", false),
+        (
+            b"POST /query HTTP/1.1\r\nContent-Length: not-a-number\r\n\r\n",
+            "400",
+            false,
+        ),
+        (
+            b"POST /query HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n",
+            "413",
+            false,
+        ),
+        (
+            b"POST /query HTTP/1.1\r\nContent-Length: 4\r\n\r\n\xff\xfe\xfd\xfc",
+            "400",
+            false,
+        ),
+        (b"POST /query HTTP/1.1\r\nContent-Length: 0\r\n\r\n", "400", false),
+        // Truncated mid-headers: the peer gives up, we answer 400.
+        (b"GET /healthz HTTP/1.1\r\nHost: x\r\nPartial: ", "400", true),
+    ];
+    for (raw, status, half_close) in table {
+        let got = send_raw(raw, *half_close);
+        assert!(
+            got.starts_with(&format!("HTTP/1.1 {status}")),
+            "request {:?} expected {status}, got {:?}",
+            String::from_utf8_lossy(raw),
+            got.lines().next().unwrap_or("")
+        );
+    }
+
+    // An oversized request line is cut off at the limit with 400/413,
+    // not buffered forever.
+    let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(64 * 1024));
+    let got = send_raw(long.as_bytes(), false);
+    assert!(
+        got.starts_with("HTTP/1.1 413") || got.starts_with("HTTP/1.1 400"),
+        "oversized request line: {:?}",
+        got.lines().next().unwrap_or("")
+    );
+
+    // After all that abuse the server still answers cleanly.
+    let reply = Client::new("127.0.0.1", port).healthz().expect("health");
+    assert_eq!(reply.status, 200);
+    assert_eq!(reply.body_str(), "ok\n");
+    handle.shutdown();
+}
+
+#[test]
+fn deadline_exceeded_returns_408_and_inflight_returns_to_zero() {
+    let _guard = test_lock();
+    let handle = start(ServerConfig::default());
+    let client = Client::new("127.0.0.1", handle.port());
+
+    // X-Deadline-Ms: 0 expires before the first morsel-boundary check.
+    let reply = client.query_with_deadline(Q_MOVIES, 0).expect("reply");
+    assert_eq!(reply.status, 408, "{}", reply.body_str());
+
+    let metrics = client.metrics().expect("metrics").body_str();
+    let inflight = mct_server::prom_value(&metrics, "server.inflight");
+    // The /metrics request itself is in flight while rendering the
+    // snapshot, so the gauge legitimately reads 1 from inside.
+    assert!(
+        inflight == Some(0) || inflight == Some(1),
+        "inflight gauge should be restored, got {inflight:?}"
+    );
+    assert_eq!(handle.state().metrics.inflight.get(), 0);
+    assert!(handle.state().metrics.timeouts.get() >= 1);
+    handle.shutdown();
+}
+
+#[test]
+fn cached_plans_never_serve_stale_results_after_updates() {
+    let _guard = test_lock();
+    let handle = start(ServerConfig::default());
+    let client = Client::new("127.0.0.1", handle.port());
+    let state = handle.state();
+
+    let before = client.query(Q_MOVIES).expect("cold query");
+    assert_eq!(before.status, 200);
+    let misses_after_cold = state.cache.misses.get();
+    assert!(misses_after_cold >= 1);
+
+    // Warm: same text, same bytes, served from the cache.
+    let hits_before = state.cache.hits.get();
+    let warm = client.query(Q_MOVIES).expect("warm query");
+    assert_eq!(warm.body_str(), before.body_str());
+    assert!(state.cache.hits.get() > hits_before, "second run must hit");
+
+    // An update that changes the red hierarchy the query scans.
+    let update = "for $g in document(\"m\")/{red}child::movie-genre \
+                  where $g/{red}child::name = \"Comedy\" \
+                  update $g { insert <movie>fresh-movie</movie> }";
+    let reply = client.update(update).expect("update");
+    assert_eq!(reply.status, 200, "{}", reply.body_str());
+
+    // The cached plan is generation-stamped: the next lookup must
+    // miss (invalidation), re-prepare, and see the new movie.
+    let invalidations_before = state.cache.invalidations.get();
+    let after = client.query(Q_MOVIES).expect("post-update query");
+    assert_eq!(after.status, 200);
+    assert_ne!(
+        after.body_str(),
+        before.body_str(),
+        "stale cached result served after an update"
+    );
+    assert!(after.body_str().contains("fresh-movie"));
+    assert!(state.cache.invalidations.get() > invalidations_before);
+    handle.shutdown();
+}
+
+#[test]
+fn admission_control_rejects_beyond_the_queue_with_503() {
+    let _guard = test_lock();
+    let handle = start(ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        ..ServerConfig::default()
+    });
+    let port = handle.port();
+    let state = handle.state();
+
+    // Pin the only worker: a keep-alive connection that completed one
+    // request owns its worker until it closes.
+    let mut pinned = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+    pinned.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    pinned
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        .unwrap();
+    let mut first = [0u8; 512];
+    let n = pinned.read(&mut first).expect("pinned response");
+    assert!(String::from_utf8_lossy(&first[..n]).starts_with("HTTP/1.1 200"));
+
+    // Fill the queue's single slot.
+    let queued = TcpStream::connect(("127.0.0.1", port)).expect("connect queued");
+    let accepted_target = state.metrics.accepted.get() + 1;
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while state.metrics.accepted.get() < accepted_target && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // One more connection must bounce with 503 + Retry-After.
+    let mut extra = TcpStream::connect(("127.0.0.1", port)).expect("connect extra");
+    extra.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut raw = Vec::new();
+    extra.read_to_end(&mut raw).expect("rejection note");
+    let text = String::from_utf8_lossy(&raw);
+    assert!(text.starts_with("HTTP/1.1 503"), "got {text:?}");
+    assert!(text.contains("Retry-After: 1"));
+    assert!(state.metrics.rejected.get() >= 1);
+
+    // Release the worker; the queued connection must then be served.
+    drop(pinned);
+    let mut queued = queued;
+    queued.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    queued
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut out = Vec::new();
+    queued.read_to_end(&mut out).expect("queued response");
+    assert!(String::from_utf8_lossy(&out).starts_with("HTTP/1.1 200"));
+    handle.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_queued_requests_without_loss() {
+    let _guard = test_lock();
+    let handle = start(ServerConfig {
+        workers: 1, // everything funnels through one worker → real queue
+        queue_depth: 64,
+        ..ServerConfig::default()
+    });
+    let port = handle.port();
+    let state = handle.state();
+    let accepted_before = state.metrics.accepted.get();
+
+    const CLIENTS: usize = 8;
+    let results = std::sync::Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..CLIENTS {
+            scope.spawn(|| {
+                let reply = Client::new("127.0.0.1", port)
+                    .query(Q_NAMES)
+                    .expect("drained request must still complete");
+                results
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(reply.status);
+            });
+        }
+
+        // Let every connection reach the accept queue, then pull the
+        // plug while most of them are still waiting for the worker.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while state.metrics.accepted.get() < accepted_before + CLIENTS as u64
+            && Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        handle.initiate_shutdown();
+    });
+
+    let statuses = results.into_inner().unwrap_or_else(PoisonError::into_inner);
+    assert_eq!(statuses.len(), CLIENTS, "no request may be dropped");
+    assert!(
+        statuses.iter().all(|s| *s == 200),
+        "drained requests must succeed: {statuses:?}"
+    );
+    let served = handle.wait();
+    assert!(served >= CLIENTS as u64);
+}
+
+#[test]
+fn json_format_and_xml_format_round_trip() {
+    let _guard = test_lock();
+    let handle = start(ServerConfig::default());
+    let client = Client::new("127.0.0.1", handle.port());
+
+    let xml = client.query(Q_GENRES).expect("xml");
+    assert_eq!(xml.status, 200);
+    assert_eq!(xml.header("content-type"), Some("application/xml"));
+    assert!(xml.body_str().starts_with("<results count=\"3\">"));
+    assert!(xml.body_str().contains("<node name=\"movie-genre\""));
+
+    let json = client.query_json(Q_GENRES).expect("json");
+    assert_eq!(json.status, 200);
+    assert_eq!(json.header("content-type"), Some("application/json"));
+    assert!(json.body_str().starts_with("{\"count\":3,"));
+    assert!(json.body_str().contains("\"name\":\"movie-genre\""));
+
+    // Interpreter-only query (FLWOR) over the write lock still works.
+    let flwor = client
+        .query("for $g in document(\"m\")/{red}child::movie-genre return $g/{red}child::name")
+        .expect("flwor");
+    assert_eq!(flwor.status, 200, "{}", flwor.body_str());
+    assert!(flwor.body_str().contains("Comedy"));
+
+    // Unparseable and unplannable-color queries are 400s.
+    let bad = client.query("this is not MCXQuery ((").expect("bad");
+    assert_eq!(bad.status, 400);
+    let badcolor = client
+        .query("document(\"m\")/{chartreuse}child::movie-genre")
+        .expect("bad color");
+    assert_eq!(badcolor.status, 400, "{}", badcolor.body_str());
+
+    let metrics = client.metrics().expect("metrics");
+    assert_eq!(metrics.status, 200);
+    assert!(metrics.body_str().contains("# TYPE server_requests counter"));
+    handle.shutdown();
+}

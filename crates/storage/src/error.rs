@@ -33,6 +33,9 @@ pub enum StorageError {
     PoolExhausted,
     /// On-page bytes failed structural validation.
     Corrupt(&'static str),
+    /// The operation was cancelled cooperatively (deadline exceeded or
+    /// an explicit cancel) before it completed.
+    Cancelled,
 }
 
 impl fmt::Display for StorageError {
@@ -50,6 +53,7 @@ impl fmt::Display for StorageError {
             }
             StorageError::PoolExhausted => write!(f, "buffer pool exhausted (all frames pinned)"),
             StorageError::Corrupt(what) => write!(f, "corrupt page: {what}"),
+            StorageError::Cancelled => write!(f, "operation cancelled"),
         }
     }
 }

@@ -55,4 +55,56 @@ fi
 echo "==> bench dry-run (compile only)"
 cargo bench --workspace --offline --no-run
 
+echo "==> mctd server smoke (queries, update, metrics, SIGTERM drain)"
+PORT_FILE=$(mktemp)
+rm -f "$PORT_FILE"
+cargo run --release --offline -p mct-server --bin mctd -- \
+    --db movies --port 0 --port-file "$PORT_FILE" --threads 2 &
+MCTD_PID=$!
+cleanup_mctd() { kill -9 "$MCTD_PID" 2>/dev/null || true; rm -f "$PORT_FILE"; }
+trap cleanup_mctd EXIT
+for _ in $(seq 1 100); do [ -s "$PORT_FILE" ] && break; sleep 0.1; done
+[ -s "$PORT_FILE" ] || { echo "FAIL: mctd never wrote its port file"; exit 1; }
+PORT=$(cat "$PORT_FILE")
+MCTC() { cargo run --release --offline -q -p mct-server --bin mct-client -- --port "$PORT" "$@"; }
+MCTC health | grep -qx "ok" \
+    || { echo "FAIL: healthz"; exit 1; }
+MCTC query 'document("m")/{red}descendant::movie' | grep -q '<node name="movie"' \
+    || { echo "FAIL: query 1"; exit 1; }
+MCTC query 'document("m")/{red}descendant::movie/{red}child::name' | grep -q 'colors="red' \
+    || { echo "FAIL: query 2"; exit 1; }
+MCTC query-json 'document("m")/{green}descendant::movie-award' | grep -q '"name":"movie-award"' \
+    || { echo "FAIL: query 3 (json)"; exit 1; }
+MCTC update 'for $y in document("m")/{green}descendant::movie-award update $y { insert <note>verify</note> }' \
+    | grep -q '"tuples":' || { echo "FAIL: update"; exit 1; }
+# The cached plan from query 1 must be invalidated by the update, then
+# hit again on a rerun — and the inserted note must be visible.
+MCTC query 'document("m")/{green}descendant::movie-award/{green}child::note' | grep -q 'verify' \
+    || { echo "FAIL: update not visible through a fresh query"; exit 1; }
+metrics_out=$(MCTC metrics)
+echo "$metrics_out" | grep -q "^# TYPE server_requests counter" \
+    || { echo "FAIL: /metrics is not well-formed Prometheus"; exit 1; }
+echo "$metrics_out" | grep -q "^# TYPE server_latency_query histogram" \
+    || { echo "FAIL: /metrics lacks latency histograms"; exit 1; }
+echo "$metrics_out" | grep -Eq "^server_inflight [0-9]+" \
+    || { echo "FAIL: /metrics lacks the in-flight gauge"; exit 1; }
+echo "$metrics_out" | grep -q "^server_plan_cache_invalidations" \
+    || { echo "FAIL: /metrics lacks plan-cache counters"; exit 1; }
+# Graceful drain: a request issued just before SIGTERM must complete,
+# and mctd must exit 0 after finishing everything in flight.
+LAST_OUT=$(mktemp)
+MCTC query 'document("m")/{red}descendant::movie' > "$LAST_OUT" &
+LAST_PID=$!
+sleep 0.5
+kill -TERM "$MCTD_PID"
+wait "$LAST_PID" || { echo "FAIL: in-flight request lost during drain"; exit 1; }
+grep -q '<node name="movie"' "$LAST_OUT" \
+    || { echo "FAIL: drained request returned wrong body"; exit 1; }
+rm -f "$LAST_OUT"
+DRAIN_RC=0
+wait "$MCTD_PID" || DRAIN_RC=$?
+trap - EXIT
+rm -f "$PORT_FILE"
+[ "$DRAIN_RC" -eq 0 ] || { echo "FAIL: mctd drain exited $DRAIN_RC"; exit 1; }
+
 echo "OK: all checks passed"

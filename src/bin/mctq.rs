@@ -25,6 +25,15 @@
 //! * `--metrics-json` / `--metrics-prom` — after the query, dump the
 //!   global metrics registry as JSON / Prometheus text to stdout.
 //! * `--update` — treat the input as an update statement.
+//!
+//! Exit codes distinguish failure classes for scripting:
+//! * `0` — success.
+//! * `2` — usage error (bad flags, unknown database, missing query).
+//! * `3` — the query/update text failed to parse.
+//! * `4` — the planner rejected the query (`--analyze`/`--plan-exec`
+//!   on an expression outside the plannable fragment).
+//! * `5` — I/O or execution failure (store build, storage layer,
+//!   runtime evaluation).
 
 use colorful_xml::core::StoredDb;
 use colorful_xml::query::plan::plan_path;
@@ -33,6 +42,18 @@ use colorful_xml::query::{
 };
 use colorful_xml::workloads::{movies, SigmodConfig, SigmodData, TpcwConfig, TpcwData};
 use std::io::Read;
+
+/// Exit codes (see the module docs).
+const EXIT_USAGE: i32 = 2;
+const EXIT_PARSE: i32 = 3;
+const EXIT_PLAN: i32 = 4;
+const EXIT_EXEC: i32 = 5;
+
+/// Print a usage-class error and exit with [`EXIT_USAGE`].
+fn usage_error(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(EXIT_USAGE);
+}
 
 struct Opts {
     db: String,
@@ -64,12 +85,12 @@ fn parse_opts() -> Opts {
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--db" => opts.db = it.next().expect("--db needs a value"),
+            "--db" => opts.db = it.next().unwrap_or_else(|| usage_error("--db needs a value")),
             "--scale" => {
                 opts.scale = it
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .expect("--scale needs a number")
+                    .unwrap_or_else(|| usage_error("--scale needs a number"))
             }
             "--explain" => opts.explain = true,
             "--plan-exec" => opts.plan_exec = true,
@@ -79,7 +100,7 @@ fn parse_opts() -> Opts {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .filter(|&n| n >= 1)
-                    .expect("--threads needs a positive integer")
+                    .unwrap_or_else(|| usage_error("--threads needs a positive integer"))
             }
             "--metrics-json" => opts.metrics_json = true,
             "--metrics-prom" => opts.metrics_prom = true,
@@ -112,26 +133,32 @@ fn dump_metrics(opts: &Opts) {
 fn load(db: &str, scale: f64) -> StoredDb {
     const POOL: usize = 128 * 1024 * 1024;
     match db {
-        "movies" => StoredDb::build(movies::build().db, POOL).expect("build"),
+        "movies" => StoredDb::build(movies::build().db, POOL).unwrap_or_else(build_failed),
         "tpcw" => {
             let data = TpcwData::generate(&TpcwConfig {
                 scale,
                 ..Default::default()
             });
-            StoredDb::build(data.build_mct(), POOL).expect("build")
+            StoredDb::build(data.build_mct(), POOL).unwrap_or_else(build_failed)
         }
         "sigmod" => {
             let data = SigmodData::generate(&SigmodConfig {
                 scale,
                 ..Default::default()
             });
-            StoredDb::build(data.build_mct(), POOL).expect("build")
+            StoredDb::build(data.build_mct(), POOL).unwrap_or_else(build_failed)
         }
         other => {
             eprintln!("unknown --db {other} (movies | tpcw | sigmod)");
-            std::process::exit(2);
+            std::process::exit(EXIT_USAGE);
         }
     }
+}
+
+/// Storage failed while materializing the built-in database.
+fn build_failed(e: mct_storage::StorageError) -> StoredDb {
+    eprintln!("building the store failed: {e}");
+    std::process::exit(EXIT_EXEC);
 }
 
 fn main() {
@@ -140,16 +167,17 @@ fn main() {
         Some(q) => q.clone(),
         None => {
             let mut buf = String::new();
-            std::io::stdin()
-                .read_to_string(&mut buf)
-                .expect("read stdin");
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                eprintln!("reading stdin failed: {e}");
+                std::process::exit(EXIT_EXEC);
+            }
             buf
         }
     };
     let text = text.trim();
     if text.is_empty() {
         eprintln!("no query given (argument or stdin)");
-        std::process::exit(2);
+        std::process::exit(EXIT_USAGE);
     }
 
     eprintln!("loading {} database...", opts.db);
@@ -167,11 +195,11 @@ fn main() {
     if opts.update {
         let stmt = parse_update(text).unwrap_or_else(|e| {
             eprintln!("{e}");
-            std::process::exit(1);
+            std::process::exit(EXIT_PARSE);
         });
         let out = execute_update_with(&mut stored, &stmt, None).unwrap_or_else(|e| {
             eprintln!("{e}");
-            std::process::exit(1);
+            std::process::exit(EXIT_EXEC);
         });
         println!(
             "updated: {} binding tuple(s), {} element(s)",
@@ -183,7 +211,7 @@ fn main() {
 
     let expr = parse_query(text).unwrap_or_else(|e| {
         eprintln!("{e}");
-        std::process::exit(1);
+        std::process::exit(EXIT_PARSE);
     });
 
     if opts.explain || opts.plan_exec || opts.analyze {
@@ -198,7 +226,10 @@ fn main() {
                     if opts.analyze {
                         let (out, report) = plan
                             .execute_analyze_parallel(&mut stored, opts.threads)
-                            .expect("plan execution");
+                            .unwrap_or_else(|e| {
+                                eprintln!("plan execution failed: {e}");
+                                std::process::exit(EXIT_EXEC);
+                            });
                         println!("-- EXPLAIN ANALYZE --");
                         print!("{}", report.render());
                         println!("---------------------");
@@ -215,7 +246,10 @@ fn main() {
                     if opts.plan_exec {
                         let out = plan
                             .execute_parallel(&mut stored, opts.threads)
-                            .expect("plan execution");
+                            .unwrap_or_else(|e| {
+                                eprintln!("plan execution failed: {e}");
+                                std::process::exit(EXIT_EXEC);
+                            });
                         println!("{} result(s) via planner:", out.len());
                         for t in out.iter().take(50) {
                             print_node(&stored, t[0].node);
@@ -230,7 +264,7 @@ fn main() {
                 Err(e) => {
                     if opts.analyze {
                         eprintln!("--analyze requires a plannable bare path: {e}");
-                        std::process::exit(1);
+                        std::process::exit(EXIT_PLAN);
                     }
                     eprintln!("(planner fallback to interpreter: {e})");
                 }
@@ -238,7 +272,7 @@ fn main() {
         } else if opts.plan_exec || opts.analyze {
             eprintln!("--plan-exec/--analyze require a bare path expression; using interpreter");
             if opts.analyze {
-                std::process::exit(1);
+                std::process::exit(EXIT_PLAN);
             }
         }
     }
@@ -246,7 +280,7 @@ fn main() {
     let mut ctx = EvalContext::new(&mut stored);
     let out = eval(&mut ctx, &expr).unwrap_or_else(|e| {
         eprintln!("{e}");
-        std::process::exit(1);
+        std::process::exit(EXIT_EXEC);
     });
     println!("{} item(s):", out.len());
     for item in out.iter().take(50) {
