@@ -21,6 +21,7 @@
 //! * [`crosstree`] — the cross-tree join access method for color
 //!   transitions, plus the direct-link ablation variant.
 
+pub mod check;
 pub mod color;
 pub mod crosstree;
 pub mod database;
@@ -28,8 +29,9 @@ pub mod persist;
 mod snapshot;
 pub mod xmlbridge;
 
+pub use check::{CheckReport, Violation};
 pub use color::{ColorId, ColorSet, Palette};
 pub use crosstree::{cross_tree_join, cross_tree_join_direct};
 pub use database::{McNode, McNodeId, McNodeKind, MctDatabase, CODE_STRIDE};
-pub use persist::{StoredDb, StructRef};
+pub use persist::{StoredDb, StructRef, Txn};
 pub use xmlbridge::{export_color, export_subtree, import_document};

@@ -28,6 +28,29 @@ use mct_storage::{
 };
 use mct_xml::Sym;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide transaction id source (ids must only be unique within
+/// one WAL's unreplayed tail, so a simple counter suffices).
+static NEXT_TXN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Handle for an open transaction on a [`StoredDb`] (see
+/// [`StoredDb::begin_txn`]). Carries the begin-time catalog snapshot
+/// that an abort restores; dropping the handle without committing or
+/// aborting leaves the transaction open, so prefer the scoped
+/// [`StoredDb::with_txn`].
+#[must_use = "a transaction must be committed or aborted"]
+pub struct Txn {
+    id: u64,
+    snapshot: Vec<u8>,
+}
+
+impl Txn {
+    /// This transaction's id (as framed in the WAL).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
 
 /// One entry of a posting list: a structural node reference.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -47,15 +70,15 @@ pub struct StoredDb<D: DiskManager = MemDisk> {
     pub db: MctDatabase,
     /// Shared buffer pool over the disk.
     pub pool: BufferPool<D>,
-    content_heap: HeapFile,
-    attr_heap: HeapFile,
-    struct_heaps: Vec<HeapFile>,
-    tag_indexes: Vec<TagIndex>,
-    link_indexes: Vec<BTree>,
-    content_index: ContentIndex,
-    attr_index: ContentIndex,
-    content_rid: Vec<Option<RecordId>>,
-    attr_rid: Vec<Option<RecordId>>,
+    pub(crate) content_heap: HeapFile,
+    pub(crate) attr_heap: HeapFile,
+    pub(crate) struct_heaps: Vec<HeapFile>,
+    pub(crate) tag_indexes: Vec<TagIndex>,
+    pub(crate) link_indexes: Vec<BTree>,
+    pub(crate) content_index: ContentIndex,
+    pub(crate) attr_index: ContentIndex,
+    pub(crate) content_rid: Vec<Option<RecordId>>,
+    pub(crate) attr_rid: Vec<Option<RecordId>>,
     /// Monotone store generation: bumped by every write-through update
     /// (content/structure/index changes). Consumers holding derived
     /// state — prepared-plan caches, catalog snapshots — stamp the
@@ -248,6 +271,138 @@ impl<D: DiskManager> StoredDb<D> {
             attr_rid: phys.attr_rid,
             generation: 0,
         }))
+    }
+
+    // ----- transactions ---------------------------------------------------------
+
+    /// Open a transaction covering both the physical pages (pool-level
+    /// before-images, WAL begin/undo framing) and the logical catalog
+    /// (an in-memory snapshot held by the returned handle). Until
+    /// [`StoredDb::commit_txn`], any error, panic, or crash rolls the
+    /// whole update back:
+    ///
+    /// * [`StoredDb::abort_txn`] restores pages and catalog in place;
+    /// * a crash leaves the transaction a loser for WAL recovery.
+    ///
+    /// With a WAL attached, any work dirtied outside a transaction is
+    /// committed first ("clean baseline"), so the captured undo images
+    /// equal committed page contents — the precondition for recovery's
+    /// redo-then-undo to land exactly on the committed state.
+    pub fn begin_txn(&mut self) -> mct_storage::Result<Txn> {
+        if self.pool.has_wal() && self.pool.dirty_since_commit_count() > 0 {
+            self.sync()?;
+        }
+        let id = NEXT_TXN_ID.fetch_add(1, Ordering::Relaxed);
+        let snapshot = snapshot::encode(&self.db, &self.phys_catalog());
+        self.pool.begin_txn(id)?;
+        Ok(Txn { id, snapshot })
+    }
+
+    /// Commit the transaction. With a WAL this is a durability point
+    /// (returns the commit LSN); without one the write set simply
+    /// stays live and 0 is returned. If the commit fails *before*
+    /// becoming durable, the transaction is rolled back in place so
+    /// the caller still observes all-or-nothing; if it fails after
+    /// (flush error past the WAL fsync), the commit stands and the
+    /// error is a plain I/O failure for recovery to repair.
+    pub fn commit_txn(&mut self, txn: Txn) -> mct_storage::Result<u64> {
+        if !self.pool.has_wal() {
+            self.pool.end_txn()?;
+            return Ok(0);
+        }
+        match self.sync() {
+            Ok(lsn) => Ok(lsn),
+            Err(e) => {
+                if self.pool.txn_active() {
+                    // The commit record never became durable: abort so
+                    // a failed update leaves the store untouched.
+                    let _ = self.pool.abort_txn();
+                    if let Ok((db, phys)) = snapshot::decode(&txn.snapshot) {
+                        self.install_catalog(db, phys);
+                        self.generation += 1;
+                    }
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Roll the transaction back: restore every page the transaction
+    /// touched (pool before-images), truncate its allocations, and
+    /// reinstate the begin-time logical database + physical catalog.
+    /// The generation still advances — derived state stamped mid-
+    /// transaction must read as stale.
+    pub fn abort_txn(&mut self, txn: Txn) -> mct_storage::Result<()> {
+        let pool_res = self.pool.abort_txn();
+        let (db, phys) = snapshot::decode(&txn.snapshot)?;
+        self.install_catalog(db, phys);
+        self.generation += 1;
+        pool_res.map(|_| ())
+    }
+
+    /// Run `f` inside a transaction: commit on `Ok`, abort on `Err`,
+    /// and abort on panic before resuming the unwind — so a poisoned
+    /// update closure can never leave a half-applied store behind.
+    pub fn with_txn<R, E, F>(&mut self, f: F) -> Result<R, E>
+    where
+        F: FnOnce(&mut Self) -> Result<R, E>,
+        E: From<mct_storage::StorageError>,
+    {
+        let txn = self.begin_txn()?;
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(self))) {
+            Ok(Ok(v)) => {
+                self.commit_txn(txn)?;
+                Ok(v)
+            }
+            Ok(Err(e)) => {
+                self.abort_txn(txn)?;
+                Err(e)
+            }
+            Err(payload) => {
+                let _ = self.abort_txn(txn);
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+
+    /// Reinstate a decoded catalog snapshot over the current pool (the
+    /// abort path's logical half; the pool's pages were restored by
+    /// [`BufferPool::abort_txn`]).
+    fn install_catalog(&mut self, db: MctDatabase, phys: PhysCatalog) {
+        self.db = db;
+        self.content_heap = HeapFile::from_parts(
+            phys.content_heap.0,
+            phys.content_heap.1,
+            phys.content_heap.2,
+        );
+        self.attr_heap = HeapFile::from_parts(phys.attr_heap.0, phys.attr_heap.1, phys.attr_heap.2);
+        self.struct_heaps = phys
+            .struct_heaps
+            .into_iter()
+            .map(|(p, r, b)| HeapFile::from_parts(p, r, b))
+            .collect();
+        self.tag_indexes = phys
+            .tag_indexes
+            .into_iter()
+            .map(|(r, e, p)| TagIndex::from_btree(BTree::from_parts(r, e, p)))
+            .collect();
+        self.link_indexes = phys
+            .link_indexes
+            .into_iter()
+            .map(|(r, e, p)| BTree::from_parts(r, e, p))
+            .collect();
+        self.content_index = ContentIndex::from_btree(BTree::from_parts(
+            phys.content_index.0,
+            phys.content_index.1,
+            phys.content_index.2,
+        ));
+        self.attr_index = ContentIndex::from_btree(BTree::from_parts(
+            phys.attr_index.0,
+            phys.attr_index.1,
+            phys.attr_index.2,
+        ));
+        self.content_rid = phys.content_rid;
+        self.attr_rid = phys.attr_rid;
     }
 
     fn phys_catalog(&self) -> PhysCatalog {
@@ -536,7 +691,7 @@ fn encode_content(n: McNodeId, content: &str) -> Vec<u8> {
     out
 }
 
-fn decode_content(rec: &[u8]) -> (McNodeId, String) {
+pub(crate) fn decode_content(rec: &[u8]) -> (McNodeId, String) {
     let n = McNodeId(u32::from_le_bytes([rec[0], rec[1], rec[2], rec[3]]));
     (n, String::from_utf8_lossy(&rec[4..]).into_owned())
 }
@@ -553,7 +708,7 @@ fn encode_attrs(n: McNodeId, attrs: &[(Sym, Box<str>)]) -> Vec<u8> {
     out
 }
 
-fn decode_attrs(rec: &[u8], db: &MctDatabase) -> Vec<(String, String)> {
+pub(crate) fn decode_attrs(rec: &[u8], db: &MctDatabase) -> Vec<(String, String)> {
     let count = u16::from_le_bytes([rec[4], rec[5]]) as usize;
     let mut out = Vec::with_capacity(count);
     let mut at = 6;
@@ -573,7 +728,7 @@ fn decode_attrs(rec: &[u8], db: &MctDatabase) -> Vec<(String, String)> {
     out
 }
 
-fn encode_struct(n: McNodeId, name: Sym, code: IntervalCode) -> Vec<u8> {
+pub(crate) fn encode_struct(n: McNodeId, name: Sym, code: IntervalCode) -> Vec<u8> {
     let mut out = Vec::with_capacity(18);
     out.extend_from_slice(&code.to_bytes());
     out.extend_from_slice(&name.0.to_le_bytes());
@@ -585,7 +740,7 @@ fn pack_rid(rid: RecordId) -> u64 {
     (u64::from(rid.page.0) << 16) | u64::from(rid.slot)
 }
 
-fn unpack_rid(v: u64) -> RecordId {
+pub(crate) fn unpack_rid(v: u64) -> RecordId {
     RecordId {
         page: mct_storage::PageId((v >> 16) as u32),
         slot: (v & 0xFFFF) as u16,
@@ -906,6 +1061,127 @@ mod tests {
         assert!(!s.db.is_dirty(red));
         // The fresh element is now indexed with a valid code.
         assert_eq!(s.postings_named(red, "movie").unwrap().len(), 11);
+    }
+
+    /// A multi-structure mutation batch used by the txn tests: content
+    /// rewrite + fresh element + color-scoped delete.
+    fn mutate_everything<D: DiskManager>(s: &mut StoredDb<D>) -> mct_storage::Result<()> {
+        let n = s.content_lookup("Movie 3")?[0];
+        s.update_content(n, "Txn Edit")?;
+        let red = s.db.color("red").unwrap();
+        let genre = s.postings_named(red, "movie-genre")?[0].node;
+        let m = s.db.new_element("movie", red);
+        s.db.set_content(m, "Txn Movie");
+        s.db.append_child(genre, m, red);
+        if !s.db.try_assign_gap_codes(m, red) {
+            s.db.annotate(red);
+            s.reindex_color(red)?;
+        }
+        s.persist_new_element(m)?;
+        let green = s.db.color("green").unwrap();
+        let victim = s.postings_named(green, "movie")?[0].node;
+        s.unindex_node(victim, green)?;
+        s.db.remove_color(victim, green);
+        Ok(())
+    }
+
+    #[test]
+    fn txn_abort_restores_fingerprint_without_wal() {
+        let mut s = StoredDb::build(small_db(), 4 * 1024 * 1024).unwrap();
+        let before = fingerprint(&mut s);
+        let txn = s.begin_txn().unwrap();
+        mutate_everything(&mut s).unwrap();
+        assert_ne!(fingerprint(&mut s), before, "mutations visible inside the txn");
+        s.abort_txn(txn).unwrap();
+        assert_eq!(fingerprint(&mut s), before, "abort restores everything");
+        assert!(s.content_lookup("Txn Edit").unwrap().is_empty());
+        assert_eq!(s.content_lookup("Movie 3").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn txn_abort_restores_fingerprint_with_wal() {
+        let mut s = StoredDb::build_on(walled_pool(4 * 1024 * 1024), small_db()).unwrap();
+        s.sync().unwrap();
+        let before = fingerprint(&mut s);
+        let txn = s.begin_txn().unwrap();
+        mutate_everything(&mut s).unwrap();
+        s.abort_txn(txn).unwrap();
+        assert_eq!(fingerprint(&mut s), before);
+        // The aborted state is also what a reopen recovers.
+        let (data, wal) = s.pool.into_parts();
+        let mut r = StoredDb::open_with(data, wal.unwrap().into_disk(), 4 * 1024 * 1024)
+            .unwrap()
+            .unwrap();
+        assert_eq!(fingerprint(&mut r), before);
+    }
+
+    #[test]
+    fn txn_commit_makes_the_batch_durable() {
+        let mut s = StoredDb::build_on(walled_pool(4 * 1024 * 1024), small_db()).unwrap();
+        s.sync().unwrap();
+        let txn = s.begin_txn().unwrap();
+        mutate_everything(&mut s).unwrap();
+        s.commit_txn(txn).unwrap();
+        let after = fingerprint(&mut s);
+        let (data, wal) = s.pool.into_parts();
+        let mut r = StoredDb::open_with(data, wal.unwrap().into_disk(), 4 * 1024 * 1024)
+            .unwrap()
+            .unwrap();
+        assert_eq!(fingerprint(&mut r), after);
+        assert_eq!(r.content_lookup("Txn Edit").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn crash_mid_txn_recovers_to_pre_txn_state() {
+        let mut s = StoredDb::build_on(walled_pool(4 * 1024 * 1024), small_db()).unwrap();
+        s.sync().unwrap();
+        let before = fingerprint(&mut s);
+        let txn = s.begin_txn().unwrap();
+        mutate_everything(&mut s).unwrap();
+        // Crash: neither commit nor abort; even force the loser's
+        // pages onto the data file first.
+        s.pool.flush_all().unwrap();
+        drop(txn);
+        let (data, wal) = s.pool.into_parts();
+        let mut r = StoredDb::open_with(data, wal.unwrap().into_disk(), 4 * 1024 * 1024)
+            .unwrap()
+            .unwrap();
+        assert_eq!(fingerprint(&mut r), before, "loser txn fully undone");
+    }
+
+    #[test]
+    fn with_txn_commits_on_ok_and_aborts_on_err() {
+        let mut s = StoredDb::build(small_db(), 4 * 1024 * 1024).unwrap();
+        let before = fingerprint(&mut s);
+        let r: Result<(), mct_storage::StorageError> = s.with_txn(|s| {
+            mutate_everything(s)?;
+            Err(mct_storage::StorageError::Cancelled)
+        });
+        assert!(matches!(r, Err(mct_storage::StorageError::Cancelled)));
+        assert_eq!(fingerprint(&mut s), before, "Err path aborts");
+
+        let r: Result<(), mct_storage::StorageError> = s.with_txn(mutate_everything);
+        assert!(r.is_ok());
+        assert_ne!(fingerprint(&mut s), before, "Ok path commits");
+    }
+
+    #[test]
+    fn with_txn_aborts_on_panic_and_stays_usable() {
+        let mut s = StoredDb::build(small_db(), 4 * 1024 * 1024).unwrap();
+        let before = fingerprint(&mut s);
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _: Result<(), mct_storage::StorageError> = s.with_txn(|s| {
+                mutate_everything(s)?;
+                panic!("poisoned update closure");
+            });
+        }));
+        assert!(unwound.is_err(), "the panic must propagate");
+        assert_eq!(fingerprint(&mut s), before, "panic path aborts");
+        assert!(!s.pool.txn_active(), "no transaction left dangling");
+        // The database remains fully serviceable: a later txn works.
+        let r: Result<(), mct_storage::StorageError> = s.with_txn(mutate_everything);
+        assert!(r.is_ok());
+        assert_eq!(s.content_lookup("Txn Edit").unwrap().len(), 1);
     }
 
     #[test]

@@ -56,7 +56,22 @@ pub fn execute_update<D: DiskManager>(stored: &mut StoredDb<D>, u: &UpdateStmt) 
 /// [`execute_update`] with a default color for color-less steps
 /// (plain-XQuery updates over single-colored databases) and the full
 /// outcome.
+///
+/// The whole statement — both evaluation phases — runs inside one
+/// [`StoredDb`] transaction: on any error (or panic) the store rolls
+/// back to its pre-statement state, byte-identical across heaps,
+/// indexes, and the logical trees; on success the batch commits (and,
+/// when a WAL is attached, becomes durable as one unit).
 pub fn execute_update_with<D: DiskManager>(
+    stored: &mut StoredDb<D>,
+    u: &UpdateStmt,
+    default_color: Option<&str>,
+) -> EvalResult<UpdateOutcome> {
+    stored.with_txn(|s| apply_update(s, u, default_color))
+}
+
+/// The non-transactional body of [`execute_update_with`].
+fn apply_update<D: DiskManager>(
     stored: &mut StoredDb<D>,
     u: &UpdateStmt,
     default_color: Option<&str>,
@@ -377,5 +392,133 @@ mod tests {
         assert_eq!(execute_update(&mut s, &u).unwrap(), 5, "exactly the original 5");
         let red = s.db.color("red").unwrap();
         assert_eq!(s.postings_named(red, "movie").unwrap().len(), 10);
+    }
+
+    use mct_storage::{BufferPool, FaultDisk, FaultInjector, MemDisk, Wal};
+
+    /// The same database as [`stored`], on a WAL-attached pool whose
+    /// disks share one fault injector (disarmed during the build).
+    fn faulted_stored() -> (StoredDb<FaultDisk<MemDisk>>, FaultInjector) {
+        let injector = FaultInjector::new(7);
+        let data = FaultDisk::new(MemDisk::new(), injector.clone());
+        let wal_disk = Box::new(FaultDisk::new(MemDisk::new(), injector.clone()));
+        let wal = Wal::create(wal_disk).unwrap();
+        let mut pool = BufferPool::new(data, 8 * 1024 * 1024);
+        pool.attach_wal(wal);
+        let mut db = MctDatabase::new();
+        let red = db.add_color("red");
+        let genre = db.new_element("genre", red);
+        db.set_content(genre, "Comedy");
+        db.append_child(McNodeId::DOCUMENT, genre, red);
+        for i in 0..5 {
+            let m = db.new_element("movie", red);
+            db.append_child(genre, m, red);
+            let name = db.new_element("name", red);
+            db.set_content(name, &format!("Movie {i}"));
+            db.append_child(m, name, red);
+        }
+        let mut s = StoredDb::build_on(pool, db).unwrap();
+        s.sync().unwrap();
+        (s, injector)
+    }
+
+    /// Full logical-state fingerprint: every node's tag, content,
+    /// colors, and red-tree parent.
+    fn digest(s: &StoredDb<FaultDisk<MemDisk>>) -> String {
+        let red = s.db.color("red").unwrap();
+        let mut out = String::new();
+        for i in 0..s.db.len() {
+            let n = McNodeId(i as u32);
+            out.push_str(&format!(
+                "{i}:{:?}/{:?}/{:?}/{:?};",
+                s.db.name_str(n),
+                s.db.content(n),
+                s.db.colors(n),
+                s.db.parent(n, red).map(|p| p.0)
+            ));
+        }
+        out
+    }
+
+    /// Tentpole acceptance: a storage failure at ANY write boundary
+    /// during an update leaves the store exactly as it was — typed
+    /// error out, rollback applied, deep check clean — and with the
+    /// fault gone the very same statement succeeds.
+    #[test]
+    fn failed_update_rolls_back_at_every_write_boundary() {
+        let text = r#"for $m in document("d")/{red}descendant::movie
+                      where $m/{red}child::name = "Movie 2"
+                      update $m { replace value of $m/{red}child::name with "Renamed",
+                                  insert <review>good</review> }"#;
+        // Fault-free reference run for the fully-applied fingerprint.
+        let after = {
+            let (mut s, _) = faulted_stored();
+            let u = parse_update(text).unwrap();
+            assert_eq!(execute_update(&mut s, &u).unwrap(), 1);
+            digest(&s)
+        };
+        let mut rollbacks = 0u32;
+        for k in 0..10_000 {
+            let (mut s, injector) = faulted_stored();
+            let before = digest(&s);
+            let u = parse_update(text).unwrap();
+            injector.fail_at_write(injector.writes() + k);
+            match execute_update(&mut s, &u) {
+                Err(EvalError::Storage(_)) => {
+                    injector.disarm();
+                    // Atomicity: fully absent (abort before the WAL
+                    // commit point) or fully applied (flush I/O error
+                    // after it) — never in between.
+                    let now = digest(&s);
+                    assert!(
+                        now == before || now == after,
+                        "partial state at write {k}:\n{now}"
+                    );
+                    let rep = s.check().unwrap();
+                    assert!(rep.is_ok(), "store inconsistent at write {k}: {rep}");
+                    // The store must remain fully usable either way.
+                    if now == before {
+                        rollbacks += 1;
+                        let u2 = parse_update(text).unwrap();
+                        assert_eq!(execute_update(&mut s, &u2).unwrap(), 1);
+                    }
+                    assert_eq!(s.content_lookup("Renamed").unwrap().len(), 1);
+                }
+                Ok(tuples) => {
+                    assert_eq!(tuples, 1);
+                    assert!(rollbacks > 0, "no write boundary ever rolled back");
+                    assert_eq!(digest(&s), after);
+                    assert!(s.check().unwrap().is_ok());
+                    return;
+                }
+                Err(e) => panic!("unexpected error class at write {k}: {e}"),
+            }
+        }
+        panic!("update never ran to completion");
+    }
+
+    /// A panic inside update application aborts the transaction and
+    /// leaves the store intact and usable (satellite #3, core level).
+    #[test]
+    fn panicking_update_path_aborts_cleanly() {
+        let (mut s, _injector) = faulted_stored();
+        let before = digest(&s);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            s.with_txn(|inner| -> Result<(), mct_storage::StorageError> {
+                let n = inner.content_lookup("Movie 1").unwrap()[0];
+                inner.update_content(n, "Halfway").unwrap();
+                panic!("boom mid-update");
+            })
+        }));
+        assert!(r.is_err());
+        assert_eq!(digest(&s), before);
+        assert!(s.check().unwrap().is_ok());
+        let u = parse_update(
+            r#"for $m in document("d")/{red}descendant::movie
+               where $m/{red}child::name = "Movie 1"
+               update $m { replace value of $m/{red}child::name with "After" }"#,
+        )
+        .unwrap();
+        assert_eq!(execute_update(&mut s, &u).unwrap(), 1);
     }
 }

@@ -9,6 +9,11 @@
 //! echo 'QUERY' | mct-client --port 8642 query      # text from stdin
 //! ```
 //!
+//! `--retries N` retries refused connections and `503` rejections
+//! with capped exponential backoff and jitter (honoring `Retry-After`);
+//! an `update` is never resent once any request byte reached the
+//! server, no matter the retry budget.
+//!
 //! Exit codes: `0` success (2xx), `2` usage error, `3` transport
 //! failure (cannot reach the server), `4` HTTP error status from the
 //! server (the response body goes to stderr).
@@ -19,8 +24,8 @@ use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mct-client [--host H] [--port P] [--timeout-ms N] \
-         <health|metrics|query|query-json|update> [TEXT]"
+        "usage: mct-client [--host H] [--port P] [--timeout-ms N] [--retries N] \
+         <health|metrics|check|query|query-json|update> [TEXT]"
     );
     std::process::exit(2);
 }
@@ -29,6 +34,7 @@ fn main() {
     let mut host = "127.0.0.1".to_string();
     let mut port: u16 = 8642;
     let mut timeout_ms: u64 = 30_000;
+    let mut retries: u32 = 0;
     let mut command: Option<String> = None;
     let mut text: Option<String> = None;
 
@@ -39,6 +45,9 @@ fn main() {
             "--port" => port = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
             "--timeout-ms" => {
                 timeout_ms = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--retries" => {
+                retries = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
             }
             "--help" | "-h" => usage(),
             other if command.is_none() => command = Some(other.to_string()),
@@ -58,10 +67,13 @@ fn main() {
         text = Some(buf);
     }
 
-    let client = Client::new(&host, port).with_timeout(Duration::from_millis(timeout_ms.max(1)));
+    let client = Client::new(&host, port)
+        .with_timeout(Duration::from_millis(timeout_ms.max(1)))
+        .with_retries(retries);
     let result = match command.as_str() {
         "health" => client.healthz(),
         "metrics" => client.metrics(),
+        "check" => client.check(),
         "query" => client.query(text.as_deref().unwrap_or("")),
         "query-json" => client.query_json(text.as_deref().unwrap_or("")),
         "update" => client.update(text.as_deref().unwrap_or("")),

@@ -5,6 +5,22 @@
 //! keeps N clients from starving a smaller worker pool. Responses are
 //! read to EOF and parsed leniently — this is a test/ops helper, not a
 //! general HTTP client.
+//!
+//! ## Retries
+//!
+//! With [`Client::with_retries`], transient rejections are retried
+//! with capped exponential backoff plus jitter:
+//!
+//! * a refused/failed **connect** (no request byte ever left) — always
+//!   safe to retry, for any endpoint;
+//! * a **`503`** response — the server rejected the request before
+//!   executing it (admission control or drain), so a retry cannot
+//!   double-apply; a `Retry-After` header, when present, overrides the
+//!   computed backoff;
+//! * an I/O error **after bytes were sent** — retried only for
+//!   idempotent requests. `POST /update` is never resent once a single
+//!   byte has gone out: the outcome is unknown and a retry could apply
+//!   the update twice.
 
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -48,15 +64,32 @@ pub struct Client {
     host: String,
     port: u16,
     timeout: Duration,
+    retries: u32,
+    backoff_base: Duration,
+    backoff_cap: Duration,
+}
+
+/// Why one attempt failed — splits the I/O error by whether any
+/// request byte reached the wire, which decides retry safety for
+/// non-idempotent requests.
+enum AttemptError {
+    /// Connect (or resolve) failed: nothing was sent.
+    BeforeSend(io::Error),
+    /// The failure happened after at least one request byte went out.
+    AfterSend(io::Error),
 }
 
 impl Client {
-    /// A client for `host:port` with a 30 s I/O timeout.
+    /// A client for `host:port` with a 30 s I/O timeout and no
+    /// retries.
     pub fn new(host: &str, port: u16) -> Client {
         Client {
             host: host.to_string(),
             port,
             timeout: Duration::from_secs(30),
+            retries: 0,
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(5),
         }
     }
 
@@ -66,7 +99,39 @@ impl Client {
         self
     }
 
-    /// Issue one request and read the full response.
+    /// Retry transient failures up to `retries` extra attempts (see
+    /// the module docs for what qualifies).
+    pub fn with_retries(mut self, retries: u32) -> Client {
+        self.retries = retries;
+        self
+    }
+
+    /// Override the backoff schedule (base doubles per attempt, capped).
+    pub fn with_backoff(mut self, base: Duration, cap: Duration) -> Client {
+        self.backoff_base = base;
+        self.backoff_cap = cap;
+        self
+    }
+
+    /// Backoff before retry number `attempt` (1-based): exponential
+    /// from the base, capped, with multiplicative jitter in
+    /// [50%, 100%] so synchronized clients fan out.
+    fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self
+            .backoff_base
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.backoff_cap);
+        // Cheap jitter without a rand dependency: sub-microsecond
+        // clock bits are effectively uncorrelated across clients.
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0);
+        let frac = 0.5 + 0.5 * f64::from(nanos % 1000) / 1000.0;
+        exp.mul_f64(frac)
+    }
+
+    /// Issue one request, retrying transient failures per the policy.
     pub fn request(
         &self,
         method: &str,
@@ -74,13 +139,54 @@ impl Client {
         body: Option<&str>,
         extra_headers: &[(&str, &str)],
     ) -> io::Result<Reply> {
+        // `POST /update` must never be resent once a byte is out.
+        let idempotent = !path.starts_with("/update");
+        let mut attempt = 0u32;
+        loop {
+            let outcome = self.request_once(method, path, body, extra_headers);
+            let can_retry = attempt < self.retries;
+            attempt += 1;
+            match outcome {
+                Ok(reply) if reply.status == 503 && can_retry => {
+                    let wait = reply
+                        .header("retry-after")
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .map(Duration::from_secs)
+                        .map(|d| d.min(self.backoff_cap))
+                        .unwrap_or_else(|| self.backoff(attempt));
+                    std::thread::sleep(wait);
+                }
+                Ok(reply) => return Ok(reply),
+                Err(AttemptError::BeforeSend(e)) if can_retry && transient(&e) => {
+                    std::thread::sleep(self.backoff(attempt));
+                }
+                Err(AttemptError::AfterSend(e)) if can_retry && idempotent && transient(&e) => {
+                    std::thread::sleep(self.backoff(attempt));
+                }
+                Err(AttemptError::BeforeSend(e)) | Err(AttemptError::AfterSend(e)) => {
+                    return Err(e)
+                }
+            }
+        }
+    }
+
+    /// One attempt: connect, send, read to EOF.
+    fn request_once(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        extra_headers: &[(&str, &str)],
+    ) -> Result<Reply, AttemptError> {
+        let pre = |e: io::Error| AttemptError::BeforeSend(e);
         let addr = (self.host.as_str(), self.port)
-            .to_socket_addrs()?
+            .to_socket_addrs()
+            .map_err(pre)?
             .next()
-            .ok_or_else(|| io::Error::other("no address resolved"))?;
-        let mut stream = TcpStream::connect_timeout(&addr, self.timeout)?;
-        stream.set_read_timeout(Some(self.timeout))?;
-        stream.set_write_timeout(Some(self.timeout))?;
+            .ok_or_else(|| pre(io::Error::other("no address resolved")))?;
+        let mut stream = TcpStream::connect_timeout(&addr, self.timeout).map_err(pre)?;
+        stream.set_read_timeout(Some(self.timeout)).map_err(pre)?;
+        stream.set_write_timeout(Some(self.timeout)).map_err(pre)?;
         let _ = stream.set_nodelay(true);
 
         let body = body.unwrap_or("");
@@ -94,13 +200,16 @@ impl Client {
             req.push_str(&format!("{k}: {v}\r\n"));
         }
         req.push_str("\r\n");
-        stream.write_all(req.as_bytes())?;
-        stream.write_all(body.as_bytes())?;
-        stream.flush()?;
+        // From the first write on, a failure may have reached the
+        // server: everything below is an after-send error.
+        let post = AttemptError::AfterSend;
+        stream.write_all(req.as_bytes()).map_err(post)?;
+        stream.write_all(body.as_bytes()).map_err(post)?;
+        stream.flush().map_err(post)?;
 
         let mut raw = Vec::new();
-        stream.read_to_end(&mut raw)?;
-        parse_reply(&raw)
+        stream.read_to_end(&mut raw).map_err(post)?;
+        parse_reply(&raw).map_err(post)
     }
 
     /// `POST /query`, XML response.
@@ -129,10 +238,28 @@ impl Client {
         self.request("GET", "/metrics", None, &[])
     }
 
+    /// `GET /check` — run the server-side deep consistency checker.
+    pub fn check(&self) -> io::Result<Reply> {
+        self.request("GET", "/check", None, &[])
+    }
+
     /// `GET /healthz`.
     pub fn healthz(&self) -> io::Result<Reply> {
         self.request("GET", "/healthz", None, &[])
     }
+}
+
+/// Is this I/O error worth another attempt?
+fn transient(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::WouldBlock
+    ) || e.to_string().contains("no header/body separator")
 }
 
 /// Parse a full `Connection: close` response capture.
@@ -164,6 +291,9 @@ fn parse_reply(raw: &[u8]) -> io::Result<Reply> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::net::TcpListener;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
 
     #[test]
     fn parses_a_closed_connection_capture() {
@@ -173,5 +303,108 @@ mod tests {
         assert_eq!(r.header("content-type"), Some("text/plain"));
         assert_eq!(r.body_str(), "ok\n");
         assert!(r.is_ok());
+    }
+
+    /// What the scripted server does with the n-th connection.
+    #[derive(Clone, Copy)]
+    enum Script {
+        /// Read the request, answer 503 with `Retry-After: 0`.
+        Busy,
+        /// Read the request, answer 200.
+        Ok,
+        /// Read a little, then slam the connection shut (no response).
+        Hangup,
+    }
+
+    /// A fake `mctd` following a per-connection script; returns
+    /// (port, accept counter). Exits after the script runs out.
+    fn scripted_server(script: Vec<Script>) -> (u16, Arc<AtomicU32>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let port = listener.local_addr().unwrap().port();
+        let accepts = Arc::new(AtomicU32::new(0));
+        let counter = Arc::clone(&accepts);
+        std::thread::spawn(move || {
+            for step in script {
+                let (mut sock, _) = match listener.accept() {
+                    Ok(c) => c,
+                    Err(_) => return,
+                };
+                counter.fetch_add(1, Ordering::SeqCst);
+                let mut buf = [0u8; 1024];
+                let _ = sock.read(&mut buf);
+                match step {
+                    Script::Busy => {
+                        let _ = sock.write_all(
+                            b"HTTP/1.1 503 Busy\r\nRetry-After: 0\r\nContent-Length: 5\r\n\r\nbusy\n",
+                        );
+                    }
+                    Script::Ok => {
+                        let _ = sock.write_all(
+                            b"HTTP/1.1 200 OK\r\nContent-Length: 3\r\n\r\nok\n",
+                        );
+                    }
+                    Script::Hangup => {
+                        // Close without a response: the client sees an
+                        // empty capture and classifies it transient.
+                        drop(sock);
+                    }
+                }
+            }
+        });
+        (port, accepts)
+    }
+
+    fn fast(port: u16, retries: u32) -> Client {
+        Client::new("127.0.0.1", port)
+            .with_timeout(Duration::from_secs(5))
+            .with_retries(retries)
+            .with_backoff(Duration::from_millis(1), Duration::from_millis(20))
+    }
+
+    #[test]
+    fn retries_past_503_honoring_retry_after() {
+        let (port, accepts) = scripted_server(vec![Script::Busy, Script::Busy, Script::Ok]);
+        let r = fast(port, 3).query("q").unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(accepts.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn no_retries_means_the_503_surfaces() {
+        let (port, accepts) = scripted_server(vec![Script::Busy, Script::Ok]);
+        let r = fast(port, 0).query("q").unwrap();
+        assert_eq!(r.status, 503);
+        assert_eq!(accepts.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn query_is_retried_after_a_midstream_hangup() {
+        let (port, accepts) = scripted_server(vec![Script::Hangup, Script::Ok]);
+        let r = fast(port, 2).query("q").unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(accepts.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn update_is_never_resent_after_bytes_went_out() {
+        let (port, accepts) = scripted_server(vec![Script::Hangup, Script::Ok]);
+        let err = fast(port, 5).update("u").unwrap_err();
+        // One connection only: the retry budget must not be spent on a
+        // non-idempotent request with an unknown outcome.
+        assert_eq!(accepts.load(Ordering::SeqCst), 1, "update was resent: {err}");
+    }
+
+    #[test]
+    fn connect_refused_exhausts_retries_then_errors() {
+        // Bind-then-drop: the port is (almost certainly) closed.
+        let port = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let t0 = std::time::Instant::now();
+        let err = fast(port, 2).update("u").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused);
+        // Two backoffs happened (1-2ms each at the test schedule).
+        assert!(t0.elapsed() >= Duration::from_millis(2));
     }
 }

@@ -119,6 +119,8 @@ pub struct ServerMetrics {
     pub lat_metrics: Histogram,
     /// `/healthz` latency.
     pub lat_healthz: Histogram,
+    /// `/check` latency.
+    pub lat_check: Histogram,
 }
 
 impl ServerMetrics {
@@ -134,6 +136,7 @@ impl ServerMetrics {
             lat_update: mct_obs::histogram("server.latency.update"),
             lat_metrics: mct_obs::histogram("server.latency.metrics"),
             lat_healthz: mct_obs::histogram("server.latency.healthz"),
+            lat_check: mct_obs::histogram("server.latency.check"),
         }
     }
 }
@@ -397,7 +400,11 @@ fn route<D: DiskManager>(state: &AppState<D>, req: &Request) -> Response {
             let _t = state.metrics.lat_update.start_timer();
             handle_update(state, req)
         }
-        (_, "/healthz" | "/metrics") => {
+        ("GET", "/check") => {
+            let _t = state.metrics.lat_check.start_timer();
+            handle_check(state)
+        }
+        (_, "/healthz" | "/metrics" | "/check") => {
             Response::text(405, "method not allowed\n").header("Allow", "GET")
         }
         (_, "/query" | "/update") => {
@@ -542,8 +549,17 @@ fn handle_update<D: DiskManager>(state: &AppState<D>, req: &Request) -> Response
     let cancel = request_cancel(state, req);
 
     let mut db = state.db.write().unwrap_or_else(PoisonError::into_inner);
-    // Deadline is only honored before the update starts: updates are
-    // not rolled back mid-flight, so once applied, it reports success.
+    // Failpoint for panic-containment tests, armed only when the
+    // MCTD_TEST_PANIC env var is set: panics while the write lock is
+    // held, exactly like a buggy update executor would. The catch in
+    // `handle_request` must contain it to a `500` and the next request
+    // must get the (un-poisoned-by-convention) lock.
+    if req.header("x-test-panic").is_some() && std::env::var_os("MCTD_TEST_PANIC").is_some() {
+        panic!("test-injected panic while holding the write lock");
+    }
+    // Deadline is only honored before the update starts; once running,
+    // the statement either commits whole or rolls back whole (the
+    // update executor wraps both phases in a store transaction).
     if let Some(c) = &cancel {
         if c.is_cancelled() {
             state.metrics.timeouts.inc();
@@ -552,10 +568,12 @@ fn handle_update<D: DiskManager>(state: &AppState<D>, req: &Request) -> Response
     }
     let out = match execute_update_with(&mut db, &stmt, None) {
         Ok(o) => o,
+        // The transaction has already rolled back: readers see the
+        // exact pre-update store behind this 5xx.
         Err(EvalError::Storage(e)) => {
-            return Response::text(500, format!("update failed: {e}\n"))
+            return Response::text(500, format!("update failed (rolled back): {e}\n"))
         }
-        Err(e) => return Response::text(400, format!("update error: {e}\n")),
+        Err(e) => return Response::text(400, format!("update error (rolled back): {e}\n")),
     };
     if let Err(e) = db.ensure_all_annotated() {
         return Response::text(500, format!("annotation failed: {e}\n"));
@@ -570,4 +588,18 @@ fn handle_update<D: DiskManager>(state: &AppState<D>, req: &Request) -> Response
         ),
     )
     .content_type("application/json")
+}
+
+/// `GET /check` — run the deep consistency checker (mctck) over the
+/// served database under the read lock. `200` with the report when the
+/// store verifies, `500` with the violation list when it does not.
+fn handle_check<D: DiskManager>(state: &AppState<D>) -> Response {
+    let db = state.db.read().unwrap_or_else(PoisonError::into_inner);
+    match db.check() {
+        Ok(rep) => {
+            let status = if rep.is_ok() { 200 } else { 500 };
+            Response::text(status, format!("{rep}\n"))
+        }
+        Err(e) => Response::text(500, format!("check aborted: {e}\n")),
+    }
 }

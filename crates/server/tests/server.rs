@@ -375,3 +375,133 @@ fn json_format_and_xml_format_round_trip() {
     assert!(metrics.body_str().contains("# TYPE server_requests counter"));
     handle.shutdown();
 }
+
+/// Movies store on fault-injected disks with a WAL attached, synced
+/// clean, so update transactions produce real write traffic.
+fn faulted_store() -> (
+    StoredDb<mct_storage::FaultDisk<mct_storage::MemDisk>>,
+    mct_storage::FaultInjector,
+) {
+    use mct_storage::{BufferPool, FaultDisk, FaultInjector, MemDisk, Wal};
+    let injector = FaultInjector::new(11);
+    let data = FaultDisk::new(MemDisk::new(), injector.clone());
+    let wal = Wal::create(Box::new(FaultDisk::new(MemDisk::new(), injector.clone()))).unwrap();
+    let mut pool = BufferPool::new(data, POOL);
+    pool.attach_wal(wal);
+    let mut stored = StoredDb::build_on(pool, movies::build().db).expect("build movies");
+    stored.sync().expect("initial sync");
+    (stored, injector)
+}
+
+const UPDATE_FRESH: &str = "for $g in document(\"m\")/{red}child::movie-genre \
+                            where $g/{red}child::name = \"Comedy\" \
+                            update $g { insert <movie>fresh-movie</movie> }";
+
+#[test]
+fn mid_update_io_error_returns_500_and_readers_see_pre_update_state() {
+    let _guard = test_lock();
+    let (stored, injector) = faulted_store();
+    let handle = serve(stored, ServerConfig::default()).expect("server starts");
+    let client = Client::new("127.0.0.1", handle.port());
+
+    let baseline = client.query(Q_MOVIES).expect("baseline query");
+    assert_eq!(baseline.status, 200);
+    let aborts_before =
+        mct_server::prom_value(&client.metrics().unwrap().body_str(), "txn.aborts").unwrap_or(0);
+
+    // Fail a write a few appends into the transaction — past the
+    // TXN_BEGIN record, inside the undo-image traffic, well before the
+    // commit point — so the statement must roll back whole.
+    injector.fail_at_write(injector.writes() + 3);
+    let reply = client.update(UPDATE_FRESH).expect("update reply");
+    assert_eq!(reply.status, 500, "{}", reply.body_str());
+    assert!(reply.body_str().contains("rolled back"), "{}", reply.body_str());
+    injector.disarm();
+
+    // Readers see exactly the pre-update store...
+    let after = client.query(Q_MOVIES).expect("post-fault query");
+    assert_eq!(after.body_str(), baseline.body_str());
+    assert!(!after.body_str().contains("fresh-movie"));
+    // ...the deep checker finds nothing wrong...
+    let check = client.request("GET", "/check", None, &[]).expect("check");
+    assert_eq!(check.status, 200, "{}", check.body_str());
+    assert!(check.body_str().contains("zero violations"));
+    // ...and the abort is visible in the metrics.
+    let aborts_after =
+        mct_server::prom_value(&client.metrics().unwrap().body_str(), "txn.aborts").unwrap();
+    assert!(aborts_after > aborts_before);
+
+    // With the fault gone the same statement goes through.
+    let retry = client.update(UPDATE_FRESH).expect("retry");
+    assert_eq!(retry.status, 200, "{}", retry.body_str());
+    let committed = client.query(Q_MOVIES).expect("post-commit query");
+    assert!(committed.body_str().contains("fresh-movie"));
+    let check = client.request("GET", "/check", None, &[]).expect("check");
+    assert_eq!(check.status, 200, "{}", check.body_str());
+    handle.shutdown();
+}
+
+#[test]
+fn panicking_update_is_contained_and_the_server_stays_serviceable() {
+    let _guard = test_lock();
+    std::env::set_var("MCTD_TEST_PANIC", "1");
+    let handle = start(ServerConfig::default());
+    let client = Client::new("127.0.0.1", handle.port());
+
+    let baseline = client.query(Q_MOVIES).expect("baseline");
+    assert_eq!(baseline.status, 200);
+
+    // The failpoint panics while the write lock is held.
+    let reply = client
+        .request("POST", "/update", Some(UPDATE_FRESH), &[("X-Test-Panic", "1")])
+        .expect("panic reply");
+    assert_eq!(reply.status, 500, "{}", reply.body_str());
+    std::env::remove_var("MCTD_TEST_PANIC");
+
+    // The write lock was released and nothing was applied: queries and
+    // updates keep working on the unchanged store.
+    let after = client.query(Q_MOVIES).expect("post-panic query");
+    assert_eq!(after.status, 200);
+    assert_eq!(after.body_str(), baseline.body_str());
+    let check = client.request("GET", "/check", None, &[]).expect("check");
+    assert_eq!(check.status, 200, "{}", check.body_str());
+    let update = client.update(UPDATE_FRESH).expect("post-panic update");
+    assert_eq!(update.status, 200, "{}", update.body_str());
+    assert!(client.query(Q_MOVIES).unwrap().body_str().contains("fresh-movie"));
+    handle.shutdown();
+}
+
+#[test]
+fn transaction_and_check_metrics_are_exported() {
+    let _guard = test_lock();
+    let (stored, injector) = faulted_store();
+    let handle = serve(stored, ServerConfig::default()).expect("server starts");
+    let client = Client::new("127.0.0.1", handle.port());
+
+    let grab = |name: &str| -> u64 {
+        mct_server::prom_value(&client.metrics().unwrap().body_str(), name).unwrap_or(0)
+    };
+    let begins0 = grab("txn.begins");
+    let commits0 = grab("txn.commits");
+    let aborts0 = grab("txn.aborts");
+    let undos0 = grab("wal.undo_records");
+
+    // One committed update, one aborted one.
+    assert_eq!(client.update(UPDATE_FRESH).unwrap().status, 200);
+    injector.fail_at_write(injector.writes() + 3);
+    assert_eq!(client.update(UPDATE_FRESH).unwrap().status, 500);
+    injector.disarm();
+
+    assert!(grab("txn.begins") >= begins0 + 2);
+    assert!(grab("txn.commits") > commits0);
+    assert!(grab("txn.aborts") > aborts0);
+    assert!(grab("wal.undo_records") > undos0, "undo records must be logged");
+
+    // /check bumps its run counter and reports zero violations.
+    let runs0 = grab("check.runs");
+    let check = client.request("GET", "/check", None, &[]).expect("check");
+    assert_eq!(check.status, 200, "{}", check.body_str());
+    assert!(grab("check.runs") > runs0);
+    assert_eq!(grab("check.violations"), 0);
+    handle.shutdown();
+}

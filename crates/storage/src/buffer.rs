@@ -49,6 +49,14 @@
 //! boundary is recoverable. Commit assumes the single-writer model
 //! (writes require `&mut` access at the database layer) and must not
 //! race other commits or writers.
+//!
+//! [`BufferPool::begin_txn`] opens a pool-level transaction: the
+//! first write to each pre-existing page captures its before-image
+//! (and, with a WAL, logs an undo record), so
+//! [`BufferPool::abort_txn`] can restore every touched page and
+//! truncate away every transaction-allocated one — with or without a
+//! log. Commit ends the transaction as a winner; a crash instead
+//! leaves it a loser for WAL recovery to undo.
 
 use crate::disk::DiskManager;
 use crate::error::StorageError;
@@ -132,6 +140,23 @@ fn pool_counters() -> &'static PoolCounters {
         writebacks: mct_obs::counter("storage.pool.writebacks"),
         corrupt_reads: mct_obs::counter("storage.corrupt_reads"),
         io_errors: mct_obs::counter("storage.io_errors"),
+    })
+}
+
+/// Global-registry handles for transaction activity (`txn.*`), bumped
+/// by every pool in the process.
+struct TxnCounters {
+    begins: Counter,
+    commits: Counter,
+    aborts: Counter,
+}
+
+fn txn_counters() -> &'static TxnCounters {
+    static C: OnceLock<TxnCounters> = OnceLock::new();
+    C.get_or_init(|| TxnCounters {
+        begins: mct_obs::counter("txn.begins"),
+        commits: mct_obs::counter("txn.commits"),
+        aborts: mct_obs::counter("txn.aborts"),
     })
 }
 
@@ -246,6 +271,20 @@ impl Drop for PinGuard<'_> {
     }
 }
 
+/// Pool-level state of one in-flight transaction (see
+/// [`BufferPool::begin_txn`]). Before-images are captured at first
+/// touch, so `before` maps each pre-existing page the transaction
+/// dirtied to its contents as of the begin.
+struct PoolTxn {
+    id: u64,
+    /// Data-file page count at begin. Allocation is monotonic, so any
+    /// page at or past this was allocated by the transaction and is
+    /// dropped wholesale on abort.
+    base_pages: u32,
+    /// First-touch before-images of pages that existed at begin.
+    before: HashMap<PageId, Box<[u8; PAGE_SIZE]>>,
+}
+
 /// Page-table shard count (power of two). Pages hash by id, which is
 /// sequential, so shards load-balance perfectly.
 const NUM_SHARDS: usize = 16;
@@ -268,6 +307,12 @@ pub struct BufferPool<D: DiskManager> {
     wal_attached: bool,
     /// Pages dirtied since the last commit; tracked only with a WAL.
     dirty_since_commit: Mutex<BTreeSet<PageId>>,
+    /// In-flight transaction, if any (at most one: the single-writer
+    /// model serializes writers at the database layer).
+    txn: Mutex<Option<PoolTxn>>,
+    /// Mirrors `txn.is_some()` so the write hot path can skip the
+    /// mutex when no transaction is open.
+    txn_active: AtomicBool,
 }
 
 /// Default pool capacity: 256 MiB, the paper's configuration.
@@ -296,6 +341,8 @@ impl<D: DiskManager> BufferPool<D> {
             wal: Mutex::new(None),
             wal_attached: false,
             dirty_since_commit: Mutex::new(BTreeSet::new()),
+            txn: Mutex::new(None),
+            txn_active: AtomicBool::new(false),
         }
     }
 
@@ -331,6 +378,16 @@ impl<D: DiskManager> BufferPool<D> {
             .get_mut()
             .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(wal);
         self.wal_attached = true;
+    }
+
+    /// Whether a WAL is attached.
+    pub fn has_wal(&self) -> bool {
+        self.wal_attached
+    }
+
+    /// Whether a transaction is currently open.
+    pub fn txn_active(&self) -> bool {
+        self.txn_active.load(Ordering::Acquire)
     }
 
     /// The attached WAL (mutable), if any.
@@ -406,6 +463,14 @@ impl<D: DiskManager> BufferPool<D> {
             let pin = self.pin(id)?;
             let mut slot = wlock(&pin.frame.slot);
             if slot.page == Some(id) {
+                // Capture the transaction before-image *before* the
+                // closure can write: if the undo append fails, the
+                // page is still unmodified and the error aborts the
+                // update with nothing to roll back for this page.
+                if self.txn_active.load(Ordering::Acquire) {
+                    let buf = slot.buf.as_ref().expect("resident frame has a buffer");
+                    self.txn_capture(id, buf)?;
+                }
                 slot.dirty = true;
                 if self.wal_attached {
                     mlock(&self.dirty_since_commit).insert(id);
@@ -414,6 +479,30 @@ impl<D: DiskManager> BufferPool<D> {
                 return Ok(f(&mut buf[PAGE_HEADER..]));
             }
         }
+    }
+
+    /// Record `id`'s before-image in the open transaction (first touch
+    /// only; pages the transaction itself allocated need no undo — the
+    /// abort truncates them away). Appends a WAL undo record when a
+    /// log is attached. Called with the frame lock held; takes the
+    /// `txn` then `wal` mutexes, which never deadlocks against
+    /// [`BufferPool::commit`]'s `wal → frame` order because commit is
+    /// an exclusive-writer operation and so never races a write.
+    fn txn_capture(&self, id: PageId, buf: &[u8; PAGE_SIZE]) -> Result<()> {
+        let mut guard = mlock(&self.txn);
+        let Some(txn) = guard.as_mut() else {
+            return Ok(());
+        };
+        if id.0 >= txn.base_pages || txn.before.contains_key(&id) {
+            return Ok(());
+        }
+        if self.wal_attached {
+            if let Some(wal) = mlock(&self.wal).as_mut() {
+                wal.append_undo(txn.id, id, &buf[..])?;
+            }
+        }
+        txn.before.insert(id, Box::new(*buf));
+        Ok(())
     }
 
     /// The LSN stamped on page `id` (zero if never committed).
@@ -598,6 +687,119 @@ impl<D: DiskManager> BufferPool<D> {
         Ok(())
     }
 
+    /// Open a transaction: from here until [`BufferPool::commit`] or
+    /// [`BufferPool::abort_txn`], the first write to each pre-existing
+    /// page captures its before-image (and logs a WAL undo record when
+    /// a log is attached), so the whole write set can be rolled back.
+    ///
+    /// At most one transaction may be open (single-writer model);
+    /// nesting is an error. Like commit, begin/abort are
+    /// exclusive-writer operations: concurrent readers are fine,
+    /// concurrent writers are not.
+    pub fn begin_txn(&self, id: u64) -> Result<()> {
+        let mut txn = mlock(&self.txn);
+        if txn.is_some() {
+            return Err(StorageError::Corrupt("nested transaction"));
+        }
+        if self.wal_attached {
+            if let Some(wal) = mlock(&self.wal).as_mut() {
+                wal.append_txn_begin(id)?;
+            }
+        }
+        *txn = Some(PoolTxn {
+            id,
+            base_pages: mlock(&self.disk).num_pages(),
+            before: HashMap::new(),
+        });
+        self.txn_active.store(true, Ordering::Release);
+        txn_counters().begins.inc();
+        Ok(())
+    }
+
+    /// Close the open transaction as committed *without* a durability
+    /// point — the pool has no WAL, so the write set simply stays
+    /// live and the undo images are dropped. WAL-attached pools must
+    /// go through [`BufferPool::commit`] instead. Returns the
+    /// transaction's id.
+    pub fn end_txn(&self) -> Result<u64> {
+        let Some(txn) = mlock(&self.txn).take() else {
+            return Err(StorageError::Corrupt("end_txn without an open transaction"));
+        };
+        self.txn_active.store(false, Ordering::Release);
+        txn_counters().commits.inc();
+        Ok(txn.id)
+    }
+
+    /// Roll the open transaction back: restore every captured
+    /// before-image (into the frame when resident, straight to disk
+    /// when evicted), drop and truncate every page the transaction
+    /// allocated, and log a WAL abort record. Restored pages stay in
+    /// the dirty set so the next commit re-logs and re-flushes them.
+    /// Returns the aborted transaction's id.
+    pub fn abort_txn(&self) -> Result<u64> {
+        let Some(txn) = mlock(&self.txn).take() else {
+            return Err(StorageError::Corrupt("abort without an open transaction"));
+        };
+        self.txn_active.store(false, Ordering::Release);
+        for (&id, image) in &txn.before {
+            self.restore_image(id, image)?;
+        }
+        let base = txn.base_pages;
+        for frame in &self.frames {
+            let mut slot = wlock(&frame.slot);
+            if let Some(p) = slot.page {
+                if p.0 >= base {
+                    wlock(self.shard_of(p)).remove(&p);
+                    slot.page = None;
+                    slot.dirty = false;
+                }
+            }
+        }
+        if self.wal_attached {
+            mlock(&self.dirty_since_commit).retain(|p| p.0 < base);
+        }
+        mlock(&self.disk).truncate(base)?;
+        if self.wal_attached {
+            if let Some(wal) = mlock(&self.wal).as_mut() {
+                wal.append_txn_abort(txn.id)?;
+            }
+        }
+        txn_counters().aborts.inc();
+        Ok(txn.id)
+    }
+
+    /// Put one before-image back: into the resident frame when the
+    /// page is cached, else straight to disk (checksum re-stamped so a
+    /// later read verifies). Exclusive-writer, like the abort it
+    /// serves.
+    fn restore_image(&self, id: PageId, image: &[u8; PAGE_SIZE]) -> Result<()> {
+        loop {
+            let Some(fi) = rlock(self.shard_of(id)).get(&id).copied() else {
+                break;
+            };
+            let mut slot = wlock(&self.frames[fi].slot);
+            if slot.page == Some(id) {
+                slot.buf_mut().copy_from_slice(&image[..]);
+                slot.dirty = true;
+                if self.wal_attached {
+                    mlock(&self.dirty_since_commit).insert(id);
+                }
+                return Ok(());
+            }
+            // Evicted between lookup and lock; look again.
+        }
+        let mut buf = *image;
+        stamp_page_checksum(&mut buf);
+        if let Err(e) = mlock(&self.disk).write(id, &buf) {
+            self.stats.note_error(&e);
+            return Err(e);
+        }
+        if self.wal_attached {
+            mlock(&self.dirty_since_commit).insert(id);
+        }
+        Ok(())
+    }
+
     /// Commit: make everything dirtied since the last commit durable.
     ///
     /// Protocol (redo-only WAL):
@@ -642,6 +844,16 @@ impl<D: DiskManager> BufferPool<D> {
             }
         };
         drop(wal_guard);
+        // The commit record is durable: the open transaction (if any)
+        // has won. Drop its undo state *now*, before the flush — a
+        // flush failure past this point must surface as an I/O error
+        // to be repaired by replay, never as a rollback of a commit.
+        if self.txn_active.load(Ordering::Acquire) {
+            if mlock(&self.txn).take().is_some() {
+                txn_counters().commits.inc();
+            }
+            self.txn_active.store(false, Ordering::Release);
+        }
         self.flush_all()?;
         mlock(&self.disk).sync_data()?;
         Ok(lsn)
@@ -900,6 +1112,118 @@ mod tests {
         assert_eq!(p.page_lsn(id).unwrap(), 0, "never committed");
         p.commit(b"").unwrap();
         assert!(p.page_lsn(id).unwrap() > 0, "stamped at commit");
+    }
+
+    #[test]
+    fn txn_abort_restores_pages_and_truncates_allocations() {
+        let p = tiny_pool();
+        let keep = p.allocate().unwrap();
+        p.with_page_mut(keep, |b| b[0] = 1).unwrap();
+        let base = p.num_pages();
+
+        p.begin_txn(1).unwrap();
+        p.with_page_mut(keep, |b| b[0] = 99).unwrap();
+        let fresh = p.allocate().unwrap();
+        p.with_page_mut(fresh, |b| b[0] = 42).unwrap();
+        assert!(p.txn_active());
+        p.abort_txn().unwrap();
+        assert!(!p.txn_active());
+
+        assert_eq!(p.with_page(keep, |b| b[0]).unwrap(), 1, "before-image restored");
+        assert_eq!(p.num_pages(), base, "txn allocation truncated");
+        assert!(matches!(
+            p.with_page(fresh, |_| ()),
+            Err(StorageError::PageOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn txn_abort_restores_evicted_pages_too() {
+        // 8 frames, write far more pages inside the txn so the first
+        // victim is evicted (its txn modification reaches the disk)
+        // before the abort.
+        let p = tiny_pool();
+        let victim = p.allocate().unwrap();
+        p.with_page_mut(victim, |b| b[7] = 3).unwrap();
+        let pre: Vec<PageId> = (0..4).map(|_| p.allocate().unwrap()).collect();
+        for &id in &pre {
+            p.with_page_mut(id, |b| b[7] = 4).unwrap();
+        }
+
+        p.begin_txn(2).unwrap();
+        p.with_page_mut(victim, |b| b[7] = 88).unwrap();
+        for &id in &pre {
+            p.with_page_mut(id, |b| b[7] = 89).unwrap();
+        }
+        for _ in 0..30 {
+            let id = p.allocate().unwrap();
+            p.with_page_mut(id, |b| b[7] = 90).unwrap();
+        }
+        assert!(p.stats().evictions > 0, "txn writes must out-size the pool");
+        p.abort_txn().unwrap();
+
+        assert_eq!(p.with_page(victim, |b| b[7]).unwrap(), 3);
+        for &id in &pre {
+            assert_eq!(p.with_page(id, |b| b[7]).unwrap(), 4);
+        }
+    }
+
+    #[test]
+    fn txn_commit_keeps_writes_and_later_abort_is_an_error() {
+        let mut p = tiny_pool();
+        p.attach_wal(Wal::create(Box::new(MemDisk::new())).unwrap());
+        let id = p.allocate().unwrap();
+        p.with_page_mut(id, |b| b[0] = 1).unwrap();
+        p.commit(b"base").unwrap();
+
+        p.begin_txn(3).unwrap();
+        p.with_page_mut(id, |b| b[0] = 2).unwrap();
+        p.commit(b"after").unwrap();
+        assert!(!p.txn_active(), "commit closes the transaction");
+        assert!(p.abort_txn().is_err(), "nothing left to abort");
+        assert_eq!(p.with_page(id, |b| b[0]).unwrap(), 2);
+    }
+
+    #[test]
+    fn nested_txn_is_rejected() {
+        let p = tiny_pool();
+        p.begin_txn(1).unwrap();
+        assert!(matches!(p.begin_txn(2), Err(StorageError::Corrupt(_))));
+        p.abort_txn().unwrap();
+    }
+
+    #[test]
+    fn txn_crash_is_undone_by_replay() {
+        // A txn dirties committed pages, evicts some to the data file,
+        // and then the process "crashes" (no commit, no abort). WAL
+        // replay must both redo the commit and undo the loser.
+        let mut p = BufferPool::new(MemDisk::new(), 8 * PAGE_SIZE);
+        p.attach_wal(Wal::create(Box::new(MemDisk::new())).unwrap());
+        let ids: Vec<PageId> = (0..12).map(|_| p.allocate().unwrap()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            p.with_page_mut(id, |b| b[0] = i as u8).unwrap();
+        }
+        p.commit(b"base").unwrap();
+
+        p.begin_txn(9).unwrap();
+        for &id in &ids {
+            p.with_page_mut(id, |b| b[0] = 111).unwrap();
+        }
+        let extra = p.allocate().unwrap();
+        p.with_page_mut(extra, |b| b[0] = 112).unwrap();
+        p.flush_all().unwrap(); // loser's writes hit the data file
+
+        let (mut data, wal) = p.into_parts();
+        let mut wal = wal.unwrap();
+        let st = wal.replay_into(&mut data).unwrap().unwrap();
+        assert_eq!(st.catalog, b"base");
+        assert_eq!(st.losers, vec![9]);
+        assert!(st.undos_applied > 0);
+        assert_eq!(data.num_pages(), ids.len() as u32, "loser allocation gone");
+        let rp = BufferPool::new(data, 8 * PAGE_SIZE);
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(rp.with_page(id, |b| b[0]).unwrap(), i as u8);
+        }
     }
 
     #[test]

@@ -1,21 +1,30 @@
-//! Write-ahead log: LSN-stamped, checksummed redo records.
+//! Write-ahead log: LSN-stamped, checksummed redo + undo records.
 //!
 //! The log is a byte stream laid over [`DiskManager`] pages (so the
-//! fault-injection wrapper covers log I/O exactly like data I/O). Two
+//! fault-injection wrapper covers log I/O exactly like data I/O). Five
 //! record kinds exist:
 //!
 //! * **page image** — the full post-write contents of one data page;
 //! * **commit** — marks every preceding image as durable, and carries
 //!   the committed data-file page count plus an opaque catalog blob
-//!   (the database's logical + physical metadata snapshot).
+//!   (the database's logical + physical metadata snapshot);
+//! * **txn begin** — opens a transaction (txn id);
+//! * **undo** — the full *before*-image of a page about to be dirtied
+//!   by an open transaction (txn id + page + image);
+//! * **txn abort** — records that a transaction was rolled back in
+//!   memory (its undo images were applied to the live pool).
 //!
 //! Each record is covered by its own CRC-32, so a torn append is
 //! detected and the log logically ends at the last intact record
 //! ([`Wal::open`] truncates the torn tail). Recovery
-//! ([`Wal::replay_into`]) applies every page image written before the
-//! *last* commit record, in log order, then truncates the data file to
-//! the committed page count — dropping both torn data-page writes and
-//! pages allocated by an uncommitted build.
+//! ([`Wal::replay_into`]) redoes every page image written before the
+//! *last* commit record, in log order, truncates the data file to the
+//! committed page count — dropping both torn data-page writes and
+//! pages allocated by an uncommitted build — and then **undoes
+//! losers**: any transaction whose begin record sits after the last
+//! commit never committed, so its undo images (captured against the
+//! committed baseline) are applied in reverse log order, wiping
+//! whatever the losing transaction managed to evict to the data file.
 //!
 //! The protocol in [`BufferPool::commit`](crate::BufferPool::commit)
 //! is: log images of all pages dirtied since the previous commit →
@@ -46,8 +55,11 @@ struct WalCounters {
     bytes_appended: Counter,
     fsyncs: Counter,
     commits: Counter,
+    undo_records: Counter,
     replay_images_applied: Counter,
     replay_commits_seen: Counter,
+    replay_undos_applied: Counter,
+    replay_losers: Counter,
 }
 
 fn wal_counters() -> &'static WalCounters {
@@ -57,8 +69,11 @@ fn wal_counters() -> &'static WalCounters {
         bytes_appended: mct_obs::counter("wal.bytes_appended"),
         fsyncs: mct_obs::counter("wal.fsyncs"),
         commits: mct_obs::counter("wal.commits"),
+        undo_records: mct_obs::counter("wal.undo_records"),
         replay_images_applied: mct_obs::counter("wal.replay.images_applied"),
         replay_commits_seen: mct_obs::counter("wal.replay.commits_seen"),
+        replay_undos_applied: mct_obs::counter("wal.replay.undos_applied"),
+        replay_losers: mct_obs::counter("wal.replay.losers"),
     })
 }
 
@@ -72,6 +87,9 @@ const MAX_PAYLOAD: usize = 64 * 1024 * 1024;
 
 const KIND_IMAGE: u8 = 1;
 const KIND_COMMIT: u8 = 2;
+const KIND_TXN_BEGIN: u8 = 3;
+const KIND_UNDO: u8 = 4;
+const KIND_TXN_ABORT: u8 = 5;
 
 /// Outcome of scanning the log: the state the last commit captured.
 #[derive(Debug)]
@@ -82,6 +100,11 @@ pub struct CommittedState {
     pub catalog: Vec<u8>,
     /// LSN of the commit record.
     pub lsn: u64,
+    /// Ids of loser transactions (begun after the last commit and
+    /// never committed) whose undo images were applied.
+    pub losers: Vec<u64>,
+    /// Number of undo before-images applied while rolling back losers.
+    pub undos_applied: u64,
 }
 
 /// The write-ahead log over its own page file.
@@ -166,6 +189,31 @@ impl Wal {
         Ok(lsn)
     }
 
+    /// Append a transaction-begin record; returns its LSN.
+    pub fn append_txn_begin(&mut self, txn: u64) -> Result<u64> {
+        self.append(KIND_TXN_BEGIN, &txn.to_le_bytes())
+    }
+
+    /// Append an undo record: the before-image of `page` as it stood
+    /// when transaction `txn` first dirtied it; returns its LSN.
+    pub fn append_undo(&mut self, txn: u64, page: PageId, before: &[u8]) -> Result<u64> {
+        debug_assert_eq!(before.len(), PAGE_SIZE);
+        let mut payload = Vec::with_capacity(12 + PAGE_SIZE);
+        payload.extend_from_slice(&txn.to_le_bytes());
+        payload.extend_from_slice(&page.0.to_le_bytes());
+        payload.extend_from_slice(before);
+        let lsn = self.append(KIND_UNDO, &payload)?;
+        wal_counters().undo_records.inc();
+        Ok(lsn)
+    }
+
+    /// Append a transaction-abort record (the in-memory rollback
+    /// already happened; this closes the txn in the log); returns its
+    /// LSN.
+    pub fn append_txn_abort(&mut self, txn: u64) -> Result<u64> {
+        self.append(KIND_TXN_ABORT, &txn.to_le_bytes())
+    }
+
     /// Force the log to stable storage.
     pub fn sync(&mut self) -> Result<()> {
         self.disk.sync_data()?;
@@ -188,16 +236,23 @@ impl Wal {
         Ok(())
     }
 
-    /// Replay the committed prefix into `target`: apply every page
-    /// image logged before the last commit, truncate `target` to the
-    /// committed page count, and sync it. Returns the committed state,
+    /// Replay the log into `target`.
+    ///
+    /// **Redo pass**: apply every page image logged before the last
+    /// commit, in log order, then truncate `target` to the committed
+    /// page count. **Undo pass**: any transaction whose begin record
+    /// follows the last commit is a loser — apply its undo
+    /// before-images in reverse log order (skipping pages past the
+    /// committed count, which the truncate already dropped), so pages
+    /// the loser evicted to the data file return to their committed
+    /// contents. Finally sync `target`. Returns the committed state,
     /// or `None` when the log holds no commit (nothing durable).
     pub fn replay_into(&mut self, target: &mut dyn DiskManager) -> Result<Option<CommittedState>> {
         let Some(commit_end) = self.last_commit_end else {
             return Ok(None);
         };
         let mut off = 0u64;
-        let mut committed = None;
+        let mut committed: Option<(u32, Vec<u8>, u64)> = None;
         while off < commit_end {
             let (kind, lsn, total) = self
                 .parse_record_at(off)?
@@ -223,21 +278,76 @@ impl Wal {
                     if payload.len() < 8 + cat_len {
                         return Err(StorageError::Corrupt("WAL commit payload truncated"));
                     }
-                    committed = Some(CommittedState {
-                        num_pages,
-                        catalog: payload[8..8 + cat_len].to_vec(),
-                        lsn,
-                    });
+                    committed = Some((num_pages, payload[8..8 + cat_len].to_vec(), lsn));
                     wal_counters().replay_commits_seen.inc();
                 }
+                // Txn framing before the last commit belongs to
+                // winners (committed) or txns already rolled back and
+                // re-committed; redo of the commit's images covers it.
+                KIND_TXN_BEGIN | KIND_UNDO | KIND_TXN_ABORT => {}
                 _ => return Err(StorageError::Corrupt("unknown WAL record kind")),
             }
             off += total;
         }
-        let state = committed.ok_or(StorageError::Corrupt("WAL commit marker unreadable"))?;
-        target.truncate(state.num_pages)?;
+        let (num_pages, catalog, lsn) =
+            committed.ok_or(StorageError::Corrupt("WAL commit marker unreadable"))?;
+        target.truncate(num_pages)?;
+
+        // Undo pass over the intact tail past the last commit. Every
+        // begin out there belongs to a txn whose commit never became
+        // durable; its before-images were captured against the
+        // committed baseline, so applying them (in reverse) is
+        // idempotent and returns evicted loser pages to committed
+        // contents. Explicitly aborted txns are included: their
+        // in-memory rollback may itself not have reached the data
+        // file, and re-applying the same before-images is harmless.
+        let mut losers: Vec<u64> = Vec::new();
+        let mut undos: Vec<(u64, u32, u64, usize)> = Vec::new(); // (txn, page, img off, len)
+        off = commit_end;
+        while off < self.end {
+            let Some((kind, _lsn, total)) = self.parse_record_at(off)? else {
+                break;
+            };
+            match kind {
+                KIND_TXN_BEGIN => {
+                    let b = self.read_bytes(off + HEADER as u64, 8)?;
+                    let txn = u64::from_le_bytes(b[0..8].try_into().expect("begin header"));
+                    if !losers.contains(&txn) {
+                        losers.push(txn);
+                    }
+                }
+                KIND_UNDO => {
+                    let b = self.read_bytes(off + HEADER as u64, 12)?;
+                    let txn = u64::from_le_bytes(b[0..8].try_into().expect("undo header"));
+                    let page = u32::from_le_bytes(b[8..12].try_into().expect("undo header"));
+                    let img_off = off + (HEADER + 12) as u64;
+                    let img_len = (total as usize) - HEADER - TRAILER - 12;
+                    undos.push((txn, page, img_off, img_len));
+                }
+                _ => {}
+            }
+            off += total;
+        }
+        let mut undos_applied = 0u64;
+        for &(txn, page, img_off, img_len) in undos.iter().rev() {
+            if !losers.contains(&txn) || page >= num_pages {
+                continue;
+            }
+            let image = self.read_bytes(img_off, img_len)?;
+            target.write(PageId(page), &image)?;
+            undos_applied += 1;
+            wal_counters().replay_undos_applied.inc();
+        }
+        wal_counters().replay_losers.add(losers.len() as u64);
+
         target.sync_data()?;
-        Ok(Some(state))
+        Ok(Some(CommittedState {
+            num_pages,
+            catalog,
+            lsn,
+            losers,
+            undos_applied,
+        }))
     }
 
     fn append(&mut self, kind: u8, payload: &[u8]) -> Result<u64> {
@@ -449,5 +559,169 @@ mod tests {
         let mut wal = Wal::open(Box::new(MemDisk::new())).unwrap();
         let mut data = MemDisk::new();
         assert!(wal.replay_into(&mut data).unwrap().is_none());
+    }
+
+    /// Regression (satellite): a zero-length / just-created WAL file on
+    /// a real file disk must open and recover cleanly, not error.
+    #[test]
+    fn zero_length_wal_file_recovers_cleanly() {
+        let path = std::env::temp_dir().join(format!("mct-wal-empty-{}.log", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            // Just-created (the file does not exist yet).
+            let disk = crate::FileDisk::open(&path).unwrap();
+            let mut wal = Wal::open(Box::new(disk)).unwrap();
+            assert_eq!(wal.len_bytes(), 0);
+            assert!(!wal.has_commit());
+            let mut data = MemDisk::new();
+            assert!(wal.replay_into(&mut data).unwrap().is_none());
+        }
+        {
+            // Zero-length (the file exists but holds nothing).
+            assert!(path.exists());
+            let disk = crate::FileDisk::open(&path).unwrap();
+            let mut wal = Wal::open(Box::new(disk)).unwrap();
+            assert_eq!(wal.len_bytes(), 0);
+            assert!(!wal.has_commit());
+            // And the empty log accepts appends + a commit afterwards.
+            wal.append_image(PageId(0), &image(4)).unwrap();
+            wal.append_commit(1, b"first").unwrap();
+            wal.sync().unwrap();
+            let mut data = MemDisk::new();
+            let st = wal.replay_into(&mut data).unwrap().unwrap();
+            assert_eq!(st.catalog, b"first");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Copy a WAL's underlying pages into a fresh MemDisk.
+    fn clone_pages(wal: &mut Wal) -> MemDisk {
+        let mut copy = MemDisk::new();
+        for p in 0..wal.disk.num_pages() {
+            let mut b = [0u8; PAGE_SIZE];
+            wal.disk.read(PageId(p), &mut b).unwrap();
+            copy.allocate().unwrap();
+            copy.write(PageId(p), &b).unwrap();
+        }
+        copy
+    }
+
+    /// Regression (satellite): when the last intact record is a commit
+    /// and torn garbage starts at the very next byte, recovery must
+    /// keep that commit (the tail is truncated exactly at its end).
+    #[test]
+    fn commit_record_exactly_at_torn_tail_recovers() {
+        let mut wal = Wal::create(Box::new(MemDisk::new())).unwrap();
+        wal.append_image(PageId(0), &image(1)).unwrap();
+        wal.append_commit(1, b"c1").unwrap();
+        wal.append_image(PageId(0), &image(2)).unwrap();
+        wal.append_commit(1, b"c2").unwrap();
+        let keep = wal.len_bytes();
+        // Torn garbage immediately after the commit: half a header of
+        // a would-be next record.
+        wal.write_bytes(keep, &[0x57, 0x4C, 0x01]).unwrap();
+
+        let mut reopened = Wal::open(Box::new(clone_pages(&mut wal))).unwrap();
+        assert_eq!(reopened.len_bytes(), keep, "log ends exactly at the commit");
+        let mut data = MemDisk::new();
+        let st = reopened.replay_into(&mut data).unwrap().unwrap();
+        assert_eq!(st.catalog, b"c2", "the commit at the torn tail survives");
+        let mut buf = [0u8; PAGE_SIZE];
+        data.read(PageId(0), &mut buf).unwrap();
+        assert_eq!(buf[0], 2);
+    }
+
+    /// The complementary case: the commit record itself is torn, so
+    /// recovery must fall back to the previous commit.
+    #[test]
+    fn torn_commit_record_falls_back_to_previous_commit() {
+        let mut wal = Wal::create(Box::new(MemDisk::new())).unwrap();
+        wal.append_image(PageId(0), &image(1)).unwrap();
+        wal.append_commit(1, b"c1").unwrap();
+        let keep = wal.len_bytes();
+        wal.append_image(PageId(0), &image(2)).unwrap();
+        wal.append_commit(1, b"c2").unwrap();
+        // Tear the final commit: flip a byte inside its trailer CRC.
+        let tear_at = wal.len_bytes() - 2;
+        let mut b = wal.read_bytes(tear_at, 1).unwrap();
+        b[0] ^= 0xFF;
+        wal.write_bytes(tear_at, &b).unwrap();
+
+        let mut reopened = Wal::open(Box::new(clone_pages(&mut wal))).unwrap();
+        assert!(reopened.len_bytes() >= keep);
+        let mut data = MemDisk::new();
+        let st = reopened.replay_into(&mut data).unwrap().unwrap();
+        assert_eq!(st.catalog, b"c1", "torn commit must not win");
+        let mut buf = [0u8; PAGE_SIZE];
+        data.read(PageId(0), &mut buf).unwrap();
+        assert_eq!(buf[0], 1, "image past the surviving commit is not redone");
+    }
+
+    #[test]
+    fn loser_txn_tail_is_undone_in_reverse() {
+        let mut wal = Wal::create(Box::new(MemDisk::new())).unwrap();
+        // Committed state: one page, contents never imaged (simulates
+        // a commit whose images live in an older, checkpointed log —
+        // forces the undo pass to be load-bearing, not just redo).
+        wal.append_commit(1, b"base").unwrap();
+        // Loser txn 7 dirtied page 0 twice; the first before-image is
+        // the committed baseline.
+        wal.append_txn_begin(7).unwrap();
+        wal.append_undo(7, PageId(0), &image(3)).unwrap();
+        wal.append_undo(7, PageId(0), &image(5)).unwrap();
+        // Loser also allocated page 1 (no undo record: truncation
+        // handles fresh pages) and evicted both to the data file.
+        let mut data = MemDisk::new();
+        data.allocate().unwrap();
+        data.allocate().unwrap();
+        data.write(PageId(0), &image(9)).unwrap();
+        data.write(PageId(1), &image(9)).unwrap();
+
+        let st = wal.replay_into(&mut data).unwrap().unwrap();
+        assert_eq!(st.losers, vec![7]);
+        assert_eq!(st.undos_applied, 2);
+        assert_eq!(data.num_pages(), 1, "loser's allocation truncated");
+        let mut buf = [0u8; PAGE_SIZE];
+        data.read(PageId(0), &mut buf).unwrap();
+        assert_eq!(buf[0], 3, "reverse-order undo restores the oldest before-image");
+    }
+
+    #[test]
+    fn aborted_txn_tail_is_still_undone() {
+        // An in-memory abort wrote an abort record but crashed before
+        // the rolled-back pages were re-committed: recovery must still
+        // apply the undo images.
+        let mut wal = Wal::create(Box::new(MemDisk::new())).unwrap();
+        wal.append_commit(1, b"base").unwrap();
+        wal.append_txn_begin(11).unwrap();
+        wal.append_undo(11, PageId(0), &image(4)).unwrap();
+        wal.append_txn_abort(11).unwrap();
+        let mut data = MemDisk::new();
+        data.allocate().unwrap();
+        data.write(PageId(0), &image(8)).unwrap();
+
+        let st = wal.replay_into(&mut data).unwrap().unwrap();
+        assert_eq!(st.losers, vec![11]);
+        let mut buf = [0u8; PAGE_SIZE];
+        data.read(PageId(0), &mut buf).unwrap();
+        assert_eq!(buf[0], 4);
+    }
+
+    #[test]
+    fn committed_txn_framing_is_not_undone() {
+        // Txn framing *before* the last commit belongs to a winner:
+        // replay must redo its images and apply no undo.
+        let mut wal = Wal::create(Box::new(MemDisk::new())).unwrap();
+        wal.append_txn_begin(3).unwrap();
+        wal.append_undo(3, PageId(0), &image(1)).unwrap();
+        wal.append_image(PageId(0), &image(2)).unwrap();
+        wal.append_commit(1, b"win").unwrap();
+        let mut data = MemDisk::new();
+        let st = wal.replay_into(&mut data).unwrap().unwrap();
+        assert!(st.losers.is_empty());
+        assert_eq!(st.undos_applied, 0);
+        let mut buf = [0u8; PAGE_SIZE];
+        data.read(PageId(0), &mut buf).unwrap();
+        assert_eq!(buf[0], 2, "winner's redo image sticks");
     }
 }

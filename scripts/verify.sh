@@ -55,6 +55,15 @@ fi
 echo "==> bench dry-run (compile only)"
 cargo bench --workspace --offline --no-run
 
+echo "==> update crash loop + mctck after every recovery"
+RUST_BACKTRACE=1 cargo test --offline -q --test txn_crash
+
+echo "==> mctck deep-checker smoke (movies + tpcw builds)"
+cargo run --release --offline --bin mctck -- --build movies | grep -q "zero violations" \
+    || { echo "FAIL: mctck rejects a clean movies build"; exit 1; }
+cargo run --release --offline --bin mctck -- -q --build tpcw --scale 0.05 \
+    || { echo "FAIL: mctck rejects a clean tpcw build"; exit 1; }
+
 echo "==> mctd server smoke (queries, update, metrics, SIGTERM drain)"
 PORT_FILE=$(mktemp)
 rm -f "$PORT_FILE"
@@ -66,7 +75,7 @@ trap cleanup_mctd EXIT
 for _ in $(seq 1 100); do [ -s "$PORT_FILE" ] && break; sleep 0.1; done
 [ -s "$PORT_FILE" ] || { echo "FAIL: mctd never wrote its port file"; exit 1; }
 PORT=$(cat "$PORT_FILE")
-MCTC() { cargo run --release --offline -q -p mct-server --bin mct-client -- --port "$PORT" "$@"; }
+MCTC() { cargo run --release --offline -q -p mct-server --bin mct-client -- --port "$PORT" --retries 2 "$@"; }
 MCTC health | grep -qx "ok" \
     || { echo "FAIL: healthz"; exit 1; }
 MCTC query 'document("m")/{red}descendant::movie' | grep -q '<node name="movie"' \
@@ -81,6 +90,10 @@ MCTC update 'for $y in document("m")/{green}descendant::movie-award update $y { 
 # hit again on a rerun — and the inserted note must be visible.
 MCTC query 'document("m")/{green}descendant::movie-award/{green}child::note' | grep -q 'verify' \
     || { echo "FAIL: update not visible through a fresh query"; exit 1; }
+# The deep consistency checker must pass over the served store,
+# including the state the update just committed.
+MCTC check | grep -q "zero violations" \
+    || { echo "FAIL: GET /check reports violations after an update"; exit 1; }
 metrics_out=$(MCTC metrics)
 echo "$metrics_out" | grep -q "^# TYPE server_requests counter" \
     || { echo "FAIL: /metrics is not well-formed Prometheus"; exit 1; }

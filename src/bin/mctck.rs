@@ -1,0 +1,110 @@
+//! `mctck` — offline deep consistency checker for a stored MCT
+//! database.
+//!
+//! ```text
+//! mctck /path/to/dbdir            # open pages.db + wal.log, recover, verify
+//! mctck --build tpcw --scale 0.05 # build an in-memory db and verify it
+//! mctck -q /path/to/dbdir         # quiet: exit code only
+//! ```
+//!
+//! Cross-checks every redundant structure of the §6.2 physical layout:
+//! heap records against B+-tree indexes, per-color interval encodings
+//! (nested-or-disjoint, document order, levels), and color-link
+//! symmetry. See `mct_core::check` for the invariant list.
+//!
+//! Exit codes:
+//! * `0` — store is consistent.
+//! * `1` — violations found (details on stdout unless `-q`).
+//! * `2` — usage error.
+//! * `4` — no durable commit in the directory (nothing to check).
+//! * `5` — I/O or corruption error while reading the store.
+
+use colorful_xml::core::StoredDb;
+use colorful_xml::workloads::{movies, SigmodConfig, SigmodData, TpcwConfig, TpcwData};
+
+const EXIT_VIOLATIONS: i32 = 1;
+const EXIT_USAGE: i32 = 2;
+const EXIT_EMPTY: i32 = 4;
+const EXIT_IO: i32 = 5;
+
+const POOL: usize = 128 * 1024 * 1024;
+
+fn usage() -> ! {
+    eprintln!("usage: mctck [-q] <db-dir> | mctck [-q] --build movies|tpcw|sigmod [--scale X]");
+    std::process::exit(EXIT_USAGE);
+}
+
+fn main() {
+    let mut quiet = false;
+    let mut build: Option<String> = None;
+    let mut scale = 0.05f64;
+    let mut dir: Option<String> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-q" | "--quiet" => quiet = true,
+            "--build" => build = Some(it.next().unwrap_or_else(|| usage())),
+            "--scale" => {
+                scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--help" | "-h" => usage(),
+            d => dir = Some(d.to_string()),
+        }
+    }
+
+    let report = if let Some(which) = build {
+        let db = match which.as_str() {
+            "movies" => movies::build().db,
+            "tpcw" => TpcwData::generate(&TpcwConfig {
+                scale,
+                ..Default::default()
+            })
+            .build_mct(),
+            "sigmod" => SigmodData::generate(&SigmodConfig {
+                scale,
+                ..Default::default()
+            })
+            .build_mct(),
+            other => {
+                eprintln!("unknown --build {other} (movies | tpcw | sigmod)");
+                std::process::exit(EXIT_USAGE);
+            }
+        };
+        let stored = StoredDb::build(db, POOL).unwrap_or_else(|e| {
+            eprintln!("building the store failed: {e}");
+            std::process::exit(EXIT_IO);
+        });
+        stored.check()
+    } else {
+        let Some(dir) = dir else { usage() };
+        let stored = match StoredDb::open(&dir, POOL) {
+            Ok(Some(s)) => s,
+            Ok(None) => {
+                eprintln!("mctck: {dir}: no durable commit found (empty or pre-first-sync)");
+                std::process::exit(EXIT_EMPTY);
+            }
+            Err(e) => {
+                eprintln!("mctck: {dir}: opening failed: {e}");
+                std::process::exit(EXIT_IO);
+            }
+        };
+        stored.check()
+    };
+
+    match report {
+        Ok(rep) => {
+            if !quiet {
+                println!("{rep}");
+            }
+            std::process::exit(if rep.is_ok() { 0 } else { EXIT_VIOLATIONS });
+        }
+        Err(e) => {
+            eprintln!("mctck: check aborted on storage error: {e}");
+            std::process::exit(EXIT_IO);
+        }
+    }
+}
