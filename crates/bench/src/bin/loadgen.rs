@@ -18,6 +18,11 @@
 //! * `--workers N` — embedded server worker threads (default 4).
 //! * `--update-every N` — in the mixed workload, every Nth request per
 //!   connection is an update (default 0 = read-only).
+//! * `--latency-summary` — after the sweep, print the client-side
+//!   quantile ladder (p50/p90/p95/p99/max) for every phase, then
+//!   scrape the server's `/stats` window and print its own view of the
+//!   run (qps, server-side quantiles, error rate, pool hit ratio) so
+//!   client- and server-observed latency can be compared directly.
 //!
 //! Each sweep point prints one line: throughput, client-side
 //! p50/p95/p99 (from merged mct-obs histograms), and the plan-cache
@@ -26,14 +31,15 @@
 //! so the cache effect is visible directly.
 
 use mct_core::StoredDb;
-use mct_server::load::{builtin_mix, run, LoadSpec};
-use mct_server::{serve, ServerConfig};
+use mct_server::load::{builtin_mix, run, LoadReport, LoadSpec};
+use mct_server::{serve, Client, Json, ServerConfig};
 use mct_workloads::{movies, SigmodConfig, SigmodData, TpcwConfig, TpcwData};
 
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--host H] [--port P] [--db movies|tpcw|sigmod] [--scale X] \
-         [--connections LIST] [--requests N] [--workers N] [--update-every N]"
+         [--connections LIST] [--requests N] [--workers N] [--update-every N] \
+         [--latency-summary]"
     );
     std::process::exit(2);
 }
@@ -47,6 +53,7 @@ struct Opts {
     requests: usize,
     workers: usize,
     update_every: usize,
+    latency_summary: bool,
 }
 
 fn parse_opts() -> Opts {
@@ -59,6 +66,7 @@ fn parse_opts() -> Opts {
         requests: 50,
         workers: 4,
         update_every: 0,
+        latency_summary: false,
     };
     let mut it = std::env::args().skip(1);
     fn req(it: &mut impl Iterator<Item = String>) -> String {
@@ -84,6 +92,7 @@ fn parse_opts() -> Opts {
             "--update-every" => {
                 o.update_every = req(&mut it).parse().unwrap_or_else(|_| usage())
             }
+            "--latency-summary" => o.latency_summary = true,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -178,19 +187,79 @@ fn main() {
     );
 
     // Cold vs warm at the first sweep point: same spec twice.
+    let mut phases: Vec<(String, LoadReport)> = Vec::new();
     let first = opts.connections[0];
     let cold = run(&opts.host, port, &spec(first)).expect("cold run");
     println!("cold: {}", cold.render());
+    phases.push(("cold".to_string(), cold));
     let warm = run(&opts.host, port, &spec(first)).expect("warm run");
     println!("warm: {}", warm.render());
+    phases.push(("warm".to_string(), warm));
 
     println!("\nthroughput vs connection count:");
     for &connections in &opts.connections {
         let report = run(&opts.host, port, &spec(connections)).expect("sweep run");
         println!("  {}", report.render());
+        phases.push((format!("c{connections}"), report));
+    }
+
+    if opts.latency_summary {
+        println!("\nclient latency summary (merged per-thread histograms):");
+        for (label, report) in &phases {
+            println!("  {}", report.latency_summary(label));
+        }
+        print_server_stats(&opts.host, port);
     }
 
     if let Some(h) = handle {
         h.shutdown();
     }
+}
+
+/// Scrape `/stats` and print the server's own windowed view of the
+/// run, so server-side latency (inside the request handler) can be
+/// compared against the client-side numbers above (which include the
+/// network and queueing).
+fn print_server_stats(host: &str, port: u16) {
+    let client = Client::new(host, port);
+    let body = match client.stats(600) {
+        Ok(reply) if reply.is_ok() => reply.body_str().to_string(),
+        Ok(reply) => {
+            eprintln!("loadgen: /stats returned HTTP {}", reply.status);
+            return;
+        }
+        Err(e) => {
+            eprintln!("loadgen: cannot scrape /stats: {e}");
+            return;
+        }
+    };
+    let stats = match Json::parse(body.trim()) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("loadgen: /stats returned unparseable JSON: {e}");
+            return;
+        }
+    };
+    let agg = stats.get("aggregate");
+    let num = |key: &str| agg.and_then(|a| a.get(key)).and_then(Json::as_f64).unwrap_or(0.0);
+    let ticks = stats.get("window").and_then(Json::as_u64).unwrap_or(0);
+    let interval = stats.get("interval_ms").and_then(Json::as_u64).unwrap_or(0);
+    println!("server /stats aggregate ({ticks} tick(s) x {interval}ms window):");
+    if ticks == 0 {
+        println!(
+            "  (no sampler ticks elapsed yet — the run finished inside the \
+             server's {interval}ms sampling interval)"
+        );
+        return;
+    }
+    println!(
+        "  requests={} qps={:.1} err={:.2}% p50={}us p95={}us p99={}us pool_hit={:.1}%",
+        num("requests") as u64,
+        num("qps"),
+        num("error_rate") * 100.0,
+        num("p50_us") as u64,
+        num("p95_us") as u64,
+        num("p99_us") as u64,
+        num("pool_hit_ratio") * 100.0,
+    );
 }

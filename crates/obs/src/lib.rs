@@ -15,6 +15,13 @@
 //!   installed a span is a single relaxed atomic load — cheap enough
 //!   to leave in every operator. [`trace::RingSubscriber`] captures
 //!   the last N events in a ring buffer for post-hoc inspection.
+//!   Threads can be tagged with the request they work for
+//!   ([`trace::request_scope`]), and the tag follows work into the
+//!   morsel executor's worker threads.
+//! * [`timeseries`] — a [`Sampler`] thread turning the registry into a
+//!   bounded ring of per-interval window deltas (counters, histogram
+//!   buckets), the substrate behind `mctd`'s `/stats` endpoint and the
+//!   `mcttop` dashboard.
 //!
 //! Metric names use dotted lowercase paths (`storage.pool.hits`,
 //! `wal.fsyncs`, `query.crosstree.output_rows`); the Prometheus
@@ -22,12 +29,14 @@
 //! DESIGN.md's Observability section.
 
 pub mod metrics;
+pub mod timeseries;
 pub mod trace;
 
 pub use metrics::{
     global, Counter, Gauge, Histogram, HistogramSnapshot, HistogramTimer, Registry,
     RegistrySnapshot,
 };
+pub use timeseries::{unix_ms, Sample, Sampler, SamplerHandle};
 pub use trace::{set_subscriber, span, RingSubscriber, Span, Subscriber, TraceEvent};
 
 /// Global-registry shortcut: the counter named `name`.

@@ -235,6 +235,21 @@ impl HistogramSnapshot {
         }
     }
 
+    /// Observations accumulated since `earlier` (bucket-wise
+    /// saturating subtraction) — the windowing primitive behind the
+    /// [`crate::timeseries`] sampler: histograms are never reset, so a
+    /// per-interval distribution is the difference of two lifetime
+    /// snapshots.
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut out = self.clone();
+        for (b, e) in out.buckets.iter_mut().zip(&earlier.buckets) {
+            *b = b.saturating_sub(*e);
+        }
+        out.count = out.count.saturating_sub(earlier.count);
+        out.sum = out.sum.saturating_sub(earlier.sum);
+        out
+    }
+
     /// Upper bound of the bucket containing the `q`-quantile
     /// (`0.0 ..= 1.0`); 0 when empty.
     pub fn quantile_upper_bound(&self, q: f64) -> u64 {
@@ -352,6 +367,21 @@ impl RegistrySnapshot {
         out
     }
 
+    /// Like [`RegistrySnapshot::delta_since`], but histograms are also
+    /// differenced bucket-wise (gauges keep the newer absolute value).
+    /// This is the per-interval view the time-series sampler stores:
+    /// "what happened during this window", including the latency
+    /// distribution of just this window's requests.
+    pub fn window_delta(&self, earlier: &RegistrySnapshot) -> RegistrySnapshot {
+        let mut out = self.delta_since(earlier);
+        for (name, h) in out.histograms.iter_mut() {
+            if let Some(e) = earlier.histograms.get(name) {
+                *h = h.delta_since(e);
+            }
+        }
+        out
+    }
+
     /// Render as a JSON object:
     /// `{"counters": {...}, "gauges": {...}, "histograms": {...}}`.
     pub fn to_json(&self) -> String {
@@ -398,6 +428,17 @@ impl RegistrySnapshot {
         for (name, h) in &self.histograms {
             let n = prom_name(name);
             let _ = writeln!(out, "# TYPE {n} histogram");
+            // Summary-style quantile lines alongside the buckets, so a
+            // scraper gets p50/p95/p99 without re-deriving them from
+            // the cumulative bucket counts (upper bounds of the
+            // log2 bucket holding each quantile).
+            for q in [0.5, 0.95, 0.99] {
+                let _ = writeln!(
+                    out,
+                    "{n}{{quantile=\"{q}\"}} {}",
+                    h.quantile_upper_bound(q)
+                );
+            }
             let mut cum = 0u64;
             for (i, &cnt) in h.buckets.iter().enumerate() {
                 if cnt == 0 {
@@ -602,6 +643,75 @@ mod tests {
         assert!(text.contains("storage_pool_hits 3"), "{text}");
         assert!(text.contains("lat_ns_bucket{le=\"7\"} 1"), "{text}");
         assert!(text.contains("lat_ns_count 1"), "{text}");
+    }
+
+    #[test]
+    fn prometheus_histograms_export_quantile_lines() {
+        let r = Registry::new();
+        let h = r.histogram("lat.ns");
+        // 100 observations: 90 around 1000ns, 10 around 1M ns, so the
+        // p50 and p99 land in different buckets.
+        for _ in 0..90 {
+            h.record(1000);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        let text = r.snapshot().to_prometheus();
+        let q50 = bucket_upper_bound(bucket_index(1000));
+        let q99 = bucket_upper_bound(bucket_index(1_000_000));
+        assert!(
+            text.contains(&format!("lat_ns{{quantile=\"0.5\"}} {q50}")),
+            "{text}"
+        );
+        assert!(
+            text.contains(&format!("lat_ns{{quantile=\"0.99\"}} {q99}")),
+            "{text}"
+        );
+        assert!(text.contains("lat_ns{quantile=\"0.95\"}"), "{text}");
+        // Every histogram gets all three lines, right under its TYPE.
+        let type_pos = text.find("# TYPE lat_ns histogram").unwrap();
+        let q_pos = text.find("lat_ns{quantile=\"0.5\"}").unwrap();
+        let bucket_pos = text.find("lat_ns_bucket").unwrap();
+        assert!(type_pos < q_pos && q_pos < bucket_pos, "{text}");
+    }
+
+    #[test]
+    fn histogram_delta_since_subtracts_bucketwise() {
+        let h = Histogram::new();
+        for v in [1u64, 10, 100] {
+            h.record(v);
+        }
+        let mark = h.snapshot();
+        for v in [1u64, 1000, 1000] {
+            h.record(v);
+        }
+        let d = h.snapshot().delta_since(&mark);
+        assert_eq!(d.count, 3);
+        assert_eq!(d.sum, 2001);
+        assert_eq!(d.buckets[bucket_index(1)], 1);
+        assert_eq!(d.buckets[bucket_index(1000)], 2);
+        assert_eq!(d.buckets[bucket_index(10)], 0, "pre-mark values cancel");
+        // Self-delta is empty.
+        let s = h.snapshot();
+        assert_eq!(s.delta_since(&s).count, 0);
+    }
+
+    #[test]
+    fn window_delta_differs_counters_and_histograms_keeps_gauges() {
+        let r = Registry::new();
+        r.counter("reqs").add(10);
+        r.gauge("inflight").set(3);
+        r.histogram("lat").record(100);
+        let mark = r.snapshot();
+        r.counter("reqs").add(5);
+        r.gauge("inflight").set(7);
+        r.histogram("lat").record(200_000);
+        let w = r.snapshot().window_delta(&mark);
+        assert_eq!(w.counters["reqs"], 5);
+        assert_eq!(w.gauges["inflight"], 7, "gauges stay absolute");
+        assert_eq!(w.histograms["lat"].count, 1, "only the window's observation");
+        assert!(w.histograms["lat"].quantile_upper_bound(0.5) >= 200_000);
     }
 
     #[test]

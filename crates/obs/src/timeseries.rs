@@ -1,0 +1,307 @@
+//! Windowed time-series sampling of a metrics [`Registry`].
+//!
+//! A [`Sampler`] owns one background thread that wakes every
+//! `interval`, takes a [`Registry::snapshot`], and stores the
+//! **window delta** against the previous tick
+//! ([`RegistrySnapshot::window_delta`]: counter and histogram deltas,
+//! absolute gauges) in a fixed-capacity ring. Consumers — the `mctd`
+//! `/stats` endpoint, `mcttop` — read the last N samples and derive
+//! per-interval rates (qps, error rate) and per-interval latency
+//! percentiles without the registry ever being reset.
+//!
+//! Memory is strictly bounded: `capacity` samples, each one frozen
+//! snapshot (a few KB with the engine's full metric inventory).
+//! Sampler overhead is itself measured into the registry it samples:
+//! `obs.sampler.ticks` counts ticks, `obs.sampler.tick_ns` records the
+//! cost of each snapshot+delta, so "how much does /stats cost me?" is
+//! answerable from /stats.
+
+use crate::metrics::{Registry, RegistrySnapshot};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// One tick of the sampler: when it was taken and what happened since
+/// the previous tick.
+#[derive(Clone, Debug)]
+pub struct Sample {
+    /// Wall-clock timestamp of the tick (milliseconds since the epoch).
+    pub unix_ms: u64,
+    /// Actual time since the previous tick (the rate denominator —
+    /// close to the configured interval, but measured, not assumed).
+    pub elapsed: Duration,
+    /// Counter/histogram deltas over the tick; gauges are absolute.
+    pub delta: RegistrySnapshot,
+}
+
+/// Milliseconds since the Unix epoch, saturating at 0 on a pre-1970
+/// clock.
+pub fn unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis().min(u128::from(u64::MAX)) as u64)
+        .unwrap_or(0)
+}
+
+struct Shared {
+    ring: Mutex<Ring>,
+    stop: Mutex<bool>,
+    wake: Condvar,
+    interval: Duration,
+}
+
+struct Ring {
+    samples: VecDeque<Sample>,
+    capacity: usize,
+}
+
+impl Ring {
+    fn push(&mut self, s: Sample) {
+        if self.samples.len() == self.capacity {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(s);
+    }
+}
+
+/// Read-only handle onto a sampler's ring — cheap to clone and hand to
+/// whatever serves the samples (an HTTP endpoint, a dashboard).
+#[derive(Clone)]
+pub struct SamplerHandle {
+    shared: Arc<Shared>,
+}
+
+impl SamplerHandle {
+    /// The configured tick interval.
+    pub fn interval(&self) -> Duration {
+        self.shared.interval
+    }
+
+    /// The last `n` samples, oldest first (fewer if the ring has not
+    /// filled that far yet).
+    pub fn samples(&self, n: usize) -> Vec<Sample> {
+        let ring = self
+            .shared
+            .ring
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let skip = ring.samples.len().saturating_sub(n);
+        ring.samples.iter().skip(skip).cloned().collect()
+    }
+
+    /// Samples currently held.
+    pub fn len(&self) -> usize {
+        self.shared
+            .ring
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .samples
+            .len()
+    }
+
+    /// Is the ring empty (no tick has fired yet)?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The sampler: a background thread feeding a bounded ring of
+/// [`Sample`]s. Stops (and joins its thread) on [`Sampler::stop`] or
+/// drop.
+pub struct Sampler {
+    shared: Arc<Shared>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Sampler {
+    /// Start sampling `registry` every `interval`, keeping the last
+    /// `capacity` ticks. The first sample lands one interval after the
+    /// call.
+    pub fn start(registry: &'static Registry, interval: Duration, capacity: usize) -> Sampler {
+        let shared = Arc::new(Shared {
+            ring: Mutex::new(Ring {
+                samples: VecDeque::new(),
+                capacity: capacity.max(1),
+            }),
+            stop: Mutex::new(false),
+            wake: Condvar::new(),
+            interval: interval.max(Duration::from_millis(1)),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let thread = std::thread::Builder::new()
+            .name("obs-sampler".to_string())
+            .spawn(move || sampler_loop(&thread_shared, registry))
+            .expect("spawn sampler thread");
+        Sampler {
+            shared,
+            thread: Some(thread),
+        }
+    }
+
+    /// A read-only handle for serving the ring.
+    pub fn handle(&self) -> SamplerHandle {
+        SamplerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Stop the sampler thread and wait for it to exit. Idempotent.
+    pub fn stop(&mut self) {
+        *self
+            .shared
+            .stop
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = true;
+        self.shared.wake.notify_all();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn sampler_loop(shared: &Shared, registry: &'static Registry) {
+    let ticks = registry.counter("obs.sampler.ticks");
+    let tick_ns = registry.histogram("obs.sampler.tick_ns");
+    let mut prev = registry.snapshot();
+    let mut prev_at = Instant::now();
+    loop {
+        // Interruptible sleep: stop() flips the flag and notifies.
+        let stopped = {
+            let guard = shared.stop.lock().unwrap_or_else(PoisonError::into_inner);
+            let (guard, _) = shared
+                .wake
+                .wait_timeout_while(guard, shared.interval, |stop| !*stop)
+                .unwrap_or_else(PoisonError::into_inner);
+            *guard
+        };
+        if stopped {
+            return;
+        }
+        let t0 = Instant::now();
+        let snap = registry.snapshot();
+        let sample = Sample {
+            unix_ms: unix_ms(),
+            elapsed: prev_at.elapsed(),
+            delta: snap.window_delta(&prev),
+        };
+        prev = snap;
+        prev_at = Instant::now();
+        shared
+            .ring
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(sample);
+        ticks.inc();
+        tick_ns.record_duration(t0.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    /// Tests need a `'static` registry that is NOT the global one (so
+    /// concurrent tests elsewhere don't perturb the counters).
+    fn leaked_registry() -> &'static Registry {
+        static R: OnceLock<&'static Registry> = OnceLock::new();
+        R.get_or_init(|| Box::leak(Box::new(Registry::new())))
+    }
+
+    #[test]
+    fn sampler_produces_monotone_window_deltas() {
+        let r = leaked_registry();
+        let reqs = r.counter("ts.requests");
+        let mut sampler = Sampler::start(r, Duration::from_millis(10), 64);
+        let handle = sampler.handle();
+        // Generate traffic over several ticks.
+        for _ in 0..20 {
+            reqs.add(3);
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Wait for at least three samples.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while handle.len() < 3 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        sampler.stop();
+        let samples = handle.samples(1000);
+        assert!(samples.len() >= 3, "sampler ticked: {}", samples.len());
+        // Timestamps are monotone non-decreasing and deltas sum to the
+        // counter's total over the sampled stretch.
+        for w in samples.windows(2) {
+            assert!(w[0].unix_ms <= w[1].unix_ms);
+        }
+        let total: u64 = samples
+            .iter()
+            .map(|s| s.delta.counters.get("ts.requests").copied().unwrap_or(0))
+            .sum();
+        assert!(total <= reqs.get());
+        assert!(total > 0, "some traffic landed inside sampled windows");
+    }
+
+    #[test]
+    fn ring_is_bounded_and_keeps_newest() {
+        let mut ring = Ring {
+            samples: VecDeque::new(),
+            capacity: 4,
+        };
+        for i in 0..10u64 {
+            ring.push(Sample {
+                unix_ms: i,
+                elapsed: Duration::from_secs(1),
+                delta: RegistrySnapshot::default(),
+            });
+        }
+        assert_eq!(ring.samples.len(), 4);
+        let kept: Vec<u64> = ring.samples.iter().map(|s| s.unix_ms).collect();
+        assert_eq!(kept, vec![6, 7, 8, 9], "oldest evicted first");
+    }
+
+    #[test]
+    fn stop_is_idempotent_and_prompt() {
+        let r = leaked_registry();
+        let mut sampler = Sampler::start(r, Duration::from_secs(3600), 4);
+        let t0 = Instant::now();
+        sampler.stop();
+        sampler.stop();
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "stop did not wait out the hour-long interval"
+        );
+    }
+
+    #[test]
+    fn handle_samples_returns_last_n_oldest_first() {
+        let shared = Arc::new(Shared {
+            ring: Mutex::new(Ring {
+                samples: VecDeque::new(),
+                capacity: 16,
+            }),
+            stop: Mutex::new(false),
+            wake: Condvar::new(),
+            interval: Duration::from_secs(1),
+        });
+        for i in 0..6u64 {
+            shared
+                .ring
+                .lock()
+                .unwrap()
+                .push(Sample {
+                    unix_ms: i,
+                    elapsed: Duration::from_secs(1),
+                    delta: RegistrySnapshot::default(),
+                });
+        }
+        let h = SamplerHandle { shared };
+        let got: Vec<u64> = h.samples(3).iter().map(|s| s.unix_ms).collect();
+        assert_eq!(got, vec![3, 4, 5]);
+        assert_eq!(h.samples(100).len(), 6);
+    }
+}

@@ -35,6 +35,36 @@ fn subscriber_slot() -> &'static RwLock<Option<Arc<dyn Subscriber>>> {
 
 thread_local! {
     static DEPTH: Cell<usize> = const { Cell::new(0) };
+    static REQUEST_ID: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The request id the current thread is working for (0 = none). Set by
+/// the serving layer at request entry ([`request_scope`]) and forwarded
+/// into morsel-executor workers, so any span, log line, or diagnostic
+/// produced anywhere under a request can name it.
+#[inline]
+pub fn current_request_id() -> u64 {
+    REQUEST_ID.with(Cell::get)
+}
+
+/// Tag the current thread with `id` for the lifetime of the returned
+/// guard (restores the previous id on drop, so nested scopes and
+/// pooled worker threads stay correct).
+pub fn request_scope(id: u64) -> RequestIdGuard {
+    let previous = REQUEST_ID.with(|r| r.replace(id));
+    RequestIdGuard { previous }
+}
+
+/// RAII guard from [`request_scope`].
+#[must_use = "dropping the guard immediately clears the request id"]
+pub struct RequestIdGuard {
+    previous: u64,
+}
+
+impl Drop for RequestIdGuard {
+    fn drop(&mut self) {
+        REQUEST_ID.with(|r| r.set(self.previous));
+    }
 }
 
 /// Install (or with `None`, remove) the process-wide subscriber.
@@ -289,6 +319,111 @@ mod tests {
         );
         ring.clear();
         assert!(ring.events().is_empty());
+    }
+
+    #[test]
+    fn request_scope_nests_and_restores() {
+        assert_eq!(current_request_id(), 0);
+        {
+            let _outer = request_scope(7);
+            assert_eq!(current_request_id(), 7);
+            {
+                let _inner = request_scope(8);
+                assert_eq!(current_request_id(), 8);
+            }
+            assert_eq!(current_request_id(), 7, "inner scope restored outer id");
+        }
+        assert_eq!(current_request_id(), 0, "fully unwound");
+    }
+
+    #[test]
+    fn request_id_is_per_thread() {
+        let _g = request_scope(42);
+        let other = std::thread::spawn(current_request_id).join().unwrap();
+        assert_eq!(other, 0, "a fresh thread starts untagged");
+        assert_eq!(current_request_id(), 42);
+    }
+
+    #[test]
+    fn ring_overflow_keeps_the_newest_events_in_order() {
+        // Fill far past capacity; the survivors must be exactly the
+        // newest `capacity` events, still in emission order.
+        let ring = RingSubscriber::new(8);
+        for i in 0..100 {
+            ring.on_event(&format!("e{i}"), 0);
+        }
+        let evs = ring.events();
+        assert_eq!(evs.len(), 8, "capacity is a hard bound");
+        let expected: Vec<TraceEvent> = (92..100)
+            .map(|i| TraceEvent::Event(format!("e{i}"), 0))
+            .collect();
+        assert_eq!(evs, expected, "newest events, oldest-first order");
+    }
+
+    #[test]
+    fn ring_capacity_one_keeps_only_the_last_event() {
+        let ring = RingSubscriber::new(1);
+        ring.on_event("first", 0);
+        ring.on_event("second", 1);
+        assert_eq!(ring.events(), vec![TraceEvent::Event("second".into(), 1)]);
+        // `new(0)` clamps to 1 rather than panicking or dropping all.
+        let zero = RingSubscriber::new(0);
+        zero.on_event("kept", 0);
+        assert_eq!(zero.events().len(), 1);
+    }
+
+    #[test]
+    fn concurrent_emit_from_many_threads_stays_bounded_and_loses_nothing_under_capacity() {
+        // 8 threads × 50 events = 400 total against a 1024-slot ring:
+        // nothing may be lost, and per-thread order must be preserved
+        // (the ring is a single mutex-guarded queue).
+        let ring = Arc::new(RingSubscriber::new(1024));
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let ring = Arc::clone(&ring);
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        ring.on_event(&format!("t{t}.{i}"), t);
+                    }
+                });
+            }
+        });
+        let evs = ring.events();
+        assert_eq!(evs.len(), 400, "under capacity, every event survives");
+        for t in 0..8usize {
+            let mine: Vec<&TraceEvent> = evs
+                .iter()
+                .filter(|e| matches!(e, TraceEvent::Event(_, d) if *d == t))
+                .collect();
+            let expected: Vec<TraceEvent> = (0..50)
+                .map(|i| TraceEvent::Event(format!("t{t}.{i}"), t))
+                .collect();
+            assert_eq!(mine.len(), 50);
+            for (got, want) in mine.iter().zip(&expected) {
+                assert_eq!(**got, *want, "per-thread emission order preserved");
+            }
+        }
+
+        // Same race against a tiny ring: the bound must hold and the
+        // survivors must be a (interleaving-dependent) tail, i.e. the
+        // very last event emitted by *some* thread is present.
+        let small = Arc::new(RingSubscriber::new(16));
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let small = Arc::clone(&small);
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        small.on_event(&format!("t{t}.{i}"), t);
+                    }
+                });
+            }
+        });
+        let evs = small.events();
+        assert_eq!(evs.len(), 16, "overflowed ring stays at capacity");
+        assert!(
+            evs.iter().any(|e| matches!(e, TraceEvent::Event(m, _) if m.ends_with(".49"))),
+            "the tail of at least one thread survived: {evs:?}"
+        );
     }
 
     #[test]

@@ -145,9 +145,14 @@ where
     let cursor = AtomicUsize::new(0);
     let failed = AtomicBool::new(false);
     let done: Mutex<Vec<(usize, Result<R, E>)>> = Mutex::new(Vec::with_capacity(chunks));
+    // Forward the serving layer's request tag (thread-local) into the
+    // workers, so spans and diagnostics emitted inside a morsel still
+    // name the request they run for.
+    let request_id = mct_obs::trace::current_request_id();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
+                let _req = mct_obs::trace::request_scope(request_id);
                 let mut local = Vec::new();
                 loop {
                     if failed.load(Ordering::Relaxed) {

@@ -265,6 +265,42 @@ impl PathPlan {
         threads: usize,
         cancel: Option<&CancelToken>,
     ) -> mct_storage::Result<Vec<Tuple>> {
+        self.check_clean(s)?;
+        self.run_shared(s, None, threads, cancel)
+            .map(|(tuples, _)| tuples)
+    }
+
+    /// [`PathPlan::execute_shared`] with per-stage actuals — the
+    /// serving layer's always-on EXPLAIN ANALYZE: worker threads run
+    /// this under the read lock so a request that turns out slow can
+    /// be captured with its full annotated plan tree without being
+    /// re-executed. The per-stage instrumentation is two `Instant`
+    /// reads and one pool-stats snapshot per stage; plans have a
+    /// handful of stages, so the overhead is noise next to execution.
+    pub fn execute_shared_analyze<D: DiskManager>(
+        &self,
+        s: &StoredDb<D>,
+        threads: usize,
+        cancel: Option<&CancelToken>,
+    ) -> mct_storage::Result<(Vec<Tuple>, AnalyzeReport)> {
+        self.check_clean(s)?;
+        let labels = self.labels(s);
+        let pool_mark = s.pool.stats();
+        let t0 = Instant::now();
+        let (tuples, stages) = self.run_shared(s, Some(&labels), threads, cancel)?;
+        let report = AnalyzeReport {
+            stages,
+            total: t0.elapsed(),
+            pool: s.pool.stats().delta_since(&pool_mark),
+            rows: tuples.len() as u64,
+        };
+        Ok((tuples, report))
+    }
+
+    /// Shared-execution precondition: every color the plan touches is
+    /// annotated and clean (a dirty color is an error here rather than
+    /// the panic the in-memory accessors would raise).
+    fn check_clean<D: DiskManager>(&self, s: &StoredDb<D>) -> mct_storage::Result<()> {
         for st in &self.stages {
             let c = match st {
                 Stage::ContentEntry { color, .. }
@@ -279,8 +315,7 @@ impl PathPlan {
                 ));
             }
         }
-        self.run_shared(s, None, threads, cancel)
-            .map(|(tuples, _)| tuples)
+        Ok(())
     }
 
     /// Execute with `threads` morsel workers. Output is byte-identical
@@ -968,6 +1003,26 @@ mod tests {
             let shared = plan.execute_shared(&s, 2, None).unwrap();
             assert_eq!(shared, seq, "{q}");
         }
+    }
+
+    #[test]
+    fn execute_shared_analyze_matches_and_reports_stages() {
+        let mut s = stored();
+        let q = r#"document("m")/{green}descendant::movie[{green}child::votes > 8]/{red}child::name"#;
+        let Expr::Path(p) = parse_query(q).unwrap() else { panic!("{q}") };
+        let plan = plan_path(&s, &p, true).unwrap();
+        let seq = plan.execute(&mut s).unwrap();
+        plan.prepare(&mut s);
+        let (shared, report) = plan.execute_shared_analyze(&s, 2, None).unwrap();
+        assert_eq!(shared, seq, "analyze must not change the result");
+        assert_eq!(report.rows as usize, seq.len());
+        assert!(!report.stages.is_empty());
+        // The rendered tree is the same shape EXPLAIN prints, with
+        // actuals appended per stage.
+        let text = report.render();
+        assert!(text.contains("holistic chain join"), "{text}");
+        assert!(text.contains("rows "), "{text}");
+        assert!(text.contains("total: "), "{text}");
     }
 
     #[test]

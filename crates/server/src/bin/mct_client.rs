@@ -6,6 +6,8 @@
 //! mct-client --port 8642 query-json 'document("m")/{red}descendant::movie'
 //! mct-client --port 8642 update 'for $m in ... update $m { ... }'
 //! mct-client --port 8642 metrics
+//! mct-client --port 8642 stats 60      # last 60 sampler ticks, JSON
+//! mct-client --port 8642 slow          # captured slow queries, JSON
 //! echo 'QUERY' | mct-client --port 8642 query      # text from stdin
 //! ```
 //!
@@ -25,7 +27,7 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: mct-client [--host H] [--port P] [--timeout-ms N] [--retries N] \
-         <health|metrics|check|query|query-json|update> [TEXT]"
+         <health|metrics|check|stats|slow|query|query-json|update> [TEXT]"
     );
     std::process::exit(2);
 }
@@ -74,6 +76,15 @@ fn main() {
         "health" => client.healthz(),
         "metrics" => client.metrics(),
         "check" => client.check(),
+        // `stats [WINDOW]` — last WINDOW sampler ticks (default 60).
+        "stats" => {
+            let window = text
+                .as_deref()
+                .map(|t| t.trim().parse().unwrap_or_else(|_| usage()))
+                .unwrap_or(60);
+            client.stats(window)
+        }
+        "slow" => client.slow(),
         "query" => client.query(text.as_deref().unwrap_or("")),
         "query-json" => client.query_json(text.as_deref().unwrap_or("")),
         "update" => client.update(text.as_deref().unwrap_or("")),

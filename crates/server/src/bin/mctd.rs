@@ -20,6 +20,17 @@
 //! * `--cache N` — plan-cache capacity in entries (default 256).
 //! * `--shutdown-file PATH` — drain and exit when this file appears.
 //!
+//! Observability flags:
+//! * `--log-json PATH|stderr` — write one structured JSON line per
+//!   request (id, endpoint, query hash, cache hit/miss, rows, latency,
+//!   pool deltas, outcome). Off by default.
+//! * `--slow-ms N` — capture requests at/over N ms into the slow-query
+//!   log served at `GET /slow` (default 100; `0` captures everything;
+//!   `--slow-ms off` disables capture).
+//! * `--slow-capacity N` — slow-log ring size (default 32).
+//! * `--stats-interval-ms N` — `/stats` sampler tick (default 1000).
+//! * `--stats-window N` — sampler ring capacity (default 300 ticks).
+//!
 //! `SIGTERM`/`SIGINT` trigger a graceful drain: stop accepting, finish
 //! every queued request, exit 0.
 
@@ -41,7 +52,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: mctd [--db movies|tpcw|sigmod] [--scale X] [--host H] [--port P] \
          [--port-file PATH] [--threads N] [--exec-threads N] [--queue N] \
-         [--deadline-ms N] [--cache N] [--shutdown-file PATH]"
+         [--deadline-ms N] [--cache N] [--shutdown-file PATH] \
+         [--log-json PATH|stderr] [--slow-ms N|off] [--slow-capacity N] \
+         [--stats-interval-ms N] [--stats-window N]"
     );
     std::process::exit(2);
 }
@@ -88,6 +101,31 @@ fn parse_opts() -> Opts {
             }
             "--cache" => opts.cfg.cache_capacity = numeric::<usize>(&mut it, "--cache").max(1),
             "--shutdown-file" => opts.shutdown_file = Some(value(&mut it, "--shutdown-file")),
+            "--log-json" => opts.cfg.log_json = Some(value(&mut it, "--log-json")),
+            "--slow-ms" => {
+                let v = value(&mut it, "--slow-ms");
+                opts.cfg.slow_threshold = if v == "off" {
+                    None
+                } else {
+                    match v.parse::<u64>() {
+                        Ok(ms) => Some(Duration::from_millis(ms)),
+                        Err(_) => {
+                            eprintln!("--slow-ms needs a number of milliseconds or 'off'");
+                            usage();
+                        }
+                    }
+                };
+            }
+            "--slow-capacity" => {
+                opts.cfg.slow_capacity = numeric::<usize>(&mut it, "--slow-capacity").max(1)
+            }
+            "--stats-interval-ms" => {
+                opts.cfg.stats_interval =
+                    Duration::from_millis(numeric::<u64>(&mut it, "--stats-interval-ms").max(1))
+            }
+            "--stats-window" => {
+                opts.cfg.stats_window = numeric::<usize>(&mut it, "--stats-window").max(1)
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");

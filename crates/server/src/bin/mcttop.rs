@@ -1,0 +1,285 @@
+//! `mcttop` — a live terminal dashboard for a running `mctd`.
+//!
+//! ```text
+//! mcttop --port 8642                  # refresh every second
+//! mcttop --port 8642 --interval-ms 250
+//! mcttop --port 8642 --once           # one frame, no clearing, exit 0
+//! ```
+//!
+//! Polls `GET /stats?window=N`, `GET /slow`, and `GET /healthz`, and
+//! renders one plain-text frame per tick: current and windowed
+//! throughput / latency quantiles / error rate / pool hit ratio, an
+//! ASCII sparkline of qps and p99 over the window, and the most recent
+//! slow-query captures. The only terminal control used is the ANSI
+//! clear-and-home sequence between live frames; `--once` emits a single
+//! frame with no escapes at all (for scripts and the CI smoke).
+//!
+//! Exit codes: `0` success, `2` usage error, `3` cannot reach the
+//! server (`--once` only; live mode keeps retrying and shows the error
+//! in the frame).
+
+use mct_server::{Client, Json};
+use std::time::Duration;
+
+struct Opts {
+    host: String,
+    port: u16,
+    window: usize,
+    interval: Duration,
+    once: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mcttop [--host H] [--port P] [--window N] [--interval-ms N] [--once]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        host: "127.0.0.1".to_string(),
+        port: 8642,
+        window: 60,
+        interval: Duration::from_secs(1),
+        once: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--host" => opts.host = it.next().unwrap_or_else(|| usage()),
+            "--port" => {
+                opts.port = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--window" => {
+                opts.window = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .map(|w: usize| w.max(1))
+                    .unwrap_or_else(|| usage())
+            }
+            "--interval-ms" => {
+                opts.interval = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .map(|ms: u64| Duration::from_millis(ms.max(50)))
+                    .unwrap_or_else(|| usage())
+            }
+            "--once" => opts.once = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    opts
+}
+
+/// `1234` µs → `"1.2ms"`; scales µs → ms → s for readability.
+fn fmt_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1_000_000.0)
+    } else if us >= 1_000 {
+        format!("{:.1}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{us}us")
+    }
+}
+
+/// An ASCII sparkline of `values` scaled to its own maximum — one
+/// character per sample, oldest first.
+fn sparkline(values: &[f64]) -> String {
+    const LEVELS: &[u8] = b" .:-=+*#%@";
+    let max = values.iter().cloned().fold(0.0f64, f64::max);
+    values
+        .iter()
+        .map(|v| {
+            if max <= 0.0 {
+                ' '
+            } else {
+                let idx = ((v / max) * (LEVELS.len() - 1) as f64).round() as usize;
+                LEVELS[idx.min(LEVELS.len() - 1)] as char
+            }
+        })
+        .collect()
+}
+
+fn num(v: Option<&Json>, key: &str) -> f64 {
+    v.and_then(|o| o.get(key)).and_then(Json::as_f64).unwrap_or(0.0)
+}
+
+fn int(v: Option<&Json>, key: &str) -> u64 {
+    v.and_then(|o| o.get(key)).and_then(Json::as_u64).unwrap_or(0)
+}
+
+/// One row of the now/window table.
+fn stat_row(label: &str, s: Option<&Json>) -> String {
+    format!(
+        "{label:<8}{:>8.1}{:>9}{:>9}{:>9}{:>8.2}%{:>8.1}%\n",
+        num(s, "qps"),
+        fmt_us(int(s, "p50_us")),
+        fmt_us(int(s, "p95_us")),
+        fmt_us(int(s, "p99_us")),
+        num(s, "error_rate") * 100.0,
+        num(s, "pool_hit_ratio") * 100.0,
+    )
+}
+
+/// Build one full dashboard frame from live endpoint reads.
+fn render_frame(client: &Client, opts: &Opts) -> std::io::Result<String> {
+    let fetch_json = |reply: mct_server::Reply, what: &str| -> std::io::Result<Json> {
+        Json::parse(reply.body_str().trim())
+            .map_err(|e| std::io::Error::other(format!("{what}: {e}")))
+    };
+    let health = fetch_json(client.healthz()?, "/healthz")?;
+    let stats = fetch_json(client.stats(opts.window)?, "/stats")?;
+    let slow = fetch_json(client.slow()?, "/slow")?;
+
+    let mut out = String::with_capacity(2048);
+    out.push_str(&format!(
+        "mcttop — mctd @ {}:{}   status: {}   uptime: {}s\n",
+        opts.host,
+        opts.port,
+        health.get("status").and_then(Json::as_str).unwrap_or("?"),
+        int(Some(&health), "uptime_seconds"),
+    ));
+    let samples = stats
+        .get("samples")
+        .and_then(Json::as_array)
+        .unwrap_or(&[]);
+    out.push_str(&format!(
+        "window: {} tick(s) x {}ms\n\n",
+        samples.len(),
+        int(Some(&stats), "interval_ms"),
+    ));
+
+    out.push_str(&format!(
+        "{:<8}{:>8}{:>9}{:>9}{:>9}{:>9}{:>9}\n",
+        "", "qps", "p50", "p95", "p99", "err", "pool"
+    ));
+    out.push_str(&stat_row("now", samples.last()));
+    out.push_str(&stat_row("window", stats.get("aggregate")));
+    out.push_str(&format!(
+        "inflight: {}   requests in window: {}\n\n",
+        samples.last().map(|s| int(Some(s), "inflight")).unwrap_or(0),
+        int(stats.get("aggregate"), "requests"),
+    ));
+
+    let qps: Vec<f64> = samples.iter().map(|s| num(Some(s), "qps")).collect();
+    let p99: Vec<f64> = samples.iter().map(|s| int(Some(s), "p99_us") as f64).collect();
+    let peak_qps = qps.iter().cloned().fold(0.0f64, f64::max);
+    let peak_p99 = p99.iter().cloned().fold(0.0f64, f64::max) as u64;
+    out.push_str(&format!("qps  [{}] peak {:.1}\n", sparkline(&qps), peak_qps));
+    out.push_str(&format!("p99  [{}] peak {}\n\n", sparkline(&p99), fmt_us(peak_p99)));
+
+    match slow.get("threshold_ms").and_then(Json::as_u64) {
+        None => out.push_str("slow queries: capture disabled\n"),
+        Some(threshold) => {
+            let entries = slow.get("entries").and_then(Json::as_array).unwrap_or(&[]);
+            out.push_str(&format!(
+                "slow queries (>= {}ms, {} retained, {} captured):\n",
+                threshold,
+                entries.len(),
+                int(Some(&slow), "captured_total"),
+            ));
+            for e in entries.iter().take(8) {
+                let query = e.get("query").and_then(Json::as_str).unwrap_or("?");
+                let one_line = query.split_whitespace().collect::<Vec<_>>().join(" ");
+                let mut short: String = one_line.chars().take(56).collect();
+                if short.len() < one_line.len() {
+                    short.push_str("...");
+                }
+                out.push_str(&format!(
+                    "  #{:<6}{:>9}  rows {:<7}{:<6}{:<7}{}\n",
+                    int(Some(e), "id"),
+                    fmt_us(int(Some(e), "latency_us")),
+                    int(Some(e), "rows"),
+                    e.get("cache").and_then(Json::as_str).unwrap_or("-"),
+                    e.get("exec").and_then(Json::as_str).unwrap_or("-"),
+                    short,
+                ));
+            }
+            if entries.is_empty() {
+                out.push_str("  (none captured yet)\n");
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn main() {
+    let opts = parse_opts();
+    let client = Client::new(&opts.host, opts.port).with_timeout(Duration::from_secs(5));
+
+    loop {
+        match render_frame(&client, &opts) {
+            Ok(frame) => {
+                if !opts.once {
+                    // Clear and home — the single ANSI sequence in use.
+                    print!("\x1b[2J\x1b[H");
+                }
+                print!("{frame}");
+                use std::io::Write;
+                let _ = std::io::stdout().flush();
+            }
+            Err(e) => {
+                if opts.once {
+                    eprintln!("mcttop: cannot read {}:{}: {e}", opts.host, opts.port);
+                    std::process::exit(3);
+                }
+                if !opts.once {
+                    print!("\x1b[2J\x1b[H");
+                }
+                println!(
+                    "mcttop — mctd @ {}:{} unreachable: {e} (retrying)",
+                    opts.host, opts.port
+                );
+            }
+        }
+        if opts.once {
+            return;
+        }
+        std::thread::sleep(opts.interval);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_us_scales_units() {
+        assert_eq!(fmt_us(0), "0us");
+        assert_eq!(fmt_us(999), "999us");
+        assert_eq!(fmt_us(1_500), "1.5ms");
+        assert_eq!(fmt_us(2_345_678), "2.35s");
+    }
+
+    #[test]
+    fn sparkline_scales_to_peak_and_handles_flat_zero() {
+        let line = sparkline(&[0.0, 5.0, 10.0]);
+        assert_eq!(line.len(), 3);
+        assert_eq!(line.chars().next(), Some(' '));
+        assert_eq!(line.chars().last(), Some('@'));
+        assert_eq!(sparkline(&[0.0, 0.0]), "  ");
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn stat_row_reads_fields_and_survives_missing_objects() {
+        let s = Json::parse(
+            r#"{"qps": 12.5, "p50_us": 800, "p95_us": 1500, "p99_us": 9000,
+                "error_rate": 0.05, "pool_hit_ratio": 0.998}"#,
+        )
+        .unwrap();
+        let row = stat_row("now", Some(&s));
+        assert!(row.contains("12.5"));
+        assert!(row.contains("800us"));
+        assert!(row.contains("9.0ms"));
+        assert!(row.contains("5.00%"));
+        assert!(row.contains("99.8%"));
+        let empty = stat_row("window", None);
+        assert!(empty.starts_with("window"));
+    }
+}

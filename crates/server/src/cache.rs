@@ -23,6 +23,18 @@ use std::sync::{Arc, Mutex, PoisonError};
 /// Number of independent shards.
 pub const SHARDS: usize = 8;
 
+/// FNV-1a over `text` — picks the cache shard, and doubles as the
+/// `query_hash` field of the request log (so log lines and cache
+/// behavior can be correlated without logging full query text).
+pub fn fnv1a(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// A prepared query: the parsed AST and, when the query is a bare
 /// colored path the planner covers, its physical plan. `plan: None`
 /// means "execute through the interpreter".
@@ -77,13 +89,7 @@ impl PlanCache {
     }
 
     fn shard(&self, text: &str) -> &Mutex<Shard> {
-        // FNV-1a; good enough to spread query texts over 8 shards.
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in text.bytes() {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        &self.shards[(h as usize) % SHARDS]
+        &self.shards[(fnv1a(text) as usize) % SHARDS]
     }
 
     /// Fetch the prepared form of `text` if it was cached under the

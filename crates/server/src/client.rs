@@ -247,6 +247,17 @@ impl Client {
     pub fn healthz(&self) -> io::Result<Reply> {
         self.request("GET", "/healthz", None, &[])
     }
+
+    /// `GET /stats?window=N` — the last `window` sampler ticks as a
+    /// JSON time series.
+    pub fn stats(&self, window: usize) -> io::Result<Reply> {
+        self.request("GET", &format!("/stats?window={window}"), None, &[])
+    }
+
+    /// `GET /slow` — captured slow queries with their analyze trees.
+    pub fn slow(&self) -> io::Result<Reply> {
+        self.request("GET", "/slow", None, &[])
+    }
 }
 
 /// Is this I/O error worth another attempt?

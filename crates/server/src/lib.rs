@@ -22,21 +22,36 @@
 //! * [`client`] — `mct-client`, a tiny blocking HTTP helper.
 //! * [`load`] — closed-loop load generation (used by
 //!   `bench/src/bin/loadgen.rs` and the report harness).
+//! * [`obslog`] — structured JSON request log (`--log-json`) and the
+//!   bounded slow-query capture ring behind `GET /slow`.
+//! * [`stats`] — windowed time-series derivation for `GET /stats`
+//!   (qps, error rate, latency quantiles, pool hit ratio per sampler
+//!   interval), fed by the [`mct_obs::Sampler`] ring.
+//! * [`json`] — minimal JSON reader used by `mcttop`, `loadgen`, and
+//!   the tests to consume the observability endpoints.
 //!
 //! Endpoints: `POST /query` (body = MCXQuery; `?format=json` for JSON
-//! rows), `POST /update`, `GET /metrics` (Prometheus), `GET /healthz`.
-//! See DESIGN.md §12 for the full serving architecture.
+//! rows), `POST /update`, `GET /metrics` (Prometheus), `GET /healthz`
+//! (JSON status + uptime), `GET /stats?window=N` (time series),
+//! `GET /slow` (captured slow queries with analyze trees). Every
+//! response carries an `X-Request-Id` header matching the request-log
+//! line. See DESIGN.md §12 (serving) and §14 (request observability).
 
 pub mod cache;
 pub mod client;
 pub mod http;
+pub mod json;
 pub mod load;
+pub mod obslog;
 pub mod render;
 pub mod server;
+pub mod stats;
 
 pub use cache::{PlanCache, Prepared};
 pub use client::{Client, Reply};
 pub use http::{Request, Response};
+pub use json::Json;
 pub use load::{prom_value, LoadReport, LoadSpec};
+pub use obslog::{ExecKind, RequestLog, RequestRecord, SlowLog};
 pub use render::{render_json, render_xml, rows_from_items, rows_from_tuples, Row};
-pub use server::{serve, AppState, ServerConfig, ServerHandle, ServerMetrics};
+pub use server::{serve, AppState, ObsState, ServerConfig, ServerHandle, ServerMetrics};

@@ -88,6 +88,21 @@ impl LoadReport {
         }
     }
 
+    /// A multi-line client-side latency summary for one phase
+    /// (`--latency-summary` in `loadgen`): the full quantile ladder
+    /// from the merged per-thread histograms.
+    pub fn latency_summary(&self, label: &str) -> String {
+        format!(
+            "{label:<8} n={:<6} p50={}us p90={}us p95={}us p99={}us max={}us",
+            self.latency.count,
+            self.quantile_us(0.50),
+            self.quantile_us(0.90),
+            self.quantile_us(0.95),
+            self.quantile_us(0.99),
+            self.quantile_us(1.0),
+        )
+    }
+
     /// One human-readable summary line.
     pub fn render(&self) -> String {
         format!(
@@ -258,5 +273,10 @@ mod tests {
         assert!((r.cache_hit_ratio() - 0.75).abs() < 1e-9);
         assert!(r.quantile_us(0.5) >= 1_000);
         assert!(r.render().contains("req/s"));
+        let summary = r.latency_summary("warm");
+        assert!(summary.starts_with("warm"));
+        assert!(summary.contains("n=100"));
+        assert!(summary.contains("p90="));
+        assert!(summary.contains("max="));
     }
 }

@@ -39,11 +39,13 @@
 //! drops its sender; workers drain every already-queued connection to
 //! completion, then exit. No accepted request is ever abandoned.
 
-use crate::cache::{PlanCache, Prepared};
+use crate::cache::{fnv1a, PlanCache, Prepared};
 use crate::http::{self, Request, Response};
+use crate::obslog::{ExecKind, RequestLog, RequestRecord, SlowLog};
 use crate::render::{self, Row};
+use crate::stats;
 use mct_core::StoredDb;
-use mct_obs::{Counter, Gauge, Histogram};
+use mct_obs::{Counter, Gauge, Histogram, Sampler, SamplerHandle};
 use mct_query::plan::plan_path;
 use mct_query::{
     eval, execute_update_with, parse_query, parse_update, CancelToken, EvalContext, EvalError,
@@ -53,11 +55,11 @@ use mct_storage::{DiskManager, StorageError};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server tunables. `Default` matches the README quickstart.
 #[derive(Clone, Debug)]
@@ -79,6 +81,19 @@ pub struct ServerConfig {
     pub max_body: usize,
     /// Plan-cache capacity in entries.
     pub cache_capacity: usize,
+    /// Latency threshold for the slow-query log (`None` disables
+    /// capture; zero captures every query/update).
+    pub slow_threshold: Option<Duration>,
+    /// Slow-query log ring capacity (entries retained for `/slow`).
+    pub slow_capacity: usize,
+    /// `/stats` sampling interval.
+    pub stats_interval: Duration,
+    /// `/stats` ring capacity (samples retained — window horizon =
+    /// `stats_window × stats_interval`).
+    pub stats_window: usize,
+    /// Structured request-log target: the literal `stderr` or a file
+    /// path (`None` = request logging off).
+    pub log_json: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -92,6 +107,11 @@ impl Default for ServerConfig {
             exec_threads: 1,
             max_body: http::DEFAULT_MAX_BODY,
             cache_capacity: 256,
+            slow_threshold: Some(Duration::from_millis(100)),
+            slow_capacity: 32,
+            stats_interval: Duration::from_secs(1),
+            stats_window: 300,
+            log_json: None,
         }
     }
 }
@@ -121,6 +141,10 @@ pub struct ServerMetrics {
     pub lat_healthz: Histogram,
     /// `/check` latency.
     pub lat_check: Histogram,
+    /// `/stats` latency.
+    pub lat_stats: Histogram,
+    /// `/slow` latency.
+    pub lat_slow: Histogram,
 }
 
 impl ServerMetrics {
@@ -137,6 +161,60 @@ impl ServerMetrics {
             lat_metrics: mct_obs::histogram("server.latency.metrics"),
             lat_healthz: mct_obs::histogram("server.latency.healthz"),
             lat_check: mct_obs::histogram("server.latency.check"),
+            lat_stats: mct_obs::histogram("server.latency.stats"),
+            lat_slow: mct_obs::histogram("server.latency.slow"),
+        }
+    }
+}
+
+/// Per-request observability plumbing hung off [`AppState`]: request
+/// identity, the structured request log, the slow-query log, and the
+/// `/stats` sampler handle.
+pub struct ObsState {
+    /// Structured request log (`--log-json`), when enabled.
+    pub request_log: Option<RequestLog>,
+    /// Slow-query capture ring, when enabled.
+    pub slow: Option<SlowLog>,
+    /// Read handle onto the `/stats` sampler ring.
+    pub sampler: SamplerHandle,
+    /// Monotone request-id source (ids start at 1).
+    next_request_id: AtomicU64,
+    /// When the server started (uptime basis).
+    pub started: Instant,
+    /// Wall-clock start time, seconds since the epoch.
+    pub start_unix: u64,
+    /// `server.uptime_seconds`, refreshed on each `/metrics` scrape.
+    uptime: Gauge,
+    /// Global `storage.pool.hits` — read around each request to
+    /// estimate per-request pool traffic.
+    pool_hits: Counter,
+    /// Global `storage.pool.misses` (same use).
+    pool_misses: Counter,
+}
+
+impl ObsState {
+    /// The next request id (monotone per process, starting at 1).
+    pub fn next_id(&self) -> u64 {
+        self.next_request_id.fetch_add(1, Ordering::Relaxed) + 1
+    }
+}
+
+/// What the router learns about a request as it executes, beyond the
+/// response itself: log-line fields, plus the raw material for slow
+/// capture (query text and the analyze tree from the run that was
+/// slow).
+struct RequestCtx {
+    record: RequestRecord,
+    query: Option<String>,
+    analyze: String,
+}
+
+impl RequestCtx {
+    fn new(id: u64, method: &str, endpoint: &str) -> RequestCtx {
+        RequestCtx {
+            record: RequestRecord::new(id, method, endpoint),
+            query: None,
+            analyze: String::new(),
         }
     }
 }
@@ -154,6 +232,8 @@ pub struct AppState<D: DiskManager = mct_storage::MemDisk> {
     pub draining: AtomicBool,
     /// Metric handles.
     pub metrics: ServerMetrics,
+    /// Request-level observability: ids, request log, slow log, stats.
+    pub obs: ObsState,
 }
 
 /// Decrements the in-flight gauge even on panic or early return.
@@ -179,6 +259,7 @@ pub struct ServerHandle<D: DiskManager = mct_storage::MemDisk> {
     state: Arc<AppState<D>>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<u64>>,
+    sampler: Option<Sampler>,
 }
 
 impl<D: DiskManager> ServerHandle<D> {
@@ -215,6 +296,12 @@ impl<D: DiskManager> ServerHandle<D> {
         for w in self.workers.drain(..) {
             served += w.join().unwrap_or(0);
         }
+        if let Some(mut s) = self.sampler.take() {
+            s.stop();
+        }
+        if let Some(log) = &self.state.obs.request_log {
+            log.flush();
+        }
         served
     }
 
@@ -237,11 +324,34 @@ where
     let listener = TcpListener::bind((cfg.host.as_str(), cfg.port))?;
     let addr = listener.local_addr()?;
 
+    let request_log = match &cfg.log_json {
+        Some(target) => Some(RequestLog::open(target).map_err(|e| {
+            std::io::Error::other(format!("opening request log {target}: {e}"))
+        })?),
+        None => None,
+    };
+    let sampler = Sampler::start(mct_obs::global(), cfg.stats_interval, cfg.stats_window.max(1));
+    let start_unix = mct_obs::unix_ms() / 1000;
+    mct_obs::gauge("process.start_unix").set(start_unix);
+
     let state = Arc::new(AppState {
         cache: PlanCache::new(cfg.cache_capacity),
         db: RwLock::new(stored),
         draining: AtomicBool::new(false),
         metrics: ServerMetrics::new(),
+        obs: ObsState {
+            request_log,
+            slow: cfg
+                .slow_threshold
+                .map(|t| SlowLog::new(t, cfg.slow_capacity.max(1))),
+            sampler: sampler.handle(),
+            next_request_id: AtomicU64::new(0),
+            started: Instant::now(),
+            start_unix,
+            uptime: mct_obs::gauge("server.uptime_seconds"),
+            pool_hits: mct_obs::counter("storage.pool.hits"),
+            pool_misses: mct_obs::counter("storage.pool.misses"),
+        },
         cfg,
     });
 
@@ -271,6 +381,7 @@ where
         state,
         acceptor: Some(acceptor),
         workers,
+        sampler: Some(sampler),
     })
 }
 
@@ -370,41 +481,117 @@ fn serve_connection<D: DiskManager>(state: &AppState<D>, stream: TcpStream) -> u
 /// Route one request. Panics inside a handler are contained to a `500`
 /// so a worker thread (and its queue slot) survives any single bad
 /// request.
+///
+/// This is also where the observability record is assembled: the
+/// request gets a process-monotone id (echoed as `X-Request-Id`, and
+/// visible to trace subscribers on every worker thread via
+/// [`mct_obs::trace::request_scope`]), end-to-end latency and pool
+/// deltas are measured around routing, the JSON request-log line is
+/// written, and requests over the slow threshold are captured with the
+/// analyze tree from the run that was slow.
 pub fn handle_request<D: DiskManager>(state: &AppState<D>, req: &Request) -> Response {
     state.metrics.requests.inc();
     let _inflight = InflightGuard::enter(&state.metrics.inflight);
-    let result = catch_unwind(AssertUnwindSafe(|| route(state, req)));
-    result.unwrap_or_else(|_| Response::text(500, "internal error\n"))
+
+    let id = state.obs.next_id();
+    let _tag = mct_obs::trace::request_scope(id);
+    let mut ctx = RequestCtx::new(id, &req.method, &req.path);
+    // Per-request pool traffic as a global-counter delta: exact when
+    // the request runs alone, approximate (overlapping requests'
+    // traffic bleeds in) under concurrency. Cheap — two relaxed loads —
+    // which is the right trade for a per-request log field.
+    let pool_mark = (state.obs.pool_hits.get(), state.obs.pool_misses.get());
+    let t0 = Instant::now();
+
+    let result = catch_unwind(AssertUnwindSafe(|| route(state, req, &mut ctx)));
+    let resp = result.unwrap_or_else(|_| Response::text(500, "internal error\n"));
+
+    ctx.record.latency = t0.elapsed();
+    ctx.record.ts_ms = mct_obs::unix_ms();
+    ctx.record.status = resp.status;
+    ctx.record.pool_hits = state.obs.pool_hits.get().saturating_sub(pool_mark.0);
+    ctx.record.pool_misses = state.obs.pool_misses.get().saturating_sub(pool_mark.1);
+
+    if let Some(log) = &state.obs.request_log {
+        log.write(&ctx.record);
+    }
+    if let (Some(slow), Some(query)) = (&state.obs.slow, &ctx.query) {
+        if slow.qualifies(ctx.record.latency) {
+            slow.capture(ctx.record.clone(), query, &ctx.analyze);
+        }
+    }
+    resp.header("X-Request-Id", &id.to_string())
 }
 
-fn route<D: DiskManager>(state: &AppState<D>, req: &Request) -> Response {
+fn route<D: DiskManager>(state: &AppState<D>, req: &Request, ctx: &mut RequestCtx) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
             let _t = state.metrics.lat_healthz.start_timer();
-            if state.draining.load(Ordering::SeqCst) {
-                Response::text(503, "draining\n")
+            let status = if state.draining.load(Ordering::SeqCst) {
+                "draining"
             } else {
-                Response::text(200, "ok\n")
-            }
+                "ok"
+            };
+            let code = if status == "ok" { 200 } else { 503 };
+            Response::text(
+                code,
+                format!(
+                    "{{\"status\":\"{status}\",\"uptime_seconds\":{},\"start_unix\":{}}}\n",
+                    state.obs.started.elapsed().as_secs(),
+                    state.obs.start_unix
+                ),
+            )
+            .content_type("application/json")
         }
         ("GET", "/metrics") => {
             let _t = state.metrics.lat_metrics.start_timer();
+            // Refresh the uptime gauge so every scrape exports it
+            // current (it has no natural write path of its own).
+            state
+                .obs
+                .uptime
+                .set(state.obs.started.elapsed().as_secs());
             Response::text(200, mct_obs::global().snapshot().to_prometheus())
                 .content_type("text/plain; version=0.0.4")
         }
+        ("GET", "/stats") => {
+            let _t = state.metrics.lat_stats.start_timer();
+            let window = req
+                .query_param("window")
+                .and_then(|w| w.parse::<usize>().ok())
+                .unwrap_or(60)
+                .max(1);
+            let samples = state.obs.sampler.samples(window);
+            Response::text(
+                200,
+                stats::render_stats(&samples, state.obs.sampler.interval()),
+            )
+            .content_type("application/json")
+        }
+        ("GET", "/slow") => {
+            let _t = state.metrics.lat_slow.start_timer();
+            let body = match &state.obs.slow {
+                Some(slow) => slow.to_json(),
+                None => {
+                    "{\"threshold_ms\":null,\"captured_total\":0,\"capacity\":0,\"entries\":[]}\n"
+                        .to_string()
+                }
+            };
+            Response::text(200, body).content_type("application/json")
+        }
         ("POST", "/query") => {
             let _t = state.metrics.lat_query.start_timer();
-            handle_query(state, req)
+            handle_query(state, req, ctx)
         }
         ("POST", "/update") => {
             let _t = state.metrics.lat_update.start_timer();
-            handle_update(state, req)
+            handle_update(state, req, ctx)
         }
         ("GET", "/check") => {
             let _t = state.metrics.lat_check.start_timer();
             handle_check(state)
         }
-        (_, "/healthz" | "/metrics" | "/check") => {
+        (_, "/healthz" | "/metrics" | "/check" | "/stats" | "/slow") => {
             Response::text(405, "method not allowed\n").header("Allow", "GET")
         }
         (_, "/query" | "/update") => {
@@ -440,7 +627,11 @@ fn respond_rows(rows: &[Row], json: bool) -> Response {
     }
 }
 
-fn handle_query<D: DiskManager>(state: &AppState<D>, req: &Request) -> Response {
+fn handle_query<D: DiskManager>(
+    state: &AppState<D>,
+    req: &Request,
+    ctx: &mut RequestCtx,
+) -> Response {
     let text = match req.body_str() {
         Ok(t) => t.trim(),
         Err(_) => return Response::text(400, "query body is not valid UTF-8\n"),
@@ -448,6 +639,8 @@ fn handle_query<D: DiskManager>(state: &AppState<D>, req: &Request) -> Response 
     if text.is_empty() {
         return Response::text(400, "empty query\n");
     }
+    ctx.query = Some(text.to_string());
+    ctx.record.query_hash = fnv1a(text);
     let json = wants_json(req);
     let cancel = request_cancel(state, req);
 
@@ -457,8 +650,12 @@ fn handle_query<D: DiskManager>(state: &AppState<D>, req: &Request) -> Response 
         let db = state.db.read().unwrap_or_else(PoisonError::into_inner);
         let generation = db.generation();
         let prepared = match state.cache.lookup(text, generation) {
-            Some(p) => p,
+            Some(p) => {
+                ctx.record.cache_hit = Some(true);
+                p
+            }
             None => {
+                ctx.record.cache_hit = Some(false);
                 let expr = match parse_query(text) {
                     Ok(e) => e,
                     Err(e) => return Response::text(400, format!("parse error: {e}\n")),
@@ -480,8 +677,14 @@ fn handle_query<D: DiskManager>(state: &AppState<D>, req: &Request) -> Response 
         };
 
         if let Some(plan) = &prepared.plan {
-            match plan.execute_shared(&db, state.cfg.exec_threads, cancel.as_ref()) {
-                Ok(tuples) => {
+            // The analyze variant instruments every stage (two clock
+            // reads and a pool-stats delta per stage) so a slow run is
+            // captured with its own per-operator tree — no re-run.
+            ctx.record.exec = ExecKind::Plan;
+            match plan.execute_shared_analyze(&db, state.cfg.exec_threads, cancel.as_ref()) {
+                Ok((tuples, report)) => {
+                    ctx.record.rows = report.rows;
+                    ctx.analyze = report.render();
                     let rows = render::rows_from_tuples(&db, &tuples);
                     return respond_rows(&rows, json);
                 }
@@ -512,9 +715,10 @@ fn handle_query<D: DiskManager>(state: &AppState<D>, req: &Request) -> Response 
                 return Response::text(408, "deadline exceeded\n");
             }
         }
+        ctx.record.exec = ExecKind::Interp;
         let items = {
-            let mut ctx = EvalContext::new(&mut db);
-            match eval(&mut ctx, &prepared.expr) {
+            let mut ectx = EvalContext::new(&mut db);
+            match eval(&mut ectx, &prepared.expr) {
                 Ok(items) => items,
                 Err(EvalError::Storage(e)) => {
                     return Response::text(500, format!("execution failed: {e}\n"))
@@ -528,13 +732,18 @@ fn handle_query<D: DiskManager>(state: &AppState<D>, req: &Request) -> Response 
         if let Err(e) = db.ensure_all_annotated() {
             return Response::text(500, format!("annotation failed: {e}\n"));
         }
+        ctx.record.rows = items.len() as u64;
         let rows = render::rows_from_items(&db, &items);
         return respond_rows(&rows, json);
     }
     Response::text(500, "retry limit reached\n")
 }
 
-fn handle_update<D: DiskManager>(state: &AppState<D>, req: &Request) -> Response {
+fn handle_update<D: DiskManager>(
+    state: &AppState<D>,
+    req: &Request,
+    ctx: &mut RequestCtx,
+) -> Response {
     let text = match req.body_str() {
         Ok(t) => t.trim(),
         Err(_) => return Response::text(400, "update body is not valid UTF-8\n"),
@@ -542,6 +751,8 @@ fn handle_update<D: DiskManager>(state: &AppState<D>, req: &Request) -> Response
     if text.is_empty() {
         return Response::text(400, "empty update\n");
     }
+    ctx.query = Some(text.to_string());
+    ctx.record.query_hash = fnv1a(text);
     let stmt = match parse_update(text) {
         Ok(s) => s,
         Err(e) => return Response::text(400, format!("parse error: {e}\n")),
@@ -578,6 +789,7 @@ fn handle_update<D: DiskManager>(state: &AppState<D>, req: &Request) -> Response
     if let Err(e) = db.ensure_all_annotated() {
         return Response::text(500, format!("annotation failed: {e}\n"));
     }
+    ctx.record.rows = out.tuples as u64;
     Response::text(
         200,
         format!(

@@ -1,0 +1,274 @@
+//! `GET /stats` — the windowed time-series endpoint.
+//!
+//! The [`Sampler`](mct_obs::Sampler) thread snapshots the global
+//! registry every interval and keeps a bounded ring of *window deltas*
+//! ([`Sample`]); this module reduces those deltas to the operator-facing
+//! series — throughput, error rate, latency quantiles, pool hit ratio,
+//! in-flight — and renders them as one JSON document. All derivation
+//! happens at scrape time from raw counter/histogram deltas, so the
+//! sampler itself stays metric-agnostic.
+//!
+//! Body shape (one element of `samples` per interval, oldest first):
+//!
+//! ```json
+//! {
+//!   "interval_ms": 1000, "window": 60,
+//!   "samples": [ {"unix_ms":…, "qps":…, "requests":…, "errors":…,
+//!                 "error_rate":…, "p50_us":…, "p95_us":…, "p99_us":…,
+//!                 "pool_hit_ratio":…, "inflight":…}, … ],
+//!   "aggregate": { same fields minus unix_ms/inflight, over the window }
+//! }
+//! ```
+//!
+//! Latency quantiles come from the merged `server.latency.*` histogram
+//! deltas (log₂ buckets, so each quantile is the *upper bound* of its
+//! bucket — see [`HistogramSnapshot::quantile_upper_bound`]), reported
+//! in microseconds.
+
+use mct_obs::{HistogramSnapshot, RegistrySnapshot, Sample};
+use std::time::Duration;
+
+/// The derived per-window numbers for one sample (or the aggregate).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WindowStats {
+    /// Wall-clock stamp of the sample (0 for the aggregate).
+    pub unix_ms: u64,
+    /// Requests handled in the window.
+    pub requests: u64,
+    /// Requests per second over the window.
+    pub qps: f64,
+    /// Responses with status ≥ 400 in the window.
+    pub errors: u64,
+    /// `errors / requests` (0 when idle).
+    pub error_rate: f64,
+    /// Median request latency upper bound, microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile latency upper bound, microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile latency upper bound, microseconds.
+    pub p99_us: u64,
+    /// Buffer-pool `hits / (hits + misses)` in the window (1 when the
+    /// pool was idle).
+    pub pool_hit_ratio: f64,
+    /// In-flight requests at sample time (absolute gauge, not a delta).
+    pub inflight: u64,
+}
+
+fn counter(delta: &RegistrySnapshot, name: &str) -> u64 {
+    delta.counters.get(name).copied().unwrap_or(0)
+}
+
+/// The merged per-endpoint latency histogram for one window delta.
+fn merged_latency(delta: &RegistrySnapshot) -> HistogramSnapshot {
+    let mut merged = HistogramSnapshot::default();
+    for (name, h) in &delta.histograms {
+        if name.starts_with("server.latency.") {
+            merged.merge(h);
+        }
+    }
+    merged
+}
+
+/// Reduce one window delta (plus its wall-clock span) to the derived
+/// numbers.
+pub fn derive(unix_ms: u64, elapsed: Duration, delta: &RegistrySnapshot) -> WindowStats {
+    let requests = counter(delta, "server.requests");
+    let errors = counter(delta, "server.http.errors");
+    let secs = elapsed.as_secs_f64();
+    let lat = merged_latency(delta);
+    let hits = counter(delta, "storage.pool.hits");
+    let misses = counter(delta, "storage.pool.misses");
+    WindowStats {
+        unix_ms,
+        requests,
+        qps: if secs > 0.0 { requests as f64 / secs } else { 0.0 },
+        errors,
+        error_rate: if requests > 0 {
+            errors as f64 / requests as f64
+        } else {
+            0.0
+        },
+        p50_us: lat.quantile_upper_bound(0.50) / 1_000,
+        p95_us: lat.quantile_upper_bound(0.95) / 1_000,
+        p99_us: lat.quantile_upper_bound(0.99) / 1_000,
+        pool_hit_ratio: if hits + misses > 0 {
+            hits as f64 / (hits + misses) as f64
+        } else {
+            1.0
+        },
+        inflight: delta.gauges.get("server.inflight").copied().unwrap_or(0),
+    }
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    // Fixed-point keeps the body stable and parseable (no exponents,
+    // no NaN/inf — derive() never produces them).
+    out.push_str(&format!("{v:.3}"));
+}
+
+fn push_fields(out: &mut String, w: &WindowStats, with_instant: bool) {
+    if with_instant {
+        out.push_str("\"unix_ms\":");
+        out.push_str(&w.unix_ms.to_string());
+        out.push(',');
+    }
+    out.push_str("\"requests\":");
+    out.push_str(&w.requests.to_string());
+    out.push_str(",\"qps\":");
+    push_f64(out, w.qps);
+    out.push_str(",\"errors\":");
+    out.push_str(&w.errors.to_string());
+    out.push_str(",\"error_rate\":");
+    push_f64(out, w.error_rate);
+    out.push_str(",\"p50_us\":");
+    out.push_str(&w.p50_us.to_string());
+    out.push_str(",\"p95_us\":");
+    out.push_str(&w.p95_us.to_string());
+    out.push_str(",\"p99_us\":");
+    out.push_str(&w.p99_us.to_string());
+    out.push_str(",\"pool_hit_ratio\":");
+    push_f64(out, w.pool_hit_ratio);
+    if with_instant {
+        out.push_str(",\"inflight\":");
+        out.push_str(&w.inflight.to_string());
+    }
+}
+
+/// Render the `GET /stats` body from the sampler's last `samples`
+/// (oldest first) taken at `interval`.
+pub fn render_stats(samples: &[Sample], interval: Duration) -> String {
+    let mut out = String::with_capacity(256 + samples.len() * 192);
+    out.push_str("{\"interval_ms\":");
+    out.push_str(&(interval.as_millis() as u64).to_string());
+    out.push_str(",\"window\":");
+    out.push_str(&samples.len().to_string());
+    out.push_str(",\"samples\":[");
+
+    let mut agg_delta = RegistrySnapshot::default();
+    let mut agg_elapsed = Duration::ZERO;
+    for (i, s) in samples.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let w = derive(s.unix_ms, s.elapsed, &s.delta);
+        out.push('{');
+        push_fields(&mut out, &w, true);
+        out.push('}');
+
+        for (name, v) in &s.delta.counters {
+            *agg_delta.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, h) in &s.delta.histograms {
+            agg_delta.histograms.entry(name.clone()).or_default().merge(h);
+        }
+        agg_elapsed += s.elapsed;
+    }
+
+    out.push_str("],\"aggregate\":{");
+    let agg = derive(0, agg_elapsed, &agg_delta);
+    push_fields(&mut out, &agg, false);
+    out.push_str("}}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+    use mct_obs::Registry;
+
+    /// A leaked private registry, so tests don't race the global one.
+    fn scratch() -> &'static Registry {
+        Box::leak(Box::new(Registry::new()))
+    }
+
+    fn sample_from(reg: &'static Registry, prev: &RegistrySnapshot, ms: u64) -> Sample {
+        Sample {
+            unix_ms: ms,
+            elapsed: Duration::from_secs(1),
+            delta: reg.snapshot().window_delta(prev),
+        }
+    }
+
+    #[test]
+    fn derives_qps_errors_quantiles_and_pool_ratio() {
+        let reg = scratch();
+        let base = reg.snapshot();
+        reg.counter("server.requests").add(100);
+        reg.counter("server.http.errors").add(5);
+        reg.counter("storage.pool.hits").add(75);
+        reg.counter("storage.pool.misses").add(25);
+        reg.gauge("server.inflight").add(3);
+        let lat = reg.histogram("server.latency.query");
+        for _ in 0..90 {
+            lat.record(1_000_000); // 1ms in ns
+        }
+        for _ in 0..10 {
+            lat.record(80_000_000); // ten 80ms outliers
+        }
+
+        let s = sample_from(reg, &base, 42);
+        let w = derive(s.unix_ms, s.elapsed, &s.delta);
+        assert_eq!(w.requests, 100);
+        assert!((w.qps - 100.0).abs() < 1e-9);
+        assert_eq!(w.errors, 5);
+        assert!((w.error_rate - 0.05).abs() < 1e-9);
+        assert!((w.pool_hit_ratio - 0.75).abs() < 1e-9);
+        assert_eq!(w.inflight, 3);
+        // Log-scale upper bounds: p50 covers the 1ms observations
+        // (≤ 2^20ns ≈ 1.05ms); ranks 91..100 land in the 80ms
+        // outliers' bucket, so p95 and p99 reach it.
+        assert!(w.p50_us >= 1_000 && w.p50_us < 2_200, "{}", w.p50_us);
+        assert!(w.p95_us >= 80_000, "{}", w.p95_us);
+        assert!(w.p95_us <= w.p99_us);
+    }
+
+    #[test]
+    fn idle_window_is_all_zeros_with_full_pool_ratio() {
+        let w = derive(7, Duration::from_secs(1), &RegistrySnapshot::default());
+        assert_eq!(w.requests, 0);
+        assert_eq!(w.qps, 0.0);
+        assert_eq!(w.error_rate, 0.0);
+        assert_eq!(w.p99_us, 0);
+        assert_eq!(w.pool_hit_ratio, 1.0);
+    }
+
+    #[test]
+    fn renders_parseable_json_with_aggregate_summing_windows() {
+        let reg = scratch();
+        let mut prev = reg.snapshot();
+        let mut samples = Vec::new();
+        for i in 0..3u64 {
+            reg.counter("server.requests").add(10 * (i + 1));
+            reg.histogram("server.latency.query").record(500_000);
+            let s = sample_from(reg, &prev, 1000 + i);
+            prev = reg.snapshot();
+            samples.push(s);
+        }
+        let body = render_stats(&samples, Duration::from_secs(1));
+        let v = Json::parse(body.trim()).unwrap();
+        assert_eq!(v.get("window").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("interval_ms").unwrap().as_u64(), Some(1000));
+        let arr = v.get("samples").unwrap().as_array().unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[0].get("requests").unwrap().as_u64(), Some(10));
+        assert_eq!(arr[2].get("requests").unwrap().as_u64(), Some(30));
+        assert_eq!(arr[2].get("unix_ms").unwrap().as_u64(), Some(1002));
+        let agg = v.get("aggregate").unwrap();
+        assert_eq!(agg.get("requests").unwrap().as_u64(), Some(60));
+        assert!((agg.get("qps").unwrap().as_f64().unwrap() - 20.0).abs() < 1e-6);
+        assert!(agg.get("p50_us").unwrap().as_u64().unwrap() >= 500);
+    }
+
+    #[test]
+    fn empty_ring_renders_an_empty_series() {
+        let body = render_stats(&[], Duration::from_millis(250));
+        let v = Json::parse(body.trim()).unwrap();
+        assert_eq!(v.get("window").unwrap().as_u64(), Some(0));
+        assert_eq!(v.get("samples").unwrap().as_array(), Some(&[][..]));
+        assert_eq!(
+            v.get("aggregate").unwrap().get("requests").unwrap().as_u64(),
+            Some(0)
+        );
+    }
+}

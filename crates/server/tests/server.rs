@@ -7,7 +7,7 @@
 
 use mct_core::StoredDb;
 use mct_query::{parse_query, plan_path, Expr};
-use mct_server::{render_xml, rows_from_tuples, serve, Client, ServerConfig, ServerHandle};
+use mct_server::{render_xml, rows_from_tuples, serve, Client, Json, ServerConfig, ServerHandle};
 use mct_workloads::movies;
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -169,7 +169,8 @@ fn malformed_requests_get_4xx_and_the_server_survives() {
     // After all that abuse the server still answers cleanly.
     let reply = Client::new("127.0.0.1", port).healthz().expect("health");
     assert_eq!(reply.status, 200);
-    assert_eq!(reply.body_str(), "ok\n");
+    let health = Json::parse(reply.body_str().trim()).expect("healthz is JSON");
+    assert_eq!(health.get("status").unwrap().as_str(), Some("ok"));
     handle.shutdown();
 }
 
@@ -504,4 +505,187 @@ fn transaction_and_check_metrics_are_exported() {
     assert!(grab("check.runs") > runs0);
     assert_eq!(grab("check.violations"), 0);
     handle.shutdown();
+}
+
+#[test]
+fn healthz_reports_uptime_and_every_response_carries_a_request_id() {
+    let _guard = test_lock();
+    let handle = start(ServerConfig::default());
+    let client = Client::new("127.0.0.1", handle.port());
+
+    let reply = client.healthz().expect("health");
+    assert_eq!(reply.status, 200);
+    assert_eq!(reply.header("content-type"), Some("application/json"));
+    let health = Json::parse(reply.body_str().trim()).expect("healthz is JSON");
+    assert_eq!(health.get("status").unwrap().as_str(), Some("ok"));
+    let start_unix = health.get("start_unix").unwrap().as_u64().unwrap();
+    assert!(start_unix > 1_500_000_000, "start_unix looks like a unix time");
+    assert!(health.get("uptime_seconds").unwrap().as_u64().is_some());
+
+    // Request ids are monotone across requests and echoed on every
+    // endpoint, including errors.
+    let id1: u64 = reply.header("x-request-id").expect("id header").parse().unwrap();
+    let reply2 = client.query("not a query ((").expect("bad query");
+    assert_eq!(reply2.status, 400);
+    let id2: u64 = reply2.header("x-request-id").expect("id header").parse().unwrap();
+    assert!(id2 > id1, "ids must be monotone: {id1} then {id2}");
+
+    // /metrics exports the uptime gauge and the process start time.
+    let metrics = client.metrics().expect("metrics").body_str();
+    assert!(metrics.contains("server_uptime_seconds"));
+    let exported_start = mct_server::prom_value(&metrics, "process.start_unix").unwrap();
+    assert_eq!(exported_start, start_unix);
+    // Histogram quantile lines made it into the export (satellite a).
+    assert!(
+        metrics.contains("server_latency_healthz{quantile=\"0.99\"}"),
+        "quantile lines missing from /metrics"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn slow_log_captures_queries_over_the_threshold_with_analyze_trees() {
+    let _guard = test_lock();
+    // Threshold zero: every query qualifies, so the test needs no
+    // artificially slow work.
+    let handle = start(ServerConfig {
+        slow_threshold: Some(Duration::ZERO),
+        slow_capacity: 4,
+        ..ServerConfig::default()
+    });
+    let client = Client::new("127.0.0.1", handle.port());
+
+    for _ in 0..2 {
+        assert_eq!(client.query(Q_NAMES).unwrap().status, 200);
+    }
+    assert_eq!(client.query(Q_GENRES).unwrap().status, 200);
+
+    let reply = client.slow().expect("slow");
+    assert_eq!(reply.status, 200);
+    assert_eq!(reply.header("content-type"), Some("application/json"));
+    let v = Json::parse(reply.body_str().trim()).expect("/slow is JSON");
+    assert_eq!(v.get("threshold_ms").unwrap().as_u64(), Some(0));
+    assert!(v.get("captured_total").unwrap().as_u64().unwrap() >= 3);
+    let entries = v.get("entries").unwrap().as_array().unwrap();
+    assert!(!entries.is_empty() && entries.len() <= 4, "{}", entries.len());
+    // Newest first: the Q_GENRES query leads, with a real per-stage
+    // analyze tree from the execution that was captured.
+    let newest = &entries[0];
+    assert_eq!(newest.get("query").unwrap().as_str(), Some(Q_GENRES));
+    assert_eq!(newest.get("exec").unwrap().as_str(), Some("plan"));
+    let analyze = newest.get("analyze").unwrap().as_str().unwrap();
+    assert!(analyze.contains("rows "), "analyze tree present: {analyze}");
+    assert!(analyze.contains("total: "), "totals footer present");
+    // A later Q_NAMES entry was a plan-cache hit.
+    assert!(entries
+        .iter()
+        .any(|e| e.get("cache").unwrap().as_str() == Some("hit")));
+    handle.shutdown();
+}
+
+#[test]
+fn stats_returns_a_monotone_window_covering_the_traffic() {
+    let _guard = test_lock();
+    let handle = start(ServerConfig {
+        stats_interval: Duration::from_millis(25),
+        stats_window: 64,
+        ..ServerConfig::default()
+    });
+    let client = Client::new("127.0.0.1", handle.port());
+
+    // Traffic spread over several sampler ticks: queries plus one
+    // guaranteed error (unparseable query).
+    for i in 0..30 {
+        let q = if i == 7 { "((" } else { Q_NAMES };
+        client.query(q).expect("query reply");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // Let the sampler take at least one more tick after the traffic.
+    std::thread::sleep(Duration::from_millis(60));
+
+    let reply = client.stats(64).expect("stats");
+    assert_eq!(reply.status, 200);
+    let v = Json::parse(reply.body_str().trim()).expect("/stats is JSON");
+    assert_eq!(v.get("interval_ms").unwrap().as_u64(), Some(25));
+    let samples = v.get("samples").unwrap().as_array().unwrap();
+    assert!(samples.len() >= 3, "several ticks: {}", samples.len());
+    // Timestamps are monotone non-decreasing.
+    let stamps: Vec<u64> = samples
+        .iter()
+        .map(|s| s.get("unix_ms").unwrap().as_u64().unwrap())
+        .collect();
+    assert!(stamps.windows(2).all(|w| w[0] <= w[1]), "{stamps:?}");
+    // The aggregate accounts for at least the traffic we sent that
+    // landed inside sampled windows, and the error shows up.
+    let agg = v.get("aggregate").unwrap();
+    let requests = agg.get("requests").unwrap().as_u64().unwrap();
+    assert!(requests >= 20, "window covers the traffic: {requests}");
+    assert!(agg.get("errors").unwrap().as_u64().unwrap() >= 1);
+    assert!(agg.get("qps").unwrap().as_f64().unwrap() > 0.0);
+    assert!(agg.get("p50_us").unwrap().as_u64().unwrap() > 0);
+    // A narrower window is a suffix of the wide one.
+    let narrow = client.stats(2).expect("narrow stats");
+    let nv = Json::parse(narrow.body_str().trim()).unwrap();
+    assert!(nv.get("samples").unwrap().as_array().unwrap().len() <= 2);
+    handle.shutdown();
+}
+
+#[test]
+fn request_log_writes_one_parseable_line_per_request_with_unique_ids() {
+    let _guard = test_lock();
+    let dir = std::env::temp_dir().join(format!("mctd-reqlog-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("requests.jsonl");
+    let _ = std::fs::remove_file(&path);
+
+    let handle = start(ServerConfig {
+        log_json: Some(path.to_string_lossy().into_owned()),
+        ..ServerConfig::default()
+    });
+    let client = Client::new("127.0.0.1", handle.port());
+
+    assert_eq!(client.query(Q_NAMES).unwrap().status, 200); // miss
+    assert_eq!(client.query(Q_NAMES).unwrap().status, 200); // hit
+    assert_eq!(client.query("((").unwrap().status, 400); // parse error
+    let update = "for $g in document(\"m\")/{red}child::movie-genre \
+                  where $g/{red}child::name = \"Comedy\" \
+                  update $g { insert <logged-movie>x</logged-movie> }";
+    assert_eq!(client.update(update).unwrap().status, 200);
+    assert_eq!(client.healthz().unwrap().status, 200);
+    handle.shutdown(); // drains and flushes
+
+    let text = std::fs::read_to_string(&path).expect("request log written");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 5, "one line per request:\n{text}");
+    let parsed: Vec<Json> = lines
+        .iter()
+        .map(|l| Json::parse(l).expect("log line is JSON"))
+        .collect();
+
+    // Ids are unique; endpoints, outcomes, and exec kinds line up.
+    let ids: std::collections::HashSet<u64> = parsed
+        .iter()
+        .map(|v| v.get("id").unwrap().as_u64().unwrap())
+        .collect();
+    assert_eq!(ids.len(), 5, "request ids must be unique");
+    assert_eq!(parsed[0].get("endpoint").unwrap().as_str(), Some("/query"));
+    assert_eq!(parsed[0].get("cache").unwrap().as_str(), Some("miss"));
+    assert_eq!(parsed[0].get("exec").unwrap().as_str(), Some("plan"));
+    assert_eq!(parsed[1].get("cache").unwrap().as_str(), Some("hit"));
+    // Identical query text → identical hash; both differ from idle.
+    assert_eq!(
+        parsed[0].get("query_hash").unwrap().as_str(),
+        parsed[1].get("query_hash").unwrap().as_str()
+    );
+    assert_eq!(parsed[2].get("status").unwrap().as_u64(), Some(400));
+    assert_eq!(parsed[2].get("outcome").unwrap().as_str(), Some("error"));
+    assert_eq!(parsed[3].get("endpoint").unwrap().as_str(), Some("/update"));
+    assert!(parsed[3].get("rows").unwrap().as_u64().unwrap() >= 1);
+    assert_eq!(parsed[4].get("endpoint").unwrap().as_str(), Some("/healthz"));
+    assert_eq!(parsed[4].get("query_hash").unwrap().as_str(), Some("0000000000000000"));
+    for v in &parsed {
+        assert!(v.get("latency_us").unwrap().as_u64().is_some());
+        assert!(v.get("ts_ms").unwrap().as_u64().unwrap() > 1_500_000_000_000);
+    }
+    let _ = std::fs::remove_file(&path);
 }

@@ -76,7 +76,7 @@ for _ in $(seq 1 100); do [ -s "$PORT_FILE" ] && break; sleep 0.1; done
 [ -s "$PORT_FILE" ] || { echo "FAIL: mctd never wrote its port file"; exit 1; }
 PORT=$(cat "$PORT_FILE")
 MCTC() { cargo run --release --offline -q -p mct-server --bin mct-client -- --port "$PORT" --retries 2 "$@"; }
-MCTC health | grep -qx "ok" \
+MCTC health | grep -q '"status":"ok"' \
     || { echo "FAIL: healthz"; exit 1; }
 MCTC query 'document("m")/{red}descendant::movie' | grep -q '<node name="movie"' \
     || { echo "FAIL: query 1"; exit 1; }
@@ -119,5 +119,7 @@ wait "$MCTD_PID" || DRAIN_RC=$?
 trap - EXIT
 rm -f "$PORT_FILE"
 [ "$DRAIN_RC" -eq 0 ] || { echo "FAIL: mctd drain exited $DRAIN_RC"; exit 1; }
+
+scripts/obs_smoke.sh
 
 echo "OK: all checks passed"
