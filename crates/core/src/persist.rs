@@ -85,6 +85,11 @@ pub struct StoredDb<D: DiskManager = MemDisk> {
     /// generation they were built against and treat a mismatch as
     /// stale. In-process only; a fresh open starts at 0.
     generation: u64,
+    /// Auto-checkpoint policy: once a committed transaction leaves
+    /// more than this many live bytes in the WAL,
+    /// [`StoredDb::commit_txn`] takes a checkpoint. `None` (the
+    /// default) disables the policy.
+    checkpoint_bytes: Option<u64>,
 }
 
 impl StoredDb<MemDisk> {
@@ -203,6 +208,7 @@ impl<D: DiskManager> StoredDb<D> {
             content_rid,
             attr_rid,
             generation: 0,
+            checkpoint_bytes: None,
         })
     }
 
@@ -215,6 +221,45 @@ impl<D: DiskManager> StoredDb<D> {
     pub fn sync(&mut self) -> mct_storage::Result<u64> {
         let catalog = snapshot::encode(&self.db, &self.phys_catalog());
         self.pool.commit(&catalog)
+    }
+
+    /// Checkpoint the WAL: flush every committed page, fsync the data
+    /// file, then let the log advance its start pointer past the
+    /// now-redundant prefix (see [`BufferPool::checkpoint`] for the
+    /// ordering invariant). Only legal at a quiescent point — errors
+    /// inside an open transaction or with uncommitted dirty pages.
+    /// Returns the checkpoint record's LSN.
+    pub fn checkpoint(&mut self) -> mct_storage::Result<u64> {
+        let catalog = snapshot::encode(&self.db, &self.phys_catalog());
+        self.pool.checkpoint(&catalog)
+    }
+
+    /// Set (or clear) the auto-checkpoint threshold in live WAL bytes.
+    pub fn set_checkpoint_bytes(&mut self, bytes: Option<u64>) {
+        self.checkpoint_bytes = bytes;
+    }
+
+    /// The auto-checkpoint threshold, if any.
+    pub fn checkpoint_bytes(&self) -> Option<u64> {
+        self.checkpoint_bytes
+    }
+
+    /// Policy hook run after every durable commit: checkpoint when the
+    /// live log has outgrown the configured threshold. The commit this
+    /// rides on is already durable, so a checkpoint failure must not
+    /// surface as a commit failure (the caller would misread it as a
+    /// rollback); it is swallowed and counted instead, and the next
+    /// commit retries.
+    fn maybe_checkpoint(&mut self) {
+        let Some(limit) = self.checkpoint_bytes else {
+            return;
+        };
+        if self.pool.wal_bytes() <= limit {
+            return;
+        }
+        if self.checkpoint().is_err() {
+            mct_obs::counter("wal.checkpoint.errors").inc();
+        }
     }
 
     /// Recover a database from its data disk and WAL: replay every
@@ -270,6 +315,7 @@ impl<D: DiskManager> StoredDb<D> {
             content_rid: phys.content_rid,
             attr_rid: phys.attr_rid,
             generation: 0,
+            checkpoint_bytes: None,
         }))
     }
 
@@ -311,7 +357,10 @@ impl<D: DiskManager> StoredDb<D> {
             return Ok(0);
         }
         match self.sync() {
-            Ok(lsn) => Ok(lsn),
+            Ok(lsn) => {
+                self.maybe_checkpoint();
+                Ok(lsn)
+            }
             Err(e) => {
                 if self.pool.txn_active() {
                     // The commit record never became durable: abort so

@@ -20,6 +20,15 @@
 //! * `--cache N` — plan-cache capacity in entries (default 256).
 //! * `--shutdown-file PATH` — drain and exit when this file appears.
 //!
+//! Durability flags:
+//! * `--data-dir PATH` — serve a durable store under PATH
+//!   (`pages.db` + `wal.log`) instead of an in-memory build. An
+//!   existing store is recovered from its WAL; a fresh directory is
+//!   seeded from `--db` and synced before serving.
+//! * `--checkpoint-bytes N` — auto-checkpoint the WAL once a commit
+//!   leaves more than N live bytes in it, bounding both the log file
+//!   and recovery time (default off; requires `--data-dir`).
+//!
 //! Observability flags:
 //! * `--log-json PATH|stderr` — write one structured JSON line per
 //!   request (id, endpoint, query hash, cache hit/miss, rows, latency,
@@ -34,8 +43,9 @@
 //! `SIGTERM`/`SIGINT` trigger a graceful drain: stop accepting, finish
 //! every queued request, exit 0.
 
-use mct_core::StoredDb;
+use mct_core::{MctDatabase, StoredDb};
 use mct_server::{serve, ServerConfig};
+use mct_storage::{DiskManager, FileDisk};
 use mct_workloads::{movies, SigmodConfig, SigmodData, TpcwConfig, TpcwData};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
@@ -45,6 +55,8 @@ struct Opts {
     scale: f64,
     port_file: Option<String>,
     shutdown_file: Option<String>,
+    data_dir: Option<String>,
+    checkpoint_bytes: Option<u64>,
     cfg: ServerConfig,
 }
 
@@ -53,6 +65,7 @@ fn usage() -> ! {
         "usage: mctd [--db movies|tpcw|sigmod] [--scale X] [--host H] [--port P] \
          [--port-file PATH] [--threads N] [--exec-threads N] [--queue N] \
          [--deadline-ms N] [--cache N] [--shutdown-file PATH] \
+         [--data-dir PATH] [--checkpoint-bytes N] \
          [--log-json PATH|stderr] [--slow-ms N|off] [--slow-capacity N] \
          [--stats-interval-ms N] [--stats-window N]"
     );
@@ -65,6 +78,8 @@ fn parse_opts() -> Opts {
         scale: 0.05,
         port_file: None,
         shutdown_file: None,
+        data_dir: None,
+        checkpoint_bytes: None,
         cfg: ServerConfig {
             port: 8642,
             ..ServerConfig::default()
@@ -101,6 +116,10 @@ fn parse_opts() -> Opts {
             }
             "--cache" => opts.cfg.cache_capacity = numeric::<usize>(&mut it, "--cache").max(1),
             "--shutdown-file" => opts.shutdown_file = Some(value(&mut it, "--shutdown-file")),
+            "--data-dir" => opts.data_dir = Some(value(&mut it, "--data-dir")),
+            "--checkpoint-bytes" => {
+                opts.checkpoint_bytes = Some(numeric::<u64>(&mut it, "--checkpoint-bytes"))
+            }
             "--log-json" => opts.cfg.log_json = Some(value(&mut it, "--log-json")),
             "--slow-ms" => {
                 let v = value(&mut it, "--slow-ms");
@@ -136,27 +155,49 @@ fn parse_opts() -> Opts {
     opts
 }
 
-fn load(db: &str, scale: f64) -> StoredDb {
-    const POOL: usize = 128 * 1024 * 1024;
+const POOL: usize = 128 * 1024 * 1024;
+
+fn build_logical(db: &str, scale: f64) -> MctDatabase {
     match db {
-        "movies" => StoredDb::build(movies::build().db, POOL).expect("build"),
-        "tpcw" => {
-            let data = TpcwData::generate(&TpcwConfig {
-                scale,
-                ..Default::default()
-            });
-            StoredDb::build(data.build_mct(), POOL).expect("build")
-        }
-        "sigmod" => {
-            let data = SigmodData::generate(&SigmodConfig {
-                scale,
-                ..Default::default()
-            });
-            StoredDb::build(data.build_mct(), POOL).expect("build")
-        }
+        "movies" => movies::build().db,
+        "tpcw" => TpcwData::generate(&TpcwConfig {
+            scale,
+            ..Default::default()
+        })
+        .build_mct(),
+        "sigmod" => SigmodData::generate(&SigmodConfig {
+            scale,
+            ..Default::default()
+        })
+        .build_mct(),
         other => {
             eprintln!("unknown --db {other} (movies | tpcw | sigmod)");
             std::process::exit(2);
+        }
+    }
+}
+
+fn load(db: &str, scale: f64) -> StoredDb {
+    StoredDb::build(build_logical(db, scale), POOL).expect("build")
+}
+
+/// Open (recovering via the WAL) or seed the durable store at `dir`.
+fn load_durable(dir: &str, db: &str, scale: f64) -> StoredDb<FileDisk> {
+    match StoredDb::open(dir, POOL) {
+        Ok(Some(stored)) => {
+            eprintln!("mctd: recovered durable store at {dir}");
+            stored
+        }
+        Ok(None) => {
+            eprintln!("mctd: seeding durable store at {dir} from --db {db}");
+            let mut stored =
+                StoredDb::create(dir, build_logical(db, scale), POOL).expect("create store");
+            stored.sync().expect("initial sync");
+            stored
+        }
+        Err(e) => {
+            eprintln!("mctd: cannot open --data-dir {dir}: {e}");
+            std::process::exit(5);
         }
     }
 }
@@ -189,8 +230,27 @@ fn main() {
     let opts = parse_opts();
     install_signal_handlers();
 
-    eprintln!("mctd: loading {} database (scale {})...", opts.db, opts.scale);
-    let stored = load(&opts.db, opts.scale);
+    if opts.checkpoint_bytes.is_some() && opts.data_dir.is_none() {
+        eprintln!("mctd: --checkpoint-bytes requires --data-dir (no WAL otherwise)");
+        std::process::exit(2);
+    }
+    if let Some(dir) = opts.data_dir.clone() {
+        eprintln!(
+            "mctd: loading durable {} database at {dir} (scale {})...",
+            opts.db, opts.scale
+        );
+        let mut stored = load_durable(&dir, &opts.db, opts.scale);
+        stored.set_checkpoint_bytes(opts.checkpoint_bytes);
+        run(stored, opts);
+    } else {
+        eprintln!("mctd: loading {} database (scale {})...", opts.db, opts.scale);
+        run(load(&opts.db, opts.scale), opts);
+    }
+}
+
+/// Serve `stored`, then block until a shutdown signal (or the
+/// shutdown file) and drain.
+fn run<D: DiskManager + Sync + 'static>(stored: StoredDb<D>, opts: Opts) {
     let workers = opts.cfg.workers;
     let handle = match serve(stored, opts.cfg) {
         Ok(h) => h,

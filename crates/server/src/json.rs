@@ -212,6 +212,13 @@ fn parse_value(b: &[u8], i: &mut usize) -> Result<Json, JsonError> {
     }
 }
 
+/// The four hex digits of a `\u` escape starting at `at`, if intact.
+fn parse_hex4(b: &[u8], at: usize) -> Option<u32> {
+    b.get(at..at + 4)
+        .and_then(|h| std::str::from_utf8(h).ok())
+        .and_then(|h| u32::from_str_radix(h, 16).ok())
+}
+
 fn parse_string(b: &[u8], i: &mut usize) -> Result<String, JsonError> {
     if b.get(*i) != Some(&b'"') {
         return Err(JsonError::at("expected a string", *i));
@@ -246,16 +253,35 @@ fn parse_string(b: &[u8], i: &mut usize) -> Result<String, JsonError> {
                     Some(b'b') => out.push('\u{0008}'),
                     Some(b'f') => out.push('\u{000c}'),
                     Some(b'u') => {
-                        let hex = b
-                            .get(*i + 1..*i + 5)
-                            .and_then(|h| std::str::from_utf8(h).ok())
-                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                        let hex = parse_hex4(b, *i + 1)
                             .ok_or(JsonError::at("malformed \\u escape", *i))?;
-                        // Surrogate pairs are not reassembled (our
-                        // payloads never emit them); lone surrogates
-                        // map to the replacement character.
-                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
                         *i += 4;
+                        if (0xD800..=0xDBFF).contains(&hex) {
+                            // High surrogate: joins a following
+                            // `\uDCxx` low surrogate into one astral
+                            // code point; a lone high surrogate maps
+                            // to the replacement character.
+                            let low = (b.get(*i + 1) == Some(&b'\\')
+                                && b.get(*i + 2) == Some(&b'u'))
+                            .then(|| parse_hex4(b, *i + 3))
+                            .flatten()
+                            .filter(|lo| (0xDC00..=0xDFFF).contains(lo));
+                            match low {
+                                Some(lo) => {
+                                    let cp =
+                                        0x10000 + ((hex - 0xD800) << 10) + (lo - 0xDC00);
+                                    out.push(
+                                        char::from_u32(cp).expect("surrogate pair in range"),
+                                    );
+                                    *i += 6;
+                                }
+                                None => out.push('\u{fffd}'),
+                            }
+                        } else {
+                            // A lone low surrogate also maps to the
+                            // replacement character.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
                     }
                     _ => return Err(JsonError::at("unknown escape", *i)),
                 }
@@ -323,6 +349,70 @@ mod tests {
     #[test]
     fn escape_into_round_trips_through_the_parser() {
         for s in ["plain", "with \"quotes\"", "line\nbreak\ttab", "uni ☃", "\u{0001}ctl"] {
+            let mut out = String::new();
+            escape_into(&mut out, s);
+            assert_eq!(Json::parse(&out).unwrap().as_str(), Some(s), "{out}");
+        }
+    }
+
+    #[test]
+    fn surrogate_pairs_reassemble_into_astral_code_points() {
+        // U+1D11E MUSICAL SYMBOL G CLEF.
+        assert_eq!(
+            Json::parse(r#""\uD834\uDD1E""#).unwrap().as_str(),
+            Some("\u{1D11E}")
+        );
+        // U+10FFFF, the last code point.
+        assert_eq!(
+            Json::parse(r#""\uDBFF\uDFFF""#).unwrap().as_str(),
+            Some("\u{10FFFF}")
+        );
+        // Embedded in surrounding text, twice in a row.
+        assert_eq!(
+            Json::parse(r#""a\uD83D\uDE00b\uD83D\uDE01c""#).unwrap().as_str(),
+            Some("a\u{1F600}b\u{1F601}c")
+        );
+        // Mixed-case hex digits.
+        assert_eq!(
+            Json::parse(r#""\ud834\uDd1e""#).unwrap().as_str(),
+            Some("\u{1D11E}")
+        );
+    }
+
+    #[test]
+    fn lone_surrogates_map_to_the_replacement_character() {
+        // Lone high surrogate (end of string).
+        assert_eq!(
+            Json::parse(r#""\uD834""#).unwrap().as_str(),
+            Some("\u{fffd}")
+        );
+        // Lone low surrogate.
+        assert_eq!(
+            Json::parse(r#""x\uDD1Ey""#).unwrap().as_str(),
+            Some("x\u{fffd}y")
+        );
+        // High surrogate followed by a non-surrogate escape: both
+        // survive, the stranded high as U+FFFD.
+        assert_eq!(
+            Json::parse(r#""\uD834A""#).unwrap().as_str(),
+            Some("\u{fffd}A")
+        );
+        // High surrogate followed by plain text.
+        assert_eq!(
+            Json::parse(r#""\uD834zz""#).unwrap().as_str(),
+            Some("\u{fffd}zz")
+        );
+        // High surrogate followed by a valid pair: the stranded one
+        // is replaced, the pair still reassembles.
+        assert_eq!(
+            Json::parse(r#""\uD834\uD834\uDD1E""#).unwrap().as_str(),
+            Some("\u{fffd}\u{1D11E}")
+        );
+    }
+
+    #[test]
+    fn astral_characters_round_trip_through_escape_and_parse() {
+        for s in ["\u{1D11E}", "emoji \u{1F600}\u{1F601}", "mix ☃ \u{10FFFF} end"] {
             let mut out = String::new();
             escape_into(&mut out, s);
             assert_eq!(Json::parse(&out).unwrap().as_str(), Some(s), "{out}");

@@ -236,6 +236,17 @@ impl RequestLog {
     }
 }
 
+impl Drop for RequestLog {
+    /// Non-drain exits — a panic unwinding past the server, an early
+    /// error return in `mctd` startup — must not silently lose up to
+    /// [`FLUSH_INTERVAL`]'s worth of buffered lines. `BufWriter`'s own
+    /// drop would flush too, but swallows failures; going through
+    /// [`RequestLog::flush`] counts them like every other write path.
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
 /// One captured slow request.
 #[derive(Clone, Debug)]
 pub struct SlowEntry {
@@ -422,6 +433,30 @@ mod tests {
         assert_eq!(
             Json::parse(lines[1]).unwrap().get("outcome").unwrap().as_str(),
             Some("error")
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn dropping_the_log_flushes_buffered_lines() {
+        let dir = std::env::temp_dir().join(format!("mct-obslog-drop-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("req.jsonl");
+        let _ = std::fs::remove_file(&path);
+        {
+            let log = RequestLog::file(&path).unwrap();
+            log.write(&rec(1, 1, 200));
+            // Within FLUSH_INTERVAL of the first write, this line stays
+            // in the BufWriter: nothing has flushed it yet.
+            log.write(&rec(2, 2, 200));
+            // No explicit flush: the log simply goes out of scope.
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "drop must flush the buffered tail");
+        assert_eq!(
+            Json::parse(lines[1]).unwrap().get("id").unwrap().as_u64(),
+            Some(2)
         );
         let _ = std::fs::remove_file(&path);
     }

@@ -15,7 +15,8 @@
 //!   "interval_ms": 1000, "window": 60,
 //!   "samples": [ {"unix_ms":…, "qps":…, "requests":…, "errors":…,
 //!                 "error_rate":…, "p50_us":…, "p95_us":…, "p99_us":…,
-//!                 "pool_hit_ratio":…, "inflight":…}, … ],
+//!                 "pool_hit_ratio":…, "wal_checkpoints":…,
+//!                 "inflight":…, "wal_bytes":…}, … ],
 //!   "aggregate": { same fields minus unix_ms/inflight, over the window }
 //! }
 //! ```
@@ -52,6 +53,11 @@ pub struct WindowStats {
     pub pool_hit_ratio: f64,
     /// In-flight requests at sample time (absolute gauge, not a delta).
     pub inflight: u64,
+    /// WAL checkpoints taken in the window.
+    pub wal_checkpoints: u64,
+    /// Live WAL bytes at sample time (absolute gauge, not a delta; 0
+    /// when no WAL is attached).
+    pub wal_bytes: u64,
 }
 
 fn counter(delta: &RegistrySnapshot, name: &str) -> u64 {
@@ -97,6 +103,8 @@ pub fn derive(unix_ms: u64, elapsed: Duration, delta: &RegistrySnapshot) -> Wind
             1.0
         },
         inflight: delta.gauges.get("server.inflight").copied().unwrap_or(0),
+        wal_checkpoints: counter(delta, "wal.checkpoints"),
+        wal_bytes: delta.gauges.get("wal.bytes").copied().unwrap_or(0),
     }
 }
 
@@ -128,9 +136,13 @@ fn push_fields(out: &mut String, w: &WindowStats, with_instant: bool) {
     out.push_str(&w.p99_us.to_string());
     out.push_str(",\"pool_hit_ratio\":");
     push_f64(out, w.pool_hit_ratio);
+    out.push_str(",\"wal_checkpoints\":");
+    out.push_str(&w.wal_checkpoints.to_string());
     if with_instant {
         out.push_str(",\"inflight\":");
         out.push_str(&w.inflight.to_string());
+        out.push_str(",\"wal_bytes\":");
+        out.push_str(&w.wal_bytes.to_string());
     }
 }
 
@@ -199,6 +211,8 @@ mod tests {
         reg.counter("storage.pool.hits").add(75);
         reg.counter("storage.pool.misses").add(25);
         reg.gauge("server.inflight").add(3);
+        reg.counter("wal.checkpoints").add(2);
+        reg.gauge("wal.bytes").set(12_345);
         let lat = reg.histogram("server.latency.query");
         for _ in 0..90 {
             lat.record(1_000_000); // 1ms in ns
@@ -215,6 +229,8 @@ mod tests {
         assert!((w.error_rate - 0.05).abs() < 1e-9);
         assert!((w.pool_hit_ratio - 0.75).abs() < 1e-9);
         assert_eq!(w.inflight, 3);
+        assert_eq!(w.wal_checkpoints, 2);
+        assert_eq!(w.wal_bytes, 12_345);
         // Log-scale upper bounds: p50 covers the 1ms observations
         // (≤ 2^20ns ≈ 1.05ms); ranks 91..100 land in the 80ms
         // outliers' bucket, so p95 and p99 reach it.
@@ -254,8 +270,10 @@ mod tests {
         assert_eq!(arr[0].get("requests").unwrap().as_u64(), Some(10));
         assert_eq!(arr[2].get("requests").unwrap().as_u64(), Some(30));
         assert_eq!(arr[2].get("unix_ms").unwrap().as_u64(), Some(1002));
+        assert_eq!(arr[0].get("wal_bytes").unwrap().as_u64(), Some(0));
         let agg = v.get("aggregate").unwrap();
         assert_eq!(agg.get("requests").unwrap().as_u64(), Some(60));
+        assert_eq!(agg.get("wal_checkpoints").unwrap().as_u64(), Some(0));
         assert!((agg.get("qps").unwrap().as_f64().unwrap() - 20.0).abs() < 1e-6);
         assert!(agg.get("p50_us").unwrap().as_u64().unwrap() >= 500);
     }

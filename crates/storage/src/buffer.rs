@@ -404,6 +404,12 @@ impl<D: DiskManager> BufferPool<D> {
         mlock(&self.dirty_since_commit).len()
     }
 
+    /// Live bytes in the attached WAL (zero without one): the input to
+    /// the auto-checkpoint policy and the `wal.bytes` gauge.
+    pub fn wal_bytes(&self) -> u64 {
+        mlock(&self.wal).as_ref().map_or(0, |w| w.len_bytes())
+    }
+
     /// Tear the pool down into its disk and WAL (cached pages are
     /// dropped, not flushed — commit first for durability).
     pub fn into_parts(self) -> (D, Option<Wal>) {
@@ -857,6 +863,48 @@ impl<D: DiskManager> BufferPool<D> {
         self.flush_all()?;
         mlock(&self.disk).sync_data()?;
         Ok(lsn)
+    }
+
+    /// Checkpoint: bound the WAL so recovery replays only work since
+    /// this point. Only legal at a quiescent point — no open
+    /// transaction and nothing dirtied since the last commit —
+    /// because advancing the log's start pointer discards the redo
+    /// images that repair uncommitted writes, and flushing
+    /// not-yet-committed pages here would silently commit them.
+    ///
+    /// Ordering is the load-bearing part: every committed page is
+    /// flushed and the **data file fsynced before** the WAL's start
+    /// pointer moves ([`Wal::checkpoint`]), so truncation never
+    /// outruns durability of the pages whose redo images it discards.
+    ///
+    /// Returns the checkpoint record's LSN.
+    pub fn checkpoint(&self, catalog: &[u8]) -> Result<u64> {
+        let mut wal_guard = mlock(&self.wal);
+        let wal = wal_guard
+            .as_mut()
+            .ok_or(StorageError::Corrupt("checkpoint without an attached WAL"))?;
+        if self.txn_active.load(Ordering::Acquire) {
+            return Err(StorageError::Corrupt(
+                "checkpoint inside an open transaction",
+            ));
+        }
+        if !mlock(&self.dirty_since_commit).is_empty() {
+            return Err(StorageError::Corrupt(
+                "checkpoint with uncommitted dirty pages",
+            ));
+        }
+        // 1. Make the committed state durable in the data file. After
+        // a successful commit this is usually a no-op (commit ends
+        // with the same flush + fsync), but checkpoint must not rely
+        // on who called it.
+        self.flush_all()?;
+        let num_pages = {
+            let mut disk = mlock(&self.disk);
+            disk.sync_data()?;
+            disk.num_pages()
+        };
+        // 2. Only now may the log advance its start pointer.
+        wal.checkpoint(num_pages, catalog)
     }
 
     /// Step 1 of [`BufferPool::commit`]: append a redo image for every

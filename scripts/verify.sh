@@ -122,4 +122,6 @@ rm -f "$PORT_FILE"
 
 scripts/obs_smoke.sh
 
+scripts/checkpoint_smoke.sh
+
 echo "OK: all checks passed"

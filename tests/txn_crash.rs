@@ -244,6 +244,139 @@ fn every_update_crash_point_recovers_atomically() {
     }
 }
 
+/// Crash-at-every-write-boundary loop *through a WAL checkpoint*.
+///
+/// With `--checkpoint-bytes 0` semantics (threshold zero) every commit
+/// is followed by a full checkpoint: flush, data fsync, checkpoint
+/// record, header-slot publish, relocation, physical truncation. This
+/// test runs two effective updates back to back under that policy, so
+/// the write boundaries include every step of two complete checkpoint
+/// cycles, and kills the engine at each one in turn. Recovery must
+/// land on exactly one of the committed states along the chain
+/// (pre-update, after update 1, after update 2) — truncation must
+/// never outrun the durability of the flushed pages — and the deep
+/// checker must report zero violations every time.
+#[test]
+fn every_crash_point_through_a_checkpoint_recovers_atomically() {
+    let (tpcw, sigmod) = datasets();
+    let params = Params::derive(&tpcw, &sigmod);
+    let base = test_dir("txn-ckpt-base");
+    let work = test_dir("txn-ckpt-work");
+    let pre_digest = build_base(&base, tpcw.build_mct());
+
+    // Probe for TPC-W updates that actually modify data at this scale
+    // (the atomicity test above guarantees at least one exists).
+    let mut updates = Vec::new();
+    for wq in update_workloads(&params)
+        .into_iter()
+        .filter(|w| w.dataset == Dataset::Tpcw)
+    {
+        clone_store(&base, &work);
+        let mut s = recover(&work).unwrap().expect("probe open");
+        run_update(&mut s, &wq, SchemaKind::Mct).expect("probe update");
+        if digest(&s) != pre_digest {
+            updates.push(wq);
+        }
+    }
+    assert!(
+        !updates.is_empty(),
+        "at least one TPC-W update must modify the store at this scale"
+    );
+    updates.truncate(2);
+    let run_all = |s: &mut StoredDb<FaultDisk<FileDisk>>| -> Result<(), String> {
+        for wq in &updates {
+            run_update(s, wq, SchemaKind::Mct).map_err(|e| format!("{}: {e}", wq.id))?;
+        }
+        Ok(())
+    };
+
+    // Reference run without checkpoints, to prove the instrumented run
+    // below actually crosses checkpoint-internal write boundaries.
+    clone_store(&base, &work);
+    let injector = FaultInjector::new(0x5EED);
+    let mut s = open_faulted(&work, &injector).unwrap().expect("durable");
+    let before = injector.writes();
+    run_all(&mut s).expect("no-checkpoint reference run");
+    let plain_total = injector.writes() - before;
+    drop(s);
+
+    // Clean run under the always-checkpoint policy: collect the chain
+    // of committed digests and the write-boundary count.
+    clone_store(&base, &work);
+    let wal_size = |d: &Path| std::fs::metadata(d.join("wal.log")).unwrap().len();
+    let wal_before = wal_size(&work);
+    let injector = FaultInjector::new(0x5EED);
+    let mut s = open_faulted(&work, &injector).unwrap().expect("durable");
+    s.set_checkpoint_bytes(Some(0));
+    let before = injector.writes();
+    let mut chain = vec![pre_digest.clone()];
+    for wq in &updates {
+        run_update(&mut s, wq, SchemaKind::Mct).expect("clean checkpointed update");
+        chain.push(digest(&s));
+    }
+    let total = injector.writes() - before;
+    assert_clean(&s, "clean checkpointed run");
+    drop(s);
+    assert!(
+        total > plain_total,
+        "checkpoints must add write boundaries ({total} vs {plain_total} without)"
+    );
+    // Both checkpoints truncated the log: the file holds only the last
+    // checkpoint + nothing, far below the seeded base WAL.
+    assert!(
+        wal_size(&work) < wal_before,
+        "checkpoint must shrink wal.log ({wal_before} -> {})",
+        wal_size(&work)
+    );
+    let reopened = recover(&work).unwrap().expect("durable");
+    assert_eq!(digest(&reopened), *chain.last().unwrap(), "durability");
+    drop(reopened);
+
+    let (mut at_pre, mut at_post) = (0u64, 0u64);
+    for k in 0..total {
+        clone_store(&base, &work);
+        let injector = FaultInjector::new(0x5EED ^ k);
+        let mut s = open_faulted(&work, &injector).unwrap().expect("durable");
+        s.set_checkpoint_bytes(Some(0));
+        injector.crash_at_write(injector.writes() + k);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_all(&mut s)));
+        // Checkpoint failures are swallowed (the commit is already
+        // durable), so a late crash can leave run_all returning Ok —
+        // but the injector must have fired.
+        assert!(injector.crashed(), "write {k}: no crash (r={r:?})");
+        drop(s);
+
+        let mut recovered = recover(&work)
+            .unwrap_or_else(|e| panic!("write {k}: recovery failed: {e}"))
+            .unwrap_or_else(|| panic!("write {k}: base commit lost"));
+        let now = digest(&recovered);
+        assert!(
+            chain.contains(&now),
+            "write {k}: recovered to a state off the committed chain"
+        );
+        if now == chain[0] {
+            at_pre += 1;
+        }
+        if now == *chain.last().unwrap() {
+            at_post += 1;
+        }
+        assert_clean(&recovered, &format!("after crash at write {k}"));
+        // The recovered store still takes updates from wherever it
+        // landed.
+        run_update(&mut recovered, &updates[0], SchemaKind::Mct)
+            .unwrap_or_else(|e| panic!("write {k}: post-recovery update failed: {e}"));
+        assert_clean(&recovered, &format!("post-recovery update at write {k}"));
+    }
+    assert!(at_pre > 0, "some crash points must precede the first commit");
+    assert!(
+        at_post > 0,
+        "some crash points must follow the last commit (checkpoint tail)"
+    );
+    for d in [&base, &work] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}
+
 /// A clean injected I/O error (the disk stays alive, one write fails)
 /// must surface as a typed error and leave the live store — no
 /// recovery step, no reopen — answering from the pre-update state.
