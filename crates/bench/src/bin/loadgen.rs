@@ -18,6 +18,10 @@
 //! * `--workers N` — embedded server worker threads (default 4).
 //! * `--update-every N` — in the mixed workload, every Nth request per
 //!   connection is an update (default 0 = read-only).
+//! * `--replica HOST:PORT` (repeatable) — read replicas: reads fan out
+//!   round-robin across the primary plus every replica, updates stay
+//!   pinned to the primary, and each sweep line gets a per-endpoint
+//!   request-share breakdown (the read-scaling view).
 //! * `--latency-summary` — after the sweep, print the client-side
 //!   quantile ladder (p50/p90/p95/p99/max) for every phase, then
 //!   scrape the server's `/stats` window and print its own view of the
@@ -39,7 +43,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--host H] [--port P] [--db movies|tpcw|sigmod] [--scale X] \
          [--connections LIST] [--requests N] [--workers N] [--update-every N] \
-         [--latency-summary]"
+         [--replica HOST:PORT]... [--latency-summary]"
     );
     std::process::exit(2);
 }
@@ -53,6 +57,7 @@ struct Opts {
     requests: usize,
     workers: usize,
     update_every: usize,
+    replicas: Vec<(String, u16)>,
     latency_summary: bool,
 }
 
@@ -66,6 +71,7 @@ fn parse_opts() -> Opts {
         requests: 50,
         workers: 4,
         update_every: 0,
+        replicas: Vec::new(),
         latency_summary: false,
     };
     let mut it = std::env::args().skip(1);
@@ -91,6 +97,16 @@ fn parse_opts() -> Opts {
             "--workers" => o.workers = req(&mut it).parse().unwrap_or_else(|_| usage()),
             "--update-every" => {
                 o.update_every = req(&mut it).parse().unwrap_or_else(|_| usage())
+            }
+            "--replica" => {
+                let ep = req(&mut it);
+                match mct_server::split_endpoint(&ep) {
+                    Ok(pair) => o.replicas.push(pair),
+                    Err(e) => {
+                        eprintln!("--replica: {e}");
+                        usage();
+                    }
+                }
             }
             "--latency-summary" => o.latency_summary = true,
             "--help" | "-h" => usage(),
@@ -173,6 +189,7 @@ fn main() {
         queries: queries.clone(),
         update_every: opts.update_every,
         update_text: (opts.update_every > 0).then(|| update_text(&opts.db)),
+        read_endpoints: opts.replicas.clone(),
     };
 
     println!(
@@ -200,6 +217,9 @@ fn main() {
     for &connections in &opts.connections {
         let report = run(&opts.host, port, &spec(connections)).expect("sweep run");
         println!("  {}", report.render());
+        if let Some(shares) = report.render_endpoints() {
+            println!("    {shares}");
+        }
         phases.push((format!("c{connections}"), report));
     }
 

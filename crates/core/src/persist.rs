@@ -278,7 +278,13 @@ impl<D: DiskManager> StoredDb<D> {
         let (db, phys) = snapshot::decode(&state.catalog)?;
         let mut pool = BufferPool::new(data, pool_bytes);
         pool.attach_wal(wal);
-        Ok(Some(StoredDb {
+        Ok(Some(Self::assemble(db, phys, pool)))
+    }
+
+    /// Construct a `StoredDb` from a decoded catalog over a pool whose
+    /// page file already holds the state the catalog describes.
+    fn assemble(db: MctDatabase, phys: PhysCatalog, pool: BufferPool<D>) -> StoredDb<D> {
+        StoredDb {
             db,
             pool,
             content_heap: HeapFile::from_parts(
@@ -316,7 +322,52 @@ impl<D: DiskManager> StoredDb<D> {
             attr_rid: phys.attr_rid,
             generation: 0,
             checkpoint_bytes: None,
-        }))
+        }
+    }
+
+    // ----- replication ----------------------------------------------------------
+
+    /// Serialize the current catalog (logical database + physical
+    /// directory) — the same blob [`StoredDb::sync`] hands to the WAL
+    /// commit record. Replication ships it in snapshot frames.
+    pub fn snapshot_catalog(&self) -> Vec<u8> {
+        snapshot::encode(&self.db, &self.phys_catalog())
+    }
+
+    /// Rebuild a `StoredDb` over `data`, a page file whose raw
+    /// contents already equal the state `catalog` describes (e.g.
+    /// pages shipped by a replication snapshot). No WAL is attached —
+    /// a replica's durability is the primary's log, not its own.
+    pub fn from_snapshot(
+        data: D,
+        catalog: &[u8],
+        pool_bytes: usize,
+    ) -> mct_storage::Result<StoredDb<D>> {
+        let (db, phys) = snapshot::decode(catalog)?;
+        Ok(Self::assemble(db, phys, BufferPool::new(data, pool_bytes)))
+    }
+
+    /// Apply one replicated page image (the replica's redo path).
+    /// Exclusive-writer: the replica applies record batches under its
+    /// server write lock, so readers only ever see committed prefixes.
+    pub fn apply_repl_image(
+        &mut self,
+        page: mct_storage::PageId,
+        image: &[u8],
+    ) -> mct_storage::Result<()> {
+        self.pool.install_image(page, image)
+    }
+
+    /// Apply a replicated commit: truncate the page file to the
+    /// committed count, install the shipped catalog, and bump the
+    /// generation so plan caches and other derived state go stale.
+    /// Idempotent for checkpoint records (same catalog re-applied).
+    pub fn apply_repl_commit(&mut self, num_pages: u32, catalog: &[u8]) -> mct_storage::Result<()> {
+        self.pool.truncate_pages(num_pages)?;
+        let (db, phys) = snapshot::decode(catalog)?;
+        self.install_catalog(db, phys);
+        self.generation += 1;
+        Ok(())
     }
 
     // ----- transactions ---------------------------------------------------------
@@ -574,6 +625,16 @@ impl<D: DiskManager> StoredDb<D> {
         self.generation += 1;
     }
 
+    /// Raise the generation to at least `floor`. A replica that swaps
+    /// in a freshly bootstrapped store (which starts at generation 0)
+    /// lifts it past the store it replaces, so generation-stamped
+    /// derived state (plan caches) cannot confuse the two.
+    pub fn set_generation_floor(&mut self, floor: u64) {
+        if self.generation < floor {
+            self.generation = floor;
+        }
+    }
+
     /// Re-annotate every dirty color and rebuild its structural
     /// indexes, restoring the "all codes clean" invariant that the
     /// shared read-only execution paths rely on. No-op when nothing is
@@ -616,6 +677,16 @@ impl<D: DiskManager> StoredDb<D> {
             }
         }
         for c in node.colors.iter() {
+            // A renumbering insert runs `reindex_color` before persisting,
+            // which already wrote this node's structural record; inserting
+            // again would orphan the first record in the heap (the link
+            // index only remembers the latest rid).
+            if self.link_indexes[c.index()]
+                .get(&self.pool, &KeyEncoder::u32(n.0))?
+                .is_some()
+            {
+                continue;
+            }
             let code = self.db.code(n, c).expect("code assigned before persist");
             let rid = self.struct_heaps[c.index()]
                 .insert(&self.pool, &encode_struct(n, name, code))?;
@@ -1012,6 +1083,57 @@ mod tests {
             .filter(|m| r.link_probe(m.node, green).unwrap().is_some())
             .count();
         assert_eq!(crossings, 5);
+    }
+
+    #[test]
+    fn snapshot_ship_and_rebuild_matches_source() {
+        // The replication bootstrap path in miniature: raw pages +
+        // catalog blob shipped to a fresh MemDisk rebuild the exact
+        // same observable store.
+        let mut s = StoredDb::build_on(walled_pool(4 * 1024 * 1024), small_db()).unwrap();
+        s.sync().unwrap();
+        let before = fingerprint(&mut s);
+        let catalog = s.snapshot_catalog();
+        let mut shipped = MemDisk::new();
+        for p in 0..s.pool.num_pages() {
+            let mut buf = [0u8; PAGE_SIZE];
+            s.pool
+                .read_page_raw(mct_storage::PageId(p), &mut buf)
+                .unwrap();
+            shipped.allocate().unwrap();
+            shipped.write(mct_storage::PageId(p), &buf).unwrap();
+        }
+        let mut r = StoredDb::from_snapshot(shipped, &catalog, 4 * 1024 * 1024).unwrap();
+        assert_eq!(fingerprint(&mut r), before);
+        assert!(!r.pool.has_wal(), "replicas have no log of their own");
+
+        // Replicated-commit apply: mutate the source, commit, ship the
+        // images + commit the way the stream would.
+        let n = s.content_lookup("Movie 3").unwrap()[0];
+        s.update_content(n, "Shipped Edit").unwrap();
+        s.sync().unwrap();
+        let after = fingerprint(&mut s);
+        let mut cursor = mct_storage::TailCursor::new();
+        let (records, remaining) = s
+            .pool
+            .with_wal(|wal| wal.read_committed_after(&mut cursor, 0, u64::MAX))
+            .unwrap();
+        assert_eq!(remaining, 0);
+        for rec in records {
+            match rec {
+                mct_storage::ReplRecord::Image { page, image, .. } => {
+                    r.apply_repl_image(page, &image).unwrap();
+                }
+                mct_storage::ReplRecord::Commit {
+                    num_pages, catalog, ..
+                } => {
+                    r.apply_repl_commit(num_pages, &catalog).unwrap();
+                }
+            }
+        }
+        assert_eq!(fingerprint(&mut r), after);
+        assert_eq!(r.content_lookup("Shipped Edit").unwrap(), vec![n]);
+        assert!(r.generation() > 0, "replicated commit bumps the generation");
     }
 
     #[test]

@@ -367,6 +367,32 @@ mod tests {
     }
 
     #[test]
+    fn repeated_single_inserts_survive_a_renumber_without_duplicates() {
+        // Sibling code gaps run out after a couple of inserts under the
+        // same parent; the next insert renumbers the color, and the
+        // renumbering `reindex_color` already writes the new node's
+        // structural record — persisting it again must not leave an
+        // orphaned duplicate in the heap (caught by the deep checker).
+        let mut s = stored();
+        for tag in ["first-note", "second-note", "third-note", "fourth-note"] {
+            let u = parse_update(&format!(
+                r#"for $m in document("d")/{{green}}descendant::movie
+                   update $m {{ insert <{tag}>x</{tag}> }}"#
+            ))
+            .unwrap();
+            assert_eq!(execute_update(&mut s, &u).unwrap(), 3);
+            let report = s.check().unwrap();
+            assert!(
+                report.violations.is_empty(),
+                "store inconsistent after inserting <{tag}>: {:?}",
+                report.violations
+            );
+        }
+        let green = s.db.color("green").unwrap();
+        assert_eq!(s.postings_named(green, "third-note").unwrap().len(), 3);
+    }
+
+    #[test]
     fn update_touching_many_bindings() {
         let mut s = stored();
         let u = parse_update(

@@ -1,0 +1,32 @@
+//! # mct-repl — WAL-shipping replication for `mctd`
+//!
+//! Horizontal read scaling for the paper's read-dominated workload
+//! (§7: 27 queries vs 6 updates): one primary accepts updates and
+//! ships its write-ahead log to any number of replicas, each serving
+//! the full read surface from its own in-memory store.
+//!
+//! * [`proto`] — the framed binary wire protocol (magic, type, length,
+//!   CRC-32), snapshot and record frames, heartbeats, acks.
+//! * [`primary`] — accept replicas, cut consistent snapshots under the
+//!   write lock, stream committed WAL records, track per-replica acked
+//!   LSNs.
+//! * [`replica`] — snapshot bootstrap, batch-apply commits under the
+//!   write lock, ack progress, reconnect with capped backoff (resume
+//!   from the applied LSN, or re-bootstrap when checkpoint truncation
+//!   outran it).
+//!
+//! The subsystem is deliberately server-agnostic: both ends operate on
+//! `Arc<RwLock<StoredDb<D>>>`, the exact shape `mct-server` keeps its
+//! database in, so `mctd` wires replication next to HTTP serving
+//! without a dependency cycle. Observability: `repl.lag_bytes` /
+//! `repl.lag_records` / `repl.applied_lsn` gauges and
+//! `repl.snapshots` / `repl.reconnects` counters on both ends.
+//! Protocol details and invariants: DESIGN.md §16.
+
+pub mod primary;
+pub mod proto;
+pub mod replica;
+
+pub use primary::{start_primary, PrimaryCfg, PrimaryHandle, ReplicaStatus};
+pub use proto::{Frame, VERSION};
+pub use replica::{start_replica, ReplicaCfg, ReplicaHandle};

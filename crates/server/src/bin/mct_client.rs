@@ -16,17 +16,23 @@
 //! an `update` is never resent once any request byte reached the
 //! server, no matter the retry budget.
 //!
+//! `--endpoints a:p,b:p,…` talks to a replicated deployment instead of
+//! one server: reads round-robin across the pool (skipping endpoints
+//! whose connect fails), while an `update` follows a replica's `421`
+//! misdirect to the primary named in its `X-Primary` header.
+//!
 //! Exit codes: `0` success (2xx), `2` usage error, `3` transport
 //! failure (cannot reach the server), `4` HTTP error status from the
 //! server (the response body goes to stderr).
 
-use mct_server::Client;
+use mct_server::{Client, MultiClient};
 use std::io::Read;
 use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mct-client [--host H] [--port P] [--timeout-ms N] [--retries N] \
+        "usage: mct-client [--host H] [--port P] [--endpoints H:P,H:P,...] \
+         [--timeout-ms N] [--retries N] \
          <health|metrics|check|stats|slow|query|query-json|update> [TEXT]"
     );
     std::process::exit(2);
@@ -35,6 +41,7 @@ fn usage() -> ! {
 fn main() {
     let mut host = "127.0.0.1".to_string();
     let mut port: u16 = 8642;
+    let mut endpoints: Option<String> = None;
     let mut timeout_ms: u64 = 30_000;
     let mut retries: u32 = 0;
     let mut command: Option<String> = None;
@@ -45,6 +52,7 @@ fn main() {
         match a.as_str() {
             "--host" => host = it.next().unwrap_or_else(|| usage()),
             "--port" => port = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--endpoints" => endpoints = Some(it.next().unwrap_or_else(|| usage())),
             "--timeout-ms" => {
                 timeout_ms = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
             }
@@ -69,6 +77,33 @@ fn main() {
         text = Some(buf);
     }
 
+    if let Some(list) = &endpoints {
+        let pool = match MultiClient::parse(list) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("--endpoints: {e}");
+                std::process::exit(2);
+            }
+        };
+        let pool = pool.map_clients(|c| {
+            c.with_timeout(Duration::from_millis(timeout_ms.max(1)))
+                .with_retries(retries)
+        });
+        let result = match command.as_str() {
+            "health" => pool.healthz(),
+            "query" => pool.query(text.as_deref().unwrap_or("")),
+            "query-json" => pool.query_json(text.as_deref().unwrap_or("")),
+            "update" => pool.update(text.as_deref().unwrap_or("")),
+            other => {
+                eprintln!(
+                    "{other} is a per-node command; use --host/--port to pick the node"
+                );
+                std::process::exit(2);
+            }
+        };
+        finish(result, list);
+    }
+
     let client = Client::new(&host, port)
         .with_timeout(Duration::from_millis(timeout_ms.max(1)))
         .with_retries(retries);
@@ -91,16 +126,22 @@ fn main() {
         _ => usage(),
     };
 
+    finish(result, &format!("{host}:{port}"));
+}
+
+/// Print the reply (or error) and exit with the documented code.
+fn finish(result: std::io::Result<mct_server::Reply>, target: &str) -> ! {
     match result {
         Ok(reply) if reply.is_ok() => {
             print!("{}", reply.body_str());
+            std::process::exit(0);
         }
         Ok(reply) => {
             eprintln!("HTTP {}: {}", reply.status, reply.body_str().trim_end());
             std::process::exit(4);
         }
         Err(e) => {
-            eprintln!("cannot reach {host}:{port}: {e}");
+            eprintln!("cannot reach {target}: {e}");
             std::process::exit(3);
         }
     }

@@ -29,6 +29,21 @@
 //!   leaves more than N live bytes in it, bounding both the log file
 //!   and recovery time (default off; requires `--data-dir`).
 //!
+//! Replication flags:
+//! * `--repl-listen ADDR` — act as a replication primary: serve the
+//!   WAL-shipping protocol on ADDR (snapshot bootstrap + streaming
+//!   catch-up). Requires `--data-dir` (the shipped log is the WAL).
+//! * `--replica-of ADDR` — act as a read replica of the primary whose
+//!   replication listener is at ADDR. Bootstraps from a snapshot,
+//!   streams committed records, serves the full read surface, and
+//!   answers `POST /update` with `421` + an `X-Primary` header naming
+//!   the primary's HTTP address. Conflicts with `--data-dir`.
+//! * `--replica-id NAME` — identity reported to the primary (default
+//!   `replica-<pid>`).
+//! * `--repl-poll-ms N` — primary's WAL poll interval (default 50).
+//! * `--repl-port-file PATH` — write the bound replication port there
+//!   once listening (for scripts using `--repl-listen 127.0.0.1:0`).
+//!
 //! Observability flags:
 //! * `--log-json PATH|stderr` — write one structured JSON line per
 //!   request (id, endpoint, query hash, cache hit/miss, rows, latency,
@@ -44,10 +59,13 @@
 //! every queued request, exit 0.
 
 use mct_core::{MctDatabase, StoredDb};
-use mct_server::{serve, ServerConfig};
+use mct_repl::{start_primary, start_replica, PrimaryCfg, ReplicaCfg, ReplicaHandle};
+use mct_server::{serve_shared, ServerConfig};
 use mct_storage::{DiskManager, FileDisk};
 use mct_workloads::{movies, SigmodConfig, SigmodData, TpcwConfig, TpcwData};
+use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
 use std::time::Duration;
 
 struct Opts {
@@ -57,6 +75,11 @@ struct Opts {
     shutdown_file: Option<String>,
     data_dir: Option<String>,
     checkpoint_bytes: Option<u64>,
+    repl_listen: Option<String>,
+    repl_port_file: Option<String>,
+    replica_of: Option<String>,
+    replica_id: Option<String>,
+    repl_poll_ms: u64,
     cfg: ServerConfig,
 }
 
@@ -66,6 +89,8 @@ fn usage() -> ! {
          [--port-file PATH] [--threads N] [--exec-threads N] [--queue N] \
          [--deadline-ms N] [--cache N] [--shutdown-file PATH] \
          [--data-dir PATH] [--checkpoint-bytes N] \
+         [--repl-listen ADDR] [--repl-port-file PATH] [--replica-of ADDR] \
+         [--replica-id NAME] [--repl-poll-ms N] \
          [--log-json PATH|stderr] [--slow-ms N|off] [--slow-capacity N] \
          [--stats-interval-ms N] [--stats-window N]"
     );
@@ -80,6 +105,11 @@ fn parse_opts() -> Opts {
         shutdown_file: None,
         data_dir: None,
         checkpoint_bytes: None,
+        repl_listen: None,
+        repl_port_file: None,
+        replica_of: None,
+        replica_id: None,
+        repl_poll_ms: 50,
         cfg: ServerConfig {
             port: 8642,
             ..ServerConfig::default()
@@ -119,6 +149,15 @@ fn parse_opts() -> Opts {
             "--data-dir" => opts.data_dir = Some(value(&mut it, "--data-dir")),
             "--checkpoint-bytes" => {
                 opts.checkpoint_bytes = Some(numeric::<u64>(&mut it, "--checkpoint-bytes"))
+            }
+            "--repl-listen" => opts.repl_listen = Some(value(&mut it, "--repl-listen")),
+            "--repl-port-file" => {
+                opts.repl_port_file = Some(value(&mut it, "--repl-port-file"))
+            }
+            "--replica-of" => opts.replica_of = Some(value(&mut it, "--replica-of")),
+            "--replica-id" => opts.replica_id = Some(value(&mut it, "--replica-id")),
+            "--repl-poll-ms" => {
+                opts.repl_poll_ms = numeric::<u64>(&mut it, "--repl-poll-ms").max(1)
             }
             "--log-json" => opts.cfg.log_json = Some(value(&mut it, "--log-json")),
             "--slow-ms" => {
@@ -227,32 +266,74 @@ fn install_signal_handlers() {
 fn install_signal_handlers() {}
 
 fn main() {
-    let opts = parse_opts();
+    let mut opts = parse_opts();
     install_signal_handlers();
 
     if opts.checkpoint_bytes.is_some() && opts.data_dir.is_none() {
         eprintln!("mctd: --checkpoint-bytes requires --data-dir (no WAL otherwise)");
         std::process::exit(2);
     }
-    if let Some(dir) = opts.data_dir.clone() {
+    if opts.repl_listen.is_some() && opts.data_dir.is_none() {
+        eprintln!("mctd: --repl-listen requires --data-dir (the shipped log is the WAL)");
+        std::process::exit(2);
+    }
+    if opts.replica_of.is_some() && (opts.data_dir.is_some() || opts.repl_listen.is_some()) {
+        eprintln!("mctd: --replica-of conflicts with --data-dir / --repl-listen");
+        std::process::exit(2);
+    }
+
+    if let Some(primary) = opts.replica_of.clone() {
+        let replica_id = opts
+            .replica_id
+            .clone()
+            .unwrap_or_else(|| format!("replica-{}", std::process::id()));
+        eprintln!("mctd: bootstrapping replica {replica_id} from {primary}...");
+        let replica = match start_replica(ReplicaCfg {
+            primary,
+            replica_id,
+            pool_bytes: POOL,
+            ..ReplicaCfg::default()
+        }) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("mctd: cannot bootstrap replica: {e}");
+                std::process::exit(5);
+            }
+        };
+        opts.cfg.primary_http = Some(replica.primary_http());
+        eprintln!(
+            "mctd: replica bootstrapped at LSN {} (primary HTTP {})",
+            replica.applied_lsn(),
+            replica.primary_http()
+        );
+        run(replica.db(), opts, Some(replica));
+    } else if let Some(dir) = opts.data_dir.clone() {
         eprintln!(
             "mctd: loading durable {} database at {dir} (scale {})...",
             opts.db, opts.scale
         );
         let mut stored = load_durable(&dir, &opts.db, opts.scale);
         stored.set_checkpoint_bytes(opts.checkpoint_bytes);
-        run(stored, opts);
+        opts.cfg.repl_primary = opts.repl_listen.is_some();
+        run(Arc::new(RwLock::new(stored)), opts, None);
     } else {
         eprintln!("mctd: loading {} database (scale {})...", opts.db, opts.scale);
-        run(load(&opts.db, opts.scale), opts);
+        let stored = load(&opts.db, opts.scale);
+        run(Arc::new(RwLock::new(stored)), opts, None);
     }
 }
 
-/// Serve `stored`, then block until a shutdown signal (or the
-/// shutdown file) and drain.
-fn run<D: DiskManager + Sync + 'static>(stored: StoredDb<D>, opts: Opts) {
+/// Serve the shared store, then block until a shutdown signal (or the
+/// shutdown file) and drain. On a primary this also starts the
+/// replication listener; on a replica, `replica` is the streaming
+/// engine kept alive (and torn down) alongside the HTTP front end.
+fn run<D: DiskManager + Sync + 'static>(
+    db: Arc<RwLock<StoredDb<D>>>,
+    opts: Opts,
+    replica: Option<ReplicaHandle>,
+) {
     let workers = opts.cfg.workers;
-    let handle = match serve(stored, opts.cfg) {
+    let handle = match serve_shared(Arc::clone(&db), opts.cfg) {
         Ok(h) => h,
         Err(e) => {
             eprintln!("mctd: cannot start server: {e}");
@@ -265,6 +346,43 @@ fn run<D: DiskManager + Sync + 'static>(stored: StoredDb<D>, opts: Opts) {
         handle.addr(),
         workers
     );
+    let primary = if let Some(addr) = &opts.repl_listen {
+        let listener = match TcpListener::bind(addr) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("mctd: cannot bind --repl-listen {addr}: {e}");
+                handle.shutdown();
+                std::process::exit(5);
+            }
+        };
+        let p = match start_primary(
+            listener,
+            Arc::clone(&db),
+            PrimaryCfg {
+                advertise_http: handle.addr().to_string(),
+                poll_interval: Duration::from_millis(opts.repl_poll_ms),
+                ..PrimaryCfg::default()
+            },
+        ) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("mctd: cannot start replication primary: {e}");
+                handle.shutdown();
+                std::process::exit(5);
+            }
+        };
+        eprintln!("mctd: replication primary listening on {}", p.addr());
+        if let Some(path) = &opts.repl_port_file {
+            if let Err(e) = std::fs::write(path, format!("{}\n", p.port())) {
+                eprintln!("mctd: cannot write --repl-port-file {path}: {e}");
+                handle.shutdown();
+                std::process::exit(5);
+            }
+        }
+        Some(p)
+    } else {
+        None
+    };
     if let Some(path) = &opts.port_file {
         if let Err(e) = std::fs::write(path, format!("{}\n", handle.port())) {
             eprintln!("mctd: cannot write --port-file {path}: {e}");
@@ -289,5 +407,13 @@ fn run<D: DiskManager + Sync + 'static>(stored: StoredDb<D>, opts: Opts) {
     }
 
     let served = handle.shutdown();
+    if let Some(p) = primary {
+        p.shutdown();
+        eprintln!("mctd: replication primary stopped");
+    }
+    if let Some(r) = replica {
+        r.shutdown();
+        eprintln!("mctd: replica stream stopped");
+    }
     eprintln!("mctd: drained cleanly after {served} request(s)");
 }

@@ -9,7 +9,8 @@
 //! Polls `GET /stats?window=N`, `GET /slow`, and `GET /healthz`, and
 //! renders one plain-text frame per tick: current and windowed
 //! throughput / latency quantiles / error rate / pool hit ratio, an
-//! ASCII sparkline of qps and p99 over the window, and the most recent
+//! ASCII sparkline of qps and p99 over the window (plus replication
+//! lag when the node is a primary or replica), and the most recent
 //! slow-query captures. The only terminal control used is the ANSI
 //! clear-and-home sequence between live frames; `--once` emits a single
 //! frame with no escapes at all (for scripts and the CI smoke).
@@ -113,6 +114,31 @@ fn int(v: Option<&Json>, key: &str) -> u64 {
     v.and_then(|o| o.get(key)).and_then(Json::as_u64).unwrap_or(0)
 }
 
+/// The replication line: a lag-bytes sparkline plus the current lag
+/// and last replicated LSN on a primary/replica, a bare `-` on a
+/// standalone node (role missing or `"standalone"`).
+fn repl_row(role: &str, samples: &[Json]) -> String {
+    if role != "primary" && role != "replica" {
+        return "repl [-]\n".to_string();
+    }
+    let lag: Vec<f64> = samples
+        .iter()
+        .map(|s| int(Some(s), "repl_lag_bytes") as f64)
+        .collect();
+    let cur = samples
+        .last()
+        .map(|s| int(Some(s), "repl_lag_bytes"))
+        .unwrap_or(0);
+    let lsn = samples
+        .last()
+        .map(|s| int(Some(s), "repl_applied_lsn"))
+        .unwrap_or(0);
+    format!(
+        "repl [{}] {role}: lag {cur}B, lsn {lsn}\n",
+        sparkline(&lag)
+    )
+}
+
 /// One row of the now/window table.
 fn stat_row(label: &str, s: Option<&Json>) -> String {
     format!(
@@ -171,7 +197,10 @@ fn render_frame(client: &Client, opts: &Opts) -> std::io::Result<String> {
     let peak_qps = qps.iter().cloned().fold(0.0f64, f64::max);
     let peak_p99 = p99.iter().cloned().fold(0.0f64, f64::max) as u64;
     out.push_str(&format!("qps  [{}] peak {:.1}\n", sparkline(&qps), peak_qps));
-    out.push_str(&format!("p99  [{}] peak {}\n\n", sparkline(&p99), fmt_us(peak_p99)));
+    out.push_str(&format!("p99  [{}] peak {}\n", sparkline(&p99), fmt_us(peak_p99)));
+    let role = health.get("role").and_then(Json::as_str).unwrap_or("standalone");
+    out.push_str(&repl_row(role, samples));
+    out.push('\n');
 
     match slow.get("threshold_ms").and_then(Json::as_u64) {
         None => out.push_str("slow queries: capture disabled\n"),
@@ -264,6 +293,20 @@ mod tests {
         assert_eq!(line.chars().last(), Some('@'));
         assert_eq!(sparkline(&[0.0, 0.0]), "  ");
         assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn repl_row_shows_lag_for_replicating_roles_and_dash_otherwise() {
+        let samples = [
+            Json::parse(r#"{"repl_lag_bytes": 0, "repl_applied_lsn": 4}"#).unwrap(),
+            Json::parse(r#"{"repl_lag_bytes": 4096, "repl_applied_lsn": 7}"#).unwrap(),
+        ];
+        let row = repl_row("replica", &samples);
+        assert!(row.contains("replica: lag 4096B, lsn 7"), "{row}");
+        let row = repl_row("primary", &samples);
+        assert!(row.contains("primary: lag 4096B, lsn 7"), "{row}");
+        assert_eq!(repl_row("standalone", &samples), "repl [-]\n");
+        assert_eq!(repl_row("?", &[]), "repl [-]\n");
     }
 
     #[test]

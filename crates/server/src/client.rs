@@ -24,6 +24,8 @@
 
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
 use std::time::Duration;
 
 /// A parsed response.
@@ -260,6 +262,165 @@ impl Client {
     }
 }
 
+/// Client for a replicated deployment: one primary plus any number of
+/// read replicas, addressed as a single pool.
+///
+/// * **Reads** round-robin across every endpoint; an endpoint that
+///   fails transiently is skipped and the next one tried, so a dead
+///   replica costs one connect attempt, not the request.
+/// * **Updates** go to the last known primary. A `421 Misdirected
+///   Request` (a replica refusing a write) is followed once to the
+///   address in its `X-Primary` header — safe, because `421` means the
+///   update was never executed — and the learned primary sticks for
+///   subsequent updates. Updates rotate endpoints only on a *refused
+///   connect* (no byte ever left), never after bytes went out: an
+///   ambiguous outcome must not be re-applied elsewhere.
+pub struct MultiClient {
+    clients: Vec<Client>,
+    next: AtomicUsize,
+    primary: Mutex<Option<Client>>,
+}
+
+/// Split `"host:port"`.
+pub fn split_endpoint(s: &str) -> io::Result<(String, u16)> {
+    let (host, port) = s
+        .rsplit_once(':')
+        .ok_or_else(|| io::Error::other(format!("endpoint '{s}' is not host:port")))?;
+    let port = port
+        .parse()
+        .map_err(|_| io::Error::other(format!("endpoint '{s}' has a bad port")))?;
+    Ok((host.to_string(), port))
+}
+
+impl MultiClient {
+    /// A pool over pre-configured per-endpoint clients (their timeout
+    /// and retry settings carry over). The first endpoint is the
+    /// initial primary guess for updates.
+    pub fn new(clients: Vec<Client>) -> MultiClient {
+        assert!(!clients.is_empty(), "MultiClient needs at least one endpoint");
+        MultiClient {
+            clients,
+            next: AtomicUsize::new(0),
+            primary: Mutex::new(None),
+        }
+    }
+
+    /// A pool from a comma-separated `host:port,host:port,…` list.
+    pub fn parse(list: &str) -> io::Result<MultiClient> {
+        let mut clients = Vec::new();
+        for part in list.split(',').filter(|p| !p.trim().is_empty()) {
+            let (host, port) = split_endpoint(part.trim())?;
+            clients.push(Client::new(&host, port));
+        }
+        if clients.is_empty() {
+            return Err(io::Error::other("empty endpoint list"));
+        }
+        Ok(MultiClient::new(clients))
+    }
+
+    /// Reconfigure every endpoint client (timeouts, retries, …).
+    pub fn map_clients(mut self, f: impl Fn(Client) -> Client) -> MultiClient {
+        self.clients = self.clients.into_iter().map(&f).collect();
+        self
+    }
+
+    /// Number of endpoints in the pool.
+    pub fn endpoints(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Round-robin a read across the pool, skipping endpoints that
+    /// fail transiently.
+    fn read(&self, f: impl Fn(&Client) -> io::Result<Reply>) -> io::Result<Reply> {
+        let n = self.clients.len();
+        let start = self.next.fetch_add(1, Ordering::Relaxed);
+        let mut last = None;
+        for k in 0..n {
+            match f(&self.clients[(start + k) % n]) {
+                Ok(reply) => return Ok(reply),
+                Err(e) if transient(&e) => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| io::Error::other("no endpoint answered")))
+    }
+
+    /// `POST /query` on the next endpoint (round-robin).
+    pub fn query(&self, text: &str) -> io::Result<Reply> {
+        self.read(|c| c.query(text))
+    }
+
+    /// `POST /query?format=json` on the next endpoint.
+    pub fn query_json(&self, text: &str) -> io::Result<Reply> {
+        self.read(|c| c.query_json(text))
+    }
+
+    /// `GET /healthz` on the next endpoint.
+    pub fn healthz(&self) -> io::Result<Reply> {
+        self.read(|c| c.healthz())
+    }
+
+    fn learned_primary(&self) -> Option<Client> {
+        self.primary
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    fn learn_primary(&self, c: Client) {
+        *self.primary.lock().unwrap_or_else(PoisonError::into_inner) = Some(c);
+    }
+
+    /// `POST /update`, routed to the primary: tries the last known
+    /// primary first, follows one `421` misdirect per candidate, and
+    /// rotates past refused connects only.
+    pub fn update(&self, text: &str) -> io::Result<Reply> {
+        let mut candidates = Vec::new();
+        if let Some(p) = self.learned_primary() {
+            candidates.push(p);
+        }
+        let n = self.clients.len();
+        let start = self.next.fetch_add(1, Ordering::Relaxed);
+        for k in 0..n {
+            candidates.push(self.clients[(start + k) % n].clone());
+        }
+        let mut last = None;
+        for c in candidates {
+            match c.update(text) {
+                Ok(reply) if reply.status == 421 => {
+                    let Some(addr) = reply.header("x-primary") else {
+                        return Ok(reply);
+                    };
+                    let (host, port) = split_endpoint(addr)?;
+                    let p = Client {
+                        host,
+                        port,
+                        ..c.clone()
+                    };
+                    self.learn_primary(p.clone());
+                    // Resending is safe: 421 means never executed.
+                    match p.update(text) {
+                        Ok(reply) => return Ok(reply),
+                        Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => last = Some(e),
+                        Err(e) => return Err(e),
+                    }
+                }
+                Ok(reply) => {
+                    if reply.is_ok() {
+                        self.learn_primary(c);
+                    }
+                    return Ok(reply);
+                }
+                // Refused connect = no byte left this machine; any
+                // other failure is ambiguous and must surface.
+                Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| io::Error::other("no endpoint answered")))
+    }
+}
+
 /// Is this I/O error worth another attempt?
 fn transient(e: &io::Error) -> bool {
     matches!(
@@ -325,6 +486,9 @@ mod tests {
         Ok,
         /// Read a little, then slam the connection shut (no response).
         Hangup,
+        /// Read the request, answer `421` with `X-Primary:
+        /// 127.0.0.1:<port>` — a replica refusing a write.
+        Misdirect(u16),
     }
 
     /// A fake `mctd` following a per-connection script; returns
@@ -358,6 +522,16 @@ mod tests {
                         // Close without a response: the client sees an
                         // empty capture and classifies it transient.
                         drop(sock);
+                    }
+                    Script::Misdirect(primary_port) => {
+                        let _ = sock.write_all(
+                            format!(
+                                "HTTP/1.1 421 Misdirected Request\r\n\
+                                 X-Primary: 127.0.0.1:{primary_port}\r\n\
+                                 Content-Length: 9\r\n\r\nreadonly\n"
+                            )
+                            .as_bytes(),
+                        );
                     }
                 }
             }
@@ -403,6 +577,65 @@ mod tests {
         // One connection only: the retry budget must not be spent on a
         // non-idempotent request with an unknown outcome.
         assert_eq!(accepts.load(Ordering::SeqCst), 1, "update was resent: {err}");
+    }
+
+    /// A port that is (almost certainly) closed.
+    fn dead_port() -> u16 {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().port()
+    }
+
+    #[test]
+    fn multi_client_round_robins_reads_across_endpoints() {
+        let (p1, a1) = scripted_server(vec![Script::Ok, Script::Ok]);
+        let (p2, a2) = scripted_server(vec![Script::Ok, Script::Ok]);
+        let mc = MultiClient::new(vec![fast(p1, 0), fast(p2, 0)]);
+        for _ in 0..4 {
+            assert_eq!(mc.query("q").unwrap().status, 200);
+        }
+        assert_eq!(a1.load(Ordering::SeqCst), 2, "endpoint 1 share");
+        assert_eq!(a2.load(Ordering::SeqCst), 2, "endpoint 2 share");
+    }
+
+    #[test]
+    fn multi_client_skips_a_dead_endpoint_and_rotates() {
+        let (alive, accepts) = scripted_server(vec![Script::Ok, Script::Ok, Script::Ok]);
+        let mc = MultiClient::new(vec![fast(dead_port(), 0), fast(alive, 0)]);
+        for _ in 0..3 {
+            assert_eq!(mc.query("q").unwrap().status, 200);
+        }
+        assert_eq!(accepts.load(Ordering::SeqCst), 3, "all reads landed alive");
+    }
+
+    #[test]
+    fn multi_client_follows_421_to_the_primary_and_sticks() {
+        let (primary, pa) = scripted_server(vec![Script::Ok, Script::Ok]);
+        let (replica, ra) = scripted_server(vec![Script::Misdirect(primary)]);
+        let mc = MultiClient::new(vec![fast(replica, 0)]);
+        // First update bounces off the replica, follows X-Primary.
+        assert_eq!(mc.update("u").unwrap().status, 200);
+        assert_eq!(ra.load(Ordering::SeqCst), 1);
+        assert_eq!(pa.load(Ordering::SeqCst), 1);
+        // Second update goes straight to the learned primary.
+        assert_eq!(mc.update("u").unwrap().status, 200);
+        assert_eq!(pa.load(Ordering::SeqCst), 2);
+        assert_eq!(ra.load(Ordering::SeqCst), 1, "replica was not retried");
+    }
+
+    #[test]
+    fn multi_client_update_does_not_rotate_after_bytes_went_out() {
+        // The hangup happens mid-request: the outcome is unknown, so
+        // the second (healthy) endpoint must never see the update.
+        let (broken, _) = scripted_server(vec![Script::Hangup]);
+        let (healthy, accepts) = scripted_server(vec![Script::Ok]);
+        let mc = MultiClient::new(vec![fast(broken, 0), fast(healthy, 0)]);
+        // Fix the rotation so the broken endpoint is hit first.
+        mc.update("u").unwrap_err();
+        assert_eq!(
+            accepts.load(Ordering::SeqCst),
+            0,
+            "ambiguous update was re-applied on another endpoint"
+        );
     }
 
     #[test]

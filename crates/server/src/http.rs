@@ -201,6 +201,7 @@ pub fn reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         408 => "Request Timeout",
         413 => "Payload Too Large",
+        421 => "Misdirected Request",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",

@@ -30,6 +30,13 @@
 //! * [`json`] — minimal JSON reader used by `mcttop`, `loadgen`, and
 //!   the tests to consume the observability endpoints.
 //!
+//! Replication (`mct-repl`) plugs in beside the server: `mctd
+//! --repl-listen` streams the WAL to replicas, `mctd --replica-of`
+//! serves the read surface from a replicated store and answers
+//! `POST /update` with `421` + `X-Primary`; [`client::MultiClient`]
+//! (CLI: `mct-client --endpoints`) round-robins reads across a pool
+//! and follows the misdirect for updates. See DESIGN.md §16.
+//!
 //! Endpoints: `POST /query` (body = MCXQuery; `?format=json` for JSON
 //! rows), `POST /update`, `GET /metrics` (Prometheus), `GET /healthz`
 //! (JSON status + uptime), `GET /stats?window=N` (time series),
@@ -48,10 +55,10 @@ pub mod server;
 pub mod stats;
 
 pub use cache::{PlanCache, Prepared};
-pub use client::{Client, Reply};
+pub use client::{split_endpoint, Client, MultiClient, Reply};
 pub use http::{Request, Response};
 pub use json::Json;
 pub use load::{prom_value, LoadReport, LoadSpec};
 pub use obslog::{ExecKind, RequestLog, RequestRecord, SlowLog};
 pub use render::{render_json, render_xml, rows_from_items, rows_from_tuples, Row};
-pub use server::{serve, AppState, ObsState, ServerConfig, ServerHandle, ServerMetrics};
+pub use server::{serve, serve_shared, AppState, ObsState, ServerConfig, ServerHandle, ServerMetrics};

@@ -29,6 +29,10 @@ pub struct LoadSpec {
     pub update_every: usize,
     /// Update statement for the mixed workload.
     pub update_text: Option<String>,
+    /// Additional read-only endpoints (replicas). Reads fan out
+    /// round-robin across the primary plus these; updates always go to
+    /// the primary passed to [`run`].
+    pub read_endpoints: Vec<(String, u16)>,
 }
 
 impl LoadSpec {
@@ -40,7 +44,14 @@ impl LoadSpec {
             queries,
             update_every: 0,
             update_text: None,
+            read_endpoints: Vec::new(),
         }
+    }
+
+    /// The same spec with reads fanned across `replicas` too.
+    pub fn with_read_endpoints(mut self, replicas: Vec<(String, u16)>) -> LoadSpec {
+        self.read_endpoints = replicas;
+        self
     }
 }
 
@@ -61,6 +72,9 @@ pub struct LoadReport {
     pub cache_hits: u64,
     /// `server.plan_cache.misses` delta over the run.
     pub cache_misses: u64,
+    /// Requests routed to each endpoint (`host:port`, count), primary
+    /// first. One entry unless the spec had `read_endpoints`.
+    pub per_endpoint: Vec<(String, u64)>,
 }
 
 impl LoadReport {
@@ -119,6 +133,19 @@ impl LoadReport {
             100.0 * self.cache_hit_ratio(),
         )
     }
+
+    /// Per-endpoint request shares (`None` for a single-endpoint run).
+    pub fn render_endpoints(&self) -> Option<String> {
+        if self.per_endpoint.len() < 2 {
+            return None;
+        }
+        let shares: Vec<String> = self
+            .per_endpoint
+            .iter()
+            .map(|(ep, n)| format!("{ep}={n}"))
+            .collect();
+        Some(format!("endpoints: {}", shares.join(" ")))
+    }
 }
 
 /// Planner-covered query mixes for the built-in databases — shared by
@@ -174,10 +201,18 @@ fn scrape_cache_counters(client: &Client) -> (u64, u64) {
 }
 
 /// Run the closed loop. Returns after every thread finishes.
+///
+/// `host:port` is the primary: it takes every update and its share of
+/// the reads. When the spec has `read_endpoints`, reads round-robin
+/// over the primary plus those (a replicated deployment's read
+/// scaling), each thread starting at a different offset.
 pub fn run(host: &str, port: u16, spec: &LoadSpec) -> io::Result<LoadReport> {
     if spec.queries.is_empty() {
         return Err(io::Error::other("load spec has no queries"));
     }
+    let mut endpoints = vec![(host.to_string(), port)];
+    endpoints.extend(spec.read_endpoints.iter().cloned());
+    let endpoints = &endpoints;
     let probe = Client::new(host, port);
     let (hits_before, misses_before) = scrape_cache_counters(&probe);
 
@@ -185,42 +220,53 @@ pub fn run(host: &str, port: u16, spec: &LoadSpec) -> io::Result<LoadReport> {
     let mut merged = HistogramSnapshot::default();
     let mut requests = 0u64;
     let mut errors = 0u64;
+    let mut per_endpoint = vec![0u64; endpoints.len()];
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(spec.connections.max(1));
         for t in 0..spec.connections.max(1) {
             handles.push(scope.spawn(move || {
-                let client = Client::new(host, port);
+                let clients: Vec<Client> = endpoints
+                    .iter()
+                    .map(|(h, p)| Client::new(h, *p))
+                    .collect();
                 let lat = Histogram::new();
                 let mut reqs = 0u64;
                 let mut errs = 0u64;
+                let mut routed = vec![0u64; clients.len()];
                 for i in 0..spec.requests_per_conn {
                     let is_update = spec.update_every > 0
                         && spec.update_text.is_some()
                         && (i + 1) % spec.update_every == 0;
+                    // Updates are pinned to the primary (endpoint 0);
+                    // reads fan out, offset by thread id so threads
+                    // don't hit the same endpoint in lockstep.
+                    let ep = if is_update { 0 } else { (t + i) % clients.len() };
                     let at = Instant::now();
                     let outcome = if is_update {
-                        client.update(spec.update_text.as_deref().unwrap_or(""))
+                        clients[ep].update(spec.update_text.as_deref().unwrap_or(""))
                     } else {
-                        // Offset by thread id so threads don't issue the
-                        // same query in lockstep.
                         let q = &spec.queries[(t + i) % spec.queries.len()];
-                        client.query(q)
+                        clients[ep].query(q)
                     };
                     lat.record_duration(at.elapsed());
                     reqs += 1;
+                    routed[ep] += 1;
                     match outcome {
                         Ok(reply) if reply.is_ok() => {}
                         _ => errs += 1,
                     }
                 }
-                (lat.snapshot(), reqs, errs)
+                (lat.snapshot(), reqs, errs, routed)
             }));
         }
         for h in handles {
-            if let Ok((snap, reqs, errs)) = h.join() {
+            if let Ok((snap, reqs, errs, routed)) = h.join() {
                 merged.merge(&snap);
                 requests += reqs;
                 errors += errs;
+                for (total, n) in per_endpoint.iter_mut().zip(routed) {
+                    *total += n;
+                }
             }
         }
     });
@@ -235,6 +281,11 @@ pub fn run(host: &str, port: u16, spec: &LoadSpec) -> io::Result<LoadReport> {
         latency: merged,
         cache_hits: hits_after.saturating_sub(hits_before),
         cache_misses: misses_after.saturating_sub(misses_before),
+        per_endpoint: endpoints
+            .iter()
+            .zip(per_endpoint)
+            .map(|((h, p), n)| (format!("{h}:{p}"), n))
+            .collect(),
     })
 }
 
@@ -268,11 +319,24 @@ mod tests {
             latency,
             cache_hits: 75,
             cache_misses: 25,
+            per_endpoint: vec![
+                ("127.0.0.1:1".to_string(), 60),
+                ("127.0.0.1:2".to_string(), 40),
+            ],
         };
         assert!((r.throughput_rps() - 50.0).abs() < 1e-9);
         assert!((r.cache_hit_ratio() - 0.75).abs() < 1e-9);
         assert!(r.quantile_us(0.5) >= 1_000);
         assert!(r.render().contains("req/s"));
+        assert_eq!(
+            r.render_endpoints().unwrap(),
+            "endpoints: 127.0.0.1:1=60 127.0.0.1:2=40"
+        );
+        let solo = LoadReport {
+            per_endpoint: vec![("127.0.0.1:1".to_string(), 100)],
+            ..r.clone()
+        };
+        assert!(solo.render_endpoints().is_none());
         let summary = r.latency_summary("warm");
         assert!(summary.starts_with("warm"));
         assert!(summary.contains("n=100"));

@@ -94,6 +94,13 @@ pub struct ServerConfig {
     /// Structured request-log target: the literal `stderr` or a file
     /// path (`None` = request logging off).
     pub log_json: Option<String>,
+    /// This server is a replication primary (`mctd --repl-listen`) —
+    /// reported as `"role":"primary"` on `/healthz`.
+    pub repl_primary: bool,
+    /// Set on a replica: the primary's HTTP address. `/update` is
+    /// refused with `421` + an `X-Primary` header pointing here, and
+    /// `/healthz` reports `"role":"replica"`.
+    pub primary_http: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -112,6 +119,22 @@ impl Default for ServerConfig {
             stats_interval: Duration::from_secs(1),
             stats_window: 300,
             log_json: None,
+            repl_primary: false,
+            primary_http: None,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The replication role this config implies, as shown on
+    /// `/healthz`.
+    pub fn role(&self) -> &'static str {
+        if self.primary_http.is_some() {
+            "replica"
+        } else if self.repl_primary {
+            "primary"
+        } else {
+            "standalone"
         }
     }
 }
@@ -222,8 +245,10 @@ impl RequestCtx {
 /// Shared server state: the database, the plan cache, config, and the
 /// drain flag.
 pub struct AppState<D: DiskManager = mct_storage::MemDisk> {
-    /// The one shared database.
-    pub db: RwLock<StoredDb<D>>,
+    /// The one shared database. Behind an `Arc` so subsystems outside
+    /// the server (the replication primary's snapshot/stream threads,
+    /// a replica's applier) can share it.
+    pub db: Arc<RwLock<StoredDb<D>>>,
     /// Prepared-statement cache.
     pub cache: PlanCache,
     /// Effective configuration.
@@ -314,11 +339,26 @@ impl<D: DiskManager> ServerHandle<D> {
 
 /// Start serving `stored` with `cfg`. Annotates every color tree up
 /// front so read-lock execution starts from a clean store.
-pub fn serve<D>(mut stored: StoredDb<D>, cfg: ServerConfig) -> std::io::Result<ServerHandle<D>>
+pub fn serve<D>(stored: StoredDb<D>, cfg: ServerConfig) -> std::io::Result<ServerHandle<D>>
 where
     D: DiskManager + Sync + 'static,
 {
-    stored
+    serve_shared(Arc::new(RwLock::new(stored)), cfg)
+}
+
+/// [`serve`] over an already-shared database — the replication entry
+/// point: `mctd --repl-listen` hands the same `Arc` to the HTTP server
+/// and the WAL-shipping primary; `mctd --replica-of` hands in the
+/// store its applier keeps in sync.
+pub fn serve_shared<D>(
+    db: Arc<RwLock<StoredDb<D>>>,
+    cfg: ServerConfig,
+) -> std::io::Result<ServerHandle<D>>
+where
+    D: DiskManager + Sync + 'static,
+{
+    db.write()
+        .unwrap_or_else(PoisonError::into_inner)
         .ensure_all_annotated()
         .map_err(|e| std::io::Error::other(format!("annotating store: {e}")))?;
     let listener = TcpListener::bind((cfg.host.as_str(), cfg.port))?;
@@ -336,7 +376,7 @@ where
 
     let state = Arc::new(AppState {
         cache: PlanCache::new(cfg.cache_capacity),
-        db: RwLock::new(stored),
+        db,
         draining: AtomicBool::new(false),
         metrics: ServerMetrics::new(),
         obs: ObsState {
@@ -536,7 +576,8 @@ fn route<D: DiskManager>(state: &AppState<D>, req: &Request, ctx: &mut RequestCt
             Response::text(
                 code,
                 format!(
-                    "{{\"status\":\"{status}\",\"uptime_seconds\":{},\"start_unix\":{}}}\n",
+                    "{{\"status\":\"{status}\",\"role\":\"{}\",\"uptime_seconds\":{},\"start_unix\":{}}}\n",
+                    state.cfg.role(),
                     state.obs.started.elapsed().as_secs(),
                     state.obs.start_unix
                 ),
@@ -585,6 +626,19 @@ fn route<D: DiskManager>(state: &AppState<D>, req: &Request, ctx: &mut RequestCt
         }
         ("POST", "/update") => {
             let _t = state.metrics.lat_update.start_timer();
+            // A replica never executes writes: misdirect the client to
+            // the primary (421 + X-Primary, the same address a
+            // multi-endpoint client uses to re-route).
+            if let Some(primary) = &state.cfg.primary_http {
+                return Response::text(
+                    421,
+                    format!(
+                        "{{\"error\":\"read-only replica\",\"primary\":\"{primary}\"}}\n"
+                    ),
+                )
+                .content_type("application/json")
+                .header("X-Primary", primary);
+            }
             handle_update(state, req, ctx)
         }
         ("GET", "/check") => {

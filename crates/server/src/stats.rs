@@ -16,7 +16,8 @@
 //!   "samples": [ {"unix_ms":…, "qps":…, "requests":…, "errors":…,
 //!                 "error_rate":…, "p50_us":…, "p95_us":…, "p99_us":…,
 //!                 "pool_hit_ratio":…, "wal_checkpoints":…,
-//!                 "inflight":…, "wal_bytes":…}, … ],
+//!                 "inflight":…, "wal_bytes":…,
+//!                 "repl_lag_bytes":…, "repl_applied_lsn":…}, … ],
 //!   "aggregate": { same fields minus unix_ms/inflight, over the window }
 //! }
 //! ```
@@ -58,6 +59,13 @@ pub struct WindowStats {
     /// Live WAL bytes at sample time (absolute gauge, not a delta; 0
     /// when no WAL is attached).
     pub wal_bytes: u64,
+    /// Replication lag in bytes at sample time (worst connected
+    /// replica on a primary, own lag on a replica; 0 when this node
+    /// does not replicate).
+    pub repl_lag_bytes: u64,
+    /// Last replicated LSN at sample time (highest acked on a primary,
+    /// last applied on a replica; 0 when this node does not replicate).
+    pub repl_applied_lsn: u64,
 }
 
 fn counter(delta: &RegistrySnapshot, name: &str) -> u64 {
@@ -105,6 +113,8 @@ pub fn derive(unix_ms: u64, elapsed: Duration, delta: &RegistrySnapshot) -> Wind
         inflight: delta.gauges.get("server.inflight").copied().unwrap_or(0),
         wal_checkpoints: counter(delta, "wal.checkpoints"),
         wal_bytes: delta.gauges.get("wal.bytes").copied().unwrap_or(0),
+        repl_lag_bytes: delta.gauges.get("repl.lag_bytes").copied().unwrap_or(0),
+        repl_applied_lsn: delta.gauges.get("repl.applied_lsn").copied().unwrap_or(0),
     }
 }
 
@@ -143,6 +153,10 @@ fn push_fields(out: &mut String, w: &WindowStats, with_instant: bool) {
         out.push_str(&w.inflight.to_string());
         out.push_str(",\"wal_bytes\":");
         out.push_str(&w.wal_bytes.to_string());
+        out.push_str(",\"repl_lag_bytes\":");
+        out.push_str(&w.repl_lag_bytes.to_string());
+        out.push_str(",\"repl_applied_lsn\":");
+        out.push_str(&w.repl_applied_lsn.to_string());
     }
 }
 
@@ -213,6 +227,8 @@ mod tests {
         reg.gauge("server.inflight").add(3);
         reg.counter("wal.checkpoints").add(2);
         reg.gauge("wal.bytes").set(12_345);
+        reg.gauge("repl.lag_bytes").set(4_096);
+        reg.gauge("repl.applied_lsn").set(17);
         let lat = reg.histogram("server.latency.query");
         for _ in 0..90 {
             lat.record(1_000_000); // 1ms in ns
@@ -231,6 +247,8 @@ mod tests {
         assert_eq!(w.inflight, 3);
         assert_eq!(w.wal_checkpoints, 2);
         assert_eq!(w.wal_bytes, 12_345);
+        assert_eq!(w.repl_lag_bytes, 4_096);
+        assert_eq!(w.repl_applied_lsn, 17);
         // Log-scale upper bounds: p50 covers the 1ms observations
         // (≤ 2^20ns ≈ 1.05ms); ranks 91..100 land in the 80ms
         // outliers' bucket, so p95 and p99 reach it.
@@ -271,6 +289,8 @@ mod tests {
         assert_eq!(arr[2].get("requests").unwrap().as_u64(), Some(30));
         assert_eq!(arr[2].get("unix_ms").unwrap().as_u64(), Some(1002));
         assert_eq!(arr[0].get("wal_bytes").unwrap().as_u64(), Some(0));
+        assert_eq!(arr[0].get("repl_lag_bytes").unwrap().as_u64(), Some(0));
+        assert_eq!(arr[0].get("repl_applied_lsn").unwrap().as_u64(), Some(0));
         let agg = v.get("aggregate").unwrap();
         assert_eq!(agg.get("requests").unwrap().as_u64(), Some(60));
         assert_eq!(agg.get("wal_checkpoints").unwrap().as_u64(), Some(0));

@@ -410,6 +410,101 @@ impl<D: DiskManager> BufferPool<D> {
         mlock(&self.wal).as_ref().map_or(0, |w| w.len_bytes())
     }
 
+    /// Run `f` against the attached WAL under the pool's WAL mutex.
+    ///
+    /// This is the shared-read guard for log **tail readers**
+    /// (replication): [`BufferPool::commit`] and
+    /// [`BufferPool::checkpoint`] hold the same mutex for their whole
+    /// append/relocate sequence, so a tail read serialized through
+    /// here can never observe a checkpoint relocation half-done. A
+    /// [`crate::wal::TailCursor`] held *across* calls can still go
+    /// stale (a relocation between two reads); its LSN fence handles
+    /// that by rescanning from the live start. Errors when no WAL is
+    /// attached. `f` must not re-enter the pool.
+    pub fn with_wal<R>(&self, f: impl FnOnce(&mut Wal) -> Result<R>) -> Result<R> {
+        let mut guard = mlock(&self.wal);
+        let wal = guard
+            .as_mut()
+            .ok_or(StorageError::Corrupt("with_wal without an attached WAL"))?;
+        f(wal)
+    }
+
+    /// Install a full page image shipped from a replication stream:
+    /// overwrite the resident frame when cached (marked dirty so it
+    /// reaches disk), else stamp the checksum and write straight
+    /// through. Pages past the current end of file are allocated.
+    /// Exclusive-writer, like the redo path it mirrors — the replica
+    /// applies batches under its database write lock.
+    pub fn install_image(&self, id: PageId, image: &[u8]) -> Result<()> {
+        debug_assert_eq!(image.len(), PAGE_SIZE);
+        while mlock(&self.disk).num_pages() <= id.0 {
+            mlock(&self.disk).allocate()?;
+        }
+        loop {
+            let Some(fi) = rlock(self.shard_of(id)).get(&id).copied() else {
+                break;
+            };
+            let mut slot = wlock(&self.frames[fi].slot);
+            if slot.page == Some(id) {
+                slot.buf_mut().copy_from_slice(image);
+                slot.dirty = true;
+                return Ok(());
+            }
+            // Evicted between lookup and lock; look again.
+        }
+        let mut buf = [0u8; PAGE_SIZE];
+        buf.copy_from_slice(image);
+        stamp_page_checksum(&mut buf);
+        if let Err(e) = mlock(&self.disk).write(id, &buf) {
+            self.stats.note_error(&e);
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Copy the raw physical page (envelope + body) into `buf`: from
+    /// the resident frame when cached (checksum re-stamped so the copy
+    /// is self-verifying), else straight from disk. Snapshot shipping
+    /// reads the committed file through this after a flush.
+    pub fn read_page_raw(&self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> Result<()> {
+        loop {
+            let Some(fi) = rlock(self.shard_of(id)).get(&id).copied() else {
+                break;
+            };
+            let slot = rlock(&self.frames[fi].slot);
+            if slot.page == Some(id) {
+                let fbuf = slot.buf.as_ref().expect("resident frame has a buffer");
+                buf.copy_from_slice(&fbuf[..]);
+                stamp_page_checksum(buf);
+                return Ok(());
+            }
+            // Evicted between lookup and lock; look again.
+        }
+        if let Err(e) = mlock(&self.disk).read(id, buf) {
+            self.stats.note_error(&e);
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Shrink the data file to `n` pages, dropping any cached frames
+    /// past the new end (replication commit apply: the shipped commit
+    /// names the authoritative page count). Exclusive-writer.
+    pub fn truncate_pages(&self, n: u32) -> Result<()> {
+        for frame in &self.frames {
+            let mut slot = wlock(&frame.slot);
+            if let Some(p) = slot.page {
+                if p.0 >= n {
+                    wlock(self.shard_of(p)).remove(&p);
+                    slot.page = None;
+                    slot.dirty = false;
+                }
+            }
+        }
+        mlock(&self.disk).truncate(n)?;
+        Ok(())
+    }
+
     /// Tear the pool down into its disk and WAL (cached pages are
     /// dropped, not flushed — commit first for durability).
     pub fn into_parts(self) -> (D, Option<Wal>) {

@@ -54,7 +54,7 @@ pub use heap::{HeapFile, RecordId};
 pub use index::{ContentIndex, TagIndex};
 pub use page::{PageId, PAGE_BODY, PAGE_HEADER, PAGE_SIZE};
 pub use stats::StorageStats;
-pub use wal::{CommittedState, Wal};
+pub use wal::{CommittedState, ReplRecord, TailCursor, Wal};
 
 /// Crate-wide result type.
 pub type Result<T> = std::result::Result<T, StorageError>;

@@ -142,6 +142,65 @@ pub struct CommittedState {
     pub undos_applied: u64,
 }
 
+/// A committed record surfaced to a tail reader (replication): only
+/// page images and commit/checkpoint markers — transaction framing is
+/// skipped, exactly as [`Wal::replay_into`] skips it for the
+/// committed prefix.
+#[derive(Debug, Clone)]
+pub enum ReplRecord {
+    /// Full post-write image of one data page.
+    Image {
+        lsn: u64,
+        page: PageId,
+        image: Vec<u8>,
+    },
+    /// Commit (or checkpoint) marker: every preceding image is
+    /// durable; carries the committed page count and catalog blob.
+    Commit {
+        lsn: u64,
+        num_pages: u32,
+        catalog: Vec<u8>,
+        /// True for [`Wal::checkpoint`] records (no new images; the
+        /// catalog re-describes already-applied state).
+        checkpoint: bool,
+    },
+}
+
+impl ReplRecord {
+    /// The record's LSN.
+    pub fn lsn(&self) -> u64 {
+        match self {
+            ReplRecord::Image { lsn, .. } | ReplRecord::Commit { lsn, .. } => *lsn,
+        }
+    }
+}
+
+/// Position of a tail reader in the log. Offsets are physical and go
+/// stale when [`Wal::checkpoint`] relocates the live region, so the
+/// cursor also remembers the LSN of the last record it consumed: a
+/// cursor is only trusted when the record at its offset carries a
+/// *higher* LSN (the same monotonicity fence [`Wal::open`] uses), and
+/// otherwise the read rescans from the live start, skipping records
+/// the reader already has by LSN.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TailCursor {
+    offset: u64,
+    last_lsn: u64,
+}
+
+impl TailCursor {
+    /// A cursor that has consumed nothing; the first read scans from
+    /// the live start.
+    pub fn new() -> TailCursor {
+        TailCursor::default()
+    }
+
+    /// LSN of the last record this cursor consumed (0 initially).
+    pub fn last_lsn(&self) -> u64 {
+        self.last_lsn
+    }
+}
+
 /// The write-ahead log over its own page file.
 pub struct Wal {
     disk: Box<dyn DiskManager + Send>,
@@ -151,6 +210,11 @@ pub struct Wal {
     end: u64,
     /// Byte offset just past the last commit record, if any.
     last_commit_end: Option<u64>,
+    /// LSN of the last commit/checkpoint record (0 when none).
+    last_commit_lsn: u64,
+    /// Oldest commit LSN a tail reader can resume from without a
+    /// snapshot (see [`Wal::resume_floor`]).
+    resume_floor: u64,
     next_lsn: u64,
     /// Epoch of the live header slot (0 until a checkpoint writes one).
     epoch: u64,
@@ -165,6 +229,8 @@ impl Wal {
             start: FRONT,
             end: FRONT,
             last_commit_end: None,
+            last_commit_lsn: 0,
+            resume_floor: 0,
             next_lsn: 1,
             epoch: 0,
         })
@@ -184,6 +250,8 @@ impl Wal {
             start: FRONT,
             end: FRONT,
             last_commit_end: None,
+            last_commit_lsn: 0,
+            resume_floor: 0,
             next_lsn: 1,
             epoch: 0,
         };
@@ -193,15 +261,28 @@ impl Wal {
         }
         let mut off = wal.start;
         let mut prev_lsn = 0u64;
+        let mut first = true;
         while let Some((kind, lsn, total)) = wal.parse_record_at(off)? {
             if lsn <= prev_lsn {
                 break;
+            }
+            if first {
+                // Conservative resume floor after a restart: when the
+                // log begins with a checkpoint, the images it captured
+                // are gone, so only readers at/past its LSN can
+                // resume. (The exact pre-checkpoint commit LSN is not
+                // recorded; using the checkpoint's own LSN forces at
+                // worst one extra snapshot.) A log that still starts
+                // with ordinary records is complete from LSN 0.
+                wal.resume_floor = if kind == KIND_CHECKPOINT { lsn } else { 0 };
+                first = false;
             }
             prev_lsn = lsn;
             off += total;
             wal.next_lsn = wal.next_lsn.max(lsn + 1);
             if kind == KIND_COMMIT || kind == KIND_CHECKPOINT {
                 wal.last_commit_end = Some(off);
+                wal.last_commit_lsn = lsn;
             }
         }
         wal.end = off;
@@ -231,6 +312,112 @@ impl Wal {
         self.next_lsn
     }
 
+    /// LSN of the last commit or checkpoint record (0 when the log
+    /// holds none). Everything at or below this LSN is committed and
+    /// visible to tail readers.
+    pub fn committed_lsn(&self) -> u64 {
+        self.last_commit_lsn
+    }
+
+    /// Oldest committed LSN a tail reader can resume from: a reader
+    /// that has applied everything up to `from_lsn` can catch up by
+    /// streaming iff `resume_floor() <= from_lsn <=
+    /// committed_lsn()` — otherwise the images it is missing were
+    /// discarded by a checkpoint and it needs a full snapshot.
+    /// Maintained as the LSN of the last commit whose state the most
+    /// recent checkpoint captured (0 before any checkpoint).
+    pub fn resume_floor(&self) -> u64 {
+        self.resume_floor
+    }
+
+    /// Read committed records past `cursor`, skipping any with LSN ≤
+    /// `after_lsn` (the reader already has them) and all transaction
+    /// framing. Stops after ~`max_bytes` of emitted record bytes or at
+    /// the last commit, whichever is first. Returns the records and
+    /// the committed bytes still beyond the cursor (0 = caught up).
+    ///
+    /// The cursor carries the relocation fence: when its offset falls
+    /// outside the live committed region, or the record there does
+    /// not carry a higher LSN than the cursor's last (stale
+    /// pre-relocation bytes look exactly like that), the read rescans
+    /// from the live start — `after_lsn` keeps the rescan from
+    /// re-emitting records the reader already applied, except for a
+    /// relocated checkpoint record (fresh LSN, same payload), whose
+    /// re-application is idempotent.
+    pub fn read_committed_after(
+        &mut self,
+        cursor: &mut TailCursor,
+        after_lsn: u64,
+        max_bytes: u64,
+    ) -> Result<(Vec<ReplRecord>, u64)> {
+        let Some(commit_end) = self.last_commit_end else {
+            return Ok((Vec::new(), 0));
+        };
+        let mut valid = cursor.offset >= self.start && cursor.offset <= commit_end;
+        if valid && cursor.offset < commit_end {
+            valid = matches!(
+                self.parse_record_at(cursor.offset)?,
+                Some((_, lsn, _)) if lsn > cursor.last_lsn
+            );
+        }
+        if !valid {
+            cursor.offset = self.start;
+            cursor.last_lsn = 0;
+        }
+        let mut out = Vec::new();
+        let mut emitted = 0u64;
+        while cursor.offset < commit_end && emitted < max_bytes {
+            let Some((kind, lsn, total)) = self.parse_record_at(cursor.offset)? else {
+                return Err(StorageError::Corrupt("WAL record vanished during tail"));
+            };
+            if lsn <= cursor.last_lsn {
+                return Err(StorageError::Corrupt("WAL tail lost LSN monotonicity"));
+            }
+            if lsn > after_lsn {
+                let payload_len = (total as usize) - HEADER - TRAILER;
+                match kind {
+                    KIND_IMAGE => {
+                        let payload =
+                            self.read_bytes(cursor.offset + HEADER as u64, payload_len)?;
+                        let page = PageId(u32::from_le_bytes(
+                            payload[0..4].try_into().expect("image header"),
+                        ));
+                        out.push(ReplRecord::Image {
+                            lsn,
+                            page,
+                            image: payload[4..].to_vec(),
+                        });
+                        emitted += total;
+                    }
+                    KIND_COMMIT | KIND_CHECKPOINT => {
+                        let payload =
+                            self.read_bytes(cursor.offset + HEADER as u64, payload_len)?;
+                        let num_pages =
+                            u32::from_le_bytes(payload[0..4].try_into().expect("commit header"));
+                        let cat_len =
+                            u32::from_le_bytes(payload[4..8].try_into().expect("commit header"))
+                                as usize;
+                        if payload.len() < 8 + cat_len {
+                            return Err(StorageError::Corrupt("WAL commit payload truncated"));
+                        }
+                        out.push(ReplRecord::Commit {
+                            lsn,
+                            num_pages,
+                            catalog: payload[8..8 + cat_len].to_vec(),
+                            checkpoint: kind == KIND_CHECKPOINT,
+                        });
+                        emitted += total;
+                    }
+                    KIND_TXN_BEGIN | KIND_UNDO | KIND_TXN_ABORT => {}
+                    _ => return Err(StorageError::Corrupt("unknown WAL record kind")),
+                }
+            }
+            cursor.offset += total;
+            cursor.last_lsn = lsn;
+        }
+        Ok((out, commit_end.saturating_sub(cursor.offset)))
+    }
+
     /// Append a page-image redo record; returns its LSN.
     pub fn append_image(&mut self, page: PageId, image: &[u8]) -> Result<u64> {
         debug_assert_eq!(image.len(), PAGE_SIZE);
@@ -249,6 +436,7 @@ impl Wal {
         payload.extend_from_slice(catalog);
         let lsn = self.append(KIND_COMMIT, &payload)?;
         self.last_commit_end = Some(self.end);
+        self.last_commit_lsn = lsn;
         wal_counters().commits.inc();
         Ok(lsn)
     }
@@ -297,6 +485,8 @@ impl Wal {
         self.start = FRONT;
         self.end = FRONT;
         self.last_commit_end = None;
+        self.last_commit_lsn = 0;
+        self.resume_floor = 0;
         self.next_lsn = 1;
         self.epoch = 0;
         wal_counters().bytes.set(0);
@@ -334,6 +524,11 @@ impl Wal {
         payload.extend_from_slice(catalog);
         let total = (HEADER + payload.len() + TRAILER) as u64;
 
+        // Tail readers below the state this checkpoint captures (the
+        // last commit) lose their images when the prefix is
+        // discarded; they must re-bootstrap from a snapshot.
+        self.resume_floor = self.last_commit_lsn;
+
         // 1. Checkpoint record at the current end.
         let x = self.end;
         let mut lsn = self.append(KIND_CHECKPOINT, &payload)?;
@@ -342,6 +537,7 @@ impl Wal {
         self.publish_start(x)?;
         self.start = x;
         self.last_commit_end = Some(self.end);
+        self.last_commit_lsn = lsn;
         // 3. Physical reclamation, only when the fresh copy cannot
         // clobber the live region it is replacing. When it would
         // overlap, skip: the next checkpoint's X is further out and
@@ -353,6 +549,7 @@ impl Wal {
             self.publish_start(FRONT)?;
             self.start = FRONT;
             self.last_commit_end = Some(self.end);
+            self.last_commit_lsn = lsn;
             let pages = self.end.div_ceil(PAGE_SIZE as u64) as u32;
             self.disk.truncate(pages)?;
         }
@@ -1118,5 +1315,202 @@ mod tests {
             data.read(PageId(0), &mut buf).unwrap();
             assert_eq!(buf[0], 10 + i);
         }
+    }
+
+    /// Apply a tail batch onto a scratch disk, asserting LSNs only
+    /// ever increase across the reader's lifetime.
+    fn apply_tail(
+        records: &[ReplRecord],
+        data: &mut MemDisk,
+        applied: &mut u64,
+        catalog: &mut Vec<u8>,
+    ) {
+        for rec in records {
+            assert!(rec.lsn() > *applied, "tail reader saw a stale LSN");
+            match rec {
+                ReplRecord::Image { lsn, page, image } => {
+                    while data.num_pages() <= page.0 {
+                        data.allocate().unwrap();
+                    }
+                    data.write(*page, image).unwrap();
+                    *applied = *lsn;
+                }
+                ReplRecord::Commit { lsn, num_pages, catalog: cat, .. } => {
+                    data.truncate(*num_pages).unwrap();
+                    *catalog = cat.clone();
+                    *applied = *lsn;
+                }
+            }
+        }
+    }
+
+    /// Satellite: a tail reader whose cursor straddles a checkpoint
+    /// relocation must rescan via the LSN fence and never observe
+    /// stale pre-relocation bytes.
+    #[test]
+    fn tail_across_relocation_never_sees_stale_bytes() {
+        let mut wal = Wal::create(Box::new(MemDisk::new())).unwrap();
+        let mut cursor = TailCursor::new();
+        let mut data = MemDisk::new();
+        let mut applied = 0u64;
+        let mut catalog = Vec::new();
+
+        // Commit a few times and drain the tail up to date.
+        for i in 0..4u8 {
+            wal.append_image(PageId(0), &image(i)).unwrap();
+            wal.append_commit(1, b"pre").unwrap();
+        }
+        let (recs, remaining) = wal
+            .read_committed_after(&mut cursor, applied, u64::MAX)
+            .unwrap();
+        apply_tail(&recs, &mut data, &mut applied, &mut catalog);
+        assert_eq!(remaining, 0);
+        assert_eq!(applied, wal.committed_lsn());
+        assert_eq!(catalog, b"pre");
+
+        // Relocating checkpoint: physical offsets all change, the old
+        // cursor offset now points into stale bytes.
+        let floor_commit = wal.committed_lsn();
+        wal.checkpoint(1, b"ck").unwrap();
+        assert_eq!(wal.start_offset(), FRONT, "relocated");
+        assert_eq!(wal.resume_floor(), floor_commit);
+
+        // The next read must fence the stale cursor, rescan from the
+        // live start, and emit exactly the relocated checkpoint
+        // record (idempotent catalog reapply) — nothing stale.
+        let (recs, remaining) = wal
+            .read_committed_after(&mut cursor, applied, u64::MAX)
+            .unwrap();
+        assert_eq!(recs.len(), 1, "only the relocated checkpoint is new");
+        assert!(matches!(
+            recs[0],
+            ReplRecord::Commit { checkpoint: true, .. }
+        ));
+        apply_tail(&recs, &mut data, &mut applied, &mut catalog);
+        assert_eq!(remaining, 0);
+        assert_eq!(catalog, b"ck");
+        assert_eq!(applied, wal.committed_lsn());
+
+        // Post-relocation commits stream normally and land on the
+        // same bytes a from-scratch replay produces.
+        wal.append_image(PageId(0), &image(42)).unwrap();
+        wal.append_commit(1, b"post").unwrap();
+        let (recs, remaining) = wal
+            .read_committed_after(&mut cursor, applied, u64::MAX)
+            .unwrap();
+        apply_tail(&recs, &mut data, &mut applied, &mut catalog);
+        assert_eq!(remaining, 0);
+        assert_eq!(catalog, b"post");
+        let mut buf = [0u8; PAGE_SIZE];
+        data.read(PageId(0), &mut buf).unwrap();
+        assert_eq!(buf[0], 42);
+    }
+
+    /// A fresh cursor (new replica) over a relocated log starts from
+    /// the live start and skips records at/below its `after_lsn`.
+    #[test]
+    fn fresh_cursor_skips_already_applied_records() {
+        let mut wal = Wal::create(Box::new(MemDisk::new())).unwrap();
+        wal.append_image(PageId(0), &image(1)).unwrap();
+        let c1 = wal.append_commit(1, b"c1").unwrap();
+        wal.append_image(PageId(0), &image(2)).unwrap();
+        wal.append_commit(1, b"c2").unwrap();
+
+        // A reader that already holds c1 gets only the second batch.
+        let mut cursor = TailCursor::new();
+        let (recs, remaining) = wal.read_committed_after(&mut cursor, c1, u64::MAX).unwrap();
+        assert_eq!(remaining, 0);
+        assert_eq!(recs.len(), 2, "one image + one commit past c1");
+        assert!(recs.iter().all(|r| r.lsn() > c1));
+        assert!(matches!(
+            recs.last().unwrap(),
+            ReplRecord::Commit { catalog, .. } if catalog == b"c2"
+        ));
+    }
+
+    /// Batches bounded by `max_bytes` make progress and report the
+    /// bytes still outstanding.
+    #[test]
+    fn bounded_tail_batches_drain_incrementally() {
+        let mut wal = Wal::create(Box::new(MemDisk::new())).unwrap();
+        for i in 0..6u8 {
+            wal.append_image(PageId(0), &image(i)).unwrap();
+            wal.append_commit(1, b"c").unwrap();
+        }
+        let mut cursor = TailCursor::new();
+        let mut applied = 0u64;
+        let mut data = MemDisk::new();
+        let mut catalog = Vec::new();
+        let mut rounds = 0usize;
+        loop {
+            let (recs, remaining) = wal
+                .read_committed_after(&mut cursor, applied, PAGE_SIZE as u64)
+                .unwrap();
+            apply_tail(&recs, &mut data, &mut applied, &mut catalog);
+            rounds += 1;
+            if remaining == 0 {
+                break;
+            }
+            assert!(rounds < 100, "bounded batches must make progress");
+        }
+        assert!(rounds > 1, "max_bytes actually bounded the batches");
+        assert_eq!(applied, wal.committed_lsn());
+        let mut buf = [0u8; PAGE_SIZE];
+        data.read(PageId(0), &mut buf).unwrap();
+        assert_eq!(buf[0], 5);
+    }
+
+    /// Txn framing (begin/undo/abort) before the commit is never
+    /// surfaced to tail readers.
+    #[test]
+    fn tail_skips_txn_framing() {
+        let mut wal = Wal::create(Box::new(MemDisk::new())).unwrap();
+        wal.append_txn_begin(1).unwrap();
+        wal.append_undo(1, PageId(0), &image(0)).unwrap();
+        wal.append_image(PageId(0), &image(5)).unwrap();
+        wal.append_commit(1, b"done").unwrap();
+        // Uncommitted tail work must not be surfaced either.
+        wal.append_image(PageId(0), &image(9)).unwrap();
+
+        let mut cursor = TailCursor::new();
+        let (recs, remaining) = wal.read_committed_after(&mut cursor, 0, u64::MAX).unwrap();
+        assert_eq!(remaining, 0);
+        assert_eq!(recs.len(), 2, "image + commit only");
+        assert!(matches!(recs[0], ReplRecord::Image { .. }));
+        assert!(matches!(recs[1], ReplRecord::Commit { checkpoint: false, .. }));
+    }
+
+    /// Resume-floor bookkeeping across create → commit → checkpoint →
+    /// reopen.
+    #[test]
+    fn resume_floor_tracks_checkpoints_and_reopen() {
+        let mut wal = Wal::create(Box::new(MemDisk::new())).unwrap();
+        assert_eq!(wal.resume_floor(), 0);
+        assert_eq!(wal.committed_lsn(), 0);
+        for _ in 0..4 {
+            wal.append_image(PageId(0), &image(1)).unwrap();
+            wal.append_commit(1, b"c").unwrap();
+        }
+        let last_commit = wal.committed_lsn();
+        assert!(last_commit > 0);
+        assert_eq!(wal.resume_floor(), 0, "no checkpoint yet: all resumable");
+
+        wal.checkpoint(1, b"k").unwrap();
+        assert_eq!(wal.resume_floor(), last_commit);
+        assert!(wal.committed_lsn() > last_commit, "checkpoint LSN is fresh");
+
+        // Reopen: the log now starts with a checkpoint record, so the
+        // floor is (conservatively) that record's LSN.
+        let reopened = Wal::open(Box::new(clone_pages(&mut wal))).unwrap();
+        assert_eq!(reopened.committed_lsn(), wal.committed_lsn());
+        assert_eq!(reopened.resume_floor(), wal.committed_lsn());
+
+        // A log without checkpoints reopens with floor 0.
+        let mut plain = Wal::create(Box::new(MemDisk::new())).unwrap();
+        plain.append_image(PageId(0), &image(1)).unwrap();
+        plain.append_commit(1, b"c").unwrap();
+        let reopened = Wal::open(Box::new(clone_pages(&mut plain))).unwrap();
+        assert_eq!(reopened.resume_floor(), 0);
+        assert_eq!(reopened.committed_lsn(), plain.committed_lsn());
     }
 }

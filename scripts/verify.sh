@@ -124,4 +124,6 @@ scripts/obs_smoke.sh
 
 scripts/checkpoint_smoke.sh
 
+scripts/repl_smoke.sh
+
 echo "OK: all checks passed"
