@@ -20,11 +20,15 @@ use mct_workloads::{run_read, Params, SchemaKind, SigmodConfig, SigmodData, Tpcw
 
 fn main() {
     let (scale, _, _) = mct_bench::parse_args();
+    let seed = mct_bench::parse_seed();
     let data = TpcwData::generate(&TpcwConfig {
         scale,
+        seed: seed.unwrap_or(TpcwConfig::default().seed),
+    });
+    let sig = SigmodData::generate(&SigmodConfig {
+        seed: seed.unwrap_or(SigmodConfig::default().seed),
         ..Default::default()
     });
-    let sig = SigmodData::generate(&SigmodConfig::default());
     let params = Params::derive(&data, &sig);
 
     println!("\nCache ablation (TQ13, scale {scale})");

@@ -26,8 +26,15 @@ fn bar(n: usize) -> String {
 }
 
 fn main() {
-    let tpcw = TpcwData::generate(&TpcwConfig::default());
-    let sigmod = SigmodData::generate(&SigmodConfig::default());
+    let seed = mct_bench::parse_seed();
+    let tpcw = TpcwData::generate(&TpcwConfig {
+        seed: seed.unwrap_or(TpcwConfig::default().seed),
+        ..Default::default()
+    });
+    let sigmod = SigmodData::generate(&SigmodConfig {
+        seed: seed.unwrap_or(SigmodConfig::default().seed),
+        ..Default::default()
+    });
     let p = Params::derive(&tpcw, &sigmod);
 
     println!("\nFigure 11: Query Specification Complexity — Number of Path Expressions");

@@ -42,6 +42,7 @@ use mct_workloads::{movies, SigmodConfig, SigmodData, TpcwConfig, TpcwData};
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--host H] [--port P] [--db movies|tpcw|sigmod] [--scale X] \
+         [--seed N] \
          [--connections LIST] [--requests N] [--workers N] [--update-every N] \
          [--replica HOST:PORT]... [--latency-summary]"
     );
@@ -53,6 +54,7 @@ struct Opts {
     port: Option<u16>,
     db: String,
     scale: f64,
+    seed: Option<u64>,
     connections: Vec<usize>,
     requests: usize,
     workers: usize,
@@ -67,6 +69,7 @@ fn parse_opts() -> Opts {
         port: None,
         db: "movies".to_string(),
         scale: 0.05,
+        seed: None,
         connections: vec![1, 2, 4, 8],
         requests: 50,
         workers: 4,
@@ -84,6 +87,7 @@ fn parse_opts() -> Opts {
             "--port" => o.port = Some(req(&mut it).parse().unwrap_or_else(|_| usage())),
             "--db" => o.db = req(&mut it),
             "--scale" => o.scale = req(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--seed" => o.seed = Some(req(&mut it).parse().unwrap_or_else(|_| usage())),
             "--connections" => {
                 o.connections = req(&mut it)
                     .split(',')
@@ -116,14 +120,14 @@ fn parse_opts() -> Opts {
     o
 }
 
-fn build(db: &str, scale: f64) -> StoredDb {
+fn build(db: &str, scale: f64, seed: Option<u64>) -> StoredDb {
     const POOL: usize = 128 * 1024 * 1024;
     match db {
         "movies" => StoredDb::build(movies::build().db, POOL).expect("build movies"),
         "tpcw" => StoredDb::build(
             TpcwData::generate(&TpcwConfig {
                 scale,
-                ..Default::default()
+                seed: seed.unwrap_or(TpcwConfig::default().seed),
             })
             .build_mct(),
             POOL,
@@ -132,7 +136,7 @@ fn build(db: &str, scale: f64) -> StoredDb {
         "sigmod" => StoredDb::build(
             SigmodData::generate(&SigmodConfig {
                 scale,
-                ..Default::default()
+                seed: seed.unwrap_or(SigmodConfig::default().seed),
             })
             .build_mct(),
             POOL,
@@ -171,7 +175,7 @@ fn main() {
         None => {
             eprintln!("loadgen: embedding a server over {} (scale {})", opts.db, opts.scale);
             let h = serve(
-                build(&opts.db, opts.scale),
+                build(&opts.db, opts.scale, opts.seed),
                 ServerConfig {
                     workers: opts.workers,
                     ..ServerConfig::default()

@@ -13,8 +13,9 @@ use mct_workloads::{run_read, SchemaKind};
 
 fn main() {
     let (scale, _, _) = mct_bench::parse_args();
+    let seed = mct_bench::parse_seed();
     eprintln!("building fixtures at scale {scale}...");
-    let mut fx = Fixtures::build(scale);
+    let mut fx = Fixtures::build_seeded(scale, seed);
 
     // ---- Ablation A1: cross-tree join — link-probe vs direct ------------
     println!("\nAblation A1: cross-tree join (color transition) cost");
@@ -176,7 +177,7 @@ fn main() {
         pool.attach_wal(Wal::create(Box::new(MemDisk::new())).expect("wal"));
         let logical = mct_workloads::TpcwData::generate(&mct_workloads::TpcwConfig {
             scale,
-            ..Default::default()
+            seed: seed.unwrap_or(mct_workloads::TpcwConfig::default().seed),
         })
         .build_mct();
         let mut stored = mct_core::StoredDb::build_on(pool, logical).expect("build");

@@ -13,8 +13,9 @@ use mct_workloads::SchemaKind;
 
 fn main() {
     let (scale, _, _) = mct_bench::parse_args();
+    let seed = mct_bench::parse_seed();
     eprintln!("building fixtures at scale {scale}...");
-    let mut fx = Fixtures::build(scale);
+    let mut fx = Fixtures::build_seeded(scale, seed);
 
     println!("\nTable 1: Storage Requirement (scale {scale})");
     println!("{}", "=".repeat(88));

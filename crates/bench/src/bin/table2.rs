@@ -20,8 +20,9 @@ use std::time::Duration;
 
 fn main() {
     let (scale, sweep, cold, stats) = mct_bench::parse_args_stats();
+    let seed = mct_bench::parse_seed();
     eprintln!("building fixtures at scale {scale}...");
-    let mut fx = Fixtures::build(scale);
+    let mut fx = Fixtures::build_seeded(scale, seed);
     let queries = all_queries(&fx.params);
 
     println!(
@@ -154,13 +155,14 @@ fn main() {
 /// the inequality value join (nested loops) is quadratic.
 fn scaling_sweep() {
     use mct_query::ops::{index_scan, nl_join_cmp, NumCmp};
+    let seed = mct_bench::parse_seed();
     println!("\nScaling sweep (§7.2): linear structural plan vs quadratic inequality join");
     println!(
         "{:<8} {:>12} {:>14} {:>16}",
         "scale", "orderlines", "TQ13 (s)", "ineq-join (s)"
     );
     for scale in [0.05, 0.1, 0.2, 0.4] {
-        let mut fx = Fixtures::build(scale);
+        let mut fx = Fixtures::build_seeded(scale, seed);
         let p = fx.params.clone();
         let db = fx.db(mct_workloads::Dataset::Tpcw, SchemaKind::Mct);
         let lines = db.postings_named(db.db.color("cust").unwrap(), "orderline")

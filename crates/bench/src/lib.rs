@@ -39,15 +39,23 @@ pub struct Fixtures {
 }
 
 impl Fixtures {
-    /// Generate and store all six databases at `scale`.
+    /// Generate and store all six databases at `scale` with the
+    /// default generator seeds.
     pub fn build(scale: f64) -> Fixtures {
+        Fixtures::build_seeded(scale, None)
+    }
+
+    /// [`Fixtures::build`] with an explicit generator seed (`--seed`);
+    /// `None` keeps each workload's default seed. The same
+    /// `(scale, seed)` pair always produces byte-identical databases.
+    pub fn build_seeded(scale: f64, seed: Option<u64>) -> Fixtures {
         let tpcw_cfg = TpcwConfig {
             scale,
-            ..Default::default()
+            seed: seed.unwrap_or(TpcwConfig::default().seed),
         };
         let sig_cfg = SigmodConfig {
             scale,
-            ..Default::default()
+            seed: seed.unwrap_or(SigmodConfig::default().seed),
         };
         let tpcw_data = TpcwData::generate(&tpcw_cfg);
         let sigmod_data = SigmodData::generate(&sig_cfg);
@@ -156,6 +164,10 @@ pub fn parse_args_stats() -> (f64, bool, bool, bool) {
             "--threads" => {
                 it.next();
             }
+            // Handled by parse_seed(); swallow the value too.
+            "--seed" => {
+                it.next();
+            }
             other if other.starts_with("--") => {
                 eprintln!("unknown flag {other}");
             }
@@ -181,6 +193,26 @@ pub fn parse_threads() -> usize {
         }
     }
     1
+}
+
+/// Parse `--seed N` from argv. `None` means "use the workload's
+/// default seed" — every bench binary threads this into its generator
+/// configs, so any run can be pinned (or varied) from the command
+/// line without touching defaults baked into results in
+/// `EXPERIMENTS.md`.
+pub fn parse_seed() -> Option<u64> {
+    let args: Vec<String> = std::env::args().collect();
+    let mut it = args.iter().skip(1);
+    while let Some(a) = it.next() {
+        if a == "--seed" {
+            return Some(
+                it.next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs a non-negative integer"),
+            );
+        }
+    }
+    None
 }
 
 /// Whether `--metrics-json` was passed: report binaries then dump the

@@ -85,7 +85,7 @@ pub(crate) const NO_CODE: IntervalCode = IntervalCode {
 pub const CODE_STRIDE: u32 = 8;
 
 /// One colored tree `T_c` (Definition 3.1): links + interval codes.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub(crate) struct ColorTree {
     pub links: Vec<Links>,
     pub codes: Vec<IntervalCode>,
@@ -149,7 +149,10 @@ pub struct McNode {
 }
 
 /// The MCT database: shared nodes, a palette, and one tree per color.
-#[derive(Debug)]
+/// `Clone` duplicates the full logical state — node ids included —
+/// which differential tests rely on to build independent stores that
+/// stay id-comparable (see `mct-sim`).
+#[derive(Clone, Debug)]
 pub struct MctDatabase {
     pub(crate) nodes: Vec<McNode>,
     /// Name interner shared by all colored trees.

@@ -28,6 +28,29 @@ use mct_core::{ColorId, StoredDb, StructRef};
 use mct_storage::DiskManager;
 use std::collections::HashMap;
 
+/// Deliberate-fault hooks for the differential-testing harness
+/// (`mct-sim` / `mctfuzz`). Arming a hook makes an operator compute a
+/// *wrong* answer on purpose, so the harness can prove it detects and
+/// minimizes real divergence. Every hook defaults to off and costs one
+/// relaxed atomic load on the paths it guards.
+#[doc(hidden)]
+pub mod testing_faults {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static CHAIN_OFF_BY_ONE: AtomicBool = AtomicBool::new(false);
+
+    /// Arm/disarm the off-by-one in [`super::holistic_path_join`]'s
+    /// stack expansion (it skips the bottom entry of each parent
+    /// stack, dropping root-to-leaf matches).
+    pub fn set_chain_off_by_one(on: bool) {
+        CHAIN_OFF_BY_ONE.store(on, Ordering::SeqCst);
+    }
+
+    pub(super) fn chain_off_by_one() -> bool {
+        CHAIN_OFF_BY_ONE.load(Ordering::Relaxed)
+    }
+}
+
 /// A tuple of structural references (positional columns).
 pub type Tuple = Vec<StructRef>;
 
@@ -276,7 +299,8 @@ fn paths_to(
     }
     let mut result = Vec::new();
     let bound = parent_top.min(stacks[level - 1].len().saturating_sub(1));
-    for i in 0..=bound {
+    let lo = usize::from(testing_faults::chain_off_by_one());
+    for i in lo..=bound {
         let (a, _) = stacks[level - 1][i];
         if !a.code.is_ancestor_of(&r.code) {
             continue;

@@ -897,4 +897,52 @@ mod tests {
         assert_eq!(colors, ["green", "green", "red", "blue"]);
         assert_eq!(p.steps[3].axis, Axis::Parent);
     }
+
+    /// Deterministic token soup: both parsers must reject arbitrary
+    /// token sequences with a typed error whose offset lies inside the
+    /// input — never a panic. This is the same invariant mctfuzz
+    /// checks on every case (see `mct_sim::check_soup`); the RNG is an
+    /// inlined xorshift so this crate gains no dev-dependency.
+    #[test]
+    fn parsers_survive_token_soup() {
+        const SOUP: [&str; 48] = [
+            "document", "(", ")", "\"d\"", "/", "{", "}", "{red}", "{nope}", "child",
+            "descendant", "parent", "self", "::", "*", "node()", "[", "]", "=", "!=", "<", "<=",
+            ">", ">=", "\"", "'", "$", "$x", "for", "let", ":=", "in", "where", "order", "by",
+            "return", "update", "delete", "insert", "replace", "value", "of", "with", "and",
+            "contains", "1", "3.5", "é",
+        ];
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for case in 0..500 {
+            let n = (next() % 25) as usize;
+            let mut text = String::new();
+            for _ in 0..n {
+                text.push_str(SOUP[next() as usize % SOUP.len()]);
+                if next() % 5 < 2 {
+                    text.push(' ');
+                }
+            }
+            for err in [
+                parse_query(&text).map(|_| ()).err(),
+                parse_update(&text).map(|_| ()).err(),
+            ]
+            .into_iter()
+            .flatten()
+            {
+                assert!(
+                    err.offset <= text.len(),
+                    "case {case}: error offset {} past end of {:?} (len {})",
+                    err.offset,
+                    text,
+                    text.len()
+                );
+            }
+        }
+    }
 }

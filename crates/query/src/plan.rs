@@ -38,8 +38,8 @@ use std::fmt;
 use std::time::{Duration, Instant};
 
 /// Chain under construction: `(color, tags, edge relations, per-tag
-/// predicates)`.
-type ChainAcc = (ColorId, Vec<String>, Vec<Rel>, Vec<Vec<CompiledPred>>);
+/// predicates, leading-`child::` root restriction)`.
+type ChainAcc = (ColorId, Vec<String>, Vec<Rel>, Vec<Vec<CompiledPred>>, bool);
 
 /// Planner failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -85,6 +85,10 @@ enum Stage {
         rels: Vec<Rel>,
         /// Predicates to apply per chain position, after the join.
         preds: Vec<Vec<CompiledPred>>,
+        /// The chain opens the path with a `child::` step: only roots
+        /// of the colored tree may bind the first tag (`document/
+        /// child::x` reaches roots, unlike `descendant::x`).
+        root_only: bool,
     },
     /// Color transition on the current head column.
     CrossTree { to: ColorId },
@@ -425,7 +429,7 @@ impl PathPlan {
                     out.dedup_by_key(|t| t[0].node);
                     out
                 }
-                Stage::Chain { color, tags, rels, preds } => {
+                Stage::Chain { color, tags, rels, preds, root_only } => {
                     // Gather the posting lists; a leading `«pipeline»`
                     // placeholder consumes the incoming tuples.
                     let mut lists: Vec<Vec<StructRef>> = Vec::with_capacity(tags.len());
@@ -447,6 +451,13 @@ impl PathPlan {
                         for tag in rest {
                             lists.push(s.postings_named(*color, tag)?);
                         }
+                    }
+                    if *root_only {
+                        // `document/child::x`: only roots of the
+                        // colored tree bind the opening tag.
+                        lists[0].retain(|r| {
+                            matches!(s.db.parent(r.node, *color), None | Some(McNodeId::DOCUMENT))
+                        });
                     }
                     let joined = exec::holistic_chain_par(&lists, rels, threads, cancel)?;
                     // Apply per-position predicates, then project to the
@@ -627,8 +638,8 @@ pub fn plan_path<D: DiskManager>(s: &StoredDb<D>, path: &PathExpr, dedup: bool) 
     let flush = |stages: &mut Vec<Stage>,
                  chain: &mut Option<ChainAcc>,
                  has_pipeline: &mut bool| {
-        if let Some((color, tags, rels, preds)) = chain.take() {
-            stages.push(Stage::Chain { color, tags, rels, preds });
+        if let Some((color, tags, rels, preds, root_only)) = chain.take() {
+            stages.push(Stage::Chain { color, tags, rels, preds, root_only });
             *has_pipeline = true;
         }
     };
@@ -659,7 +670,7 @@ pub fn plan_path<D: DiskManager>(s: &StoredDb<D>, path: &PathExpr, dedup: bool) 
                     current_color = Some(color);
                 }
                 match &mut chain {
-                    Some((_, tags, rels, all_preds)) => {
+                    Some((_, tags, rels, all_preds, _)) => {
                         tags.push(tag);
                         rels.push(rel);
                         all_preds.push(preds);
@@ -672,10 +683,20 @@ pub fn plan_path<D: DiskManager>(s: &StoredDb<D>, path: &PathExpr, dedup: bool) 
                                 vec!["«pipeline»".into(), tag],
                                 vec![rel],
                                 vec![Vec::new(), preds],
+                                false,
                             ));
                             has_pipeline = false;
                         } else {
-                            chain = Some((color, vec![tag], Vec::new(), vec![preds]));
+                            // The path-opening chain: a `child::` step
+                            // here means children of the document node,
+                            // i.e. only roots of the colored tree.
+                            chain = Some((
+                                color,
+                                vec![tag],
+                                Vec::new(),
+                                vec![preds],
+                                rel == Rel::Child,
+                            ));
                         }
                     }
                 }
@@ -706,8 +727,11 @@ pub fn plan_path<D: DiskManager>(s: &StoredDb<D>, path: &PathExpr, dedup: bool) 
     }
     // Index-entry rewrite: a leading chain whose first tag has an
     // equality predicate on a child becomes a content-index entry.
-    if let Some(Stage::Chain { color, tags, preds, .. }) = stages.first() {
-        if !tags.is_empty() && tags[0] != "«pipeline»" {
+    if let Some(Stage::Chain { color, tags, preds, root_only, .. }) = stages.first() {
+        // A root-restricted opening (`document/child::x`) keeps the
+        // index scan: the content-index entry point has no way to
+        // re-impose the root constraint.
+        if !tags.is_empty() && tags[0] != "«pipeline»" && !root_only {
             if let Some(CompiledPred::ContentEq { child: Some(cname), value }) =
                 preds.first().and_then(|ps| ps.first())
             {

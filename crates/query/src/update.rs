@@ -95,6 +95,15 @@ fn apply_update<D: DiskManager>(
                 stored.update_content(n, &v)?;
             }
             Pending::Delete(n, c) => {
+                // A previous delete in this color left the tree dirty;
+                // `unindex_node` needs clean codes to find the index
+                // entries, so re-annotate (and rebuild the indexes,
+                // which are keyed by the renumbered codes) first.
+                if stored.db.is_dirty(c) {
+                    stored.db.annotate(c);
+                    stored.reindex_color(c)?;
+                    dirty_colors.retain(|&x| x != c);
+                }
                 let subtree: Vec<McNodeId> = stored.db.descendants_or_self(n, c).collect();
                 for &d in &subtree {
                     stored.unindex_node(d, c)?;
@@ -202,6 +211,11 @@ fn collect<D: DiskManager>(
                     let value = vseq.first().map(|i| atomize(ctx, i)).unwrap_or_default();
                     for item in nodes {
                         if let Item::Node(n, _) = item {
+                            if n == McNodeId::DOCUMENT {
+                                return Err(EvalError::Dynamic(
+                                    "replace value target is the document node".into(),
+                                ));
+                            }
                             out.push(Pending::Replace(n, value.clone()));
                             emitted = true;
                         }
@@ -211,6 +225,11 @@ fn collect<D: DiskManager>(
                     let nodes = eval(ctx, what)?;
                     for item in nodes {
                         if let Item::Node(n, c) = item {
+                            if n == McNodeId::DOCUMENT {
+                                return Err(EvalError::Dynamic(
+                                    "cannot delete the document node".into(),
+                                ));
+                            }
                             let c = c
                                 .or(target_color)
                                 .ok_or(EvalError::NoColor)?;

@@ -1,0 +1,332 @@
+//! `mctfuzz` — deterministic differential fuzzing of the MCT stack.
+//!
+//! ```text
+//! mctfuzz [--seed N] [--cases K] [--budget-secs S] [--threads T]
+//!         [--surfaces all|local|planned,parallel,served,replica]
+//!         [--faults] [--corpus DIR] [--replay PATH] [--plant DIR]
+//!         [--no-shrink] [--max-probes P]
+//!         [--inject chain-off-by-one] [-q]
+//! ```
+//!
+//! Each case derives an absolute seed from `--seed` and the case
+//! index, generates a random multi-colored store plus 2–6 MCXQuery
+//! ops, and runs them differentially across the enabled surfaces (see
+//! DESIGN.md §17). On divergence the case is minimized and written to
+//! `--corpus` as a self-contained `.xml` + `.mcx` repro; exit status 1.
+//!
+//! `--replay` re-runs one `.mcx` file (or every entry of a directory)
+//! instead of generating. `--plant` writes the hand-planted tricky
+//! cases into a corpus directory (verifying each passes first).
+//! `--inject chain-off-by-one` arms a deliberate bug in the holistic
+//! chain join to prove the harness catches and shrinks real planner
+//! divergence.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use mct_sim::diff::{run_case, DiffConfig, Divergence, SurfaceSet};
+use mct_sim::{case_seed, check_soup, corpus, fault, gen_case, minimize, shrink};
+use mct_workloads::rng::XorShiftRng;
+
+struct Opts {
+    seed: u64,
+    cases: Option<u64>,
+    budget_secs: Option<u64>,
+    threads: usize,
+    surfaces: SurfaceSet,
+    faults: bool,
+    corpus: PathBuf,
+    replay: Option<PathBuf>,
+    plant: Option<PathBuf>,
+    no_shrink: bool,
+    max_probes: usize,
+    inject: Option<String>,
+    quiet: bool,
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut o = Opts {
+        seed: 1,
+        cases: None,
+        budget_secs: None,
+        threads: 4,
+        surfaces: SurfaceSet::all(),
+        faults: false,
+        corpus: PathBuf::from("tests/corpus"),
+        replay: None,
+        plant: None,
+        no_shrink: false,
+        max_probes: 400,
+        inject: None,
+        quiet: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--seed" => o.seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--cases" => {
+                o.cases = Some(val("--cases")?.parse().map_err(|e| format!("--cases: {e}"))?)
+            }
+            "--budget-secs" => {
+                o.budget_secs = Some(
+                    val("--budget-secs")?
+                        .parse()
+                        .map_err(|e| format!("--budget-secs: {e}"))?,
+                )
+            }
+            "--threads" => {
+                o.threads = val("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--surfaces" => o.surfaces = SurfaceSet::parse(&val("--surfaces")?)?,
+            "--faults" => o.faults = true,
+            "--corpus" => o.corpus = PathBuf::from(val("--corpus")?),
+            "--replay" => o.replay = Some(PathBuf::from(val("--replay")?)),
+            "--plant" => o.plant = Some(PathBuf::from(val("--plant")?)),
+            "--no-shrink" => o.no_shrink = true,
+            "--max-probes" => {
+                o.max_probes = val("--max-probes")?
+                    .parse()
+                    .map_err(|e| format!("--max-probes: {e}"))?
+            }
+            "--inject" => o.inject = Some(val("--inject")?),
+            "-q" | "--quiet" => o.quiet = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: mctfuzz [--seed N] [--cases K] [--budget-secs S] [--threads T]\n\
+                     \x20              [--surfaces all|local|LIST] [--faults] [--corpus DIR]\n\
+                     \x20              [--replay PATH] [--plant DIR] [--no-shrink]\n\
+                     \x20              [--max-probes P] [--inject chain-off-by-one] [-q]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    Ok(o)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_opts() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("mctfuzz: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match opts.inject.as_deref() {
+        None => {}
+        Some("chain-off-by-one") => {
+            eprintln!("mctfuzz: INJECTED FAULT armed: chain-off-by-one (expect a failure)");
+            mct_query::ops::testing_faults::set_chain_off_by_one(true);
+        }
+        Some(other) => {
+            eprintln!("mctfuzz: unknown --inject {other:?} (known: chain-off-by-one)");
+            return ExitCode::from(2);
+        }
+    }
+
+    let cfg = DiffConfig {
+        threads: opts.threads.max(1),
+        surfaces: opts.surfaces,
+    };
+
+    if let Some(dir) = &opts.plant {
+        return plant(dir, &cfg);
+    }
+    if let Some(path) = &opts.replay {
+        return replay(path, &cfg);
+    }
+    fuzz(&opts, &cfg)
+}
+
+/// Write the hand-planted tricky cases as corpus entries.
+fn plant(dir: &std::path::Path, cfg: &DiffConfig) -> ExitCode {
+    let mut wrote = 0usize;
+    for (name, db, ops) in corpus::planted() {
+        if let Err(d) = run_case(&db, &ops, cfg) {
+            eprintln!("mctfuzz: planted case {name} FAILS before planting: {d}");
+            return ExitCode::FAILURE;
+        }
+        let header = format!("hand-planted tricky case: {name}\nsurfaces: {}", cfg.surfaces.label());
+        match corpus::write_repro(dir, &name, &db, &ops, &header) {
+            Ok((xml, mcx)) => {
+                println!("planted {} + {}", xml.display(), mcx.display());
+                wrote += 1;
+            }
+            Err(e) => {
+                eprintln!("mctfuzz: writing {name}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("mctfuzz: planted {wrote} corpus cases into {}", dir.display());
+    ExitCode::SUCCESS
+}
+
+/// Replay one `.mcx` file or a whole corpus directory.
+fn replay(path: &std::path::Path, cfg: &DiffConfig) -> ExitCode {
+    let files = if path.is_dir() {
+        match corpus::entries(path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("mctfuzz: reading {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        vec![path.to_path_buf()]
+    };
+    if files.is_empty() {
+        eprintln!("mctfuzz: no .mcx entries under {}", path.display());
+        return ExitCode::FAILURE;
+    }
+    let mut failed = 0usize;
+    for f in &files {
+        match corpus::replay(f, cfg) {
+            Ok(()) => println!("ok   {}", f.display()),
+            Err(e) => {
+                println!("FAIL {}: {e}", f.display());
+                failed += 1;
+            }
+        }
+    }
+    println!(
+        "mctfuzz: replayed {} entr{} ({failed} failing) on {}",
+        files.len(),
+        if files.len() == 1 { "y" } else { "ies" },
+        cfg.surfaces.label()
+    );
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn fuzz(opts: &Opts, cfg: &DiffConfig) -> ExitCode {
+    let started = Instant::now();
+    let budget = opts.budget_secs.map(Duration::from_secs);
+    let case_limit = match (opts.cases, budget) {
+        (Some(k), _) => k,
+        (None, Some(_)) => u64::MAX,
+        (None, None) => 100,
+    };
+
+    let mut ran = 0u64;
+    let mut soups = 0u64;
+    for idx in 0..case_limit {
+        if let Some(b) = budget {
+            if started.elapsed() >= b {
+                break;
+            }
+        }
+        let cs = case_seed(opts.seed, idx);
+        let (doc, ops) = gen_case(cs);
+
+        // Parser-robustness invariant rides along on every case.
+        let mut soup_rng = XorShiftRng::seed_from_u64(cs ^ 0x50u64);
+        for _ in 0..8 {
+            let soup = mct_sim::gen_soup(&mut soup_rng);
+            if let Err(e) = check_soup(&soup) {
+                eprintln!("mctfuzz: case {idx} (seed {cs}): PARSER INVARIANT VIOLATED\n  {e}");
+                return ExitCode::FAILURE;
+            }
+            soups += 1;
+        }
+
+        let (db, elements) = doc.build();
+        let outcome: Result<Result<(), Divergence>, _> =
+            catch_unwind(AssertUnwindSafe(|| run_case(&db, &ops, cfg)));
+        let failure = match outcome {
+            Ok(Ok(())) => None,
+            Ok(Err(d)) => Some(d),
+            Err(_) => Some(Divergence {
+                surface: "panic".to_string(),
+                op: None,
+                detail: "case panicked".to_string(),
+            }),
+        };
+
+        let failure = match (failure, opts.faults) {
+            (None, true) => {
+                match catch_unwind(AssertUnwindSafe(|| fault::run_fault_case(&db, &ops, cs))) {
+                    Ok(Ok(())) => None,
+                    Ok(Err(d)) => Some(d),
+                    Err(_) => Some(Divergence {
+                        surface: "panic".to_string(),
+                        op: None,
+                        detail: "fault-schedule run panicked".to_string(),
+                    }),
+                }
+            }
+            (f, _) => f,
+        };
+
+        if let Some(d) = failure {
+            eprintln!(
+                "mctfuzz: case {idx} (seed {cs}, {elements} elements, {} ops) FAILED:\n  {d}",
+                ops.len()
+            );
+            let (min_doc, min_ops) = if opts.no_shrink {
+                (doc, ops)
+            } else {
+                let probe_cfg = DiffConfig {
+                    threads: cfg.threads,
+                    surfaces: cfg.surfaces.for_failure(&d.surface),
+                };
+                let shrunk = minimize(&doc, &ops, &probe_cfg, opts.max_probes);
+                eprintln!(
+                    "mctfuzz: minimized to {} elements / {} ops in {} probes",
+                    shrink::live_elements(&shrunk.doc),
+                    shrunk.ops.len(),
+                    shrunk.probes
+                );
+                (shrunk.doc, shrunk.ops)
+            };
+            let (min_db, _) = min_doc.build();
+            let name = corpus::repro_name(opts.seed, idx);
+            let header = format!(
+                "mctfuzz repro\nrun seed: {} case: {idx} case seed: {cs}\nsurfaces: {}\ndivergence: {d}\nreplay: mctfuzz --replay tests/corpus/{name}.mcx",
+                opts.seed,
+                cfg.surfaces.label()
+            );
+            match corpus::write_repro(&opts.corpus, &name, &min_db, &min_ops, &header) {
+                Ok((xml, mcx)) => {
+                    eprintln!(
+                        "mctfuzz: repro written: {} + {}",
+                        xml.display(),
+                        mcx.display()
+                    );
+                }
+                Err(e) => eprintln!("mctfuzz: FAILED to write repro: {e}"),
+            }
+            return ExitCode::FAILURE;
+        }
+
+        ran += 1;
+        if !opts.quiet && ran.is_multiple_of(50) {
+            eprintln!(
+                "mctfuzz: {ran} cases clean ({:.1}s)",
+                started.elapsed().as_secs_f64()
+            );
+        }
+    }
+
+    println!(
+        "mctfuzz: {ran} cases clean (seed {}, surfaces {}, {} parser soups, {:.1}s)",
+        opts.seed,
+        cfg.surfaces.label(),
+        soups,
+        started.elapsed().as_secs_f64()
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,242 @@
+//! Delta-debugging minimizer.
+//!
+//! Given a failing `(DocSpec, ops)` case, shrink both sides while the
+//! failure (any [`Divergence`] *or panic*) persists:
+//!
+//! 1. drop whole ops (last-first, so later state-dependent ops go
+//!    before the op that exposes the bug);
+//! 2. kill document nodes (a dead node takes its orphaned subtrees
+//!    with it — `DocSpec::build` skips children of unbuilt parents);
+//! 3. simplify the surviving ASTs: drop path steps, drop predicates,
+//!    drop FLWOR clauses, drop update actions.
+//!
+//! Phases repeat to a fixpoint under a probe budget. Probes run with a
+//! surface set restricted to the failing surface (see
+//! [`SurfaceSet::for_failure`]) so a local planner bug does not pay
+//! for a socket rig on every one of hundreds of candidate runs.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use mct_query::ast::{Expr, Flwor, FlworClause, PathExpr, UpdateStmt};
+
+use crate::diff::{run_case, CaseOp, DiffConfig};
+use crate::gen::DocSpec;
+
+/// Outcome of a minimization run.
+pub struct Shrunk {
+    /// Minimized document.
+    pub doc: DocSpec,
+    /// Minimized op list.
+    pub ops: Vec<CaseOp>,
+    /// Probes spent.
+    pub probes: usize,
+}
+
+/// Does this candidate still fail? Panics count as failures.
+fn fails(doc: &DocSpec, ops: &[CaseOp], cfg: &DiffConfig) -> bool {
+    let (db, _) = doc.build();
+    !matches!(
+        catch_unwind(AssertUnwindSafe(|| run_case(&db, ops, cfg))),
+        Ok(Ok(()))
+    )
+}
+
+/// Minimize a failing case. `cfg` should already be restricted to the
+/// failing surface. The result is guaranteed to still fail (the input
+/// is returned untouched if no simplification holds the failure).
+pub fn minimize(doc: &DocSpec, ops: &[CaseOp], cfg: &DiffConfig, max_probes: usize) -> Shrunk {
+    let mut doc = doc.clone();
+    let mut ops: Vec<CaseOp> = ops.to_vec();
+    let mut probes = 0usize;
+
+    let probe = |doc: &DocSpec, ops: &[CaseOp], probes: &mut usize| -> bool {
+        if *probes >= max_probes {
+            return false;
+        }
+        *probes += 1;
+        fails(doc, ops, cfg)
+    };
+
+    loop {
+        let mut progress = false;
+
+        // Phase 1: drop ops, last-first.
+        let mut i = ops.len();
+        while i > 0 && ops.len() > 1 {
+            i -= 1;
+            let mut cand = ops.clone();
+            cand.remove(i);
+            if probe(&doc, &cand, &mut probes) {
+                ops = cand;
+                progress = true;
+            }
+        }
+
+        // Phase 2: kill document nodes, last-first (children before
+        // parents, but killing a parent strands its subtree anyway).
+        for j in (0..doc.nodes.len()).rev() {
+            if !doc.nodes[j].alive {
+                continue;
+            }
+            let mut cand = doc.clone();
+            cand.nodes[j].alive = false;
+            if probe(&cand, &ops, &mut probes) {
+                doc = cand;
+                progress = true;
+            }
+        }
+
+        // Phase 3: simplify each surviving op's AST.
+        for k in 0..ops.len() {
+            let variants: Vec<CaseOp> = match &ops[k] {
+                CaseOp::Query(e) => query_variants(e).into_iter().map(CaseOp::Query).collect(),
+                CaseOp::Update(u) => update_variants(u).into_iter().map(CaseOp::Update).collect(),
+            };
+            for v in variants {
+                let mut cand = ops.clone();
+                cand[k] = v;
+                if probe(&doc, &cand, &mut probes) {
+                    ops = cand;
+                    progress = true;
+                    break; // re-derive variants from the new op next round
+                }
+            }
+        }
+
+        if !progress || probes >= max_probes {
+            break;
+        }
+    }
+
+    Shrunk { doc, ops, probes }
+}
+
+fn path_variants(p: &PathExpr) -> Vec<PathExpr> {
+    let mut out = Vec::new();
+    // Drop one step.
+    if p.steps.len() > 1 {
+        for i in 0..p.steps.len() {
+            let mut q = p.clone();
+            q.steps.remove(i);
+            out.push(q);
+        }
+    }
+    // Drop one predicate.
+    for (i, step) in p.steps.iter().enumerate() {
+        for j in 0..step.predicates.len() {
+            let mut q = p.clone();
+            q.steps[i].predicates.remove(j);
+            out.push(q);
+        }
+    }
+    out
+}
+
+fn query_variants(e: &Expr) -> Vec<Expr> {
+    match e {
+        Expr::Path(p) => path_variants(p).into_iter().map(Expr::Path).collect(),
+        Expr::Flwor(f) => {
+            let mut out = Vec::new();
+            if f.where_.is_some() {
+                out.push(Expr::Flwor(Flwor {
+                    where_: None,
+                    ..f.clone()
+                }));
+            }
+            if !f.order_by.is_empty() {
+                out.push(Expr::Flwor(Flwor {
+                    order_by: Vec::new(),
+                    ..f.clone()
+                }));
+            }
+            // Drop Let clauses.
+            if f.clauses.len() > 1 {
+                for i in 0..f.clauses.len() {
+                    if matches!(f.clauses[i], FlworClause::Let(..)) {
+                        let mut g = f.clone();
+                        g.clauses.remove(i);
+                        out.push(Expr::Flwor(g));
+                    }
+                }
+            }
+            // Simplify the For source path.
+            for (i, c) in f.clauses.iter().enumerate() {
+                if let FlworClause::For(v, Expr::Path(p)) = c {
+                    for q in path_variants(p) {
+                        let mut g = f.clone();
+                        g.clauses[i] = FlworClause::For(v.clone(), Expr::Path(q));
+                        out.push(Expr::Flwor(g));
+                    }
+                }
+            }
+            // Collapse to the bare binding path.
+            if let Some(FlworClause::For(_, src)) = f.clauses.first() {
+                out.push(src.clone());
+            }
+            out
+        }
+        _ => Vec::new(),
+    }
+}
+
+fn update_variants(u: &UpdateStmt) -> Vec<UpdateStmt> {
+    let mut out = Vec::new();
+    if u.where_.is_some() {
+        out.push(UpdateStmt {
+            where_: None,
+            ..u.clone()
+        });
+    }
+    if u.actions.len() > 1 {
+        for i in 0..u.actions.len() {
+            let mut v = u.clone();
+            v.actions.remove(i);
+            out.push(v);
+        }
+    }
+    for (i, c) in u.clauses.iter().enumerate() {
+        if let FlworClause::For(v, Expr::Path(p)) = c {
+            for q in path_variants(p) {
+                let mut w = u.clone();
+                w.clauses[i] = FlworClause::For(v.clone(), Expr::Path(q));
+                out.push(w);
+            }
+        }
+    }
+    out
+}
+
+/// Count live elements a doc would build (for repro-size reporting).
+pub fn live_elements(doc: &DocSpec) -> usize {
+    doc.build().1
+}
+
+/// The longest path (in steps) mentioned anywhere in an op — the
+/// "query steps" size the acceptance bound talks about.
+pub fn max_steps(op: &CaseOp) -> usize {
+    fn expr_steps(e: &Expr) -> usize {
+        match e {
+            Expr::Path(p) => p.steps.len(),
+            Expr::Flwor(f) => f
+                .clauses
+                .iter()
+                .map(|c| match c {
+                    FlworClause::For(_, e) | FlworClause::Let(_, e) => expr_steps(e),
+                })
+                .max()
+                .unwrap_or(0),
+            _ => 0,
+        }
+    }
+    match op {
+        CaseOp::Query(e) => expr_steps(e),
+        CaseOp::Update(u) => u
+            .clauses
+            .iter()
+            .map(|c| match c {
+                FlworClause::For(_, e) | FlworClause::Let(_, e) => expr_steps(e),
+            })
+            .max()
+            .unwrap_or(0),
+    }
+}

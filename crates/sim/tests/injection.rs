@@ -1,0 +1,64 @@
+//! Acceptance gate for the harness itself: arming the deliberate
+//! off-by-one in the holistic chain join (`mct_query::ops::
+//! testing_faults`) must make the fuzzer find a divergence, and the
+//! minimizer must shrink it to ≤ 10 elements and ≤ 3 query steps.
+//!
+//! This is the only test in this binary: the fault flag is process-
+//! global, so nothing else may share the process.
+
+use mct_sim::diff::{run_case, DiffConfig, SurfaceSet};
+use mct_sim::{case_seed, gen_case, minimize, shrink};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Disarm on every exit path so a failing assert can't poison a
+/// hypothetical future test in this process.
+struct Disarm;
+impl Drop for Disarm {
+    fn drop(&mut self) {
+        mct_query::ops::testing_faults::set_chain_off_by_one(false);
+    }
+}
+
+#[test]
+fn injected_chain_off_by_one_is_caught_and_minimized() {
+    let _guard = Disarm;
+    mct_query::ops::testing_faults::set_chain_off_by_one(true);
+
+    let cfg = DiffConfig {
+        threads: 2,
+        surfaces: SurfaceSet::local(),
+    };
+
+    let mut found = None;
+    for idx in 0..400u64 {
+        let cs = case_seed(1, idx);
+        let (doc, ops) = gen_case(cs);
+        let (db, _) = doc.build();
+        let failed = !matches!(
+            catch_unwind(AssertUnwindSafe(|| run_case(&db, &ops, &cfg))),
+            Ok(Ok(()))
+        );
+        if failed {
+            found = Some((idx, cs, doc, ops));
+            break;
+        }
+    }
+    let (idx, cs, doc, ops) =
+        found.expect("fuzzer failed to detect the injected off-by-one within 400 cases");
+
+    let shrunk = minimize(&doc, &ops, &cfg, 600);
+    let elements = shrink::live_elements(&shrunk.doc);
+    let steps = shrunk.ops.iter().map(shrink::max_steps).max().unwrap_or(0);
+    assert!(
+        elements <= 10,
+        "minimized repro too large: {elements} elements (case {idx}, seed {cs})"
+    );
+    assert!(
+        steps <= 3,
+        "minimized repro too deep: {steps} query steps (case {idx}, seed {cs})"
+    );
+    assert!(
+        !shrunk.ops.is_empty(),
+        "minimizer dropped every op yet still fails?"
+    );
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Differential-fuzzing smoke: a fixed-seed mctfuzz sweep across every
+# execution surface (oracle, planner, parallel, served, replica) plus
+# a fault-schedule pass, and a corpus replay. Deterministic — the same
+# seed runs in CI and locally, so a failure here reproduces verbatim.
+# Called from verify.sh and CI; also usable on its own.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> fuzz smoke (mctfuzz, fixed seed, all surfaces)"
+cargo run --release --offline -p mct-sim --bin mctfuzz -- \
+    --seed 1 --cases 100 --threads 4 -q \
+    || { echo "FAIL: mctfuzz found a divergence (repro written to tests/corpus)"; exit 1; }
+
+echo "==> fuzz smoke (fault schedules: crash points + txn aborts)"
+cargo run --release --offline -p mct-sim --bin mctfuzz -- \
+    --seed 2 --cases 60 --faults --surfaces planned -q \
+    || { echo "FAIL: mctfuzz fault schedule diverged (repro written to tests/corpus)"; exit 1; }
+
+echo "==> fuzz smoke (corpus replay)"
+cargo run --release --offline -p mct-sim --bin mctfuzz -- --replay tests/corpus -q \
+    || { echo "FAIL: a tests/corpus repro regressed"; exit 1; }
+
+echo "OK: fuzz smoke passed"

@@ -126,4 +126,6 @@ scripts/checkpoint_smoke.sh
 
 scripts/repl_smoke.sh
 
+scripts/fuzz_smoke.sh
+
 echo "OK: all checks passed"

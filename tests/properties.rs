@@ -3,6 +3,12 @@
 //! Cases are generated with the in-tree seeded [`XorShiftRng`] rather
 //! than an external property-testing crate, so the suite runs fully
 //! offline and every case is reproducible from its printed seed.
+//!
+//! Every assertion goes through [`fail_with_seed!`], which reports the
+//! **absolute** case seed — the exact value passed to
+//! `XorShiftRng::seed_from_u64` — not the loop index. (Suites offset
+//! their seed ranges so no two suites share a case seed; a failure
+//! message is reproducible verbatim.)
 
 use colorful_xml::core::{ColorId, McNodeId, MctDatabase, StoredDb};
 use colorful_xml::query::ops::{naive_structural_join, structural_join, Rel, Tuple};
@@ -13,6 +19,47 @@ use colorful_xml::storage::{BTree, BufferPool, IntervalCode, MemDisk, PAGE_SIZE}
 use colorful_xml::xml::{parse, write_document, Document, NodeId, WriteOptions};
 use mct_core::StructRef;
 use mct_workloads::rng::XorShiftRng;
+
+/// One failure-reporting path for every generator in this suite.
+///
+/// * `fail_with_seed!(eq seed, a, b)` — assert `a == b`, printing both
+///   sides on failure;
+/// * `fail_with_seed!(ok seed, cond)` — assert a condition;
+/// * `fail_with_seed!(seed, "msg {..}")` — unconditional failure.
+///
+/// Every form leads with `case seed N`, where `N` is the absolute seed
+/// that reproduces the case via `XorShiftRng::seed_from_u64(N)`.
+macro_rules! fail_with_seed {
+    (eq $seed:expr, $a:expr, $b:expr $(, $($ctx:tt)+)?) => {{
+        let (left, right) = (&$a, &$b);
+        if left != right {
+            panic!(
+                "case seed {}: {} != {}\n  left: {:?}\n right: {:?}{}",
+                $seed,
+                stringify!($a),
+                stringify!($b),
+                left,
+                right,
+                fail_with_seed!(@ctx $($($ctx)+)?),
+            );
+        }
+    }};
+    (ok $seed:expr, $cond:expr $(, $($ctx:tt)+)?) => {{
+        if !$cond {
+            panic!(
+                "case seed {}: assertion failed: {}{}",
+                $seed,
+                stringify!($cond),
+                fail_with_seed!(@ctx $($($ctx)+)?),
+            );
+        }
+    }};
+    ($seed:expr, $($msg:tt)+) => {
+        panic!("case seed {}: {}", $seed, format_args!($($msg)+))
+    };
+    (@ctx) => { String::new() };
+    (@ctx $($ctx:tt)+) => { format!("\n   ctx: {}", format_args!($($ctx)+)) };
+}
 
 // ---------------------------------------------------------------------------
 // XML parse/write round trip
@@ -57,9 +104,9 @@ fn xml_write_parse_roundtrip() {
         let mut rng = XorShiftRng::seed_from_u64(seed);
         let doc = gen_tree(&mut rng);
         let once = write_document(&doc, &WriteOptions::default());
-        let re = parse(&once).unwrap();
+        let re = parse(&once).unwrap_or_else(|e| fail_with_seed!(seed, "reparse failed: {e:?}"));
         let twice = write_document(&re, &WriteOptions::default());
-        assert_eq!(once, twice, "seed {seed}");
+        fail_with_seed!(eq seed, once, twice);
     }
 }
 
@@ -71,7 +118,7 @@ fn xml_pretty_print_reparses() {
         let mut rng = XorShiftRng::seed_from_u64(seed);
         let doc = gen_tree(&mut rng);
         let pretty = write_document(&doc, &WriteOptions::pretty());
-        let re = parse(&pretty).unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
+        let re = parse(&pretty).unwrap_or_else(|e| fail_with_seed!(seed, "{e:?}"));
         re.check_invariants();
     }
 }
@@ -82,8 +129,9 @@ fn xml_pretty_print_reparses() {
 
 #[test]
 fn btree_matches_model() {
-    for seed in 0..32u64 {
-        let mut rng = XorShiftRng::seed_from_u64(1000 + seed);
+    for case in 0..32u64 {
+        let seed = 1000 + case;
+        let mut rng = XorShiftRng::seed_from_u64(seed);
         let pool = BufferPool::new(MemDisk::new(), 64 * PAGE_SIZE);
         let mut tree = BTree::create(&pool).unwrap();
         let mut model = std::collections::BTreeMap::new();
@@ -97,24 +145,24 @@ fn btree_matches_model() {
                 0 => {
                     let a = tree.insert(&pool, &key, val).unwrap();
                     let b = model.insert(key.clone(), val);
-                    assert_eq!(a, b, "seed {seed}");
+                    fail_with_seed!(eq seed, a, b, "insert {key:?}");
                 }
                 1 => {
                     let a = tree.delete(&pool, &key).unwrap();
                     let b = model.remove(&key);
-                    assert_eq!(a, b, "seed {seed}");
+                    fail_with_seed!(eq seed, a, b, "delete {key:?}");
                 }
                 _ => {
                     let a = tree.get(&pool, &key).unwrap();
                     let b = model.get(&key).copied();
-                    assert_eq!(a, b, "seed {seed}");
+                    fail_with_seed!(eq seed, a, b, "get {key:?}");
                 }
             }
         }
         // Full scans agree, in order.
         let scanned = tree.range_vec(&pool, &[], None).unwrap();
         let expected: Vec<(Vec<u8>, u64)> = model.into_iter().collect();
-        assert_eq!(scanned, expected, "seed {seed}");
+        fail_with_seed!(eq seed, scanned, expected, "full scan");
     }
 }
 
@@ -181,8 +229,9 @@ fn gen_forest(rng: &mut XorShiftRng) -> Vec<IntervalCode> {
 
 #[test]
 fn structural_join_equals_oracle() {
-    for seed in 0..64u64 {
-        let mut rng = XorShiftRng::seed_from_u64(2000 + seed);
+    for case in 0..64u64 {
+        let seed = 2000 + case;
+        let mut rng = XorShiftRng::seed_from_u64(seed);
         let codes = gen_forest(&mut rng);
         // Partition nodes into "ancestor side" and "descendant side".
         let mut anc: Vec<Tuple> = Vec::new();
@@ -209,7 +258,7 @@ fn structural_join_equals_oracle() {
                 pairs.sort_unstable();
                 pairs
             };
-            assert_eq!(norm(fast), norm(slow), "seed {seed}, rel {rel:?}");
+            fail_with_seed!(eq seed, norm(fast), norm(slow), "rel {rel:?}");
         }
     }
 }
@@ -250,19 +299,17 @@ fn gen_mct(rng: &mut XorShiftRng) -> MctDatabase {
 
 #[test]
 fn exchange_roundtrip_preserves_all_trees() {
-    for seed in 0..48u64 {
-        let mut rng = XorShiftRng::seed_from_u64(3000 + seed);
+    for case in 0..48u64 {
+        let seed = 3000 + case;
+        let mut rng = XorShiftRng::seed_from_u64(seed);
         let db = gen_mct(&mut rng);
         let scheme = SerializationScheme::default();
         let doc = emit_exchange(&db, &scheme);
-        let back = reconstruct(&doc).unwrap();
+        let back =
+            reconstruct(&doc).unwrap_or_else(|e| fail_with_seed!(seed, "reconstruct: {e:?}"));
         back.check_invariants();
-        assert_eq!(db.counts(), back.counts(), "seed {seed}");
-        assert_eq!(
-            db.structural_count(),
-            back.structural_count(),
-            "seed {seed}"
-        );
+        fail_with_seed!(eq seed, db.counts(), back.counts());
+        fail_with_seed!(eq seed, db.structural_count(), back.structural_count());
         for (c, name) in db.palette.iter() {
             let c2 = back.color(name).unwrap();
             let a = write_document(
@@ -273,7 +320,7 @@ fn exchange_roundtrip_preserves_all_trees() {
                 &colorful_xml::core::export_color(&back, c2),
                 &WriteOptions::default(),
             );
-            assert_eq!(a, b, "seed {seed}, color {name}");
+            fail_with_seed!(eq seed, a, b, "color {name}");
         }
     }
 }
@@ -281,8 +328,9 @@ fn exchange_roundtrip_preserves_all_trees() {
 /// Annotation invariants hold for every generated database.
 #[test]
 fn interval_codes_consistent() {
-    for seed in 0..48u64 {
-        let mut rng = XorShiftRng::seed_from_u64(4000 + seed);
+    for case in 0..48u64 {
+        let seed = 4000 + case;
+        let mut rng = XorShiftRng::seed_from_u64(seed);
         let mut db = gen_mct(&mut rng);
         for i in 0..db.palette.len() {
             db.annotate(ColorId(i as u8));
@@ -299,13 +347,15 @@ fn interval_codes_consistent() {
 /// the heuristic planner's pipeline and the interpreter agree.
 #[test]
 fn planner_equals_interpreter() {
-    for seed in 0..24u64 {
-        let mut rng = XorShiftRng::seed_from_u64(5000 + seed);
+    for case in 0..24u64 {
+        let seed = 5000 + case;
+        let mut rng = XorShiftRng::seed_from_u64(seed);
         let db = gen_mct(&mut rng);
         let mut stored = StoredDb::build(db, 8 * 1024 * 1024).unwrap();
         let queries = [
             r#"document("d")/{red}descendant::item"#,
             r#"document("d")/{red}descendant::red-root/{red}child::item"#,
+            r#"document("d")/{red}child::red-root/{red}child::item"#,
             r#"document("d")/{green}descendant::item"#,
             r#"document("d")/{red}descendant::item/{green}parent::green-root"#,
         ];
@@ -330,7 +380,7 @@ fn planner_equals_interpreter() {
                     _ => None,
                 })
                 .collect();
-            assert_eq!(via_plan, via_interp, "seed {seed}, query {q}");
+            fail_with_seed!(eq seed, via_plan, via_interp, "query {q}");
         }
     }
 }
